@@ -1,0 +1,74 @@
+//! Ablations for the kernel-level design choices DESIGN.md §5 calls out:
+//! contended-atomic vs thread-local histograms, static vs dynamic SpMV
+//! scheduling, naive vs blocked matmul, and allocating vs ping-pong
+//! stencils.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_kernels::{fft, histogram, matmul, spmv, stencil};
+
+fn bench(c: &mut Criterion) {
+    let threads = 4;
+
+    // Histogram: shared atomics vs per-thread merge.
+    let samples = histogram::gen_samples(1 << 20, 7);
+    let mut g = c.benchmark_group("ablation_histogram");
+    g.sample_size(10);
+    g.bench_function("serial", |b| b.iter(|| histogram::serial(&samples, 64)));
+    g.bench_function("parallel_atomic", |b| {
+        b.iter(|| histogram::parallel_atomic(&samples, 64, threads))
+    });
+    g.bench_function("parallel_local", |b| {
+        b.iter(|| histogram::parallel_local(&samples, 64, threads))
+    });
+    g.finish();
+
+    // SpMV: static bands vs dynamic self-scheduling on a skewed matrix.
+    let m = spmv::gen_sparse(20_000, 256, 3);
+    let x: Vec<f64> = (0..20_000).map(|i| (i as f64).sin()).collect();
+    let mut g = c.benchmark_group("ablation_spmv");
+    g.sample_size(10);
+    g.bench_function("serial", |b| b.iter(|| spmv::serial(&m, &x)));
+    g.bench_function("parallel_static", |b| {
+        b.iter(|| spmv::parallel_static(&m, &x, threads))
+    });
+    g.bench_function("parallel_dynamic_c64", |b| {
+        b.iter(|| spmv::parallel_dynamic(&m, &x, threads, 64))
+    });
+    g.finish();
+
+    // Matmul: loop order.
+    let n = 128;
+    let a = matmul::gen_matrix(n, 1);
+    let bm = matmul::gen_matrix(n, 2);
+    let mut g = c.benchmark_group("ablation_matmul_order");
+    g.sample_size(10);
+    g.bench_function("ijk_naive", |b| b.iter(|| matmul::naive(&a, &bm, n)));
+    g.bench_function("ikj_blocked", |b| b.iter(|| matmul::blocked(&a, &bm, n)));
+    g.finish();
+
+    // Fourier transform: the purely *algorithmic* speedup (O(n²) → O(n log n))
+    // that needs no hardware at all — the suite's reminder that the biggest
+    // wins in the performance-gap story are sometimes free.
+    let signal = fft::gen_signal(4096, 11);
+    let mut g = c.benchmark_group("ablation_fourier");
+    g.sample_size(10);
+    g.bench_function("dft_naive_n4096", |b| b.iter(|| fft::dft_naive(&signal)));
+    g.bench_function("fft_n4096", |b| b.iter(|| fft::fft(&signal)));
+    g.finish();
+
+    // Stencil: allocate-per-sweep vs ping-pong buffers.
+    let (rows, cols, sweeps) = (256, 256, 8);
+    let grid = stencil::gen_grid(rows, cols, 5);
+    let mut g = c.benchmark_group("ablation_stencil_alloc");
+    g.sample_size(10);
+    g.bench_function("naive_allocating", |b| {
+        b.iter(|| stencil::naive(&grid, rows, cols, sweeps))
+    });
+    g.bench_function("pingpong", |b| {
+        b.iter(|| stencil::optimized(&grid, rows, cols, sweeps))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

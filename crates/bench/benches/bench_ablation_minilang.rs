@@ -1,0 +1,57 @@
+//! Ablation for the ResearchScript implementation choices: tree-walking vs
+//! bytecode vs bytecode + constant folding, on programs where folding has
+//! something to fold and on programs where it does not.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_minilang::{run_source, run_source_vm, run_source_vm_optimized};
+
+/// A loop whose body is full of foldable subexpressions (unit conversions
+/// and literal arithmetic inlined the way quickly-written scripts do it).
+const FOLDABLE: &str = "\
+let total = 0;\n\
+for i in range(0, 20000) {\n\
+    let grams = i * (1000 / 1000) * (60 * 60) / (60 * 60);\n\
+    if 2 + 2 == 4 { total = total + grams * (1 / 2) * 2; }\n\
+}\n\
+total";
+
+/// The same loop with nothing to fold (all operands live).
+const UNFOLDABLE: &str = "\
+let total = 0;\n\
+let a = 1; let b = 2; let c = 4;\n\
+for i in range(0, 20000) {\n\
+    let grams = i * (a + a - a) * (b * b) / (b * b);\n\
+    if b + b == c { total = total + grams; }\n\
+}\n\
+total";
+
+fn bench(c: &mut Criterion) {
+    // All three tiers agree before we time anything.
+    for src in [FOLDABLE, UNFOLDABLE] {
+        let a = run_source(src).expect("interp runs");
+        let b = run_source_vm(src).expect("vm runs");
+        let o = run_source_vm_optimized(src).expect("optimized vm runs");
+        assert_eq!(a, b);
+        assert_eq!(b, o);
+    }
+
+    let mut g = c.benchmark_group("ablation_minilang_foldable");
+    g.sample_size(10);
+    g.bench_function("tree_walk", |b| b.iter(|| run_source(FOLDABLE).expect("runs")));
+    g.bench_function("bytecode", |b| b.iter(|| run_source_vm(FOLDABLE).expect("runs")));
+    g.bench_function("bytecode_folded", |b| {
+        b.iter(|| run_source_vm_optimized(FOLDABLE).expect("runs"))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("ablation_minilang_unfoldable");
+    g.sample_size(10);
+    g.bench_function("bytecode", |b| b.iter(|| run_source_vm(UNFOLDABLE).expect("runs")));
+    g.bench_function("bytecode_folded", |b| {
+        b.iter(|| run_source_vm_optimized(UNFOLDABLE).expect("runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

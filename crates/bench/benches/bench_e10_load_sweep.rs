@@ -1,0 +1,38 @@
+//! E10 (Figure 5): utilization/wait vs offered load — regenerates the sweep
+//! and benches one simulation per load level.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcr_bench::render;
+use rcr_cluster::sched::Policy;
+use rcr_cluster::sim::Simulator;
+use rcr_cluster::workload::{generate, WorkloadSpec};
+use rcr_core::experiments::Experiments;
+use rcr_core::MASTER_SEED;
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let loads: Vec<f64> = (5..=11).map(|i| i as f64 / 10.0).collect();
+    let pts = ex.e10_load_sweep(600, &loads).expect("E10 runs");
+    println!("{}", render::e10_table(&pts).render_ascii());
+    assert!(render::e10_figure(&pts).contains("</svg>"));
+
+    let mut g = c.benchmark_group("e10_backfill_by_load");
+    g.sample_size(10);
+    for &load in &[0.5, 0.8, 1.0] {
+        let jobs = generate(
+            &WorkloadSpec { n_jobs: 600, offered_load: load, ..Default::default() },
+            MASTER_SEED,
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(load), &jobs, |b, jobs| {
+            b.iter(|| {
+                Simulator::new(64, Policy::EasyBackfill)
+                    .run(jobs.clone())
+                    .expect("simulation runs")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E11 (Table 6): the interpreter-tier ablation — tree-walk vs bytecode vs
+//! vectorized builtins on the same scripts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::experiments::Experiments;
+use rcr_core::perfgap::GapConfig;
+use rcr_core::MASTER_SEED;
+use rcr_minilang::{run_source, run_source_vm};
+
+const MCPI: &str = "fn mcpi(n) {\n  let seed = 12345;\n  let hits = 0;\n  for i in range(0, n) {\n    seed = (seed * 16807) % 2147483647;\n    let x = seed / 2147483647;\n    seed = (seed * 16807) % 2147483647;\n    let y = seed / 2147483647;\n    if x * x + y * y <= 1 { hits = hits + 1; }\n  }\n  return 4 * hits / n;\n}\nmcpi(20000)";
+
+const FIB: &str = "fn fib(n) { if n < 2 { return n; } return fib(n - 1) + fib(n - 2); } fib(18)";
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let gaps = ex.e11_interp_ablation(&GapConfig::quick()).expect("E11 runs");
+    println!("{}", render::e11_table(&gaps).render_ascii());
+
+    let mut g = c.benchmark_group("e11_mcpi_tiers");
+    g.sample_size(10);
+    g.bench_function("tree_walk", |b| b.iter(|| run_source(MCPI).expect("script runs")));
+    g.bench_function("bytecode", |b| b.iter(|| run_source_vm(MCPI).expect("script runs")));
+    g.finish();
+
+    // Call-heavy workload where frame setup dominates — the worst case for
+    // both tiers and the best discriminator between them.
+    let mut g = c.benchmark_group("e11_fib_tiers");
+    g.sample_size(10);
+    g.bench_function("tree_walk", |b| b.iter(|| run_source(FIB).expect("script runs")));
+    g.bench_function("bytecode", |b| b.iter(|| run_source_vm(FIB).expect("script runs")));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

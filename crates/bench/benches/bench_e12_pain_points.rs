@@ -1,0 +1,26 @@
+//! E12 (Figure 6): pain-point Likert battery — regenerates the table and
+//! benches the Mann–Whitney battery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::compare::compare_likert_battery;
+use rcr_core::experiments::Experiments;
+use rcr_core::{questionnaire as q, MASTER_SEED};
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let rows = ex.e12_pain_points().expect("E12 runs");
+    println!("{}", render::e12_table(&rows).render_ascii());
+    assert!(render::e12_figure(&rows).contains("</svg>"));
+
+    let (before, after) = ex.cohorts();
+    let mut g = c.benchmark_group("e12_pain_points");
+    g.sample_size(20);
+    g.bench_function("mann_whitney_battery", |b| {
+        b.iter(|| compare_likert_battery(&before, &after, &q::PAIN_ITEMS).expect("battery runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

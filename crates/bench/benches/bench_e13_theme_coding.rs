@@ -1,0 +1,34 @@
+//! E13 (Table 7): qualitative coding of free-text obstacles — regenerates
+//! the theme-shift table and benches the coding pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::compare::compare_themes;
+use rcr_core::experiments::Experiments;
+use rcr_core::{questionnaire as q, MASTER_SEED};
+use rcr_survey::coding::canonical_code_book;
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let rows = ex.e13_theme_shift().expect("E13 runs");
+    println!(
+        "{}",
+        render::shift_table("Table 7: coded free-text obstacles, 2011 vs 2024", &rows)
+            .render_ascii()
+    );
+
+    let (before, after) = ex.cohorts();
+    let book = canonical_code_book();
+    let mut g = c.benchmark_group("e13_theme_coding");
+    g.sample_size(20);
+    g.bench_function("code_and_compare", |b| {
+        b.iter(|| compare_themes(&before, &after, &book, q::Q_COMMENTS).expect("coding runs"))
+    });
+    g.bench_function("code_2024_corpus_only", |b| {
+        b.iter(|| book.code_cohort(&after, q::Q_COMMENTS).expect("coding runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

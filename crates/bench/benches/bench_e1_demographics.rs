@@ -1,0 +1,24 @@
+//! E1 (Table 1): regenerates the demographics grid and measures the cost of
+//! cohort generation + tabulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::experiments::Experiments;
+use rcr_core::MASTER_SEED;
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    // Regenerate the artifact once so the bench run leaves the table behind.
+    let d = ex.e1_demographics().expect("E1 runs");
+    println!("{}", render::e1_table(&d).render_ascii());
+
+    let mut g = c.benchmark_group("e1_demographics");
+    g.sample_size(10);
+    g.bench_function("generate_and_tabulate", |b| {
+        b.iter(|| ex.e1_demographics().expect("E1 runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

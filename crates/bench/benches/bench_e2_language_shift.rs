@@ -1,0 +1,35 @@
+//! E2 (Table 2): regenerates the language-shift table and measures the
+//! comparison engine (counts → z-tests → BH correction → effect sizes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::compare::compare_multi_choice;
+use rcr_core::experiments::Experiments;
+use rcr_core::{questionnaire as q, MASTER_SEED};
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let shifts = ex.e2_language_shift().expect("E2 runs");
+    println!(
+        "{}",
+        render::shift_table("Table 2: language usage, 2011 vs 2024", &shifts).render_ascii()
+    );
+    println!(
+        "{}",
+        render::omnibus_line(&ex.e2_primary_language_omnibus().expect("omnibus runs"))
+    );
+
+    let (before, after) = ex.cohorts();
+    let mut g = c.benchmark_group("e2_language_shift");
+    g.sample_size(20);
+    g.bench_function("compare_multi_choice", |b| {
+        b.iter(|| compare_multi_choice(&before, &after, q::Q_LANGS).expect("compare runs"))
+    });
+    g.bench_function("full_pipeline_with_generation", |b| {
+        b.iter(|| ex.e2_language_shift().expect("E2 runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

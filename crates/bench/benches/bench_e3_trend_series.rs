@@ -1,0 +1,26 @@
+//! E3 (Figure 1): regenerates the language-adoption trend figure and
+//! measures the yearly-cohort interpolation pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::trend::language_trends;
+use rcr_core::MASTER_SEED;
+
+fn bench(c: &mut Criterion) {
+    let trends = language_trends(MASTER_SEED, 400, &["python", "matlab", "fortran", "r", "julia"])
+        .expect("E3 runs");
+    println!("{}", render::e3_slope_table(&trends).render_ascii());
+    let svg = render::e3_figure(&trends);
+    assert!(svg.contains("</svg>"));
+
+    let mut g = c.benchmark_group("e3_trend_series");
+    g.sample_size(10);
+    g.bench_function("trends_n100_per_year", |b| {
+        b.iter(|| language_trends(MASTER_SEED, 100, &["python", "fortran"]).expect("runs"))
+    });
+    g.bench_function("render_figure", |b| b.iter(|| render::e3_figure(&trends)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E4 (Table 3): regenerates the parallelism-usage shift table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::experiments::Experiments;
+use rcr_core::MASTER_SEED;
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let shifts = ex.e4_parallelism_shift().expect("E4 runs");
+    println!(
+        "{}",
+        render::shift_table("Table 3: parallelism usage, 2011 vs 2024", &shifts)
+            .render_ascii()
+    );
+
+    let mut g = c.benchmark_group("e4_parallelism");
+    g.sample_size(20);
+    g.bench_function("shift_table", |b| {
+        b.iter(|| ex.e4_parallelism_shift().expect("E4 runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E5 (Figure 2): the interpreted-vs-native performance gap.
+//!
+//! The figure's own numbers come from the `reproduce` binary (which runs
+//! the full sizes through the calibrated harness); this bench exposes each
+//! tier to Criterion at fixed small sizes so regressions in any single tier
+//! are visible in CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::experiments::Experiments;
+use rcr_core::perfgap::GapConfig;
+use rcr_core::MASTER_SEED;
+use rcr_kernels::{dotaxpy, matmul};
+use rcr_minilang::{run_source, run_source_vm};
+
+const DOT_N: usize = 10_000;
+
+fn dot_script(vectorized: bool) -> String {
+    let compute = if vectorized {
+        "let r = vdot(a, b);".to_owned()
+    } else {
+        "fn dot(a, b, n) { let acc = 0; for i in range(0, n) { acc = acc + a[i] * b[i]; } return acc; }\nlet r = dot(a, b, n);".to_owned()
+    };
+    format!(
+        "let n = {DOT_N};\nlet a = zeros(n);\nlet b = zeros(n);\nfor i in range(0, n) {{ a[i] = (i % 7) * 0.25; b[i] = ((i % 5) + 1) * 0.5; }}\n{compute}\nr"
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the artifact (quick sizes keep `cargo bench` tractable).
+    let ex = Experiments::new(MASTER_SEED);
+    let gaps = ex.e5_perf_gap(&GapConfig::quick()).expect("E5 runs");
+    println!("{}", render::gap_table("Figure 2 data (quick sizes)", &gaps).render_ascii());
+    let svg = render::e5_figure(&gaps);
+    assert!(svg.contains("</svg>"));
+
+    let scalar = dot_script(false);
+    let vector = dot_script(true);
+    let a: Vec<f64> = (0..DOT_N).map(|i| (i % 7) as f64 * 0.25).collect();
+    let b: Vec<f64> = (0..DOT_N).map(|i| ((i % 5) + 1) as f64 * 0.5).collect();
+
+    let mut g = c.benchmark_group("e5_dot_tiers");
+    g.sample_size(10);
+    g.bench_function("tier1_tree_walk", |bch| {
+        bch.iter(|| run_source(&scalar).expect("script runs"))
+    });
+    g.bench_function("tier2_bytecode", |bch| {
+        bch.iter(|| run_source_vm(&scalar).expect("script runs"))
+    });
+    g.bench_function("tier3_vectorized", |bch| {
+        bch.iter(|| run_source_vm(&vector).expect("script runs"))
+    });
+    g.bench_function("tier4_native_naive", |bch| bch.iter(|| dotaxpy::dot_naive(&a, &b)));
+    g.bench_function("tier5_native_optimized", |bch| {
+        bch.iter(|| dotaxpy::dot_optimized(&a, &b))
+    });
+    g.bench_function("tier6_native_parallel", |bch| {
+        bch.iter(|| dotaxpy::dot_parallel(&a, &b, 4))
+    });
+    g.finish();
+
+    let n = 48;
+    let ma = matmul::gen_matrix(n, 1);
+    let mb = matmul::gen_matrix(n, 2);
+    let mut g = c.benchmark_group("e5_matmul_native_tiers");
+    g.sample_size(10);
+    g.bench_function("naive", |bch| bch.iter(|| matmul::naive(&ma, &mb, n)));
+    g.bench_function("blocked", |bch| bch.iter(|| matmul::blocked(&ma, &mb, n)));
+    g.bench_function("parallel", |bch| bch.iter(|| matmul::parallel(&ma, &mb, n, 4)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! E6 (Figure 3): thread-scaling curves. Criterion times each kernel at
+//! 1/2/4 threads; the full sweep and Amdahl fits come from `reproduce e6`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcr_bench::render;
+use rcr_core::experiments::Experiments;
+use rcr_core::perfgap::GapConfig;
+use rcr_core::MASTER_SEED;
+use rcr_kernels::{matmul, montecarlo, reduce, stencil};
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let curves = ex.e6_scaling(&GapConfig::quick()).expect("E6 runs");
+    println!("{}", render::e6_table(&curves).render_ascii());
+    assert!(render::e6_figure(&curves).contains("</svg>"));
+
+    let threads = [1usize, 2, 4];
+
+    let n = 96;
+    let a = matmul::gen_matrix(n, 1);
+    let b = matmul::gen_matrix(n, 2);
+    let mut g = c.benchmark_group("e6_matmul_scaling");
+    g.sample_size(10);
+    for &t in &threads {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |bch, &t| {
+            bch.iter(|| matmul::parallel(&a, &b, n, t))
+        });
+    }
+    g.finish();
+
+    let (rows, cols, sweeps) = (128, 128, 4);
+    let grid = stencil::gen_grid(rows, cols, 3);
+    let mut g = c.benchmark_group("e6_stencil_scaling");
+    g.sample_size(10);
+    for &t in &threads {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |bch, &t| {
+            bch.iter(|| stencil::parallel(&grid, rows, cols, sweeps, t))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("e6_mcpi_scaling");
+    g.sample_size(10);
+    for &t in &threads {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |bch, &t| {
+            bch.iter(|| montecarlo::pi_parallel(500_000, 7, t))
+        });
+    }
+    g.finish();
+
+    let xs = reduce::gen_data(1 << 22, 9);
+    let mut g = c.benchmark_group("e6_sum_scaling");
+    g.sample_size(10);
+    for &t in &threads {
+        g.bench_with_input(BenchmarkId::from_parameter(t), &t, |bch, &t| {
+            bch.iter(|| reduce::sum_parallel(&xs, t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

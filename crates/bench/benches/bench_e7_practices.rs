@@ -1,0 +1,24 @@
+//! E7 (Table 4): regenerates the software-engineering practice table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::experiments::Experiments;
+use rcr_core::MASTER_SEED;
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let shifts = ex.e7_practice_shift().expect("E7 runs");
+    println!(
+        "{}",
+        render::shift_table("Table 4: software-engineering practices, 2011 vs 2024", &shifts)
+            .render_ascii()
+    );
+
+    let mut g = c.benchmark_group("e7_practices");
+    g.sample_size(20);
+    g.bench_function("shift_table", |b| b.iter(|| ex.e7_practice_shift().expect("E7 runs")));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

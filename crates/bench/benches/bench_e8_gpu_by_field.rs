@@ -1,0 +1,24 @@
+//! E8 (Table 5): GPU adoption by field, including the Fisher-exact battery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::compare::gpu_by_field;
+use rcr_core::experiments::Experiments;
+use rcr_core::MASTER_SEED;
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let rows = ex.e8_gpu_by_field().expect("E8 runs");
+    println!("{}", render::e8_table(&rows).render_ascii());
+
+    let (_, after) = ex.cohorts();
+    let mut g = c.benchmark_group("e8_gpu_by_field");
+    g.sample_size(20);
+    g.bench_function("fisher_battery", |b| {
+        b.iter(|| gpu_by_field(&after).expect("battery runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

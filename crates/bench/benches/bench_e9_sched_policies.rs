@@ -1,0 +1,30 @@
+//! E9 (Figure 4): scheduler policy comparison — simulation throughput per
+//! policy plus artifact regeneration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcr_bench::render;
+use rcr_cluster::sched::Policy;
+use rcr_cluster::sim::Simulator;
+use rcr_cluster::workload::{generate, WorkloadSpec};
+use rcr_core::experiments::Experiments;
+use rcr_core::MASTER_SEED;
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let outcomes = ex.e9_sched_policies(2000).expect("E9 runs");
+    println!("{}", render::e9_table(&outcomes).render_ascii());
+    assert!(render::e9_figure(&outcomes).contains("</svg>"));
+
+    let jobs = generate(&WorkloadSpec { n_jobs: 1000, ..Default::default() }, MASTER_SEED);
+    let mut g = c.benchmark_group("e9_policies_1000_jobs");
+    g.sample_size(10);
+    for policy in Policy::ALL {
+        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &p| {
+            b.iter(|| Simulator::new(64, p).run(jobs.clone()).expect("simulation runs"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

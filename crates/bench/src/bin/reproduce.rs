@@ -1,0 +1,245 @@
+//! `reproduce` — regenerates every table and figure of the reproduction.
+//!
+//! ```text
+//! reproduce [EXPERIMENT ...] [--quick] [--out DIR]
+//!
+//!   EXPERIMENT   e1..e13 (default: all)
+//!   --quick      reduced sizes for the timing experiments (CI-friendly)
+//!   --out DIR    write tables (.txt/.csv) and figures (.svg) to DIR
+//!                (default: print tables to stdout only)
+//! ```
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use rcr_bench::render;
+use rcr_core::experiments::{Experiments, INDEX};
+use rcr_core::perfgap::GapConfig;
+use rcr_core::MASTER_SEED;
+use rcr_report::table::Table;
+
+struct Args {
+    which: Vec<String>,
+    quick: bool,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut which = Vec::new();
+    let mut quick = false;
+    let mut out = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--out requires a directory".to_owned())?,
+                ));
+            }
+            "--help" | "-h" => {
+                return Err("usage: reproduce [e1..e13 ...] [--quick] [--out DIR]".to_owned())
+            }
+            e if e.starts_with('e') || e.starts_with('E') => {
+                which.push(e.to_lowercase());
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if which.is_empty() {
+        which = INDEX.iter().map(|i| i.id.to_lowercase()).collect();
+    }
+    Ok(Args { which, quick, out })
+}
+
+struct Emitter {
+    out: Option<PathBuf>,
+}
+
+impl Emitter {
+    fn table(&self, id: &str, name: &str, t: &Table) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = writeln!(lock, "{}", t.render_ascii());
+        if let Some(dir) = &self.out {
+            write_file(dir, &format!("{id}_{name}.txt"), &t.render_ascii());
+            write_file(dir, &format!("{id}_{name}.csv"), &t.render_csv());
+        }
+    }
+
+    fn note(&self, text: &str) {
+        println!("{text}\n");
+    }
+
+    fn figure(&self, id: &str, name: &str, svg: &str) {
+        if let Some(dir) = &self.out {
+            write_file(dir, &format!("{id}_{name}.svg"), svg);
+            println!("[wrote figure {id}_{name}.svg]\n");
+        } else {
+            println!("[figure {id}_{name}: rerun with --out DIR to write the SVG]\n");
+        }
+    }
+
+    fn json<T: serde::Serialize>(&self, id: &str, name: &str, value: &T) {
+        if let Some(dir) = &self.out {
+            let payload = serde_json::to_string_pretty(value)
+                .expect("experiment outputs serialize");
+            write_file(dir, &format!("{id}_{name}.json"), &payload);
+        }
+    }
+}
+
+fn write_file(dir: &Path, name: &str, contents: &str) {
+    let path = dir.join(name);
+    if let Err(e) = std::fs::write(&path, contents) {
+        eprintln!("error: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    if let Some(dir) = &args.out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("error: cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    }
+    let emit = Emitter { out: args.out.clone() };
+    let ex = Experiments::new(MASTER_SEED);
+    let gap_config = if args.quick {
+        GapConfig::quick()
+    } else {
+        GapConfig::default()
+    };
+
+    for id in &args.which {
+        let info = INDEX.iter().find(|i| i.id.to_lowercase() == *id);
+        match info {
+            Some(i) => println!("== {} ({}): {} ==\n", i.id, i.artifact, i.title),
+            None => {
+                eprintln!("unknown experiment `{id}` (expected e1..e13)");
+                std::process::exit(2);
+            }
+        }
+        let result = run_one(id, &ex, &gap_config, &emit);
+        if let Err(e) = result {
+            eprintln!("experiment {id} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_one(
+    id: &str,
+    ex: &Experiments,
+    gap_config: &GapConfig,
+    emit: &Emitter,
+) -> rcr_core::Result<()> {
+    match id {
+        "e1" => {
+            let d = ex.e1_demographics()?;
+            emit.table("e1", "demographics", &render::e1_table(&d));
+            emit.json("e1", "demographics", &d);
+        }
+        "e2" => {
+            let shifts = ex.e2_language_shift()?;
+            emit.table(
+                "e2",
+                "language_shift",
+                &render::shift_table("Table 2: language usage, 2011 vs 2024", &shifts),
+            );
+            let omni = ex.e2_primary_language_omnibus()?;
+            emit.note(&render::omnibus_line(&omni));
+            emit.json("e2", "language_shift", &shifts);
+        }
+        "e3" => {
+            let trends = ex.e3_language_trends()?;
+            emit.table("e3", "slopes", &render::e3_slope_table(&trends));
+            emit.figure("e3", "language_trends", &render::e3_figure(&trends));
+            emit.json("e3", "language_trends", &trends);
+        }
+        "e4" => {
+            let shifts = ex.e4_parallelism_shift()?;
+            emit.table(
+                "e4",
+                "parallelism_shift",
+                &render::shift_table("Table 3: parallelism usage, 2011 vs 2024", &shifts),
+            );
+            emit.json("e4", "parallelism_shift", &shifts);
+        }
+        "e5" => {
+            let gaps = ex.e5_perf_gap(gap_config)?;
+            emit.table("e5", "perf_gap", &render::gap_table("Figure 2 data", &gaps));
+            emit.figure("e5", "perf_gap", &render::e5_figure(&gaps));
+            emit.json("e5", "perf_gap", &gaps);
+        }
+        "e6" => {
+            let curves = ex.e6_scaling(gap_config)?;
+            emit.table("e6", "amdahl", &render::e6_table(&curves));
+            emit.figure("e6", "scaling", &render::e6_figure(&curves));
+            emit.json("e6", "scaling", &curves);
+        }
+        "e7" => {
+            let shifts = ex.e7_practice_shift()?;
+            emit.table(
+                "e7",
+                "practice_shift",
+                &render::shift_table(
+                    "Table 4: software-engineering practices, 2011 vs 2024",
+                    &shifts,
+                ),
+            );
+            emit.json("e7", "practice_shift", &shifts);
+        }
+        "e8" => {
+            let rows = ex.e8_gpu_by_field()?;
+            emit.table("e8", "gpu_by_field", &render::e8_table(&rows));
+            emit.json("e8", "gpu_by_field", &rows);
+        }
+        "e9" => {
+            let outcomes = ex.e9_sched_policies(2000)?;
+            emit.table("e9", "policies", &render::e9_table(&outcomes));
+            emit.figure("e9", "wait_cdf", &render::e9_figure(&outcomes));
+            emit.json("e9", "policies", &outcomes);
+        }
+        "e10" => {
+            let loads: Vec<f64> = (5..=11).map(|i| i as f64 / 10.0).collect();
+            let pts = ex.e10_load_sweep(1200, &loads)?;
+            emit.table("e10", "load_sweep", &render::e10_table(&pts));
+            emit.figure("e10", "load_sweep", &render::e10_figure(&pts));
+            emit.json("e10", "load_sweep", &pts);
+        }
+        "e11" => {
+            let gaps = ex.e11_interp_ablation(gap_config)?;
+            emit.table("e11", "interp_ablation", &render::e11_table(&gaps));
+            emit.json("e11", "interp_ablation", &gaps);
+        }
+        "e12" => {
+            let rows = ex.e12_pain_points()?;
+            emit.table("e12", "pain_points", &render::e12_table(&rows));
+            emit.figure("e12", "pain_points", &render::e12_figure(&rows));
+            emit.json("e12", "pain_points", &rows);
+        }
+        "e13" => {
+            let rows = ex.e13_theme_shift()?;
+            emit.table(
+                "e13",
+                "theme_shift",
+                &render::shift_table(
+                    "Table 7: coded free-text obstacles, 2011 vs 2024",
+                    &rows,
+                ),
+            );
+            emit.json("e13", "theme_shift", &rows);
+        }
+        other => unreachable!("validated above: {other}"),
+    }
+    Ok(())
+}

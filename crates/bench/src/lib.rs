@@ -1,0 +1,11 @@
+//! # rcr-bench
+//!
+//! The harness layer: converts experiment outputs (from `rcr-core`) into
+//! paper-style tables and figures (via `rcr-report`). The `reproduce`
+//! binary and the integration tests share this code, so what the benches
+//! regenerate is exactly what the documentation shows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;

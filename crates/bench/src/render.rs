@@ -1,0 +1,435 @@
+//! Rendering experiment outputs into paper-style tables and SVG figures.
+
+use rcr_core::compare::{DistributionShift, FieldAdoption, ItemShift, LikertShift};
+use rcr_core::experiments::{Demographics, LoadPoint, PolicyOutcome};
+use rcr_core::perfgap::{KernelGap, ScalingCurve};
+use rcr_core::trend::LanguageTrend;
+use rcr_report::fmt;
+use rcr_report::svg::{self, Series};
+use rcr_report::table::Table;
+
+/// E1: the demographics grid as a table.
+pub fn e1_table(d: &Demographics) -> Table {
+    let mut headers = vec!["field".to_owned()];
+    headers.extend(d.stages.iter().cloned());
+    headers.push("total".into());
+    let mut t = Table::new(headers)
+        .title(format!("Table 1: respondent demographics (2024 cohort, n={})", d.n));
+    let nc = d.stages.len();
+    for (fi, field) in d.fields.iter().enumerate() {
+        let row_counts = &d.counts[fi * nc..(fi + 1) * nc];
+        let mut cells = vec![field.clone()];
+        cells.extend(row_counts.iter().map(u64::to_string));
+        cells.push(row_counts.iter().sum::<u64>().to_string());
+        t.row(cells);
+    }
+    t
+}
+
+/// Shared shape for the shift tables (E2 languages, E4 parallelism, E7
+/// practices).
+pub fn shift_table(title: &str, rows: &[ItemShift]) -> Table {
+    let mut t = Table::new([
+        "item", "2011", "2024", "Δ (pp)", "z", "p (BH)", "h", "effect",
+    ])
+    .title(title.to_owned());
+    // Present largest absolute change first, as the paper tables do.
+    let mut sorted: Vec<&ItemShift> = rows.iter().collect();
+    sorted.sort_by(|a, b| {
+        (b.p_after - b.p_before)
+            .abs()
+            .partial_cmp(&(a.p_after - a.p_before).abs())
+            .expect("finite proportions")
+    });
+    for r in sorted {
+        t.row([
+            r.item.clone(),
+            fmt::pct(r.p_before),
+            fmt::pct(r.p_after),
+            format!("{:+.1}", (r.p_after - r.p_before) * 100.0),
+            format!("{:+.2}", r.z),
+            fmt::p_value(r.p_adj),
+            format!("{:+.2}", r.cohens_h),
+            r.effect.to_owned(),
+        ]);
+    }
+    t
+}
+
+/// E2 omnibus footnote line.
+pub fn omnibus_line(omni: &DistributionShift) -> String {
+    format!(
+        "Omnibus primary-language shift: χ²({:.0}) = {:.1}, p = {}, Cramér's V = {:.2}",
+        omni.df,
+        omni.chi2,
+        fmt::p_value(omni.p_value),
+        omni.cramers_v
+    )
+}
+
+/// E3: the language-trend figure.
+pub fn e3_figure(trends: &[LanguageTrend]) -> String {
+    let series: Vec<Series> = trends
+        .iter()
+        .map(|t| {
+            Series::new(
+                t.language.clone(),
+                t.points.iter().map(|&(y, s)| (f64::from(y), s)).collect(),
+            )
+            .with_band(t.band.clone())
+        })
+        .collect();
+    svg::line_chart(
+        "Figure 1: language adoption, 2011–2024 (Wilson 95% bands)",
+        "year",
+        "share of respondents",
+        &series,
+    )
+}
+
+/// E3 companion: slopes table (OLS and Cochran–Armitage agree or we want
+/// to see it in print).
+pub fn e3_slope_table(trends: &[LanguageTrend]) -> Table {
+    let mut t = Table::new(["language", "slope (pp/yr)", "p (OLS)", "CA z", "p (CA)"])
+        .title("Figure 1 fits: adoption trends".to_owned());
+    for tr in trends {
+        t.row([
+            tr.language.clone(),
+            format!("{:+.2}", tr.slope_per_year * 100.0),
+            fmt::p_value(tr.slope_p),
+            format!("{:+.1}", tr.trend_z),
+            fmt::p_value(tr.trend_p),
+        ]);
+    }
+    t
+}
+
+/// E5: the performance-gap figure (log-scale speedup bars over the
+/// tree-walk baseline).
+pub fn e5_figure(gaps: &[KernelGap]) -> String {
+    let labels = ["bytecode VM", "native naive", "native optimized", "native parallel"];
+    let groups: Vec<(&str, Vec<f64>)> = gaps
+        .iter()
+        .map(|g| {
+            let s = |tier| g.speedup_vs_interp(tier).unwrap_or(1.0);
+            (
+                g.kernel.as_str(),
+                vec![
+                    s(g.tiers.vm),
+                    s(g.tiers.native_naive),
+                    s(g.tiers.native_optimized.or(g.tiers.native_naive)),
+                    s(g.tiers.native_parallel),
+                ],
+            )
+        })
+        .collect();
+    svg::bar_chart(
+        "Figure 2: speedup over tree-walking interpreter (log scale)",
+        "speedup (log10)",
+        &labels,
+        &groups,
+        true,
+    )
+}
+
+/// E5/E11: the gap table (absolute medians plus speedups).
+pub fn gap_table(title: &str, gaps: &[KernelGap]) -> Table {
+    let mut t = Table::new([
+        "kernel", "size", "tree-walk", "bytecode", "vectorized", "native", "nat-opt",
+        "nat-par", "interp→native",
+    ])
+    .title(title.to_owned());
+    for g in gaps {
+        let cell = |tier: Option<rcr_core::perfgap::TierTime>| {
+            tier.map_or("—".to_owned(), |m| fmt::duration_s(m.median_s))
+        };
+        let final_speedup = g
+            .speedup_vs_interp(g.tiers.native_parallel.or(g.tiers.native_optimized))
+            .map_or("—".to_owned(), fmt::speedup);
+        t.row([
+            g.kernel.clone(),
+            g.size.clone(),
+            cell(g.tiers.interp),
+            cell(g.tiers.vm),
+            cell(g.tiers.vectorized),
+            cell(g.tiers.native_naive),
+            cell(g.tiers.native_optimized),
+            cell(g.tiers.native_parallel),
+            final_speedup,
+        ]);
+    }
+    t
+}
+
+/// E6: scaling figure (measured curves + Amdahl fits as dashed analogs —
+/// rendered as extra series).
+pub fn e6_figure(curves: &[ScalingCurve]) -> String {
+    let mut series = Vec::new();
+    for c in curves {
+        series.push(Series::new(
+            format!("{} (measured)", c.kernel),
+            c.threads.iter().zip(&c.speedup).map(|(&t, &s)| (t as f64, s)).collect(),
+        ));
+    }
+    // Ideal line for reference.
+    if let Some(c) = curves.first() {
+        series.push(Series::new(
+            "ideal",
+            c.threads.iter().map(|&t| (t as f64, t as f64)).collect(),
+        ));
+    }
+    svg::line_chart("Figure 3: thread scaling", "threads", "speedup", &series)
+}
+
+/// E6 companion: Amdahl-fit table.
+pub fn e6_table(curves: &[ScalingCurve]) -> Table {
+    let mut t = Table::new(["kernel", "size", "max speedup", "serial fraction (fit)"])
+        .title("Figure 3 fits: Amdahl serial fractions".to_owned());
+    for c in curves {
+        let max = c.speedup.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        t.row([
+            c.kernel.clone(),
+            c.size.clone(),
+            fmt::speedup(max),
+            format!("{:.3}", c.amdahl_serial_fraction),
+        ]);
+    }
+    t
+}
+
+/// E8: GPU-by-field table.
+pub fn e8_table(rows: &[FieldAdoption]) -> Table {
+    let mut t = Table::new(["field", "GPU users", "n", "share", "95% CI", "OR", "p (BH)"])
+        .title("Table 5: GPU adoption by field, 2024 cohort".to_owned());
+    let mut sorted: Vec<&FieldAdoption> = rows.iter().collect();
+    sorted.sort_by(|a, b| b.share.partial_cmp(&a.share).expect("finite shares"));
+    for r in sorted {
+        t.row([
+            r.field.clone(),
+            r.gpu_users.to_string(),
+            r.n_field.to_string(),
+            fmt::pct(r.share),
+            format!("[{}, {}]", fmt::pct(r.ci.0), fmt::pct(r.ci.1)),
+            if r.odds_ratio.is_finite() {
+                format!("{:.2}", r.odds_ratio)
+            } else {
+                "∞".to_owned()
+            },
+            fmt::p_value(r.p_adj),
+        ]);
+    }
+    t
+}
+
+/// E9: wait-time CDF figure.
+pub fn e9_figure(outcomes: &[PolicyOutcome]) -> String {
+    let series: Vec<Series> = outcomes
+        .iter()
+        .map(|o| Series::new(o.policy.clone(), o.cdf.clone()))
+        .collect();
+    svg::line_chart(
+        "Figure 4: job wait-time CDF by scheduling policy",
+        "wait (s)",
+        "fraction of jobs",
+        &series,
+    )
+}
+
+/// E9 companion: the policy summary table.
+pub fn e9_table(outcomes: &[PolicyOutcome]) -> Table {
+    let mut t = Table::new([
+        "policy", "mean wait", "median", "P90", "mean slowdown", "utilization", "fairness",
+    ])
+    .title("Figure 4 summary: scheduling policies at load 0.85".to_owned());
+    for o in outcomes {
+        t.row([
+            o.policy.clone(),
+            fmt::duration_s(o.mean_wait),
+            fmt::duration_s(o.median_wait),
+            fmt::duration_s(o.p90_wait),
+            format!("{:.1}", o.mean_slowdown),
+            fmt::pct(o.utilization),
+            format!("{:.2}", o.slowdown_fairness),
+        ]);
+    }
+    t
+}
+
+/// E10: the load-sweep figure (P90 wait vs offered load, one series per
+/// policy).
+pub fn e10_figure(points: &[LoadPoint]) -> String {
+    let mut by_policy: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
+    for p in points {
+        match by_policy.iter_mut().find(|(name, _)| *name == p.policy) {
+            Some((_, pts)) => pts.push((p.load, p.p90_wait)),
+            None => by_policy.push((p.policy.clone(), vec![(p.load, p.p90_wait)])),
+        }
+    }
+    let series: Vec<Series> =
+        by_policy.into_iter().map(|(name, pts)| Series::new(name, pts)).collect();
+    svg::line_chart(
+        "Figure 5: P90 wait vs offered load",
+        "offered load",
+        "P90 wait (s)",
+        &series,
+    )
+}
+
+/// E10 companion table.
+pub fn e10_table(points: &[LoadPoint]) -> Table {
+    let mut t = Table::new(["load", "policy", "mean wait", "P90 wait", "utilization"])
+        .title("Figure 5 data: load sweep".to_owned());
+    for p in points {
+        t.row([
+            format!("{:.1}", p.load),
+            p.policy.clone(),
+            fmt::duration_s(p.mean_wait),
+            fmt::duration_s(p.p90_wait),
+            fmt::pct(p.utilization),
+        ]);
+    }
+    t
+}
+
+/// E11: the interpreter-ablation table (gap of each script tier to the
+/// best native serial implementation).
+pub fn e11_table(gaps: &[KernelGap]) -> Table {
+    let mut t = Table::new([
+        "kernel", "tree-walk gap", "bytecode gap", "vectorized gap",
+    ])
+    .title("Table 6: slowdown vs optimized native, by interpreter tier".to_owned());
+    for g in gaps {
+        let native = g
+            .tiers
+            .native_optimized
+            .or(g.tiers.native_naive)
+            .expect("native tier always measured");
+        let gap = |tier: Option<rcr_core::perfgap::TierTime>| {
+            tier.map_or("—".to_owned(), |m| fmt::speedup(m.median_s / native.median_s))
+        };
+        t.row([
+            g.kernel.clone(),
+            gap(g.tiers.interp),
+            gap(g.tiers.vm),
+            gap(g.tiers.vectorized),
+        ]);
+    }
+    t
+}
+
+/// E12: pain-point table.
+pub fn e12_table(rows: &[LikertShift]) -> Table {
+    let mut t = Table::new(["item", "mean 2011", "mean 2024", "Δ", "U", "p (BH)"])
+        .title("Figure 6 data: pain-point Likert items (1=painless, 5=severe)".to_owned());
+    for r in rows {
+        t.row([
+            r.item.trim_start_matches("pain-").to_owned(),
+            format!("{:.2}", r.mean_before),
+            format!("{:.2}", r.mean_after),
+            format!("{:+.2}", r.mean_after - r.mean_before),
+            format!("{:.0}", r.u),
+            fmt::p_value(r.p_adj),
+        ]);
+    }
+    t
+}
+
+/// E12: diverging-profile figure rendered as a grouped bar chart of score
+/// distributions (shares per score, 2024 cohort vs 2011).
+pub fn e12_figure(rows: &[LikertShift]) -> String {
+    let labels = ["2011 mean", "2024 mean"];
+    let groups: Vec<(&str, Vec<f64>)> = rows
+        .iter()
+        .map(|r| {
+            (
+                r.item.trim_start_matches("pain-"),
+                vec![r.mean_before, r.mean_after],
+            )
+        })
+        .collect();
+    svg::bar_chart(
+        "Figure 6: pain-point means, 2011 vs 2024",
+        "mean Likert score",
+        &labels,
+        &groups,
+        false,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcr_core::experiments::Experiments;
+    use rcr_core::perfgap::GapConfig;
+    use rcr_core::MASTER_SEED;
+
+    fn ex() -> Experiments {
+        Experiments::new(MASTER_SEED)
+    }
+
+    #[test]
+    fn survey_tables_render() {
+        let e = ex();
+        let t = e1_table(&e.e1_demographics().unwrap());
+        assert_eq!(t.n_rows(), 8);
+        assert!(t.render_ascii().contains("physics"));
+
+        let shifts = e.e2_language_shift().unwrap();
+        let t = shift_table("Table 2", &shifts);
+        assert_eq!(t.n_rows(), 10);
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("python"));
+        assert!(ascii.contains('%'));
+
+        let line = omnibus_line(&e.e2_primary_language_omnibus().unwrap());
+        assert!(line.contains("χ²"));
+
+        let t = e8_table(&e.e8_gpu_by_field().unwrap());
+        assert_eq!(t.n_rows(), 8);
+        let t = e12_table(&e.e12_pain_points().unwrap());
+        assert_eq!(t.n_rows(), 6);
+    }
+
+    #[test]
+    fn figures_render_valid_svg() {
+        let e = ex();
+        let f = e3_figure(&e.e3_language_trends().unwrap());
+        assert!(f.contains("<svg") && f.contains("</svg>"));
+        assert!(f.contains("python"));
+        let t = e3_slope_table(&e.e3_language_trends().unwrap());
+        assert_eq!(t.n_rows(), 5);
+
+        let outcomes = e.e9_sched_policies(300).unwrap();
+        let f = e9_figure(&outcomes);
+        assert!(f.contains("EASY-backfill"));
+        assert!(e9_table(&outcomes).render_ascii().contains("FCFS"));
+
+        let pts = e.e10_load_sweep(200, &[0.5, 0.8]).unwrap();
+        let f = e10_figure(&pts);
+        assert!(f.contains("<polyline"));
+        // Two loads × four policies.
+        assert_eq!(e10_table(&pts).n_rows(), 8);
+
+        let f = e12_figure(&e.e12_pain_points().unwrap());
+        assert!(f.contains("debugging"));
+    }
+
+    #[test]
+    fn perf_tables_and_figures_render() {
+        let e = ex();
+        let gaps = e.e5_perf_gap(&GapConfig::quick()).unwrap();
+        let fig = e5_figure(&gaps);
+        assert!(fig.contains("matmul"));
+        let t = gap_table("Figure 2 data", &gaps);
+        assert_eq!(t.n_rows(), 4);
+        assert!(t.render_ascii().contains("×"));
+        let t = e11_table(&gaps);
+        assert_eq!(t.n_rows(), 4);
+        assert!(t.render_ascii().contains("—"), "missing tiers shown as em-dash");
+
+        let curves = e.e6_scaling(&GapConfig::quick()).unwrap();
+        let fig = e6_figure(&curves);
+        assert!(fig.contains("ideal"));
+        assert_eq!(e6_table(&curves).n_rows(), 4);
+    }
+}

@@ -1,0 +1,141 @@
+//! The event queue: a time-ordered min-heap with deterministic
+//! tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens at an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A job arrives in the queue.
+    Arrival {
+        /// Index into the simulator's job table.
+        job: usize,
+    },
+    /// A running job finishes and frees its nodes.
+    Finish {
+        /// Index into the simulator's job table.
+        job: usize,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulation time of the event.
+    pub time: f64,
+    /// Monotone sequence number breaking time ties deterministically
+    /// (finishes processed before arrivals at the same instant is encoded
+    /// by insertion order: the simulator pushes finishes first).
+    pub seq: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we need earliest-first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Deterministic time-ordered event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event at `time`.
+    ///
+    /// # Panics
+    /// Panics on non-finite times (simulator invariant).
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        assert!(time.is_finite(), "event time must be finite");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(5.0, EventKind::Arrival { job: 0 });
+        q.push(1.0, EventKind::Arrival { job: 1 });
+        q.push(3.0, EventKind::Finish { job: 2 });
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::Finish { job: 0 });
+        q.push(2.0, EventKind::Arrival { job: 1 });
+        q.push(2.0, EventKind::Arrival { job: 2 });
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Finish { job: 0 },
+                EventKind::Arrival { job: 1 },
+                EventKind::Arrival { job: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, EventKind::Arrival { job: 0 });
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_time_panics() {
+        EventQueue::new().push(f64::NAN, EventKind::Arrival { job: 0 });
+    }
+}

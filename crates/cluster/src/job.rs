@@ -1,0 +1,100 @@
+//! Job model: what users submit and what the simulator records.
+
+/// A rigid batch job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Unique id (also the FCFS tiebreaker).
+    pub id: u64,
+    /// Submission time (seconds from simulation start).
+    pub submit: f64,
+    /// Number of nodes required for the whole run.
+    pub nodes: usize,
+    /// Actual runtime in seconds (known to the simulator, not the
+    /// scheduler).
+    pub runtime: f64,
+    /// The user's runtime estimate in seconds (what backfill plans with;
+    /// users overestimate, which is what makes backfill work at all).
+    pub estimate: f64,
+}
+
+impl Job {
+    /// Validates the job's fields.
+    pub fn is_valid(&self) -> bool {
+        self.submit >= 0.0
+            && self.submit.is_finite()
+            && self.nodes > 0
+            && self.runtime > 0.0
+            && self.runtime.is_finite()
+            && self.estimate >= self.runtime
+            && self.estimate.is_finite()
+    }
+}
+
+/// The simulator's record of one completed job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedJob {
+    /// The job as submitted.
+    pub job: Job,
+    /// When it started running.
+    pub start: f64,
+    /// When it finished (`start + runtime`).
+    pub finish: f64,
+}
+
+impl CompletedJob {
+    /// Queue wait time.
+    pub fn wait(&self) -> f64 {
+        self.start - self.job.submit
+    }
+
+    /// Bounded slowdown with the conventional 10-second runtime floor:
+    /// `max(1, (wait + runtime) / max(runtime, 10))`.
+    pub fn bounded_slowdown(&self) -> f64 {
+        let denom = self.job.runtime.max(10.0);
+        ((self.wait() + self.job.runtime) / denom).max(1.0)
+    }
+
+    /// Node-seconds consumed.
+    pub fn node_seconds(&self) -> f64 {
+        self.job.nodes as f64 * self.job.runtime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> Job {
+        Job { id: 1, submit: 100.0, nodes: 4, runtime: 50.0, estimate: 80.0 }
+    }
+
+    #[test]
+    fn validity_checks() {
+        assert!(job().is_valid());
+        assert!(!Job { nodes: 0, ..job() }.is_valid());
+        assert!(!Job { runtime: 0.0, ..job() }.is_valid());
+        assert!(!Job { submit: -1.0, ..job() }.is_valid());
+        assert!(!Job { estimate: 10.0, ..job() }.is_valid(), "estimate below runtime");
+        assert!(!Job { runtime: f64::NAN, ..job() }.is_valid());
+    }
+
+    #[test]
+    fn completed_job_metrics() {
+        let c = CompletedJob { job: job(), start: 130.0, finish: 180.0 };
+        assert_eq!(c.wait(), 30.0);
+        // (30 + 50) / 50 = 1.6
+        assert!((c.bounded_slowdown() - 1.6).abs() < 1e-12);
+        assert_eq!(c.node_seconds(), 200.0);
+    }
+
+    #[test]
+    fn slowdown_floor_for_tiny_jobs() {
+        let tiny = Job { runtime: 1.0, estimate: 1.0, ..job() };
+        let c = CompletedJob { job: tiny, start: 100.0, finish: 101.0 };
+        // (0 + 1) / max(1, 10) = 0.1 -> floored to 1.
+        assert_eq!(c.bounded_slowdown(), 1.0);
+        let c = CompletedJob { job: tiny, start: 119.0, finish: 120.0 };
+        // (19 + 1) / 10 = 2.
+        assert!((c.bounded_slowdown() - 2.0).abs() < 1e-12);
+    }
+}

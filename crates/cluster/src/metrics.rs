@@ -1,0 +1,164 @@
+//! Aggregate metrics over a finished simulation.
+
+use crate::job::CompletedJob;
+
+/// Aggregate outcome statistics for one policy run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of completed jobs.
+    pub n_jobs: usize,
+    /// Mean queue wait (seconds).
+    pub mean_wait: f64,
+    /// Median queue wait.
+    pub median_wait: f64,
+    /// 90th-percentile queue wait.
+    pub p90_wait: f64,
+    /// Mean bounded slowdown.
+    pub mean_slowdown: f64,
+    /// Cluster utilization over the makespan: busy node-seconds divided by
+    /// `nodes × makespan`.
+    pub utilization: f64,
+    /// Time from the first submission to the last completion.
+    pub makespan: f64,
+    /// Jain fairness index over per-job bounded slowdowns:
+    /// `(Σx)² / (n·Σx²)` ∈ `(0, 1]`. 1 means every job suffered equally;
+    /// small values mean the policy concentrates pain on a few jobs (the
+    /// starvation signature of greedy SJF).
+    pub slowdown_fairness: f64,
+}
+
+/// Computes the summary for completed jobs on a cluster of `nodes` nodes.
+///
+/// # Panics
+/// Panics on an empty job list (a simulation always completes ≥ 1 job).
+pub fn summarize(completed: &[CompletedJob], nodes: usize) -> Summary {
+    assert!(!completed.is_empty(), "no completed jobs to summarize");
+    let mut waits: Vec<f64> = completed.iter().map(CompletedJob::wait).collect();
+    waits.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+    let n = waits.len();
+    let mean_wait = waits.iter().sum::<f64>() / n as f64;
+    let median_wait = waits[n / 2];
+    let p90_wait = waits[((n as f64 * 0.9) as usize).min(n - 1)];
+    let mean_slowdown =
+        completed.iter().map(CompletedJob::bounded_slowdown).sum::<f64>() / n as f64;
+    let t0 = completed.iter().map(|c| c.job.submit).fold(f64::INFINITY, f64::min);
+    let t1 = completed.iter().map(|c| c.finish).fold(f64::NEG_INFINITY, f64::max);
+    let makespan = (t1 - t0).max(f64::MIN_POSITIVE);
+    let busy: f64 = completed.iter().map(CompletedJob::node_seconds).sum();
+    let slowdowns: Vec<f64> =
+        completed.iter().map(CompletedJob::bounded_slowdown).collect();
+    Summary {
+        n_jobs: n,
+        mean_wait,
+        median_wait,
+        p90_wait,
+        mean_slowdown,
+        utilization: busy / (nodes as f64 * makespan),
+        makespan,
+        slowdown_fairness: jain_index(&slowdowns),
+    }
+}
+
+/// Jain fairness index `(Σx)² / (n·Σx²)` for non-negative allocations.
+/// Returns 1.0 for an empty or all-zero input (no one to be unfair to).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    let s: f64 = xs.iter().sum();
+    let s2: f64 = xs.iter().map(|x| x * x).sum();
+    if s2 == 0.0 {
+        1.0
+    } else {
+        (s * s / (xs.len() as f64 * s2)).clamp(0.0, 1.0)
+    }
+}
+
+/// Empirical CDF of waits: returns `(wait, fraction ≤ wait)` points, one
+/// per completed job, for figure E9.
+pub fn wait_cdf(completed: &[CompletedJob]) -> Vec<(f64, f64)> {
+    let mut waits: Vec<f64> = completed.iter().map(CompletedJob::wait).collect();
+    waits.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+    let n = waits.len() as f64;
+    waits
+        .into_iter()
+        .enumerate()
+        .map(|(i, w)| (w, (i + 1) as f64 / n))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+
+    fn completed(submit: f64, start: f64, runtime: f64, nodes: usize) -> CompletedJob {
+        CompletedJob {
+            job: Job {
+                id: 0,
+                submit,
+                nodes,
+                runtime,
+                estimate: runtime,
+            },
+            start,
+            finish: start + runtime,
+        }
+    }
+
+    #[test]
+    fn summary_of_simple_trace() {
+        // Two jobs on a 2-node cluster, back to back on one node each.
+        let jobs = vec![
+            completed(0.0, 0.0, 100.0, 1),
+            completed(0.0, 50.0, 100.0, 1),
+        ];
+        let s = summarize(&jobs, 2);
+        assert_eq!(s.n_jobs, 2);
+        assert_eq!(s.mean_wait, 25.0);
+        assert_eq!(s.median_wait, 50.0);
+        assert_eq!(s.p90_wait, 50.0);
+        assert_eq!(s.makespan, 150.0);
+        // 200 node-seconds busy / (2 * 150).
+        assert!((s.utilization - 200.0 / 300.0).abs() < 1e-12);
+        assert!(s.mean_slowdown >= 1.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let jobs = vec![
+            completed(0.0, 5.0, 10.0, 1),
+            completed(0.0, 0.0, 10.0, 1),
+            completed(0.0, 20.0, 10.0, 1),
+        ];
+        let cdf = wait_cdf(&jobs);
+        assert_eq!(cdf.len(), 3);
+        assert_eq!(cdf[0].0, 0.0);
+        assert!((cdf.last().expect("non-empty").1 - 1.0).abs() < 1e-12);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no completed jobs")]
+    fn empty_summary_panics() {
+        summarize(&[], 4);
+    }
+
+    #[test]
+    fn jain_index_behaviour() {
+        // Perfect equality -> 1.
+        assert!((jain_index(&[2.0, 2.0, 2.0]) - 1.0).abs() < 1e-12);
+        // One job takes all the pain among n -> 1/n.
+        assert!((jain_index(&[5.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Degenerate inputs.
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        // Summary carries it.
+        let jobs = vec![
+            completed(0.0, 0.0, 100.0, 1),
+            completed(0.0, 50.0, 100.0, 1),
+        ];
+        let s = summarize(&jobs, 2);
+        assert!(s.slowdown_fairness > 0.5 && s.slowdown_fairness <= 1.0);
+    }
+}

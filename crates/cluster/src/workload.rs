@@ -1,0 +1,210 @@
+//! Synthetic workload generation calibrated to the classic parallel
+//! workload archive shapes: Poisson arrivals, log-normal runtimes,
+//! power-of-two node requests, and user runtime over-estimation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::job::Job;
+use crate::{Error, Result};
+
+/// Parameters of a synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of jobs to generate.
+    pub n_jobs: usize,
+    /// Nodes in the target cluster (bounds node requests).
+    pub cluster_nodes: usize,
+    /// Offered load: requested node-seconds per second, as a fraction of
+    /// cluster capacity. The arrival rate is derived from this.
+    pub offered_load: f64,
+    /// Mean of log-runtime (runtimes are log-normal).
+    pub runtime_log_mean: f64,
+    /// Std-dev of log-runtime.
+    pub runtime_log_sd: f64,
+    /// Maximum over-estimation factor: estimates are drawn uniformly in
+    /// `[1, max_overestimate] × runtime`.
+    pub max_overestimate: f64,
+}
+
+impl Default for WorkloadSpec {
+    /// The E9 default: 2 000 jobs on 64 nodes at load 0.85, runtimes centred
+    /// near `e^6 ≈ 400 s`, up to 5× over-estimates.
+    fn default() -> Self {
+        WorkloadSpec {
+            n_jobs: 2000,
+            cluster_nodes: 64,
+            offered_load: 0.85,
+            runtime_log_mean: 6.0,
+            runtime_log_sd: 1.2,
+            max_overestimate: 5.0,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    fn validate(&self) -> Result<()> {
+        if self.n_jobs == 0 {
+            return Err(Error::InvalidSpec("n_jobs must be positive".into()));
+        }
+        if self.cluster_nodes == 0 {
+            return Err(Error::InvalidSpec("cluster_nodes must be positive".into()));
+        }
+        if self.offered_load <= 0.0 || !self.offered_load.is_finite() {
+            return Err(Error::InvalidSpec(format!(
+                "offered_load must be positive, got {}",
+                self.offered_load
+            )));
+        }
+        if self.max_overestimate < 1.0 {
+            return Err(Error::InvalidSpec("max_overestimate must be >= 1".into()));
+        }
+        if self.runtime_log_sd < 0.0 || self.runtime_log_sd.is_nan() {
+            return Err(Error::InvalidSpec("runtime_log_sd must be >= 0".into()));
+        }
+        Ok(())
+    }
+}
+
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates a job trace from the spec. Jobs are returned in submission
+/// order with ids `0..n`.
+///
+/// The arrival rate is derived so the *expected* offered load matches the
+/// spec: `rate = load × cluster_nodes / E[nodes × runtime]`.
+pub fn generate(spec: &WorkloadSpec, seed: u64) -> Vec<Job> {
+    generate_checked(spec, seed).expect("default-style specs are valid")
+}
+
+/// [`generate`] with explicit error reporting for user-supplied specs.
+///
+/// # Errors
+/// [`Error::InvalidSpec`] for non-positive sizes or loads.
+pub fn generate_checked(spec: &WorkloadSpec, seed: u64) -> Result<Vec<Job>> {
+    spec.validate()?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC1C5);
+
+    // Node request: power of two in [1, cluster_nodes], geometric-ish
+    // (halving probability per doubling), plus occasional full-machine jobs.
+    let max_pow = (spec.cluster_nodes as f64).log2().floor() as u32;
+    let draw_nodes = |rng: &mut StdRng| -> usize {
+        let mut p = 0u32;
+        while p < max_pow && rng.gen_bool(0.45) {
+            p += 1;
+        }
+        (1usize << p).min(spec.cluster_nodes)
+    };
+
+    // Expected nodes×runtime for the arrival-rate calibration, estimated
+    // empirically from the same generator (cheap and exact enough).
+    let mut probe = StdRng::seed_from_u64(seed ^ 0xCAFE);
+    let mut mean_work = 0.0;
+    const PROBE: usize = 4096;
+    for _ in 0..PROBE {
+        let nodes = draw_nodes(&mut probe) as f64;
+        let runtime = (spec.runtime_log_mean + spec.runtime_log_sd * normal(&mut probe)).exp();
+        mean_work += nodes * runtime;
+    }
+    mean_work /= PROBE as f64;
+    let arrival_rate = spec.offered_load * spec.cluster_nodes as f64 / mean_work;
+
+    let mut jobs = Vec::with_capacity(spec.n_jobs);
+    let mut t = 0.0f64;
+    for id in 0..spec.n_jobs {
+        // Exponential inter-arrival.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() / arrival_rate;
+        let nodes = draw_nodes(&mut rng);
+        let runtime = (spec.runtime_log_mean + spec.runtime_log_sd * normal(&mut rng))
+            .exp()
+            .clamp(1.0, 7.0 * 24.0 * 3600.0);
+        let over = rng.gen_range(1.0..=spec.max_overestimate);
+        jobs.push(Job { id: id as u64, submit: t, nodes, runtime, estimate: runtime * over });
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_valid_sorted_jobs() {
+        let jobs = generate(&WorkloadSpec::default(), 42);
+        assert_eq!(jobs.len(), 2000);
+        for w in jobs.windows(2) {
+            assert!(w[0].submit <= w[1].submit, "arrivals must be ordered");
+        }
+        for j in &jobs {
+            assert!(j.is_valid(), "invalid job: {j:?}");
+            assert!(j.nodes <= 64);
+            assert!(j.nodes.is_power_of_two());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(&WorkloadSpec::default(), 7);
+        let b = generate(&WorkloadSpec::default(), 7);
+        assert_eq!(a, b);
+        let c = generate(&WorkloadSpec::default(), 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn offered_load_tracks_spec() {
+        for load in [0.5, 0.9] {
+            let spec = WorkloadSpec { n_jobs: 4000, offered_load: load, ..Default::default() };
+            let jobs = generate(&spec, 3);
+            let span = jobs.last().expect("non-empty").submit - jobs[0].submit;
+            let work: f64 = jobs.iter().map(|j| j.nodes as f64 * j.runtime).sum();
+            let measured = work / (span * spec.cluster_nodes as f64);
+            assert!(
+                (measured - load).abs() < 0.15 * load + 0.05,
+                "load {load}: measured {measured}"
+            );
+        }
+    }
+
+    #[test]
+    fn estimates_always_cover_runtimes() {
+        let jobs = generate(&WorkloadSpec::default(), 5);
+        assert!(jobs.iter().all(|j| j.estimate >= j.runtime));
+        // And over-estimation actually happens.
+        assert!(jobs.iter().any(|j| j.estimate > 1.5 * j.runtime));
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        let base = WorkloadSpec::default();
+        assert!(generate_checked(&WorkloadSpec { n_jobs: 0, ..base.clone() }, 1).is_err());
+        assert!(
+            generate_checked(&WorkloadSpec { cluster_nodes: 0, ..base.clone() }, 1).is_err()
+        );
+        assert!(
+            generate_checked(&WorkloadSpec { offered_load: 0.0, ..base.clone() }, 1).is_err()
+        );
+        assert!(
+            generate_checked(&WorkloadSpec { max_overestimate: 0.5, ..base.clone() }, 1)
+                .is_err()
+        );
+        assert!(
+            generate_checked(&WorkloadSpec { runtime_log_sd: -1.0, ..base }, 1).is_err()
+        );
+    }
+
+    #[test]
+    fn runtime_distribution_is_heavy_tailed() {
+        let jobs = generate(&WorkloadSpec::default(), 11);
+        let mut rts: Vec<f64> = jobs.iter().map(|j| j.runtime).collect();
+        rts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = rts[rts.len() / 2];
+        let p99 = rts[(rts.len() as f64 * 0.99) as usize];
+        assert!(p99 > 5.0 * median, "median {median}, p99 {p99}");
+    }
+}

@@ -1,0 +1,427 @@
+//! The experiment registry: one driver per table/figure (E1–E12), all
+//! deterministic from one master seed. `DESIGN.md` §4 is the index; the
+//! `reproduce` binary and the Criterion benches both call these drivers.
+
+use serde::Serialize;
+
+use rcr_cluster::metrics::{wait_cdf, Summary};
+use rcr_cluster::sched::Policy;
+use rcr_cluster::sim::Simulator;
+use rcr_cluster::workload::{generate_checked, WorkloadSpec};
+use rcr_survey::cohort::Cohort;
+use rcr_synth::calibration::Wave;
+use rcr_synth::generator::Generator;
+
+use crate::compare::{
+    compare_likert_battery, compare_multi_choice, distribution_shift, gpu_by_field,
+    DistributionShift, FieldAdoption, ItemShift, LikertShift,
+};
+use crate::perfgap::{measure_gaps, measure_scaling, GapConfig, KernelGap, ScalingCurve};
+use crate::questionnaire as q;
+use crate::trend::{language_trends, LanguageTrend};
+use crate::Result;
+
+/// Metadata for one experiment.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ExperimentInfo {
+    /// Identifier, e.g. `"E2"`.
+    pub id: &'static str,
+    /// What the paper artifact is, e.g. `"Table 2"`.
+    pub artifact: &'static str,
+    /// Short title.
+    pub title: &'static str,
+}
+
+/// The experiment index (matches `DESIGN.md` §4).
+pub const INDEX: [ExperimentInfo; 13] = [
+    ExperimentInfo { id: "E1", artifact: "Table 1", title: "Respondent demographics (2024)" },
+    ExperimentInfo { id: "E2", artifact: "Table 2", title: "Language usage 2011 vs 2024" },
+    ExperimentInfo { id: "E3", artifact: "Figure 1", title: "Language adoption trends" },
+    ExperimentInfo { id: "E4", artifact: "Table 3", title: "Parallelism usage shift" },
+    ExperimentInfo { id: "E5", artifact: "Figure 2", title: "Interpreted-vs-native performance gap" },
+    ExperimentInfo { id: "E6", artifact: "Figure 3", title: "Thread scaling and Amdahl fits" },
+    ExperimentInfo { id: "E7", artifact: "Table 4", title: "Software-engineering practice adoption" },
+    ExperimentInfo { id: "E8", artifact: "Table 5", title: "GPU adoption by field (2024)" },
+    ExperimentInfo { id: "E9", artifact: "Figure 4", title: "Scheduler policy wait-time CDF" },
+    ExperimentInfo { id: "E10", artifact: "Figure 5", title: "Utilization and wait vs offered load" },
+    ExperimentInfo { id: "E11", artifact: "Table 6", title: "Interpreter-tier ablation" },
+    ExperimentInfo { id: "E12", artifact: "Figure 6", title: "Pain-point Likert shift" },
+    ExperimentInfo { id: "E13", artifact: "Table 7", title: "Coded free-text obstacles" },
+];
+
+/// E1 output: a field × career-stage count grid.
+#[derive(Debug, Clone, Serialize)]
+pub struct Demographics {
+    /// Row labels (fields).
+    pub fields: Vec<String>,
+    /// Column labels (stages).
+    pub stages: Vec<String>,
+    /// Row-major counts.
+    pub counts: Vec<u64>,
+    /// Cohort size.
+    pub n: usize,
+    /// Mean questionnaire completion rate.
+    pub mean_completion: f64,
+}
+
+/// E9 output: one scheduling policy's outcome.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyOutcome {
+    /// Policy name.
+    pub policy: String,
+    /// Aggregate metrics.
+    pub mean_wait: f64,
+    /// Median wait.
+    pub median_wait: f64,
+    /// P90 wait.
+    pub p90_wait: f64,
+    /// Mean bounded slowdown.
+    pub mean_slowdown: f64,
+    /// Utilization.
+    pub utilization: f64,
+    /// Jain fairness index over bounded slowdowns (1 = equal pain).
+    pub slowdown_fairness: f64,
+    /// Wait-time CDF, subsampled to ≤ 200 points for plotting.
+    pub cdf: Vec<(f64, f64)>,
+}
+
+/// E10 output: one (load, policy) sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadPoint {
+    /// Offered load.
+    pub load: f64,
+    /// Policy name.
+    pub policy: String,
+    /// Mean wait at this load.
+    pub mean_wait: f64,
+    /// P90 wait.
+    pub p90_wait: f64,
+    /// Achieved utilization.
+    pub utilization: f64,
+}
+
+/// The experiment driver set, parameterized by the master seed.
+#[derive(Debug, Clone, Copy)]
+pub struct Experiments {
+    seed: u64,
+}
+
+impl Experiments {
+    /// Creates the driver set.
+    pub fn new(seed: u64) -> Self {
+        Experiments { seed }
+    }
+
+    /// The two survey cohorts at their canonical sizes.
+    pub fn cohorts(&self) -> (Cohort, Cohort) {
+        let g = Generator::new(self.seed);
+        (
+            g.cohort(Wave::Y2011, Wave::Y2011.default_n()),
+            g.cohort(Wave::Y2024, Wave::Y2024.default_n()),
+        )
+    }
+
+    /// E1: demographics grid of the 2024 cohort.
+    ///
+    /// # Errors
+    /// Survey errors (none expected on generated cohorts).
+    pub fn e1_demographics(&self) -> Result<Demographics> {
+        let (_, after) = self.cohorts();
+        let fields: Vec<String> = q::FIELDS.iter().map(|s| (*s).to_owned()).collect();
+        let stages: Vec<String> = q::STAGES.iter().map(|s| (*s).to_owned()).collect();
+        let mut counts = vec![0u64; fields.len() * stages.len()];
+        for r in after.responses() {
+            let f = r.answer(q::Q_FIELD).and_then(|a| a.as_choice());
+            let s = r.answer(q::Q_STAGE).and_then(|a| a.as_choice());
+            if let (Some(f), Some(s)) = (f, s) {
+                let fi = q::FIELDS.iter().position(|x| *x == f).expect("valid field");
+                let si = q::STAGES.iter().position(|x| *x == s).expect("valid stage");
+                counts[fi * stages.len() + si] += 1;
+            }
+        }
+        Ok(Demographics {
+            fields,
+            stages,
+            counts,
+            n: after.len(),
+            mean_completion: after.mean_completion(),
+        })
+    }
+
+    /// E2: language usage shift table.
+    ///
+    /// # Errors
+    /// Survey/statistics errors.
+    pub fn e2_language_shift(&self) -> Result<Vec<ItemShift>> {
+        let (before, after) = self.cohorts();
+        compare_multi_choice(&before, &after, q::Q_LANGS)
+    }
+
+    /// E2 companion: omnibus shift of the primary-language distribution.
+    ///
+    /// # Errors
+    /// Survey/statistics errors.
+    pub fn e2_primary_language_omnibus(&self) -> Result<DistributionShift> {
+        let (before, after) = self.cohorts();
+        distribution_shift(&before, &after, q::Q_PRIMARY_LANG)
+    }
+
+    /// E3: yearly language-adoption trends (the headline figure's five
+    /// languages).
+    ///
+    /// # Errors
+    /// Statistics errors.
+    pub fn e3_language_trends(&self) -> Result<Vec<LanguageTrend>> {
+        language_trends(self.seed, 400, &["python", "matlab", "fortran", "r", "julia"])
+    }
+
+    /// E4: parallelism usage shift table.
+    ///
+    /// # Errors
+    /// Survey/statistics errors.
+    pub fn e4_parallelism_shift(&self) -> Result<Vec<ItemShift>> {
+        let (before, after) = self.cohorts();
+        compare_multi_choice(&before, &after, q::Q_PARALLELISM)
+    }
+
+    /// E5: the interpreted-vs-native performance gap.
+    ///
+    /// # Errors
+    /// Script / verification errors.
+    pub fn e5_perf_gap(&self, config: &GapConfig) -> Result<Vec<KernelGap>> {
+        measure_gaps(config)
+    }
+
+    /// E6: thread-scaling curves with Amdahl fits.
+    ///
+    /// # Errors
+    /// Statistics errors from the fits.
+    pub fn e6_scaling(&self, config: &GapConfig) -> Result<Vec<ScalingCurve>> {
+        measure_scaling(config)
+    }
+
+    /// E7: software-engineering practice shift table.
+    ///
+    /// # Errors
+    /// Survey/statistics errors.
+    pub fn e7_practice_shift(&self) -> Result<Vec<ItemShift>> {
+        let (before, after) = self.cohorts();
+        compare_multi_choice(&before, &after, q::Q_PRACTICES)
+    }
+
+    /// E8: GPU adoption by field in the 2024 cohort.
+    ///
+    /// # Errors
+    /// Survey/statistics errors.
+    pub fn e8_gpu_by_field(&self) -> Result<Vec<FieldAdoption>> {
+        let (_, after) = self.cohorts();
+        gpu_by_field(&after)
+    }
+
+    /// E9: scheduler policy comparison at the canonical workload.
+    ///
+    /// # Errors
+    /// Cluster-simulation errors.
+    pub fn e9_sched_policies(&self, n_jobs: usize) -> Result<Vec<PolicyOutcome>> {
+        let spec = WorkloadSpec { n_jobs, ..Default::default() };
+        let jobs = generate_checked(&spec, self.seed)?;
+        let mut out = Vec::new();
+        for policy in Policy::ALL {
+            let outcome = Simulator::new(spec.cluster_nodes, policy).run(jobs.clone())?;
+            let s: Summary = outcome.summary();
+            let full_cdf = wait_cdf(&outcome.completed);
+            let stride = (full_cdf.len() / 200).max(1);
+            let cdf: Vec<(f64, f64)> =
+                full_cdf.into_iter().step_by(stride).collect();
+            out.push(PolicyOutcome {
+                policy: policy.name().to_owned(),
+                mean_wait: s.mean_wait,
+                median_wait: s.median_wait,
+                p90_wait: s.p90_wait,
+                mean_slowdown: s.mean_slowdown,
+                utilization: s.utilization,
+                slowdown_fairness: s.slowdown_fairness,
+                cdf,
+            });
+        }
+        Ok(out)
+    }
+
+    /// E10: load sweep for all policies.
+    ///
+    /// # Errors
+    /// Cluster-simulation errors.
+    pub fn e10_load_sweep(&self, n_jobs: usize, loads: &[f64]) -> Result<Vec<LoadPoint>> {
+        let mut out = Vec::new();
+        for &load in loads {
+            let spec = WorkloadSpec { n_jobs, offered_load: load, ..Default::default() };
+            let jobs = generate_checked(&spec, self.seed ^ load.to_bits())?;
+            for policy in Policy::ALL {
+                let s = Simulator::new(spec.cluster_nodes, policy)
+                    .run(jobs.clone())?
+                    .summary();
+                out.push(LoadPoint {
+                    load,
+                    policy: policy.name().to_owned(),
+                    mean_wait: s.mean_wait,
+                    p90_wait: s.p90_wait,
+                    utilization: s.utilization,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// E11: interpreter-tier ablation (reuses the E5 measurements; the
+    /// table reports script tiers against native-optimized).
+    ///
+    /// # Errors
+    /// Script / verification errors.
+    pub fn e11_interp_ablation(&self, config: &GapConfig) -> Result<Vec<KernelGap>> {
+        measure_gaps(config)
+    }
+
+    /// E12: pain-point Likert battery shift.
+    ///
+    /// # Errors
+    /// Survey/statistics errors.
+    pub fn e12_pain_points(&self) -> Result<Vec<LikertShift>> {
+        let (before, after) = self.cohorts();
+        compare_likert_battery(&before, &after, &q::PAIN_ITEMS)
+    }
+
+    /// E13: qualitative coding of the free-text "biggest obstacle" answers,
+    /// compared across waves with the canonical code book.
+    ///
+    /// # Errors
+    /// Survey/statistics errors.
+    pub fn e13_theme_shift(&self) -> Result<Vec<ItemShift>> {
+        let (before, after) = self.cohorts();
+        let book = rcr_survey::coding::canonical_code_book();
+        crate::compare::compare_themes(&before, &after, &book, q::Q_COMMENTS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MASTER_SEED;
+
+    fn ex() -> Experiments {
+        Experiments::new(MASTER_SEED)
+    }
+
+    #[test]
+    fn index_lists_thirteen_unique_ids() {
+        let mut ids: Vec<&str> = INDEX.iter().map(|i| i.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 13);
+        assert_eq!(INDEX[0].id, "E1");
+        assert_eq!(INDEX[11].artifact, "Figure 6");
+        assert_eq!(INDEX[12].id, "E13");
+    }
+
+    #[test]
+    fn e13_theme_rows() {
+        let rows = ex().e13_theme_shift().unwrap();
+        assert_eq!(rows.len(), 7);
+        assert!(rows.iter().any(|r| r.item == "reproducibility"));
+    }
+
+    #[test]
+    fn e1_demographics_totals() {
+        let d = ex().e1_demographics().unwrap();
+        assert_eq!(d.fields.len(), 8);
+        assert_eq!(d.stages.len(), 4);
+        // Screeners are always answered, so counts cover the whole cohort.
+        assert_eq!(d.counts.iter().sum::<u64>(), d.n as u64);
+        assert_eq!(d.n, 720);
+        assert!(d.mean_completion > 0.9);
+    }
+
+    #[test]
+    fn e2_and_e4_and_e7_shift_directions() {
+        let e = ex();
+        let langs = e.e2_language_shift().unwrap();
+        assert!(langs.iter().find(|s| s.item == "python").expect("python").z > 0.0);
+        let omni = e.e2_primary_language_omnibus().unwrap();
+        assert!(omni.p_value < 0.01);
+
+        let par = e.e4_parallelism_shift().unwrap();
+        let gpu = par.iter().find(|s| s.item == "gpu").expect("gpu row");
+        assert!(gpu.p_after > gpu.p_before);
+        let none = par.iter().find(|s| s.item == "none").expect("none row");
+        assert!(none.p_after < none.p_before);
+
+        let prac = e.e7_practice_shift().unwrap();
+        let vcs = prac.iter().find(|s| s.item == "version-control").expect("vcs row");
+        assert!(vcs.significant(0.01));
+        assert!(vcs.p_after > 2.0 * vcs.p_before);
+    }
+
+    #[test]
+    fn e3_trends_cover_five_languages() {
+        let trends = ex().e3_language_trends().unwrap();
+        assert_eq!(trends.len(), 5);
+        assert!(trends.iter().any(|t| t.language == "julia"));
+    }
+
+    #[test]
+    fn e8_rows_per_field() {
+        let rows = ex().e8_gpu_by_field().unwrap();
+        assert_eq!(rows.len(), 8);
+    }
+
+    #[test]
+    fn e9_policies_ranked_as_expected() {
+        let outcomes = ex().e9_sched_policies(600).unwrap();
+        assert_eq!(outcomes.len(), 4);
+        let wait_of = |name: &str| {
+            outcomes.iter().find(|o| o.policy == name).expect("policy present").mean_wait
+        };
+        // Both backfill variants beat FCFS on this contended workload.
+        assert!(wait_of("EASY-backfill") < wait_of("FCFS"));
+        assert!(wait_of("conservative-BF") < wait_of("FCFS"));
+        for o in &outcomes {
+            assert!(!o.cdf.is_empty() && o.cdf.len() <= 201);
+            assert!(o.utilization > 0.1 && o.utilization <= 1.0);
+            assert!(o.mean_slowdown >= 1.0);
+            assert!(o.median_wait <= o.p90_wait);
+            assert!(o.slowdown_fairness > 0.0 && o.slowdown_fairness <= 1.0);
+        }
+    }
+
+    #[test]
+    fn e10_wait_grows_with_load() {
+        let pts = ex().e10_load_sweep(400, &[0.5, 0.9]).unwrap();
+        assert_eq!(pts.len(), 8);
+        let wait = |load: f64, policy: &str| {
+            pts.iter()
+                .find(|p| p.load == load && p.policy == policy)
+                .expect("sweep point")
+                .mean_wait
+        };
+        for policy in ["FCFS", "SJF", "EASY-backfill"] {
+            assert!(
+                wait(0.9, policy) > wait(0.5, policy),
+                "{policy}: wait must grow with load"
+            );
+        }
+    }
+
+    #[test]
+    fn e12_pain_rows() {
+        let rows = ex().e12_pain_points().unwrap();
+        assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn experiments_are_deterministic() {
+        let a = ex().e2_language_shift().unwrap();
+        let b = ex().e2_language_shift().unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.count_after, y.count_after);
+            assert_eq!(x.p_raw, y.p_raw);
+        }
+    }
+}

@@ -1,0 +1,633 @@
+//! The performance study (experiments E5, E6, E11): the same kernels run as
+//! ResearchScript — tree-walking, bytecode, and vectorized-builtin tiers —
+//! and as native Rust — naive, optimized, and parallel — with cross-tier
+//! verification before any time is trusted.
+
+use std::time::Duration;
+
+use serde::Serialize;
+
+use rcr_kernels::harness::{measure, Measurement};
+use rcr_kernels::{dotaxpy, matmul, montecarlo, par, reduce, stencil};
+use rcr_minilang::{bytecode, interp::Interpreter, parser, vm::Vm, Value};
+use rcr_stats::regression::{amdahl_speedup, fit_amdahl};
+
+use crate::{Error, Result};
+
+/// Study configuration. `quick` shrinks sizes/reps by ~50× so unit tests
+/// and CI can exercise every code path in seconds; the `reproduce` binary
+/// and benches use the full sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct GapConfig {
+    /// Use reduced problem sizes and repetitions.
+    pub quick: bool,
+    /// Worker threads for the parallel tiers (defaults to
+    /// [`par::default_threads`]).
+    pub threads: usize,
+}
+
+impl Default for GapConfig {
+    fn default() -> Self {
+        GapConfig { quick: false, threads: par::default_threads() }
+    }
+}
+
+impl GapConfig {
+    /// Quick configuration for tests.
+    pub fn quick() -> Self {
+        GapConfig { quick: true, threads: 2 }
+    }
+
+    fn reps(&self) -> usize {
+        if self.quick {
+            2
+        } else {
+            5
+        }
+    }
+}
+
+/// A timing summary in a serialization-friendly shape.
+#[derive(Debug, Clone, Copy, Serialize, PartialEq)]
+pub struct TierTime {
+    /// Median wall time in seconds.
+    pub median_s: f64,
+    /// Number of timed repetitions.
+    pub runs: usize,
+}
+
+impl From<Measurement> for TierTime {
+    fn from(m: Measurement) -> Self {
+        TierTime { median_s: m.median.as_secs_f64(), runs: m.runs }
+    }
+}
+
+/// All execution tiers for one kernel. Tiers a kernel cannot express (e.g.
+/// a vectorized Monte-Carlo) are `None`.
+#[derive(Debug, Clone, Serialize, Default)]
+pub struct TierTimes {
+    /// ResearchScript on the tree-walking interpreter.
+    pub interp: Option<TierTime>,
+    /// ResearchScript on the bytecode VM.
+    pub vm: Option<TierTime>,
+    /// ResearchScript using the vectorized builtins.
+    pub vectorized: Option<TierTime>,
+    /// Native Rust, naive variant.
+    pub native_naive: Option<TierTime>,
+    /// Native Rust, locality/allocation-optimized variant.
+    pub native_optimized: Option<TierTime>,
+    /// Native Rust, parallel variant.
+    pub native_parallel: Option<TierTime>,
+}
+
+/// One kernel's row in the gap table/figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelGap {
+    /// Kernel name (`dot`, `saxpy`, `mc-pi`, `matmul`).
+    pub kernel: String,
+    /// Human-readable problem size.
+    pub size: String,
+    /// Measured tiers.
+    pub tiers: TierTimes,
+}
+
+impl KernelGap {
+    /// Speedup of `tier_s` relative to the tree-walk tier; `None` when
+    /// either is missing.
+    pub fn speedup_vs_interp(&self, tier: Option<TierTime>) -> Option<f64> {
+        let base = self.tiers.interp?;
+        let t = tier?;
+        Some(base.median_s / t.median_s.max(1e-12))
+    }
+}
+
+// ---- ResearchScript kernel sources ------------------------------------
+
+fn dot_script(n: usize, vectorized: bool) -> String {
+    let compute = if vectorized {
+        "let r = vdot(a, b);".to_owned()
+    } else {
+        "fn dot(a, b, n) {\n  let acc = 0;\n  for i in range(0, n) { acc = acc + a[i] * b[i]; }\n  return acc;\n}\nlet r = dot(a, b, n);"
+            .to_owned()
+    };
+    format!(
+        "let n = {n};\nlet a = zeros(n);\nlet b = zeros(n);\nfor i in range(0, n) {{\n  a[i] = (i % 7) * 0.25;\n  b[i] = ((i % 5) + 1) * 0.5;\n}}\n{compute}\nr"
+    )
+}
+
+fn saxpy_script(n: usize, vectorized: bool) -> String {
+    let compute = if vectorized {
+        "vaxpy(2.5, x, y);".to_owned()
+    } else {
+        "for i in range(0, n) { y[i] = y[i] + 2.5 * x[i]; }".to_owned()
+    };
+    format!(
+        "let n = {n};\nlet x = zeros(n);\nlet y = zeros(n);\nfor i in range(0, n) {{\n  x[i] = (i % 7) * 0.25;\n  y[i] = ((i % 5) + 1) * 0.5;\n}}\n{compute}\nvsum(y)"
+    )
+}
+
+fn mcpi_script(n: usize) -> String {
+    // Park–Miller LCG: every product stays below 2^53, so f64 arithmetic is
+    // exact and all tiers (and the native verifier) agree bit-for-bit.
+    format!(
+        "fn mcpi(n) {{\n  let seed = 12345;\n  let hits = 0;\n  for i in range(0, n) {{\n    seed = (seed * 16807) % 2147483647;\n    let x = seed / 2147483647;\n    seed = (seed * 16807) % 2147483647;\n    let y = seed / 2147483647;\n    if x * x + y * y <= 1 {{ hits = hits + 1; }}\n  }}\n  return 4 * hits / n;\n}}\nmcpi({n})"
+    )
+}
+
+fn matmul_script(n: usize) -> String {
+    format!(
+        "fn matmul(a, b, c, n) {{\n  for i in range(0, n) {{\n    for j in range(0, n) {{\n      let acc = 0;\n      for k in range(0, n) {{ acc = acc + a[i * n + k] * b[k * n + j]; }}\n      c[i * n + j] = acc;\n    }}\n  }}\n}}\nlet n = {n};\nlet a = zeros(n * n);\nlet b = zeros(n * n);\nlet c = zeros(n * n);\nfor i in range(0, n * n) {{\n  a[i] = (i % 7) * 0.25;\n  b[i] = ((i % 5) + 1) * 0.5;\n}}\nmatmul(a, b, c, n);\nvsum(c)"
+    )
+}
+
+// ---- native reference data matching the scripts ------------------------
+
+fn script_vec_a(n: usize) -> Vec<f64> {
+    (0..n).map(|i| (i % 7) as f64 * 0.25).collect()
+}
+
+fn script_vec_b(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i % 5) + 1) as f64 * 0.5).collect()
+}
+
+/// Native Park–Miller Monte-Carlo π, bit-identical to the script version —
+/// including its use of f64 modulo, which is exactly how the "naive native
+/// port" of a script looks (and why it is surprisingly slow: `%` on f64 is
+/// a libm call).
+fn mcpi_native(n: u64) -> f64 {
+    let mut seed = 12345f64;
+    let mut hits = 0u64;
+    for _ in 0..n {
+        seed = (seed * 16807.0) % 2147483647.0;
+        let x = seed / 2147483647.0;
+        seed = (seed * 16807.0) % 2147483647.0;
+        let y = seed / 2147483647.0;
+        if x * x + y * y <= 1.0 {
+            hits += 1;
+        }
+    }
+    4.0 * hits as f64 / n as f64
+}
+
+/// Optimized native Park–Miller π: identical sample sequence, but the LCG
+/// runs in u64 integer arithmetic (the expert rewrite of [`mcpi_native`]).
+fn mcpi_native_optimized(n: u64) -> f64 {
+    let mut seed: u64 = 12345;
+    let mut hits = 0u64;
+    for _ in 0..n {
+        seed = (seed * 16807) % 2147483647;
+        let x = seed as f64 / 2147483647.0;
+        seed = (seed * 16807) % 2147483647;
+        let y = seed as f64 / 2147483647.0;
+        if x * x + y * y <= 1.0 {
+            hits += 1;
+        }
+    }
+    4.0 * hits as f64 / n as f64
+}
+
+// ---- execution helpers --------------------------------------------------
+
+fn run_interp(src: &str) -> Result<f64> {
+    let program = parser::parse(src)?;
+    let v = Interpreter::new().run(&program)?;
+    value_to_f64(v)
+}
+
+fn run_vm(src: &str) -> Result<f64> {
+    let program = parser::parse(src)?;
+    let compiled = bytecode::compile(&program)?;
+    let v = Vm::new().run(&compiled)?;
+    value_to_f64(v)
+}
+
+fn value_to_f64(v: Value) -> Result<f64> {
+    match v {
+        Value::Num(n) => Ok(n),
+        other => Err(Error::Script(format!("expected numeric result, got {other:?}"))),
+    }
+}
+
+fn measure_script<F>(src: &str, reps: usize, runner: F) -> Result<(Measurement, f64)>
+where
+    F: Fn(&str) -> Result<f64>,
+{
+    // Verify once, then time.
+    let reference = runner(src)?;
+    let mut last = reference;
+    let m = measure(
+        reps,
+        || runner(src).expect("script verified before timing"),
+        |v| last = v,
+    );
+    if (last - reference).abs() > 1e-9 * (1.0 + reference.abs()) {
+        return Err(Error::VerificationFailed(format!(
+            "script result drifted across runs: {reference} vs {last}"
+        )));
+    }
+    Ok((m, reference))
+}
+
+fn verify_close(kernel: &str, a: f64, b: f64, tol: f64) -> Result<()> {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    if (a - b).abs() <= tol * scale {
+        Ok(())
+    } else {
+        Err(Error::VerificationFailed(format!(
+            "{kernel}: tiers disagree ({a} vs {b})"
+        )))
+    }
+}
+
+// ---- the study ----------------------------------------------------------
+
+/// Runs the full cross-tier gap study (experiment E5 + the script tiers of
+/// E11). Every tier's result is verified against the others before timings
+/// are reported.
+///
+/// # Errors
+/// Script errors and [`Error::VerificationFailed`] when tiers disagree.
+pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
+    let reps = config.reps();
+    let threads = config.threads;
+    let mut out = Vec::with_capacity(4);
+
+    // ---- dot ----
+    {
+        let n = if config.quick { 20_000 } else { 1_000_000 };
+        let (m_interp, r_interp) = measure_script(&dot_script(n, false), reps, run_interp)?;
+        let (m_vm, r_vm) = measure_script(&dot_script(n, false), reps, run_vm)?;
+        let (m_vec, r_vec) = measure_script(&dot_script(n, true), reps, run_vm)?;
+        let a = script_vec_a(n);
+        let b = script_vec_b(n);
+        let native_ref = dotaxpy::dot_optimized(&a, &b);
+        verify_close("dot interp/vm", r_interp, r_vm, 1e-12)?;
+        verify_close("dot vm/vectorized", r_vm, r_vec, 1e-9)?;
+        verify_close("dot script/native", r_vm, native_ref, 1e-9)?;
+        let mut sink = 0.0;
+        let m_naive = measure(reps, || dotaxpy::dot_naive(&a, &b), |v| sink += v);
+        let m_opt = measure(reps, || dotaxpy::dot_optimized(&a, &b), |v| sink += v);
+        let m_par = measure(reps, || dotaxpy::dot_parallel(&a, &b, threads), |v| sink += v);
+        assert!(sink.is_finite());
+        out.push(KernelGap {
+            kernel: "dot".into(),
+            size: format!("n={n}"),
+            tiers: TierTimes {
+                interp: Some(m_interp.into()),
+                vm: Some(m_vm.into()),
+                vectorized: Some(m_vec.into()),
+                native_naive: Some(m_naive.into()),
+                native_optimized: Some(m_opt.into()),
+                native_parallel: Some(m_par.into()),
+            },
+        });
+    }
+
+    // ---- saxpy ----
+    {
+        let n = if config.quick { 20_000 } else { 1_000_000 };
+        let (m_interp, r_interp) = measure_script(&saxpy_script(n, false), reps, run_interp)?;
+        let (m_vm, r_vm) = measure_script(&saxpy_script(n, false), reps, run_vm)?;
+        let (m_vec, r_vec) = measure_script(&saxpy_script(n, true), reps, run_vm)?;
+        verify_close("saxpy interp/vm", r_interp, r_vm, 1e-12)?;
+        verify_close("saxpy vm/vectorized", r_vm, r_vec, 1e-9)?;
+        let x = script_vec_a(n);
+        let base = script_vec_b(n);
+        let mut y = base.clone();
+        dotaxpy::axpy_optimized(2.5, &x, &mut y);
+        let native_ref: f64 = y.iter().sum();
+        verify_close("saxpy script/native", r_vm, native_ref, 1e-9)?;
+        let mut sink = 0.0;
+        let m_naive = measure(
+            reps,
+            || {
+                let mut y = base.clone();
+                dotaxpy::axpy_naive(2.5, &x, &mut y);
+                y[n / 2]
+            },
+            |v| sink += v,
+        );
+        let m_opt = measure(
+            reps,
+            || {
+                let mut y = base.clone();
+                dotaxpy::axpy_optimized(2.5, &x, &mut y);
+                y[n / 2]
+            },
+            |v| sink += v,
+        );
+        let m_par = measure(
+            reps,
+            || {
+                let mut y = base.clone();
+                dotaxpy::axpy_parallel(2.5, &x, &mut y, threads);
+                y[n / 2]
+            },
+            |v| sink += v,
+        );
+        assert!(sink.is_finite());
+        out.push(KernelGap {
+            kernel: "saxpy".into(),
+            size: format!("n={n}"),
+            tiers: TierTimes {
+                interp: Some(m_interp.into()),
+                vm: Some(m_vm.into()),
+                vectorized: Some(m_vec.into()),
+                native_naive: Some(m_naive.into()),
+                native_optimized: Some(m_opt.into()),
+                native_parallel: Some(m_par.into()),
+            },
+        });
+    }
+
+    // ---- mc-pi ----
+    {
+        let n: u64 = if config.quick { 5_000 } else { 200_000 };
+        let src = mcpi_script(n as usize);
+        let (m_interp, r_interp) = measure_script(&src, reps, run_interp)?;
+        let (m_vm, r_vm) = measure_script(&src, reps, run_vm)?;
+        verify_close("mc-pi interp/vm", r_interp, r_vm, 0.0)?;
+        // The scripted LCG and both native verifiers are bit-identical.
+        verify_close("mc-pi script/native-lcg", r_vm, mcpi_native(n), 0.0)?;
+        verify_close("mc-pi native/native-int", mcpi_native(n), mcpi_native_optimized(n), 0.0)?;
+        let mut sink = 0.0;
+        let m_naive = measure(reps, || mcpi_native(n), |v| sink += v);
+        let m_opt = measure(reps, || mcpi_native_optimized(n), |v| sink += v);
+        let m_par =
+            measure(reps, || montecarlo::pi_parallel(n, 42, threads), |v| sink += v);
+        assert!(sink.is_finite());
+        out.push(KernelGap {
+            kernel: "mc-pi".into(),
+            size: format!("samples={n}"),
+            tiers: TierTimes {
+                interp: Some(m_interp.into()),
+                vm: Some(m_vm.into()),
+                vectorized: None, // no vectorized form of the sampling loop
+                native_naive: Some(m_naive.into()),
+                native_optimized: Some(m_opt.into()),
+                native_parallel: Some(m_par.into()),
+            },
+        });
+    }
+
+    // ---- matmul ----
+    {
+        let n = if config.quick { 16 } else { 64 };
+        let src = matmul_script(n);
+        let (m_interp, r_interp) = measure_script(&src, reps, run_interp)?;
+        let (m_vm, r_vm) = measure_script(&src, reps, run_vm)?;
+        verify_close("matmul interp/vm", r_interp, r_vm, 1e-12)?;
+        let a = script_vec_a(n * n);
+        let b = script_vec_b(n * n);
+        let native_ref: f64 = matmul::naive(&a, &b, n).iter().sum();
+        verify_close("matmul script/native", r_vm, native_ref, 1e-9)?;
+        let mut sink = 0.0;
+        let m_naive = measure(reps, || matmul::naive(&a, &b, n)[0], |v| sink += v);
+        let m_opt = measure(reps, || matmul::blocked(&a, &b, n)[0], |v| sink += v);
+        let m_par =
+            measure(reps, || matmul::parallel(&a, &b, n, threads)[0], |v| sink += v);
+        assert!(sink.is_finite());
+        out.push(KernelGap {
+            kernel: "matmul".into(),
+            size: format!("{n}x{n}"),
+            tiers: TierTimes {
+                interp: Some(m_interp.into()),
+                vm: Some(m_vm.into()),
+                vectorized: None, // no matrix builtin — deliberately
+                native_naive: Some(m_naive.into()),
+                native_optimized: Some(m_opt.into()),
+                native_parallel: Some(m_par.into()),
+            },
+        });
+    }
+
+    Ok(out)
+}
+
+// ---- scaling study (E6) ---------------------------------------------------
+
+/// One kernel's thread-scaling curve.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScalingCurve {
+    /// Kernel name.
+    pub kernel: String,
+    /// Problem size description.
+    pub size: String,
+    /// Thread counts measured.
+    pub threads: Vec<usize>,
+    /// Speedups relative to the 1-thread run of the same implementation.
+    pub speedup: Vec<f64>,
+    /// Serial fraction from the least-squares Amdahl fit.
+    pub amdahl_serial_fraction: f64,
+    /// Amdahl-model speedups at the measured thread counts (the fitted
+    /// curve for the figure).
+    pub amdahl_fit: Vec<f64>,
+}
+
+/// Thread counts to sweep: 1, 2, 4, ... up to `max` (always including
+/// `max`).
+pub fn thread_sweep(max: usize) -> Vec<usize> {
+    let mut ts = Vec::new();
+    let mut t = 1;
+    while t < max {
+        ts.push(t);
+        t *= 2;
+    }
+    ts.push(max.max(1));
+    ts.dedup();
+    ts
+}
+
+/// Runs the scaling study for matmul, stencil, mc-pi, and sum-reduction.
+///
+/// # Errors
+/// Statistics errors from the Amdahl fit (degenerate inputs).
+pub fn measure_scaling(config: &GapConfig) -> Result<Vec<ScalingCurve>> {
+    let reps = config.reps();
+    let threads = thread_sweep(config.threads.max(2));
+    let mut out = Vec::new();
+
+    let mut push_curve = |kernel: &str,
+                          size: String,
+                          times: Vec<Duration>|
+     -> Result<()> {
+        let base = times[0].as_secs_f64();
+        let speedup: Vec<f64> =
+            times.iter().map(|t| base / t.as_secs_f64().max(1e-12)).collect();
+        let tf: Vec<f64> = threads.iter().map(|&t| t as f64).collect();
+        let f = fit_amdahl(&tf, &speedup)?;
+        let fit: Vec<f64> = tf.iter().map(|&p| amdahl_speedup(f, p)).collect();
+        out.push(ScalingCurve {
+            kernel: kernel.to_owned(),
+            size,
+            threads: threads.clone(),
+            speedup,
+            amdahl_serial_fraction: f,
+            amdahl_fit: fit,
+        });
+        Ok(())
+    };
+
+    // matmul — compute-bound, near-linear.
+    {
+        let n = if config.quick { 48 } else { 192 };
+        let a = matmul::gen_matrix(n, 1);
+        let b = matmul::gen_matrix(n, 2);
+        let mut times = Vec::new();
+        for &t in &threads {
+            let mut sink = 0.0;
+            let m = measure(reps, || matmul::parallel(&a, &b, n, t)[0], |v| sink += v);
+            assert!(sink.is_finite());
+            times.push(m.median);
+        }
+        push_curve("matmul", format!("{n}x{n}"), times)?;
+    }
+
+    // stencil — memory-bound, sub-linear.
+    {
+        let (rows, cols, sweeps) =
+            if config.quick { (64, 64, 4) } else { (512, 512, 20) };
+        let g = stencil::gen_grid(rows, cols, 3);
+        let mut times = Vec::new();
+        for &t in &threads {
+            let mut sink = 0.0;
+            let m = measure(
+                reps,
+                || stencil::parallel(&g, rows, cols, sweeps, t)[rows * cols / 2],
+                |v| sink += v,
+            );
+            assert!(sink.is_finite());
+            times.push(m.median);
+        }
+        push_curve("stencil", format!("{rows}x{cols}x{sweeps}"), times)?;
+    }
+
+    // mc-pi — embarrassingly parallel.
+    {
+        let n: u64 = if config.quick { 100_000 } else { 4_000_000 };
+        let mut times = Vec::new();
+        for &t in &threads {
+            let mut sink = 0.0;
+            let m = measure(reps, || montecarlo::pi_parallel(n, 7, t), |v| sink += v);
+            assert!(sink.is_finite());
+            times.push(m.median);
+        }
+        push_curve("mc-pi", format!("samples={n}"), times)?;
+    }
+
+    // sum reduction — bandwidth-bound floor.
+    {
+        let n = if config.quick { 1 << 20 } else { 1 << 25 };
+        let xs = reduce::gen_data(n, 9);
+        let mut times = Vec::new();
+        for &t in &threads {
+            let mut sink = 0.0;
+            let m = measure(reps, || reduce::sum_parallel(&xs, t), |v| sink += v);
+            assert!(sink.is_finite());
+            times.push(m.median);
+        }
+        push_curve("sum", format!("n={n}"), times)?;
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_compute_correct_values() {
+        // Small sizes, exact expectations computed natively.
+        let n = 100;
+        let a = script_vec_a(n);
+        let b = script_vec_b(n);
+        let expect = dotaxpy::dot_naive(&a, &b);
+        assert_eq!(run_interp(&dot_script(n, false)).unwrap(), expect);
+        assert_eq!(run_vm(&dot_script(n, false)).unwrap(), expect);
+        assert_eq!(run_vm(&dot_script(n, true)).unwrap(), expect);
+
+        let mut y = b.clone();
+        dotaxpy::axpy_naive(2.5, &a, &mut y);
+        let expect: f64 = y.iter().sum();
+        let got = run_vm(&saxpy_script(n, false)).unwrap();
+        assert!((got - expect).abs() < 1e-9);
+
+        assert_eq!(run_vm(&mcpi_script(1000)).unwrap(), mcpi_native(1000));
+
+        let nm = 8;
+        let am = script_vec_a(nm * nm);
+        let bm = script_vec_b(nm * nm);
+        let expect: f64 = matmul::naive(&am, &bm, nm).iter().sum();
+        let got = run_interp(&matmul_script(nm)).unwrap();
+        assert!((got - expect).abs() < 1e-9 * expect.abs());
+    }
+
+    #[test]
+    fn mcpi_native_estimates_pi() {
+        let est = mcpi_native(100_000);
+        assert!((est - std::f64::consts::PI).abs() < 0.05, "est = {est}");
+    }
+
+    #[test]
+    fn quick_gap_study_runs_and_orders_tiers() {
+        let gaps = measure_gaps(&GapConfig::quick()).unwrap();
+        assert_eq!(gaps.len(), 4);
+        for g in &gaps {
+            let interp = g.tiers.interp.expect("interp measured");
+            let vm = g.tiers.vm.expect("vm measured");
+            // The VM beats the tree-walker on every kernel (the headline
+            // E11 ordering) — allow generous slack for CI noise.
+            assert!(
+                vm.median_s < interp.median_s,
+                "{}: vm {} !< interp {}",
+                g.kernel,
+                vm.median_s,
+                interp.median_s
+            );
+            // Native naive beats both script tiers by a wide margin.
+            let nat = g.tiers.native_naive.expect("native measured");
+            assert!(
+                nat.median_s < vm.median_s,
+                "{}: native {} !< vm {}",
+                g.kernel,
+                nat.median_s,
+                vm.median_s
+            );
+            let s = g.speedup_vs_interp(g.tiers.native_naive).expect("both present");
+            assert!(s > 2.0, "{}: interp->native speedup only {s}", g.kernel);
+        }
+        let dot = &gaps[0];
+        assert_eq!(dot.kernel, "dot");
+        assert!(dot.tiers.vectorized.is_some());
+        assert!(dot.speedup_vs_interp(None).is_none());
+    }
+
+    #[test]
+    fn quick_scaling_study_shapes() {
+        let curves = measure_scaling(&GapConfig::quick()).unwrap();
+        assert_eq!(curves.len(), 4);
+        for c in &curves {
+            assert_eq!(c.threads[0], 1);
+            assert!((c.speedup[0] - 1.0).abs() < 1e-9, "{}: base speedup", c.kernel);
+            assert!((0.0..=1.0).contains(&c.amdahl_serial_fraction), "{}", c.kernel);
+            assert_eq!(c.amdahl_fit.len(), c.threads.len());
+            assert!(c.speedup.iter().all(|&s| s > 0.0));
+        }
+    }
+
+    #[test]
+    fn thread_sweep_shape() {
+        assert_eq!(thread_sweep(1), vec![1]);
+        assert_eq!(thread_sweep(2), vec![1, 2]);
+        assert_eq!(thread_sweep(8), vec![1, 2, 4, 8]);
+        assert_eq!(thread_sweep(6), vec![1, 2, 4, 6]);
+    }
+
+    #[test]
+    fn verification_failure_is_detected() {
+        assert!(verify_close("t", 1.0, 1.0, 0.0).is_ok());
+        let e = verify_close("t", 1.0, 2.0, 1e-9).unwrap_err();
+        assert!(matches!(e, Error::VerificationFailed(_)));
+    }
+}

@@ -1,0 +1,1 @@
+//! Anchor crate: example sources live in the top-level `examples/` directory.

@@ -1,0 +1,1 @@
+//! Anchor crate: integration-test sources live in the top-level `tests/` directory.

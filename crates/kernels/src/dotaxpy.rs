@@ -1,0 +1,182 @@
+//! BLAS-1 kernels (dot product and AXPY): the bandwidth-bound floor of the
+//! suite and the direct native counterparts of the ResearchScript kernels
+//! in experiment E11.
+
+use crate::par;
+use crate::XorShift64;
+
+/// Generates a deterministic vector of length `n` in `[-1, 1)`.
+pub fn gen_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = XorShift64::new(seed.wrapping_add(0xD07));
+    (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect()
+}
+
+/// Naive dot product: straightforward indexed loop.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn dot_naive(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot requires equal lengths");
+    let mut acc = 0.0;
+    for i in 0..x.len() {
+        acc += x[i] * y[i];
+    }
+    acc
+}
+
+/// Optimized dot product: four independent accumulators over `chunks_exact`
+/// so the compiler can keep the FMA pipeline full.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn dot_optimized(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot requires equal lengths");
+    let mut acc = [0.0f64; 4];
+    let xc = x.chunks_exact(4);
+    let yc = y.chunks_exact(4);
+    let rx = xc.remainder();
+    let ry = yc.remainder();
+    for (a, b) in xc.zip(yc) {
+        acc[0] += a[0] * b[0];
+        acc[1] += a[1] * b[1];
+        acc[2] += a[2] * b[2];
+        acc[3] += a[3] * b[3];
+    }
+    let mut tail = 0.0;
+    for (a, b) in rx.iter().zip(ry) {
+        tail += a * b;
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Parallel dot product via chunked map-reduce (deterministic fold order
+/// for a fixed thread count).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn dot_parallel(x: &[f64], y: &[f64], threads: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot requires equal lengths");
+    par::map_reduce(
+        x.len(),
+        threads,
+        0.0f64,
+        |s, e| dot_optimized(&x[s..e], &y[s..e]),
+        |a, b| a + b,
+    )
+}
+
+/// Naive AXPY: `y[i] += alpha * x[i]`, indexed loop.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn axpy_naive(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
+    for i in 0..x.len() {
+        y[i] += alpha * x[i];
+    }
+}
+
+/// Optimized AXPY: zipped slice iteration so bounds checks are hoisted and
+/// the loop vectorizes.
+///
+/// Deliberately *not* `f64::mul_add`: without `-C target-cpu` enabling FMA,
+/// `mul_add` lowers to a libm call and is several times slower than the
+/// plain multiply-add — a pitfall this suite's ablation documents.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn axpy_optimized(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Parallel AXPY over disjoint chunks of `y`.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn axpy_parallel(alpha: f64, x: &[f64], y: &mut [f64], threads: usize) {
+    assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
+    let n = y.len();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, n);
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, yband) in y.chunks_mut(chunk).enumerate() {
+            let xband = &x[t * chunk..(t * chunk + yband.len())];
+            scope.spawn(move || axpy_optimized(alpha, xband, yband));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{approx_eq, approx_eq_slices};
+
+    #[test]
+    fn dot_known_value() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0];
+        assert_eq!(dot_naive(&x, &y), 32.0);
+        assert_eq!(dot_optimized(&x, &y), 32.0);
+        assert_eq!(dot_parallel(&x, &y, 2), 32.0);
+    }
+
+    #[test]
+    fn dot_variants_agree_across_sizes() {
+        for n in [0, 1, 3, 4, 5, 127, 1024, 10_001] {
+            let x = gen_vector(n, 1);
+            let y = gen_vector(n, 2);
+            let reference = dot_naive(&x, &y);
+            assert!(approx_eq(reference, dot_optimized(&x, &y), 1e-10), "opt at n={n}");
+            for threads in [1, 2, 8] {
+                assert!(
+                    approx_eq(reference, dot_parallel(&x, &y, threads), 1e-10),
+                    "par at n={n}, threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_variants_agree() {
+        for n in [0, 1, 5, 128, 999] {
+            let x = gen_vector(n, 3);
+            let base = gen_vector(n, 4);
+            let mut y1 = base.clone();
+            axpy_naive(2.5, &x, &mut y1);
+            let mut y2 = base.clone();
+            axpy_optimized(2.5, &x, &mut y2);
+            assert!(approx_eq_slices(&y1, &y2, 1e-12), "opt at n={n}");
+            for threads in [1, 3, 8] {
+                let mut y3 = base.clone();
+                axpy_parallel(2.5, &x, &mut y3, threads);
+                assert!(approx_eq_slices(&y1, &y3, 1e-12), "par at n={n} t={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_known_value() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy_optimized(3.0, &x, &mut y);
+        assert_eq!(y, [13.0, 26.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot_naive(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn axpy_length_mismatch_panics() {
+        axpy_parallel(1.0, &[1.0], &mut [1.0, 2.0], 2);
+    }
+}

@@ -1,0 +1,289 @@
+//! Radix-2 fast Fourier transform: the classic "naive O(n²) DFT vs O(n log n)
+//! FFT" algorithmic gap, plus a parallel variant — the suite's example of a
+//! speedup that comes from the *algorithm*, not the hardware.
+
+use std::f64::consts::PI;
+
+use crate::XorShift64;
+
+/// A complex number (we avoid external crates by construction).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+#[allow(clippy::should_implement_trait)] // methods are plain fns to keep hot loops explicit
+impl Complex {
+    /// Creates a complex number.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// `e^(iθ)`.
+    pub fn cis(theta: f64) -> Self {
+        Complex { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex addition.
+    pub fn add(self, o: Complex) -> Complex {
+        Complex { re: self.re + o.re, im: self.im + o.im }
+    }
+
+    /// Complex subtraction.
+    pub fn sub(self, o: Complex) -> Complex {
+        Complex { re: self.re - o.re, im: self.im - o.im }
+    }
+
+    /// Complex multiplication.
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+}
+
+/// Generates a deterministic real-valued signal of length `n` (sum of two
+/// tones plus noise), as complex samples.
+pub fn gen_signal(n: usize, seed: u64) -> Vec<Complex> {
+    let mut rng = XorShift64::new(seed ^ 0xFF7);
+    (0..n)
+        .map(|i| {
+            let t = i as f64 / n as f64;
+            let v = (2.0 * PI * 5.0 * t).sin()
+                + 0.5 * (2.0 * PI * 17.0 * t).sin()
+                + 0.1 * rng.range_f64(-1.0, 1.0);
+            Complex::new(v, 0.0)
+        })
+        .collect()
+}
+
+/// Naive O(n²) discrete Fourier transform — the reference every FFT variant
+/// is verified against.
+pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    let mut out = vec![Complex::default(); n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex::default();
+        for (j, &xj) in x.iter().enumerate() {
+            let theta = -2.0 * PI * (k * j) as f64 / n as f64;
+            acc = acc.add(xj.mul(Complex::cis(theta)));
+        }
+        *slot = acc;
+    }
+    out
+}
+
+/// Iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+/// Panics unless `x.len()` is a power of two (and non-zero).
+pub fn fft(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    assert!(n.is_power_of_two() && n > 0, "fft length must be a power of two");
+    let mut a = bit_reverse_permute(x);
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in a.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half].mul(w);
+                chunk[i] = u.add(v);
+                chunk[i + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+    a
+}
+
+/// Parallel FFT: the independent sub-transforms of the first
+/// `log2(threads)` recursion levels run on scoped threads, then the
+/// remaining butterfly passes are applied serially (they are bandwidth
+/// bound and cheap relative to the sub-transforms).
+///
+/// # Panics
+/// Panics unless `x.len()` is a power of two.
+pub fn fft_parallel(x: &[Complex], threads: usize) -> Vec<Complex> {
+    let n = x.len();
+    assert!(n.is_power_of_two() && n > 0, "fft length must be a power of two");
+    let threads = threads.max(1).next_power_of_two().min(n);
+    if threads == 1 || n <= 4096 {
+        return fft(x);
+    }
+    // Decimation in time: element i of sub-transform s (of `threads`
+    // interleaved sub-signals) is x[i*threads + s].
+    let sub_n = n / threads;
+    let mut subs: Vec<Vec<Complex>> = (0..threads)
+        .map(|s| (0..sub_n).map(|i| x[i * threads + s]).collect())
+        .collect();
+    std::thread::scope(|scope| {
+        for sub in &mut subs {
+            scope.spawn(|| {
+                let transformed = fft(sub);
+                sub.copy_from_slice(&transformed);
+            });
+        }
+    });
+    // Combine level by level (decimation in time, bottom-up). A stride-T'
+    // sub-signal `y_s[i] = x[i·T' + s]` has even part `x_s` and odd part
+    // `x_{s+T'}` of the level below, so sub-transform `s` merges with
+    // `s + G/2`, where G is the current group count.
+    let mut groups = subs;
+    let mut group_len = sub_n;
+    while groups.len() > 1 {
+        let half_groups = groups.len() / 2;
+        let merged_len = group_len * 2;
+        let mut next = Vec::with_capacity(half_groups);
+        for s in 0..half_groups {
+            let even = &groups[s];
+            let odd = &groups[s + half_groups];
+            let mut merged = vec![Complex::default(); merged_len];
+            for k in 0..group_len {
+                let w = Complex::cis(-2.0 * PI * k as f64 / merged_len as f64);
+                let t = odd[k].mul(w);
+                merged[k] = even[k].add(t);
+                merged[k + group_len] = even[k].sub(t);
+            }
+            next.push(merged);
+        }
+        groups = next;
+        group_len = merged_len;
+    }
+    groups.pop().expect("one merged transform remains")
+}
+
+fn bit_reverse_permute(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    let bits = n.trailing_zeros();
+    if bits == 0 {
+        return x.to_vec();
+    }
+    let mut out = vec![Complex::default(); n];
+    for (i, &v) in x.iter().enumerate() {
+        let j = (i as u64).reverse_bits() >> (64 - bits);
+        out[j as usize] = v;
+    }
+    out
+}
+
+/// Index of the dominant non-DC frequency bin (used to verify the tones in
+/// [`gen_signal`] are recovered).
+pub fn dominant_bin(spectrum: &[Complex]) -> usize {
+    let half = spectrum.len() / 2;
+    (1..half)
+        .max_by(|&a, &b| {
+            spectrum[a]
+                .abs()
+                .partial_cmp(&spectrum[b].abs())
+                .expect("finite magnitudes")
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close_spectra(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.re - y.re).abs() < tol && (x.im - y.im).abs() < tol,
+                "bin {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for n in [1usize, 2, 4, 8, 64, 256] {
+            let x = gen_signal(n, 3);
+            close_spectra(&fft(&x), &dft_naive(&x), 1e-7 * n as f64);
+        }
+    }
+
+    #[test]
+    fn parallel_fft_matches_serial() {
+        for n in [4096usize, 8192, 16384] {
+            let x = gen_signal(n, 5);
+            let serial = fft(&x);
+            for t in [1, 2, 4, 8] {
+                close_spectra(&fft_parallel(&x, t), &serial, 1e-6 * n as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_the_dominant_tone() {
+        let n = 1024;
+        let x = gen_signal(n, 7);
+        let spectrum = fft(&x);
+        // gen_signal's strongest tone is 5 cycles over the window.
+        assert_eq!(dominant_bin(&spectrum), 5);
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut x = vec![Complex::default(); 16];
+        x[0] = Complex::new(1.0, 0.0);
+        let s = fft(&x);
+        for bin in &s {
+            assert!((bin.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_signal_is_pure_dc() {
+        let x = vec![Complex::new(2.0, 0.0); 32];
+        let s = fft(&x);
+        assert!((s[0].re - 64.0).abs() < 1e-9);
+        for bin in &s[1..] {
+            assert!(bin.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 512;
+        let x = gen_signal(n, 11);
+        let s = fft(&x);
+        let time_energy: f64 = x.iter().map(|c| c.abs() * c.abs()).sum();
+        let freq_energy: f64 = s.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / n as f64;
+        assert!(
+            (time_energy - freq_energy).abs() < 1e-6 * time_energy,
+            "{time_energy} vs {freq_energy}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = fft(&gen_signal(12, 1));
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a.add(b), Complex::new(4.0, 1.0));
+        assert_eq!(a.sub(b), Complex::new(-2.0, 3.0));
+        assert_eq!(a.mul(b), Complex::new(5.0, 5.0));
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0).abs() < 1e-12);
+        let w = Complex::cis(PI / 2.0);
+        assert!(w.re.abs() < 1e-12 && (w.im - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Histogramming: the contention case study.
+//!
+//! Three parallel strategies with very different costs, ablated in
+//! `bench_ablation_kernels`:
+//!
+//! * [`serial`] — the baseline.
+//! * [`parallel_atomic`] — one shared array of atomics; correct but every
+//!   increment is a contended RMW (the "just add a mutex/atomic" rewrite).
+//! * [`parallel_local`] — per-thread private histograms merged at the end;
+//!   the cure for contention.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::par;
+use crate::XorShift64;
+
+/// Generates `n` deterministic samples in `[0, 1)`, mildly skewed so bins
+/// are unequal (a uniform histogram hides contention effects).
+pub fn gen_samples(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = XorShift64::new(seed ^ 0x4157);
+    (0..n)
+        .map(|_| {
+            let u = rng.next_f64();
+            u * u // quadratic skew toward 0
+        })
+        .collect()
+}
+
+#[inline]
+fn bin_of(x: f64, bins: usize) -> usize {
+    ((x * bins as f64) as usize).min(bins - 1)
+}
+
+/// Serial histogram of values in `[0, 1)` into `bins` buckets.
+///
+/// # Panics
+/// Panics when `bins == 0`.
+pub fn serial(samples: &[f64], bins: usize) -> Vec<u64> {
+    assert!(bins > 0, "need at least one bin");
+    let mut h = vec![0u64; bins];
+    for &x in samples {
+        h[bin_of(x, bins)] += 1;
+    }
+    h
+}
+
+/// Parallel histogram with one shared atomic bin array (contended).
+///
+/// # Panics
+/// Panics when `bins == 0`.
+pub fn parallel_atomic(samples: &[f64], bins: usize, threads: usize) -> Vec<u64> {
+    assert!(bins > 0, "need at least one bin");
+    let shared: Vec<AtomicU64> = (0..bins).map(|_| AtomicU64::new(0)).collect();
+    par::for_each_chunk(samples.len(), threads, |s, e| {
+        for &x in &samples[s..e] {
+            shared[bin_of(x, bins)].fetch_add(1, Ordering::Relaxed);
+        }
+    });
+    shared.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+/// Parallel histogram with per-thread local bins merged afterwards
+/// (contention-free).
+///
+/// # Panics
+/// Panics when `bins == 0`.
+pub fn parallel_local(samples: &[f64], bins: usize, threads: usize) -> Vec<u64> {
+    assert!(bins > 0, "need at least one bin");
+    par::map_reduce(
+        samples.len(),
+        threads,
+        vec![0u64; bins],
+        |s, e| {
+            let mut local = vec![0u64; bins];
+            for &x in &samples[s..e] {
+                local[bin_of(x, bins)] += 1;
+            }
+            local
+        },
+        |mut acc, part| {
+            for (a, p) in acc.iter_mut().zip(&part) {
+                *a += p;
+            }
+            acc
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_total_to_input_length() {
+        let xs = gen_samples(10_000, 3);
+        for h in [
+            serial(&xs, 16),
+            parallel_atomic(&xs, 16, 4),
+            parallel_local(&xs, 16, 4),
+        ] {
+            assert_eq!(h.iter().sum::<u64>(), xs.len() as u64);
+        }
+    }
+
+    #[test]
+    fn variants_agree_exactly() {
+        let xs = gen_samples(5000, 9);
+        let reference = serial(&xs, 32);
+        for threads in [1, 2, 7] {
+            assert_eq!(parallel_atomic(&xs, 32, threads), reference);
+            assert_eq!(parallel_local(&xs, 32, threads), reference);
+        }
+    }
+
+    #[test]
+    fn skewed_generator_loads_low_bins() {
+        let xs = gen_samples(20_000, 1);
+        let h = serial(&xs, 10);
+        assert!(h[0] > h[9] * 2, "expected skew toward bin 0: {h:?}");
+    }
+
+    #[test]
+    fn boundary_values_clamp_into_last_bin() {
+        let h = serial(&[0.0, 0.999_999_9, 1.0 - f64::EPSILON], 4);
+        assert_eq!(h.iter().sum::<u64>(), 3);
+        assert_eq!(h[0], 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(serial(&[], 4), vec![0; 4]);
+        assert_eq!(parallel_local(&[], 4, 4), vec![0; 4]);
+        assert_eq!(parallel_atomic(&[], 4, 4), vec![0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        serial(&[0.5], 0);
+    }
+}

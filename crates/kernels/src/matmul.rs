@@ -1,0 +1,167 @@
+//! Dense square matrix multiplication: the compute-bound flagship kernel.
+//!
+//! * [`naive`] — textbook `ijk` order: the inner loop strides down `b`'s
+//!   columns, missing cache on every step.
+//! * [`blocked`] — `ikj` reordering plus register-friendly row accumulation:
+//!   the classic "one-line locality fix" whose payoff the paper's
+//!   performance-gap argument leans on.
+//! * [`parallel`] — `ikj` with rows distributed over scoped threads.
+
+use crate::XorShift64;
+
+/// Generates a deterministic `n × n` matrix (row-major) with entries in
+/// `[-1, 1)`.
+pub fn gen_matrix(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = XorShift64::new(seed.wrapping_mul(0x9E37).wrapping_add(1));
+    (0..n * n).map(|_| rng.range_f64(-1.0, 1.0)).collect()
+}
+
+fn check_dims(a: &[f64], b: &[f64], n: usize) {
+    assert_eq!(a.len(), n * n, "a must be n*n");
+    assert_eq!(b.len(), n * n, "b must be n*n");
+}
+
+/// Naive `ijk` multiplication. Returns `c = a · b` (row-major).
+///
+/// # Panics
+/// Panics when slice lengths are not `n * n`.
+pub fn naive(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    check_dims(a, b, n);
+    let mut c = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for k in 0..n {
+                acc += a[i * n + k] * b[k * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Locality-optimized `ikj` multiplication: for each `(i, k)`, the scalar
+/// `a[i][k]` streams across `b`'s row `k` and `c`'s row `i` — unit-stride
+/// inner loop that the compiler can vectorize.
+///
+/// # Panics
+/// Panics when slice lengths are not `n * n`.
+pub fn blocked(a: &[f64], b: &[f64], n: usize) -> Vec<f64> {
+    check_dims(a, b, n);
+    let mut c = vec![0.0; n * n];
+    mul_rows_ikj(a, b, &mut c, n, 0, n);
+    c
+}
+
+/// Core `ikj` routine over a row range `[row_start, row_end)` of the output.
+fn mul_rows_ikj(a: &[f64], b: &[f64], c: &mut [f64], n: usize, row_start: usize, row_end: usize) {
+    for i in row_start..row_end {
+        let c_row = &mut c[(i - row_start) * n..(i - row_start + 1) * n];
+        let a_row = &a[i * n..(i + 1) * n];
+        for (k, &aik) in a_row.iter().enumerate() {
+            let b_row = &b[k * n..(k + 1) * n];
+            for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                *cj += aik * bj;
+            }
+        }
+    }
+}
+
+/// Parallel `ikj` multiplication over `threads` scoped workers, each owning
+/// a contiguous band of output rows.
+///
+/// # Panics
+/// Panics when slice lengths are not `n * n`.
+pub fn parallel(a: &[f64], b: &[f64], n: usize, threads: usize) -> Vec<f64> {
+    check_dims(a, b, n);
+    let mut c = vec![0.0; n * n];
+    // Split the output into disjoint row bands so each worker writes its own
+    // region; scoped threads borrow the bands mutably via chunks_mut.
+    let threads = threads.clamp(1, n.max(1));
+    let rows_per = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, band) in c.chunks_mut(rows_per * n).enumerate() {
+            let row_start = t * rows_per;
+            let row_end = (row_start + band.len() / n).min(n);
+            scope.spawn(move || {
+                mul_rows_ikj(a, b, band, n, row_start, row_end);
+            });
+        }
+    });
+    c
+}
+
+/// FLOP count of an `n × n` matmul (2n³), for bench reporting.
+pub fn flops(n: usize) -> u64 {
+    2 * (n as u64).pow(3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::approx_eq_slices;
+
+    #[test]
+    fn identity_multiplication() {
+        let n = 8;
+        let mut ident = vec![0.0; n * n];
+        for i in 0..n {
+            ident[i * n + i] = 1.0;
+        }
+        let a = gen_matrix(n, 3);
+        assert!(approx_eq_slices(&naive(&a, &ident, n), &a, 1e-12));
+        assert!(approx_eq_slices(&naive(&ident, &a, n), &a, 1e-12));
+        assert!(approx_eq_slices(&blocked(&a, &ident, n), &a, 1e-12));
+        assert!(approx_eq_slices(&parallel(&a, &ident, n, 3), &a, 1e-12));
+    }
+
+    #[test]
+    fn known_2x2_product() {
+        // [1 2; 3 4] · [5 6; 7 8] = [19 22; 43 50]
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        assert_eq!(naive(&a, &b, 2), vec![19.0, 22.0, 43.0, 50.0]);
+        assert_eq!(blocked(&a, &b, 2), vec![19.0, 22.0, 43.0, 50.0]);
+        assert_eq!(parallel(&a, &b, 2, 2), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn variants_agree_on_random_inputs() {
+        for n in [1, 3, 16, 33, 64] {
+            let a = gen_matrix(n, 1);
+            let b = gen_matrix(n, 2);
+            let reference = naive(&a, &b, n);
+            assert!(
+                approx_eq_slices(&reference, &blocked(&a, &b, n), 1e-9),
+                "blocked mismatch at n={n}"
+            );
+            for threads in [1, 2, 5, 16] {
+                assert!(
+                    approx_eq_slices(&reference, &parallel(&a, &b, n, threads), 1e-9),
+                    "parallel mismatch at n={n}, threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gen_matrix_is_deterministic_and_bounded() {
+        let a = gen_matrix(10, 5);
+        let b = gen_matrix(10, 5);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (-1.0..1.0).contains(&v)));
+        assert_ne!(gen_matrix(10, 6), a);
+    }
+
+    #[test]
+    fn flops_formula() {
+        assert_eq!(flops(10), 2000);
+        assert_eq!(flops(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n*n")]
+    fn dimension_mismatch_panics() {
+        let _ = naive(&[1.0, 2.0], &[1.0, 2.0, 3.0, 4.0], 2);
+    }
+}

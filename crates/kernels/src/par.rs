@@ -1,0 +1,311 @@
+//! The parallel runtime: scoped-thread fork-join primitives shared by every
+//! parallel kernel variant.
+//!
+//! Two schedulers are provided and compared in `bench_ablation_kernels`:
+//!
+//! * [`for_each_chunk`] — **static** partitioning: the index range is cut
+//!   into one contiguous chunk per worker. Zero scheduling overhead,
+//!   vulnerable to load imbalance.
+//! * [`for_each_dynamic`] — **dynamic** self-scheduling: workers pull
+//!   fixed-size chunks from a shared atomic counter. Balances irregular
+//!   work at the cost of one atomic RMW per chunk.
+//!
+//! Both run on `std::thread::scope`, so borrowed data flows in without
+//! `Arc` and panics propagate. A crossbeam channel based
+//! [`map_reduce_unordered`] rounds out the toolkit for producers with
+//! uneven item cost.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads to use by default: the machine's available
+/// parallelism, capped at 16 (the fork-join kernels here stop scaling well
+/// beyond that on shared-memory hosts).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get().min(16))
+}
+
+/// Splits `0..n` into at most `threads` contiguous chunks and runs `body`
+/// on each chunk in parallel. `body` receives `(start, end)` half-open
+/// bounds.
+///
+/// Falls back to a direct call for `threads <= 1` or tiny `n`, so callers
+/// can pass user-supplied thread counts without special-casing.
+///
+/// # Panics
+/// Re-raises panics from worker threads.
+pub fn for_each_chunk<F>(n: usize, threads: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        body(0, n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let body = &body;
+            scope.spawn(move || body(start, end));
+        }
+    });
+}
+
+/// Dynamic self-scheduling parallel-for: workers repeatedly claim
+/// `chunk`-sized slices of `0..n` from a shared counter until exhausted.
+///
+/// Prefer this over [`for_each_chunk`] when per-index cost varies (e.g.
+/// triangular loops); prefer static chunking when cost is uniform.
+///
+/// # Panics
+/// Re-raises panics from worker threads; panics if `chunk == 0`.
+pub fn for_each_dynamic<F>(n: usize, threads: usize, chunk: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    if n == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        body(0, n);
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let body = &body;
+            scope.spawn(move || loop {
+                let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                if start >= n {
+                    break;
+                }
+                let end = (start + chunk).min(n);
+                body(start, end);
+            });
+        }
+    });
+}
+
+/// Parallel map-reduce over contiguous chunks: each worker computes a
+/// partial with `map` on its `(start, end)` range, and the partials are
+/// folded with `reduce` in deterministic chunk order (so non-associative
+/// floating-point reductions stay reproducible for a fixed thread count).
+pub fn map_reduce<T, M, R>(n: usize, threads: usize, identity: T, map: M, reduce: R) -> T
+where
+    T: Send,
+    M: Fn(usize, usize) -> T + Sync,
+    R: Fn(T, T) -> T,
+{
+    if n == 0 {
+        return identity;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return reduce(identity, map(0, n));
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials: Vec<Option<T>> = Vec::new();
+    partials.resize_with(threads, || None);
+    std::thread::scope(|scope| {
+        for (t, slot) in partials.iter_mut().enumerate() {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let map = &map;
+            scope.spawn(move || {
+                *slot = Some(map(start, end));
+            });
+        }
+    });
+    let mut acc = identity;
+    for p in partials.into_iter().flatten() {
+        acc = reduce(acc, p);
+    }
+    acc
+}
+
+/// Unordered map-reduce over work items delivered through a crossbeam
+/// channel — the shape to reach for when items have wildly uneven cost and
+/// reduction is commutative. Results are folded in completion order.
+pub fn map_reduce_unordered<I, T, M, R>(
+    items: Vec<I>,
+    threads: usize,
+    identity: T,
+    map: M,
+    reduce: R,
+) -> T
+where
+    I: Send,
+    T: Send,
+    M: Fn(I) -> T + Sync,
+    R: Fn(T, T) -> T,
+{
+    if items.is_empty() {
+        return identity;
+    }
+    let threads = threads.clamp(1, items.len());
+    if threads == 1 {
+        let mut acc = identity;
+        for item in items {
+            acc = reduce(acc, map(item));
+        }
+        return acc;
+    }
+    let (work_tx, work_rx) = crossbeam::channel::unbounded::<I>();
+    let (out_tx, out_rx) = crossbeam::channel::unbounded::<T>();
+    let n_items = items.len();
+    for item in items {
+        work_tx.send(item).expect("unbounded channel accepts all items");
+    }
+    drop(work_tx);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let work_rx = work_rx.clone();
+            let out_tx = out_tx.clone();
+            let map = &map;
+            scope.spawn(move || {
+                while let Ok(item) = work_rx.recv() {
+                    out_tx.send(map(item)).expect("receiver outlives workers");
+                }
+            });
+        }
+        drop(out_tx);
+        let mut acc = identity;
+        for _ in 0..n_items {
+            let v = out_rx.recv().expect("one output per item");
+            acc = reduce(acc, v);
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn default_threads_is_sane() {
+        let t = default_threads();
+        assert!((1..=16).contains(&t));
+    }
+
+    #[test]
+    fn static_chunks_cover_range_exactly_once() {
+        let n = 1003;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        for_each_chunk(n, 7, |s, e| {
+            for i in s..e {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dynamic_chunks_cover_range_exactly_once() {
+        let n = 997;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        for_each_dynamic(n, 5, 16, |s, e| {
+            for i in s..e {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        for_each_chunk(0, 4, |_, _| panic!("no work expected"));
+        for_each_dynamic(0, 4, 8, |_, _| panic!("no work expected"));
+        // Single-thread fallback executes inline over the whole range.
+        for_each_chunk(10, 1, |s, e| assert_eq!((s, e), (0, 10)));
+        let count = AtomicUsize::new(0);
+        for_each_chunk(10, 1, |s, e| {
+            count.fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 10);
+        // More threads than items clamps.
+        let count = AtomicUsize::new(0);
+        for_each_chunk(3, 64, |s, e| {
+            count.fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn dynamic_zero_chunk_panics() {
+        for_each_dynamic(10, 2, 0, |_, _| {});
+    }
+
+    #[test]
+    fn map_reduce_sums_deterministically() {
+        let n = 100_000;
+        let expect = (n as u64 - 1) * n as u64 / 2;
+        for threads in [1, 2, 3, 8] {
+            let total = map_reduce(
+                n,
+                threads,
+                0u64,
+                |s, e| (s..e).map(|i| i as u64).sum::<u64>(),
+                |a, b| a + b,
+            );
+            assert_eq!(total, expect, "threads = {threads}");
+        }
+        // Repeated runs with the same thread count are bit-identical even
+        // for floats.
+        let a = map_reduce(1 << 12, 4, 0.0f64, |s, e| (s..e).map(|i| (i as f64).sin()).sum(), |x, y| x + y);
+        let b = map_reduce(1 << 12, 4, 0.0f64, |s, e| (s..e).map(|i| (i as f64).sin()).sum(), |x, y| x + y);
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn map_reduce_empty_is_identity() {
+        let v = map_reduce(0, 4, 42u64, |_, _| 0, |a, b| a + b);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn unordered_map_reduce_commutative_sum() {
+        let items: Vec<u64> = (1..=200).collect();
+        for threads in [1, 3, 8] {
+            let total = map_reduce_unordered(items.clone(), threads, 0u64, |i| i * 2, |a, b| a + b);
+            assert_eq!(total, 200 * 201, "threads = {threads}");
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert_eq!(map_reduce_unordered(empty, 4, 7u64, |i| i, |a, b| a + b), 7);
+    }
+
+    #[test]
+    fn uneven_work_is_balanced_by_dynamic_scheduler() {
+        // Not a performance assertion (CI noise) — just exercises the path
+        // where the last indices carry all the work.
+        let total = AtomicU64::new(0);
+        for_each_dynamic(256, 4, 8, |s, e| {
+            for i in s..e {
+                let mut acc = 0u64;
+                let reps = if i > 200 { 10_000 } else { 10 };
+                for k in 0..reps {
+                    acc = acc.wrapping_add(k ^ i as u64);
+                }
+                total.fetch_add(acc & 1, Ordering::Relaxed);
+            }
+        });
+        // All 256 indices visited.
+        assert!(total.load(Ordering::Relaxed) <= 256);
+    }
+}

@@ -1,0 +1,176 @@
+//! Reductions and prefix sums over large arrays.
+//!
+//! `sum` is the purest bandwidth-bound kernel in the suite (one load, one
+//! add per element); `prefix_sum` adds the classic two-pass parallel scan,
+//! whose extra pass makes its parallel break-even point visibly later —
+//! a crossover experiment E6 can show.
+
+use crate::par;
+use crate::XorShift64;
+
+/// Generates a deterministic vector of length `n` in `[0, 1)`.
+pub fn gen_data(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = XorShift64::new(seed ^ 0x5EDC);
+    (0..n).map(|_| rng.next_f64()).collect()
+}
+
+/// Naive serial sum (single accumulator chain).
+pub fn sum_naive(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// Optimized serial sum: eight-way unrolled independent accumulators.
+pub fn sum_optimized(xs: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 8];
+    let chunks = xs.chunks_exact(8);
+    let rem = chunks.remainder();
+    for c in chunks {
+        for (a, &v) in acc.iter_mut().zip(c) {
+            *a += v;
+        }
+    }
+    let mut tail = 0.0;
+    for &v in rem {
+        tail += v;
+    }
+    acc.iter().sum::<f64>() + tail
+}
+
+/// Parallel sum via chunked map-reduce.
+pub fn sum_parallel(xs: &[f64], threads: usize) -> f64 {
+    par::map_reduce(xs.len(), threads, 0.0, |s, e| sum_optimized(&xs[s..e]), |a, b| a + b)
+}
+
+/// Serial inclusive prefix sum.
+pub fn prefix_sum_serial(xs: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = 0.0;
+    for &x in xs {
+        acc += x;
+        out.push(acc);
+    }
+    out
+}
+
+/// Two-pass parallel inclusive prefix sum: per-chunk local scans, serial
+/// scan of chunk totals, then a parallel offset fix-up pass.
+pub fn prefix_sum_parallel(xs: &[f64], threads: usize) -> Vec<f64> {
+    let n = xs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return prefix_sum_serial(xs);
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out = vec![0.0; n];
+
+    // Pass 1: local scans, collecting each chunk's total.
+    let mut totals = vec![0.0f64; out.chunks(chunk).len()];
+    std::thread::scope(|scope| {
+        for ((band, src), total) in
+            out.chunks_mut(chunk).zip(xs.chunks(chunk)).zip(totals.iter_mut())
+        {
+            scope.spawn(move || {
+                let mut acc = 0.0;
+                for (o, &x) in band.iter_mut().zip(src) {
+                    acc += x;
+                    *o = acc;
+                }
+                *total = acc;
+            });
+        }
+    });
+
+    // Serial exclusive scan of chunk totals -> per-chunk offsets.
+    let mut offsets = vec![0.0f64; totals.len()];
+    let mut acc = 0.0;
+    for (off, &t) in offsets.iter_mut().zip(&totals) {
+        *off = acc;
+        acc += t;
+    }
+
+    // Pass 2: add offsets.
+    std::thread::scope(|scope| {
+        for (band, &off) in out.chunks_mut(chunk).zip(&offsets) {
+            if off != 0.0 {
+                scope.spawn(move || {
+                    for o in band {
+                        *o += off;
+                    }
+                });
+            }
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{approx_eq, approx_eq_slices};
+    use proptest::prelude::*;
+
+    #[test]
+    fn sums_agree() {
+        for n in [0, 1, 7, 8, 9, 1000, 12_345] {
+            let xs = gen_data(n, 5);
+            let reference = sum_naive(&xs);
+            assert!(approx_eq(reference, sum_optimized(&xs), 1e-10), "opt n={n}");
+            for t in [1, 2, 8] {
+                assert!(approx_eq(reference, sum_parallel(&xs, t), 1e-10), "par n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn sum_known_value() {
+        let xs: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(sum_naive(&xs), 5050.0);
+        assert_eq!(sum_optimized(&xs), 5050.0);
+        assert_eq!(sum_parallel(&xs, 4), 5050.0);
+    }
+
+    #[test]
+    fn prefix_sums_agree() {
+        for n in [0, 1, 2, 17, 1024, 4097] {
+            let xs = gen_data(n, 11);
+            let reference = prefix_sum_serial(&xs);
+            for t in [1, 2, 3, 8] {
+                assert!(
+                    approx_eq_slices(&reference, &prefix_sum_parallel(&xs, t), 1e-9),
+                    "n={n} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_sum_known_value() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(prefix_sum_serial(&xs), vec![1.0, 3.0, 6.0, 10.0]);
+        assert_eq!(prefix_sum_parallel(&xs, 2), vec![1.0, 3.0, 6.0, 10.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_prefix_last_equals_sum(xs in proptest::collection::vec(-100f64..100.0, 1..500)) {
+            let p = prefix_sum_parallel(&xs, 4);
+            let s = sum_naive(&xs);
+            prop_assert!((p[p.len() - 1] - s).abs() < 1e-6 * (1.0 + s.abs()));
+        }
+
+        #[test]
+        fn prop_prefix_monotone_for_positive(xs in proptest::collection::vec(0.0f64..10.0, 1..300)) {
+            let p = prefix_sum_parallel(&xs, 3);
+            for w in p.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-12);
+            }
+        }
+    }
+}

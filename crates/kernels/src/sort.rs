@@ -1,0 +1,160 @@
+//! Sorting: serial mergesort, parallel mergesort, and the standard
+//! library's pattern-defeating quicksort as the "expert-optimized" rung.
+//!
+//! Sorting scales sub-linearly (merge steps are bandwidth-bound and the
+//! final merge is serial at the top of the tree), which gives E6 a third
+//! scaling shape between matmul and stencil.
+
+use crate::XorShift64;
+
+/// Generates `n` deterministic unsorted keys.
+pub fn gen_keys(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = XorShift64::new(seed ^ 0x50F7);
+    (0..n).map(|_| rng.range_f64(-1e6, 1e6)).collect()
+}
+
+/// Serial top-down mergesort with one scratch buffer (the "naive but
+/// correct" implementation a researcher writes from the textbook).
+pub fn merge_sort(xs: &[f64]) -> Vec<f64> {
+    let mut data = xs.to_vec();
+    let mut scratch = data.clone();
+    merge_sort_rec(&mut data, &mut scratch);
+    data
+}
+
+fn merge_sort_rec(data: &mut [f64], scratch: &mut [f64]) {
+    let n = data.len();
+    if n <= 32 {
+        insertion_sort(data);
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (dl, dr) = data.split_at_mut(mid);
+        let (sl, sr) = scratch.split_at_mut(mid);
+        merge_sort_rec(dl, sl);
+        merge_sort_rec(dr, sr);
+    }
+    merge_halves(data, scratch, mid);
+}
+
+fn insertion_sort(data: &mut [f64]) {
+    for i in 1..data.len() {
+        let mut j = i;
+        while j > 0 && data[j - 1] > data[j] {
+            data.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+/// Merges the sorted halves `data[..mid]` and `data[mid..]` using scratch.
+fn merge_halves(data: &mut [f64], scratch: &mut [f64], mid: usize) {
+    scratch[..data.len()].copy_from_slice(data);
+    let (left, right) = scratch[..data.len()].split_at(mid);
+    let (mut i, mut j) = (0, 0);
+    for slot in data.iter_mut() {
+        if i < left.len() && (j >= right.len() || left[i] <= right[j]) {
+            *slot = left[i];
+            i += 1;
+        } else {
+            *slot = right[j];
+            j += 1;
+        }
+    }
+}
+
+/// Parallel mergesort: recursion forks onto scoped threads down to a depth
+/// of `log2(threads)`, then falls back to the serial sort.
+pub fn merge_sort_parallel(xs: &[f64], threads: usize) -> Vec<f64> {
+    let mut data = xs.to_vec();
+    let mut scratch = data.clone();
+    let depth = threads.max(1).next_power_of_two().trailing_zeros();
+    par_rec(&mut data, &mut scratch, depth);
+    data
+}
+
+fn par_rec(data: &mut [f64], scratch: &mut [f64], depth: u32) {
+    let n = data.len();
+    if depth == 0 || n <= 4096 {
+        merge_sort_rec(data, scratch);
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (dl, dr) = data.split_at_mut(mid);
+        let (sl, sr) = scratch.split_at_mut(mid);
+        std::thread::scope(|scope| {
+            scope.spawn(|| par_rec(dl, sl, depth - 1));
+            par_rec(dr, sr, depth - 1);
+        });
+    }
+    merge_halves(data, scratch, mid);
+}
+
+/// The standard library's unstable sort — the "use the tuned library"
+/// rung of the ladder.
+pub fn std_sort(xs: &[f64]) -> Vec<f64> {
+    let mut data = xs.to_vec();
+    data.sort_unstable_by(|a, b| a.partial_cmp(b).expect("generator yields no NaN"));
+    data
+}
+
+/// True when `xs` is sorted ascending.
+pub fn is_sorted(xs: &[f64]) -> bool {
+    xs.windows(2).all(|w| w[0] <= w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn sorts_agree_with_std() {
+        for n in [0, 1, 2, 31, 32, 33, 1000, 10_000] {
+            let xs = gen_keys(n, 1);
+            let expect = std_sort(&xs);
+            assert_eq!(merge_sort(&xs), expect, "serial n={n}");
+            for t in [1, 2, 4, 8] {
+                assert_eq!(merge_sort_parallel(&xs, t), expect, "par n={n} t={t}");
+            }
+        }
+    }
+
+    #[test]
+    fn already_sorted_and_reverse_inputs() {
+        let sorted: Vec<f64> = (0..500).map(f64::from).collect();
+        assert_eq!(merge_sort(&sorted), sorted);
+        let rev: Vec<f64> = (0..500).rev().map(f64::from).collect();
+        assert_eq!(merge_sort(&rev), sorted);
+        assert_eq!(merge_sort_parallel(&rev, 4), sorted);
+    }
+
+    #[test]
+    fn duplicates_preserved() {
+        let xs = [3.0, 1.0, 3.0, 1.0, 2.0, 2.0];
+        assert_eq!(merge_sort(&xs), vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn is_sorted_helper() {
+        assert!(is_sorted(&[]));
+        assert!(is_sorted(&[1.0]));
+        assert!(is_sorted(&[1.0, 1.0, 2.0]));
+        assert!(!is_sorted(&[2.0, 1.0]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_sort_is_permutation_and_sorted(
+            xs in proptest::collection::vec(-1e9f64..1e9, 0..400),
+            threads in 1usize..8,
+        ) {
+            let out = merge_sort_parallel(&xs, threads);
+            prop_assert!(is_sorted(&out));
+            // Same multiset: compare against std sort.
+            prop_assert_eq!(out, std_sort(&xs));
+        }
+    }
+}

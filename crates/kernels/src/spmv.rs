@@ -1,0 +1,197 @@
+//! Sparse matrix–vector multiply (CSR): irregular memory access with
+//! per-row load imbalance — the kernel that motivates the dynamic
+//! scheduler ablation.
+
+use crate::par;
+use crate::XorShift64;
+
+/// A compressed-sparse-row matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of columns.
+    pub n_cols: usize,
+    /// Row start offsets into `col_idx`/`values` (length `n_rows + 1`).
+    pub row_ptr: Vec<usize>,
+    /// Column indices.
+    pub col_idx: Vec<usize>,
+    /// Non-zero values.
+    pub values: Vec<f64>,
+}
+
+impl Csr {
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Validates structural invariants (monotone row_ptr, in-range columns).
+    pub fn is_valid(&self) -> bool {
+        self.row_ptr.len() == self.n_rows + 1
+            && self.row_ptr[0] == 0
+            && *self.row_ptr.last().expect("len >= 1") == self.values.len()
+            && self.row_ptr.windows(2).all(|w| w[0] <= w[1])
+            && self.col_idx.len() == self.values.len()
+            && self.col_idx.iter().all(|&c| c < self.n_cols)
+    }
+}
+
+/// Generates a deterministic sparse square matrix with a heavy-tailed
+/// per-row non-zero count (some rows 1 nnz, some `max_row_nnz`), which is
+/// what makes static scheduling unbalanced.
+pub fn gen_sparse(n: usize, max_row_nnz: usize, seed: u64) -> Csr {
+    let mut rng = XorShift64::new(seed ^ 0x5BA5);
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    row_ptr.push(0);
+    for _ in 0..n {
+        // Quadratic skew: most rows sparse, a few dense.
+        let u = rng.next_f64();
+        let nnz = 1 + ((u * u) * max_row_nnz.saturating_sub(1) as f64) as usize;
+        let mut cols: Vec<usize> = (0..nnz).map(|_| rng.below(n as u64) as usize).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for c in cols {
+            col_idx.push(c);
+            values.push(rng.range_f64(-1.0, 1.0));
+        }
+        row_ptr.push(values.len());
+    }
+    Csr { n_rows: n, n_cols: n, row_ptr, col_idx, values }
+}
+
+#[inline]
+fn row_dot(m: &Csr, x: &[f64], r: usize) -> f64 {
+    let lo = m.row_ptr[r];
+    let hi = m.row_ptr[r + 1];
+    let mut acc = 0.0;
+    for (c, v) in m.col_idx[lo..hi].iter().zip(&m.values[lo..hi]) {
+        acc += v * x[*c];
+    }
+    acc
+}
+
+/// Serial SpMV: `y = M · x`.
+///
+/// # Panics
+/// Panics when `x.len() != n_cols`.
+pub fn serial(m: &Csr, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), m.n_cols, "x must have n_cols entries");
+    (0..m.n_rows).map(|r| row_dot(m, x, r)).collect()
+}
+
+/// Parallel SpMV with static row bands.
+///
+/// # Panics
+/// Panics when `x.len() != n_cols`.
+pub fn parallel_static(m: &Csr, x: &[f64], threads: usize) -> Vec<f64> {
+    assert_eq!(x.len(), m.n_cols, "x must have n_cols entries");
+    let mut y = vec![0.0; m.n_rows];
+    let threads = threads.clamp(1, m.n_rows.max(1));
+    let chunk = m.n_rows.div_ceil(threads.max(1)).max(1);
+    std::thread::scope(|scope| {
+        for (t, band) in y.chunks_mut(chunk).enumerate() {
+            let start = t * chunk;
+            scope.spawn(move || {
+                for (k, out) in band.iter_mut().enumerate() {
+                    *out = row_dot(m, x, start + k);
+                }
+            });
+        }
+    });
+    y
+}
+
+/// Parallel SpMV with dynamic self-scheduling (rows claimed in chunks from
+/// an atomic cursor) — tolerant of the heavy-tailed row costs.
+///
+/// # Panics
+/// Panics when `x.len() != n_cols`.
+pub fn parallel_dynamic(m: &Csr, x: &[f64], threads: usize, chunk: usize) -> Vec<f64> {
+    assert_eq!(x.len(), m.n_cols, "x must have n_cols entries");
+    // Rows are independent; collect into per-row slots via interior
+    // mutability-free two-phase: compute into locked-free disjoint chunks is
+    // not possible with a shared cursor, so build with map_reduce over
+    // (row, value) pairs instead: simpler and still contention-light.
+    let n = m.n_rows;
+    let mut y = vec![0.0; n];
+    let slots: Vec<std::sync::atomic::AtomicU64> =
+        (0..n).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+    par::for_each_dynamic(n, threads, chunk.max(1), |s, e| {
+        for (r, slot) in slots.iter().enumerate().take(e).skip(s) {
+            slot.store(row_dot(m, x, r).to_bits(), std::sync::atomic::Ordering::Relaxed);
+        }
+    });
+    for (out, slot) in y.iter_mut().zip(&slots) {
+        *out = f64::from_bits(slot.load(std::sync::atomic::Ordering::Relaxed));
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::approx_eq_slices;
+
+    fn small_csr() -> Csr {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        Csr {
+            n_rows: 3,
+            n_cols: 3,
+            row_ptr: vec![0, 2, 2, 4],
+            col_idx: vec![0, 2, 0, 1],
+            values: vec![1.0, 2.0, 3.0, 4.0],
+        }
+    }
+
+    #[test]
+    fn known_product() {
+        let m = small_csr();
+        assert!(m.is_valid());
+        let y = serial(&m, &[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 0.0, 11.0]);
+        assert_eq!(parallel_static(&m, &[1.0, 2.0, 3.0], 2), y);
+        assert_eq!(parallel_dynamic(&m, &[1.0, 2.0, 3.0], 2, 1), y);
+    }
+
+    #[test]
+    fn generated_matrices_are_valid() {
+        for n in [1, 10, 200] {
+            let m = gen_sparse(n, 32, 7);
+            assert!(m.is_valid(), "invalid CSR at n={n}");
+            assert!(m.nnz() >= n, "every row has at least one nnz");
+        }
+    }
+
+    #[test]
+    fn variants_agree_on_generated_matrices() {
+        let m = gen_sparse(500, 64, 3);
+        let x = crate::dotaxpy::gen_vector(500, 9);
+        let reference = serial(&m, &x);
+        for t in [1, 2, 4, 8] {
+            assert!(approx_eq_slices(&reference, &parallel_static(&m, &x, t), 1e-12));
+            assert!(approx_eq_slices(&reference, &parallel_dynamic(&m, &x, t, 16), 1e-12));
+        }
+    }
+
+    #[test]
+    fn row_costs_are_skewed() {
+        let m = gen_sparse(2000, 64, 5);
+        let rows: Vec<usize> =
+            m.row_ptr.windows(2).map(|w| w[1] - w[0]).collect();
+        let max = *rows.iter().max().expect("non-empty");
+        let min = *rows.iter().min().expect("non-empty");
+        assert!(max >= 8 * min.max(1), "expected heavy tail: min={min} max={max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "n_cols")]
+    fn wrong_x_length_panics() {
+        let m = small_csr();
+        let _ = serial(&m, &[1.0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! 2-D five-point Jacobi stencil: the memory-bound counterweight to matmul.
+//!
+//! Its parallel speedup saturates once memory bandwidth is exhausted —
+//! exactly the sub-linear curve experiment E6 needs next to matmul's
+//! near-linear one.
+//!
+//! * [`naive`] — allocates a fresh grid every sweep (the way the loop is
+//!   usually first written).
+//! * [`optimized`] — ping-pong buffers, zero allocation in the sweep loop.
+//! * [`parallel`] — row-banded sweeps on scoped threads with the same
+//!   ping-pong discipline.
+
+use crate::XorShift64;
+
+/// Generates a deterministic `rows × cols` grid with a hot spot in the
+/// middle (so sweeps visibly diffuse).
+pub fn gen_grid(rows: usize, cols: usize, seed: u64) -> Vec<f64> {
+    let mut rng = XorShift64::new(seed ^ 0x57E4C11);
+    let mut g: Vec<f64> = (0..rows * cols).map(|_| rng.range_f64(0.0, 0.1)).collect();
+    if rows > 2 && cols > 2 {
+        g[(rows / 2) * cols + cols / 2] = 100.0;
+    }
+    g
+}
+
+fn check(grid: &[f64], rows: usize, cols: usize) {
+    assert_eq!(grid.len(), rows * cols, "grid must be rows*cols");
+    assert!(rows >= 3 && cols >= 3, "stencil needs at least a 3x3 grid");
+}
+
+#[inline]
+fn sweep_rows(src: &[f64], dst: &mut [f64], cols: usize, abs_row_start: usize, n_rows: usize) {
+    // dst covers rows [abs_row_start, abs_row_start + n_rows) of the grid;
+    // src is the full grid. Interior points only; boundary rows are copied.
+    for local_r in 0..n_rows {
+        let r = abs_row_start + local_r;
+        let dst_row = &mut dst[local_r * cols..(local_r + 1) * cols];
+        let is_boundary_row = r == 0 || r + 1 == src.len() / cols;
+        if is_boundary_row {
+            dst_row.copy_from_slice(&src[r * cols..(r + 1) * cols]);
+            continue;
+        }
+        let up = &src[(r - 1) * cols..r * cols];
+        let mid = &src[r * cols..(r + 1) * cols];
+        let down = &src[(r + 1) * cols..(r + 2) * cols];
+        dst_row[0] = mid[0];
+        dst_row[cols - 1] = mid[cols - 1];
+        for c in 1..cols - 1 {
+            dst_row[c] = 0.2 * (mid[c] + mid[c - 1] + mid[c + 1] + up[c] + down[c]);
+        }
+    }
+}
+
+/// Naive Jacobi: allocates a new grid for every sweep.
+///
+/// # Panics
+/// Panics on dimension mismatch or grids smaller than 3×3.
+pub fn naive(grid: &[f64], rows: usize, cols: usize, sweeps: usize) -> Vec<f64> {
+    check(grid, rows, cols);
+    let mut cur = grid.to_vec();
+    for _ in 0..sweeps {
+        let mut next = vec![0.0; rows * cols]; // fresh allocation per sweep
+        sweep_rows(&cur, &mut next, cols, 0, rows);
+        cur = next;
+    }
+    cur
+}
+
+/// Optimized Jacobi: two buffers swapped between sweeps, no allocation in
+/// the loop.
+///
+/// # Panics
+/// Panics on dimension mismatch or grids smaller than 3×3.
+pub fn optimized(grid: &[f64], rows: usize, cols: usize, sweeps: usize) -> Vec<f64> {
+    check(grid, rows, cols);
+    let mut cur = grid.to_vec();
+    let mut next = vec![0.0; rows * cols];
+    for _ in 0..sweeps {
+        sweep_rows(&cur, &mut next, cols, 0, rows);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// Parallel Jacobi: each sweep distributes row bands over scoped threads;
+/// buffers ping-pong between sweeps (one barrier per sweep via scope join).
+///
+/// # Panics
+/// Panics on dimension mismatch or grids smaller than 3×3.
+pub fn parallel(grid: &[f64], rows: usize, cols: usize, sweeps: usize, threads: usize) -> Vec<f64> {
+    check(grid, rows, cols);
+    let mut cur = grid.to_vec();
+    let mut next = vec![0.0; rows * cols];
+    let threads = threads.clamp(1, rows);
+    let band_rows = rows.div_ceil(threads);
+    for _ in 0..sweeps {
+        let src = &cur;
+        std::thread::scope(|scope| {
+            for (t, band) in next.chunks_mut(band_rows * cols).enumerate() {
+                let abs_start = t * band_rows;
+                let n_rows = band.len() / cols;
+                scope.spawn(move || sweep_rows(src, band, cols, abs_start, n_rows));
+            }
+        });
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::approx_eq_slices;
+
+    #[test]
+    fn uniform_grid_is_a_fixed_point() {
+        let rows = 6;
+        let cols = 5;
+        let grid = vec![3.0; rows * cols];
+        for out in [
+            naive(&grid, rows, cols, 4),
+            optimized(&grid, rows, cols, 4),
+            parallel(&grid, rows, cols, 4, 3),
+        ] {
+            assert!(approx_eq_slices(&out, &grid, 1e-12));
+        }
+    }
+
+    #[test]
+    fn variants_agree() {
+        let (rows, cols) = (17, 23);
+        let g = gen_grid(rows, cols, 7);
+        for sweeps in [0, 1, 5] {
+            let reference = naive(&g, rows, cols, sweeps);
+            assert!(
+                approx_eq_slices(&reference, &optimized(&g, rows, cols, sweeps), 1e-12),
+                "optimized mismatch at sweeps={sweeps}"
+            );
+            for threads in [1, 2, 4, 7] {
+                assert!(
+                    approx_eq_slices(
+                        &reference,
+                        &parallel(&g, rows, cols, sweeps, threads),
+                        1e-12
+                    ),
+                    "parallel mismatch at sweeps={sweeps}, threads={threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn heat_diffuses_from_hot_spot() {
+        let (rows, cols) = (9, 9);
+        let g = gen_grid(rows, cols, 1);
+        let after = optimized(&g, rows, cols, 3);
+        let centre = (rows / 2) * cols + cols / 2;
+        // Centre cooled, neighbours warmed.
+        assert!(after[centre] < g[centre]);
+        assert!(after[centre - 1] > g[centre - 1]);
+        // Total interior heat roughly conserved modulo boundary leakage.
+        let total_before: f64 = g.iter().sum();
+        let total_after: f64 = after.iter().sum();
+        assert!(total_after <= total_before);
+        assert!(total_after > 0.5 * total_before);
+    }
+
+    #[test]
+    fn boundaries_held_fixed() {
+        let (rows, cols) = (5, 7);
+        let g = gen_grid(rows, cols, 2);
+        let out = optimized(&g, rows, cols, 3);
+        for c in 0..cols {
+            assert_eq!(out[c], g[c], "top row changed");
+            assert_eq!(out[(rows - 1) * cols + c], g[(rows - 1) * cols + c], "bottom row changed");
+        }
+        for r in 0..rows {
+            assert_eq!(out[r * cols], g[r * cols], "left col changed");
+            assert_eq!(out[r * cols + cols - 1], g[r * cols + cols - 1], "right col changed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3")]
+    fn tiny_grid_rejected() {
+        let _ = naive(&[1.0, 2.0], 1, 2, 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Cross-variant verification helpers: every parallel/optimized kernel is
+//! checked against its naive sibling in tests before any benchmark quotes a
+//! speedup.
+
+/// True when two slices agree element-wise within relative tolerance
+/// `tol` (absolute near zero).
+pub fn approx_eq_slices(a: &[f64], b: &[f64], tol: f64) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(&x, &y)| {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= tol * scale
+        })
+}
+
+/// True when two scalars agree within relative tolerance.
+pub fn approx_eq(x: f64, y: f64, tol: f64) -> bool {
+    let scale = x.abs().max(y.abs()).max(1.0);
+    (x - y).abs() <= tol * scale
+}
+
+/// Checksum of a slice (order-dependent fold) for cheap smoke assertions.
+pub fn checksum(xs: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    for (i, &x) in xs.iter().enumerate() {
+        acc += x * (1.0 + (i % 7) as f64);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn approx_eq_slices_behaviour() {
+        assert!(approx_eq_slices(&[1.0, 2.0], &[1.0, 2.0 + 1e-12], 1e-9));
+        assert!(!approx_eq_slices(&[1.0, 2.0], &[1.0, 2.1], 1e-9));
+        assert!(!approx_eq_slices(&[1.0], &[1.0, 1.0], 1e-9));
+        // Relative scaling: 1e6 vs 1e6+1 passes at 1e-5.
+        assert!(approx_eq_slices(&[1e6], &[1e6 + 1.0], 1e-5));
+        assert!(!approx_eq_slices(&[1e6], &[1e6 + 100.0], 1e-6));
+    }
+
+    #[test]
+    fn approx_eq_near_zero_uses_absolute() {
+        assert!(approx_eq(0.0, 1e-12, 1e-9));
+        assert!(!approx_eq(0.0, 1e-3, 1e-9));
+    }
+
+    #[test]
+    fn checksum_is_order_sensitive() {
+        assert_ne!(checksum(&[1.0, 2.0, 3.0]), checksum(&[3.0, 2.0, 1.0]));
+        assert_eq!(checksum(&[]), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! `rsc` — the ResearchScript command-line runner.
+//!
+//! ```text
+//! rsc [OPTIONS] FILE.rsc        run a script file
+//! rsc [OPTIONS] -e 'EXPR'       evaluate a one-liner
+//!
+//!   --interp      use the tree-walking interpreter (default: bytecode VM)
+//!   --no-opt      skip the constant-folding optimizer (VM mode only)
+//!   --disasm      print the compiled bytecode instead of running
+//!   --time        print wall time to stderr after the run
+//! ```
+//!
+//! The program's final expression-statement value is printed to stdout
+//! (unless it is nil).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use rcr_minilang::{bytecode, disasm, interp::Interpreter, optimize, parser, vm::Vm, Value};
+
+struct Args {
+    source: Source,
+    interp: bool,
+    optimize: bool,
+    disasm: bool,
+    time: bool,
+}
+
+enum Source {
+    File(String),
+    Inline(String),
+}
+
+fn usage() -> &'static str {
+    "usage: rsc [--interp] [--no-opt] [--disasm] [--time] (FILE.rsc | -e 'EXPR')"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut source = None;
+    let mut interp = false;
+    let mut optimize = true;
+    let mut disasm = false;
+    let mut time = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interp" => interp = true,
+            "--no-opt" => optimize = false,
+            "--disasm" => disasm = true,
+            "--time" => time = true,
+            "-e" => {
+                let expr = it.next().ok_or_else(|| format!("-e needs an argument\n{}", usage()))?;
+                source = Some(Source::Inline(expr));
+            }
+            "--help" | "-h" => return Err(usage().to_owned()),
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown option `{flag}`\n{}", usage()))
+            }
+            file => source = Some(Source::File(file.to_owned())),
+        }
+    }
+    let source = source.ok_or_else(|| usage().to_owned())?;
+    Ok(Args { source, interp, optimize, disasm, time })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let src = match &args.source {
+        Source::Inline(s) => s.clone(),
+        Source::File(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rsc: cannot read {path}: {e}");
+                return ExitCode::from(1);
+            }
+        },
+    };
+
+    let program = match parser::parse(&src) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("rsc: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let program = if args.optimize { optimize::optimize(&program) } else { program };
+
+    if args.disasm {
+        match bytecode::compile(&program) {
+            Ok(c) => print!("{}", disasm::disassemble(&c)),
+            Err(e) => {
+                eprintln!("rsc: {e}");
+                return ExitCode::from(1);
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let t0 = Instant::now();
+    let result = if args.interp {
+        Interpreter::new().run(&program)
+    } else {
+        bytecode::compile(&program).and_then(|c| Vm::new().run(&c))
+    };
+    let dt = t0.elapsed();
+    match result {
+        Ok(Value::Nil) => {}
+        Ok(v) => println!("{v}"),
+        Err(e) => {
+            eprintln!("rsc: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    if args.time {
+        eprintln!("[{:.3} ms]", dt.as_secs_f64() * 1e3);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,277 @@
+//! Built-in functions, including the vectorized tier-3 primitives.
+//!
+//! The scalar builtins (`sqrt`, `abs`, ...) cost one dynamic dispatch per
+//! call, like any interpreted call. The vectorized builtins (`vdot`,
+//! `vaxpy`, `vsum`, `vscale`) amortize that dispatch over an entire
+//! contiguous float array — the ResearchScript analog of replacing a Python
+//! loop with a NumPy call, and the third rung of the E11 ablation.
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// Signature of a builtin: takes evaluated arguments, returns a value.
+pub type BuiltinFn = fn(&[Value]) -> Result<Value>;
+
+/// Looks up a builtin by name.
+pub fn lookup(name: &str) -> Option<BuiltinFn> {
+    Some(match name {
+        "print" => b_print,
+        "len" => b_len,
+        "push" => b_push,
+        "sqrt" => b_sqrt,
+        "abs" => b_abs,
+        "floor" => b_floor,
+        "min" => b_min,
+        "max" => b_max,
+        "fill" => b_fill,
+        "zeros" => b_zeros,
+        "vsum" => b_vsum,
+        "vdot" => b_vdot,
+        "vaxpy" => b_vaxpy,
+        "vscale" => b_vscale,
+        _ => return None,
+    })
+}
+
+/// Names of all builtins (used by the compiler to resolve call targets).
+pub const NAMES: [&str; 14] = [
+    "print", "len", "push", "sqrt", "abs", "floor", "min", "max", "fill", "zeros", "vsum",
+    "vdot", "vaxpy", "vscale",
+];
+
+fn arity(name: &str, args: &[Value], want: usize) -> Result<()> {
+    if args.len() == want {
+        Ok(())
+    } else {
+        Err(Error::runtime(format!(
+            "builtin `{name}` expects {want} argument(s), got {}",
+            args.len()
+        )))
+    }
+}
+
+fn b_print(args: &[Value]) -> Result<Value> {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            let _ = write!(lock, " ");
+        }
+        let _ = write!(lock, "{a}");
+    }
+    let _ = writeln!(lock);
+    Ok(Value::Nil)
+}
+
+fn b_len(args: &[Value]) -> Result<Value> {
+    arity("len", args, 1)?;
+    let n = match &args[0] {
+        Value::Array(items) => items.borrow().len(),
+        Value::FloatArray(items) => items.borrow().len(),
+        Value::Str(s) => s.len(),
+        other => {
+            return Err(Error::runtime(format!("len: cannot measure a {}", other.type_name())))
+        }
+    };
+    Ok(Value::Num(n as f64))
+}
+
+fn b_push(args: &[Value]) -> Result<Value> {
+    arity("push", args, 2)?;
+    match &args[0] {
+        Value::Array(items) => {
+            items.borrow_mut().push(args[1].clone());
+            Ok(Value::Nil)
+        }
+        Value::FloatArray(items) => {
+            items.borrow_mut().push(args[1].as_num("push")?);
+            Ok(Value::Nil)
+        }
+        other => Err(Error::runtime(format!("push: cannot push onto a {}", other.type_name()))),
+    }
+}
+
+fn b_sqrt(args: &[Value]) -> Result<Value> {
+    arity("sqrt", args, 1)?;
+    Ok(Value::Num(args[0].as_num("sqrt")?.sqrt()))
+}
+
+fn b_abs(args: &[Value]) -> Result<Value> {
+    arity("abs", args, 1)?;
+    Ok(Value::Num(args[0].as_num("abs")?.abs()))
+}
+
+fn b_floor(args: &[Value]) -> Result<Value> {
+    arity("floor", args, 1)?;
+    Ok(Value::Num(args[0].as_num("floor")?.floor()))
+}
+
+fn b_min(args: &[Value]) -> Result<Value> {
+    arity("min", args, 2)?;
+    Ok(Value::Num(args[0].as_num("min")?.min(args[1].as_num("min")?)))
+}
+
+fn b_max(args: &[Value]) -> Result<Value> {
+    arity("max", args, 2)?;
+    Ok(Value::Num(args[0].as_num("max")?.max(args[1].as_num("max")?)))
+}
+
+fn b_fill(args: &[Value]) -> Result<Value> {
+    arity("fill", args, 2)?;
+    let n = args[0].as_index("fill length")?;
+    let v = args[1].as_num("fill value")?;
+    Ok(Value::float_array(vec![v; n]))
+}
+
+fn b_zeros(args: &[Value]) -> Result<Value> {
+    arity("zeros", args, 1)?;
+    let n = args[0].as_index("zeros length")?;
+    Ok(Value::float_array(vec![0.0; n]))
+}
+
+fn float_arg<'a>(name: &str, v: &'a Value) -> Result<&'a std::rc::Rc<std::cell::RefCell<Vec<f64>>>> {
+    match v {
+        Value::FloatArray(items) => Ok(items),
+        other => Err(Error::runtime(format!(
+            "{name}: expected float-array, got {}",
+            other.type_name()
+        ))),
+    }
+}
+
+fn b_vsum(args: &[Value]) -> Result<Value> {
+    arity("vsum", args, 1)?;
+    let a = float_arg("vsum", &args[0])?.borrow();
+    Ok(Value::Num(a.iter().sum()))
+}
+
+fn b_vdot(args: &[Value]) -> Result<Value> {
+    arity("vdot", args, 2)?;
+    let a = float_arg("vdot", &args[0])?.borrow();
+    let b = float_arg("vdot", &args[1])?.borrow();
+    if a.len() != b.len() {
+        return Err(Error::runtime(format!(
+            "vdot: length mismatch ({} vs {})",
+            a.len(),
+            b.len()
+        )));
+    }
+    Ok(Value::Num(a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()))
+}
+
+fn b_vaxpy(args: &[Value]) -> Result<Value> {
+    arity("vaxpy", args, 3)?;
+    let alpha = args[0].as_num("vaxpy alpha")?;
+    let x_rc = float_arg("vaxpy", &args[1])?;
+    let y_rc = float_arg("vaxpy", &args[2])?;
+    if std::rc::Rc::ptr_eq(x_rc, y_rc) {
+        // y += alpha*y without aliasing UB concerns: scale in place.
+        for v in y_rc.borrow_mut().iter_mut() {
+            *v += alpha * *v;
+        }
+        return Ok(Value::Nil);
+    }
+    let x = x_rc.borrow();
+    let mut y = y_rc.borrow_mut();
+    if x.len() != y.len() {
+        return Err(Error::runtime(format!(
+            "vaxpy: length mismatch ({} vs {})",
+            x.len(),
+            y.len()
+        )));
+    }
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+    Ok(Value::Nil)
+}
+
+fn b_vscale(args: &[Value]) -> Result<Value> {
+    arity("vscale", args, 2)?;
+    let alpha = args[0].as_num("vscale alpha")?;
+    let x = float_arg("vscale", &args[1])?;
+    for v in x.borrow_mut().iter_mut() {
+        *v *= alpha;
+    }
+    Ok(Value::Nil)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_knows_all_names_and_rejects_unknown() {
+        for n in NAMES {
+            assert!(lookup(n).is_some(), "missing builtin {n}");
+        }
+        assert!(lookup("nope").is_none());
+        assert!(lookup("range").is_none(), "`range` is syntax, not a builtin");
+    }
+
+    #[test]
+    fn len_and_push() {
+        let arr = Value::array(vec![]);
+        b_push(&[arr.clone(), Value::Num(5.0)]).unwrap();
+        b_push(&[arr.clone(), Value::str("x")]).unwrap();
+        assert_eq!(b_len(&[arr]).unwrap(), Value::Num(2.0));
+        assert_eq!(b_len(&[Value::str("abc")]).unwrap(), Value::Num(3.0));
+        assert!(b_len(&[Value::Num(1.0)]).is_err());
+        assert!(b_push(&[Value::Nil, Value::Num(1.0)]).is_err());
+        // Pushing a non-number into a float array fails.
+        let fa = Value::float_array(vec![]);
+        b_push(&[fa.clone(), Value::Num(2.0)]).unwrap();
+        assert!(b_push(&[fa, Value::str("x")]).is_err());
+    }
+
+    #[test]
+    fn scalar_math() {
+        assert_eq!(b_sqrt(&[Value::Num(9.0)]).unwrap(), Value::Num(3.0));
+        assert_eq!(b_abs(&[Value::Num(-2.5)]).unwrap(), Value::Num(2.5));
+        assert_eq!(b_floor(&[Value::Num(2.9)]).unwrap(), Value::Num(2.0));
+        assert_eq!(b_min(&[Value::Num(1.0), Value::Num(2.0)]).unwrap(), Value::Num(1.0));
+        assert_eq!(b_max(&[Value::Num(1.0), Value::Num(2.0)]).unwrap(), Value::Num(2.0));
+        assert!(b_sqrt(&[Value::str("4")]).is_err());
+        assert!(b_sqrt(&[]).is_err());
+    }
+
+    #[test]
+    fn fill_and_zeros() {
+        let a = b_fill(&[Value::Num(3.0), Value::Num(1.5)]).unwrap();
+        assert_eq!(a, Value::float_array(vec![1.5, 1.5, 1.5]));
+        let z = b_zeros(&[Value::Num(2.0)]).unwrap();
+        assert_eq!(z, Value::float_array(vec![0.0, 0.0]));
+        assert!(b_fill(&[Value::Num(-1.0), Value::Num(0.0)]).is_err());
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Value::float_array(vec![1.0, 2.0, 3.0]);
+        let b = Value::float_array(vec![4.0, 5.0, 6.0]);
+        assert_eq!(b_vsum(&[a.clone()]).unwrap(), Value::Num(6.0));
+        assert_eq!(b_vdot(&[a.clone(), b.clone()]).unwrap(), Value::Num(32.0));
+        b_vaxpy(&[Value::Num(2.0), a.clone(), b.clone()]).unwrap();
+        assert_eq!(b, Value::float_array(vec![6.0, 9.0, 12.0]));
+        b_vscale(&[Value::Num(0.5), a.clone()]).unwrap();
+        assert_eq!(a, Value::float_array(vec![0.5, 1.0, 1.5]));
+    }
+
+    #[test]
+    fn vector_op_errors() {
+        let a = Value::float_array(vec![1.0, 2.0]);
+        let short = Value::float_array(vec![1.0]);
+        assert!(b_vdot(&[a.clone(), short.clone()]).is_err());
+        assert!(b_vaxpy(&[Value::Num(1.0), a.clone(), short]).is_err());
+        assert!(b_vsum(&[Value::array(vec![])]).is_err());
+        assert!(b_vdot(&[a.clone(), Value::Num(3.0)]).is_err());
+    }
+
+    #[test]
+    fn vaxpy_aliased_arrays() {
+        let a = Value::float_array(vec![1.0, 2.0]);
+        // y = y + 1*y  ->  doubled, no panic from double borrow.
+        b_vaxpy(&[Value::Num(1.0), a.clone(), a.clone()]).unwrap();
+        assert_eq!(a, Value::float_array(vec![2.0, 4.0]));
+    }
+}

@@ -1,0 +1,597 @@
+//! Tier 2, part 1: the bytecode compiler.
+//!
+//! Variables are resolved to numbered frame slots at compile time (the
+//! single biggest win over the tree-walker's hash-map lookups), `break` /
+//! `continue` become patched jumps, and call targets are resolved to
+//! function or builtin indices. Slots are pre-allocated per function, so
+//! scope exit costs nothing at runtime.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinOp, Block, Expr, FnDef, Program, Stmt, UnOp};
+use crate::builtins;
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// One bytecode instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Push constant `consts[i]`.
+    Const(u16),
+    /// Push nil.
+    Nil,
+    /// Push true.
+    True,
+    /// Push false.
+    False,
+    /// Push local slot `i`.
+    LoadLocal(u16),
+    /// Pop into local slot `i`.
+    StoreLocal(u16),
+    /// Arithmetic/comparison (dispatches through [`crate::value::binop`]).
+    Bin(BinOp),
+    /// Numeric negation.
+    Neg,
+    /// Logical not.
+    Not,
+    /// Unconditional jump to absolute instruction index.
+    Jump(u32),
+    /// Pop; jump when falsey.
+    JumpIfFalse(u32),
+    /// Jump when top-of-stack is falsey, leaving it in place (for `and`).
+    JumpIfFalsePeek(u32),
+    /// Jump when top-of-stack is truthy, leaving it in place (for `or`).
+    JumpIfTruePeek(u32),
+    /// Call user function `i` with `argc` arguments already on the stack.
+    CallFn(u16, u8),
+    /// Call builtin `i` with `argc` arguments already on the stack.
+    CallBuiltin(u16, u8),
+    /// Return with the top-of-stack value.
+    Ret,
+    /// Return nil.
+    RetNil,
+    /// Pop `n` values, push an array of them (in push order).
+    MakeArray(u16),
+    /// Pop index and base, push `base[index]`.
+    IndexGet,
+    /// Pop value, index, base; perform `base[index] = value`.
+    IndexSet,
+    /// Pop and discard.
+    Pop,
+    /// Pop into the VM's result register (top-level expression statements).
+    SetResult,
+}
+
+/// A compiled function body.
+#[derive(Debug, Clone)]
+pub struct CompiledFn {
+    /// Function name (`"<main>"` for the top level).
+    pub name: String,
+    /// Number of parameters.
+    pub arity: u8,
+    /// Total frame slots (parameters + locals + hidden loop temporaries).
+    pub n_slots: u16,
+    /// Instructions.
+    pub code: Vec<Op>,
+    /// Constant pool.
+    pub consts: Vec<Value>,
+}
+
+/// A fully compiled program.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// All functions; the last entry is the synthesized `<main>`.
+    pub funcs: Vec<CompiledFn>,
+    /// Index of `<main>` in [`Compiled::funcs`].
+    pub main: usize,
+}
+
+/// Compiles a parsed program.
+///
+/// # Errors
+/// [`Error::Compile`] for undefined variables, unknown functions, arity
+/// mismatches, duplicate/shadowing definitions, and `break`/`continue`
+/// outside loops. (The tree-walker reports these lazily at runtime; the
+/// compiler front-loads them.)
+pub fn compile(program: &Program) -> Result<Compiled> {
+    let mut fn_indices: HashMap<&str, (usize, usize)> = HashMap::new(); // name -> (idx, arity)
+    for (i, f) in program.functions.iter().enumerate() {
+        if builtins::lookup(&f.name).is_some() {
+            return Err(Error::compile(
+                format!("function `{}` shadows a builtin", f.name),
+                f.line,
+            ));
+        }
+        if fn_indices.insert(&f.name, (i, f.params.len())).is_some() {
+            return Err(Error::compile(format!("function `{}` defined twice", f.name), f.line));
+        }
+    }
+    let mut funcs = Vec::with_capacity(program.functions.len() + 1);
+    for f in &program.functions {
+        funcs.push(compile_fn(f, &fn_indices)?);
+    }
+    let main_def = FnDef {
+        name: "<main>".into(),
+        params: Vec::new(),
+        body: program.main.clone(),
+        line: 0,
+    };
+    let mut main = Compiler::new(&main_def, &fn_indices, true);
+    main.block_flat(&program.main)?;
+    main.emit(Op::RetNil);
+    funcs.push(main.finish());
+    let main_idx = funcs.len() - 1;
+    Ok(Compiled { funcs, main: main_idx })
+}
+
+fn compile_fn(f: &FnDef, fns: &HashMap<&str, (usize, usize)>) -> Result<CompiledFn> {
+    let mut c = Compiler::new(f, fns, false);
+    c.block_flat(&f.body)?;
+    c.emit(Op::RetNil);
+    Ok(c.finish())
+}
+
+/// Book-keeping for one loop being compiled.
+struct LoopCtx {
+    /// Jump target for `continue`; `None` inside a `for` until the increment
+    /// address is known (placeholder jumps are patched afterwards).
+    continue_target: Option<u32>,
+    /// Indices of `break` jump instructions awaiting the exit address.
+    break_patches: Vec<usize>,
+}
+
+struct Compiler<'a> {
+    fns: &'a HashMap<&'a str, (usize, usize)>,
+    /// `(name, slot)` pairs, innermost declarations last.
+    locals: Vec<(String, u16)>,
+    /// `locals.len()` at each open scope.
+    scope_starts: Vec<usize>,
+    next_slot: u16,
+    code: Vec<Op>,
+    consts: Vec<Value>,
+    loops: Vec<LoopCtx>,
+    is_main: bool,
+    name: String,
+    arity: u8,
+    line: u32,
+}
+
+impl<'a> Compiler<'a> {
+    fn new(f: &FnDef, fns: &'a HashMap<&'a str, (usize, usize)>, is_main: bool) -> Self {
+        let mut c = Compiler {
+            fns,
+            locals: Vec::new(),
+            scope_starts: Vec::new(),
+            next_slot: 0,
+            code: Vec::new(),
+            consts: Vec::new(),
+            loops: Vec::new(),
+            is_main,
+            name: f.name.clone(),
+            arity: f.params.len() as u8,
+            line: f.line,
+        };
+        for p in &f.params {
+            c.declare(p.clone());
+        }
+        c
+    }
+
+    fn finish(self) -> CompiledFn {
+        CompiledFn {
+            name: self.name,
+            arity: self.arity,
+            n_slots: self.next_slot,
+            code: self.code,
+            consts: self.consts,
+        }
+    }
+
+    fn emit(&mut self, op: Op) -> usize {
+        self.code.push(op);
+        self.code.len() - 1
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn patch(&mut self, at: usize, target: u32) {
+        match &mut self.code[at] {
+            Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfFalsePeek(t) | Op::JumpIfTruePeek(t) => {
+                *t = target;
+            }
+            other => unreachable!("patching non-jump {other:?}"),
+        }
+    }
+
+    fn constant(&mut self, v: Value) -> Result<u16> {
+        if self.consts.len() >= u16::MAX as usize {
+            return Err(Error::compile("too many constants in one function", self.line));
+        }
+        self.consts.push(v);
+        Ok((self.consts.len() - 1) as u16)
+    }
+
+    fn declare(&mut self, name: String) -> u16 {
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.locals.push((name, slot));
+        slot
+    }
+
+    fn resolve(&self, name: &str) -> Option<u16> {
+        self.locals.iter().rev().find(|(n, _)| n == name).map(|&(_, s)| s)
+    }
+
+    fn push_scope(&mut self) {
+        self.scope_starts.push(self.locals.len());
+    }
+
+    fn pop_scope(&mut self) {
+        let start = self.scope_starts.pop().expect("balanced scopes");
+        self.locals.truncate(start);
+    }
+
+    fn block_flat(&mut self, block: &Block) -> Result<()> {
+        for s in block {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn block_scoped(&mut self, block: &Block) -> Result<()> {
+        self.push_scope();
+        let r = self.block_flat(block);
+        self.pop_scope();
+        r
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<()> {
+        match stmt {
+            Stmt::Let { name, init } => {
+                self.expr(init)?;
+                let slot = self.declare(name.clone());
+                self.emit(Op::StoreLocal(slot));
+                Ok(())
+            }
+            Stmt::Assign { name, value } => {
+                let Some(slot) = self.resolve(name) else {
+                    return Err(Error::compile(
+                        format!("assignment to undefined variable `{name}`"),
+                        self.line,
+                    ));
+                };
+                self.expr(value)?;
+                self.emit(Op::StoreLocal(slot));
+                Ok(())
+            }
+            Stmt::IndexAssign { base, index, value } => {
+                self.expr(base)?;
+                self.expr(index)?;
+                self.expr(value)?;
+                self.emit(Op::IndexSet);
+                Ok(())
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                self.emit(if self.is_main { Op::SetResult } else { Op::Pop });
+                Ok(())
+            }
+            Stmt::If { cond, then_block, else_block } => {
+                self.expr(cond)?;
+                let jf = self.emit(Op::JumpIfFalse(0));
+                self.block_scoped(then_block)?;
+                if else_block.is_empty() {
+                    let end = self.here();
+                    self.patch(jf, end);
+                } else {
+                    let jend = self.emit(Op::Jump(0));
+                    let else_at = self.here();
+                    self.patch(jf, else_at);
+                    self.block_scoped(else_block)?;
+                    let end = self.here();
+                    self.patch(jend, end);
+                }
+                Ok(())
+            }
+            Stmt::While { cond, body } => {
+                let top = self.here();
+                self.expr(cond)?;
+                let jf = self.emit(Op::JumpIfFalse(0));
+                self.loops
+                    .push(LoopCtx { continue_target: Some(top), break_patches: Vec::new() });
+                self.block_scoped(body)?;
+                self.emit(Op::Jump(top));
+                let exit = self.here();
+                self.patch(jf, exit);
+                let ctx = self.loops.pop().expect("loop ctx pushed above");
+                for b in ctx.break_patches {
+                    self.patch(b, exit);
+                }
+                Ok(())
+            }
+            Stmt::ForRange { var, start, end, body } => {
+                // Scope holding the loop variable and the hidden end slot.
+                self.push_scope();
+                self.expr(start)?;
+                let i_slot = self.declare(var.clone());
+                self.emit(Op::StoreLocal(i_slot));
+                self.expr(end)?;
+                // Hidden slot: a name no identifier can collide with.
+                let end_slot = self.declare(format!("<end:{}>", self.next_slot));
+                self.emit(Op::StoreLocal(end_slot));
+
+                let top = self.here();
+                self.emit(Op::LoadLocal(i_slot));
+                self.emit(Op::LoadLocal(end_slot));
+                self.emit(Op::Bin(BinOp::Lt));
+                let jf = self.emit(Op::JumpIfFalse(0));
+
+                // `continue` must run the increment, so it targets a stub we
+                // know only after the body: emit body, record increment spot.
+                self.loops
+                    .push(LoopCtx { continue_target: None, break_patches: Vec::new() });
+                let body_start = self.here();
+                self.block_scoped(body)?;
+                let increment_at = self.here();
+                // Patch any `continue` placeholders (stored as Jump(u32::MAX)).
+                for idx in 0..self.code.len() {
+                    if self.code[idx] == Op::Jump(CONTINUE_PLACEHOLDER)
+                        && idx >= body_start as usize
+                    {
+                        self.patch(idx, increment_at);
+                    }
+                }
+                self.emit(Op::LoadLocal(i_slot));
+                let one = self.constant(Value::Num(1.0))?;
+                self.emit(Op::Const(one));
+                self.emit(Op::Bin(BinOp::Add));
+                self.emit(Op::StoreLocal(i_slot));
+                self.emit(Op::Jump(top));
+                let exit = self.here();
+                self.patch(jf, exit);
+                let ctx = self.loops.pop().expect("loop ctx pushed above");
+                for b in ctx.break_patches {
+                    self.patch(b, exit);
+                }
+                self.pop_scope();
+                Ok(())
+            }
+            Stmt::Return(value) => {
+                match value {
+                    Some(e) => {
+                        self.expr(e)?;
+                        self.emit(Op::Ret);
+                    }
+                    None => {
+                        self.emit(Op::RetNil);
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Break => {
+                if self.loops.is_empty() {
+                    return Err(Error::compile("`break` outside a loop", self.line));
+                }
+                let j = self.emit(Op::Jump(0));
+                self.loops
+                    .last_mut()
+                    .expect("checked non-empty")
+                    .break_patches
+                    .push(j);
+                Ok(())
+            }
+            Stmt::Continue => {
+                let Some(ctx) = self.loops.last() else {
+                    return Err(Error::compile("`continue` outside a loop", self.line));
+                };
+                match ctx.continue_target {
+                    Some(t) => {
+                        self.emit(Op::Jump(t));
+                    }
+                    // Inside a for-range the increment address is unknown
+                    // until the body is compiled; emit a placeholder.
+                    None => {
+                        self.emit(Op::Jump(CONTINUE_PLACEHOLDER));
+                    }
+                }
+                Ok(())
+            }
+            Stmt::Block(b) => self.block_scoped(b),
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) -> Result<()> {
+        match e {
+            Expr::Num(n) => {
+                let c = self.constant(Value::Num(*n))?;
+                self.emit(Op::Const(c));
+            }
+            Expr::Str(s) => {
+                let c = self.constant(Value::str(s))?;
+                self.emit(Op::Const(c));
+            }
+            Expr::Bool(true) => {
+                self.emit(Op::True);
+            }
+            Expr::Bool(false) => {
+                self.emit(Op::False);
+            }
+            Expr::Nil => {
+                self.emit(Op::Nil);
+            }
+            Expr::Var(name) => {
+                let Some(slot) = self.resolve(name) else {
+                    return Err(Error::compile(format!("undefined variable `{name}`"), self.line));
+                };
+                self.emit(Op::LoadLocal(slot));
+            }
+            Expr::Array(elems) => {
+                if elems.len() > u16::MAX as usize {
+                    return Err(Error::compile("array literal too large", self.line));
+                }
+                for el in elems {
+                    self.expr(el)?;
+                }
+                self.emit(Op::MakeArray(elems.len() as u16));
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                self.expr(lhs)?;
+                self.expr(rhs)?;
+                self.emit(Op::Bin(*op));
+            }
+            Expr::And(l, r) => {
+                self.expr(l)?;
+                let j = self.emit(Op::JumpIfFalsePeek(0));
+                self.emit(Op::Pop);
+                self.expr(r)?;
+                let end = self.here();
+                self.patch(j, end);
+            }
+            Expr::Or(l, r) => {
+                self.expr(l)?;
+                let j = self.emit(Op::JumpIfTruePeek(0));
+                self.emit(Op::Pop);
+                self.expr(r)?;
+                let end = self.here();
+                self.patch(j, end);
+            }
+            Expr::Un { op, expr } => {
+                self.expr(expr)?;
+                self.emit(match op {
+                    UnOp::Neg => Op::Neg,
+                    UnOp::Not => Op::Not,
+                });
+            }
+            Expr::Index { base, index } => {
+                self.expr(base)?;
+                self.expr(index)?;
+                self.emit(Op::IndexGet);
+            }
+            Expr::Call { name, args, line } => {
+                self.line = *line;
+                if args.len() > u8::MAX as usize {
+                    return Err(Error::compile("too many call arguments", *line));
+                }
+                if let Some(&(idx, arity)) = self.fns.get(name.as_str()) {
+                    if args.len() != arity {
+                        return Err(Error::compile(
+                            format!(
+                                "function `{name}` expects {arity} argument(s), got {}",
+                                args.len()
+                            ),
+                            *line,
+                        ));
+                    }
+                    for a in args {
+                        self.expr(a)?;
+                    }
+                    self.emit(Op::CallFn(idx as u16, args.len() as u8));
+                } else if let Some(bidx) =
+                    builtins::NAMES.iter().position(|n| n == name)
+                {
+                    for a in args {
+                        self.expr(a)?;
+                    }
+                    self.emit(Op::CallBuiltin(bidx as u16, args.len() as u8));
+                } else {
+                    return Err(Error::compile(format!("unknown function `{name}`"), *line));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sentinel jump target used for `continue` inside `for` until the increment
+/// address is known.
+const CONTINUE_PLACEHOLDER: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn compile_src(src: &str) -> Result<Compiled> {
+        compile(&parse(src).expect("test programs parse"))
+    }
+
+    #[test]
+    fn compiles_simple_program() {
+        let c = compile_src("let x = 1; x + 2").unwrap();
+        assert_eq!(c.funcs.len(), 1);
+        let main = &c.funcs[c.main];
+        assert_eq!(main.name, "<main>");
+        assert_eq!(main.arity, 0);
+        assert!(main.n_slots >= 1);
+        assert!(main.code.contains(&Op::SetResult));
+        assert_eq!(*main.code.last().unwrap(), Op::RetNil);
+    }
+
+    #[test]
+    fn function_bodies_pop_instead_of_set_result() {
+        let c = compile_src("fn f() { 42; } f()").unwrap();
+        let f = &c.funcs[0];
+        assert!(f.code.contains(&Op::Pop));
+        assert!(!f.code.contains(&Op::SetResult));
+    }
+
+    #[test]
+    fn undefined_variable_is_a_compile_error() {
+        assert!(matches!(compile_src("y + 1"), Err(Error::Compile { .. })));
+        assert!(matches!(compile_src("x = 1;"), Err(Error::Compile { .. })));
+    }
+
+    #[test]
+    fn unknown_function_and_arity_checked_at_compile_time() {
+        assert!(compile_src("nope(1)").is_err());
+        assert!(compile_src("fn f(a) { return a; } f(1, 2)").is_err());
+        assert!(compile_src("fn f(a) { return a; } f(1)").is_ok());
+    }
+
+    #[test]
+    fn duplicate_and_shadowing_functions_rejected() {
+        assert!(compile_src("fn f() { } fn f() { }").is_err());
+        assert!(compile_src("fn len(a) { }").is_err());
+    }
+
+    #[test]
+    fn break_continue_require_loop() {
+        assert!(compile_src("break;").is_err());
+        assert!(compile_src("continue;").is_err());
+        assert!(compile_src("while true { break; }").is_ok());
+    }
+
+    #[test]
+    fn scope_resolution_shadowing() {
+        // Inner `x` gets its own slot; outer is restored after the block.
+        let c = compile_src("let x = 1; { let x = 2; x; } x").unwrap();
+        let main = &c.funcs[c.main];
+        assert!(main.n_slots >= 2);
+    }
+
+    #[test]
+    fn loop_emits_hidden_end_slot() {
+        let c = compile_src("for i in range(0, 3) { i; }").unwrap();
+        let main = &c.funcs[c.main];
+        // i + hidden end.
+        assert!(main.n_slots >= 2);
+        // No placeholder jumps survive compilation.
+        assert!(!main.code.contains(&Op::Jump(CONTINUE_PLACEHOLDER)));
+    }
+
+    #[test]
+    fn continue_in_for_patched_to_increment() {
+        let c =
+            compile_src("let s = 0; for i in range(0, 10) { if i % 2 == 0 { continue; } s = s + i; }")
+                .unwrap();
+        let main = &c.funcs[c.main];
+        assert!(!main.code.contains(&Op::Jump(CONTINUE_PLACEHOLDER)));
+    }
+
+    #[test]
+    fn loop_variable_out_of_scope_after_for() {
+        assert!(compile_src("for i in range(0, 3) { } i").is_err());
+    }
+}

@@ -1,0 +1,134 @@
+//! Bytecode disassembler: renders compiled functions as readable listings.
+//!
+//! Used in tests (asserting on generated code shapes survives refactors
+//! better than matching `Op` vectors), in documentation, and by anyone
+//! debugging the compiler.
+
+use std::fmt::Write as _;
+
+use crate::ast::BinOp;
+use crate::builtins;
+use crate::bytecode::{Compiled, CompiledFn, Op};
+
+/// Disassembles one compiled function.
+pub fn disassemble_fn(f: &CompiledFn) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "fn {} (arity {}, {} slots, {} consts)", f.name, f.arity, f.n_slots, f.consts.len());
+    for (i, op) in f.code.iter().enumerate() {
+        let _ = writeln!(out, "  {i:4}  {}", render_op(f, *op));
+    }
+    out
+}
+
+/// Disassembles a whole program, `<main>` last.
+pub fn disassemble(c: &Compiled) -> String {
+    let mut out = String::new();
+    for f in &c.funcs {
+        out.push_str(&disassemble_fn(f));
+        out.push('\n');
+    }
+    out
+}
+
+fn bin_name(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Mod => "mod",
+        BinOp::Eq => "eq",
+        BinOp::Ne => "ne",
+        BinOp::Lt => "lt",
+        BinOp::Le => "le",
+        BinOp::Gt => "gt",
+        BinOp::Ge => "ge",
+    }
+}
+
+fn render_op(f: &CompiledFn, op: Op) -> String {
+    match op {
+        Op::Const(i) => format!("const      {i} ; {}", f.consts[i as usize]),
+        Op::Nil => "nil".into(),
+        Op::True => "true".into(),
+        Op::False => "false".into(),
+        Op::LoadLocal(i) => format!("load       slot{i}"),
+        Op::StoreLocal(i) => format!("store      slot{i}"),
+        Op::Bin(b) => bin_name(b).into(),
+        Op::Neg => "neg".into(),
+        Op::Not => "not".into(),
+        Op::Jump(t) => format!("jump       -> {t}"),
+        Op::JumpIfFalse(t) => format!("jfalse     -> {t}"),
+        Op::JumpIfFalsePeek(t) => format!("jfalse.pk  -> {t}"),
+        Op::JumpIfTruePeek(t) => format!("jtrue.pk   -> {t}"),
+        Op::CallFn(i, argc) => format!("call       fn#{i}/{argc}"),
+        Op::CallBuiltin(i, argc) => {
+            format!("callb      {}/{argc}", builtins::NAMES[i as usize])
+        }
+        Op::Ret => "ret".into(),
+        Op::RetNil => "ret.nil".into(),
+        Op::MakeArray(n) => format!("mkarray    {n}"),
+        Op::IndexGet => "index.get".into(),
+        Op::IndexSet => "index.set".into(),
+        Op::Pop => "pop".into(),
+        Op::SetResult => "setresult".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::compile;
+    use crate::parser::parse;
+
+    fn compile_src(src: &str) -> Compiled {
+        compile(&parse(src).expect("parses")).expect("compiles")
+    }
+
+    #[test]
+    fn listing_shows_every_instruction() {
+        let c = compile_src("let x = 1 + 2; x");
+        let text = disassemble(&c);
+        assert!(text.contains("fn <main>"));
+        assert!(text.contains("const"));
+        assert!(text.contains("add"));
+        assert!(text.contains("store      slot0"));
+        assert!(text.contains("setresult"));
+        assert!(text.trim_end().ends_with("ret.nil"));
+    }
+
+    #[test]
+    fn jumps_render_targets() {
+        let c = compile_src("let i = 0; while i < 3 { i = i + 1; }");
+        let text = disassemble(&c);
+        assert!(text.contains("jfalse     ->"));
+        assert!(text.contains("jump       ->"));
+    }
+
+    #[test]
+    fn calls_render_names() {
+        let c = compile_src("fn sq(x) { return x * x; } sq(len([1, 2]))");
+        let text = disassemble(&c);
+        assert!(text.contains("fn sq (arity 1"));
+        assert!(text.contains("call       fn#0/1"));
+        assert!(text.contains("callb      len/1"));
+        assert!(text.contains("mkarray    2"));
+    }
+
+    #[test]
+    fn constants_render_inline_values() {
+        let c = compile_src("\"hello\"");
+        let text = disassemble(&c);
+        assert!(text.contains("; hello"));
+    }
+
+    #[test]
+    fn folding_shrinks_the_listing() {
+        // The optimizer's effect is visible in instruction counts.
+        let plain = compile(&parse("1 + 2 * 3").unwrap()).unwrap();
+        let opt_ast = crate::optimize::optimize(&parse("1 + 2 * 3").unwrap());
+        let opt = compile(&opt_ast).unwrap();
+        let count = |c: &Compiled| c.funcs[c.main].code.len();
+        assert!(count(&opt) < count(&plain), "{} !< {}", count(&opt), count(&plain));
+    }
+}

@@ -1,0 +1,110 @@
+//! Error types for every phase of the ResearchScript pipeline.
+
+use std::fmt;
+
+/// One error from lexing, parsing, compiling, or running a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A character the lexer does not recognise.
+    UnexpectedChar {
+        /// The offending character.
+        ch: char,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// A string literal without a closing quote.
+    UnterminatedString {
+        /// 1-based source line where the string started.
+        line: u32,
+    },
+    /// A malformed numeric literal.
+    BadNumber {
+        /// The literal text.
+        text: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// The parser met a token it did not expect.
+    Parse {
+        /// Description of what was expected / found.
+        message: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// Static compilation error (e.g. too many locals, `break` outside a
+    /// loop).
+    Compile {
+        /// Description.
+        message: String,
+        /// 1-based source line.
+        line: u32,
+    },
+    /// Runtime error (type mismatch, undefined name, bad index, ...).
+    Runtime {
+        /// Description.
+        message: String,
+    },
+}
+
+impl Error {
+    /// Builds a runtime error from anything printable.
+    pub fn runtime(message: impl Into<String>) -> Self {
+        Error::Runtime { message: message.into() }
+    }
+
+    /// Builds a parse error.
+    pub fn parse(message: impl Into<String>, line: u32) -> Self {
+        Error::Parse { message: message.into(), line }
+    }
+
+    /// Builds a compile error.
+    pub fn compile(message: impl Into<String>, line: u32) -> Self {
+        Error::Compile { message: message.into(), line }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnexpectedChar { ch, line } => {
+                write!(f, "line {line}: unexpected character `{ch}`")
+            }
+            Error::UnterminatedString { line } => {
+                write!(f, "line {line}: unterminated string literal")
+            }
+            Error::BadNumber { text, line } => {
+                write!(f, "line {line}: malformed number `{text}`")
+            }
+            Error::Parse { message, line } => write!(f, "line {line}: parse error: {message}"),
+            Error::Compile { message, line } => {
+                write!(f, "line {line}: compile error: {message}")
+            }
+            Error::Runtime { message } => write!(f, "runtime error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias for the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_location_and_message() {
+        assert_eq!(
+            Error::UnexpectedChar { ch: '@', line: 3 }.to_string(),
+            "line 3: unexpected character `@`"
+        );
+        assert!(Error::parse("expected `)`", 7).to_string().contains("line 7"));
+        assert!(Error::runtime("boom").to_string().contains("boom"));
+        assert!(Error::compile("too many locals", 2).to_string().contains("compile"));
+        assert!(Error::UnterminatedString { line: 1 }.to_string().contains("unterminated"));
+        assert!(Error::BadNumber { text: "1.2.3".into(), line: 4 }
+            .to_string()
+            .contains("1.2.3"));
+    }
+}

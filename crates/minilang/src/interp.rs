@@ -1,0 +1,451 @@
+//! Tier 1: the tree-walking AST interpreter.
+//!
+//! Deliberately naive — boxed values, name lookups through a scope stack,
+//! dispatch on AST nodes — because it models the baseline interpreter a
+//! scripting-language user starts from. The bytecode VM in [`crate::vm`] is
+//! the optimized tier.
+//!
+//! Scoping rules: functions are top-level and see only their parameters and
+//! locals (plus other functions and builtins); they do not capture top-level
+//! variables. Blocks introduce lexical scopes with shadowing.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::ast::{Block, Expr, FnDef, Program, Stmt, UnOp};
+use crate::builtins;
+use crate::error::{Error, Result};
+use crate::value::{binop, index_get, index_set, Value};
+
+/// Maximum interpreter call depth. The tree-walker recurses on the host
+/// stack (several Rust frames per script frame), so this is deliberately
+/// conservative — deep enough for every benchmark kernel, shallow enough to
+/// stay well inside a 2 MiB test-thread stack even in debug builds.
+const MAX_DEPTH: usize = 150;
+
+/// Control-flow signal threaded through statement execution.
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Value),
+}
+
+/// The tree-walking interpreter.
+pub struct Interpreter {
+    functions: HashMap<String, Rc<FnDef>>,
+    /// Scope stack of the currently executing frame (innermost last).
+    scopes: Vec<HashMap<String, Value>>,
+    depth: usize,
+    /// Value of the most recent top-level expression statement.
+    result: Value,
+    /// Whether expression statements should record into `result` (true only
+    /// while executing top-level code).
+    record_result: bool,
+}
+
+impl Default for Interpreter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interpreter {
+    /// Creates a fresh interpreter.
+    pub fn new() -> Self {
+        Interpreter {
+            functions: HashMap::new(),
+            scopes: vec![HashMap::new()],
+            depth: 0,
+            result: Value::Nil,
+            record_result: true,
+        }
+    }
+
+    /// Runs a program, returning the value of its final top-level expression
+    /// statement (or [`Value::Nil`] if there is none).
+    ///
+    /// # Errors
+    /// [`Error::Runtime`] diagnostics.
+    pub fn run(&mut self, program: &Program) -> Result<Value> {
+        for f in &program.functions {
+            if self.functions.insert(f.name.clone(), Rc::clone(f)).is_some() {
+                return Err(Error::runtime(format!("function `{}` defined twice", f.name)));
+            }
+            if builtins::lookup(&f.name).is_some() {
+                return Err(Error::runtime(format!("function `{}` shadows a builtin", f.name)));
+            }
+        }
+        match self.exec_block_flat(&program.main)? {
+            Flow::Normal => Ok(self.result.clone()),
+            _ => Err(Error::runtime("`break`/`continue` escaped all loops")),
+        }
+    }
+
+    /// Executes statements in the *current* scope (no new scope pushed) —
+    /// used for the top level and for loop bodies that manage their own
+    /// scope.
+    fn exec_block_flat(&mut self, block: &Block) -> Result<Flow> {
+        for stmt in block {
+            match self.exec_stmt(stmt)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    /// Executes a block in a fresh lexical scope.
+    fn exec_block_scoped(&mut self, block: &Block) -> Result<Flow> {
+        self.scopes.push(HashMap::new());
+        let r = self.exec_block_flat(block);
+        self.scopes.pop();
+        r
+    }
+
+    fn exec_stmt(&mut self, stmt: &Stmt) -> Result<Flow> {
+        match stmt {
+            Stmt::Let { name, init } => {
+                let v = self.eval(init)?;
+                self.scopes
+                    .last_mut()
+                    .expect("scope stack is never empty")
+                    .insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { name, value } => {
+                let v = self.eval(value)?;
+                for scope in self.scopes.iter_mut().rev() {
+                    if let Some(slot) = scope.get_mut(name) {
+                        *slot = v;
+                        return Ok(Flow::Normal);
+                    }
+                }
+                Err(Error::runtime(format!("assignment to undefined variable `{name}`")))
+            }
+            Stmt::IndexAssign { base, index, value } => {
+                let b = self.eval(base)?;
+                let i = self.eval(index)?;
+                let v = self.eval(value)?;
+                index_set(&b, &i, v)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Expr(e) => {
+                let v = self.eval(e)?;
+                if self.record_result {
+                    self.result = v;
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::If { cond, then_block, else_block } => {
+                if self.eval(cond)?.truthy() {
+                    self.exec_block_scoped(then_block)
+                } else {
+                    self.exec_block_scoped(else_block)
+                }
+            }
+            Stmt::While { cond, body } => {
+                while self.eval(cond)?.truthy() {
+                    match self.exec_block_scoped(body)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::ForRange { var, start, end, body } => {
+                let start = self.eval(start)?.as_num("for start")?;
+                let end = self.eval(end)?.as_num("for end")?;
+                let mut i = start;
+                while i < end {
+                    self.scopes.push(HashMap::new());
+                    self.scopes
+                        .last_mut()
+                        .expect("just pushed")
+                        .insert(var.clone(), Value::Num(i));
+                    let flow = self.exec_block_flat(body);
+                    self.scopes.pop();
+                    match flow? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                    i += 1.0;
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(value) => {
+                let v = match value {
+                    Some(e) => self.eval(e)?,
+                    None => Value::Nil,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break => Ok(Flow::Break),
+            Stmt::Continue => Ok(Flow::Continue),
+            Stmt::Block(b) => self.exec_block_scoped(b),
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Result<Value> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(v) = scope.get(name) {
+                return Ok(v.clone());
+            }
+        }
+        Err(Error::runtime(format!("undefined variable `{name}`")))
+    }
+
+    fn eval(&mut self, expr: &Expr) -> Result<Value> {
+        match expr {
+            Expr::Num(n) => Ok(Value::Num(*n)),
+            Expr::Str(s) => Ok(Value::str(s)),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Nil => Ok(Value::Nil),
+            Expr::Var(name) => self.lookup(name),
+            Expr::Array(elems) => {
+                let mut items = Vec::with_capacity(elems.len());
+                for e in elems {
+                    items.push(self.eval(e)?);
+                }
+                Ok(Value::array(items))
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                binop(*op, &l, &r)
+            }
+            Expr::And(lhs, rhs) => {
+                let l = self.eval(lhs)?;
+                if !l.truthy() {
+                    Ok(l)
+                } else {
+                    self.eval(rhs)
+                }
+            }
+            Expr::Or(lhs, rhs) => {
+                let l = self.eval(lhs)?;
+                if l.truthy() {
+                    Ok(l)
+                } else {
+                    self.eval(rhs)
+                }
+            }
+            Expr::Un { op, expr } => {
+                let v = self.eval(expr)?;
+                match op {
+                    UnOp::Neg => Ok(Value::Num(-v.as_num("unary `-`")?)),
+                    UnOp::Not => Ok(Value::Bool(!v.truthy())),
+                }
+            }
+            Expr::Index { base, index } => {
+                let b = self.eval(base)?;
+                let i = self.eval(index)?;
+                index_get(&b, &i)
+            }
+            Expr::Call { name, args, .. } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args {
+                    argv.push(self.eval(a)?);
+                }
+                self.call(name, argv)
+            }
+        }
+    }
+
+    fn call(&mut self, name: &str, args: Vec<Value>) -> Result<Value> {
+        if let Some(f) = self.functions.get(name).cloned() {
+            if args.len() != f.params.len() {
+                return Err(Error::runtime(format!(
+                    "function `{name}` expects {} argument(s), got {}",
+                    f.params.len(),
+                    args.len()
+                )));
+            }
+            if self.depth >= MAX_DEPTH {
+                return Err(Error::runtime(format!(
+                    "call depth exceeded {MAX_DEPTH} (runaway recursion in `{name}`?)"
+                )));
+            }
+            // New frame: swap in a fresh scope stack holding the parameters.
+            let mut frame_scopes = vec![f
+                .params
+                .iter()
+                .cloned()
+                .zip(args)
+                .collect::<HashMap<String, Value>>()];
+            std::mem::swap(&mut self.scopes, &mut frame_scopes);
+            let saved_record = self.record_result;
+            self.record_result = false;
+            self.depth += 1;
+
+            let flow = self.exec_block_flat(&f.body);
+
+            self.depth -= 1;
+            self.record_result = saved_record;
+            std::mem::swap(&mut self.scopes, &mut frame_scopes);
+
+            match flow? {
+                Flow::Return(v) => Ok(v),
+                Flow::Normal => Ok(Value::Nil),
+                _ => Err(Error::runtime("`break`/`continue` escaped all loops")),
+            }
+        } else if let Some(b) = builtins::lookup(name) {
+            b(&args)
+        } else {
+            Err(Error::runtime(format!("unknown function `{name}`")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> Result<Value> {
+        Interpreter::new().run(&parse(src).expect("test programs parse"))
+    }
+
+    #[test]
+    fn empty_program_yields_nil() {
+        assert_eq!(run("").unwrap(), Value::Nil);
+        assert_eq!(run("let x = 1;").unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn last_expression_statement_is_result() {
+        assert_eq!(run("1; 2; 3").unwrap(), Value::Num(3.0));
+        assert_eq!(run("let x = 5; x * 2").unwrap(), Value::Num(10.0));
+    }
+
+    #[test]
+    fn if_branches_record_result() {
+        assert_eq!(run("if true { 1 } else { 2 }").unwrap(), Value::Num(1.0));
+        assert_eq!(run("if false { 1 } else { 2 }").unwrap(), Value::Num(2.0));
+        assert_eq!(run("if false { 1 }").unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn function_body_expressions_do_not_leak_into_result() {
+        // 42 inside f must not become the program result: the last top-level
+        // expression statement is `f()`, whose value is nil.
+        assert_eq!(run("fn f() { 42; } f(); let x = 1;").unwrap(), Value::Nil);
+        // And a later `let` does not clobber an earlier recorded result.
+        assert_eq!(run("fn f() { 42; } f(); 7; let x = 1;").unwrap(), Value::Num(7.0));
+    }
+
+    #[test]
+    fn functions_do_not_see_top_level_variables() {
+        let r = run("let g = 10; fn f() { return g; } f()");
+        assert!(r.is_err(), "functions must not capture globals: {r:?}");
+    }
+
+    #[test]
+    fn shadowing_and_scope_exit() {
+        assert_eq!(run("let x = 1; { let x = 2; x; } x").unwrap(), Value::Num(1.0));
+        // Inner assignment to outer variable persists.
+        assert_eq!(run("let x = 1; { x = 5; } x").unwrap(), Value::Num(5.0));
+    }
+
+    #[test]
+    fn loop_variable_scoped_to_body() {
+        assert!(run("for i in range(0, 3) { } i").is_err());
+    }
+
+    #[test]
+    fn while_with_break_and_continue() {
+        assert_eq!(
+            run("let s = 0; let i = 0; while true { i = i + 1; if i > 10 { break; } if i % 2 == 0 { continue; } s = s + i; } s")
+                .unwrap(),
+            Value::Num(25.0) // 1+3+5+7+9
+        );
+    }
+
+    #[test]
+    fn recursion_and_depth_limit() {
+        assert_eq!(
+            run("fn fact(n) { if n <= 1 { return 1; } return n * fact(n - 1); } fact(10)")
+                .unwrap(),
+            Value::Num(3_628_800.0)
+        );
+        let r = run("fn inf(n) { return inf(n + 1); } inf(0)");
+        assert!(r.unwrap_err().to_string().contains("call depth"));
+    }
+
+    #[test]
+    fn early_return_skips_rest() {
+        assert_eq!(
+            run("fn f() { return 1; 2; } f()").unwrap(),
+            Value::Num(1.0)
+        );
+        assert_eq!(run("fn f() { return; } f()").unwrap(), Value::Nil);
+        // Return from inside nested loops.
+        assert_eq!(
+            run("fn f() { for i in range(0, 10) { for j in range(0, 10) { if i * j == 6 { return i * 10 + j; } } } return 0 - 1; } f()")
+                .unwrap(),
+            Value::Num(16.0)
+        );
+    }
+
+    #[test]
+    fn duplicate_function_and_builtin_shadow_rejected() {
+        assert!(run("fn f() { } fn f() { } 1").is_err());
+        assert!(run("fn len(x) { return 0; } 1").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_and_unknown_function() {
+        assert!(run("fn f(a) { return a; } f()").is_err());
+        assert!(run("ghost(1)").is_err());
+    }
+
+    #[test]
+    fn short_circuit_preserves_operand_values() {
+        // `and`/`or` return operand values, not booleans.
+        assert_eq!(run("nil or 5").unwrap(), Value::Num(5.0));
+        assert_eq!(run("3 and 7").unwrap(), Value::Num(7.0));
+        assert_eq!(run("false and ghost(1)").unwrap(), Value::Bool(false));
+        assert_eq!(run("1 or ghost(1)").unwrap(), Value::Num(1.0));
+    }
+
+    #[test]
+    fn assignment_to_undefined_rejected() {
+        assert!(run("x = 1;").is_err());
+    }
+
+    #[test]
+    fn arrays_share_by_reference() {
+        assert_eq!(
+            run("fn bump(a) { a[0] = a[0] + 1; } let xs = [1]; bump(xs); bump(xs); xs[0]")
+                .unwrap(),
+            Value::Num(3.0)
+        );
+    }
+
+    #[test]
+    fn matmul_script_smoke() {
+        let src = r#"
+            fn matmul(a, b, c, n) {
+                for i in range(0, n) {
+                    for j in range(0, n) {
+                        let acc = 0;
+                        for k in range(0, n) {
+                            acc = acc + a[i * n + k] * b[k * n + j];
+                        }
+                        c[i * n + j] = acc;
+                    }
+                }
+            }
+            let n = 4;
+            let a = fill(16, 1.0);
+            let b = fill(16, 2.0);
+            let c = zeros(16);
+            matmul(a, b, c, n);
+            c[5]
+        "#;
+        // Row of ones dot column of twos, n=4: 8.
+        assert_eq!(run(src).unwrap(), Value::Num(8.0));
+    }
+}

@@ -1,0 +1,413 @@
+//! The lexer: source text → token stream.
+
+use crate::error::{Error, Result};
+
+/// Token kinds of ResearchScript.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and identifiers.
+    /// Numeric literal (all numbers are f64).
+    Num(f64),
+    /// String literal (contents, unescaped).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords.
+    /// `let`
+    Let,
+    /// `fn`
+    Fn,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `for`
+    For,
+    /// `in`
+    In,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `nil`
+    Nil,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Assign,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+
+    /// End of input sentinel.
+    Eof,
+}
+
+/// A token with its source line (for diagnostics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Lexes a complete source string.
+///
+/// # Errors
+/// [`Error::UnexpectedChar`], [`Error::UnterminatedString`], or
+/// [`Error::BadNumber`].
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    let keyword = |s: &str| -> Option<Tok> {
+        Some(match s {
+            "let" => Tok::Let,
+            "fn" => Tok::Fn,
+            "if" => Tok::If,
+            "else" => Tok::Else,
+            "while" => Tok::While,
+            "for" => Tok::For,
+            "in" => Tok::In,
+            "return" => Tok::Return,
+            "break" => Tok::Break,
+            "continue" => Tok::Continue,
+            "true" => Tok::True,
+            "false" => Tok::False,
+            "nil" => Tok::Nil,
+            "and" => Tok::And,
+            "or" => Tok::Or,
+            "not" => Tok::Not,
+            _ => return None,
+        })
+    };
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '#' => {
+                // Comment to end of line.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token { tok: Tok::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { tok: Tok::RParen, line });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Token { tok: Tok::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token { tok: Tok::RBrace, line });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { tok: Tok::LBracket, line });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { tok: Tok::RBracket, line });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { tok: Tok::Comma, line });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { tok: Tok::Semi, line });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { tok: Tok::Plus, line });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { tok: Tok::Minus, line });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { tok: Tok::Star, line });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { tok: Tok::Slash, line });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { tok: Tok::Percent, line });
+                i += 1;
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { tok: Tok::Eq, line });
+                    i += 2;
+                } else {
+                    tokens.push(Token { tok: Tok::Assign, line });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { tok: Tok::Ne, line });
+                    i += 2;
+                } else {
+                    return Err(Error::UnexpectedChar { ch: '!', line });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { tok: Tok::Le, line });
+                    i += 2;
+                } else {
+                    tokens.push(Token { tok: Tok::Lt, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { tok: Tok::Ge, line });
+                    i += 2;
+                } else {
+                    tokens.push(Token { tok: Tok::Gt, line });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(Error::UnterminatedString { line: start_line }),
+                        Some(b'"') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(b'\\') => {
+                            // Escapes: \n \t \" \\
+                            match bytes.get(i + 1) {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'"') => s.push('"'),
+                                Some(b'\\') => s.push('\\'),
+                                _ => {
+                                    return Err(Error::UnterminatedString { line: start_line })
+                                }
+                            }
+                            i += 2;
+                        }
+                        Some(&b) => {
+                            if b == b'\n' {
+                                line += 1;
+                            }
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { tok: Tok::Str(s), line: start_line });
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                // Exponent part.
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let n: f64 = text
+                    .parse()
+                    .map_err(|_| Error::BadNumber { text: text.to_owned(), line })?;
+                tokens.push(Token { tok: Tok::Num(n), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let tok = keyword(word).unwrap_or_else(|| Tok::Ident(word.to_owned()));
+                tokens.push(Token { tok, line });
+            }
+            other => return Err(Error::UnexpectedChar { ch: other, line }),
+        }
+    }
+    tokens.push(Token { tok: Tok::Eof, line });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_simple_statement() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                Tok::Let,
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Num(42.0),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_operators() {
+        assert_eq!(
+            kinds("= == != < <= > >="),
+            vec![Tok::Assign, Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers_with_decimals_and_exponents() {
+        assert_eq!(kinds("3.25"), vec![Tok::Num(3.25), Tok::Eof]);
+        assert_eq!(kinds("1e3"), vec![Tok::Num(1000.0), Tok::Eof]);
+        assert_eq!(kinds("2.5e-2"), vec![Tok::Num(0.025), Tok::Eof]);
+        // `1.` is number then a lone dot -> error (dot unsupported).
+        assert!(lex("1.x").is_err());
+        // Method-call style `3 .` never arises; `3.e` without digits stays 3.
+        assert_eq!(kinds("3e"), vec![Tok::Num(3.0), Tok::Ident("e".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            kinds("for fortress in inner"),
+            vec![
+                Tok::For,
+                Tok::Ident("fortress".into()),
+                Tok::In,
+                Tok::Ident("inner".into()),
+                Tok::Eof
+            ]
+        );
+        assert_eq!(kinds("true false nil and or not"), vec![
+            Tok::True, Tok::False, Tok::Nil, Tok::And, Tok::Or, Tok::Not, Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\nb\t\"q\"\\""#),
+            vec![Tok::Str("a\nb\t\"q\"\\".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_counted() {
+        let toks = lex("# header\nlet x = 1; # trailing\nx").unwrap();
+        assert_eq!(toks[0].tok, Tok::Let);
+        assert_eq!(toks[0].line, 2);
+        let last_ident = toks.iter().find(|t| t.tok == Tok::Ident("x".into()) && t.line == 3);
+        assert!(last_ident.is_some());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(lex("@"), Err(Error::UnexpectedChar { ch: '@', line: 1 })));
+        assert!(matches!(lex("\"open"), Err(Error::UnterminatedString { line: 1 })));
+        assert!(matches!(lex("!x"), Err(Error::UnexpectedChar { ch: '!', .. })));
+        assert!(matches!(lex("\"bad\\q\""), Err(Error::UnterminatedString { .. })));
+    }
+
+    #[test]
+    fn multiline_string_counts_lines() {
+        let toks = lex("\"a\nb\"\nx").unwrap();
+        assert_eq!(toks[0].tok, Tok::Str("a\nb".into()));
+        // `x` is on line 3.
+        assert_eq!(toks[1].line, 3);
+    }
+}

@@ -1,0 +1,152 @@
+//! # rcr-minilang — "ResearchScript"
+//!
+//! A small dynamically-typed scripting language standing in for the
+//! interpreted languages (Python, MATLAB, R) that dominate research
+//! computing. It exists so the performance-gap experiments (E5, E11) can
+//! measure the *mechanism* of the interpreted-vs-compiled gap — dynamic
+//! dispatch, boxed values, per-operation overhead — on exactly the same
+//! kernels the native suite runs, instead of quoting folklore constants.
+//!
+//! Three execution tiers mirror how researchers actually climb the
+//! performance ladder:
+//!
+//! 1. [`interp`] — a tree-walking AST interpreter (a naive CPython analog),
+//! 2. [`vm`] — a bytecode compiler + stack VM (an optimized interpreter),
+//! 3. vectorized [`builtins`] over contiguous float arrays (the "rewrite the
+//!    hot loop with NumPy" move).
+//!
+//! ## Language sketch
+//!
+//! ```text
+//! fn dot(a, b, n) {
+//!     let acc = 0;
+//!     for i in range(0, n) {
+//!         acc = acc + a[i] * b[i];
+//!     }
+//!     return acc;
+//! }
+//! let x = fill(1000, 1.5);
+//! let y = fill(1000, 2.0);
+//! print(dot(x, y, 1000));
+//! ```
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rcr_minilang::{run_source, run_source_vm, Value};
+//!
+//! let program = "let t = 0; for i in range(0, 10) { t = t + i; } t";
+//! assert_eq!(run_source(program).unwrap(), Value::Num(45.0));
+//! assert_eq!(run_source_vm(program).unwrap(), Value::Num(45.0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod builtins;
+pub mod bytecode;
+pub mod disasm;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod optimize;
+pub mod parser;
+pub mod value;
+pub mod vm;
+
+pub use error::{Error, Result};
+pub use value::Value;
+
+/// Like [`run_source_vm`], but runs the constant-folding optimizer between
+/// parsing and compilation (the tier the `ablation_minilang` bench
+/// compares).
+///
+/// # Errors
+/// Lexing, parsing, compilation, or runtime errors.
+pub fn run_source_vm_optimized(src: &str) -> Result<Value> {
+    let program = parser::parse(src)?;
+    let optimized = optimize::optimize(&program);
+    let compiled = bytecode::compile(&optimized)?;
+    let mut m = vm::Vm::new();
+    m.run(&compiled)
+}
+
+/// Parses and runs a program with the tree-walking interpreter, returning
+/// the value of the final expression statement (or [`Value::Nil`]).
+///
+/// # Errors
+/// Lexing, parsing, or runtime errors.
+pub fn run_source(src: &str) -> Result<Value> {
+    let program = parser::parse(src)?;
+    let mut i = interp::Interpreter::new();
+    i.run(&program)
+}
+
+/// Parses, compiles, and runs a program on the bytecode VM, returning the
+/// value of the final expression statement (or [`Value::Nil`]).
+///
+/// # Errors
+/// Lexing, parsing, compilation, or runtime errors.
+pub fn run_source_vm(src: &str) -> Result<Value> {
+    let program = parser::parse(src)?;
+    let compiled = bytecode::compile(&program)?;
+    let mut m = vm::Vm::new();
+    m.run(&compiled)
+}
+
+#[cfg(test)]
+mod tier_equivalence {
+    use super::*;
+
+    /// Programs both tiers must agree on, exercised as a matrix.
+    const PROGRAMS: &[(&str, &str)] = &[
+        ("arith", "1 + 2 * 3 - 4 / 2"),
+        ("precedence", "(1 + 2) * (3 - 1)"),
+        ("unary", "-3 + 10"),
+        ("mod", "17 % 5"),
+        ("cmp", "1 < 2 and 3 >= 3 and not (2 == 3)"),
+        ("string", "\"a\" + \"b\""),
+        ("ternary-ish", "if 1 < 2 { 10 } else { 20 }"),
+        ("while", "let i = 0; let s = 0; while i < 5 { s = s + i; i = i + 1; } s"),
+        ("for", "let s = 0; for i in range(0, 10) { s = s + i; } s"),
+        ("nested-for", "let s = 0; for i in range(0, 4) { for j in range(0, 4) { s = s + i * j; } } s"),
+        ("fn", "fn sq(x) { return x * x; } sq(7)"),
+        ("recursion", "fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } fib(12)"),
+        ("array", "let a = [1, 2, 3]; a[0] + a[2]"),
+        ("array-set", "let a = [0, 0]; a[1] = 9; a[1]"),
+        ("farray", "let a = fill(4, 2.5); a[3] * len(a)"),
+        ("push", "let a = []; push(a, 5); push(a, 6); a[0] + a[1] + len(a)"),
+        ("break", "let s = 0; for i in range(0, 100) { if i == 5 { break; } s = s + i; } s"),
+        ("continue", "let s = 0; for i in range(0, 10) { if i % 2 == 0 { continue; } s = s + i; } s"),
+        ("builtin-math", "sqrt(16) + abs(0 - 3) + floor(2.9)"),
+        ("vector", "let a = fill(100, 2.0); let b = fill(100, 3.0); vdot(a, b)"),
+        ("shadow-scope", "let x = 1; { let x = 2; } x"),
+    ];
+
+    #[test]
+    fn interpreter_and_vm_agree() {
+        for (name, src) in PROGRAMS {
+            let a = run_source(src).unwrap_or_else(|e| panic!("interp {name}: {e}"));
+            let b = run_source_vm(src).unwrap_or_else(|e| panic!("vm {name}: {e}"));
+            assert_eq!(a, b, "tier mismatch on `{name}`");
+        }
+    }
+
+    #[test]
+    fn both_tiers_report_same_class_of_runtime_errors() {
+        for src in [
+            "undefined_var + 1",
+            "let a = [1]; a[5]",
+            "1 + \"x\"",
+            "fn f(a) { return a; } f(1, 2)",
+            "nosuchfn(1)",
+            "let a = 5; a[0]",
+        ] {
+            let a = run_source(src);
+            let b = run_source_vm(src);
+            assert!(a.is_err(), "interp should fail on `{src}`");
+            assert!(b.is_err(), "vm should fail on `{src}`");
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Runtime values and the shared operator semantics used by both execution
+//! tiers (so the tree-walker and the VM cannot drift apart).
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::ast::BinOp;
+use crate::error::{Error, Result};
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// The absence of a value.
+    Nil,
+    /// Boolean.
+    Bool(bool),
+    /// Number (all arithmetic is f64).
+    Num(f64),
+    /// Immutable string.
+    Str(Rc<str>),
+    /// General array of boxed values (the naive representation every
+    /// dynamic language starts with).
+    Array(Rc<RefCell<Vec<Value>>>),
+    /// Contiguous array of unboxed f64 — the "NumPy array" of
+    /// ResearchScript, produced by `fill`/`zeros` and consumed by the
+    /// vectorized builtins.
+    FloatArray(Rc<RefCell<Vec<f64>>>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Rc::from(s.as_ref()))
+    }
+
+    /// Builds a general array value.
+    pub fn array(items: Vec<Value>) -> Self {
+        Value::Array(Rc::new(RefCell::new(items)))
+    }
+
+    /// Builds a float array value.
+    pub fn float_array(items: Vec<f64>) -> Self {
+        Value::FloatArray(Rc::new(RefCell::new(items)))
+    }
+
+    /// Truthiness: `nil` and `false` are falsey; everything else truthy.
+    pub fn truthy(&self) -> bool {
+        !matches!(self, Value::Nil | Value::Bool(false))
+    }
+
+    /// Human-readable type name for diagnostics.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Nil => "nil",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::FloatArray(_) => "float-array",
+        }
+    }
+
+    /// Numeric view, or a type error naming `ctx`.
+    ///
+    /// # Errors
+    /// [`Error::Runtime`] when the value is not a number.
+    pub fn as_num(&self, ctx: &str) -> Result<f64> {
+        match self {
+            Value::Num(n) => Ok(*n),
+            other => Err(Error::runtime(format!(
+                "{ctx}: expected number, got {}",
+                other.type_name()
+            ))),
+        }
+    }
+
+    /// Converts to a non-negative array index.
+    ///
+    /// # Errors
+    /// [`Error::Runtime`] for non-numbers, negatives, or non-integers.
+    pub fn as_index(&self, ctx: &str) -> Result<usize> {
+        let n = self.as_num(ctx)?;
+        if n < 0.0 || n.fract() != 0.0 || !n.is_finite() {
+            return Err(Error::runtime(format!("{ctx}: invalid index {n}")));
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Default for Value {
+    /// The default value is `nil`.
+    fn default() -> Self {
+        Value::Nil
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Nil, Value::Nil) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Num(a), Value::Num(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => {
+                Rc::ptr_eq(a, b) || *a.borrow() == *b.borrow()
+            }
+            (Value::FloatArray(a), Value::FloatArray(b)) => {
+                Rc::ptr_eq(a, b) || *a.borrow() == *b.borrow()
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Nil => write!(f, "nil"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Array(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Value::FloatArray(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.borrow().iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// Applies a binary operator with the language's semantics. Shared by both
+/// tiers.
+///
+/// # Errors
+/// [`Error::Runtime`] on operand type mismatches and division by zero.
+pub fn binop(op: BinOp, lhs: &Value, rhs: &Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        Add => match (lhs, rhs) {
+            (Value::Num(a), Value::Num(b)) => Ok(Value::Num(a + b)),
+            (Value::Str(a), Value::Str(b)) => {
+                let mut s = String::with_capacity(a.len() + b.len());
+                s.push_str(a);
+                s.push_str(b);
+                Ok(Value::str(s))
+            }
+            _ => Err(type_error("+", lhs, rhs)),
+        },
+        Sub | Mul | Div | Mod => {
+            let (Value::Num(a), Value::Num(b)) = (lhs, rhs) else {
+                return Err(type_error(op_symbol(op), lhs, rhs));
+            };
+            let r = match op {
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if *b == 0.0 {
+                        return Err(Error::runtime("division by zero"));
+                    }
+                    a / b
+                }
+                Mod => {
+                    if *b == 0.0 {
+                        return Err(Error::runtime("modulo by zero"));
+                    }
+                    a % b
+                }
+                _ => unreachable!("outer match covers these ops"),
+            };
+            Ok(Value::Num(r))
+        }
+        Eq => Ok(Value::Bool(lhs == rhs)),
+        Ne => Ok(Value::Bool(lhs != rhs)),
+        Lt | Le | Gt | Ge => {
+            let ordering = match (lhs, rhs) {
+                (Value::Num(a), Value::Num(b)) => a.partial_cmp(b),
+                (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+                _ => None,
+            };
+            let Some(ord) = ordering else {
+                return Err(type_error(op_symbol(op), lhs, rhs));
+            };
+            let b = match op {
+                Lt => ord == std::cmp::Ordering::Less,
+                Le => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!("outer match covers these ops"),
+            };
+            Ok(Value::Bool(b))
+        }
+    }
+}
+
+fn op_symbol(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Mod => "%",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+    }
+}
+
+fn type_error(op: &str, lhs: &Value, rhs: &Value) -> Error {
+    Error::runtime(format!(
+        "operator `{op}` not defined for {} and {}",
+        lhs.type_name(),
+        rhs.type_name()
+    ))
+}
+
+/// Indexed read shared by both tiers.
+///
+/// # Errors
+/// [`Error::Runtime`] for non-indexable bases or out-of-bounds indices.
+pub fn index_get(base: &Value, index: &Value) -> Result<Value> {
+    let i = index.as_index("index")?;
+    match base {
+        Value::Array(items) => items
+            .borrow()
+            .get(i)
+            .cloned()
+            .ok_or_else(|| oob(i, items.borrow().len())),
+        Value::FloatArray(items) => items
+            .borrow()
+            .get(i)
+            .map(|&f| Value::Num(f))
+            .ok_or_else(|| oob(i, items.borrow().len())),
+        other => Err(Error::runtime(format!("cannot index a {}", other.type_name()))),
+    }
+}
+
+/// Indexed write shared by both tiers.
+///
+/// # Errors
+/// [`Error::Runtime`] for non-indexable bases, out-of-bounds indices, or
+/// writing a non-number into a float array.
+pub fn index_set(base: &Value, index: &Value, value: Value) -> Result<()> {
+    let i = index.as_index("index")?;
+    match base {
+        Value::Array(items) => {
+            let mut b = items.borrow_mut();
+            let len = b.len();
+            let slot = b.get_mut(i).ok_or_else(|| oob(i, len))?;
+            *slot = value;
+            Ok(())
+        }
+        Value::FloatArray(items) => {
+            let n = value.as_num("float-array store")?;
+            let mut b = items.borrow_mut();
+            let len = b.len();
+            let slot = b.get_mut(i).ok_or_else(|| oob(i, len))?;
+            *slot = n;
+            Ok(())
+        }
+        other => Err(Error::runtime(format!("cannot index a {}", other.type_name()))),
+    }
+}
+
+fn oob(i: usize, len: usize) -> Error {
+    Error::runtime(format!("index {i} out of bounds (len {len})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Nil.truthy());
+        assert!(!Value::Bool(false).truthy());
+        assert!(Value::Bool(true).truthy());
+        assert!(Value::Num(0.0).truthy());
+        assert!(Value::str("").truthy());
+    }
+
+    #[test]
+    fn arithmetic_and_errors() {
+        let two = Value::Num(2.0);
+        let three = Value::Num(3.0);
+        assert_eq!(binop(BinOp::Add, &two, &three).unwrap(), Value::Num(5.0));
+        assert_eq!(binop(BinOp::Sub, &two, &three).unwrap(), Value::Num(-1.0));
+        assert_eq!(binop(BinOp::Mul, &two, &three).unwrap(), Value::Num(6.0));
+        assert_eq!(binop(BinOp::Div, &three, &two).unwrap(), Value::Num(1.5));
+        assert_eq!(binop(BinOp::Mod, &three, &two).unwrap(), Value::Num(1.0));
+        assert!(binop(BinOp::Div, &two, &Value::Num(0.0)).is_err());
+        assert!(binop(BinOp::Mod, &two, &Value::Num(0.0)).is_err());
+        assert!(binop(BinOp::Add, &two, &Value::str("x")).is_err());
+        assert!(binop(BinOp::Sub, &Value::str("a"), &Value::str("b")).is_err());
+    }
+
+    #[test]
+    fn string_concat_and_compare() {
+        let a = Value::str("ab");
+        let b = Value::str("cd");
+        assert_eq!(binop(BinOp::Add, &a, &b).unwrap(), Value::str("abcd"));
+        assert_eq!(binop(BinOp::Lt, &a, &b).unwrap(), Value::Bool(true));
+        assert_eq!(binop(BinOp::Ge, &a, &b).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn equality_spans_types_without_error() {
+        assert_eq!(
+            binop(BinOp::Eq, &Value::Num(1.0), &Value::str("1")).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            binop(BinOp::Ne, &Value::Nil, &Value::Bool(false)).unwrap(),
+            Value::Bool(true)
+        );
+        // But ordering across types errors.
+        assert!(binop(BinOp::Lt, &Value::Num(1.0), &Value::str("1")).is_err());
+    }
+
+    #[test]
+    fn array_equality_by_contents() {
+        let a = Value::array(vec![Value::Num(1.0), Value::Num(2.0)]);
+        let b = Value::array(vec![Value::Num(1.0), Value::Num(2.0)]);
+        assert_eq!(a, b);
+        let c = Value::float_array(vec![1.0, 2.0]);
+        let d = Value::float_array(vec![1.0, 2.0]);
+        assert_eq!(c, d);
+        assert_ne!(a, c, "boxed and float arrays are distinct types");
+    }
+
+    #[test]
+    fn indexing_both_array_kinds() {
+        let a = Value::array(vec![Value::Num(7.0), Value::str("x")]);
+        assert_eq!(index_get(&a, &Value::Num(1.0)).unwrap(), Value::str("x"));
+        index_set(&a, &Value::Num(0.0), Value::Num(9.0)).unwrap();
+        assert_eq!(index_get(&a, &Value::Num(0.0)).unwrap(), Value::Num(9.0));
+
+        let f = Value::float_array(vec![1.5, 2.5]);
+        assert_eq!(index_get(&f, &Value::Num(1.0)).unwrap(), Value::Num(2.5));
+        index_set(&f, &Value::Num(1.0), Value::Num(8.0)).unwrap();
+        assert_eq!(index_get(&f, &Value::Num(1.0)).unwrap(), Value::Num(8.0));
+        // Float arrays only store numbers.
+        assert!(index_set(&f, &Value::Num(0.0), Value::str("no")).is_err());
+    }
+
+    #[test]
+    fn indexing_errors() {
+        let a = Value::array(vec![Value::Num(1.0)]);
+        assert!(index_get(&a, &Value::Num(5.0)).is_err());
+        assert!(index_get(&a, &Value::Num(-1.0)).is_err());
+        assert!(index_get(&a, &Value::Num(0.5)).is_err());
+        assert!(index_get(&a, &Value::str("k")).is_err());
+        assert!(index_get(&Value::Num(3.0), &Value::Num(0.0)).is_err());
+        assert!(index_set(&Value::Nil, &Value::Num(0.0), Value::Nil).is_err());
+        assert!(index_set(&a, &Value::Num(9.0), Value::Nil).is_err());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Num(3.0).to_string(), "3");
+        assert_eq!(Value::Num(3.5).to_string(), "3.5");
+        assert_eq!(Value::Nil.to_string(), "nil");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(
+            Value::array(vec![Value::Num(1.0), Value::str("a")]).to_string(),
+            "[1, a]"
+        );
+        assert_eq!(Value::float_array(vec![1.0, 2.5]).to_string(), "[1, 2.5]");
+    }
+
+    #[test]
+    fn as_index_validation() {
+        assert_eq!(Value::Num(3.0).as_index("t").unwrap(), 3);
+        assert!(Value::Num(-1.0).as_index("t").is_err());
+        assert!(Value::Num(1.5).as_index("t").is_err());
+        assert!(Value::str("1").as_index("t").is_err());
+    }
+}

@@ -1,0 +1,304 @@
+//! Tier 2, part 2: the stack virtual machine.
+//!
+//! Frames live on one contiguous value stack: a frame's slots occupy
+//! `[base, base + n_slots)` and operands grow above them. Calls push a new
+//! frame whose base points at the already-pushed arguments, so parameter
+//! passing is free.
+
+use crate::ast::BinOp;
+use crate::builtins;
+use crate::bytecode::{Compiled, Op};
+use crate::error::{Error, Result};
+use crate::value::{binop, index_get, index_set, Value};
+
+/// Maximum VM call depth (heap frames, so this bounds runaway recursion,
+/// not the host stack).
+const MAX_FRAMES: usize = 10_000;
+
+struct Frame {
+    func: usize,
+    ip: usize,
+    base: usize,
+}
+
+/// The bytecode virtual machine.
+#[derive(Default)]
+pub struct Vm {
+    stack: Vec<Value>,
+    result: Value,
+}
+
+impl Vm {
+    /// Creates a fresh VM.
+    pub fn new() -> Self {
+        Vm { stack: Vec::with_capacity(256), result: Value::Nil }
+    }
+
+    /// Executes a compiled program, returning the value of its final
+    /// top-level expression statement (or [`Value::Nil`]).
+    ///
+    /// # Errors
+    /// [`Error::Runtime`] diagnostics.
+    pub fn run(&mut self, compiled: &Compiled) -> Result<Value> {
+        self.stack.clear();
+        self.result = Value::Nil;
+        let main = &compiled.funcs[compiled.main];
+        self.stack.resize(main.n_slots as usize, Value::Nil);
+        let mut frames = vec![Frame { func: compiled.main, ip: 0, base: 0 }];
+
+        'frames: while let Some(frame) = frames.last_mut() {
+            let func = &compiled.funcs[frame.func];
+            let code = &func.code;
+            // Hot loop: local copies of the frame cursor.
+            let mut ip = frame.ip;
+            let base = frame.base;
+            loop {
+                debug_assert!(ip < code.len(), "ip ran off the end of {}", func.name);
+                let op = code[ip];
+                ip += 1;
+                match op {
+                    Op::Const(i) => self.stack.push(func.consts[i as usize].clone()),
+                    Op::Nil => self.stack.push(Value::Nil),
+                    Op::True => self.stack.push(Value::Bool(true)),
+                    Op::False => self.stack.push(Value::Bool(false)),
+                    Op::LoadLocal(i) => {
+                        let v = self.stack[base + i as usize].clone();
+                        self.stack.push(v);
+                    }
+                    Op::StoreLocal(i) => {
+                        let v = self.pop();
+                        self.stack[base + i as usize] = v;
+                    }
+                    Op::Bin(op) => {
+                        let r = self.pop();
+                        let l = self.pop();
+                        // Fast path for the overwhelmingly common case.
+                        let v = if let (Value::Num(a), Value::Num(b), true) = (
+                            &l,
+                            &r,
+                            matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul),
+                        ) {
+                            match op {
+                                BinOp::Add => Value::Num(a + b),
+                                BinOp::Sub => Value::Num(a - b),
+                                _ => Value::Num(a * b),
+                            }
+                        } else {
+                            binop(op, &l, &r)?
+                        };
+                        self.stack.push(v);
+                    }
+                    Op::Neg => {
+                        let v = self.pop();
+                        self.stack.push(Value::Num(-v.as_num("unary `-`")?));
+                    }
+                    Op::Not => {
+                        let v = self.pop();
+                        self.stack.push(Value::Bool(!v.truthy()));
+                    }
+                    Op::Jump(t) => ip = t as usize,
+                    Op::JumpIfFalse(t) => {
+                        let v = self.pop();
+                        if !v.truthy() {
+                            ip = t as usize;
+                        }
+                    }
+                    Op::JumpIfFalsePeek(t) => {
+                        if !self.peek().truthy() {
+                            ip = t as usize;
+                        }
+                    }
+                    Op::JumpIfTruePeek(t) => {
+                        if self.peek().truthy() {
+                            ip = t as usize;
+                        }
+                    }
+                    Op::CallFn(fidx, argc) => {
+                        if frames.len() >= MAX_FRAMES {
+                            return Err(Error::runtime(format!(
+                                "call depth exceeded {MAX_FRAMES} (runaway recursion?)"
+                            )));
+                        }
+                        let callee = &compiled.funcs[fidx as usize];
+                        debug_assert_eq!(callee.arity, argc, "arity checked at compile time");
+                        let new_base = self.stack.len() - argc as usize;
+                        // Reserve the callee's non-parameter slots.
+                        self.stack
+                            .resize(new_base + callee.n_slots as usize, Value::Nil);
+                        // Save our cursor, switch frames.
+                        frames.last_mut().expect("current frame exists").ip = ip;
+                        frames.push(Frame { func: fidx as usize, ip: 0, base: new_base });
+                        continue 'frames;
+                    }
+                    Op::CallBuiltin(bidx, argc) => {
+                        let name = builtins::NAMES[bidx as usize];
+                        let f = builtins::lookup(name).expect("index from compiler");
+                        let at = self.stack.len() - argc as usize;
+                        let v = f(&self.stack[at..])?;
+                        self.stack.truncate(at);
+                        self.stack.push(v);
+                    }
+                    Op::Ret | Op::RetNil => {
+                        let v = if op == Op::Ret { self.pop() } else { Value::Nil };
+                        self.stack.truncate(base);
+                        frames.pop();
+                        if frames.is_empty() {
+                            return Ok(std::mem::take(&mut self.result));
+                        }
+                        self.stack.push(v);
+                        continue 'frames;
+                    }
+                    Op::MakeArray(n) => {
+                        let at = self.stack.len() - n as usize;
+                        let items: Vec<Value> = self.stack.split_off(at);
+                        self.stack.push(Value::array(items));
+                    }
+                    Op::IndexGet => {
+                        let i = self.pop();
+                        let b = self.pop();
+                        self.stack.push(index_get(&b, &i)?);
+                    }
+                    Op::IndexSet => {
+                        let v = self.pop();
+                        let i = self.pop();
+                        let b = self.pop();
+                        index_set(&b, &i, v)?;
+                    }
+                    Op::Pop => {
+                        self.pop();
+                    }
+                    Op::SetResult => {
+                        self.result = self.pop();
+                    }
+                }
+            }
+        }
+        Ok(std::mem::take(&mut self.result))
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Value {
+        self.stack.pop().expect("compiler guarantees stack discipline")
+    }
+
+    #[inline]
+    fn peek(&self) -> &Value {
+        self.stack.last().expect("compiler guarantees stack discipline")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::compile;
+    use crate::parser::parse;
+
+    fn run(src: &str) -> Result<Value> {
+        let c = compile(&parse(src).expect("test programs parse"))?;
+        Vm::new().run(&c)
+    }
+
+    #[test]
+    fn basics() {
+        assert_eq!(run("").unwrap(), Value::Nil);
+        assert_eq!(run("1 + 2 * 3").unwrap(), Value::Num(7.0));
+        assert_eq!(run("let x = 4; x * x").unwrap(), Value::Num(16.0));
+    }
+
+    #[test]
+    fn control_flow() {
+        assert_eq!(run("if 2 > 1 { 10 } else { 20 }").unwrap(), Value::Num(10.0));
+        assert_eq!(
+            run("let s = 0; let i = 0; while i < 100 { s = s + i; i = i + 1; } s").unwrap(),
+            Value::Num(4950.0)
+        );
+        assert_eq!(
+            run("let s = 0; for i in range(0, 100) { s = s + i; } s").unwrap(),
+            Value::Num(4950.0)
+        );
+    }
+
+    #[test]
+    fn for_with_break_and_continue() {
+        assert_eq!(
+            run("let s = 0; for i in range(0, 100) { if i == 10 { break; } if i % 2 == 0 { continue; } s = s + i; } s")
+                .unwrap(),
+            Value::Num(25.0)
+        );
+        // While at instruction offset zero (regression: continue target 0).
+        assert_eq!(
+            run("while true { break; } 5").unwrap(),
+            Value::Num(5.0)
+        );
+    }
+
+    #[test]
+    fn nested_for_continue_targets_inner_loop() {
+        assert_eq!(
+            run("let s = 0; for i in range(0, 3) { for j in range(0, 3) { if j == 1 { continue; } s = s + 1; } } s")
+                .unwrap(),
+            Value::Num(6.0)
+        );
+    }
+
+    #[test]
+    fn functions_and_recursion() {
+        assert_eq!(
+            run("fn fib(n) { if n < 2 { return n; } return fib(n - 1) + fib(n - 2); } fib(15)")
+                .unwrap(),
+            Value::Num(610.0)
+        );
+        assert_eq!(
+            run("fn twice(x) { return x * 2; } twice(twice(3))").unwrap(),
+            Value::Num(12.0)
+        );
+        let e = run("fn inf(n) { return inf(n); } inf(1)").unwrap_err();
+        assert!(e.to_string().contains("call depth"), "{e}");
+    }
+
+    #[test]
+    fn function_without_return_yields_nil() {
+        assert_eq!(run("fn f() { 1; 2; } f()").unwrap(), Value::Nil);
+    }
+
+    #[test]
+    fn builtins_and_arrays() {
+        assert_eq!(run("len([1, 2, 3])").unwrap(), Value::Num(3.0));
+        assert_eq!(
+            run("let a = zeros(3); a[1] = 5; vsum(a)").unwrap(),
+            Value::Num(5.0)
+        );
+        assert_eq!(
+            run("let a = [1, 2]; push(a, 3); a[2]").unwrap(),
+            Value::Num(3.0)
+        );
+    }
+
+    #[test]
+    fn runtime_errors_surface() {
+        assert!(run("1 / 0").is_err());
+        assert!(run("let a = [1]; a[3]").is_err());
+        assert!(run("sqrt(\"x\")").is_err());
+        assert!(run("-\"s\"").is_err());
+    }
+
+    #[test]
+    fn stack_is_clean_after_calls_in_loops() {
+        // If the stack leaked per iteration this would OOM or misbehave.
+        assert_eq!(
+            run("fn id(x) { return x; } let s = 0; for i in range(0, 10000) { s = s + id(1); } s")
+                .unwrap(),
+            Value::Num(10_000.0)
+        );
+    }
+
+    #[test]
+    fn vm_is_reusable() {
+        let c1 = compile(&parse("1 + 1").unwrap()).unwrap();
+        let c2 = compile(&parse("2 + 2").unwrap()).unwrap();
+        let mut vm = Vm::new();
+        assert_eq!(vm.run(&c1).unwrap(), Value::Num(2.0));
+        assert_eq!(vm.run(&c2).unwrap(), Value::Num(4.0));
+        assert_eq!(vm.run(&c1).unwrap(), Value::Num(2.0));
+    }
+}

@@ -1,0 +1,101 @@
+//! Number formatting conventions shared by every table.
+
+/// Formats a proportion as a percentage with one decimal, e.g. `42.3%`.
+pub fn pct(p: f64) -> String {
+    format!("{:.1}%", p * 100.0)
+}
+
+/// Formats a p-value the way paper tables do: `<0.001` below the floor,
+/// three decimals otherwise.
+pub fn p_value(p: f64) -> String {
+    if p < 0.001 {
+        "<0.001".to_owned()
+    } else {
+        format!("{p:.3}")
+    }
+}
+
+/// Formats a ratio/speedup with an `×` suffix, choosing decimals by
+/// magnitude (12.3× / 4.56× / 0.789×).
+pub fn speedup(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}×")
+    } else if x >= 10.0 {
+        format!("{x:.1}×")
+    } else {
+        format!("{x:.2}×")
+    }
+}
+
+/// Formats seconds adaptively: `87µs`, `950ms`, `12.3s`, `4m06s`, `2h03m`.
+pub fn duration_s(secs: f64) -> String {
+    if secs < 1e-3 {
+        format!("{:.0}µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.0}ms", secs * 1e3)
+    } else if secs < 60.0 {
+        format!("{secs:.1}s")
+    } else if secs < 3600.0 {
+        let m = (secs / 60.0).floor();
+        format!("{m:.0}m{:02.0}s", secs - 60.0 * m)
+    } else {
+        let h = (secs / 3600.0).floor();
+        format!("{h:.0}h{:02.0}m", (secs - 3600.0 * h) / 60.0)
+    }
+}
+
+/// Formats a float to `sig` significant digits without scientific notation
+/// for the magnitudes report tables use.
+pub fn sig(x: f64, sig: usize) -> String {
+    if x == 0.0 || !x.is_finite() {
+        return format!("{x}");
+    }
+    let digits = x.abs().log10().floor() as i32;
+    let decimals = (sig as i32 - 1 - digits).max(0) as usize;
+    format!("{x:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.423), "42.3%");
+        assert_eq!(pct(1.0), "100.0%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn p_value_floor() {
+        assert_eq!(p_value(0.0005), "<0.001");
+        assert_eq!(p_value(0.05), "0.050");
+        assert_eq!(p_value(0.5), "0.500");
+    }
+
+    #[test]
+    fn speedup_precision_scales() {
+        assert_eq!(speedup(123.4), "123×");
+        assert_eq!(speedup(12.34), "12.3×");
+        assert_eq!(speedup(1.234), "1.23×");
+        assert_eq!(speedup(0.5), "0.50×");
+    }
+
+    #[test]
+    fn durations() {
+        assert_eq!(duration_s(8.7e-5), "87µs");
+        assert_eq!(duration_s(0.95), "950ms");
+        assert_eq!(duration_s(12.34), "12.3s");
+        assert_eq!(duration_s(246.0), "4m06s");
+        assert_eq!(duration_s(7380.0), "2h03m");
+    }
+
+    #[test]
+    fn sig_digits() {
+        assert_eq!(sig(1234.6, 3), "1235"); // already 4 integer digits
+        assert_eq!(sig(1.2345, 3), "1.23");
+        assert_eq!(sig(0.012345, 3), "0.0123");
+        assert_eq!(sig(0.0, 3), "0");
+        assert_eq!(sig(f64::INFINITY, 3), "inf");
+    }
+}

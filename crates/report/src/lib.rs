@@ -1,0 +1,25 @@
+//! # rcr-report
+//!
+//! Rendering for the reproduction's tables and figures: aligned text
+//! tables, CSV, and dependency-free SVG charts (line series with confidence
+//! bands, grouped bars with optional log scale, CDF curves, heat maps).
+//!
+//! Everything renders to `String`; the `reproduce` binary decides where
+//! files go. No drawing library is used — the SVG is hand-assembled, which
+//! keeps the output auditable and the crate dependency-free.
+//!
+//! ```
+//! use rcr_report::table::Table;
+//!
+//! let mut t = Table::new(["language", "2011", "2024"]);
+//! t.row(["python", "42%", "87%"]);
+//! let text = t.render_ascii();
+//! assert!(text.contains("python"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fmt;
+pub mod svg;
+pub mod table;

@@ -1,0 +1,469 @@
+//! Dependency-free SVG charts: line series (with optional confidence
+//! bands), grouped bars (linear or log₁₀ value axis), and heat maps.
+//!
+//! The goal is auditable figure output, not a plotting library: fixed
+//! layout, automatic "nice" ticks, and a small palette.
+
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 400.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+
+/// Series colours (colour-blind-safe Okabe–Ito subset).
+const PALETTE: [&str; 6] =
+    ["#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9"];
+
+/// A named line series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+    /// Optional per-point `(lo, hi)` confidence band.
+    pub band: Option<Vec<(f64, f64)>>,
+}
+
+impl Series {
+    /// Creates a series without a band.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points, band: None }
+    }
+
+    /// Attaches a confidence band (must be aligned with `points`).
+    pub fn with_band(mut self, band: Vec<(f64, f64)>) -> Self {
+        self.band = Some(band);
+        self
+    }
+}
+
+/// Computes "nice" tick positions covering `[lo, hi]`.
+fn ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if hi <= lo || !(hi - lo).is_finite() {
+        return vec![lo];
+    }
+    let raw_step = (hi - lo) / target.max(1) as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = mag
+        * if norm <= 1.0 {
+            1.0
+        } else if norm <= 2.0 {
+            2.0
+        } else if norm <= 5.0 {
+            5.0
+        } else {
+            10.0
+        };
+    let first = (lo / step).ceil() * step;
+    let mut t = Vec::new();
+    let mut v = first;
+    while v <= hi + step * 1e-9 {
+        // Snap near-zero ticks to exactly zero for clean labels.
+        t.push(if v.abs() < step * 1e-9 { 0.0 } else { v });
+        v += step;
+    }
+    t
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+        format!("{v:.0e}")
+    } else if v.fract() == 0.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+struct Frame {
+    x_lo: f64,
+    x_hi: f64,
+    y_lo: f64,
+    y_hi: f64,
+}
+
+impl Frame {
+    fn x(&self, v: f64) -> f64 {
+        MARGIN_L + (v - self.x_lo) / (self.x_hi - self.x_lo) * (WIDTH - MARGIN_L - MARGIN_R)
+    }
+
+    fn y(&self, v: f64) -> f64 {
+        HEIGHT - MARGIN_B
+            - (v - self.y_lo) / (self.y_hi - self.y_lo) * (HEIGHT - MARGIN_T - MARGIN_B)
+    }
+}
+
+fn svg_header(title: &str) -> String {
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{HEIGHT}\" \
+         viewBox=\"0 0 {WIDTH} {HEIGHT}\" font-family=\"sans-serif\" font-size=\"12\">\n\
+         <rect width=\"{WIDTH}\" height=\"{HEIGHT}\" fill=\"white\"/>\n\
+         <text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"15\">{}</text>\n",
+        WIDTH / 2.0,
+        escape(title)
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn axes(out: &mut String, f: &Frame, x_label: &str, y_label: &str, y_log: bool) {
+    let x0 = MARGIN_L;
+    let x1 = WIDTH - MARGIN_R;
+    let y0 = HEIGHT - MARGIN_B;
+    let y1 = MARGIN_T;
+    let _ = writeln!(
+        out,
+        "<line x1=\"{x0}\" y1=\"{y0}\" x2=\"{x1}\" y2=\"{y0}\" stroke=\"black\"/>\n\
+         <line x1=\"{x0}\" y1=\"{y0}\" x2=\"{x0}\" y2=\"{y1}\" stroke=\"black\"/>"
+    );
+    for t in ticks(f.x_lo, f.x_hi, 6) {
+        let px = f.x(t);
+        let _ = writeln!(
+            out,
+            "<line x1=\"{px}\" y1=\"{y0}\" x2=\"{px}\" y2=\"{}\" stroke=\"black\"/>\n\
+             <text x=\"{px}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+            y0 + 5.0,
+            y0 + 20.0,
+            fmt_tick(t)
+        );
+    }
+    for t in ticks(f.y_lo, f.y_hi, 6) {
+        let py = f.y(t);
+        let label = if y_log { format!("1e{}", fmt_tick(t)) } else { fmt_tick(t) };
+        let _ = writeln!(
+            out,
+            "<line x1=\"{}\" y1=\"{py}\" x2=\"{x0}\" y2=\"{py}\" stroke=\"black\"/>\n\
+             <text x=\"{}\" y=\"{}\" text-anchor=\"end\">{label}</text>\n\
+             <line x1=\"{x0}\" y1=\"{py}\" x2=\"{x1}\" y2=\"{py}\" stroke=\"#eeeeee\"/>",
+            x0 - 5.0,
+            x0 - 8.0,
+            py + 4.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\">{}</text>\n\
+         <text x=\"18\" y=\"{}\" text-anchor=\"middle\" transform=\"rotate(-90 18 {})\">{}</text>",
+        (x0 + x1) / 2.0,
+        HEIGHT - 12.0,
+        escape(x_label),
+        (y0 + y1) / 2.0,
+        (y0 + y1) / 2.0,
+        escape(y_label)
+    );
+}
+
+fn legend(out: &mut String, labels: &[&str]) {
+    for (i, label) in labels.iter().enumerate() {
+        let y = MARGIN_T + 8.0 + 16.0 * i as f64;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{}\" y=\"{}\" width=\"12\" height=\"4\" fill=\"{}\"/>\n\
+             <text x=\"{}\" y=\"{}\">{}</text>",
+            MARGIN_L + 10.0,
+            y,
+            PALETTE[i % PALETTE.len()],
+            MARGIN_L + 28.0,
+            y + 6.0,
+            escape(label)
+        );
+    }
+}
+
+/// Renders a multi-series line chart (optionally with shaded confidence
+/// bands) to an SVG string.
+///
+/// # Panics
+/// Panics when no series contains any point.
+pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "line chart needs at least one point");
+    let x_lo = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+    let x_hi = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+    let mut y_lo = all.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let mut y_hi = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    for s in series {
+        if let Some(band) = &s.band {
+            for &(lo, hi) in band {
+                y_lo = y_lo.min(lo);
+                y_hi = y_hi.max(hi);
+            }
+        }
+    }
+    if y_lo == y_hi {
+        y_lo -= 1.0;
+        y_hi += 1.0;
+    }
+    let pad = 0.05 * (y_hi - y_lo);
+    let f = Frame {
+        x_lo,
+        x_hi: if x_hi > x_lo { x_hi } else { x_lo + 1.0 },
+        y_lo: y_lo - pad,
+        y_hi: y_hi + pad,
+    };
+    let mut out = svg_header(title);
+    axes(&mut out, &f, x_label, y_label, false);
+    for (i, s) in series.iter().enumerate() {
+        let colour = PALETTE[i % PALETTE.len()];
+        if let Some(band) = &s.band {
+            let mut d = String::new();
+            for (p, &(lo, _)) in s.points.iter().zip(band) {
+                let _ = write!(d, "{},{} ", f.x(p.0), f.y(lo));
+            }
+            for (p, &(_, hi)) in s.points.iter().zip(band).rev() {
+                let _ = write!(d, "{},{} ", f.x(p.0), f.y(hi));
+            }
+            let _ = writeln!(
+                out,
+                "<polygon points=\"{}\" fill=\"{colour}\" opacity=\"0.15\"/>",
+                d.trim_end()
+            );
+        }
+        let pts: Vec<String> =
+            s.points.iter().map(|&(x, y)| format!("{},{}", f.x(x), f.y(y))).collect();
+        let _ = writeln!(
+            out,
+            "<polyline points=\"{}\" fill=\"none\" stroke=\"{colour}\" stroke-width=\"2\"/>",
+            pts.join(" ")
+        );
+    }
+    let labels: Vec<&str> = series.iter().map(|s| s.label.as_str()).collect();
+    legend(&mut out, &labels);
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders a grouped bar chart. `groups` are x-axis categories; each group
+/// has one bar per series label. When `log_scale` is set, values are
+/// plotted as log₁₀ (all values must then be positive).
+///
+/// # Panics
+/// Panics on empty input, ragged groups, or non-positive values with
+/// `log_scale`.
+pub fn bar_chart(
+    title: &str,
+    y_label: &str,
+    series_labels: &[&str],
+    groups: &[(&str, Vec<f64>)],
+    log_scale: bool,
+) -> String {
+    assert!(!groups.is_empty() && !series_labels.is_empty(), "bar chart needs data");
+    for (g, vals) in groups {
+        assert_eq!(
+            vals.len(),
+            series_labels.len(),
+            "group `{g}` has {} values for {} series",
+            vals.len(),
+            series_labels.len()
+        );
+    }
+    let transform = |v: f64| -> f64 {
+        if log_scale {
+            assert!(v > 0.0, "log-scale bars need positive values, got {v}");
+            v.log10()
+        } else {
+            v
+        }
+    };
+    let tvals: Vec<f64> =
+        groups.iter().flat_map(|(_, vs)| vs.iter().map(|&v| transform(v))).collect();
+    let hi = tvals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let lo = tvals.iter().copied().fold(f64::INFINITY, f64::min).min(0.0);
+    let f = Frame {
+        x_lo: 0.0,
+        x_hi: groups.len() as f64,
+        y_lo: lo,
+        y_hi: if hi > lo { hi * 1.08 } else { lo + 1.0 },
+    };
+    let mut out = svg_header(title);
+    axes(&mut out, &f, "", y_label, log_scale);
+    let group_w = (WIDTH - MARGIN_L - MARGIN_R) / groups.len() as f64;
+    let bar_w = group_w * 0.8 / series_labels.len() as f64;
+    for (gi, (gname, vals)) in groups.iter().enumerate() {
+        let gx = MARGIN_L + gi as f64 * group_w;
+        for (si, &v) in vals.iter().enumerate() {
+            let tv = transform(v);
+            let x = gx + group_w * 0.1 + si as f64 * bar_w;
+            let y = f.y(tv.max(f.y_lo));
+            let base = f.y(f.y_lo.max(0.0f64.min(f.y_hi)));
+            let (top, h) = if y <= base { (y, base - y) } else { (base, y - base) };
+            let _ = writeln!(
+                out,
+                "<rect x=\"{x:.1}\" y=\"{top:.1}\" width=\"{bar_w:.1}\" height=\"{h:.1}\" \
+                 fill=\"{}\"/>",
+                PALETTE[si % PALETTE.len()]
+            );
+        }
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\">{}</text>",
+            gx + group_w / 2.0,
+            HEIGHT - MARGIN_B + 20.0,
+            escape(gname)
+        );
+    }
+    legend(&mut out, series_labels);
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders a heat map of a row-major matrix with row/column labels; cell
+/// colour interpolates white → blue over the value range.
+///
+/// # Panics
+/// Panics on dimension mismatches or empty input.
+pub fn heatmap(
+    title: &str,
+    row_labels: &[&str],
+    col_labels: &[&str],
+    values: &[f64],
+) -> String {
+    let (nr, nc) = (row_labels.len(), col_labels.len());
+    assert!(nr > 0 && nc > 0, "heatmap needs rows and columns");
+    assert_eq!(values.len(), nr * nc, "values must be rows × cols");
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    let cell_w = (WIDTH - MARGIN_L - MARGIN_R) / nc as f64;
+    let cell_h = (HEIGHT - MARGIN_T - MARGIN_B) / nr as f64;
+    let mut out = svg_header(title);
+    for r in 0..nr {
+        for c in 0..nc {
+            let v = values[r * nc + c];
+            let t = (v - lo) / span;
+            let shade = (255.0 - t * 180.0) as u8;
+            let x = MARGIN_L + c as f64 * cell_w;
+            let y = MARGIN_T + r as f64 * cell_h;
+            let _ = writeln!(
+                out,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{cell_w:.1}\" height=\"{cell_h:.1}\" \
+                 fill=\"rgb({shade},{shade},255)\" stroke=\"white\"/>\n\
+                 <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\" font-size=\"10\">{}</text>",
+                x + cell_w / 2.0,
+                y + cell_h / 2.0 + 3.0,
+                crate::fmt::sig(v, 2)
+            );
+        }
+    }
+    for (r, label) in row_labels.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "<text x=\"{}\" y=\"{:.1}\" text-anchor=\"end\" font-size=\"10\">{}</text>",
+            MARGIN_L - 6.0,
+            MARGIN_T + (r as f64 + 0.5) * cell_h + 3.0,
+            escape(label)
+        );
+    }
+    for (c, label) in col_labels.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\" font-size=\"10\">{}</text>",
+            MARGIN_L + (c as f64 + 0.5) * cell_w,
+            HEIGHT - MARGIN_B + 16.0,
+            escape(label)
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nice_ticks() {
+        let t = ticks(0.0, 10.0, 5);
+        assert_eq!(t, vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        let t = ticks(0.0, 1.0, 5);
+        assert!(t.contains(&0.0) && t.contains(&1.0));
+        assert_eq!(ticks(3.0, 3.0, 5), vec![3.0]);
+        // Range not starting at zero.
+        let t = ticks(2011.0, 2024.0, 6);
+        assert!(t.iter().all(|&v| (2011.0..=2024.0).contains(&v)));
+        assert!(t.len() >= 2);
+    }
+
+    #[test]
+    fn line_chart_is_valid_svg_with_all_series() {
+        let s1 = Series::new("python", vec![(2011.0, 0.42), (2024.0, 0.87)])
+            .with_band(vec![(0.35, 0.49), (0.84, 0.90)]);
+        let s2 = Series::new("fortran", vec![(2011.0, 0.35), (2024.0, 0.14)]);
+        let svg = line_chart("Fig 1", "year", "share", &[s1, s2]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("python"));
+        assert!(svg.contains("fortran"));
+        assert!(svg.contains("<polygon"), "band missing");
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        // Balanced tags.
+        assert_eq!(svg.matches("<svg").count(), svg.matches("</svg>").count());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_line_chart_panics() {
+        let _ = line_chart("t", "x", "y", &[Series::new("e", vec![])]);
+    }
+
+    #[test]
+    fn bar_chart_linear_and_log() {
+        let groups = [("matmul", vec![1.0, 40.0]), ("stencil", vec![1.0, 12.0])];
+        let lin = bar_chart("Fig 2", "speedup", &["interp", "native"], &groups, false);
+        assert!(lin.contains("matmul") && lin.contains("stencil"));
+        // background + 4 bars + 2 legend swatches.
+        assert_eq!(lin.matches("<rect").count(), 7);
+        let log = bar_chart("Fig 2", "speedup", &["interp", "native"], &groups, true);
+        assert!(log.contains("1e"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn log_bars_reject_zero() {
+        let _ = bar_chart("t", "y", &["a"], &[("g", vec![0.0])], true);
+    }
+
+    #[test]
+    #[should_panic(expected = "series")]
+    fn ragged_bar_groups_panic() {
+        let _ = bar_chart("t", "y", &["a", "b"], &[("g", vec![1.0])], false);
+    }
+
+    #[test]
+    fn heatmap_renders_all_cells() {
+        let svg = heatmap(
+            "GPU by field",
+            &["physics", "biology"],
+            &["2011", "2024"],
+            &[0.05, 0.3, 0.02, 0.25],
+        );
+        // 1 background + 4 cells.
+        assert_eq!(svg.matches("<rect").count(), 5);
+        assert!(svg.contains("physics"));
+        assert!(svg.contains("2024"));
+    }
+
+    #[test]
+    fn escape_special_chars() {
+        assert_eq!(escape("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        let svg = line_chart("x < y & z", "a", "b", &[Series::new("s", vec![(0.0, 1.0)])]);
+        assert!(svg.contains("x &lt; y &amp; z"));
+    }
+
+    #[test]
+    fn constant_series_does_not_divide_by_zero() {
+        let svg =
+            line_chart("flat", "x", "y", &[Series::new("s", vec![(0.0, 5.0), (1.0, 5.0)])]);
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Aligned text tables (ASCII and Markdown) and CSV output.
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers; the default for all but the first column).
+    Right,
+}
+
+/// A simple rectangular table of strings.
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    aligns: Vec<Align>,
+    rows: Vec<Vec<String>>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers. The first column
+    /// defaults to left alignment, the rest to right.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let headers: Vec<String> = headers.into_iter().map(Into::into).collect();
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table { headers, aligns, rows: Vec::new(), title: None }
+    }
+
+    /// Sets a caption printed above the table.
+    pub fn title(mut self, t: impl Into<String>) -> Self {
+        self.title = Some(t.into());
+        self
+    }
+
+    /// Overrides one column's alignment.
+    ///
+    /// # Panics
+    /// Panics on a column index out of range.
+    pub fn align(mut self, col: usize, a: Align) -> Self {
+        self.aligns[col] = a;
+        self
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics when the cell count does not match the header count.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for r in &self.rows {
+            for (wi, c) in w.iter_mut().zip(r) {
+                *wi = (*wi).max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    fn pad(cell: &str, width: usize, align: Align) -> String {
+        let len = cell.chars().count();
+        let fill = " ".repeat(width.saturating_sub(len));
+        match align {
+            Align::Left => format!("{cell}{fill}"),
+            Align::Right => format!("{fill}{cell}"),
+        }
+    }
+
+    /// Renders an aligned plain-text table with a header rule.
+    pub fn render_ascii(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(t);
+            out.push('\n');
+        }
+        let head: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&w)
+            .zip(&self.aligns)
+            .map(|((h, &wi), &a)| Self::pad(h, wi, a))
+            .collect();
+        out.push_str(&head.join("  "));
+        out.push('\n');
+        out.push_str(&w.iter().map(|&wi| "-".repeat(wi)).collect::<Vec<_>>().join("  "));
+        out.push('\n');
+        for r in &self.rows {
+            let cells: Vec<String> = r
+                .iter()
+                .zip(&w)
+                .zip(&self.aligns)
+                .map(|((c, &wi), &a)| Self::pad(c, wi, a))
+                .collect();
+            out.push_str(cells.join("  ").trim_end());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavoured Markdown table.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            out.push_str(&format!("**{t}**\n\n"));
+        }
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        let rules: Vec<&str> = self
+            .aligns
+            .iter()
+            .map(|a| match a {
+                Align::Left => ":---",
+                Align::Right => "---:",
+            })
+            .collect();
+        out.push_str(&format!("| {} |\n", rules.join(" | ")));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+
+    /// Renders RFC-4180 CSV (header row first).
+    pub fn render_csv(&self) -> String {
+        fn esc(s: &str) -> String {
+            if s.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_owned()
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        let mut t = Table::new(["language", "2011", "2024"]).title("Table 2: language usage");
+        t.row(["python", "42.0%", "87.0%"]);
+        t.row(["fortran", "35.0%", "14.0%"]);
+        t
+    }
+
+    #[test]
+    fn ascii_alignment() {
+        let out = demo().render_ascii();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "Table 2: language usage");
+        assert!(lines[1].starts_with("language"));
+        assert!(lines[2].starts_with("--------"));
+        // Numbers right-aligned: both % columns end at the same offset.
+        assert!(lines[3].ends_with("87.0%"));
+        assert!(lines[4].ends_with("14.0%"));
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn markdown_shape() {
+        let md = demo().render_markdown();
+        assert!(md.contains("| language | 2011 | 2024 |"));
+        assert!(md.contains("| :--- | ---: | ---: |"));
+        assert!(md.contains("| python | 42.0% | 87.0% |"));
+        assert!(md.starts_with("**Table 2"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["plain", "with, comma"]);
+        t.row(["quote \"q\"", "line\nbreak"]);
+        let csv = t.render_csv();
+        assert!(csv.contains("plain,\"with, comma\""));
+        assert!(csv.contains("\"quote \"\"q\"\"\""));
+        assert!(csv.contains("\"line\nbreak\""));
+    }
+
+    #[test]
+    fn alignment_override() {
+        let mut t = Table::new(["x", "y"]).align(1, Align::Left);
+        t.row(["a", "b"]);
+        let out = t.render_ascii();
+        // 'b' is left-aligned under 'y'.
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[0], "x  y");
+        assert_eq!(lines[2], "a  b");
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn ragged_row_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn unicode_width_by_chars() {
+        let mut t = Table::new(["naïve", "n"]);
+        t.row(["ábc", "1"]);
+        let out = t.render_ascii();
+        // Header and rule line up by char count.
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[1].split("  ").next().unwrap().len(), "-".repeat(5).len());
+    }
+}

@@ -1,0 +1,223 @@
+//! Confidence intervals for proportions and means.
+
+use crate::special::{beta_inc_inv, normal_quantile, t_quantile_two_sided};
+use crate::{Error, Result};
+
+/// A two-sided confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level, e.g. `0.95`.
+    pub level: f64,
+}
+
+impl Interval {
+    /// Interval width `hi - lo`.
+    pub fn width(&self) -> f64 {
+        self.hi - self.lo
+    }
+
+    /// True when `x` lies inside the closed interval.
+    pub fn contains(&self, x: f64) -> bool {
+        (self.lo..=self.hi).contains(&x)
+    }
+}
+
+fn check_binomial(successes: u64, trials: u64, level: f64) -> Result<()> {
+    if trials == 0 {
+        return Err(Error::InvalidCount(0.0));
+    }
+    if successes > trials {
+        return Err(Error::OutOfRange { what: "successes", value: successes as f64 });
+    }
+    if !(0.0..1.0).contains(&level) || level <= 0.0 {
+        return Err(Error::OutOfRange { what: "level", value: level });
+    }
+    Ok(())
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// The default interval for every proportion plotted in the paper figures:
+/// it behaves sensibly at 0 and 1 and for the small 2011 cohort.
+///
+/// # Errors
+/// Rejects `trials == 0`, `successes > trials`, `level ∉ (0, 1)`.
+pub fn wilson(successes: u64, trials: u64, level: f64) -> Result<Interval> {
+    check_binomial(successes, trials, level)?;
+    let z = normal_quantile(0.5 + level / 2.0)?;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
+    // Snap the boundary cases exactly so `contains(0.0)` / `contains(1.0)`
+    // holds despite rounding in `centre - half`.
+    let lo = if successes == 0 { 0.0 } else { (centre - half).max(0.0) };
+    let hi = if successes == trials { 1.0 } else { (centre + half).min(1.0) };
+    Ok(Interval { lo, hi, level })
+}
+
+/// Clopper–Pearson "exact" interval for a binomial proportion, computed from
+/// the beta quantile.
+///
+/// # Errors
+/// Same conditions as [`wilson`].
+pub fn clopper_pearson(successes: u64, trials: u64, level: f64) -> Result<Interval> {
+    check_binomial(successes, trials, level)?;
+    let alpha = 1.0 - level;
+    let x = successes as f64;
+    let n = trials as f64;
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        beta_inc_inv(x, n - x + 1.0, alpha / 2.0)?
+    };
+    let hi = if successes == trials {
+        1.0
+    } else {
+        beta_inc_inv(x + 1.0, n - x, 1.0 - alpha / 2.0)?
+    };
+    Ok(Interval { lo, hi, level })
+}
+
+/// Normal-approximation (Wald) interval for a proportion. Provided mainly so
+/// the docs can warn against it; prefer [`wilson`].
+///
+/// # Errors
+/// Same conditions as [`wilson`].
+pub fn wald(successes: u64, trials: u64, level: f64) -> Result<Interval> {
+    check_binomial(successes, trials, level)?;
+    let z = normal_quantile(0.5 + level / 2.0)?;
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let half = z * (p * (1.0 - p) / n).sqrt();
+    Ok(Interval { lo: (p - half).max(0.0), hi: (p + half).min(1.0), level })
+}
+
+/// Student-t confidence interval for the mean of a sample.
+///
+/// # Errors
+/// Requires at least two observations.
+pub fn mean_t(xs: &[f64], level: f64) -> Result<Interval> {
+    if !(0.0..1.0).contains(&level) || level <= 0.0 {
+        return Err(Error::OutOfRange { what: "level", value: level });
+    }
+    let n = xs.len();
+    if n < 2 {
+        return Err(Error::TooFewObservations { needed: 2, got: n });
+    }
+    let m = crate::descriptive::mean(xs)?;
+    let s = crate::descriptive::std_dev(xs)?;
+    let t = t_quantile_two_sided(1.0 - level, (n - 1) as f64)?;
+    let half = t * s / (n as f64).sqrt();
+    Ok(Interval { lo: m - half, hi: m + half, level })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn wilson_reference() {
+        // Hand computation for x=15, n=50, z=1.959964:
+        // centre = (0.3 + z²/100)/(1 + z²/50) = 0.314265,
+        // half   = z·sqrt(0.0042 + z²/10000)/(1 + z²/50) = 0.123234,
+        // -> (0.191031, 0.437499).
+        let i = wilson(15, 50, 0.95).unwrap();
+        close(i.lo, 0.191_031, 2e-4);
+        close(i.hi, 0.437_499, 2e-4);
+        assert!(i.contains(0.3));
+        assert!(!i.contains(0.5));
+    }
+
+    #[test]
+    fn wilson_extremes_stay_in_unit_interval() {
+        let i = wilson(0, 20, 0.95).unwrap();
+        assert_eq!(i.lo, 0.0);
+        assert!(i.hi > 0.0 && i.hi < 0.3);
+        let i = wilson(20, 20, 0.95).unwrap();
+        assert_eq!(i.hi, 1.0);
+        assert!(i.lo > 0.7);
+    }
+
+    #[test]
+    fn clopper_pearson_reference() {
+        // Cornish–Fisher check: lower = Beta(15, 36).ppf(0.025) ≈ 0.1776,
+        // upper = Beta(16, 35).ppf(0.975) ≈ 0.4464.
+        let i = clopper_pearson(15, 50, 0.95).unwrap();
+        close(i.lo, 0.177_6, 4e-3);
+        close(i.hi, 0.446_4, 4e-3);
+        // Exact interval is wider than Wilson.
+        let w = wilson(15, 50, 0.95).unwrap();
+        assert!(i.width() > w.width());
+    }
+
+    #[test]
+    fn clopper_pearson_boundaries() {
+        let i = clopper_pearson(0, 10, 0.95).unwrap();
+        assert_eq!(i.lo, 0.0);
+        let i = clopper_pearson(10, 10, 0.95).unwrap();
+        assert_eq!(i.hi, 1.0);
+    }
+
+    #[test]
+    fn wald_narrower_but_collapses_at_extremes() {
+        let i = wald(0, 20, 0.95).unwrap();
+        assert_eq!(i.width(), 0.0); // the known pathology
+        let w = wilson(0, 20, 0.95).unwrap();
+        assert!(w.width() > 0.0);
+    }
+
+    #[test]
+    fn mean_t_reference() {
+        // t-interval for [1..5], 95%: mean 3, s = sqrt(2.5), t(4, .975)=2.7764
+        let i = mean_t(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.95).unwrap();
+        let half = 2.776_445_105 * (2.5f64).sqrt() / 5f64.sqrt();
+        close(i.lo, 3.0 - half, 1e-5);
+        close(i.hi, 3.0 + half, 1e-5);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(wilson(5, 0, 0.95).is_err());
+        assert!(wilson(6, 5, 0.95).is_err());
+        assert!(wilson(3, 5, 1.0).is_err());
+        assert!(wilson(3, 5, 0.0).is_err());
+        assert!(mean_t(&[1.0], 0.95).is_err());
+        assert!(mean_t(&[1.0, 2.0], 1.5).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_intervals_cover_point_estimate(x in 0u64..100, extra in 1u64..100) {
+            let n = x + extra;
+            let p = x as f64 / n as f64;
+            for i in [
+                wilson(x, n, 0.95).unwrap(),
+                clopper_pearson(x, n, 0.95).unwrap(),
+                wald(x, n, 0.95).unwrap(),
+            ] {
+                prop_assert!(i.lo >= 0.0 && i.hi <= 1.0);
+                prop_assert!(i.contains(p), "{:?} should contain {}", i, p);
+            }
+        }
+
+        #[test]
+        fn prop_higher_level_wider(x in 1u64..50, extra in 1u64..50) {
+            let n = x + extra;
+            let i90 = wilson(x, n, 0.90).unwrap();
+            let i99 = wilson(x, n, 0.99).unwrap();
+            prop_assert!(i99.width() >= i90.width() - 1e-12);
+        }
+    }
+}

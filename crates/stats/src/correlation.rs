@@ -1,0 +1,217 @@
+//! Correlation coefficients: Pearson, Spearman, and Kendall's tau-b.
+
+use crate::rank::midranks;
+use crate::{Error, Result};
+
+fn check_paired(xs: &[f64], ys: &[f64]) -> Result<()> {
+    if xs.len() != ys.len() {
+        return Err(Error::DimensionMismatch(format!(
+            "paired samples differ in length: {} vs {}",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < 2 {
+        return Err(Error::TooFewObservations { needed: 2, got: xs.len() });
+    }
+    crate::ensure_finite(xs, "correlation xs")?;
+    crate::ensure_finite(ys, "correlation ys")?;
+    Ok(())
+}
+
+/// Pearson product-moment correlation coefficient.
+///
+/// # Errors
+/// Requires equal-length samples of at least two observations each with
+/// non-zero variance.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    check_paired(xs, ys)?;
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return Err(Error::InvalidCount(0.0));
+    }
+    Ok((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
+}
+
+/// Spearman rank correlation (Pearson on midranks, correct under ties).
+///
+/// # Errors
+/// Same preconditions as [`pearson`] after ranking.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    check_paired(xs, ys)?;
+    let rx = midranks(xs)?;
+    let ry = midranks(ys)?;
+    pearson(&rx, &ry)
+}
+
+/// Kendall's tau-b rank correlation with tie correction.
+///
+/// O(n²) pair enumeration — fine for survey-scale data (n ≤ a few thousand).
+///
+/// # Errors
+/// Same input preconditions as [`pearson`]; additionally errors when either
+/// variable is constant (tau undefined).
+pub fn kendall_tau_b(xs: &[f64], ys: &[f64]) -> Result<f64> {
+    check_paired(xs, ys)?;
+    let n = xs.len();
+    let (mut concordant, mut discordant) = (0i64, 0i64);
+    let (mut ties_x, mut ties_y) = (0i64, 0i64);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i] - xs[j];
+            let dy = ys[i] - ys[j];
+            if dx == 0.0 && dy == 0.0 {
+                ties_x += 1;
+                ties_y += 1;
+            } else if dx == 0.0 {
+                ties_x += 1;
+            } else if dy == 0.0 {
+                ties_y += 1;
+            } else if dx * dy > 0.0 {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let n0 = (n * (n - 1) / 2) as i64;
+    let denom = (((n0 - ties_x) as f64) * ((n0 - ties_y) as f64)).sqrt();
+    if denom == 0.0 {
+        return Err(Error::InvalidCount(0.0));
+    }
+    Ok(((concordant - discordant) as f64 / denom).clamp(-1.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn pearson_perfect_lines() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        close(pearson(&xs, &up).unwrap(), 1.0, 1e-12);
+        let down: Vec<f64> = xs.iter().map(|x| -3.0 * x).collect();
+        close(pearson(&xs, &down).unwrap(), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn pearson_reference() {
+        // scipy.stats.pearsonr([1,2,3,4,5], [2,1,4,3,5]) -> r = 0.8
+        close(
+            pearson(&[1.0, 2.0, 3.0, 4.0, 5.0], &[2.0, 1.0, 4.0, 3.0, 5.0]).unwrap(),
+            0.8,
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn pearson_rejects_constant_or_mismatched() {
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[2.0]).is_err());
+        assert!(pearson(&[1.0], &[2.0]).is_err());
+        assert!(pearson(&[1.0, f64::NAN], &[2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|&x| x.exp()).collect();
+        close(spearman(&xs, &ys).unwrap(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn spearman_with_ties_reference() {
+        // Hand computation: midranks x = [1, 2.5, 2.5, 4], y-ranks = [1, 3, 2, 4];
+        // Pearson of those = 4.5 / sqrt(4.5 · 5) = 0.9486832980505138.
+        close(
+            spearman(&[1.0, 2.0, 2.0, 3.0], &[1.0, 3.0, 2.0, 4.0]).unwrap(),
+            0.948_683_298_050_513_8,
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn kendall_reference() {
+        // scipy.stats.kendalltau([1,2,3,4,5], [2,1,4,3,5]) -> tau = 0.6
+        close(
+            kendall_tau_b(&[1.0, 2.0, 3.0, 4.0, 5.0], &[2.0, 1.0, 4.0, 3.0, 5.0]).unwrap(),
+            0.6,
+            1e-12,
+        );
+        // Perfect agreement / disagreement.
+        close(kendall_tau_b(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap(), 1.0, 1e-12);
+        close(kendall_tau_b(&[1.0, 2.0, 3.0], &[6.0, 5.0, 4.0]).unwrap(), -1.0, 1e-12);
+    }
+
+    #[test]
+    fn kendall_with_ties() {
+        // Hand computation for x=[1,1,2,3], y=[1,2,2,3]: C=4, D=0, one tie on
+        // each axis, n0=6 -> tau_b = 4 / sqrt(5·5) = 0.8.
+        close(
+            kendall_tau_b(&[1.0, 1.0, 2.0, 3.0], &[1.0, 2.0, 2.0, 3.0]).unwrap(),
+            0.8,
+            1e-12,
+        );
+        assert!(kendall_tau_b(&[1.0, 1.0], &[2.0, 3.0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_correlations_bounded(
+            pairs in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..40)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Ok(r) = pearson(&xs, &ys) {
+                prop_assert!((-1.0..=1.0).contains(&r));
+            }
+            if let Ok(r) = spearman(&xs, &ys) {
+                prop_assert!((-1.0..=1.0).contains(&r));
+            }
+            if let Ok(r) = kendall_tau_b(&xs, &ys) {
+                prop_assert!((-1.0..=1.0).contains(&r));
+            }
+        }
+
+        #[test]
+        fn prop_pearson_symmetric(
+            pairs in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..30)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let (Ok(a), Ok(b)) = (pearson(&xs, &ys), pearson(&ys, &xs)) {
+                prop_assert!((a - b).abs() < 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_pearson_invariant_to_affine(
+            pairs in proptest::collection::vec((-10f64..10.0, -10f64..10.0), 3..30),
+            scale in 0.1f64..10.0,
+            shift in -100f64..100.0,
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let xs2: Vec<f64> = xs.iter().map(|x| scale * x + shift).collect();
+            if let (Ok(a), Ok(b)) = (pearson(&xs, &ys), pearson(&xs2, &ys)) {
+                prop_assert!((a - b).abs() < 1e-8);
+            }
+        }
+    }
+}

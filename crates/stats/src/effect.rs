@@ -1,0 +1,225 @@
+//! Effect sizes: practical significance to accompany p-values in every
+//! cohort-comparison table.
+
+use crate::special::normal_quantile;
+use crate::table::ContingencyTable;
+use crate::{Error, Result};
+
+/// Cramér's V for an r×c contingency table: `sqrt(χ² / (N · min(r-1, c-1)))`.
+///
+/// Ranges from 0 (independence) to 1 (perfect association).
+///
+/// # Errors
+/// Propagates chi-square preconditions (zero margins etc.).
+pub fn cramers_v(table: &ContingencyTable) -> Result<f64> {
+    let chi2 = crate::tests::chi_square_independence(table)?.statistic;
+    let n = table.grand_total();
+    let k = (table.n_rows().min(table.n_cols()) - 1) as f64;
+    if n <= 0.0 || k <= 0.0 {
+        return Err(Error::InvalidCount(n));
+    }
+    Ok((chi2 / (n * k)).sqrt().min(1.0))
+}
+
+/// Phi coefficient for a 2×2 table (signed association,
+/// `(ad - bc) / sqrt(row·col margins)`).
+///
+/// # Errors
+/// Requires a 2×2 table with non-zero margins.
+pub fn phi(table: &ContingencyTable) -> Result<f64> {
+    if table.n_rows() != 2 || table.n_cols() != 2 {
+        return Err(Error::DimensionMismatch(format!(
+            "phi needs 2x2, got {}x{}",
+            table.n_rows(),
+            table.n_cols()
+        )));
+    }
+    let a = table.get(0, 0);
+    let b = table.get(0, 1);
+    let c = table.get(1, 0);
+    let d = table.get(1, 1);
+    let denom =
+        ((a + b) * (c + d) * (a + c) * (b + d)).sqrt();
+    if denom == 0.0 {
+        return Err(Error::InvalidCount(0.0));
+    }
+    Ok((a * d - b * c) / denom)
+}
+
+/// Sample odds ratio of a 2×2 table with a Woolf (log) confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OddsRatio {
+    /// The point estimate `ad / bc` (Haldane–Anscombe corrected when any cell
+    /// is zero).
+    pub estimate: f64,
+    /// Lower bound of the CI.
+    pub lo: f64,
+    /// Upper bound of the CI.
+    pub hi: f64,
+    /// Confidence level.
+    pub level: f64,
+    /// Whether the 0.5 continuity correction was applied.
+    pub corrected: bool,
+}
+
+/// Odds ratio with Woolf logit confidence interval. Applies the
+/// Haldane–Anscombe +0.5 correction to every cell when any cell is zero.
+///
+/// # Errors
+/// Requires a 2×2 table and `level ∈ (0, 1)`.
+pub fn odds_ratio(table: &ContingencyTable, level: f64) -> Result<OddsRatio> {
+    if table.n_rows() != 2 || table.n_cols() != 2 {
+        return Err(Error::DimensionMismatch(format!(
+            "odds ratio needs 2x2, got {}x{}",
+            table.n_rows(),
+            table.n_cols()
+        )));
+    }
+    if !(0.0..1.0).contains(&level) || level <= 0.0 {
+        return Err(Error::OutOfRange { what: "level", value: level });
+    }
+    let mut a = table.get(0, 0);
+    let mut b = table.get(0, 1);
+    let mut c = table.get(1, 0);
+    let mut d = table.get(1, 1);
+    let corrected = [a, b, c, d].contains(&0.0);
+    if corrected {
+        a += 0.5;
+        b += 0.5;
+        c += 0.5;
+        d += 0.5;
+    }
+    let or = (a * d) / (b * c);
+    let se = (1.0 / a + 1.0 / b + 1.0 / c + 1.0 / d).sqrt();
+    let z = normal_quantile(0.5 + level / 2.0)?;
+    Ok(OddsRatio {
+        estimate: or,
+        lo: (or.ln() - z * se).exp(),
+        hi: (or.ln() + z * se).exp(),
+        level,
+        corrected,
+    })
+}
+
+/// Cohen's h effect size for two proportions:
+/// `h = 2·asin(√p₁) − 2·asin(√p₂)`.
+///
+/// Conventional magnitude labels: 0.2 small, 0.5 medium, 0.8 large.
+///
+/// # Errors
+/// Rejects proportions outside `[0, 1]`.
+pub fn cohens_h(p1: f64, p2: f64) -> Result<f64> {
+    for (name, p) in [("p1", p1), ("p2", p2)] {
+        if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+            return Err(Error::OutOfRange { what: name, value: p });
+        }
+    }
+    Ok(2.0 * p1.sqrt().asin() - 2.0 * p2.sqrt().asin())
+}
+
+/// Conventional qualitative label for an absolute effect size on Cohen's
+/// scale (used in report footnotes).
+pub fn cohen_label(h_abs: f64) -> &'static str {
+    let h = h_abs.abs();
+    if h < 0.2 {
+        "negligible"
+    } else if h < 0.5 {
+        "small"
+    } else if h < 0.8 {
+        "medium"
+    } else {
+        "large"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn cramers_v_perfect_association() {
+        let t = ContingencyTable::two_by_two(50.0, 0.0, 0.0, 50.0).unwrap();
+        close(cramers_v(&t).unwrap(), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn cramers_v_independence_near_zero() {
+        let t = ContingencyTable::two_by_two(25.0, 25.0, 25.0, 25.0).unwrap();
+        close(cramers_v(&t).unwrap(), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn cramers_v_rectangular() {
+        let t = ContingencyTable::from_rows(&[
+            &[20.0, 5.0, 5.0],
+            &[5.0, 20.0, 5.0],
+        ])
+        .unwrap();
+        let v = cramers_v(&t).unwrap();
+        assert!(v > 0.3 && v < 1.0);
+    }
+
+    #[test]
+    fn phi_signs() {
+        let pos = ContingencyTable::two_by_two(40.0, 10.0, 10.0, 40.0).unwrap();
+        assert!(phi(&pos).unwrap() > 0.0);
+        let neg = ContingencyTable::two_by_two(10.0, 40.0, 40.0, 10.0).unwrap();
+        assert!(phi(&neg).unwrap() < 0.0);
+        // |phi| equals Cramér's V for 2x2.
+        close(phi(&pos).unwrap().abs(), cramers_v(&pos).unwrap(), 1e-12);
+    }
+
+    #[test]
+    fn phi_rejects_non_2x2_and_zero_margin() {
+        let t3 = ContingencyTable::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert!(phi(&t3).is_err());
+        let zm = ContingencyTable::two_by_two(0.0, 0.0, 3.0, 4.0).unwrap();
+        assert!(phi(&zm).is_err());
+    }
+
+    #[test]
+    fn odds_ratio_reference() {
+        let t = ContingencyTable::two_by_two(8.0, 2.0, 1.0, 5.0).unwrap();
+        let or = odds_ratio(&t, 0.95).unwrap();
+        close(or.estimate, 20.0, 1e-12);
+        assert!(!or.corrected);
+        assert!(or.lo < 20.0 && or.hi > 20.0);
+        assert!(or.lo > 1.0, "CI excludes 1 here: lo={}", or.lo);
+    }
+
+    #[test]
+    fn odds_ratio_zero_cell_corrected() {
+        let t = ContingencyTable::two_by_two(5.0, 0.0, 2.0, 3.0).unwrap();
+        let or = odds_ratio(&t, 0.95).unwrap();
+        assert!(or.corrected);
+        assert!(or.estimate.is_finite());
+        assert!(or.lo > 0.0 && or.hi.is_finite());
+    }
+
+    #[test]
+    fn cohens_h_reference() {
+        // h(0.5, 0.5) = 0; h(0.75, 0.25) = 2*(asin(sqrt(.75)) - asin(sqrt(.25)))
+        close(cohens_h(0.5, 0.5).unwrap(), 0.0, 1e-12);
+        let expected = 2.0 * (0.75f64.sqrt().asin() - 0.25f64.sqrt().asin());
+        close(cohens_h(0.75, 0.25).unwrap(), expected, 1e-12);
+        // Antisymmetric.
+        close(
+            cohens_h(0.3, 0.6).unwrap(),
+            -cohens_h(0.6, 0.3).unwrap(),
+            1e-12,
+        );
+        assert!(cohens_h(1.2, 0.5).is_err());
+    }
+
+    #[test]
+    fn cohen_labels() {
+        assert_eq!(cohen_label(0.05), "negligible");
+        assert_eq!(cohen_label(0.3), "small");
+        assert_eq!(cohen_label(-0.6), "medium");
+        assert_eq!(cohen_label(1.1), "large");
+    }
+}

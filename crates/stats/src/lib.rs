@@ -1,0 +1,150 @@
+//! # rcr-stats
+//!
+//! A from-scratch statistics library powering the survey analysis in the
+//! *Revisiting Computation for Research* reproduction. It deliberately avoids
+//! external numeric crates so that every test statistic printed in a paper
+//! table is auditable in this repository.
+//!
+//! The crate is organised around the needs of questionnaire analysis:
+//!
+//! * [`descriptive`] — means, variances (Welford and two-pass), quantiles,
+//!   five-number summaries.
+//! * [`special`] — the special functions (log-gamma, regularized incomplete
+//!   gamma and beta, error function) that back every p-value.
+//! * [`table`] — frequency and r×c contingency tables.
+//! * [`tests`] — chi-square, G-test, Fisher exact, two-proportion z,
+//!   Mann–Whitney U, Welch t.
+//! * [`ci`] — Wilson, Clopper–Pearson, and t confidence intervals.
+//! * [`effect`] — Cramér's V, phi, odds ratios, Cohen's h.
+//! * [`multiplicity`] — Bonferroni, Holm, Benjamini–Hochberg corrections.
+//! * [`correlation`] / [`regression`] — Pearson, Spearman, OLS trend fits.
+//! * [`resample`] — seeded bootstrap and permutation machinery.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rcr_stats::table::ContingencyTable;
+//! use rcr_stats::tests::chi_square_independence;
+//!
+//! // Language usage (rows: cohorts 2011/2024, cols: uses-Python yes/no).
+//! let t = ContingencyTable::from_rows(&[&[30.0, 84.0], &[612.0, 108.0]]).unwrap();
+//! let r = chi_square_independence(&t).unwrap();
+//! assert!(r.p_value < 1e-6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod correlation;
+pub mod descriptive;
+pub mod effect;
+pub mod multiplicity;
+pub mod rank;
+pub mod regression;
+pub mod resample;
+pub mod special;
+pub mod table;
+pub mod tests;
+
+use std::fmt;
+
+/// Errors produced by statistical routines.
+///
+/// Every fallible function in this crate returns [`Result<T>`]; panics are
+/// reserved for internal invariant violations only.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// The input slice was empty where at least one observation is required.
+    EmptyInput,
+    /// The input had fewer observations than the method requires.
+    TooFewObservations {
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Number of observations actually provided.
+        got: usize,
+    },
+    /// A probability, proportion, or other bounded argument was out of range.
+    OutOfRange {
+        /// Name of the offending argument.
+        what: &'static str,
+        /// The value that was provided.
+        value: f64,
+    },
+    /// A count was negative or otherwise invalid.
+    InvalidCount(f64),
+    /// The table dimensions do not match what the test requires.
+    DimensionMismatch(String),
+    /// A numeric routine failed to converge.
+    NoConvergence(&'static str),
+    /// Input contained NaN where finite values are required.
+    NonFinite(&'static str),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::EmptyInput => write!(f, "empty input"),
+            Error::TooFewObservations { needed, got } => {
+                write!(f, "need at least {needed} observations, got {got}")
+            }
+            Error::OutOfRange { what, value } => {
+                write!(f, "argument `{what}` out of range: {value}")
+            }
+            Error::InvalidCount(c) => write!(f, "invalid count: {c}"),
+            Error::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            Error::NoConvergence(what) => write!(f, "no convergence in {what}"),
+            Error::NonFinite(what) => write!(f, "non-finite value in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Validates that every value in `xs` is finite.
+pub(crate) fn ensure_finite(xs: &[f64], what: &'static str) -> Result<()> {
+    if xs.iter().any(|x| !x.is_finite()) {
+        Err(Error::NonFinite(what))
+    } else {
+        Ok(())
+    }
+}
+
+/// Validates that `xs` is non-empty and finite.
+pub(crate) fn ensure_sample(xs: &[f64], what: &'static str) -> Result<()> {
+    if xs.is_empty() {
+        return Err(Error::EmptyInput);
+    }
+    ensure_finite(xs, what)
+}
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = Error::TooFewObservations { needed: 3, got: 1 };
+        assert!(e.to_string().contains("at least 3"));
+        let e = Error::OutOfRange {
+            what: "p",
+            value: 1.5,
+        };
+        assert!(e.to_string().contains('p'));
+        assert!(Error::EmptyInput.to_string().contains("empty"));
+        assert!(Error::NoConvergence("betainc").to_string().contains("betainc"));
+        assert!(Error::NonFinite("xs").to_string().contains("xs"));
+        assert!(Error::InvalidCount(-1.0).to_string().contains("-1"));
+        assert!(Error::DimensionMismatch("2x2".into()).to_string().contains("2x2"));
+    }
+
+    #[test]
+    fn ensure_sample_rejects_bad_input() {
+        assert_eq!(ensure_sample(&[], "xs"), Err(Error::EmptyInput));
+        assert_eq!(ensure_sample(&[1.0, f64::NAN], "xs"), Err(Error::NonFinite("xs")));
+        assert!(ensure_sample(&[1.0, 2.0], "xs").is_ok());
+    }
+}

@@ -1,0 +1,205 @@
+//! Multiple-comparison corrections.
+//!
+//! Each cohort-comparison table tests a whole battery of items at once
+//! (10 languages, 6 practices, ...), so raw p-values are always adjusted.
+//! Benjamini–Hochberg is the default in the paper tables; Bonferroni and Holm
+//! are provided for the ablation bench.
+
+use crate::{Error, Result};
+
+fn check_pvalues(ps: &[f64]) -> Result<()> {
+    if ps.is_empty() {
+        return Err(Error::EmptyInput);
+    }
+    for &p in ps {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(Error::OutOfRange { what: "p", value: p });
+        }
+    }
+    Ok(())
+}
+
+/// Bonferroni correction: `p_adj = min(1, m·p)`.
+///
+/// # Errors
+/// Rejects empty input and p-values outside `[0, 1]`.
+pub fn bonferroni(ps: &[f64]) -> Result<Vec<f64>> {
+    check_pvalues(ps)?;
+    let m = ps.len() as f64;
+    Ok(ps.iter().map(|&p| (p * m).min(1.0)).collect())
+}
+
+/// Holm step-down correction (uniformly more powerful than Bonferroni while
+/// controlling FWER).
+///
+/// # Errors
+/// Rejects empty input and p-values outside `[0, 1]`.
+pub fn holm(ps: &[f64]) -> Result<Vec<f64>> {
+    check_pvalues(ps)?;
+    let m = ps.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| ps[a].partial_cmp(&ps[b]).expect("finite checked"));
+    let mut adj = vec![0.0; m];
+    let mut running_max = 0.0f64;
+    for (rank, &i) in order.iter().enumerate() {
+        let factor = (m - rank) as f64;
+        let v = (ps[i] * factor).min(1.0);
+        running_max = running_max.max(v);
+        adj[i] = running_max;
+    }
+    Ok(adj)
+}
+
+/// Benjamini–Hochberg FDR correction (step-up).
+///
+/// Returns adjusted p-values (q-values); rejecting all hypotheses with
+/// `q < alpha` controls the false-discovery rate at `alpha` under
+/// independence or positive dependence.
+///
+/// # Errors
+/// Rejects empty input and p-values outside `[0, 1]`.
+pub fn benjamini_hochberg(ps: &[f64]) -> Result<Vec<f64>> {
+    check_pvalues(ps)?;
+    let m = ps.len();
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&a, &b| ps[a].partial_cmp(&ps[b]).expect("finite checked"));
+    let mut adj = vec![0.0; m];
+    let mut running_min = 1.0f64;
+    // Walk from the largest p-value down, maintaining the step-up minimum.
+    for rank in (0..m).rev() {
+        let i = order[rank];
+        let v = (ps[i] * m as f64 / (rank + 1) as f64).min(1.0);
+        running_min = running_min.min(v);
+        adj[i] = running_min;
+    }
+    Ok(adj)
+}
+
+/// Which correction to apply; used to parameterize comparison tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Correction {
+    /// No adjustment.
+    None,
+    /// Bonferroni FWER control.
+    Bonferroni,
+    /// Holm step-down FWER control.
+    Holm,
+    /// Benjamini–Hochberg FDR control.
+    BenjaminiHochberg,
+}
+
+impl Correction {
+    /// Applies the correction to a batch of p-values.
+    ///
+    /// # Errors
+    /// Propagates the underlying method's input validation.
+    pub fn apply(&self, ps: &[f64]) -> Result<Vec<f64>> {
+        match self {
+            Correction::None => {
+                check_pvalues(ps)?;
+                Ok(ps.to_vec())
+            }
+            Correction::Bonferroni => bonferroni(ps),
+            Correction::Holm => holm(ps),
+            Correction::BenjaminiHochberg => benjamini_hochberg(ps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close_vec(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() <= tol, "expected {y}, got {x}");
+        }
+    }
+
+    #[test]
+    fn bonferroni_basic() {
+        let adj = bonferroni(&[0.01, 0.04, 0.5]).unwrap();
+        close_vec(&adj, &[0.03, 0.12, 1.0], 1e-12);
+    }
+
+    #[test]
+    fn holm_reference() {
+        // R: p.adjust(c(0.01, 0.04, 0.03, 0.005), method="holm")
+        // -> 0.03, 0.06, 0.06, 0.02
+        let adj = holm(&[0.01, 0.04, 0.03, 0.005]).unwrap();
+        close_vec(&adj, &[0.03, 0.06, 0.06, 0.02], 1e-12);
+    }
+
+    #[test]
+    fn bh_reference() {
+        // R: p.adjust(c(0.01, 0.04, 0.03, 0.005), method="BH")
+        // -> 0.02, 0.04, 0.04, 0.02
+        let adj = benjamini_hochberg(&[0.01, 0.04, 0.03, 0.005]).unwrap();
+        close_vec(&adj, &[0.02, 0.04, 0.04, 0.02], 1e-12);
+    }
+
+    #[test]
+    fn bh_single_p_unchanged() {
+        let adj = benjamini_hochberg(&[0.2]).unwrap();
+        close_vec(&adj, &[0.2], 1e-12);
+    }
+
+    #[test]
+    fn corrections_validate_input() {
+        assert!(bonferroni(&[]).is_err());
+        assert!(holm(&[1.5]).is_err());
+        assert!(benjamini_hochberg(&[-0.1]).is_err());
+        assert!(benjamini_hochberg(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn correction_enum_dispatch() {
+        let ps = [0.01, 0.04];
+        assert_eq!(Correction::None.apply(&ps).unwrap(), ps.to_vec());
+        assert_eq!(
+            Correction::Bonferroni.apply(&ps).unwrap(),
+            bonferroni(&ps).unwrap()
+        );
+        assert_eq!(Correction::Holm.apply(&ps).unwrap(), holm(&ps).unwrap());
+        assert_eq!(
+            Correction::BenjaminiHochberg.apply(&ps).unwrap(),
+            benjamini_hochberg(&ps).unwrap()
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_corrections_dominate_raw(
+            ps in proptest::collection::vec(0.0f64..=1.0, 1..30)
+        ) {
+            // Every adjusted p is >= the raw p and <= 1, and
+            // Bonferroni >= Holm >= BH pointwise.
+            let bon = bonferroni(&ps).unwrap();
+            let hol = holm(&ps).unwrap();
+            let bh = benjamini_hochberg(&ps).unwrap();
+            for i in 0..ps.len() {
+                prop_assert!(bon[i] >= ps[i] - 1e-12 && bon[i] <= 1.0);
+                prop_assert!(hol[i] >= ps[i] - 1e-12 && hol[i] <= 1.0);
+                prop_assert!(bh[i] >= ps[i] - 1e-12 && bh[i] <= 1.0);
+                prop_assert!(bon[i] >= hol[i] - 1e-12);
+                prop_assert!(hol[i] >= bh[i] - 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_bh_preserves_order(
+            ps in proptest::collection::vec(0.0f64..=1.0, 2..30)
+        ) {
+            let bh = benjamini_hochberg(&ps).unwrap();
+            for i in 0..ps.len() {
+                for j in 0..ps.len() {
+                    if ps[i] < ps[j] {
+                        prop_assert!(bh[i] <= bh[j] + 1e-12);
+                    }
+                }
+            }
+        }
+    }
+}

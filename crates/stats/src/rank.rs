@@ -1,0 +1,120 @@
+//! Ranking utilities with midrank tie handling, shared by Spearman
+//! correlation and the Mann–Whitney U test.
+
+use crate::Result;
+
+/// Assigns midranks (1-based, ties receive the average of the ranks they
+/// span) to `xs`.
+///
+/// # Errors
+/// Rejects empty or non-finite input.
+pub fn midranks(xs: &[f64]) -> Result<Vec<f64>> {
+    crate::ensure_sample(xs, "midranks input")?;
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("finite by ensure_sample"));
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        // Extend over the tie group.
+        while j + 1 < n && xs[idx[j + 1]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank across positions i..=j (1-based ranks i+1..=j+1).
+        let avg = (i + j + 2) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    Ok(ranks)
+}
+
+/// Sizes of tie groups in `xs` (groups of size 1 are omitted).
+///
+/// Used for tie corrections in rank-based tests.
+///
+/// # Errors
+/// Rejects empty or non-finite input.
+pub fn tie_group_sizes(xs: &[f64]) -> Result<Vec<usize>> {
+    crate::ensure_sample(xs, "tie_group_sizes input")?;
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by ensure_sample"));
+    let mut groups = Vec::new();
+    let mut run = 1usize;
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            run += 1;
+        } else {
+            if run > 1 {
+                groups.push(run);
+            }
+            run = 1;
+        }
+    }
+    if run > 1 {
+        groups.push(run);
+    }
+    Ok(groups)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn midranks_no_ties() {
+        let r = midranks(&[10.0, 30.0, 20.0]).unwrap();
+        assert_eq!(r, vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn midranks_with_ties() {
+        // values: 1, 2, 2, 3 -> ranks 1, 2.5, 2.5, 4
+        let r = midranks(&[1.0, 2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        // all equal -> everyone gets (n+1)/2
+        let r = midranks(&[5.0; 4]).unwrap();
+        assert_eq!(r, vec![2.5; 4]);
+    }
+
+    #[test]
+    fn midranks_rejects_empty() {
+        assert!(midranks(&[]).is_err());
+        assert!(midranks(&[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn tie_groups_found() {
+        assert_eq!(tie_group_sizes(&[1.0, 2.0, 3.0]).unwrap(), Vec::<usize>::new());
+        assert_eq!(tie_group_sizes(&[1.0, 2.0, 2.0, 2.0, 3.0, 3.0]).unwrap(), vec![3, 2]);
+        assert_eq!(tie_group_sizes(&[7.0; 5]).unwrap(), vec![5]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_midranks_sum_invariant(xs in proptest::collection::vec(-100f64..100.0, 1..80)) {
+            // Ranks always sum to n(n+1)/2 regardless of ties.
+            let r = midranks(&xs).unwrap();
+            let n = xs.len() as f64;
+            let sum: f64 = r.iter().sum();
+            prop_assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_midranks_order_preserving(xs in proptest::collection::vec(-100f64..100.0, 2..60)) {
+            let r = midranks(&xs).unwrap();
+            for i in 0..xs.len() {
+                for j in 0..xs.len() {
+                    if xs[i] < xs[j] {
+                        prop_assert!(r[i] < r[j]);
+                    } else if xs[i] == xs[j] {
+                        prop_assert_eq!(r[i], r[j]);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Simple linear regression (OLS) used by the trend lines in Figure E3 and
+//! the Amdahl fit in E6, plus a robust Theil–Sen alternative.
+
+use crate::special::t_sf_two_sided;
+use crate::{Error, Result};
+
+/// Fitted simple linear model `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Slope estimate.
+    pub slope: f64,
+    /// Intercept estimate.
+    pub intercept: f64,
+    /// Coefficient of determination.
+    pub r_squared: f64,
+    /// Standard error of the slope.
+    pub slope_se: f64,
+    /// Two-sided p-value for slope ≠ 0 (NaN when df = 0).
+    pub slope_p: f64,
+    /// Number of observations used.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Ordinary least squares fit of `ys` on `xs`.
+///
+/// # Errors
+/// Requires equal-length finite samples with at least two points and
+/// non-constant `xs`.
+pub fn ols(xs: &[f64], ys: &[f64]) -> Result<LinearFit> {
+    if xs.len() != ys.len() {
+        return Err(Error::DimensionMismatch(format!(
+            "xs has {} points, ys has {}",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < 2 {
+        return Err(Error::TooFewObservations { needed: 2, got: xs.len() });
+    }
+    crate::ensure_finite(xs, "ols xs")?;
+    crate::ensure_finite(ys, "ols ys")?;
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let (mut sxx, mut sxy, mut syy) = (0.0, 0.0, 0.0);
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(Error::InvalidCount(0.0));
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    // Residual sum of squares and R².
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(&x, &y)| {
+            let e = y - (intercept + slope * x);
+            e * e
+        })
+        .sum();
+    let r_squared = if syy == 0.0 { 1.0 } else { 1.0 - ss_res / syy };
+    let df = n - 2.0;
+    let (slope_se, slope_p) = if df > 0.0 {
+        let se = (ss_res / df / sxx).sqrt();
+        let p = if se == 0.0 {
+            if slope == 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            t_sf_two_sided(slope / se, df)?
+        };
+        (se, p)
+    } else {
+        (f64::NAN, f64::NAN)
+    };
+    Ok(LinearFit { slope, intercept, r_squared, slope_se, slope_p, n: xs.len() })
+}
+
+/// Theil–Sen estimator: the median of pairwise slopes, robust to outliers.
+/// The intercept is the median of `y - slope·x`.
+///
+/// # Errors
+/// Same preconditions as [`ols`]; needs at least one pair with distinct `x`.
+pub fn theil_sen(xs: &[f64], ys: &[f64]) -> Result<(f64, f64)> {
+    if xs.len() != ys.len() {
+        return Err(Error::DimensionMismatch(format!(
+            "xs has {} points, ys has {}",
+            xs.len(),
+            ys.len()
+        )));
+    }
+    if xs.len() < 2 {
+        return Err(Error::TooFewObservations { needed: 2, got: xs.len() });
+    }
+    crate::ensure_finite(xs, "theil_sen xs")?;
+    crate::ensure_finite(ys, "theil_sen ys")?;
+    let mut slopes = Vec::with_capacity(xs.len() * (xs.len() - 1) / 2);
+    for i in 0..xs.len() {
+        for j in (i + 1)..xs.len() {
+            let dx = xs[j] - xs[i];
+            if dx != 0.0 {
+                slopes.push((ys[j] - ys[i]) / dx);
+            }
+        }
+    }
+    if slopes.is_empty() {
+        return Err(Error::InvalidCount(0.0));
+    }
+    let slope = crate::descriptive::median(&slopes)?;
+    let residuals: Vec<f64> =
+        xs.iter().zip(ys).map(|(&x, &y)| y - slope * x).collect();
+    let intercept = crate::descriptive::median(&residuals)?;
+    Ok((slope, intercept))
+}
+
+/// Least-squares fit of Amdahl's law speedup curve
+/// `S(p) = 1 / (f + (1 - f)/p)` to measured `(threads, speedup)` points,
+/// returning the serial fraction `f ∈ [0, 1]`.
+///
+/// Solved by golden-section search on the single parameter — robust, no
+/// derivatives, and deterministic.
+///
+/// # Errors
+/// Requires at least two measurements with positive thread counts.
+pub fn fit_amdahl(threads: &[f64], speedups: &[f64]) -> Result<f64> {
+    if threads.len() != speedups.len() {
+        return Err(Error::DimensionMismatch(format!(
+            "threads has {} points, speedups has {}",
+            threads.len(),
+            speedups.len()
+        )));
+    }
+    if threads.len() < 2 {
+        return Err(Error::TooFewObservations { needed: 2, got: threads.len() });
+    }
+    crate::ensure_finite(threads, "fit_amdahl threads")?;
+    crate::ensure_finite(speedups, "fit_amdahl speedups")?;
+    if threads.iter().any(|&p| p <= 0.0) {
+        return Err(Error::OutOfRange { what: "threads", value: 0.0 });
+    }
+    let sse = |f: f64| -> f64 {
+        threads
+            .iter()
+            .zip(speedups)
+            .map(|(&p, &s)| {
+                let pred = 1.0 / (f + (1.0 - f) / p);
+                let e = s - pred;
+                e * e
+            })
+            .sum()
+    };
+    // Golden-section search on [0, 1].
+    let phi = (5.0f64.sqrt() - 1.0) / 2.0;
+    let (mut a, mut b) = (0.0f64, 1.0f64);
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let (mut fc, mut fd) = (sse(c), sse(d));
+    for _ in 0..200 {
+        if fc < fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = sse(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = sse(d);
+        }
+        if (b - a).abs() < 1e-12 {
+            break;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Amdahl's law speedup prediction for serial fraction `f` at `p` threads.
+pub fn amdahl_speedup(f: f64, p: f64) -> f64 {
+    1.0 / (f + (1.0 - f) / p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn ols_exact_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x - 1.0).collect();
+        let f = ols(&xs, &ys).unwrap();
+        close(f.slope, 3.0, 1e-12);
+        close(f.intercept, -1.0, 1e-12);
+        close(f.r_squared, 1.0, 1e-12);
+        close(f.predict(10.0), 29.0, 1e-12);
+        assert!(f.slope_p < 1e-10);
+    }
+
+    #[test]
+    fn ols_reference_noisy() {
+        // scipy.stats.linregress([1,2,3,4,5], [2,1,4,3,5]):
+        // slope=0.8, intercept=0.6, r=0.8, p=0.10409, stderr=0.34641
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 1.0, 4.0, 3.0, 5.0];
+        let f = ols(&xs, &ys).unwrap();
+        close(f.slope, 0.8, 1e-12);
+        close(f.intercept, 0.6, 1e-12);
+        close(f.r_squared, 0.64, 1e-12);
+        close(f.slope_se, 0.346_410_161_513_775_4, 1e-9);
+        close(f.slope_p, 0.104_088_131_030_102_23, 1e-6);
+    }
+
+    #[test]
+    fn ols_rejects_degenerate() {
+        assert!(ols(&[1.0, 1.0], &[2.0, 3.0]).is_err());
+        assert!(ols(&[1.0], &[2.0]).is_err());
+        assert!(ols(&[1.0, 2.0], &[2.0]).is_err());
+    }
+
+    #[test]
+    fn theil_sen_robust_to_outlier() {
+        // Points on y = 2x with one gross outlier at the end of the range
+        // (an outlier at the centre x would leave the OLS slope untouched).
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let mut ys: Vec<f64> = xs.iter().map(|x| 2.0 * x).collect();
+        ys[6] = 100.0;
+        let (slope, intercept) = theil_sen(&xs, &ys).unwrap();
+        close(slope, 2.0, 1e-9);
+        close(intercept, 0.0, 1e-9);
+        // OLS is dragged far away by the outlier.
+        let f = ols(&xs, &ys).unwrap();
+        assert!((f.slope - 2.0).abs() > 0.5);
+    }
+
+    #[test]
+    fn amdahl_fit_recovers_serial_fraction() {
+        let f_true = 0.08;
+        let threads: Vec<f64> = (1..=16).map(|p| p as f64).collect();
+        let speedups: Vec<f64> =
+            threads.iter().map(|&p| amdahl_speedup(f_true, p)).collect();
+        let f_hat = fit_amdahl(&threads, &speedups).unwrap();
+        close(f_hat, f_true, 1e-6);
+    }
+
+    #[test]
+    fn amdahl_fit_with_noise_stays_close() {
+        let f_true = 0.15;
+        let threads: Vec<f64> = (1..=8).map(|p| p as f64).collect();
+        let speedups: Vec<f64> = threads
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| amdahl_speedup(f_true, p) * (1.0 + 0.01 * ((i % 3) as f64 - 1.0)))
+            .collect();
+        let f_hat = fit_amdahl(&threads, &speedups).unwrap();
+        close(f_hat, f_true, 0.03);
+    }
+
+    #[test]
+    fn amdahl_edge_cases() {
+        close(amdahl_speedup(0.0, 8.0), 8.0, 1e-12);
+        close(amdahl_speedup(1.0, 8.0), 1.0, 1e-12);
+        assert!(fit_amdahl(&[1.0], &[1.0]).is_err());
+        assert!(fit_amdahl(&[0.0, 2.0], &[1.0, 2.0]).is_err());
+        assert!(fit_amdahl(&[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ols_residuals_sum_to_zero(
+            pts in proptest::collection::vec((-100f64..100.0, -100f64..100.0), 3..40)
+        ) {
+            let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+            if let Ok(f) = ols(&xs, &ys) {
+                let resid_sum: f64 = xs.iter().zip(&ys)
+                    .map(|(&x, &y)| y - f.predict(x))
+                    .sum();
+                prop_assert!(resid_sum.abs() < 1e-6 * (1.0 + ys.iter().map(|y| y.abs()).sum::<f64>()));
+                prop_assert!(f.r_squared <= 1.0 + 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_amdahl_fit_in_unit_interval(
+            f_true in 0.0f64..=1.0,
+            n in 2usize..12,
+        ) {
+            let threads: Vec<f64> = (1..=n).map(|p| p as f64).collect();
+            let speedups: Vec<f64> = threads.iter().map(|&p| amdahl_speedup(f_true, p)).collect();
+            let f_hat = fit_amdahl(&threads, &speedups).unwrap();
+            prop_assert!((0.0..=1.0).contains(&f_hat));
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Seeded resampling: bootstrap confidence intervals and permutation tests.
+//!
+//! All routines take an explicit seed so that every number in the paper
+//! tables is bit-for-bit reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ci::Interval;
+use crate::{ensure_sample, Error, Result};
+
+/// Percentile bootstrap confidence interval for an arbitrary statistic.
+///
+/// Resamples `xs` with replacement `n_resamples` times, applies `stat`, and
+/// returns the empirical `(1±level)/2` percentiles.
+///
+/// # Errors
+/// Requires non-empty input, `n_resamples ≥ 100`, and `level ∈ (0, 1)`.
+pub fn bootstrap_ci<F>(
+    xs: &[f64],
+    stat: F,
+    n_resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Result<Interval>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    ensure_sample(xs, "bootstrap input")?;
+    if n_resamples < 100 {
+        return Err(Error::TooFewObservations { needed: 100, got: n_resamples });
+    }
+    if !(0.0..1.0).contains(&level) || level <= 0.0 {
+        return Err(Error::OutOfRange { what: "level", value: level });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats = Vec::with_capacity(n_resamples);
+    // Workhorse resample buffer reused across iterations.
+    let mut buf = vec![0.0; xs.len()];
+    for _ in 0..n_resamples {
+        for slot in buf.iter_mut() {
+            *slot = xs[rng.gen_range(0..xs.len())];
+        }
+        let s = stat(&buf);
+        if !s.is_finite() {
+            return Err(Error::NonFinite("bootstrap statistic"));
+        }
+        stats.push(s);
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("checked finite above"));
+    let alpha = 1.0 - level;
+    Ok(Interval {
+        lo: crate::descriptive::quantile_sorted(&stats, alpha / 2.0),
+        hi: crate::descriptive::quantile_sorted(&stats, 1.0 - alpha / 2.0),
+        level,
+    })
+}
+
+/// Two-sample permutation test for a difference in an arbitrary statistic
+/// (two-sided). Returns the proportion of label permutations whose
+/// `|stat(a) - stat(b)|` is at least the observed one.
+///
+/// # Errors
+/// Requires both samples non-empty and `n_permutations ≥ 100`.
+pub fn permutation_test<F>(
+    xs: &[f64],
+    ys: &[f64],
+    stat: F,
+    n_permutations: usize,
+    seed: u64,
+) -> Result<f64>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    ensure_sample(xs, "permutation xs")?;
+    ensure_sample(ys, "permutation ys")?;
+    if n_permutations < 100 {
+        return Err(Error::TooFewObservations { needed: 100, got: n_permutations });
+    }
+    let observed = (stat(xs) - stat(ys)).abs();
+    if !observed.is_finite() {
+        return Err(Error::NonFinite("permutation statistic"));
+    }
+    let mut pooled: Vec<f64> = xs.iter().chain(ys).copied().collect();
+    let n1 = xs.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut extreme = 0usize;
+    for _ in 0..n_permutations {
+        // Partial Fisher–Yates: we only need the first n1 positions shuffled.
+        for i in 0..n1 {
+            let j = rng.gen_range(i..pooled.len());
+            pooled.swap(i, j);
+        }
+        let d = (stat(&pooled[..n1]) - stat(&pooled[n1..])).abs();
+        if d >= observed - 1e-15 {
+            extreme += 1;
+        }
+    }
+    // +1 correction keeps the p-value strictly positive (standard practice).
+    Ok((extreme + 1) as f64 / (n_permutations + 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive::mean;
+
+    #[test]
+    fn bootstrap_mean_ci_brackets_truth() {
+        // Sample from a known location; the CI should bracket the sample mean.
+        let xs: Vec<f64> = (0..200).map(|i| 5.0 + ((i * 37) % 17) as f64 / 17.0).collect();
+        let m = mean(&xs).unwrap();
+        let ci = bootstrap_ci(&xs, |s| mean(s).unwrap(), 1000, 0.95, 42).unwrap();
+        assert!(ci.contains(m), "{ci:?} should contain {m}");
+        assert!(ci.width() < 0.5);
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let a = bootstrap_ci(&xs, |s| mean(s).unwrap(), 500, 0.9, 7).unwrap();
+        let b = bootstrap_ci(&xs, |s| mean(s).unwrap(), 500, 0.9, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bootstrap_validates_input() {
+        assert!(bootstrap_ci(&[], |_| 0.0, 500, 0.95, 1).is_err());
+        assert!(bootstrap_ci(&[1.0], |_| 0.0, 50, 0.95, 1).is_err());
+        assert!(bootstrap_ci(&[1.0], |_| 0.0, 500, 1.5, 1).is_err());
+        assert!(bootstrap_ci(&[1.0, 2.0], |_| f64::NAN, 500, 0.95, 1).is_err());
+    }
+
+    #[test]
+    fn permutation_detects_clear_shift() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64 * 0.1).collect();
+        let ys: Vec<f64> = (0..30).map(|i| 10.0 + i as f64 * 0.1).collect();
+        let p = permutation_test(&xs, &ys, |s| mean(s).unwrap(), 500, 3).unwrap();
+        assert!(p < 0.01, "p = {p}");
+    }
+
+    #[test]
+    fn permutation_no_difference_large_p() {
+        let xs: Vec<f64> = (0..40).map(|i| ((i * 31) % 13) as f64).collect();
+        let p = permutation_test(&xs, &xs, |s| mean(s).unwrap(), 500, 5).unwrap();
+        assert!(p > 0.5, "p = {p}");
+    }
+
+    #[test]
+    fn permutation_deterministic_and_validated() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [4.0, 5.0, 6.0];
+        let a = permutation_test(&xs, &ys, |s| mean(s).unwrap(), 200, 9).unwrap();
+        let b = permutation_test(&xs, &ys, |s| mean(s).unwrap(), 200, 9).unwrap();
+        assert_eq!(a, b);
+        assert!(permutation_test(&[], &ys, |s| mean(s).unwrap(), 200, 9).is_err());
+        assert!(permutation_test(&xs, &ys, |s| mean(s).unwrap(), 10, 9).is_err());
+    }
+
+    #[test]
+    fn permutation_p_in_unit_interval() {
+        let xs = [1.0, 5.0, 2.0, 8.0];
+        let ys = [2.0, 6.0, 3.0, 9.0];
+        let p = permutation_test(&xs, &ys, |s| mean(s).unwrap(), 300, 11).unwrap();
+        assert!(p > 0.0 && p <= 1.0);
+    }
+}

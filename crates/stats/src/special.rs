@@ -1,0 +1,620 @@
+//! Special functions backing every p-value and confidence bound in the crate.
+//!
+//! All routines are implemented from scratch (Lanczos log-gamma, the
+//! series/continued-fraction split for the regularized incomplete gamma, the
+//! Lentz continued fraction for the regularized incomplete beta, and Acklam's
+//! rational approximation for the normal quantile) and validated in the unit
+//! tests against externally computed reference values.
+
+use crate::{Error, Result};
+
+/// Lanczos coefficients for `g = 7`, `n = 9`.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with reflection for `x < 0.5`. Accurate to
+/// roughly 1e-13 relative error over the tested domain.
+///
+/// # Errors
+/// Returns [`Error::OutOfRange`] for non-positive or non-finite `x`.
+pub fn ln_gamma(x: f64) -> Result<f64> {
+    if !x.is_finite() || x <= 0.0 {
+        return Err(Error::OutOfRange { what: "x", value: x });
+    }
+    Ok(ln_gamma_unchecked(x))
+}
+
+/// `ln Γ(x)` without argument validation; callers guarantee `x > 0`.
+fn ln_gamma_unchecked(x: f64) -> f64 {
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma_unchecked(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = LANCZOS[0];
+    for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + LANCZOS_G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural logarithm of `n!`.
+pub fn ln_factorial(n: u64) -> f64 {
+    // Small cache for the common survey-sized arguments.
+    const CACHE_LEN: usize = 128;
+    static SMALL: std::sync::OnceLock<[f64; CACHE_LEN]> = std::sync::OnceLock::new();
+    let cache = SMALL.get_or_init(|| {
+        let mut c = [0.0; CACHE_LEN];
+        let mut acc = 0.0f64;
+        for (i, slot) in c.iter_mut().enumerate() {
+            if i > 0 {
+                acc += (i as f64).ln();
+            }
+            *slot = acc;
+        }
+        c
+    });
+    if (n as usize) < CACHE_LEN {
+        cache[n as usize]
+    } else {
+        ln_gamma_unchecked(n as f64 + 1.0)
+    }
+}
+
+/// Natural logarithm of the binomial coefficient `C(n, k)`.
+///
+/// Returns negative infinity when `k > n` (the coefficient is zero).
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Maximum iterations for series / continued-fraction evaluation.
+const MAX_ITER: usize = 500;
+/// Convergence tolerance for series / continued-fraction evaluation.
+const EPS: f64 = 1e-14;
+/// Smallest representable scale used to guard Lentz's algorithm.
+const FPMIN: f64 = 1e-300;
+
+/// Regularized lower incomplete gamma function `P(a, x)`.
+///
+/// `P(a, x) = γ(a, x) / Γ(a)`, with `P(a, 0) = 0` and `P(a, ∞) = 1`.
+///
+/// # Errors
+/// Returns [`Error::OutOfRange`] if `a <= 0` or `x < 0`.
+pub fn gamma_p(a: f64, x: f64) -> Result<f64> {
+    if !a.is_finite() || a <= 0.0 {
+        return Err(Error::OutOfRange { what: "a", value: a });
+    }
+    if !x.is_finite() || x < 0.0 {
+        return Err(Error::OutOfRange { what: "x", value: x });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        Ok(1.0 - gamma_q_cf(a, x)?)
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x) = 1 - P(a, x)`.
+///
+/// # Errors
+/// Returns [`Error::OutOfRange`] if `a <= 0` or `x < 0`.
+pub fn gamma_q(a: f64, x: f64) -> Result<f64> {
+    if !a.is_finite() || a <= 0.0 {
+        return Err(Error::OutOfRange { what: "a", value: a });
+    }
+    if !x.is_finite() || x < 0.0 {
+        return Err(Error::OutOfRange { what: "x", value: x });
+    }
+    if x == 0.0 {
+        return Ok(1.0);
+    }
+    if x < a + 1.0 {
+        Ok(1.0 - gamma_p_series(a, x)?)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)`, valid for `x < a + 1`.
+fn gamma_p_series(a: f64, x: f64) -> Result<f64> {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            let ln_pre = -x + a * x.ln() - ln_gamma_unchecked(a);
+            return Ok((sum * ln_pre.exp()).clamp(0.0, 1.0));
+        }
+    }
+    Err(Error::NoConvergence("gamma_p series"))
+}
+
+/// Continued-fraction representation of `Q(a, x)`, valid for `x >= a + 1`.
+fn gamma_q_cf(a: f64, x: f64) -> Result<f64> {
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            let ln_pre = -x + a * x.ln() - ln_gamma_unchecked(a);
+            return Ok((h * ln_pre.exp()).clamp(0.0, 1.0));
+        }
+    }
+    Err(Error::NoConvergence("gamma_q continued fraction"))
+}
+
+/// Regularized incomplete beta function `I_x(a, b)`.
+///
+/// `I_0(a, b) = 0`, `I_1(a, b) = 1`. Backs the t-distribution and the
+/// Clopper–Pearson interval.
+///
+/// # Errors
+/// Returns [`Error::OutOfRange`] if `a <= 0`, `b <= 0`, or `x ∉ [0, 1]`.
+pub fn beta_inc(a: f64, b: f64, x: f64) -> Result<f64> {
+    if !a.is_finite() || a <= 0.0 {
+        return Err(Error::OutOfRange { what: "a", value: a });
+    }
+    if !b.is_finite() || b <= 0.0 {
+        return Err(Error::OutOfRange { what: "b", value: b });
+    }
+    if !x.is_finite() || !(0.0..=1.0).contains(&x) {
+        return Err(Error::OutOfRange { what: "x", value: x });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x == 1.0 {
+        return Ok(1.0);
+    }
+    let ln_front = ln_gamma_unchecked(a + b)
+        - ln_gamma_unchecked(a)
+        - ln_gamma_unchecked(b)
+        + a * x.ln()
+        + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the continued fraction in the region where it converges fast.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        Ok((front * beta_cf(a, b, x)? / a).clamp(0.0, 1.0))
+    } else {
+        Ok((1.0 - front * beta_cf(b, a, 1.0 - x)? / b).clamp(0.0, 1.0))
+    }
+}
+
+/// Lentz continued fraction for the incomplete beta function.
+fn beta_cf(a: f64, b: f64, x: f64) -> Result<f64> {
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return Ok(h);
+        }
+    }
+    Err(Error::NoConvergence("beta_inc continued fraction"))
+}
+
+/// Inverse of the regularized incomplete beta function in `x`.
+///
+/// Finds `x` such that `I_x(a, b) = p` via bisection refined to ~1e-12.
+/// Used by the Clopper–Pearson exact binomial interval.
+///
+/// # Errors
+/// Propagates range errors from [`beta_inc`] and rejects `p ∉ [0, 1]`.
+pub fn beta_inc_inv(a: f64, b: f64, p: f64) -> Result<f64> {
+    if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+        return Err(Error::OutOfRange { what: "p", value: p });
+    }
+    if p == 0.0 {
+        return Ok(0.0);
+    }
+    if p == 1.0 {
+        return Ok(1.0);
+    }
+    let mut lo = 0.0f64;
+    let mut hi = 1.0f64;
+    // 200 bisection steps reach ~1e-60 interval width; we stop early on
+    // achieving 1e-14 which is plenty below reporting precision.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let v = beta_inc(a, b, mid)?;
+        if v < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-14 {
+            break;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+/// Error function `erf(x)`.
+///
+/// Computed from the regularized incomplete gamma function:
+/// `erf(x) = sign(x) · P(1/2, x²)`.
+pub fn erf(x: f64) -> f64 {
+    if x == 0.0 {
+        return 0.0;
+    }
+    let v = gamma_p(0.5, x * x).unwrap_or(1.0);
+    if x > 0.0 {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_q(0.5, x * x).unwrap_or(0.0)
+    } else {
+        1.0 + gamma_p(0.5, x * x).unwrap_or(1.0)
+    }
+}
+
+/// Standard normal cumulative distribution function `Φ(z)`.
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * erfc(-z / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal survival function `1 - Φ(z)`, accurate in the upper tail.
+pub fn normal_sf(z: f64) -> f64 {
+    0.5 * erfc(z / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal quantile function `Φ⁻¹(p)` (Acklam's algorithm with one
+/// Halley refinement step; absolute error below 1e-9 over `(0, 1)`).
+///
+/// # Errors
+/// Returns [`Error::OutOfRange`] for `p ∉ (0, 1)`.
+pub fn normal_quantile(p: f64) -> Result<f64> {
+    if !p.is_finite() || p <= 0.0 || p >= 1.0 {
+        return Err(Error::OutOfRange { what: "p", value: p });
+    }
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One step of Halley's method to polish the root of Φ(x) - p = 0.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    Ok(x - u / (1.0 + x * u / 2.0))
+}
+
+/// Survival function of the chi-square distribution with `df` degrees of
+/// freedom: `P(X > x)`.
+///
+/// # Errors
+/// Returns [`Error::OutOfRange`] if `df <= 0` or `x < 0`.
+pub fn chi_square_sf(x: f64, df: f64) -> Result<f64> {
+    if df <= 0.0 {
+        return Err(Error::OutOfRange { what: "df", value: df });
+    }
+    gamma_q(df / 2.0, x / 2.0)
+}
+
+/// Two-sided survival helper for Student's t: `P(|T| > t)` with `df` degrees
+/// of freedom.
+///
+/// # Errors
+/// Returns [`Error::OutOfRange`] if `df <= 0` or `t` is non-finite.
+pub fn t_sf_two_sided(t: f64, df: f64) -> Result<f64> {
+    if df <= 0.0 {
+        return Err(Error::OutOfRange { what: "df", value: df });
+    }
+    if !t.is_finite() {
+        return Err(Error::OutOfRange { what: "t", value: t });
+    }
+    let t2 = t * t;
+    beta_inc(df / 2.0, 0.5, df / (df + t2))
+}
+
+/// Quantile of Student's t distribution (two-sided): returns `t` such that
+/// `P(|T| > t) = alpha`.
+///
+/// # Errors
+/// Returns [`Error::OutOfRange`] for `alpha ∉ (0, 1)` or `df <= 0`.
+pub fn t_quantile_two_sided(alpha: f64, df: f64) -> Result<f64> {
+    if !(0.0..1.0).contains(&alpha) || alpha == 0.0 {
+        return Err(Error::OutOfRange { what: "alpha", value: alpha });
+    }
+    if df <= 0.0 {
+        return Err(Error::OutOfRange { what: "df", value: df });
+    }
+    // Solve beta_inc(df/2, 1/2, df/(df+t^2)) = alpha for t via the beta inverse.
+    let x = beta_inc_inv(df / 2.0, 0.5, alpha)?;
+    if x <= 0.0 {
+        return Ok(f64::INFINITY);
+    }
+    Ok((df * (1.0 - x) / x).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "expected {b}, got {a} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(5) = 24, Γ(0.5) = sqrt(pi), Γ(1) = Γ(2) = 1.
+        close(ln_gamma(5.0).unwrap(), 24.0f64.ln(), 1e-12);
+        close(
+            ln_gamma(0.5).unwrap(),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-12,
+        );
+        close(ln_gamma(1.0).unwrap(), 0.0, 1e-12);
+        close(ln_gamma(2.0).unwrap(), 0.0, 1e-12);
+        // lgamma(10.3) via Taylor expansion around 10:
+        // lnΓ(10) + 0.3·ψ(10) + 0.045·ψ′(10) + (0.3³/6)·ψ″(10) ≈ 13.48204.
+        close(ln_gamma(10.3).unwrap(), 13.482_036_8, 1e-7);
+    }
+
+    #[test]
+    fn ln_gamma_rejects_bad_args() {
+        assert!(ln_gamma(0.0).is_err());
+        assert!(ln_gamma(-1.0).is_err());
+        assert!(ln_gamma(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn ln_gamma_reflection_region() {
+        // Γ(0.25) = 3.6256099082219083...
+        close(ln_gamma(0.25).unwrap(), 3.625_609_908_221_908_f64.ln(), 1e-11);
+    }
+
+    #[test]
+    fn ln_factorial_and_choose() {
+        close(ln_factorial(0), 0.0, 1e-15);
+        close(ln_factorial(5), 120.0f64.ln(), 1e-12);
+        close(ln_factorial(200), ln_gamma(201.0).unwrap(), 1e-12);
+        close(ln_choose(10, 3), 120.0f64.ln(), 1e-12);
+        assert_eq!(ln_choose(3, 10), f64::NEG_INFINITY);
+        close(ln_choose(52, 5), 2_598_960.0f64.ln(), 1e-12);
+    }
+
+    #[test]
+    fn gamma_p_q_reference_values() {
+        // scipy.special.gammainc(2, 1) = 0.26424111765711533
+        close(gamma_p(2.0, 1.0).unwrap(), 0.264_241_117_657_115_33, 1e-12);
+        // gammainc(0.5, 2.0) = 0.9544997361036416
+        close(gamma_p(0.5, 2.0).unwrap(), 0.954_499_736_103_641_6, 1e-12);
+        // gammaincc(3, 5) = 0.12465201948308113
+        close(gamma_q(3.0, 5.0).unwrap(), 0.124_652_019_483_081_13, 1e-12);
+        close(gamma_p(1.0, 0.0).unwrap(), 0.0, 0.0);
+        close(gamma_q(1.0, 0.0).unwrap(), 1.0, 0.0);
+    }
+
+    #[test]
+    fn gamma_p_q_are_complementary() {
+        for &(a, x) in &[(0.3, 0.2), (1.0, 1.0), (5.0, 2.0), (2.0, 10.0), (30.0, 25.0)] {
+            let p = gamma_p(a, x).unwrap();
+            let q = gamma_q(a, x).unwrap();
+            close(p + q, 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn beta_inc_reference_values() {
+        // scipy.special.betainc(2, 3, 0.4) = 0.5248
+        close(beta_inc(2.0, 3.0, 0.4).unwrap(), 0.5248, 1e-12);
+        // Closed form: I_x(1/2, 1/2) = (2/π)·asin(√x).
+        let expected = 2.0 / std::f64::consts::PI * 0.3f64.sqrt().asin();
+        close(beta_inc(0.5, 0.5, 0.3).unwrap(), expected, 1e-11);
+        assert_eq!(beta_inc(1.0, 1.0, 0.0).unwrap(), 0.0);
+        assert_eq!(beta_inc(1.0, 1.0, 1.0).unwrap(), 1.0);
+        // Uniform case: I_x(1,1) = x.
+        close(beta_inc(1.0, 1.0, 0.73).unwrap(), 0.73, 1e-12);
+    }
+
+    #[test]
+    fn beta_inc_inv_round_trips() {
+        for &(a, b) in &[(2.0, 3.0), (0.5, 0.5), (10.0, 1.5), (1.0, 1.0)] {
+            for &p in &[0.01, 0.3, 0.5, 0.9, 0.999] {
+                let x = beta_inc_inv(a, b, p).unwrap();
+                let back = beta_inc(a, b, x).unwrap();
+                close(back, p, 1e-9);
+            }
+        }
+        assert_eq!(beta_inc_inv(2.0, 2.0, 0.0).unwrap(), 0.0);
+        assert_eq!(beta_inc_inv(2.0, 2.0, 1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        close(erf(1.0), 0.842_700_792_949_714_9, 1e-12);
+        close(erf(-1.0), -0.842_700_792_949_714_9, 1e-12);
+        close(erf(0.0), 0.0, 0.0);
+        close(erfc(1.0), 0.157_299_207_050_285_1, 1e-11);
+        close(erfc(-0.5), 1.0 + erf(0.5), 1e-12);
+        close(erf(3.0), 0.999_977_909_503_001_4, 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_and_quantile() {
+        close(normal_cdf(0.0), 0.5, 1e-14);
+        close(normal_cdf(1.96), 0.975_002_104_851_780_3, 1e-10);
+        close(normal_sf(1.96), 1.0 - 0.975_002_104_851_780_3, 1e-9);
+        close(normal_quantile(0.975).unwrap(), 1.959_963_984_540_054, 1e-8);
+        close(normal_quantile(0.5).unwrap(), 0.0, 1e-9);
+        close(normal_quantile(0.025).unwrap(), -1.959_963_984_540_054, 1e-8);
+        // Deep tail.
+        close(normal_quantile(1e-10).unwrap(), -6.361_340_902_404_056, 1e-6);
+        assert!(normal_quantile(0.0).is_err());
+        assert!(normal_quantile(1.0).is_err());
+    }
+
+    #[test]
+    fn normal_quantile_round_trips() {
+        for &p in &[1e-8, 1e-4, 0.1, 0.25, 0.5, 0.75, 0.9, 0.9999, 1.0 - 1e-8] {
+            let z = normal_quantile(p).unwrap();
+            close(normal_cdf(z), p, 1e-9);
+        }
+    }
+
+    #[test]
+    fn chi_square_sf_reference() {
+        // scipy.stats.chi2.sf(3.841458820694124, 1) = 0.05
+        close(chi_square_sf(3.841_458_820_694_124, 1.0).unwrap(), 0.05, 1e-9);
+        // chi2.sf(10, 5) = 0.07523524614651217
+        close(chi_square_sf(10.0, 5.0).unwrap(), 0.075_235_246_146_512_17, 1e-11);
+        assert!(chi_square_sf(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn t_distribution_reference() {
+        // 2·P(T₁₀ > 2) ≈ 0.0733880 (tabulated).
+        close(t_sf_two_sided(2.0, 10.0).unwrap(), 0.073_388_03, 1e-6);
+        // Symmetric in t.
+        close(
+            t_sf_two_sided(-2.0, 10.0).unwrap(),
+            t_sf_two_sided(2.0, 10.0).unwrap(),
+            1e-14,
+        );
+        // t.ppf(0.975, 10) = 2.2281388519649385
+        close(
+            t_quantile_two_sided(0.05, 10.0).unwrap(),
+            2.228_138_851_964_938_5,
+            1e-8,
+        );
+        // With huge df the t quantile approaches the normal quantile.
+        close(
+            t_quantile_two_sided(0.05, 1e7).unwrap(),
+            1.959_963_984_540_054,
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn erf_is_monotone_on_grid() {
+        let mut prev = erf(-6.0);
+        let mut x = -6.0;
+        while x <= 6.0 {
+            let v = erf(x);
+            assert!(v >= prev - 1e-15, "erf not monotone at {x}");
+            prev = v;
+            x += 0.01;
+        }
+    }
+}

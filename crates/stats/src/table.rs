@@ -1,0 +1,353 @@
+//! Frequency and contingency tables — the workhorses of questionnaire
+//! analysis.
+//!
+//! A [`FreqTable`] counts one categorical variable; a [`ContingencyTable`]
+//! cross-tabulates two (e.g. *cohort × uses-GPU*) and feeds the independence
+//! tests in [`crate::tests`].
+
+use std::collections::BTreeMap;
+
+use crate::{Error, Result};
+
+/// Frequency table over string category labels.
+///
+/// Categories are kept in insertion-independent sorted order (`BTreeMap`) so
+/// that output is deterministic across runs — a requirement for reproducible
+/// paper tables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FreqTable {
+    counts: BTreeMap<String, u64>,
+    total: u64,
+}
+
+impl FreqTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a table by counting an iterator of category labels.
+    pub fn from_labels<I, S>(labels: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut t = Self::new();
+        for l in labels {
+            t.add(l.as_ref());
+        }
+        t
+    }
+
+    /// Increments the count for `label` by one.
+    pub fn add(&mut self, label: &str) {
+        self.add_count(label, 1);
+    }
+
+    /// Increments the count for `label` by `k`.
+    pub fn add_count(&mut self, label: &str, k: u64) {
+        *self.counts.entry(label.to_owned()).or_insert(0) += k;
+        self.total += k;
+    }
+
+    /// Total number of counted observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct categories seen.
+    pub fn n_categories(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count for one category (0 if never seen).
+    pub fn count(&self, label: &str) -> u64 {
+        self.counts.get(label).copied().unwrap_or(0)
+    }
+
+    /// Proportion for one category; `None` when the table is empty.
+    pub fn proportion(&self, label: &str) -> Option<f64> {
+        (self.total > 0).then(|| self.count(label) as f64 / self.total as f64)
+    }
+
+    /// Iterates `(label, count)` in sorted label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counts.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Returns `(label, count)` pairs sorted by descending count, ties broken
+    /// by label — the ordering used in "top languages" style tables.
+    pub fn by_descending_count(&self) -> Vec<(&str, u64)> {
+        let mut v: Vec<(&str, u64)> = self.iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        v
+    }
+
+    /// The most frequent category, or `None` when empty.
+    pub fn mode(&self) -> Option<(&str, u64)> {
+        self.by_descending_count().into_iter().next()
+    }
+}
+
+/// An r×c contingency table of non-negative counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContingencyTable {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>, // row-major
+}
+
+impl ContingencyTable {
+    /// Builds a table from row slices. All rows must share a length ≥ 2 and
+    /// there must be ≥ 2 rows; counts must be finite and non-negative.
+    ///
+    /// # Errors
+    /// [`Error::DimensionMismatch`] on ragged/undersized input,
+    /// [`Error::InvalidCount`] on negative or non-finite cells.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
+        if rows.len() < 2 {
+            return Err(Error::DimensionMismatch(format!(
+                "need at least 2 rows, got {}",
+                rows.len()
+            )));
+        }
+        let cols = rows[0].len();
+        if cols < 2 {
+            return Err(Error::DimensionMismatch(format!(
+                "need at least 2 columns, got {cols}"
+            )));
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != cols {
+                return Err(Error::DimensionMismatch(format!(
+                    "row {i} has {} columns, expected {cols}",
+                    r.len()
+                )));
+            }
+            for &c in *r {
+                if !c.is_finite() || c < 0.0 {
+                    return Err(Error::InvalidCount(c));
+                }
+                data.push(c);
+            }
+        }
+        Ok(Self { rows: rows.len(), cols, data })
+    }
+
+    /// Builds a 2×2 table from four counts, ordered
+    /// `[[a, b], [c, d]]`.
+    ///
+    /// # Errors
+    /// [`Error::InvalidCount`] on negative or non-finite counts.
+    pub fn two_by_two(a: f64, b: f64, c: f64, d: f64) -> Result<Self> {
+        Self::from_rows(&[&[a, b], &[c, d]])
+    }
+
+    /// Cross-tabulates paired categorical observations. Row/column categories
+    /// are discovered from the data and ordered lexicographically; the label
+    /// orderings are returned alongside the table.
+    ///
+    /// # Errors
+    /// [`Error::DimensionMismatch`] if fewer than 2 distinct categories appear
+    /// on either axis.
+    pub fn cross_tabulate<'a, I>(pairs: I) -> Result<(Self, Vec<String>, Vec<String>)>
+    where
+        I: IntoIterator<Item = (&'a str, &'a str)>,
+    {
+        let mut counts: BTreeMap<(String, String), f64> = BTreeMap::new();
+        let mut row_set = std::collections::BTreeSet::new();
+        let mut col_set = std::collections::BTreeSet::new();
+        for (r, c) in pairs {
+            *counts.entry((r.to_owned(), c.to_owned())).or_insert(0.0) += 1.0;
+            row_set.insert(r.to_owned());
+            col_set.insert(c.to_owned());
+        }
+        let row_labels: Vec<String> = row_set.into_iter().collect();
+        let col_labels: Vec<String> = col_set.into_iter().collect();
+        if row_labels.len() < 2 || col_labels.len() < 2 {
+            return Err(Error::DimensionMismatch(format!(
+                "cross-tab needs >=2 categories per axis, got {}x{}",
+                row_labels.len(),
+                col_labels.len()
+            )));
+        }
+        let mut data = vec![0.0; row_labels.len() * col_labels.len()];
+        for ((r, c), n) in counts {
+            let ri = row_labels.binary_search(&r).expect("row label present");
+            let ci = col_labels.binary_search(&c).expect("col label present");
+            data[ri * col_labels.len() + ci] = n;
+        }
+        Ok((
+            Self { rows: row_labels.len(), cols: col_labels.len(), data },
+            row_labels,
+            col_labels,
+        ))
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cell count at `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if the indices are out of bounds (programmer error).
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "cell index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Sum of one row.
+    pub fn row_total(&self, row: usize) -> f64 {
+        self.data[row * self.cols..(row + 1) * self.cols].iter().sum()
+    }
+
+    /// Sum of one column.
+    pub fn col_total(&self, col: usize) -> f64 {
+        (0..self.rows).map(|r| self.get(r, col)).sum()
+    }
+
+    /// Grand total of all cells.
+    pub fn grand_total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Expected cell counts under independence:
+    /// `E[i][j] = row_i · col_j / N`.
+    ///
+    /// # Errors
+    /// [`Error::InvalidCount`] if any margin is zero (the expected counts are
+    /// then degenerate and the chi-square test undefined).
+    pub fn expected(&self) -> Result<Vec<f64>> {
+        let n = self.grand_total();
+        if n <= 0.0 {
+            return Err(Error::InvalidCount(n));
+        }
+        let row_totals: Vec<f64> = (0..self.rows).map(|r| self.row_total(r)).collect();
+        let col_totals: Vec<f64> = (0..self.cols).map(|c| self.col_total(c)).collect();
+        if row_totals.iter().chain(&col_totals).any(|&t| t == 0.0) {
+            return Err(Error::InvalidCount(0.0));
+        }
+        let mut e = Vec::with_capacity(self.rows * self.cols);
+        for rt in &row_totals {
+            for ct in &col_totals {
+                e.push(rt * ct / n);
+            }
+        }
+        Ok(e)
+    }
+
+    /// Row-major slice of the raw counts.
+    pub fn cells(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Degrees of freedom for the independence test: `(r-1)(c-1)`.
+    pub fn dof(&self) -> f64 {
+        ((self.rows - 1) * (self.cols - 1)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freq_table_basics() {
+        let t = FreqTable::from_labels(["python", "c", "python", "rust", "python"]);
+        assert_eq!(t.total(), 5);
+        assert_eq!(t.n_categories(), 3);
+        assert_eq!(t.count("python"), 3);
+        assert_eq!(t.count("fortran"), 0);
+        assert!((t.proportion("python").unwrap() - 0.6).abs() < 1e-12);
+        assert_eq!(t.mode(), Some(("python", 3)));
+        let order: Vec<&str> = t.by_descending_count().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(order, vec!["python", "c", "rust"]);
+    }
+
+    #[test]
+    fn freq_table_empty() {
+        let t = FreqTable::new();
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.proportion("x"), None);
+        assert_eq!(t.mode(), None);
+    }
+
+    #[test]
+    fn freq_table_tie_break_lexicographic() {
+        let t = FreqTable::from_labels(["b", "a"]);
+        let order: Vec<&str> = t.by_descending_count().into_iter().map(|(l, _)| l).collect();
+        assert_eq!(order, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn contingency_margins() {
+        let t = ContingencyTable::from_rows(&[&[10.0, 20.0], &[30.0, 40.0]]).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.n_cols(), 2);
+        assert_eq!(t.row_total(0), 30.0);
+        assert_eq!(t.row_total(1), 70.0);
+        assert_eq!(t.col_total(0), 40.0);
+        assert_eq!(t.col_total(1), 60.0);
+        assert_eq!(t.grand_total(), 100.0);
+        assert_eq!(t.dof(), 1.0);
+        let e = t.expected().unwrap();
+        assert!((e[0] - 12.0).abs() < 1e-12);
+        assert!((e[1] - 18.0).abs() < 1e-12);
+        assert!((e[2] - 28.0).abs() < 1e-12);
+        assert!((e[3] - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contingency_rejects_bad_shapes() {
+        assert!(ContingencyTable::from_rows(&[&[1.0, 2.0]]).is_err());
+        assert!(ContingencyTable::from_rows(&[&[1.0], &[2.0]]).is_err());
+        assert!(ContingencyTable::from_rows(&[&[1.0, 2.0], &[3.0]]).is_err());
+        assert!(ContingencyTable::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]).is_err());
+        assert!(ContingencyTable::from_rows(&[&[1.0, f64::NAN], &[3.0, 4.0]]).is_err());
+    }
+
+    #[test]
+    fn contingency_zero_margin_rejected_in_expected() {
+        let t = ContingencyTable::from_rows(&[&[0.0, 0.0], &[3.0, 4.0]]).unwrap();
+        assert!(t.expected().is_err());
+    }
+
+    #[test]
+    fn cross_tabulate_builds_sorted_axes() {
+        let pairs = [
+            ("2024", "gpu"),
+            ("2024", "cpu"),
+            ("2011", "cpu"),
+            ("2024", "gpu"),
+            ("2011", "cpu"),
+        ];
+        let (t, rows, cols) = ContingencyTable::cross_tabulate(pairs.iter().copied()).unwrap();
+        assert_eq!(rows, vec!["2011", "2024"]);
+        assert_eq!(cols, vec!["cpu", "gpu"]);
+        assert_eq!(t.get(0, 0), 2.0); // 2011/cpu
+        assert_eq!(t.get(0, 1), 0.0); // 2011/gpu
+        assert_eq!(t.get(1, 0), 1.0); // 2024/cpu
+        assert_eq!(t.get(1, 1), 2.0); // 2024/gpu
+    }
+
+    #[test]
+    fn cross_tabulate_needs_two_categories() {
+        let pairs = [("a", "x"), ("b", "x")];
+        assert!(ContingencyTable::cross_tabulate(pairs.iter().copied()).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        let t = ContingencyTable::two_by_two(1.0, 2.0, 3.0, 4.0).unwrap();
+        let _ = t.get(2, 0);
+    }
+}

@@ -1,0 +1,764 @@
+//! Hypothesis tests used by the cohort-comparison engine.
+//!
+//! Every test returns a [`TestResult`] carrying the statistic, degrees of
+//! freedom where meaningful, and the p-value, so report code can render a
+//! uniform "statistic / df / p" triple.
+
+use crate::rank::{midranks, tie_group_sizes};
+use crate::special::{chi_square_sf, ln_choose, normal_sf, t_sf_two_sided};
+use crate::table::ContingencyTable;
+use crate::{ensure_sample, Error, Result};
+
+/// Outcome of a hypothesis test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The test statistic (χ², z, U, t, ... depending on the test).
+    pub statistic: f64,
+    /// Degrees of freedom, when the reference distribution has one.
+    pub df: Option<f64>,
+    /// The (two-sided unless stated otherwise) p-value.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    /// True when `p_value < alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Chi-square goodness-of-fit test of observed counts against expected
+/// counts (which need not be normalized: they are scaled to the observed
+/// total).
+///
+/// # Errors
+/// Rejects mismatched lengths, fewer than two categories, negative observed
+/// counts, and non-positive expected counts.
+pub fn chi_square_gof(observed: &[f64], expected: &[f64]) -> Result<TestResult> {
+    if observed.len() != expected.len() {
+        return Err(Error::DimensionMismatch(format!(
+            "observed has {} cells, expected has {}",
+            observed.len(),
+            expected.len()
+        )));
+    }
+    if observed.len() < 2 {
+        return Err(Error::TooFewObservations { needed: 2, got: observed.len() });
+    }
+    let n_obs: f64 = observed.iter().sum();
+    let n_exp: f64 = expected.iter().sum();
+    if n_obs <= 0.0 {
+        return Err(Error::InvalidCount(n_obs));
+    }
+    let mut chi2 = 0.0;
+    for (&o, &e) in observed.iter().zip(expected) {
+        if !o.is_finite() || o < 0.0 {
+            return Err(Error::InvalidCount(o));
+        }
+        if !e.is_finite() || e <= 0.0 {
+            return Err(Error::InvalidCount(e));
+        }
+        let e_scaled = e / n_exp * n_obs;
+        let d = o - e_scaled;
+        chi2 += d * d / e_scaled;
+    }
+    let df = (observed.len() - 1) as f64;
+    Ok(TestResult { statistic: chi2, df: Some(df), p_value: chi_square_sf(chi2, df)? })
+}
+
+/// Pearson chi-square test of independence on an r×c contingency table.
+///
+/// # Errors
+/// Propagates [`ContingencyTable::expected`] failures (zero margins).
+pub fn chi_square_independence(table: &ContingencyTable) -> Result<TestResult> {
+    let expected = table.expected()?;
+    let mut chi2 = 0.0;
+    for (&o, &e) in table.cells().iter().zip(&expected) {
+        let d = o - e;
+        chi2 += d * d / e;
+    }
+    let df = table.dof();
+    Ok(TestResult { statistic: chi2, df: Some(df), p_value: chi_square_sf(chi2, df)? })
+}
+
+/// G-test (log-likelihood ratio) of independence; asymptotically equivalent
+/// to the chi-square test but additive across partitions.
+///
+/// Cells with zero observed count contribute zero to the statistic (the
+/// `x ln x → 0` limit).
+///
+/// # Errors
+/// Propagates [`ContingencyTable::expected`] failures.
+pub fn g_test_independence(table: &ContingencyTable) -> Result<TestResult> {
+    let expected = table.expected()?;
+    let mut g = 0.0;
+    for (&o, &e) in table.cells().iter().zip(&expected) {
+        if o > 0.0 {
+            g += o * (o / e).ln();
+        }
+    }
+    g *= 2.0;
+    let df = table.dof();
+    Ok(TestResult { statistic: g, df: Some(df), p_value: chi_square_sf(g, df)? })
+}
+
+/// Fisher's exact test on a 2×2 table, two-sided by the point-probability
+/// method (sum of all tables at least as extreme as the observed one).
+///
+/// The `statistic` reported is the sample odds ratio (`ad/bc`), infinite when
+/// `bc = 0`.
+///
+/// # Errors
+/// Requires a 2×2 table with integer-valued cells.
+pub fn fisher_exact_2x2(table: &ContingencyTable) -> Result<TestResult> {
+    if table.n_rows() != 2 || table.n_cols() != 2 {
+        return Err(Error::DimensionMismatch(format!(
+            "fisher exact needs 2x2, got {}x{}",
+            table.n_rows(),
+            table.n_cols()
+        )));
+    }
+    let cells = table.cells();
+    let mut int_cells = [0u64; 4];
+    for (i, &c) in cells.iter().enumerate() {
+        if c.fract() != 0.0 || !(0.0..=2e15).contains(&c) {
+            return Err(Error::InvalidCount(c));
+        }
+        int_cells[i] = c as u64;
+    }
+    let [a, b, c, d] = int_cells;
+    let row1 = a + b;
+    let row2 = c + d;
+    let col1 = a + c;
+    let n = row1 + row2;
+    if n == 0 {
+        return Err(Error::InvalidCount(0.0));
+    }
+
+    // Hypergeometric log-pmf of observing `x` in the (0,0) cell.
+    let ln_pmf = |x: u64| -> f64 {
+        ln_choose(row1, x) + ln_choose(row2, col1 - x) - ln_choose(n, col1)
+    };
+
+    let lo = col1.saturating_sub(row2);
+    let hi = col1.min(row1);
+    let ln_obs = ln_pmf(a);
+    // Two-sided: sum p(x) over x with p(x) <= p(observed) * (1 + eps).
+    const REL_EPS: f64 = 1e-7;
+    let mut p = 0.0;
+    for x in lo..=hi {
+        let lp = ln_pmf(x);
+        if lp <= ln_obs + REL_EPS {
+            p += lp.exp();
+        }
+    }
+    let odds = if b == 0 || c == 0 {
+        f64::INFINITY
+    } else {
+        (a as f64 * d as f64) / (b as f64 * c as f64)
+    };
+    Ok(TestResult { statistic: odds, df: None, p_value: p.min(1.0) })
+}
+
+/// Two-proportion z-test (pooled standard error, two-sided).
+///
+/// `x1` successes of `n1` trials versus `x2` of `n2`. This is the test the
+/// cohort comparison uses for "fraction of respondents using X rose from p₁
+/// to p₂" claims.
+///
+/// # Errors
+/// Rejects zero trial counts and `x > n`.
+pub fn two_proportion_z(x1: u64, n1: u64, x2: u64, n2: u64) -> Result<TestResult> {
+    if n1 == 0 || n2 == 0 {
+        return Err(Error::InvalidCount(0.0));
+    }
+    if x1 > n1 || x2 > n2 {
+        return Err(Error::OutOfRange { what: "x", value: x1.max(x2) as f64 });
+    }
+    let p1 = x1 as f64 / n1 as f64;
+    let p2 = x2 as f64 / n2 as f64;
+    let pooled = (x1 + x2) as f64 / (n1 + n2) as f64;
+    let se = (pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64)).sqrt();
+    if se == 0.0 {
+        // Both proportions are 0 or both are 1: no evidence of difference.
+        return Ok(TestResult { statistic: 0.0, df: None, p_value: 1.0 });
+    }
+    let z = (p1 - p2) / se;
+    Ok(TestResult { statistic: z, df: None, p_value: (2.0 * normal_sf(z.abs())).min(1.0) })
+}
+
+/// Mann–Whitney U test (two-sided, normal approximation with tie
+/// correction and continuity correction).
+///
+/// Appropriate for ordinal data such as Likert pain-point scores; this is the
+/// test behind experiment E12.
+///
+/// # Errors
+/// Requires both samples non-empty and finite.
+pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
+    ensure_sample(xs, "mann_whitney xs")?;
+    ensure_sample(ys, "mann_whitney ys")?;
+    let n1 = xs.len() as f64;
+    let n2 = ys.len() as f64;
+    let mut combined = Vec::with_capacity(xs.len() + ys.len());
+    combined.extend_from_slice(xs);
+    combined.extend_from_slice(ys);
+    let ranks = midranks(&combined)?;
+    let r1: f64 = ranks[..xs.len()].iter().sum();
+    let u1 = r1 - n1 * (n1 + 1.0) / 2.0;
+    let u2 = n1 * n2 - u1;
+    let u = u1.min(u2);
+
+    let n = n1 + n2;
+    // Tie-corrected variance of U.
+    let tie_term: f64 = tie_group_sizes(&combined)?
+        .iter()
+        .map(|&t| {
+            let t = t as f64;
+            t * t * t - t
+        })
+        .sum();
+    let var_u = n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
+    if var_u <= 0.0 {
+        // All observations identical: no evidence of difference.
+        return Ok(TestResult { statistic: u, df: None, p_value: 1.0 });
+    }
+    let mean_u = n1 * n2 / 2.0;
+    // Continuity correction of 0.5 toward the mean.
+    let z = (u - mean_u + 0.5) / var_u.sqrt();
+    Ok(TestResult { statistic: u, df: None, p_value: (2.0 * normal_sf(z.abs())).min(1.0) })
+}
+
+/// Two-sample Kolmogorov–Smirnov test (two-sided, asymptotic p-value via
+/// the Kolmogorov distribution series).
+///
+/// The statistic is the maximum distance between the two empirical CDFs —
+/// the natural test for "are these two wait-time distributions different?"
+/// in the scheduler experiments.
+///
+/// # Errors
+/// Requires both samples non-empty and finite.
+pub fn kolmogorov_smirnov(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
+    ensure_sample(xs, "ks xs")?;
+    ensure_sample(ys, "ks ys")?;
+    let mut a = xs.to_vec();
+    let mut b = ys.to_vec();
+    a.sort_by(|p, q| p.partial_cmp(q).expect("finite by ensure_sample"));
+    b.sort_by(|p, q| p.partial_cmp(q).expect("finite by ensure_sample"));
+    let (n, m) = (a.len(), b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < n && j < m {
+        let x = a[i].min(b[j]);
+        while i < n && a[i] <= x {
+            i += 1;
+        }
+        while j < m && b[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / n as f64;
+        let fb = j as f64 / m as f64;
+        d = d.max((fa - fb).abs());
+    }
+    // Asymptotic p-value: Q_KS(sqrt(ne)·D·(1 + 0.12/sqrt(ne) + 0.11/ne)),
+    // the Numerical-Recipes small-sample correction.
+    let ne = (n as f64 * m as f64) / (n as f64 + m as f64);
+    let sqrt_ne = ne.sqrt();
+    let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
+    let p = kolmogorov_sf(lambda);
+    Ok(TestResult { statistic: d, df: None, p_value: p })
+}
+
+/// Survival function of the Kolmogorov distribution:
+/// `Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²)`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Kruskal–Wallis H test across `k ≥ 2` groups (rank-based one-way ANOVA),
+/// with tie correction; p-value from the χ²(k−1) approximation.
+///
+/// Used when a Likert item is compared across more than two fields at once.
+///
+/// # Errors
+/// Requires at least two non-empty groups and finite data.
+pub fn kruskal_wallis(groups: &[&[f64]]) -> Result<TestResult> {
+    if groups.len() < 2 {
+        return Err(Error::TooFewObservations { needed: 2, got: groups.len() });
+    }
+    let mut combined = Vec::new();
+    for g in groups {
+        ensure_sample(g, "kruskal_wallis group")?;
+        combined.extend_from_slice(g);
+    }
+    let n = combined.len() as f64;
+    let ranks = midranks(&combined)?;
+    let mut h = 0.0;
+    let mut offset = 0;
+    for g in groups {
+        let ni = g.len() as f64;
+        let r_sum: f64 = ranks[offset..offset + g.len()].iter().sum();
+        h += r_sum * r_sum / ni;
+        offset += g.len();
+    }
+    h = 12.0 / (n * (n + 1.0)) * h - 3.0 * (n + 1.0);
+    // Tie correction.
+    let tie_term: f64 = tie_group_sizes(&combined)?
+        .iter()
+        .map(|&t| {
+            let t = t as f64;
+            t * t * t - t
+        })
+        .sum();
+    let correction = 1.0 - tie_term / (n * n * n - n);
+    if correction <= 0.0 {
+        // Every observation identical: no evidence of any difference.
+        return Ok(TestResult {
+            statistic: 0.0,
+            df: Some((groups.len() - 1) as f64),
+            p_value: 1.0,
+        });
+    }
+    h /= correction;
+    let df = (groups.len() - 1) as f64;
+    Ok(TestResult { statistic: h, df: Some(df), p_value: chi_square_sf(h.max(0.0), df)? })
+}
+
+/// Cochran–Armitage test for a linear trend in proportions across ordered
+/// groups (two-sided). `successes[i]` of `trials[i]` at score `scores[i]`
+/// (e.g. calendar years).
+///
+/// This is the right test for "did adoption rise monotonically over the
+/// survey years?", and backs the trend significance in experiment E3.
+///
+/// # Errors
+/// Requires ≥ 2 groups of equal-length finite inputs with positive trials
+/// and non-constant scores.
+pub fn cochran_armitage(
+    successes: &[u64],
+    trials: &[u64],
+    scores: &[f64],
+) -> Result<TestResult> {
+    if successes.len() != trials.len() || trials.len() != scores.len() {
+        return Err(Error::DimensionMismatch(format!(
+            "lengths differ: {} successes, {} trials, {} scores",
+            successes.len(),
+            trials.len(),
+            scores.len()
+        )));
+    }
+    if successes.len() < 2 {
+        return Err(Error::TooFewObservations { needed: 2, got: successes.len() });
+    }
+    crate::ensure_finite(scores, "cochran_armitage scores")?;
+    let mut n_total = 0.0;
+    let mut x_total = 0.0;
+    for (&x, &n) in successes.iter().zip(trials) {
+        if n == 0 {
+            return Err(Error::InvalidCount(0.0));
+        }
+        if x > n {
+            return Err(Error::OutOfRange { what: "successes", value: x as f64 });
+        }
+        n_total += n as f64;
+        x_total += x as f64;
+    }
+    let p_bar = x_total / n_total;
+    if p_bar == 0.0 || p_bar == 1.0 {
+        // No variation in outcomes at all.
+        return Ok(TestResult { statistic: 0.0, df: None, p_value: 1.0 });
+    }
+    let s_bar: f64 =
+        scores.iter().zip(trials).map(|(&s, &n)| s * n as f64).sum::<f64>() / n_total;
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for ((&x, &n), &s) in successes.iter().zip(trials).zip(scores) {
+        num += (s - s_bar) * (x as f64 - n as f64 * p_bar);
+        den += (s - s_bar) * (s - s_bar) * n as f64;
+    }
+    let var = p_bar * (1.0 - p_bar) * den;
+    if var <= 0.0 {
+        return Err(Error::InvalidCount(var));
+    }
+    let z = num / var.sqrt();
+    Ok(TestResult { statistic: z, df: None, p_value: (2.0 * normal_sf(z.abs())).min(1.0) })
+}
+
+/// Welch's unequal-variance t-test (two-sided) with the Welch–Satterthwaite
+/// degrees of freedom.
+///
+/// # Errors
+/// Requires at least two observations per sample and non-degenerate variance
+/// in at least one of them.
+pub fn welch_t(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
+    let (m1, v1, n1) = (
+        crate::descriptive::mean(xs)?,
+        crate::descriptive::variance(xs)?,
+        xs.len() as f64,
+    );
+    let (m2, v2, n2) = (
+        crate::descriptive::mean(ys)?,
+        crate::descriptive::variance(ys)?,
+        ys.len() as f64,
+    );
+    let se2 = v1 / n1 + v2 / n2;
+    if se2 <= 0.0 {
+        return Ok(TestResult {
+            statistic: 0.0,
+            df: Some(n1 + n2 - 2.0),
+            p_value: if m1 == m2 { 1.0 } else { 0.0 },
+        });
+    }
+    let t = (m1 - m2) / se2.sqrt();
+    let df = se2 * se2
+        / ((v1 / n1) * (v1 / n1) / (n1 - 1.0) + (v2 / n2) * (v2 / n2) / (n2 - 1.0));
+    Ok(TestResult { statistic: t, df: Some(df), p_value: t_sf_two_sided(t, df)? })
+}
+
+#[cfg(test)]
+mod unit {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn gof_uniform_die() {
+        // scipy.stats.chisquare([16,18,16,14,12,12]) -> chi2=2.0, p=0.84914504
+        let obs = [16.0, 18.0, 16.0, 14.0, 12.0, 12.0];
+        let exp = [1.0; 6];
+        let r = chi_square_gof(&obs, &exp).unwrap();
+        close(r.statistic, 2.0, 1e-12);
+        assert_eq!(r.df, Some(5.0));
+        close(r.p_value, 0.849_145_036_688_113_2, 1e-9);
+        assert!(!r.significant_at(0.05));
+    }
+
+    #[test]
+    fn gof_rejects_bad_input() {
+        assert!(chi_square_gof(&[1.0], &[1.0]).is_err());
+        assert!(chi_square_gof(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(chi_square_gof(&[1.0, -2.0], &[1.0, 1.0]).is_err());
+        assert!(chi_square_gof(&[1.0, 2.0], &[1.0, 0.0]).is_err());
+        assert!(chi_square_gof(&[0.0, 0.0], &[1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn independence_reference() {
+        // [[10,20],[30,40]] without Yates correction:
+        // chi2 = 100·(10·40 − 20·30)² / (30·70·40·60) = 0.79365079...,
+        // p = P(χ²₁ > 0.79365) = erfc(sqrt(0.79365/2)) ≈ 0.37300.
+        let t = ContingencyTable::two_by_two(10.0, 20.0, 30.0, 40.0).unwrap();
+        let r = chi_square_independence(&t).unwrap();
+        close(r.statistic, 0.793_650_793_650_793_6, 1e-12);
+        close(r.p_value, 0.373_00, 1e-4);
+    }
+
+    #[test]
+    fn g_test_close_to_chi2_for_large_counts() {
+        let t =
+            ContingencyTable::from_rows(&[&[100.0, 200.0, 150.0], &[120.0, 180.0, 160.0]])
+                .unwrap();
+        let chi = chi_square_independence(&t).unwrap();
+        let g = g_test_independence(&t).unwrap();
+        assert_eq!(g.df, chi.df);
+        // Asymptotic agreement within a few percent at these counts.
+        close(g.statistic, chi.statistic, 0.05);
+    }
+
+    #[test]
+    fn g_test_handles_zero_cells() {
+        let t = ContingencyTable::two_by_two(0.0, 10.0, 10.0, 10.0).unwrap();
+        let r = g_test_independence(&t).unwrap();
+        assert!(r.statistic.is_finite());
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+    }
+
+    #[test]
+    fn fisher_exact_reference() {
+        // scipy.stats.fisher_exact([[8, 2], [1, 5]]) -> odds=20.0, p=0.03496503496503495
+        let t = ContingencyTable::two_by_two(8.0, 2.0, 1.0, 5.0).unwrap();
+        let r = fisher_exact_2x2(&t).unwrap();
+        close(r.statistic, 20.0, 1e-12);
+        close(r.p_value, 0.034_965_034_965_034_95, 1e-9);
+    }
+
+    #[test]
+    fn fisher_exact_tea_tasting() {
+        // Fisher's lady tasting tea: [[3,1],[1,3]] -> p = 0.48571428571428565
+        let t = ContingencyTable::two_by_two(3.0, 1.0, 1.0, 3.0).unwrap();
+        let r = fisher_exact_2x2(&t).unwrap();
+        close(r.p_value, 0.485_714_285_714_285_65, 1e-9);
+        close(r.statistic, 9.0, 1e-12);
+    }
+
+    #[test]
+    fn fisher_exact_zero_cell_odds_infinite() {
+        let t = ContingencyTable::two_by_two(5.0, 0.0, 2.0, 3.0).unwrap();
+        let r = fisher_exact_2x2(&t).unwrap();
+        assert!(r.statistic.is_infinite());
+        assert!(r.p_value > 0.0 && r.p_value <= 1.0);
+    }
+
+    #[test]
+    fn fisher_exact_rejects_non_integer_and_shape() {
+        let t = ContingencyTable::two_by_two(1.5, 2.0, 3.0, 4.0).unwrap();
+        assert!(fisher_exact_2x2(&t).is_err());
+        let t3 =
+            ContingencyTable::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert!(fisher_exact_2x2(&t3).is_err());
+    }
+
+    #[test]
+    fn two_proportion_reference() {
+        // Hand computation: p1 = 30/114 = 0.26316, p2 = 612/720 = 0.85,
+        // pooled = 642/834 = 0.76978,
+        // se = sqrt(0.76978·0.23022·(1/114 + 1/720)) = 0.042435,
+        // z = (0.26316 − 0.85)/0.042435 = −13.8294.
+        let r = two_proportion_z(30, 114, 612, 720).unwrap();
+        close(r.statistic, -13.829_4, 1e-4);
+        assert!(r.p_value < 1e-30);
+    }
+
+    #[test]
+    fn two_proportion_degenerate_and_errors() {
+        let r = two_proportion_z(0, 10, 0, 20).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        let r = two_proportion_z(10, 10, 20, 20).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        assert!(two_proportion_z(1, 0, 1, 2).is_err());
+        assert!(two_proportion_z(3, 2, 1, 2).is_err());
+    }
+
+    #[test]
+    fn two_proportion_equal_props_large_p() {
+        let r = two_proportion_z(50, 100, 100, 200).unwrap();
+        close(r.statistic, 0.0, 1e-12);
+        close(r.p_value, 1.0, 1e-12);
+    }
+
+    #[test]
+    fn mann_whitney_reference() {
+        // Fully separated samples: U = 0. Normal approximation with the 0.5
+        // continuity correction: mean U = 12.5, var = 25·11/12, so
+        // z = (0 − 12.5 + 0.5)/4.7871 = −2.5068 and p = 2Φ(−2.5068) ≈ 0.012186.
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [6.0, 7.0, 8.0, 9.0, 10.0];
+        let r = mann_whitney_u(&xs, &ys).unwrap();
+        close(r.statistic, 0.0, 1e-12);
+        close(r.p_value, 0.012_186, 1e-4);
+    }
+
+    #[test]
+    fn mann_whitney_identical_samples() {
+        let xs = [3.0; 6];
+        let r = mann_whitney_u(&xs, &xs).unwrap();
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn mann_whitney_symmetry() {
+        let xs = [1.0, 3.0, 5.0, 7.0];
+        let ys = [2.0, 4.0, 6.0];
+        let a = mann_whitney_u(&xs, &ys).unwrap();
+        let b = mann_whitney_u(&ys, &xs).unwrap();
+        close(a.p_value, b.p_value, 1e-12);
+        close(a.statistic, b.statistic, 1e-12);
+    }
+
+    #[test]
+    fn welch_t_reference() {
+        // Hand computation: m1 = 2.5, v1 = 5/3, n1 = 4; m2 = 6, v2 = 10, n2 = 5.
+        // se² = 5/12 + 2 = 2.416667, t = −3.5/√2.416667 = −2.251442,
+        // df = 2.416667² / ((5/12)²/3 + 2²/4) = 5.520784.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0, 10.0];
+        let r = welch_t(&xs, &ys).unwrap();
+        close(r.statistic, -2.251_442, 1e-5);
+        close(r.df.unwrap(), 5.520_784, 1e-5);
+        // p ≈ 0.066 for t = 2.2514 at df ≈ 5.52 (between the df=5 and df=6 tables).
+        assert!(r.p_value > 0.05 && r.p_value < 0.09, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn ks_reference_values() {
+        // scipy.stats.ks_2samp([1..10], [6..15]): D = 0.5.
+        let xs: Vec<f64> = (1..=10).map(f64::from).collect();
+        let ys: Vec<f64> = (6..=15).map(f64::from).collect();
+        let r = kolmogorov_smirnov(&xs, &ys).unwrap();
+        close(r.statistic, 0.5, 1e-12);
+        assert!(r.p_value > 0.05 && r.p_value < 0.3, "p = {}", r.p_value);
+        // Identical samples: D = 0, p = 1.
+        let r = kolmogorov_smirnov(&xs, &xs).unwrap();
+        close(r.statistic, 0.0, 1e-12);
+        close(r.p_value, 1.0, 1e-12);
+        // Fully separated large samples: D = 1, p ≈ 0.
+        let a: Vec<f64> = (0..100).map(f64::from).collect();
+        let b: Vec<f64> = (200..300).map(f64::from).collect();
+        let r = kolmogorov_smirnov(&a, &b).unwrap();
+        close(r.statistic, 1.0, 1e-12);
+        assert!(r.p_value < 1e-10);
+    }
+
+    #[test]
+    fn ks_symmetry_and_validation() {
+        let xs = [1.0, 3.0, 5.0, 7.0, 9.0];
+        let ys = [2.0, 4.0, 6.0];
+        let a = kolmogorov_smirnov(&xs, &ys).unwrap();
+        let b = kolmogorov_smirnov(&ys, &xs).unwrap();
+        close(a.statistic, b.statistic, 1e-12);
+        close(a.p_value, b.p_value, 1e-12);
+        assert!(kolmogorov_smirnov(&[], &ys).is_err());
+        assert!(kolmogorov_smirnov(&xs, &[f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn kruskal_wallis_reference() {
+        // scipy.stats.kruskal([1,2,3], [4,5,6], [7,8,9]):
+        // H = 7.2, p = chi2.sf(7.2, 2) = 0.02732372244729256
+        let r = kruskal_wallis(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 9.0],
+        ])
+        .unwrap();
+        close(r.statistic, 7.2, 1e-9);
+        assert_eq!(r.df, Some(2.0));
+        close(r.p_value, 0.027_323_722_447_292_56, 1e-6);
+    }
+
+    #[test]
+    fn kruskal_wallis_identical_groups_yield_large_p() {
+        let g = [1.0, 2.0, 3.0, 4.0];
+        let r = kruskal_wallis(&[&g, &g, &g]).unwrap();
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+        // All values tied across every group.
+        let t = [5.0; 4];
+        let r = kruskal_wallis(&[&t, &t]).unwrap();
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn kruskal_wallis_input_validation() {
+        assert!(kruskal_wallis(&[&[1.0, 2.0]]).is_err());
+        assert!(kruskal_wallis(&[&[1.0], &[]]).is_err());
+    }
+
+    #[test]
+    fn cochran_armitage_detects_monotone_trend() {
+        // Adoption rising 10% -> 30% -> 50% -> 70% over four years.
+        let successes = [10, 30, 50, 70];
+        let trials = [100, 100, 100, 100];
+        let scores = [2011.0, 2012.0, 2013.0, 2014.0];
+        let r = cochran_armitage(&successes, &trials, &scores).unwrap();
+        assert!(r.statistic > 5.0, "z = {}", r.statistic);
+        assert!(r.p_value < 1e-6);
+        // Flat series: no trend.
+        let r = cochran_armitage(&[30, 31, 29, 30], &trials, &scores).unwrap();
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+        // Decreasing trend: negative statistic, same two-sided p behaviour.
+        let r = cochran_armitage(&[70, 50, 30, 10], &trials, &scores).unwrap();
+        assert!(r.statistic < -5.0);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn cochran_armitage_validation_and_degenerate() {
+        assert!(cochran_armitage(&[1], &[10], &[1.0]).is_err());
+        assert!(cochran_armitage(&[1, 2], &[10], &[1.0, 2.0]).is_err());
+        assert!(cochran_armitage(&[1, 2], &[10, 0], &[1.0, 2.0]).is_err());
+        assert!(cochran_armitage(&[11, 2], &[10, 10], &[1.0, 2.0]).is_err());
+        // Constant scores -> zero variance -> error.
+        assert!(cochran_armitage(&[1, 2], &[10, 10], &[3.0, 3.0]).is_err());
+        // All failures / all successes -> p = 1.
+        let r = cochran_armitage(&[0, 0], &[10, 10], &[1.0, 2.0]).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        let r = cochran_armitage(&[10, 10], &[10, 10], &[1.0, 2.0]).unwrap();
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn welch_t_degenerate_variance() {
+        let xs = [2.0, 2.0];
+        let ys = [2.0, 2.0];
+        let r = welch_t(&xs, &ys).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        let ys = [3.0, 3.0];
+        let r = welch_t(&xs, &ys).unwrap();
+        assert_eq!(r.p_value, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod props {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_p_values_in_unit_interval(
+            a in 1u64..60, b in 1u64..60, c in 1u64..60, d in 1u64..60,
+        ) {
+            let t = ContingencyTable::two_by_two(a as f64, b as f64, c as f64, d as f64)
+                .unwrap();
+            for r in [
+                chi_square_independence(&t).unwrap(),
+                g_test_independence(&t).unwrap(),
+                fisher_exact_2x2(&t).unwrap(),
+            ] {
+                prop_assert!((0.0..=1.0).contains(&r.p_value), "p={}", r.p_value);
+            }
+        }
+
+        #[test]
+        fn prop_fisher_chi2_roughly_agree_on_big_tables(
+            a in 50u64..200, b in 50u64..200, c in 50u64..200, d in 50u64..200,
+        ) {
+            let t = ContingencyTable::two_by_two(a as f64, b as f64, c as f64, d as f64)
+                .unwrap();
+            let pf = fisher_exact_2x2(&t).unwrap().p_value;
+            let pc = chi_square_independence(&t).unwrap().p_value;
+            // Loose agreement: same side of 0.05 except near the boundary.
+            if !(0.01..0.25).contains(&pc) {
+                prop_assert_eq!(pf < 0.05, pc < 0.05, "pf={} pc={}", pf, pc);
+            }
+        }
+
+        #[test]
+        fn prop_two_proportion_symmetric(
+            x1 in 0u64..50, extra1 in 1u64..50, x2 in 0u64..50, extra2 in 1u64..50,
+        ) {
+            let n1 = x1 + extra1;
+            let n2 = x2 + extra2;
+            let a = two_proportion_z(x1, n1, x2, n2).unwrap();
+            let b = two_proportion_z(x2, n2, x1, n1).unwrap();
+            prop_assert!((a.statistic + b.statistic).abs() < 1e-12);
+            prop_assert!((a.p_value - b.p_value).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_mann_whitney_u_bounded(
+            xs in proptest::collection::vec(-50f64..50.0, 2..30),
+            ys in proptest::collection::vec(-50f64..50.0, 2..30),
+        ) {
+            let r = mann_whitney_u(&xs, &ys).unwrap();
+            let max_u = (xs.len() * ys.len()) as f64;
+            prop_assert!(r.statistic >= 0.0 && r.statistic <= max_u / 2.0 + 1e-9);
+            prop_assert!((0.0..=1.0).contains(&r.p_value));
+        }
+    }
+}

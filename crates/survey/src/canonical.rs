@@ -1,0 +1,201 @@
+//! The canonical *Revisiting Computation for Research* questionnaire.
+//!
+//! Both survey waves (2011 and 2024) are modeled against the same instrument
+//! so cohort comparisons are item-by-item. Question ids are stable API:
+//! the synthetic generator fills them and the experiment drivers read them.
+
+use crate::schema::{Question, QuestionKind, Schema};
+
+/// Research fields offered by [`Q_FIELD`].
+pub const FIELDS: [&str; 8] = [
+    "astronomy",
+    "biology",
+    "chemistry",
+    "earth-science",
+    "engineering",
+    "neuroscience",
+    "physics",
+    "social-science",
+];
+
+/// Career stages offered by [`Q_STAGE`].
+pub const STAGES: [&str; 4] = ["undergraduate", "grad-student", "postdoc", "faculty-staff"];
+
+/// Languages offered by [`Q_LANGS`] and [`Q_PRIMARY_LANG`].
+pub const LANGUAGES: [&str; 10] = [
+    "c-cpp",
+    "fortran",
+    "java",
+    "javascript",
+    "julia",
+    "matlab",
+    "python",
+    "r",
+    "rust",
+    "shell",
+];
+
+/// Parallelism modes offered by [`Q_PARALLELISM`].
+pub const PARALLELISM_MODES: [&str; 5] = ["none", "multicore", "gpu", "cluster", "cloud"];
+
+/// Software-engineering practices offered by [`Q_PRACTICES`].
+pub const PRACTICES: [&str; 6] = [
+    "version-control",
+    "unit-tests",
+    "continuous-integration",
+    "code-review",
+    "documentation",
+    "issue-tracking",
+];
+
+/// Cluster usage frequencies offered by [`Q_CLUSTER_FREQ`].
+pub const CLUSTER_FREQS: [&str; 4] = ["never", "monthly", "weekly", "daily"];
+
+/// Pain-point Likert items (5-point scale, 1 = no pain, 5 = severe).
+pub const PAIN_ITEMS: [&str; 6] = [
+    "pain-debugging",
+    "pain-performance",
+    "pain-parallelism",
+    "pain-software-install",
+    "pain-data-management",
+    "pain-learning-tools",
+];
+
+/// Question id: research field.
+pub const Q_FIELD: &str = "field";
+/// Question id: career stage.
+pub const Q_STAGE: &str = "stage";
+/// Question id: all languages used (multi-choice).
+pub const Q_LANGS: &str = "langs";
+/// Question id: primary language (single-choice).
+pub const Q_PRIMARY_LANG: &str = "primary-lang";
+/// Question id: parallelism modes used (multi-choice).
+pub const Q_PARALLELISM: &str = "parallelism";
+/// Question id: software-engineering practices (multi-choice).
+pub const Q_PRACTICES: &str = "practices";
+/// Question id: HPC cluster usage frequency (single-choice).
+pub const Q_CLUSTER_FREQ: &str = "cluster-freq";
+/// Question id: typical core count for the largest runs (numeric).
+pub const Q_CORES: &str = "cores-typical";
+/// Question id: years of programming experience (numeric).
+pub const Q_YEARS: &str = "years-experience";
+/// Question id: free-text "biggest obstacle" comment, coded with
+/// [`crate::coding::canonical_code_book`].
+pub const Q_COMMENTS: &str = "comments";
+
+/// Builds the canonical questionnaire.
+///
+/// # Panics
+/// Never in practice: the schema content is static and validated by tests.
+pub fn questionnaire() -> Schema {
+    let mut b = Schema::builder("rcr-practices")
+        .question(Question::new(
+            Q_FIELD,
+            "Which research field best describes your work?",
+            QuestionKind::single_choice(FIELDS),
+        ))
+        .question(Question::new(
+            Q_STAGE,
+            "What is your career stage?",
+            QuestionKind::single_choice(STAGES),
+        ))
+        .question(Question::new(
+            Q_LANGS,
+            "Which programming languages do you use for research? (all that apply)",
+            QuestionKind::multi_choice(LANGUAGES),
+        ))
+        .question(Question::new(
+            Q_PRIMARY_LANG,
+            "Which language do you spend the most time in?",
+            QuestionKind::single_choice(LANGUAGES),
+        ))
+        .question(Question::new(
+            Q_PARALLELISM,
+            "Which forms of parallel computing do you use? (all that apply)",
+            QuestionKind::multi_choice(PARALLELISM_MODES),
+        ))
+        .question(Question::new(
+            Q_PRACTICES,
+            "Which software-engineering practices does your project use? (all that apply)",
+            QuestionKind::multi_choice(PRACTICES),
+        ))
+        .question(Question::new(
+            Q_CLUSTER_FREQ,
+            "How often do you run jobs on a shared HPC cluster?",
+            QuestionKind::single_choice(CLUSTER_FREQS),
+        ))
+        .question(Question::new(
+            Q_CORES,
+            "How many cores does a typical large run of yours use?",
+            QuestionKind::numeric(Some(1.0), Some(1_000_000.0)),
+        ))
+        .question(Question::new(
+            Q_YEARS,
+            "How many years have you been programming?",
+            QuestionKind::numeric(Some(0.0), Some(60.0)),
+        ));
+    for item in PAIN_ITEMS {
+        b = b.question(Question::new(
+            item,
+            format!("How painful is `{}` in your daily work? (1 = painless, 5 = severe)",
+                &item["pain-".len()..]),
+            QuestionKind::likert(5),
+        ));
+    }
+    b = b.question(Question::new(
+        Q_COMMENTS,
+        "What is the biggest obstacle in your computational work? (free text)",
+        QuestionKind::FreeText,
+    ));
+    b.build().expect("canonical questionnaire is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn questionnaire_builds_and_has_all_items() {
+        let s = questionnaire();
+        assert_eq!(s.name(), "rcr-practices");
+        assert_eq!(s.len(), 10 + PAIN_ITEMS.len());
+        assert!(s.question(Q_COMMENTS).is_some());
+        for id in [
+            Q_FIELD,
+            Q_STAGE,
+            Q_LANGS,
+            Q_PRIMARY_LANG,
+            Q_PARALLELISM,
+            Q_PRACTICES,
+            Q_CLUSTER_FREQ,
+            Q_CORES,
+            Q_YEARS,
+        ] {
+            assert!(s.question(id).is_some(), "missing {id}");
+        }
+        for item in PAIN_ITEMS {
+            assert_eq!(s.question(item).unwrap().kind, QuestionKind::likert(5));
+        }
+    }
+
+    #[test]
+    fn option_lists_are_consistent() {
+        let s = questionnaire();
+        assert_eq!(s.question(Q_LANGS).unwrap().kind.options().len(), LANGUAGES.len());
+        assert_eq!(
+            s.question(Q_PRIMARY_LANG).unwrap().kind.options(),
+            s.question(Q_LANGS).unwrap().kind.options()
+        );
+        assert_eq!(
+            s.question(Q_PARALLELISM).unwrap().kind.options().len(),
+            PARALLELISM_MODES.len()
+        );
+    }
+
+    #[test]
+    fn pain_item_prompts_strip_prefix() {
+        let s = questionnaire();
+        let q = s.question("pain-debugging").unwrap();
+        assert!(q.prompt.contains("`debugging`"));
+    }
+}

@@ -1,0 +1,300 @@
+//! Qualitative coding of free-text answers.
+//!
+//! The original studies hand-coded interview quotes into themes ("version
+//! control", "reproducibility", ...). This module provides the deterministic
+//! skeleton of that process: a [`CodeBook`] of themes with keyword rules,
+//! applied to a cohort's free-text answers, yielding per-theme counts that
+//! feed the same shift machinery as any multi-choice item.
+//!
+//! Keyword coding is deliberately simple (case-insensitive substring match
+//! on word boundaries); the interesting analysis — theme prevalence shifts
+//! between waves — happens downstream.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cohort::Cohort;
+use crate::response::Answer;
+use crate::{Error, Result};
+
+/// One theme of the code book.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Code {
+    /// Stable tag, e.g. `"reproducibility"`.
+    pub tag: String,
+    /// Case-insensitive keywords; a text mentioning any of them gets the
+    /// tag.
+    pub keywords: Vec<String>,
+}
+
+/// A code book: the ordered list of themes an analyst codes against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CodeBook {
+    codes: Vec<Code>,
+}
+
+impl CodeBook {
+    /// Builds a code book, validating that tags are unique and non-empty
+    /// and every code has at least one keyword.
+    ///
+    /// # Errors
+    /// [`Error::InvalidSchema`] on duplicate/empty tags or empty keyword
+    /// lists.
+    pub fn new(codes: Vec<Code>) -> Result<Self> {
+        if codes.is_empty() {
+            return Err(Error::InvalidSchema("code book has no codes".into()));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for c in &codes {
+            if c.tag.is_empty() {
+                return Err(Error::InvalidSchema("empty code tag".into()));
+            }
+            if !seen.insert(&c.tag) {
+                return Err(Error::InvalidSchema(format!("duplicate code tag `{}`", c.tag)));
+            }
+            if c.keywords.is_empty() || c.keywords.iter().any(String::is_empty) {
+                return Err(Error::InvalidSchema(format!(
+                    "code `{}` needs non-empty keywords",
+                    c.tag
+                )));
+            }
+        }
+        Ok(CodeBook { codes })
+    }
+
+    /// The themes, in book order.
+    pub fn codes(&self) -> &[Code] {
+        &self.codes
+    }
+
+    /// Tags assigned to one text (each at most once, in book order).
+    pub fn code_text(&self, text: &str) -> Vec<&str> {
+        let hay = text.to_lowercase();
+        self.codes
+            .iter()
+            .filter(|c| {
+                c.keywords.iter().any(|k| contains_word(&hay, &k.to_lowercase()))
+            })
+            .map(|c| c.tag.as_str())
+            .collect()
+    }
+
+    /// Codes every answer to the free-text `question` in a cohort,
+    /// returning `(tag, count)` in book order plus the number of non-empty
+    /// answers (the denominator for prevalence).
+    ///
+    /// # Errors
+    /// Survey errors (unknown question / kind mismatch).
+    pub fn code_cohort(&self, cohort: &Cohort, question: &str) -> Result<(Vec<(String, u64)>, u64)> {
+        let q = cohort.schema().require(question)?;
+        if !matches!(q.kind, crate::schema::QuestionKind::FreeText) {
+            return Err(Error::AnswerKindMismatch {
+                question: question.to_owned(),
+                expected: "free-text",
+                got: q.kind.name(),
+            });
+        }
+        let mut counts: Vec<(String, u64)> =
+            self.codes.iter().map(|c| (c.tag.clone(), 0)).collect();
+        let mut answered = 0u64;
+        for r in cohort.responses() {
+            let Some(text) = r.answer(question).and_then(Answer::as_text) else {
+                continue;
+            };
+            if text.trim().is_empty() {
+                continue;
+            }
+            answered += 1;
+            for tag in self.code_text(text) {
+                if let Some(slot) = counts.iter_mut().find(|(t, _)| t == tag) {
+                    slot.1 += 1;
+                }
+            }
+        }
+        Ok((counts, answered))
+    }
+}
+
+/// Case-sensitive word-boundary containment (`hay` is pre-lowercased by the
+/// caller). A match must not be flanked by alphanumeric characters, so
+/// "git" does not fire on "digital".
+fn contains_word(hay: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = hay[start..].find(needle) {
+        let at = start + pos;
+        let before_ok = at == 0
+            || !hay[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric());
+        let after = at + needle.len();
+        let after_ok =
+            after >= hay.len() || !hay[after..].chars().next().is_some_and(|c| c.is_alphanumeric());
+        if before_ok && after_ok {
+            return true;
+        }
+        start = at + needle.len().max(1);
+    }
+    false
+}
+
+/// The canonical RCR code book, matching the themes the study's free-text
+/// prompt elicits.
+pub fn canonical_code_book() -> CodeBook {
+    CodeBook::new(vec![
+        Code {
+            tag: "reproducibility".into(),
+            keywords: vec!["reproduce".into(), "reproducibility".into(), "reproducible".into()],
+        },
+        Code {
+            tag: "version-control".into(),
+            keywords: vec!["git".into(), "github".into(), "version control".into(), "svn".into()],
+        },
+        Code {
+            tag: "environments".into(),
+            keywords: vec![
+                "conda".into(),
+                "container".into(),
+                "docker".into(),
+                "install".into(),
+                "dependency".into(),
+                "environment".into(),
+            ],
+        },
+        Code {
+            tag: "scaling".into(),
+            keywords: vec![
+                "gpu".into(),
+                "cluster".into(),
+                "parallel".into(),
+                "scale".into(),
+                "scaling".into(),
+                "hpc".into(),
+            ],
+        },
+        Code {
+            tag: "data-management".into(),
+            keywords: vec!["data".into(), "dataset".into(), "storage".into()],
+        },
+        Code {
+            tag: "training".into(),
+            keywords: vec![
+                "training".into(),
+                "learn".into(),
+                "documentation".into(),
+                "tutorial".into(),
+                "course".into(),
+            ],
+        },
+        Code {
+            tag: "legacy-code".into(),
+            keywords: vec!["legacy".into(), "fortran".into(), "old code".into(), "rewrite".into()],
+        },
+    ])
+    .expect("canonical code book is statically valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::Response;
+    use crate::schema::{Question, QuestionKind, Schema};
+
+    fn book() -> CodeBook {
+        CodeBook::new(vec![
+            Code { tag: "vcs".into(), keywords: vec!["git".into(), "version control".into()] },
+            Code { tag: "scale".into(), keywords: vec!["gpu".into(), "cluster".into()] },
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn code_book_validation() {
+        assert!(CodeBook::new(vec![]).is_err());
+        assert!(CodeBook::new(vec![Code { tag: "".into(), keywords: vec!["x".into()] }]).is_err());
+        assert!(CodeBook::new(vec![Code { tag: "a".into(), keywords: vec![] }]).is_err());
+        assert!(CodeBook::new(vec![
+            Code { tag: "a".into(), keywords: vec!["x".into()] },
+            Code { tag: "a".into(), keywords: vec!["y".into()] },
+        ])
+        .is_err());
+        assert_eq!(book().codes().len(), 2);
+    }
+
+    #[test]
+    fn text_coding_basics() {
+        let b = book();
+        assert_eq!(b.code_text("we finally adopted Git last year"), vec!["vcs"]);
+        assert_eq!(b.code_text("ran it on the GPU cluster"), vec!["scale"]);
+        assert_eq!(
+            b.code_text("put the GPU code under version control"),
+            vec!["vcs", "scale"]
+        );
+        assert!(b.code_text("nothing relevant here").is_empty());
+        // Multi-word keyword.
+        assert_eq!(b.code_text("Version Control is great"), vec!["vcs"]);
+    }
+
+    #[test]
+    fn word_boundaries_respected() {
+        let b = book();
+        // "git" must not fire inside "digital" or "legitimate".
+        assert!(b.code_text("the digital age is legitimate").is_empty());
+        assert_eq!(b.code_text("git!").len(), 1);
+        assert_eq!(b.code_text("(git)").len(), 1);
+        assert!(b.code_text("gitlab-like").is_empty(), "gitlab is a different word");
+    }
+
+    #[test]
+    fn tags_assigned_once_per_text() {
+        let b = book();
+        assert_eq!(b.code_text("git git git version control"), vec!["vcs"]);
+    }
+
+    #[test]
+    fn cohort_coding_counts_and_denominator() {
+        let schema = Schema::builder("s")
+            .question(Question::new("comments", "?", QuestionKind::FreeText))
+            .question(Question::new("pain", "?", QuestionKind::likert(5)))
+            .build()
+            .unwrap();
+        let mut c = Cohort::new("t", 2024, schema);
+        for (id, text) in [
+            ("a", Some("we use git and a gpu cluster")),
+            ("b", Some("just matlab")),
+            ("c", Some("   ")), // whitespace-only: not counted as answered
+            ("d", None),
+        ] {
+            let mut r = Response::new(id);
+            if let Some(t) = text {
+                r.set("comments", Answer::Text(t.into()));
+            }
+            c.push(r).unwrap();
+        }
+        let (counts, answered) = book().code_cohort(&c, "comments").unwrap();
+        assert_eq!(answered, 2);
+        assert_eq!(counts, vec![("vcs".into(), 1), ("scale".into(), 1)]);
+        // Kind mismatch and unknown question error.
+        assert!(book().code_cohort(&c, "pain").is_err());
+        assert!(book().code_cohort(&c, "ghost").is_err());
+    }
+
+    #[test]
+    fn canonical_book_covers_expected_themes() {
+        let b = canonical_code_book();
+        assert_eq!(b.codes().len(), 7);
+        assert_eq!(
+            b.code_text("conda environments made installs painless"),
+            vec!["environments"]
+        );
+        assert_eq!(
+            b.code_text("our fortran legacy code nobody dares rewrite"),
+            vec!["legacy-code"]
+        );
+        assert!(b.code_text("reproducibility crisis").contains(&"reproducibility"));
+    }
+
+    #[test]
+    fn code_book_round_trips_through_json() {
+        let b = canonical_code_book();
+        let json = serde_json::to_string(&b).unwrap();
+        let back: CodeBook = serde_json::from_str(&json).unwrap();
+        assert_eq!(b, back);
+    }
+}

@@ -1,0 +1,350 @@
+//! Cohorts: a survey wave (e.g. "2011" or "2024") holding validated
+//! responses, with the tabulation accessors the analysis layer consumes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::response::{Answer, Response};
+use crate::schema::{QuestionKind, Schema};
+use crate::{Error, Result};
+
+/// A named group of validated responses against a shared schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cohort {
+    name: String,
+    year: u16,
+    schema: Schema,
+    responses: Vec<Response>,
+}
+
+impl Cohort {
+    /// Creates an empty cohort.
+    pub fn new(name: impl Into<String>, year: u16, schema: Schema) -> Self {
+        Cohort { name: name.into(), year, schema, responses: Vec::new() }
+    }
+
+    /// Cohort name (e.g. `"2024"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Survey year.
+    pub fn year(&self) -> u16 {
+        self.year
+    }
+
+    /// The questionnaire this cohort answered.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of respondents.
+    pub fn len(&self) -> usize {
+        self.responses.len()
+    }
+
+    /// True when no responses have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.responses.is_empty()
+    }
+
+    /// All responses, in insertion order.
+    pub fn responses(&self) -> &[Response] {
+        &self.responses
+    }
+
+    /// Adds a response after validating it against the schema and checking
+    /// respondent-id uniqueness.
+    ///
+    /// # Errors
+    /// Validation errors from [`Response::validate`] or
+    /// [`Error::DuplicateRespondent`].
+    pub fn push(&mut self, response: Response) -> Result<()> {
+        response.validate(&self.schema)?;
+        if self.responses.iter().any(|r| r.respondent == response.respondent) {
+            return Err(Error::DuplicateRespondent(response.respondent));
+        }
+        self.responses.push(response);
+        Ok(())
+    }
+
+    /// Number of respondents who answered `question_id`.
+    pub fn n_answered(&self, question_id: &str) -> usize {
+        self.responses.iter().filter(|r| r.answered(question_id)).count()
+    }
+
+    /// Item response rate for one question (answered / total respondents).
+    pub fn response_rate(&self, question_id: &str) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        self.n_answered(question_id) as f64 / self.responses.len() as f64
+    }
+
+    /// Counts, for a single-choice question, how many respondents picked each
+    /// option. Options nobody picked are included with count 0, in schema
+    /// order. Returns `(option, count)` pairs plus the number of answers.
+    ///
+    /// # Errors
+    /// [`Error::UnknownQuestion`] or a kind mismatch.
+    pub fn single_choice_counts(&self, question_id: &str) -> Result<(Vec<(String, u64)>, u64)> {
+        let q = self.schema.require(question_id)?;
+        let QuestionKind::SingleChoice { options } = &q.kind else {
+            return Err(Error::AnswerKindMismatch {
+                question: question_id.to_owned(),
+                expected: "single-choice",
+                got: q.kind.name(),
+            });
+        };
+        let mut counts: Vec<(String, u64)> =
+            options.iter().map(|o| (o.clone(), 0u64)).collect();
+        let mut total = 0u64;
+        for r in &self.responses {
+            if let Some(Answer::Choice(c)) = r.answer(question_id) {
+                if let Some(slot) = counts.iter_mut().find(|(o, _)| o == c) {
+                    slot.1 += 1;
+                    total += 1;
+                }
+            }
+        }
+        Ok((counts, total))
+    }
+
+    /// For a multi-choice question, counts how many respondents selected each
+    /// option (a respondent may contribute to several options). Returns
+    /// `(option, count)` pairs plus the number of respondents who answered
+    /// the item at all — the correct denominator for "X% use Python".
+    ///
+    /// # Errors
+    /// [`Error::UnknownQuestion`] or a kind mismatch.
+    pub fn multi_choice_counts(&self, question_id: &str) -> Result<(Vec<(String, u64)>, u64)> {
+        let q = self.schema.require(question_id)?;
+        let QuestionKind::MultiChoice { options } = &q.kind else {
+            return Err(Error::AnswerKindMismatch {
+                question: question_id.to_owned(),
+                expected: "multi-choice",
+                got: q.kind.name(),
+            });
+        };
+        let mut counts: Vec<(String, u64)> =
+            options.iter().map(|o| (o.clone(), 0u64)).collect();
+        let mut answered = 0u64;
+        for r in &self.responses {
+            if let Some(Answer::Choices(cs)) = r.answer(question_id) {
+                answered += 1;
+                for c in cs {
+                    if let Some(slot) = counts.iter_mut().find(|(o, _)| o == c) {
+                        slot.1 += 1;
+                    }
+                }
+            }
+        }
+        Ok((counts, answered))
+    }
+
+    /// Number of respondents whose multi-choice answer to `question_id`
+    /// includes `option`, and the number who answered the item.
+    ///
+    /// # Errors
+    /// Same conditions as [`Cohort::multi_choice_counts`].
+    pub fn selected_count(&self, question_id: &str, option: &str) -> Result<(u64, u64)> {
+        let (counts, answered) = self.multi_choice_counts(question_id)?;
+        let c = counts
+            .iter()
+            .find(|(o, _)| o == option)
+            .map(|(_, n)| *n)
+            .ok_or_else(|| Error::UnknownOption {
+                question: question_id.to_owned(),
+                option: option.to_owned(),
+            })?;
+        Ok((c, answered))
+    }
+
+    /// Likert scores for one question, in respondent order (skips
+    /// non-respondents).
+    ///
+    /// # Errors
+    /// [`Error::UnknownQuestion`] or a kind mismatch.
+    pub fn likert_scores(&self, question_id: &str) -> Result<Vec<f64>> {
+        let q = self.schema.require(question_id)?;
+        if !matches!(q.kind, QuestionKind::Likert { .. }) {
+            return Err(Error::AnswerKindMismatch {
+                question: question_id.to_owned(),
+                expected: "likert",
+                got: q.kind.name(),
+            });
+        }
+        Ok(self
+            .responses
+            .iter()
+            .filter_map(|r| r.answer(question_id).and_then(Answer::as_scale))
+            .map(f64::from)
+            .collect())
+    }
+
+    /// Numeric answers for one question, in respondent order.
+    ///
+    /// # Errors
+    /// [`Error::UnknownQuestion`] or a kind mismatch.
+    pub fn numeric_values(&self, question_id: &str) -> Result<Vec<f64>> {
+        let q = self.schema.require(question_id)?;
+        if !matches!(q.kind, QuestionKind::Numeric { .. }) {
+            return Err(Error::AnswerKindMismatch {
+                question: question_id.to_owned(),
+                expected: "numeric",
+                got: q.kind.name(),
+            });
+        }
+        Ok(self
+            .responses
+            .iter()
+            .filter_map(|r| r.answer(question_id).and_then(Answer::as_number))
+            .collect())
+    }
+
+    /// Mean completion rate across respondents.
+    pub fn mean_completion(&self) -> f64 {
+        if self.responses.is_empty() {
+            return 0.0;
+        }
+        self.responses.iter().map(|r| r.completion_rate(&self.schema)).sum::<f64>()
+            / self.responses.len() as f64
+    }
+
+    /// Returns a new cohort containing only the responses satisfying `pred`,
+    /// sharing this cohort's schema. The derived cohort's name records the
+    /// filter for provenance.
+    pub fn retain_where<F>(&self, label: &str, pred: F) -> Cohort
+    where
+        F: Fn(&Response) -> bool,
+    {
+        Cohort {
+            name: format!("{}[{}]", self.name, label),
+            year: self.year,
+            schema: self.schema.clone(),
+            responses: self.responses.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Question;
+
+    fn schema() -> Schema {
+        Schema::builder("s")
+            .question(Question::new("lang", "?", QuestionKind::single_choice(["py", "c", "rust"])))
+            .question(Question::new("tools", "?", QuestionKind::multi_choice(["git", "ci"])))
+            .question(Question::new("pain", "?", QuestionKind::likert(5)))
+            .question(Question::new("cores", "?", QuestionKind::numeric(None, None)))
+            .build()
+            .unwrap()
+    }
+
+    fn filled_cohort() -> Cohort {
+        let mut c = Cohort::new("2024", 2024, schema());
+        for (i, (lang, tools, pain, cores)) in [
+            ("py", vec!["git", "ci"], 4u8, 8.0),
+            ("py", vec!["git"], 3, 4.0),
+            ("c", vec![], 2, 64.0),
+            ("rust", vec!["git", "ci"], 5, 16.0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut r = Response::new(format!("r{i}"));
+            r.set("lang", Answer::choice(lang))
+                .set("tools", Answer::choices(tools))
+                .set("pain", Answer::Scale(pain))
+                .set("cores", Answer::Number(cores));
+            c.push(r).unwrap();
+        }
+        // One partial respondent.
+        let mut r = Response::new("r4");
+        r.set("lang", Answer::choice("py"));
+        c.push(r).unwrap();
+        c
+    }
+
+    #[test]
+    fn push_validates_and_dedups() {
+        let mut c = Cohort::new("x", 2024, schema());
+        let mut bad = Response::new("r");
+        bad.set("lang", Answer::choice("perl"));
+        assert!(c.push(bad).is_err());
+        assert!(c.is_empty());
+        let mut ok = Response::new("r");
+        ok.set("lang", Answer::choice("py"));
+        c.push(ok.clone()).unwrap();
+        assert_eq!(c.push(ok), Err(Error::DuplicateRespondent("r".into())));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn single_choice_counts_include_zero_options() {
+        let c = filled_cohort();
+        let (counts, total) = c.single_choice_counts("lang").unwrap();
+        assert_eq!(total, 5);
+        assert_eq!(
+            counts,
+            vec![("py".into(), 3), ("c".into(), 1), ("rust".into(), 1)]
+        );
+        assert!(c.single_choice_counts("tools").is_err());
+        assert!(c.single_choice_counts("ghost").is_err());
+    }
+
+    #[test]
+    fn multi_choice_counts_and_denominator() {
+        let c = filled_cohort();
+        let (counts, answered) = c.multi_choice_counts("tools").unwrap();
+        // r4 skipped the item -> denominator is 4, not 5.
+        assert_eq!(answered, 4);
+        assert_eq!(counts, vec![("git".into(), 3), ("ci".into(), 2)]);
+        let (git, denom) = c.selected_count("tools", "git").unwrap();
+        assert_eq!((git, denom), (3, 4));
+        assert!(c.selected_count("tools", "svn").is_err());
+        assert!(c.multi_choice_counts("lang").is_err());
+    }
+
+    #[test]
+    fn likert_and_numeric_extraction() {
+        let c = filled_cohort();
+        assert_eq!(c.likert_scores("pain").unwrap(), vec![4.0, 3.0, 2.0, 5.0]);
+        assert_eq!(c.numeric_values("cores").unwrap(), vec![8.0, 4.0, 64.0, 16.0]);
+        assert!(c.likert_scores("lang").is_err());
+        assert!(c.numeric_values("pain").is_err());
+    }
+
+    #[test]
+    fn response_rates() {
+        let c = filled_cohort();
+        assert_eq!(c.n_answered("lang"), 5);
+        assert_eq!(c.n_answered("pain"), 4);
+        assert!((c.response_rate("pain") - 0.8).abs() < 1e-12);
+        assert!((c.mean_completion() - (4.0 + 0.25) / 5.0).abs() < 1e-12);
+        let empty = Cohort::new("e", 2024, schema());
+        assert_eq!(empty.response_rate("lang"), 0.0);
+        assert_eq!(empty.mean_completion(), 0.0);
+    }
+
+    #[test]
+    fn retain_where_filters_and_labels() {
+        let c = filled_cohort();
+        let py = c.retain_where("python-users", |r| {
+            r.answer("lang").and_then(Answer::as_choice) == Some("py")
+        });
+        assert_eq!(py.len(), 3);
+        assert_eq!(py.name(), "2024[python-users]");
+        assert_eq!(py.year(), 2024);
+        // Original untouched.
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn cohort_round_trips_through_json() {
+        let c = filled_cohort();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: Cohort = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

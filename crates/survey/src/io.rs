@@ -1,0 +1,162 @@
+//! Cohort interchange: JSON snapshots (self-describing, lossless) and CSV
+//! export (for spreadsheet users downstream).
+
+use std::fmt::Write as _;
+
+use crate::cohort::Cohort;
+use crate::response::Answer;
+use crate::{Error, Result};
+
+/// Serializes a cohort (schema + all responses) to pretty-printed JSON.
+///
+/// # Errors
+/// [`Error::Serde`] on serialization failure.
+pub fn cohort_to_json(cohort: &Cohort) -> Result<String> {
+    serde_json::to_string_pretty(cohort).map_err(|e| Error::Serde(e.to_string()))
+}
+
+/// Restores a cohort from [`cohort_to_json`] output, re-validating every
+/// response against the embedded schema (deserialized data is untrusted).
+///
+/// # Errors
+/// [`Error::Serde`] on malformed JSON; validation errors if the payload
+/// contains answers inconsistent with its own schema.
+pub fn cohort_from_json(json: &str) -> Result<Cohort> {
+    let cohort: Cohort = serde_json::from_str(json).map_err(|e| Error::Serde(e.to_string()))?;
+    // Rebuild through the validating path.
+    let mut rebuilt = Cohort::new(cohort.name(), cohort.year(), cohort.schema().clone());
+    for r in cohort.responses() {
+        rebuilt.push(r.clone())?;
+    }
+    Ok(rebuilt)
+}
+
+/// Escapes one CSV field per RFC 4180 (quote when the field contains a
+/// comma, quote, or newline; double embedded quotes).
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Renders a cohort as CSV: one row per respondent, one column per schema
+/// question (multi-choice answers joined with `;`), empty cells for skipped
+/// items. The first column is the respondent id.
+pub fn cohort_to_csv(cohort: &Cohort) -> String {
+    let mut out = String::new();
+    out.push_str("respondent");
+    for q in cohort.schema().questions() {
+        out.push(',');
+        out.push_str(&csv_escape(&q.id));
+    }
+    out.push('\n');
+    for r in cohort.responses() {
+        out.push_str(&csv_escape(&r.respondent));
+        for q in cohort.schema().questions() {
+            out.push(',');
+            let cell = match r.answer(&q.id) {
+                None => String::new(),
+                Some(Answer::Choice(c)) => c.clone(),
+                Some(Answer::Choices(cs)) => cs.join(";"),
+                Some(Answer::Scale(v)) => v.to_string(),
+                Some(Answer::Number(v)) => {
+                    let mut s = String::new();
+                    // Render integers without a trailing ".0".
+                    if v.fract() == 0.0 && v.abs() < 1e15 {
+                        let _ = write!(s, "{}", *v as i64);
+                    } else {
+                        let _ = write!(s, "{v}");
+                    }
+                    s
+                }
+                Some(Answer::Text(t)) => t.clone(),
+            };
+            out.push_str(&csv_escape(&cell));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::Response;
+    use crate::schema::{Question, QuestionKind, Schema};
+
+    fn cohort() -> Cohort {
+        let schema = Schema::builder("s")
+            .question(Question::new("lang", "?", QuestionKind::single_choice(["py", "c"])))
+            .question(Question::new("tools", "?", QuestionKind::multi_choice(["git", "ci"])))
+            .question(Question::new("pain", "?", QuestionKind::likert(5)))
+            .question(Question::new("cores", "?", QuestionKind::numeric(None, None)))
+            .question(Question::new("notes", "?", QuestionKind::FreeText))
+            .build()
+            .unwrap();
+        let mut c = Cohort::new("2024", 2024, schema);
+        let mut r = Response::new("r1");
+        r.set("lang", Answer::choice("py"))
+            .set("tools", Answer::choices(["git", "ci"]))
+            .set("pain", Answer::Scale(4))
+            .set("cores", Answer::Number(16.0))
+            .set("notes", Answer::Text("fast, but \"quirky\"".into()));
+        c.push(r).unwrap();
+        let mut r = Response::new("r2");
+        r.set("lang", Answer::choice("c")).set("cores", Answer::Number(2.5));
+        c.push(r).unwrap();
+        c
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let c = cohort();
+        let json = cohort_to_json(&c).unwrap();
+        let back = cohort_from_json(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn json_rejects_garbage() {
+        assert!(cohort_from_json("{not json").is_err());
+        assert!(cohort_from_json("{}").is_err());
+    }
+
+    #[test]
+    fn json_revalidates_payload() {
+        // Tamper with a serialized cohort so an answer violates the schema:
+        // push the Likert answer outside its 1..=5 scale. (Tampering the
+        // choice string would also rewrite the schema's option list, keeping
+        // the payload self-consistent.)
+        let c = cohort();
+        let json = cohort_to_json(&c).unwrap();
+        assert!(json.contains("\"Scale\": 4"), "serialization shape changed");
+        let json = json.replace("\"Scale\": 4", "\"Scale\": 9");
+        let r = cohort_from_json(&json);
+        assert!(r.is_err(), "tampered payload must be rejected: {r:?}");
+    }
+
+    #[test]
+    fn csv_layout_and_escaping() {
+        let c = cohort();
+        let csv = cohort_to_csv(&c);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "respondent,lang,tools,pain,cores,notes");
+        let row1 = lines.next().unwrap();
+        assert!(row1.starts_with("r1,py,git;ci,4,16,"));
+        // Embedded quotes doubled, field quoted.
+        assert!(row1.contains("\"fast, but \"\"quirky\"\"\""));
+        // Skipped items are empty cells; non-integral numbers keep decimals.
+        assert_eq!(lines.next().unwrap(), "r2,c,,,2.5,");
+        assert!(lines.next().is_none());
+    }
+
+    #[test]
+    fn csv_escape_rules() {
+        assert_eq!(csv_escape("plain"), "plain");
+        assert_eq!(csv_escape("a,b"), "\"a,b\"");
+        assert_eq!(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_escape("line\nbreak"), "\"line\nbreak\"");
+    }
+}

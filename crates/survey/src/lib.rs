@@ -1,0 +1,144 @@
+//! # rcr-survey
+//!
+//! The survey data model for the *Revisiting Computation for Research*
+//! reproduction: typed questionnaire schemas, validated responses, cohorts,
+//! a small filter/query DSL, post-stratification weighting, and JSON/CSV
+//! interchange.
+//!
+//! The pipeline mirrors how the original study's instruments work:
+//!
+//! 1. define a [`schema::Schema`] (the questionnaire),
+//! 2. collect [`response::Response`]s into a [`cohort::Cohort`] (one per
+//!    survey year),
+//! 3. slice with [`query::Filter`]s and tabulate with the cohort accessors,
+//! 4. hand the counts to `rcr-stats` for inference.
+//!
+//! ```
+//! use rcr_survey::schema::{Schema, Question, QuestionKind};
+//! use rcr_survey::response::{Response, Answer};
+//! use rcr_survey::cohort::Cohort;
+//!
+//! let schema = Schema::builder("demo")
+//!     .question(Question::new(
+//!         "lang",
+//!         "Primary programming language?",
+//!         QuestionKind::single_choice(["python", "c", "fortran"]),
+//!     ))
+//!     .build()
+//!     .unwrap();
+//!
+//! let mut cohort = Cohort::new("2024", 2024, schema);
+//! let mut r = Response::new("r1");
+//! r.set("lang", Answer::choice("python"));
+//! cohort.push(r).unwrap();
+//! assert_eq!(cohort.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod canonical;
+pub mod coding;
+pub mod cohort;
+pub mod io;
+pub mod query;
+pub mod response;
+pub mod schema;
+pub mod weight;
+
+use std::fmt;
+
+/// Errors produced while building schemas or validating responses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A question id appears twice in one schema.
+    DuplicateQuestion(String),
+    /// The referenced question does not exist in the schema.
+    UnknownQuestion(String),
+    /// The answer's shape does not match the question kind.
+    AnswerKindMismatch {
+        /// Question id.
+        question: String,
+        /// What the schema expected.
+        expected: &'static str,
+        /// What the answer actually was.
+        got: &'static str,
+    },
+    /// A choice answer referenced an option not offered by the question.
+    UnknownOption {
+        /// Question id.
+        question: String,
+        /// The unexpected option.
+        option: String,
+    },
+    /// A Likert answer was outside the declared scale.
+    ScaleOutOfRange {
+        /// Question id.
+        question: String,
+        /// The offending value.
+        value: u8,
+        /// Number of scale points declared.
+        points: u8,
+    },
+    /// A numeric answer fell outside the declared bounds.
+    NumberOutOfRange {
+        /// Question id.
+        question: String,
+        /// The offending value.
+        value: f64,
+    },
+    /// A respondent id appears twice in one cohort.
+    DuplicateRespondent(String),
+    /// Schema construction was invalid (empty, bad option lists, ...).
+    InvalidSchema(String),
+    /// Weighting targets were invalid (e.g. not covering observed categories).
+    InvalidWeights(String),
+    /// (De)serialization failure.
+    Serde(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DuplicateQuestion(q) => write!(f, "duplicate question id `{q}`"),
+            Error::UnknownQuestion(q) => write!(f, "unknown question id `{q}`"),
+            Error::AnswerKindMismatch { question, expected, got } => write!(
+                f,
+                "answer to `{question}` has kind {got}, schema expects {expected}"
+            ),
+            Error::UnknownOption { question, option } => {
+                write!(f, "answer to `{question}` uses unknown option `{option}`")
+            }
+            Error::ScaleOutOfRange { question, value, points } => write!(
+                f,
+                "answer to `{question}` is {value}, outside the 1..={points} scale"
+            ),
+            Error::NumberOutOfRange { question, value } => {
+                write!(f, "numeric answer to `{question}` out of range: {value}")
+            }
+            Error::DuplicateRespondent(r) => write!(f, "duplicate respondent id `{r}`"),
+            Error::InvalidSchema(msg) => write!(f, "invalid schema: {msg}"),
+            Error::InvalidWeights(msg) => write!(f, "invalid weights: {msg}"),
+            Error::Serde(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod lib_tests {
+    use super::*;
+
+    #[test]
+    fn error_messages_name_the_question() {
+        let e = Error::UnknownOption { question: "lang".into(), option: "perl6".into() };
+        assert!(e.to_string().contains("lang"));
+        assert!(e.to_string().contains("perl6"));
+        let e = Error::ScaleOutOfRange { question: "pain".into(), value: 9, points: 5 };
+        assert!(e.to_string().contains("1..=5"));
+    }
+}

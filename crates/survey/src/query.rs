@@ -1,0 +1,274 @@
+//! A small combinator DSL for filtering respondents.
+//!
+//! Filters compose with [`Filter::and`] / [`Filter::or`] / [`Filter::not`]
+//! and evaluate against individual [`Response`]s, so analysis code can write
+//! things like *"GPU users in life sciences who joined after 2011"* without
+//! ad-hoc closures scattered through the experiment drivers.
+
+use crate::response::{Answer, Response};
+
+/// A predicate over one survey response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Matches every response.
+    All,
+    /// The single-choice answer to `question` equals `option`.
+    ChoiceIs {
+        /// Question id.
+        question: String,
+        /// Required option.
+        option: String,
+    },
+    /// The multi-choice answer to `question` includes `option`.
+    Selected {
+        /// Question id.
+        question: String,
+        /// Option that must be selected.
+        option: String,
+    },
+    /// The Likert answer to `question` is at least `min`.
+    ScaleAtLeast {
+        /// Question id.
+        question: String,
+        /// Inclusive minimum scale point.
+        min: u8,
+    },
+    /// The numeric answer to `question` lies in `[lo, hi]`.
+    NumberInRange {
+        /// Question id.
+        question: String,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Inclusive upper bound.
+        hi: f64,
+    },
+    /// The question was answered at all.
+    Answered(
+        /// Question id.
+        String,
+    ),
+    /// Both sub-filters match.
+    And(Box<Filter>, Box<Filter>),
+    /// Either sub-filter matches.
+    Or(Box<Filter>, Box<Filter>),
+    /// The sub-filter does not match.
+    Not(Box<Filter>),
+}
+
+impl Filter {
+    /// `choice_is("field", "physics")` — single-choice equality.
+    pub fn choice_is(question: impl Into<String>, option: impl Into<String>) -> Self {
+        Filter::ChoiceIs { question: question.into(), option: option.into() }
+    }
+
+    /// `selected("langs", "python")` — multi-choice membership.
+    pub fn selected(question: impl Into<String>, option: impl Into<String>) -> Self {
+        Filter::Selected { question: question.into(), option: option.into() }
+    }
+
+    /// Likert threshold.
+    pub fn scale_at_least(question: impl Into<String>, min: u8) -> Self {
+        Filter::ScaleAtLeast { question: question.into(), min }
+    }
+
+    /// Numeric range (inclusive).
+    pub fn number_in_range(question: impl Into<String>, lo: f64, hi: f64) -> Self {
+        Filter::NumberInRange { question: question.into(), lo, hi }
+    }
+
+    /// Item was answered.
+    pub fn answered(question: impl Into<String>) -> Self {
+        Filter::Answered(question.into())
+    }
+
+    /// Conjunction.
+    pub fn and(self, other: Filter) -> Self {
+        Filter::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Filter) -> Self {
+        Filter::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Filter::Not(Box::new(self))
+    }
+
+    /// Evaluates the filter against one response. Missing answers make leaf
+    /// predicates false (never errors): filtering is total over partial data.
+    pub fn matches(&self, r: &Response) -> bool {
+        match self {
+            Filter::All => true,
+            Filter::ChoiceIs { question, option } => {
+                r.answer(question).and_then(Answer::as_choice) == Some(option.as_str())
+            }
+            Filter::Selected { question, option } => r
+                .answer(question)
+                .and_then(Answer::as_choices)
+                .is_some_and(|cs| cs.iter().any(|c| c == option)),
+            Filter::ScaleAtLeast { question, min } => r
+                .answer(question)
+                .and_then(Answer::as_scale)
+                .is_some_and(|v| v >= *min),
+            Filter::NumberInRange { question, lo, hi } => r
+                .answer(question)
+                .and_then(Answer::as_number)
+                .is_some_and(|v| (*lo..=*hi).contains(&v)),
+            Filter::Answered(question) => r.answered(question),
+            Filter::And(a, b) => a.matches(r) && b.matches(r),
+            Filter::Or(a, b) => a.matches(r) || b.matches(r),
+            Filter::Not(f) => !f.matches(r),
+        }
+    }
+
+    /// A human-readable description used for derived-cohort provenance labels.
+    pub fn describe(&self) -> String {
+        match self {
+            Filter::All => "all".into(),
+            Filter::ChoiceIs { question, option } => format!("{question}={option}"),
+            Filter::Selected { question, option } => format!("{question}∋{option}"),
+            Filter::ScaleAtLeast { question, min } => format!("{question}>={min}"),
+            Filter::NumberInRange { question, lo, hi } => {
+                format!("{question}∈[{lo},{hi}]")
+            }
+            Filter::Answered(q) => format!("answered({q})"),
+            Filter::And(a, b) => format!("({} & {})", a.describe(), b.describe()),
+            Filter::Or(a, b) => format!("({} | {})", a.describe(), b.describe()),
+            Filter::Not(f) => format!("!{}", f.describe()),
+        }
+    }
+}
+
+/// Applies a filter to a cohort, producing a derived cohort whose name
+/// records the filter.
+pub fn filter_cohort(cohort: &crate::cohort::Cohort, filter: &Filter) -> crate::cohort::Cohort {
+    cohort.retain_where(&filter.describe(), |r| filter.matches(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cohort::Cohort;
+    use crate::schema::{Question, QuestionKind, Schema};
+
+    fn cohort() -> Cohort {
+        let schema = Schema::builder("s")
+            .question(Question::new(
+                "field",
+                "?",
+                QuestionKind::single_choice(["physics", "biology"]),
+            ))
+            .question(Question::new("langs", "?", QuestionKind::multi_choice(["py", "c"])))
+            .question(Question::new("pain", "?", QuestionKind::likert(5)))
+            .question(Question::new("cores", "?", QuestionKind::numeric(None, None)))
+            .build()
+            .unwrap();
+        let mut c = Cohort::new("t", 2024, schema);
+        let rows: [(&str, &str, Vec<&str>, Option<u8>, f64); 4] = [
+            ("a", "physics", vec!["py", "c"], Some(5), 32.0),
+            ("b", "physics", vec!["c"], Some(2), 4.0),
+            ("c", "biology", vec!["py"], Some(4), 1.0),
+            ("d", "biology", vec![], None, 8.0),
+        ];
+        for (id, field, langs, pain, cores) in rows {
+            let mut r = crate::response::Response::new(id);
+            r.set("field", Answer::choice(field))
+                .set("langs", Answer::choices(langs))
+                .set("cores", Answer::Number(cores));
+            if let Some(p) = pain {
+                r.set("pain", Answer::Scale(p));
+            }
+            c.push(r).unwrap();
+        }
+        c
+    }
+
+    fn ids(c: &Cohort) -> Vec<&str> {
+        c.responses().iter().map(|r| r.respondent.as_str()).collect()
+    }
+
+    #[test]
+    fn leaf_filters() {
+        let c = cohort();
+        assert_eq!(ids(&filter_cohort(&c, &Filter::All)), vec!["a", "b", "c", "d"]);
+        assert_eq!(
+            ids(&filter_cohort(&c, &Filter::choice_is("field", "physics"))),
+            vec!["a", "b"]
+        );
+        assert_eq!(
+            ids(&filter_cohort(&c, &Filter::selected("langs", "py"))),
+            vec!["a", "c"]
+        );
+        assert_eq!(
+            ids(&filter_cohort(&c, &Filter::scale_at_least("pain", 4))),
+            vec!["a", "c"]
+        );
+        assert_eq!(
+            ids(&filter_cohort(&c, &Filter::number_in_range("cores", 2.0, 16.0))),
+            vec!["b", "d"]
+        );
+        assert_eq!(
+            ids(&filter_cohort(&c, &Filter::answered("pain"))),
+            vec!["a", "b", "c"]
+        );
+    }
+
+    #[test]
+    fn missing_answers_are_false_not_errors() {
+        let c = cohort();
+        // "d" never answered pain; ScaleAtLeast must not match it.
+        let f = Filter::scale_at_least("pain", 1);
+        assert_eq!(ids(&filter_cohort(&c, &f)), vec!["a", "b", "c"]);
+        // Unknown question id: empty result, no panic.
+        let f = Filter::choice_is("ghost", "x");
+        assert!(filter_cohort(&c, &f).is_empty());
+    }
+
+    #[test]
+    fn combinators() {
+        let c = cohort();
+        let physics_py =
+            Filter::choice_is("field", "physics").and(Filter::selected("langs", "py"));
+        assert_eq!(ids(&filter_cohort(&c, &physics_py)), vec!["a"]);
+
+        let bio_or_painful =
+            Filter::choice_is("field", "biology").or(Filter::scale_at_least("pain", 5));
+        assert_eq!(ids(&filter_cohort(&c, &bio_or_painful)), vec!["a", "c", "d"]);
+
+        let not_physics = Filter::choice_is("field", "physics").not();
+        assert_eq!(ids(&filter_cohort(&c, &not_physics)), vec!["c", "d"]);
+
+        // De Morgan sanity: !(A | B) == !A & !B.
+        let a = Filter::choice_is("field", "physics");
+        let b = Filter::selected("langs", "py");
+        let lhs = a.clone().or(b.clone()).not();
+        let rhs = a.not().and(b.not());
+        for r in c.responses() {
+            assert_eq!(lhs.matches(r), rhs.matches(r));
+        }
+    }
+
+    #[test]
+    fn describe_is_readable() {
+        let f = Filter::choice_is("field", "physics")
+            .and(Filter::selected("langs", "py").not());
+        assert_eq!(f.describe(), "(field=physics & !langs∋py)");
+        assert_eq!(Filter::All.describe(), "all");
+        assert!(Filter::number_in_range("cores", 1.0, 8.0).describe().contains("cores"));
+        assert!(Filter::answered("pain").describe().contains("pain"));
+        let g = Filter::scale_at_least("pain", 3).or(Filter::All);
+        assert!(g.describe().contains('|'));
+    }
+
+    #[test]
+    fn filtered_cohort_records_provenance() {
+        let c = cohort();
+        let f = Filter::selected("langs", "c");
+        let derived = filter_cohort(&c, &f);
+        assert_eq!(derived.name(), "t[langs∋c]");
+        assert_eq!(derived.len(), 2);
+    }
+}

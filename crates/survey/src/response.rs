@@ -1,0 +1,368 @@
+//! Individual survey responses and their validation against a schema.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::{Question, QuestionKind, Schema};
+use crate::{Error, Result};
+
+/// One answer to one question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Answer {
+    /// A single selected option.
+    Choice(String),
+    /// A set of selected options (may be empty — "none of the above").
+    Choices(Vec<String>),
+    /// A Likert scale point, `1..=points`.
+    Scale(u8),
+    /// A numeric entry.
+    Number(f64),
+    /// Free text.
+    Text(String),
+}
+
+impl Answer {
+    /// Convenience constructor for [`Answer::Choice`].
+    pub fn choice(option: impl Into<String>) -> Self {
+        Answer::Choice(option.into())
+    }
+
+    /// Convenience constructor for [`Answer::Choices`].
+    pub fn choices<I, S>(options: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Answer::Choices(options.into_iter().map(Into::into).collect())
+    }
+
+    /// Human-readable kind name for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Answer::Choice(_) => "single-choice",
+            Answer::Choices(_) => "multi-choice",
+            Answer::Scale(_) => "likert",
+            Answer::Number(_) => "numeric",
+            Answer::Text(_) => "free-text",
+        }
+    }
+
+    /// The selected option, when this is a [`Answer::Choice`].
+    pub fn as_choice(&self) -> Option<&str> {
+        match self {
+            Answer::Choice(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The selected options, when this is a [`Answer::Choices`].
+    pub fn as_choices(&self) -> Option<&[String]> {
+        match self {
+            Answer::Choices(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The scale point, when this is a [`Answer::Scale`].
+    pub fn as_scale(&self) -> Option<u8> {
+        match self {
+            Answer::Scale(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The number, when this is a [`Answer::Number`].
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            Answer::Number(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The text, when this is a [`Answer::Text`].
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Answer::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Validates this answer against a question definition.
+    fn validate(&self, q: &Question) -> Result<()> {
+        let mismatch = || Error::AnswerKindMismatch {
+            question: q.id.clone(),
+            expected: q.kind.name(),
+            got: self.kind_name(),
+        };
+        match (&q.kind, self) {
+            (QuestionKind::SingleChoice { options }, Answer::Choice(c)) => {
+                if options.contains(c) {
+                    Ok(())
+                } else {
+                    Err(Error::UnknownOption { question: q.id.clone(), option: c.clone() })
+                }
+            }
+            (QuestionKind::MultiChoice { options }, Answer::Choices(cs)) => {
+                let mut seen = std::collections::BTreeSet::new();
+                for c in cs {
+                    if !options.contains(c) {
+                        return Err(Error::UnknownOption {
+                            question: q.id.clone(),
+                            option: c.clone(),
+                        });
+                    }
+                    if !seen.insert(c) {
+                        return Err(Error::UnknownOption {
+                            question: q.id.clone(),
+                            option: format!("{c} (selected twice)"),
+                        });
+                    }
+                }
+                Ok(())
+            }
+            (QuestionKind::Likert { points }, Answer::Scale(v)) => {
+                if (1..=*points).contains(v) {
+                    Ok(())
+                } else {
+                    Err(Error::ScaleOutOfRange {
+                        question: q.id.clone(),
+                        value: *v,
+                        points: *points,
+                    })
+                }
+            }
+            (QuestionKind::Numeric { min, max }, Answer::Number(v)) => {
+                if !v.is_finite()
+                    || min.is_some_and(|lo| *v < lo)
+                    || max.is_some_and(|hi| *v > hi)
+                {
+                    Err(Error::NumberOutOfRange { question: q.id.clone(), value: *v })
+                } else {
+                    Ok(())
+                }
+            }
+            (QuestionKind::FreeText, Answer::Text(_)) => Ok(()),
+            _ => Err(mismatch()),
+        }
+    }
+}
+
+/// One respondent's answers. Unanswered questions are simply absent
+/// (item non-response is a first-class phenomenon in survey data).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Anonymized respondent identifier, unique within a cohort.
+    pub respondent: String,
+    answers: BTreeMap<String, Answer>,
+}
+
+impl Response {
+    /// Creates an empty response for the given respondent id.
+    pub fn new(respondent: impl Into<String>) -> Self {
+        Response { respondent: respondent.into(), answers: BTreeMap::new() }
+    }
+
+    /// Sets (or replaces) the answer to `question_id`.
+    pub fn set(&mut self, question_id: impl Into<String>, answer: Answer) -> &mut Self {
+        self.answers.insert(question_id.into(), answer);
+        self
+    }
+
+    /// Removes an answer, marking the item as skipped.
+    pub fn skip(&mut self, question_id: &str) -> &mut Self {
+        self.answers.remove(question_id);
+        self
+    }
+
+    /// The answer to `question_id`, if given.
+    pub fn answer(&self, question_id: &str) -> Option<&Answer> {
+        self.answers.get(question_id)
+    }
+
+    /// True when `question_id` was answered.
+    pub fn answered(&self, question_id: &str) -> bool {
+        self.answers.contains_key(question_id)
+    }
+
+    /// Number of answered items.
+    pub fn n_answered(&self) -> usize {
+        self.answers.len()
+    }
+
+    /// Iterates `(question_id, answer)` pairs in question-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Answer)> {
+        self.answers.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Validates every answer against `schema`: all answered ids must exist
+    /// and each answer must match its question's kind and constraints.
+    ///
+    /// # Errors
+    /// The first violation found, in question-id order.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        for (qid, answer) in &self.answers {
+            let q = schema.require(qid)?;
+            answer.validate(q)?;
+        }
+        Ok(())
+    }
+
+    /// Fraction of the schema's questions this respondent answered.
+    pub fn completion_rate(&self, schema: &Schema) -> f64 {
+        if schema.is_empty() {
+            return 0.0;
+        }
+        let answered = schema.questions().iter().filter(|q| self.answered(&q.id)).count();
+        answered as f64 / schema.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Question, QuestionKind, Schema};
+
+    fn schema() -> Schema {
+        Schema::builder("s")
+            .question(Question::new("lang", "?", QuestionKind::single_choice(["py", "c"])))
+            .question(Question::new("tools", "?", QuestionKind::multi_choice(["git", "ci"])))
+            .question(Question::new("pain", "?", QuestionKind::likert(5)))
+            .question(Question::new("cores", "?", QuestionKind::numeric(Some(1.0), None)))
+            .question(Question::new("notes", "?", QuestionKind::FreeText))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn valid_response_passes() {
+        let s = schema();
+        let mut r = Response::new("r1");
+        r.set("lang", Answer::choice("py"))
+            .set("tools", Answer::choices(["git", "ci"]))
+            .set("pain", Answer::Scale(3))
+            .set("cores", Answer::Number(16.0))
+            .set("notes", Answer::Text("fine".into()));
+        assert!(r.validate(&s).is_ok());
+        assert_eq!(r.n_answered(), 5);
+        assert!((r.completion_rate(&s) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_response_is_valid_but_incomplete() {
+        let s = schema();
+        let mut r = Response::new("r2");
+        r.set("lang", Answer::choice("c"));
+        assert!(r.validate(&s).is_ok());
+        assert!((r.completion_rate(&s) - 0.2).abs() < 1e-12);
+        assert!(r.answered("lang"));
+        assert!(!r.answered("pain"));
+    }
+
+    #[test]
+    fn skip_removes_answer() {
+        let s = schema();
+        let mut r = Response::new("r3");
+        r.set("pain", Answer::Scale(2));
+        assert!(r.answered("pain"));
+        r.skip("pain");
+        assert!(!r.answered("pain"));
+        assert!(r.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn unknown_question_rejected() {
+        let s = schema();
+        let mut r = Response::new("r");
+        r.set("ghost", Answer::Scale(1));
+        assert_eq!(r.validate(&s), Err(Error::UnknownQuestion("ghost".into())));
+    }
+
+    #[test]
+    fn kind_mismatch_rejected() {
+        let s = schema();
+        let mut r = Response::new("r");
+        r.set("lang", Answer::Scale(1));
+        match r.validate(&s) {
+            Err(Error::AnswerKindMismatch { question, expected, got }) => {
+                assert_eq!(question, "lang");
+                assert_eq!(expected, "single-choice");
+                assert_eq!(got, "likert");
+            }
+            other => panic!("expected kind mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_option_rejected() {
+        let s = schema();
+        let mut r = Response::new("r");
+        r.set("lang", Answer::choice("perl"));
+        assert!(matches!(r.validate(&s), Err(Error::UnknownOption { .. })));
+        let mut r = Response::new("r");
+        r.set("tools", Answer::choices(["git", "svn"]));
+        assert!(matches!(r.validate(&s), Err(Error::UnknownOption { .. })));
+    }
+
+    #[test]
+    fn duplicate_multi_choice_selection_rejected() {
+        let s = schema();
+        let mut r = Response::new("r");
+        r.set("tools", Answer::choices(["git", "git"]));
+        assert!(matches!(r.validate(&s), Err(Error::UnknownOption { .. })));
+    }
+
+    #[test]
+    fn empty_multi_choice_selection_allowed() {
+        let s = schema();
+        let mut r = Response::new("r");
+        r.set("tools", Answer::choices(Vec::<String>::new()));
+        assert!(r.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn scale_bounds_enforced() {
+        let s = schema();
+        let mut r = Response::new("r");
+        r.set("pain", Answer::Scale(0));
+        assert!(matches!(r.validate(&s), Err(Error::ScaleOutOfRange { .. })));
+        r.set("pain", Answer::Scale(6));
+        assert!(matches!(r.validate(&s), Err(Error::ScaleOutOfRange { .. })));
+        r.set("pain", Answer::Scale(5));
+        assert!(r.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn numeric_bounds_enforced() {
+        let s = schema();
+        let mut r = Response::new("r");
+        r.set("cores", Answer::Number(0.5));
+        assert!(matches!(r.validate(&s), Err(Error::NumberOutOfRange { .. })));
+        r.set("cores", Answer::Number(f64::NAN));
+        assert!(matches!(r.validate(&s), Err(Error::NumberOutOfRange { .. })));
+        r.set("cores", Answer::Number(8.0));
+        assert!(r.validate(&s).is_ok());
+    }
+
+    #[test]
+    fn accessors_return_typed_views() {
+        let a = Answer::choice("py");
+        assert_eq!(a.as_choice(), Some("py"));
+        assert_eq!(a.as_scale(), None);
+        let a = Answer::choices(["x", "y"]);
+        assert_eq!(a.as_choices().unwrap().len(), 2);
+        assert_eq!(Answer::Scale(4).as_scale(), Some(4));
+        assert_eq!(Answer::Number(2.5).as_number(), Some(2.5));
+        assert_eq!(Answer::Text("hi".into()).as_text(), Some("hi"));
+        assert_eq!(Answer::Text("hi".into()).as_number(), None);
+    }
+
+    #[test]
+    fn response_round_trips_through_json() {
+        let mut r = Response::new("r9");
+        r.set("lang", Answer::choice("py")).set("pain", Answer::Scale(4));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Response = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,348 @@
+//! Questionnaire schemas: typed questions with validation metadata.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Result};
+
+/// The kind (and constraints) of one survey question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuestionKind {
+    /// Pick exactly one option.
+    SingleChoice {
+        /// The offered options, in presentation order.
+        options: Vec<String>,
+    },
+    /// Pick any subset of the options ("check all that apply").
+    MultiChoice {
+        /// The offered options, in presentation order.
+        options: Vec<String>,
+    },
+    /// Likert item on a `1..=points` scale.
+    Likert {
+        /// Number of scale points (commonly 5 or 7).
+        points: u8,
+    },
+    /// Free numeric entry, optionally bounded.
+    Numeric {
+        /// Inclusive lower bound, if any.
+        min: Option<f64>,
+        /// Inclusive upper bound, if any.
+        max: Option<f64>,
+    },
+    /// Free-text entry.
+    FreeText,
+}
+
+impl QuestionKind {
+    /// Convenience constructor for a single-choice question.
+    pub fn single_choice<I, S>(options: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        QuestionKind::SingleChoice {
+            options: options.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Convenience constructor for a multi-choice question.
+    pub fn multi_choice<I, S>(options: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        QuestionKind::MultiChoice {
+            options: options.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Convenience constructor for a Likert item.
+    pub fn likert(points: u8) -> Self {
+        QuestionKind::Likert { points }
+    }
+
+    /// Convenience constructor for a bounded numeric question.
+    pub fn numeric(min: Option<f64>, max: Option<f64>) -> Self {
+        QuestionKind::Numeric { min, max }
+    }
+
+    /// Human-readable name of the kind, used in error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QuestionKind::SingleChoice { .. } => "single-choice",
+            QuestionKind::MultiChoice { .. } => "multi-choice",
+            QuestionKind::Likert { .. } => "likert",
+            QuestionKind::Numeric { .. } => "numeric",
+            QuestionKind::FreeText => "free-text",
+        }
+    }
+
+    /// Options offered by choice questions; empty for other kinds.
+    pub fn options(&self) -> &[String] {
+        match self {
+            QuestionKind::SingleChoice { options } | QuestionKind::MultiChoice { options } => {
+                options
+            }
+            _ => &[],
+        }
+    }
+
+    fn validate(&self, id: &str) -> Result<()> {
+        match self {
+            QuestionKind::SingleChoice { options } | QuestionKind::MultiChoice { options } => {
+                if options.len() < 2 {
+                    return Err(Error::InvalidSchema(format!(
+                        "question `{id}` offers {} option(s); need at least 2",
+                        options.len()
+                    )));
+                }
+                let mut seen = std::collections::BTreeSet::new();
+                for o in options {
+                    if !seen.insert(o) {
+                        return Err(Error::InvalidSchema(format!(
+                            "question `{id}` repeats option `{o}`"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            QuestionKind::Likert { points } => {
+                if !(2..=11).contains(points) {
+                    return Err(Error::InvalidSchema(format!(
+                        "question `{id}` declares a {points}-point scale; need 2..=11"
+                    )));
+                }
+                Ok(())
+            }
+            QuestionKind::Numeric { min, max } => {
+                if let (Some(lo), Some(hi)) = (min, max) {
+                    if lo > hi {
+                        return Err(Error::InvalidSchema(format!(
+                            "question `{id}` has min {lo} > max {hi}"
+                        )));
+                    }
+                }
+                Ok(())
+            }
+            QuestionKind::FreeText => Ok(()),
+        }
+    }
+}
+
+/// One question of a questionnaire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Question {
+    /// Stable machine-readable identifier (e.g. `"lang_primary"`).
+    pub id: String,
+    /// The prompt shown to respondents.
+    pub prompt: String,
+    /// Kind and validation constraints.
+    pub kind: QuestionKind,
+}
+
+impl Question {
+    /// Creates a question.
+    pub fn new(id: impl Into<String>, prompt: impl Into<String>, kind: QuestionKind) -> Self {
+        Question { id: id.into(), prompt: prompt.into(), kind }
+    }
+}
+
+/// An ordered questionnaire with unique question ids.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    name: String,
+    questions: Vec<Question>,
+}
+
+impl Schema {
+    /// Starts building a schema with the given name.
+    pub fn builder(name: impl Into<String>) -> SchemaBuilder {
+        SchemaBuilder { name: name.into(), questions: Vec::new() }
+    }
+
+    /// The schema's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Questions in presentation order.
+    pub fn questions(&self) -> &[Question] {
+        &self.questions
+    }
+
+    /// Number of questions.
+    pub fn len(&self) -> usize {
+        self.questions.len()
+    }
+
+    /// True when the schema has no questions (never constructible via the
+    /// builder, but possible after deserialization).
+    pub fn is_empty(&self) -> bool {
+        self.questions.is_empty()
+    }
+
+    /// Looks up a question by id.
+    pub fn question(&self, id: &str) -> Option<&Question> {
+        self.questions.iter().find(|q| q.id == id)
+    }
+
+    /// Looks up a question by id, erroring when absent.
+    ///
+    /// # Errors
+    /// [`Error::UnknownQuestion`] when `id` is not in the schema.
+    pub fn require(&self, id: &str) -> Result<&Question> {
+        self.question(id).ok_or_else(|| Error::UnknownQuestion(id.to_owned()))
+    }
+}
+
+/// Builder for [`Schema`], validating as it goes.
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    name: String,
+    questions: Vec<Question>,
+}
+
+impl SchemaBuilder {
+    /// Appends a question.
+    pub fn question(mut self, q: Question) -> Self {
+        self.questions.push(q);
+        self
+    }
+
+    /// Finalizes the schema.
+    ///
+    /// # Errors
+    /// [`Error::InvalidSchema`] when empty or a question violates its kind's
+    /// constraints; [`Error::DuplicateQuestion`] on repeated ids.
+    pub fn build(self) -> Result<Schema> {
+        if self.questions.is_empty() {
+            return Err(Error::InvalidSchema("schema has no questions".into()));
+        }
+        let mut seen = std::collections::BTreeSet::new();
+        for q in &self.questions {
+            if q.id.is_empty() {
+                return Err(Error::InvalidSchema("empty question id".into()));
+            }
+            if !seen.insert(q.id.clone()) {
+                return Err(Error::DuplicateQuestion(q.id.clone()));
+            }
+            q.kind.validate(&q.id)?;
+        }
+        Ok(Schema { name: self.name, questions: self.questions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_schema() -> Schema {
+        Schema::builder("demo")
+            .question(Question::new(
+                "lang",
+                "Primary language?",
+                QuestionKind::single_choice(["python", "c"]),
+            ))
+            .question(Question::new(
+                "tools",
+                "Which tools do you use?",
+                QuestionKind::multi_choice(["git", "ci", "tests"]),
+            ))
+            .question(Question::new("pain", "How painful is tooling?", QuestionKind::likert(5)))
+            .question(Question::new(
+                "cores",
+                "How many cores do you use?",
+                QuestionKind::numeric(Some(1.0), Some(100_000.0)),
+            ))
+            .question(Question::new("notes", "Anything else?", QuestionKind::FreeText))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_produces_ordered_schema() {
+        let s = demo_schema();
+        assert_eq!(s.name(), "demo");
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        let ids: Vec<&str> = s.questions().iter().map(|q| q.id.as_str()).collect();
+        assert_eq!(ids, vec!["lang", "tools", "pain", "cores", "notes"]);
+        assert_eq!(s.question("pain").unwrap().kind, QuestionKind::likert(5));
+        assert!(s.question("nope").is_none());
+        assert!(s.require("lang").is_ok());
+        assert_eq!(s.require("nope"), Err(Error::UnknownQuestion("nope".into())));
+    }
+
+    #[test]
+    fn duplicate_ids_rejected() {
+        let r = Schema::builder("x")
+            .question(Question::new("a", "?", QuestionKind::likert(5)))
+            .question(Question::new("a", "?", QuestionKind::likert(5)))
+            .build();
+        assert_eq!(r, Err(Error::DuplicateQuestion("a".into())));
+    }
+
+    #[test]
+    fn empty_schema_rejected() {
+        assert!(Schema::builder("x").build().is_err());
+    }
+
+    #[test]
+    fn option_constraints_enforced() {
+        let one_option = Schema::builder("x")
+            .question(Question::new("q", "?", QuestionKind::single_choice(["only"])))
+            .build();
+        assert!(one_option.is_err());
+        let dup_option = Schema::builder("x")
+            .question(Question::new("q", "?", QuestionKind::single_choice(["a", "a"])))
+            .build();
+        assert!(dup_option.is_err());
+    }
+
+    #[test]
+    fn likert_and_numeric_constraints() {
+        assert!(Schema::builder("x")
+            .question(Question::new("q", "?", QuestionKind::likert(1)))
+            .build()
+            .is_err());
+        assert!(Schema::builder("x")
+            .question(Question::new("q", "?", QuestionKind::likert(12)))
+            .build()
+            .is_err());
+        assert!(Schema::builder("x")
+            .question(Question::new("q", "?", QuestionKind::numeric(Some(5.0), Some(1.0))))
+            .build()
+            .is_err());
+        assert!(Schema::builder("x")
+            .question(Question::new("q", "?", QuestionKind::numeric(None, None)))
+            .build()
+            .is_ok());
+    }
+
+    #[test]
+    fn empty_id_rejected() {
+        assert!(Schema::builder("x")
+            .question(Question::new("", "?", QuestionKind::likert(5)))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn kind_helpers() {
+        let k = QuestionKind::single_choice(["a", "b"]);
+        assert_eq!(k.name(), "single-choice");
+        assert_eq!(k.options(), &["a".to_owned(), "b".to_owned()][..]);
+        assert_eq!(QuestionKind::FreeText.options(), &[] as &[String]);
+        assert_eq!(QuestionKind::likert(5).name(), "likert");
+        assert_eq!(QuestionKind::numeric(None, None).name(), "numeric");
+        assert_eq!(QuestionKind::multi_choice(["x", "y"]).name(), "multi-choice");
+    }
+
+    #[test]
+    fn schema_round_trips_through_json() {
+        let s = demo_schema();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: Schema = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+    }
+}

@@ -1,0 +1,249 @@
+//! Post-stratification weighting.
+//!
+//! Survey samples over- and under-represent strata (the 2011 cohort skewed
+//! toward physical sciences; the 2024 one toward computationally heavy
+//! fields). Post-stratification reweights respondents so one single-choice
+//! "stratum" question matches known population shares before proportions are
+//! compared across cohorts.
+
+use std::collections::BTreeMap;
+
+use crate::cohort::Cohort;
+use crate::response::Answer;
+use crate::{Error, Result};
+
+/// Per-respondent weights aligned with a cohort's response order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weights {
+    stratum_question: String,
+    values: Vec<f64>,
+}
+
+impl Weights {
+    /// Uniform weights (1.0) for every respondent.
+    pub fn uniform(cohort: &Cohort) -> Self {
+        Weights {
+            stratum_question: String::new(),
+            values: vec![1.0; cohort.len()],
+        }
+    }
+
+    /// Computes post-stratification weights so the distribution of the
+    /// single-choice `stratum_question` matches `targets` (proportions that
+    /// must cover every observed stratum; they are normalized internally).
+    ///
+    /// Respondents who skipped the stratum question receive weight 1.0 (they
+    /// are left unadjusted rather than dropped).
+    ///
+    /// # Errors
+    /// [`Error::InvalidWeights`] when targets are empty, non-positive, or
+    /// miss an observed stratum; question errors propagate from the cohort.
+    pub fn post_stratify(
+        cohort: &Cohort,
+        stratum_question: &str,
+        targets: &BTreeMap<String, f64>,
+    ) -> Result<Self> {
+        if targets.is_empty() {
+            return Err(Error::InvalidWeights("no target strata given".into()));
+        }
+        let total_target: f64 = targets.values().sum();
+        if total_target <= 0.0 || targets.values().any(|&v| v <= 0.0 || !v.is_finite()) {
+            return Err(Error::InvalidWeights(
+                "target proportions must be positive and finite".into(),
+            ));
+        }
+        // Observed stratum shares among those who answered.
+        let (counts, answered) = cohort.single_choice_counts(stratum_question)?;
+        if answered == 0 {
+            return Err(Error::InvalidWeights(format!(
+                "nobody answered stratum question `{stratum_question}`"
+            )));
+        }
+        let mut factor: BTreeMap<&str, f64> = BTreeMap::new();
+        for (option, count) in &counts {
+            if *count == 0 {
+                continue;
+            }
+            let observed = *count as f64 / answered as f64;
+            let target = targets.get(option).copied().ok_or_else(|| {
+                Error::InvalidWeights(format!(
+                    "observed stratum `{option}` has no target proportion"
+                ))
+            })? / total_target;
+            factor.insert(option.as_str(), target / observed);
+        }
+        let values = cohort
+            .responses()
+            .iter()
+            .map(|r| {
+                r.answer(stratum_question)
+                    .and_then(Answer::as_choice)
+                    .and_then(|c| factor.get(c).copied())
+                    .unwrap_or(1.0)
+            })
+            .collect();
+        Ok(Weights { stratum_question: stratum_question.to_owned(), values })
+    }
+
+    /// The per-respondent weights, aligned with `cohort.responses()`.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The stratum question these weights were derived from (empty for
+    /// uniform weights).
+    pub fn stratum_question(&self) -> &str {
+        &self.stratum_question
+    }
+
+    /// Effective sample size `(Σw)² / Σw²` — the design-effect-adjusted n
+    /// that should be quoted next to weighted estimates.
+    pub fn effective_sample_size(&self) -> f64 {
+        let s: f64 = self.values.iter().sum();
+        let s2: f64 = self.values.iter().map(|w| w * w).sum();
+        if s2 == 0.0 {
+            0.0
+        } else {
+            s * s / s2
+        }
+    }
+
+    /// Weighted proportion of respondents matching `pred`, over those with
+    /// positive weight. Returns `None` for an empty cohort.
+    pub fn weighted_proportion<F>(&self, cohort: &Cohort, pred: F) -> Option<f64>
+    where
+        F: Fn(&crate::response::Response) -> bool,
+    {
+        if cohort.is_empty() || self.values.len() != cohort.len() {
+            return None;
+        }
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (r, &w) in cohort.responses().iter().zip(&self.values) {
+            den += w;
+            if pred(r) {
+                num += w;
+            }
+        }
+        (den > 0.0).then(|| num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::Response;
+    use crate::schema::{Question, QuestionKind, Schema};
+
+    fn cohort() -> Cohort {
+        let schema = Schema::builder("s")
+            .question(Question::new(
+                "field",
+                "?",
+                QuestionKind::single_choice(["physics", "biology"]),
+            ))
+            .question(Question::new("langs", "?", QuestionKind::multi_choice(["py", "c"])))
+            .build()
+            .unwrap();
+        let mut c = Cohort::new("t", 2024, schema);
+        // 3 physicists (all use py), 1 biologist (uses c).
+        for (id, field, langs) in [
+            ("a", "physics", vec!["py"]),
+            ("b", "physics", vec!["py"]),
+            ("c", "physics", vec!["py"]),
+            ("d", "biology", vec!["c"]),
+        ] {
+            let mut r = Response::new(id);
+            r.set("field", Answer::choice(field)).set("langs", Answer::choices(langs));
+            c.push(r).unwrap();
+        }
+        c
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let c = cohort();
+        let w = Weights::uniform(&c);
+        assert_eq!(w.values(), &[1.0; 4]);
+        assert!((w.effective_sample_size() - 4.0).abs() < 1e-12);
+        let p = w
+            .weighted_proportion(&c, |r| {
+                r.answer("field").and_then(Answer::as_choice) == Some("physics")
+            })
+            .unwrap();
+        assert!((p - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn post_stratification_matches_targets() {
+        let c = cohort();
+        // Population is 50/50 physics/biology; the sample is 75/25.
+        let targets: BTreeMap<String, f64> =
+            [("physics".to_owned(), 0.5), ("biology".to_owned(), 0.5)].into();
+        let w = Weights::post_stratify(&c, "field", &targets).unwrap();
+        // Physicists get 0.5/0.75 = 2/3; the biologist gets 0.5/0.25 = 2.
+        assert!((w.values()[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((w.values()[3] - 2.0).abs() < 1e-12);
+        // Weighted stratum share now hits the target.
+        let p = w
+            .weighted_proportion(&c, |r| {
+                r.answer("field").and_then(Answer::as_choice) == Some("physics")
+            })
+            .unwrap();
+        assert!((p - 0.5).abs() < 1e-12);
+        // Weighted python share becomes 0.5 (it tracks physics exactly).
+        let py = w
+            .weighted_proportion(&c, |r| {
+                r.answer("langs")
+                    .and_then(Answer::as_choices)
+                    .is_some_and(|cs| cs.iter().any(|s| s == "py"))
+            })
+            .unwrap();
+        assert!((py - 0.5).abs() < 1e-12);
+        // Weighting reduces the effective sample size.
+        assert!(w.effective_sample_size() < 4.0);
+        assert_eq!(w.stratum_question(), "field");
+    }
+
+    #[test]
+    fn unnormalized_targets_are_normalized() {
+        let c = cohort();
+        let targets: BTreeMap<String, f64> =
+            [("physics".to_owned(), 5.0), ("biology".to_owned(), 5.0)].into();
+        let w = Weights::post_stratify(&c, "field", &targets).unwrap();
+        assert!((w.values()[3] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skipped_stratum_gets_unit_weight() {
+        let mut c = cohort();
+        let r = Response::new("e"); // answered nothing
+        c.push(r).unwrap();
+        let targets: BTreeMap<String, f64> =
+            [("physics".to_owned(), 0.5), ("biology".to_owned(), 0.5)].into();
+        let w = Weights::post_stratify(&c, "field", &targets).unwrap();
+        assert!((w.values()[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_targets_rejected() {
+        let c = cohort();
+        let empty = BTreeMap::new();
+        assert!(Weights::post_stratify(&c, "field", &empty).is_err());
+        let missing: BTreeMap<String, f64> = [("physics".to_owned(), 1.0)].into();
+        assert!(Weights::post_stratify(&c, "field", &missing).is_err());
+        let negative: BTreeMap<String, f64> =
+            [("physics".to_owned(), -1.0), ("biology".to_owned(), 2.0)].into();
+        assert!(Weights::post_stratify(&c, "field", &negative).is_err());
+        assert!(Weights::post_stratify(&c, "ghost", &missing).is_err());
+    }
+
+    #[test]
+    fn weighted_proportion_edge_cases() {
+        let c = cohort();
+        let w = Weights::uniform(&c);
+        // Length mismatch -> None.
+        let other = Cohort::new("o", 2024, c.schema().clone());
+        assert_eq!(w.weighted_proportion(&other, |_| true), None);
+    }
+}

@@ -1,0 +1,405 @@
+//! Calibration tables: the reconstruction assumptions of this reproduction.
+//!
+//! Every constant here is an *input* to the synthetic population model, not
+//! a measurement. The 2011 column encodes the aggregate picture reported by
+//! *A Survey of the Practice of Computational Science* (SC 2011): MATLAB/C
+//! dominance, little version control, parallelism as the exception. The 2024
+//! column encodes the trends the follow-up's title announces and that are
+//! robustly documented across public developer/research-software surveys:
+//! Python's takeover, GPU and cluster growth, mainstream version control
+//! with persistent gaps in testing and CI.
+//!
+//! Experiments that merely read these margins back (e.g. the E2 language
+//! table) are calibrated by construction; the value of the pipeline is in
+//! everything derived *beyond* the margins — confidence intervals, joint
+//! distributions, weighting, and significance under realistic sample sizes.
+
+use rcr_survey::canonical as q;
+
+/// Survey wave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Wave {
+    /// The 2011 baseline survey (n = 114 in this reconstruction).
+    Y2011,
+    /// The 2024 follow-up (n = 720 in this reconstruction).
+    Y2024,
+}
+
+impl Wave {
+    /// Calendar year of the wave.
+    pub fn year(&self) -> u16 {
+        match self {
+            Wave::Y2011 => 2011,
+            Wave::Y2024 => 2024,
+        }
+    }
+
+    /// Cohort name used in tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Wave::Y2011 => "2011",
+            Wave::Y2024 => "2024",
+        }
+    }
+
+    /// Canonical cohort size for the wave in this reconstruction.
+    pub fn default_n(&self) -> usize {
+        match self {
+            Wave::Y2011 => 114,
+            Wave::Y2024 => 720,
+        }
+    }
+}
+
+/// Looks up the per-wave pair `(p_2011, p_2024)` for `key` in a static
+/// table; panics if absent (tables are exhaustive over the canonical option
+/// lists, enforced by tests).
+fn pair(table: &[(&str, f64, f64)], key: &str) -> (f64, f64) {
+    table
+        .iter()
+        .find(|(k, _, _)| *k == key)
+        .map(|&(_, a, b)| (a, b))
+        .unwrap_or_else(|| panic!("calibration table missing key `{key}`"))
+}
+
+/// Base probability that a respondent uses `lang` at all.
+const LANG_BASE: [(&str, f64, f64); 10] = [
+    ("c-cpp", 0.55, 0.38),
+    ("fortran", 0.35, 0.14),
+    ("java", 0.16, 0.08),
+    ("javascript", 0.05, 0.12),
+    ("julia", 0.00, 0.08),
+    ("matlab", 0.50, 0.24),
+    ("python", 0.42, 0.87),
+    ("r", 0.18, 0.30),
+    ("rust", 0.00, 0.05),
+    ("shell", 0.30, 0.46),
+];
+
+/// Relative attractiveness of each language as the *primary* one, among the
+/// languages a respondent uses (same weights in both waves; the shift in
+/// primaries comes from the usage shift).
+const PRIMARY_WEIGHT: [(&str, f64); 10] = [
+    ("c-cpp", 1.5),
+    ("fortran", 1.4),
+    ("java", 1.0),
+    ("javascript", 0.4),
+    ("julia", 1.1),
+    ("matlab", 1.6),
+    ("python", 2.0),
+    ("r", 1.5),
+    ("rust", 0.8),
+    ("shell", 0.3),
+];
+
+/// Base probability of each parallelism mode.
+const PARALLELISM_BASE: [(&str, f64, f64); 5] = [
+    ("none", 0.45, 0.18),
+    ("multicore", 0.42, 0.62),
+    ("gpu", 0.06, 0.36),
+    ("cluster", 0.30, 0.55),
+    ("cloud", 0.02, 0.22),
+];
+
+/// Base probability of each software-engineering practice.
+const PRACTICE_BASE: [(&str, f64, f64); 6] = [
+    ("version-control", 0.33, 0.86),
+    ("unit-tests", 0.14, 0.36),
+    ("continuous-integration", 0.02, 0.26),
+    ("code-review", 0.10, 0.31),
+    ("documentation", 0.26, 0.41),
+    ("issue-tracking", 0.08, 0.37),
+];
+
+/// Mean of each 5-point pain Likert item.
+const PAIN_MEAN: [(&str, f64, f64); 6] = [
+    ("pain-debugging", 3.8, 3.6),
+    ("pain-performance", 3.5, 3.3),
+    ("pain-parallelism", 3.9, 3.4),
+    ("pain-software-install", 3.6, 2.9),
+    ("pain-data-management", 3.1, 3.6),
+    ("pain-learning-tools", 3.4, 3.1),
+];
+
+/// Field mix per wave (weights, not normalized). The 2011 sample skewed
+/// physical-science; the 2024 one adds the newer computationally heavy
+/// fields.
+const FIELD_WEIGHT: [(&str, f64, f64); 8] = [
+    ("astronomy", 1.2, 1.0),
+    ("biology", 1.0, 1.4),
+    ("chemistry", 1.2, 1.0),
+    ("earth-science", 0.8, 0.9),
+    ("engineering", 1.5, 1.6),
+    ("neuroscience", 0.4, 1.2),
+    ("physics", 2.0, 1.4),
+    ("social-science", 0.3, 0.8),
+];
+
+/// Career-stage mix (same in both waves).
+const STAGE_WEIGHT: [(&str, f64); 4] = [
+    ("undergraduate", 0.6),
+    ("grad-student", 2.4),
+    ("postdoc", 1.2),
+    ("faculty-staff", 1.0),
+];
+
+/// Per-field logit adjustments for selected languages (applied on top of
+/// the wave base probability).
+const FIELD_LANG_LOGIT: [(&str, &str, f64); 10] = [
+    ("astronomy", "fortran", 0.9),
+    ("astronomy", "python", 0.6),
+    ("physics", "fortran", 0.8),
+    ("physics", "c-cpp", 0.5),
+    ("earth-science", "fortran", 1.1),
+    ("biology", "r", 1.0),
+    ("social-science", "r", 1.4),
+    ("neuroscience", "matlab", 0.9),
+    ("engineering", "matlab", 0.8),
+    ("social-science", "fortran", -1.5),
+];
+
+/// Per-field logit adjustment for GPU use.
+const FIELD_GPU_LOGIT: [(&str, f64); 8] = [
+    ("astronomy", 0.5),
+    ("biology", -0.2),
+    ("chemistry", 0.2),
+    ("earth-science", -0.3),
+    ("engineering", 0.4),
+    ("neuroscience", 0.9),
+    ("physics", 0.3),
+    ("social-science", -1.2),
+];
+
+/// Per-stage logit adjustment applied to every practice (younger cohorts
+/// adopt modern tooling slightly faster; faculty answer for legacy
+/// codebases).
+const STAGE_PRACTICE_LOGIT: [(&str, f64); 4] = [
+    ("undergraduate", -0.2),
+    ("grad-student", 0.3),
+    ("postdoc", 0.2),
+    ("faculty-staff", -0.3),
+];
+
+/// Probability of skipping any optional item (item non-response).
+pub const NONRESPONSE_RATE: f64 = 0.03;
+
+/// Calibration accessor for one wave.
+#[derive(Debug, Clone, Copy)]
+pub struct Calibration {
+    wave: Wave,
+}
+
+impl Calibration {
+    /// Calibration for the given wave.
+    pub fn for_wave(wave: Wave) -> Self {
+        Calibration { wave }
+    }
+
+    fn select(&self, pair: (f64, f64)) -> f64 {
+        match self.wave {
+            Wave::Y2011 => pair.0,
+            Wave::Y2024 => pair.1,
+        }
+    }
+
+    /// The wave this calibration describes.
+    pub fn wave(&self) -> Wave {
+        self.wave
+    }
+
+    /// Base probability of using `lang`.
+    pub fn lang_base(&self, lang: &str) -> f64 {
+        self.select(pair(&LANG_BASE, lang))
+    }
+
+    /// Primary-language attractiveness weight.
+    pub fn primary_weight(&self, lang: &str) -> f64 {
+        PRIMARY_WEIGHT
+            .iter()
+            .find(|(k, _)| *k == lang)
+            .map(|&(_, w)| w)
+            .unwrap_or_else(|| panic!("no primary weight for `{lang}`"))
+    }
+
+    /// Base probability of parallelism `mode`.
+    pub fn parallelism_base(&self, mode: &str) -> f64 {
+        self.select(pair(&PARALLELISM_BASE, mode))
+    }
+
+    /// Base probability of `practice`.
+    pub fn practice_base(&self, practice: &str) -> f64 {
+        self.select(pair(&PRACTICE_BASE, practice))
+    }
+
+    /// Mean of pain Likert `item`.
+    pub fn pain_mean(&self, item: &str) -> f64 {
+        self.select(pair(&PAIN_MEAN, item))
+    }
+
+    /// Field sampling weights aligned with [`q::FIELDS`].
+    pub fn field_weights(&self) -> Vec<f64> {
+        q::FIELDS.iter().map(|f| self.select(pair(&FIELD_WEIGHT, f))).collect()
+    }
+
+    /// Stage sampling weights aligned with [`q::STAGES`].
+    pub fn stage_weights(&self) -> Vec<f64> {
+        q::STAGES
+            .iter()
+            .map(|s| {
+                STAGE_WEIGHT
+                    .iter()
+                    .find(|(k, _)| k == s)
+                    .map(|&(_, w)| w)
+                    .expect("stage table exhaustive")
+            })
+            .collect()
+    }
+
+    /// Logit adjustment for `lang` given the respondent's `field`.
+    pub fn field_lang_logit(&self, field: &str, lang: &str) -> f64 {
+        FIELD_LANG_LOGIT
+            .iter()
+            .find(|(f, l, _)| *f == field && *l == lang)
+            .map(|&(_, _, d)| d)
+            .unwrap_or(0.0)
+    }
+
+    /// Logit adjustment for GPU use given `field`.
+    pub fn field_gpu_logit(&self, field: &str) -> f64 {
+        FIELD_GPU_LOGIT
+            .iter()
+            .find(|(f, _)| *f == field)
+            .map(|&(_, d)| d)
+            .unwrap_or(0.0)
+    }
+
+    /// Logit adjustment for practices given `stage`.
+    pub fn stage_practice_logit(&self, stage: &str) -> f64 {
+        STAGE_PRACTICE_LOGIT
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|&(_, d)| d)
+            .unwrap_or(0.0)
+    }
+
+    /// Cluster-frequency categorical weights (aligned with
+    /// [`q::CLUSTER_FREQS`]) conditioned on whether the respondent reported
+    /// cluster parallelism at all.
+    pub fn cluster_freq_weights(&self, uses_cluster: bool) -> [f64; 4] {
+        if uses_cluster {
+            match self.wave {
+                Wave::Y2011 => [0.05, 0.35, 0.40, 0.20],
+                Wave::Y2024 => [0.02, 0.23, 0.45, 0.30],
+            }
+        } else {
+            // Non-cluster users occasionally touch one anyway.
+            [0.85, 0.12, 0.025, 0.005]
+        }
+    }
+
+    /// `(mu, sigma)` of the log-core-count distribution, conditioned on
+    /// cluster use.
+    pub fn cores_lognormal(&self, uses_cluster: bool) -> (f64, f64) {
+        match (self.wave, uses_cluster) {
+            (Wave::Y2011, false) => (0.8, 0.9),  // a few cores
+            (Wave::Y2011, true) => (3.2, 1.4),   // tens of cores
+            (Wave::Y2024, false) => (1.8, 1.0),  // laptop multicore
+            (Wave::Y2024, true) => (4.6, 1.6),   // hundreds of cores
+        }
+    }
+
+    /// `(mean, sd)` of years of programming experience by stage.
+    pub fn years_by_stage(&self, stage: &str) -> (f64, f64) {
+        match stage {
+            "undergraduate" => (2.5, 1.5),
+            "grad-student" => (6.0, 2.5),
+            "postdoc" => (10.0, 3.0),
+            _ => (15.0, 7.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_cover_all_canonical_options() {
+        for wave in [Wave::Y2011, Wave::Y2024] {
+            let c = Calibration::for_wave(wave);
+            for l in q::LANGUAGES {
+                let p = c.lang_base(l);
+                assert!((0.0..=1.0).contains(&p), "{l}: {p}");
+                assert!(c.primary_weight(l) > 0.0);
+            }
+            for m in q::PARALLELISM_MODES {
+                assert!((0.0..=1.0).contains(&c.parallelism_base(m)));
+            }
+            for p in q::PRACTICES {
+                assert!((0.0..=1.0).contains(&c.practice_base(p)));
+            }
+            for i in q::PAIN_ITEMS {
+                let m = c.pain_mean(i);
+                assert!((1.0..=5.0).contains(&m));
+            }
+            assert_eq!(c.field_weights().len(), q::FIELDS.len());
+            assert_eq!(c.stage_weights().len(), q::STAGES.len());
+            for f in q::FIELDS {
+                let _ = c.field_gpu_logit(f);
+                for s in q::STAGES {
+                    let _ = c.stage_practice_logit(s);
+                    let _ = c.years_by_stage(s);
+                }
+                let _ = c.field_lang_logit(f, "python");
+            }
+        }
+    }
+
+    #[test]
+    fn headline_trends_point_the_right_way() {
+        let c11 = Calibration::for_wave(Wave::Y2011);
+        let c24 = Calibration::for_wave(Wave::Y2024);
+        // Python up, Fortran/MATLAB down.
+        assert!(c24.lang_base("python") > c11.lang_base("python"));
+        assert!(c24.lang_base("fortran") < c11.lang_base("fortran"));
+        assert!(c24.lang_base("matlab") < c11.lang_base("matlab"));
+        // GPU, cluster, cloud all up; "no parallelism" down.
+        assert!(c24.parallelism_base("gpu") > c11.parallelism_base("gpu"));
+        assert!(c24.parallelism_base("cluster") > c11.parallelism_base("cluster"));
+        assert!(c24.parallelism_base("none") < c11.parallelism_base("none"));
+        // Version control mainstream, install pain down, data pain up.
+        assert!(c24.practice_base("version-control") > 2.0 * c11.practice_base("version-control"));
+        assert!(c24.pain_mean("pain-software-install") < c11.pain_mean("pain-software-install"));
+        assert!(c24.pain_mean("pain-data-management") > c11.pain_mean("pain-data-management"));
+    }
+
+    #[test]
+    fn wave_metadata() {
+        assert_eq!(Wave::Y2011.year(), 2011);
+        assert_eq!(Wave::Y2024.year(), 2024);
+        assert_eq!(Wave::Y2011.name(), "2011");
+        assert_eq!(Wave::Y2024.default_n(), 720);
+        assert_eq!(Wave::Y2011.default_n(), 114);
+    }
+
+    #[test]
+    fn cluster_and_cores_conditionals_are_coherent() {
+        for wave in [Wave::Y2011, Wave::Y2024] {
+            let c = Calibration::for_wave(wave);
+            let w_user = c.cluster_freq_weights(true);
+            let w_non = c.cluster_freq_weights(false);
+            // Cluster users almost never answer "never"; non-users mostly do.
+            assert!(w_user[0] < 0.1);
+            assert!(w_non[0] > 0.5);
+            let (mu_user, _) = c.cores_lognormal(true);
+            let (mu_non, _) = c.cores_lognormal(false);
+            assert!(mu_user > mu_non);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing key")]
+    fn unknown_key_panics() {
+        Calibration::for_wave(Wave::Y2024).lang_base("cobol");
+    }
+}

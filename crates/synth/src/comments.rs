@@ -1,0 +1,174 @@
+//! Free-text comment generation for the "biggest obstacle" question.
+//!
+//! Comments are assembled from themed fragment pools whose sampling weights
+//! differ by wave (2011 complaints centre on installs, legacy code, and
+//! missing version control; 2024 complaints centre on data volume, GPU
+//! queues, and reproducibility). Fragments deliberately contain the keyword
+//! vocabulary of [`rcr_survey::coding::canonical_code_book`], so the
+//! qualitative-coding pipeline has realistic material — including texts
+//! that match no theme, and texts that match two.
+
+use rand::rngs::StdRng;
+
+use crate::calibration::Wave;
+use crate::sampler;
+
+/// One themed fragment pool: `(theme-ish label, fragments)`.
+struct ThemePool {
+    weight_2011: f64,
+    weight_2024: f64,
+    fragments: &'static [&'static str],
+}
+
+const POOLS: [ThemePool; 8] = [
+    ThemePool {
+        weight_2011: 2.0,
+        weight_2024: 0.4,
+        fragments: &[
+            "installing the software stack takes days and breaks every update",
+            "half my time goes into dependency hell before anything runs",
+            "getting the install right on every machine in the lab is hopeless",
+        ],
+    },
+    ThemePool {
+        weight_2011: 1.6,
+        weight_2024: 0.5,
+        fragments: &[
+            "our legacy fortran code is impossible to modify safely",
+            "nobody dares rewrite the old code the group depends on",
+            "the legacy solver predates everyone currently in the lab",
+        ],
+    },
+    ThemePool {
+        weight_2011: 1.4,
+        weight_2024: 0.5,
+        fragments: &[
+            "we email zip files around because nobody set up version control",
+            "losing work without git happens more often than anyone admits",
+        ],
+    },
+    ThemePool {
+        weight_2011: 1.2,
+        weight_2024: 1.0,
+        fragments: &[
+            "no formal training — everything I know about programming is self-taught",
+            "documentation for the tools we need simply does not exist",
+            "there is no course that teaches the computing our field actually uses",
+        ],
+    },
+    ThemePool {
+        weight_2011: 0.8,
+        weight_2024: 2.0,
+        fragments: &[
+            "the dataset no longer fits on anything we own",
+            "moving data to where the compute is takes longer than the compute",
+            "data management across projects is the thing nobody funds",
+        ],
+    },
+    ThemePool {
+        weight_2011: 0.8,
+        weight_2024: 1.8,
+        fragments: &[
+            "gpu queue times on the cluster kill iteration speed",
+            "porting to the gpu gave 10x but took a semester",
+            "scaling past one node means rewriting everything for the cluster",
+        ],
+    },
+    ThemePool {
+        weight_2011: 0.3,
+        weight_2024: 1.4,
+        fragments: &[
+            "reviewers now ask whether results are reproducible and ours are not",
+            "making the pipeline reproducible doubled the engineering work",
+        ],
+    },
+    // Deliberately code-book-silent comments (no theme keyword).
+    ThemePool {
+        weight_2011: 1.0,
+        weight_2024: 1.0,
+        fragments: &[
+            "mostly just never enough hours in the week",
+            "funding cycles are the real bottleneck",
+            "collaborators who never answer email",
+        ],
+    },
+];
+
+/// Probability a respondent leaves a comment at all.
+pub const COMMENT_RATE: f64 = 0.65;
+
+/// Generates one comment for the wave, or `None` when the respondent skips
+/// the free-text box.
+pub fn generate_comment(rng: &mut StdRng, wave: Wave) -> Option<String> {
+    if !sampler::bernoulli(rng, COMMENT_RATE) {
+        return None;
+    }
+    let weights: Vec<f64> = POOLS
+        .iter()
+        .map(|p| match wave {
+            Wave::Y2011 => p.weight_2011,
+            Wave::Y2024 => p.weight_2024,
+        })
+        .collect();
+    let primary = sampler::categorical(rng, &weights);
+    let frag = |rng: &mut StdRng, pool: &ThemePool| {
+        pool.fragments[sampler::categorical(rng, &vec![1.0; pool.fragments.len()])]
+    };
+    let mut text = frag(rng, &POOLS[primary]).to_owned();
+    // ~30% of comments touch a second theme.
+    if sampler::bernoulli(rng, 0.3) {
+        let secondary = sampler::categorical(rng, &weights);
+        if secondary != primary {
+            text.push_str("; also, ");
+            text.push_str(frag(rng, &POOLS[secondary]));
+        }
+    }
+    Some(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rcr_survey::coding::canonical_code_book;
+
+    #[test]
+    fn comments_sometimes_absent_and_deterministic() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let xs: Vec<Option<String>> =
+            (0..50).map(|_| generate_comment(&mut a, Wave::Y2024)).collect();
+        let ys: Vec<Option<String>> =
+            (0..50).map(|_| generate_comment(&mut b, Wave::Y2024)).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.iter().any(Option::is_none), "some respondents skip");
+        assert!(xs.iter().any(Option::is_some), "most respondents comment");
+    }
+
+    #[test]
+    fn wave_shifts_theme_mix() {
+        let book = canonical_code_book();
+        let count_theme = |wave: Wave, tag: &str| -> usize {
+            let mut rng = StdRng::seed_from_u64(7);
+            (0..2000)
+                .filter_map(|_| generate_comment(&mut rng, wave))
+                .filter(|t| book.code_text(t).contains(&tag))
+                .count()
+        };
+        // Install pain dominates 2011; data pain dominates 2024.
+        assert!(count_theme(Wave::Y2011, "environments") > 2 * count_theme(Wave::Y2024, "environments"));
+        assert!(count_theme(Wave::Y2024, "data-management") > 2 * count_theme(Wave::Y2011, "data-management"));
+        assert!(count_theme(Wave::Y2024, "reproducibility") > count_theme(Wave::Y2011, "reproducibility"));
+    }
+
+    #[test]
+    fn some_comments_match_no_code() {
+        let book = canonical_code_book();
+        let mut rng = StdRng::seed_from_u64(3);
+        let uncoded = (0..500)
+            .filter_map(|_| generate_comment(&mut rng, Wave::Y2024))
+            .filter(|t| book.code_text(t).is_empty())
+            .count();
+        assert!(uncoded > 10, "the corpus needs code-book-silent texts, got {uncoded}");
+    }
+}

@@ -1,0 +1,376 @@
+//! The respondent generator: personas, conditional answers, non-response.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rcr_survey::canonical as q;
+use rcr_survey::cohort::Cohort;
+use rcr_survey::response::{Answer, Response};
+
+use crate::calibration::{Calibration, Wave, NONRESPONSE_RATE};
+use crate::sampler;
+
+/// Seeded generator of synthetic survey cohorts.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    seed: u64,
+}
+
+impl Generator {
+    /// Creates a generator with the given master seed. The same seed always
+    /// produces the same cohorts.
+    pub fn new(seed: u64) -> Self {
+        Generator { seed }
+    }
+
+    /// Generates a cohort of `n` respondents for `wave`.
+    ///
+    /// # Panics
+    /// Never in practice: every generated answer is valid against the
+    /// canonical questionnaire by construction (guarded by a debug assert).
+    pub fn cohort(&self, wave: Wave, n: usize) -> Cohort {
+        // Distinct streams per (seed, wave) so the 2011 and 2024 cohorts are
+        // independent draws.
+        let stream = self.seed ^ (u64::from(wave.year()) << 32);
+        let mut rng = StdRng::seed_from_u64(stream);
+        let cal = Calibration::for_wave(wave);
+        let mut cohort = Cohort::new(wave.name(), wave.year(), q::questionnaire());
+        for i in 0..n {
+            let r = generate_one(&mut rng, &cal, &format!("{}-{:04}", wave.name(), i));
+            cohort
+                .push(r)
+                .expect("generated responses are valid against the canonical questionnaire");
+        }
+        cohort
+    }
+
+    /// Generates a cohort of `n` respondents from explicit calibration
+    /// overrides (used by the trend interpolator).
+    pub(crate) fn cohort_with(
+        &self,
+        cal: &InterpolatedCalibration,
+        name: &str,
+        year: u16,
+        n: usize,
+    ) -> Cohort {
+        let stream = self.seed ^ (u64::from(year) << 32) ^ 0x5EED;
+        let mut rng = StdRng::seed_from_u64(stream);
+        let mut cohort = Cohort::new(name, year, q::questionnaire());
+        for i in 0..n {
+            let r = generate_one_interp(&mut rng, cal, &format!("{name}-{i:04}"));
+            cohort.push(r).expect("generated responses are valid");
+        }
+        cohort
+    }
+}
+
+/// Whether to skip an optional item (item non-response).
+fn skip(rng: &mut StdRng) -> bool {
+    sampler::bernoulli(rng, NONRESPONSE_RATE)
+}
+
+fn generate_one(rng: &mut StdRng, cal: &Calibration, id: &str) -> Response {
+    let mut r = Response::new(id);
+
+    // Persona: field and stage are always answered (screener questions).
+    let field = q::FIELDS[sampler::categorical(rng, &cal.field_weights())];
+    let stage = q::STAGES[sampler::categorical(rng, &cal.stage_weights())];
+    r.set(q::Q_FIELD, Answer::choice(field));
+    r.set(q::Q_STAGE, Answer::choice(stage));
+
+    // Languages: correlated Bernoullis with field adjustments; at least one.
+    let mut langs: Vec<&str> = Vec::new();
+    for lang in q::LANGUAGES {
+        let p = sampler::logit_shift(cal.lang_base(lang), cal.field_lang_logit(field, lang));
+        if sampler::bernoulli(rng, p) {
+            langs.push(lang);
+        }
+    }
+    if langs.is_empty() {
+        // Everyone computes in something; fall back to the wave's most
+        // popular language.
+        let best = q::LANGUAGES
+            .iter()
+            .max_by(|a, b| {
+                cal.lang_base(a).partial_cmp(&cal.lang_base(b)).expect("finite")
+            })
+            .expect("non-empty language list");
+        langs.push(best);
+    }
+    if !skip(rng) {
+        r.set(q::Q_LANGS, Answer::choices(langs.clone()));
+    }
+
+    // Primary language: weighted pick among the used ones.
+    let weights: Vec<f64> = langs.iter().map(|l| cal.primary_weight(l)).collect();
+    let primary = langs[sampler::categorical(rng, &weights)];
+    if !skip(rng) {
+        r.set(q::Q_PRIMARY_LANG, Answer::choice(primary));
+    }
+
+    // Parallelism: structured multi-select.
+    let mut modes: Vec<&str> = Vec::new();
+    let multicore = sampler::bernoulli(rng, cal.parallelism_base("multicore"));
+    let gpu = sampler::bernoulli(
+        rng,
+        sampler::logit_shift(cal.parallelism_base("gpu"), cal.field_gpu_logit(field)),
+    );
+    let cluster = sampler::bernoulli(rng, cal.parallelism_base("cluster"));
+    let cloud = sampler::bernoulli(rng, cal.parallelism_base("cloud"));
+    // GPU work almost always coexists with multicore hosts.
+    if multicore || gpu {
+        modes.push("multicore");
+    }
+    if gpu {
+        modes.push("gpu");
+    }
+    if cluster {
+        modes.push("cluster");
+    }
+    if cloud {
+        modes.push("cloud");
+    }
+    if modes.is_empty() {
+        modes.push("none");
+    }
+    if !skip(rng) {
+        r.set(q::Q_PARALLELISM, Answer::choices(modes.clone()));
+    }
+
+    // Practices: Bernoullis with a stage shift.
+    let stage_delta = cal.stage_practice_logit(stage);
+    let practices: Vec<&str> = q::PRACTICES
+        .iter()
+        .filter(|p| sampler::bernoulli(rng, sampler::logit_shift(cal.practice_base(p), stage_delta)))
+        .copied()
+        .collect();
+    if !skip(rng) {
+        r.set(q::Q_PRACTICES, Answer::choices(practices));
+    }
+
+    // Cluster frequency conditioned on cluster use.
+    let freq_weights = cal.cluster_freq_weights(cluster);
+    let freq = q::CLUSTER_FREQS[sampler::categorical(rng, &freq_weights)];
+    if !skip(rng) {
+        r.set(q::Q_CLUSTER_FREQ, Answer::choice(freq));
+    }
+
+    // Core counts: log-normal snapped to powers of two.
+    let (mu, sigma) = cal.cores_lognormal(cluster);
+    if !skip(rng) {
+        r.set(
+            q::Q_CORES,
+            Answer::Number(sampler::cores_like(rng, mu, sigma, 1.0, 1_000_000.0)),
+        );
+    }
+
+    // Experience by stage.
+    let (ymean, ysd) = cal.years_by_stage(stage);
+    if !skip(rng) {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let years = (ymean + ysd * z).clamp(0.0, 60.0);
+        r.set(q::Q_YEARS, Answer::Number((years * 2.0).round() / 2.0));
+    }
+
+    // Pain Likert items.
+    for item in q::PAIN_ITEMS {
+        if !skip(rng) {
+            r.set(item, Answer::Scale(sampler::likert(rng, cal.pain_mean(item), 1.0, 5)));
+        }
+    }
+
+    // Free-text "biggest obstacle" comment (its own skip model: the comment
+    // rate, not the item non-response rate).
+    if let Some(text) = crate::comments::generate_comment(rng, cal.wave()) {
+        r.set(q::Q_COMMENTS, Answer::Text(text));
+    }
+
+    debug_assert!(r.validate(&q::questionnaire()).is_ok());
+    r
+}
+
+/// A calibration snapshot interpolated between the two waves (used for the
+/// yearly trend series in experiment E3). Only the items the trend figure
+/// plots are interpolated; everything else uses 2024 values.
+#[derive(Debug, Clone)]
+pub struct InterpolatedCalibration {
+    /// Interpolation parameter: 0 = 2011, 1 = 2024.
+    pub t: f64,
+}
+
+impl InterpolatedCalibration {
+    /// Probability of using `lang` at interpolation point `t` (logit-space
+    /// interpolation so trajectories stay inside the unit interval and look
+    /// like adoption curves rather than straight lines).
+    pub fn lang_p(&self, lang: &str) -> f64 {
+        let a = Calibration::for_wave(Wave::Y2011).lang_base(lang).clamp(0.01, 0.99);
+        let b = Calibration::for_wave(Wave::Y2024).lang_base(lang).clamp(0.01, 0.99);
+        let la = (a / (1.0 - a)).ln();
+        let lb = (b / (1.0 - b)).ln();
+        let l = la + (lb - la) * self.t;
+        1.0 / (1.0 + (-l).exp())
+    }
+}
+
+fn generate_one_interp(rng: &mut StdRng, cal: &InterpolatedCalibration, id: &str) -> Response {
+    let mut r = Response::new(id);
+    // The trend cohorts only need the language item.
+    let mut langs: Vec<&str> = Vec::new();
+    for lang in q::LANGUAGES {
+        if sampler::bernoulli(rng, cal.lang_p(lang)) {
+            langs.push(lang);
+        }
+    }
+    if langs.is_empty() {
+        langs.push("python");
+    }
+    r.set(q::Q_LANGS, Answer::choices(langs));
+    debug_assert!(r.validate(&q::questionnaire()).is_ok());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcr_survey::query::Filter;
+
+    #[test]
+    fn cohorts_are_deterministic_per_seed() {
+        let g = Generator::new(7);
+        let a = g.cohort(Wave::Y2024, 50);
+        let b = g.cohort(Wave::Y2024, 50);
+        assert_eq!(a, b);
+        let c = Generator::new(8).cohort(Wave::Y2024, 50);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn waves_use_independent_streams() {
+        let g = Generator::new(7);
+        let a = g.cohort(Wave::Y2011, 50);
+        let b = g.cohort(Wave::Y2024, 50);
+        assert_eq!(a.year(), 2011);
+        assert_eq!(b.year(), 2024);
+        assert_ne!(a.responses()[0], b.responses()[0]);
+    }
+
+    #[test]
+    fn all_responses_validate_and_screeners_always_answered() {
+        let c = Generator::new(42).cohort(Wave::Y2024, 200);
+        assert_eq!(c.len(), 200);
+        for r in c.responses() {
+            assert!(r.validate(c.schema()).is_ok());
+            assert!(r.answered(q::Q_FIELD));
+            assert!(r.answered(q::Q_STAGE));
+        }
+    }
+
+    #[test]
+    fn nonresponse_present_but_small() {
+        let c = Generator::new(42).cohort(Wave::Y2024, 400);
+        let rate = c.response_rate(q::Q_LANGS);
+        assert!(rate > 0.9 && rate < 1.0, "rate = {rate}");
+    }
+
+    #[test]
+    fn marginals_track_calibration_2024() {
+        let c = Generator::new(1).cohort(Wave::Y2024, 1500);
+        let (py, n) = c.selected_count(q::Q_LANGS, "python").unwrap();
+        let p = py as f64 / n as f64;
+        // Base 0.87 plus small positive field effects.
+        assert!((p - 0.87).abs() < 0.06, "python share = {p}");
+        let (vc, n) = c.selected_count(q::Q_PRACTICES, "version-control").unwrap();
+        let p = vc as f64 / n as f64;
+        assert!((p - 0.86).abs() < 0.06, "vcs share = {p}");
+    }
+
+    #[test]
+    fn marginals_track_calibration_2011() {
+        let c = Generator::new(1).cohort(Wave::Y2011, 1500);
+        let (py, n) = c.selected_count(q::Q_LANGS, "python").unwrap();
+        let p = py as f64 / n as f64;
+        assert!((p - 0.42).abs() < 0.07, "python share 2011 = {p}");
+        let (gpu, n) = c.selected_count(q::Q_PARALLELISM, "gpu").unwrap();
+        let p = gpu as f64 / n as f64;
+        assert!(p < 0.15, "gpu share 2011 = {p}");
+    }
+
+    #[test]
+    fn joint_structure_gpu_implies_multicore() {
+        let c = Generator::new(3).cohort(Wave::Y2024, 800);
+        for r in c.responses() {
+            if let Some(modes) = r.answer(q::Q_PARALLELISM).and_then(Answer::as_choices) {
+                if modes.iter().any(|m| m == "gpu") {
+                    assert!(
+                        modes.iter().any(|m| m == "multicore"),
+                        "GPU user without multicore: {modes:?}"
+                    );
+                }
+                if modes.iter().any(|m| m == "none") {
+                    assert_eq!(modes.len(), 1, "'none' must be exclusive: {modes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn joint_structure_cluster_users_run_bigger_jobs() {
+        let c = Generator::new(5).cohort(Wave::Y2024, 1000);
+        let cluster = rcr_survey::query::filter_cohort(
+            &c,
+            &Filter::selected(q::Q_PARALLELISM, "cluster"),
+        );
+        let non = rcr_survey::query::filter_cohort(
+            &c,
+            &Filter::selected(q::Q_PARALLELISM, "cluster").not(),
+        );
+        let mc = rcr_stats_mean(&cluster.numeric_values(q::Q_CORES).unwrap());
+        let mn = rcr_stats_mean(&non.numeric_values(q::Q_CORES).unwrap());
+        assert!(mc > 4.0 * mn, "cluster mean {mc} vs non {mn}");
+    }
+
+    fn rcr_stats_mean(xs: &[f64]) -> f64 {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    #[test]
+    fn field_effects_visible_fortran_in_physical_sciences() {
+        let c = Generator::new(11).cohort(Wave::Y2011, 2000);
+        let astro = rcr_survey::query::filter_cohort(&c, &Filter::choice_is(q::Q_FIELD, "astronomy"));
+        let social =
+            rcr_survey::query::filter_cohort(&c, &Filter::choice_is(q::Q_FIELD, "social-science"));
+        let (fa, na) = astro.selected_count(q::Q_LANGS, "fortran").unwrap();
+        let (fs, ns) = social.selected_count(q::Q_LANGS, "fortran").unwrap();
+        let pa = fa as f64 / na as f64;
+        let ps = fs as f64 / ns.max(1) as f64;
+        assert!(pa > ps + 0.15, "astro fortran {pa} vs social {ps}");
+    }
+
+    #[test]
+    fn interpolated_calibration_moves_monotonically() {
+        let start = InterpolatedCalibration { t: 0.0 };
+        let mid = InterpolatedCalibration { t: 0.5 };
+        let end = InterpolatedCalibration { t: 1.0 };
+        assert!(start.lang_p("python") < mid.lang_p("python"));
+        assert!(mid.lang_p("python") < end.lang_p("python"));
+        assert!(start.lang_p("fortran") > end.lang_p("fortran"));
+        // Endpoints match the wave calibrations (within the clamp).
+        assert!((start.lang_p("python") - 0.42).abs() < 0.02);
+        assert!((end.lang_p("python") - 0.87).abs() < 0.02);
+    }
+
+    #[test]
+    fn interp_cohort_generation() {
+        let g = Generator::new(9);
+        let cal = InterpolatedCalibration { t: 0.5 };
+        let c = g.cohort_with(&cal, "2017", 2017, 150);
+        assert_eq!(c.len(), 150);
+        assert_eq!(c.year(), 2017);
+        let (py, n) = c.selected_count(q::Q_LANGS, "python").unwrap();
+        let p = py as f64 / n as f64;
+        let expect = cal.lang_p("python");
+        assert!((p - expect).abs() < 0.1, "python at t=0.5: {p} vs {expect}");
+    }
+}

@@ -1,0 +1,153 @@
+//! Small sampling utilities shared by the generator: categorical draws,
+//! logit-space probability shifts, and a discretized-normal Likert sampler.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Draws an index from a categorical distribution given non-negative weights.
+/// Weights need not be normalized.
+///
+/// # Panics
+/// Panics when `weights` is empty or sums to zero (programmer error inside
+/// the generator; all call sites use static calibration tables).
+pub fn categorical(rng: &mut StdRng, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "categorical weights must have positive sum");
+    let mut u = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+/// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+pub fn bernoulli(rng: &mut StdRng, p: f64) -> bool {
+    rng.gen_range(0.0..1.0) < p.clamp(0.0, 1.0)
+}
+
+/// Shifts a probability by `delta` on the logit scale, keeping it inside
+/// `(0, 1)`. Used to express conditional effects ("astronomers are ~1 logit
+/// more likely to use Fortran") without probabilities escaping the unit
+/// interval.
+pub fn logit_shift(p: f64, delta: f64) -> f64 {
+    let p = p.clamp(1e-6, 1.0 - 1e-6);
+    let logit = (p / (1.0 - p)).ln() + delta;
+    1.0 / (1.0 + (-logit).exp())
+}
+
+/// Samples a Likert score in `1..=points` from a discretized normal with the
+/// given mean and standard deviation (values are rounded and clamped).
+pub fn likert(rng: &mut StdRng, mean: f64, sd: f64, points: u8) -> u8 {
+    // Box–Muller using two uniforms.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let v = (mean + sd * z).round();
+    v.clamp(1.0, f64::from(points)) as u8
+}
+
+/// Samples a log-normal-ish positive value: `exp(mu + sigma·z)` rounded to a
+/// power-of-two-friendly integer, clamped to `[lo, hi]`. Models "how many
+/// cores" style answers, which cluster on powers of two.
+pub fn cores_like(rng: &mut StdRng, mu: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    let raw = (mu + sigma * z).exp();
+    // Snap to the nearest power of two, as respondents do.
+    let snapped = 2.0f64.powf(raw.log2().round());
+    snapped.clamp(lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut r = rng();
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[categorical(&mut r, &[1.0, 2.0, 7.0])] += 1;
+        }
+        let total = 30_000.0;
+        assert!((counts[0] as f64 / total - 0.1).abs() < 0.02);
+        assert!((counts[1] as f64 / total - 0.2).abs() < 0.02);
+        assert!((counts[2] as f64 / total - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn categorical_zero_weight_category_never_drawn() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert_ne!(categorical(&mut r, &[1.0, 0.0, 1.0]), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive sum")]
+    fn categorical_rejects_zero_total() {
+        categorical(&mut rng(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn bernoulli_frequencies() {
+        let mut r = rng();
+        let hits = (0..20_000).filter(|_| bernoulli(&mut r, 0.3)).count();
+        assert!((hits as f64 / 20_000.0 - 0.3).abs() < 0.02);
+        assert!(!bernoulli(&mut r, 0.0));
+        assert!(bernoulli(&mut r, 1.0));
+        assert!(bernoulli(&mut r, 2.0)); // clamped
+    }
+
+    #[test]
+    fn logit_shift_behaviour() {
+        // Zero shift is identity (within clamp tolerance).
+        assert!((logit_shift(0.3, 0.0) - 0.3).abs() < 1e-9);
+        // Positive shift raises, negative lowers, bounds respected.
+        assert!(logit_shift(0.3, 1.0) > 0.3);
+        assert!(logit_shift(0.3, -1.0) < 0.3);
+        assert!(logit_shift(0.999999, 10.0) < 1.0);
+        assert!(logit_shift(0.000001, -10.0) > 0.0);
+        // Extremes stay inside (0,1) even from p=0 / p=1 inputs.
+        assert!(logit_shift(0.0, 5.0) > 0.0 && logit_shift(0.0, 5.0) < 1.0);
+        assert!(logit_shift(1.0, -5.0) > 0.0 && logit_shift(1.0, -5.0) < 1.0);
+    }
+
+    #[test]
+    fn likert_in_range_and_tracks_mean() {
+        let mut r = rng();
+        let samples: Vec<f64> =
+            (0..20_000).map(|_| f64::from(likert(&mut r, 3.5, 1.0, 5))).collect();
+        assert!(samples.iter().all(|&v| (1.0..=5.0).contains(&v)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean = {mean}");
+    }
+
+    #[test]
+    fn likert_extreme_means_clamp() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(likert(&mut r, 20.0, 0.1, 5), 5);
+            assert_eq!(likert(&mut r, -20.0, 0.1, 5), 1);
+        }
+    }
+
+    #[test]
+    fn cores_like_snaps_to_powers_of_two() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = cores_like(&mut r, 3.0, 1.5, 1.0, 4096.0);
+            assert!((1.0..=4096.0).contains(&v));
+            assert_eq!(v.log2().fract(), 0.0, "{v} is not a power of two");
+        }
+    }
+}

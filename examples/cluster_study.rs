@@ -1,0 +1,57 @@
+//! Cluster scheduling study (E9/E10 as a library user would run it):
+//! simulate one workload under three policies, then sweep the offered load.
+//!
+//! ```text
+//! cargo run --release --example cluster_study
+//! ```
+
+use rcr_cluster::sched::Policy;
+use rcr_cluster::sim::Simulator;
+use rcr_cluster::workload::{generate_checked, WorkloadSpec};
+use rcr_core::MASTER_SEED;
+use rcr_report::{fmt, table::Table};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One contended workload, three policies.
+    let spec = WorkloadSpec { n_jobs: 1500, ..Default::default() };
+    let jobs = generate_checked(&spec, MASTER_SEED)?;
+    println!(
+        "workload: {} jobs on {} nodes at offered load {:.2}\n",
+        spec.n_jobs, spec.cluster_nodes, spec.offered_load
+    );
+
+    let mut table = Table::new(["policy", "mean wait", "P90 wait", "slowdown", "utilization"])
+        .title("Scheduling policies on the same trace");
+    for policy in Policy::ALL {
+        let summary = Simulator::new(spec.cluster_nodes, policy).run(jobs.clone())?.summary();
+        table.row([
+            policy.name().to_owned(),
+            fmt::duration_s(summary.mean_wait),
+            fmt::duration_s(summary.p90_wait),
+            format!("{:.1}", summary.mean_slowdown),
+            fmt::pct(summary.utilization),
+        ]);
+    }
+    println!("{}", table.render_ascii());
+
+    // Load sweep: where does each policy hit the wall?
+    let mut sweep = Table::new(["load", "FCFS P90", "SJF P90", "EASY P90"])
+        .title("P90 wait vs offered load (600-job traces)");
+    for load_tenths in 5..=10 {
+        let load = load_tenths as f64 / 10.0;
+        let spec = WorkloadSpec { n_jobs: 600, offered_load: load, ..Default::default() };
+        let jobs = generate_checked(&spec, MASTER_SEED ^ load_tenths)?;
+        let p90 = |policy: Policy| -> Result<String, rcr_cluster::Error> {
+            let s = Simulator::new(spec.cluster_nodes, policy).run(jobs.clone())?.summary();
+            Ok(fmt::duration_s(s.p90_wait))
+        };
+        sweep.row([
+            format!("{load:.1}"),
+            p90(Policy::Fcfs)?,
+            p90(Policy::Sjf)?,
+            p90(Policy::EasyBackfill)?,
+        ]);
+    }
+    println!("{}", sweep.render_ascii());
+    Ok(())
+}

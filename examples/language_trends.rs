@@ -1,0 +1,58 @@
+//! Language-adoption trends (the experiment E3 pipeline as a library user
+//! would drive it): yearly interpolated cohorts → shares with Wilson bands
+//! → OLS slopes → an SVG figure on disk.
+//!
+//! ```text
+//! cargo run --example language_trends [OUT.svg]
+//! ```
+
+use rcr_core::trend::language_trends;
+use rcr_core::MASTER_SEED;
+use rcr_report::svg::{line_chart, Series};
+use rcr_report::table::Table;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "language_trends.svg".to_owned());
+
+    let trends = language_trends(
+        MASTER_SEED,
+        300,
+        &["python", "matlab", "fortran", "r", "julia", "rust"],
+    )?;
+
+    let mut table = Table::new(["language", "2011", "2024", "slope (pp/yr)", "p"])
+        .title("Language adoption trends, 2011–2024");
+    for t in &trends {
+        let first = t.points.first().expect("14 yearly points");
+        let last = t.points.last().expect("14 yearly points");
+        table.row([
+            t.language.clone(),
+            format!("{:.1}%", first.1 * 100.0),
+            format!("{:.1}%", last.1 * 100.0),
+            format!("{:+.2}", t.slope_per_year * 100.0),
+            rcr_report::fmt::p_value(t.slope_p),
+        ]);
+    }
+    println!("{}", table.render_ascii());
+
+    let series: Vec<Series> = trends
+        .iter()
+        .map(|t| {
+            Series::new(
+                t.language.clone(),
+                t.points.iter().map(|&(y, s)| (f64::from(y), s)).collect(),
+            )
+            .with_band(t.band.clone())
+        })
+        .collect();
+    let svg = line_chart(
+        "Language adoption, 2011–2024 (Wilson 95% bands)",
+        "year",
+        "share of respondents",
+        &series,
+    );
+    std::fs::write(&out_path, svg)?;
+    println!("figure written to {out_path}");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Qualitative coding (E13 as a library user would drive it): code the
+//! free-text "biggest obstacle" answers of both waves with the canonical
+//! code book and compare theme prevalence.
+//!
+//! ```text
+//! cargo run --release --example qualitative_coding
+//! ```
+
+use rcr_core::compare::compare_themes;
+use rcr_core::{questionnaire as q, MASTER_SEED};
+use rcr_report::{fmt, table::Table};
+use rcr_survey::coding::canonical_code_book;
+use rcr_survey::response::Answer;
+use rcr_synth::calibration::Wave;
+use rcr_synth::generator::Generator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let generator = Generator::new(MASTER_SEED);
+    let before = generator.cohort(Wave::Y2011, 114);
+    let after = generator.cohort(Wave::Y2024, 720);
+    let book = canonical_code_book();
+
+    // Show the raw material: a few coded comments from each wave.
+    println!("sample coded comments:\n");
+    for (label, cohort) in [("2011", &before), ("2024", &after)] {
+        for r in cohort.responses().iter().take(40) {
+            if let Some(text) = r.answer(q::Q_COMMENTS).and_then(Answer::as_text) {
+                let tags = book.code_text(text);
+                if !tags.is_empty() {
+                    println!("  [{label}] \"{text}\"\n         -> {tags:?}");
+                    break;
+                }
+            }
+        }
+    }
+    println!();
+
+    // The theme-shift table.
+    let rows = compare_themes(&before, &after, &book, q::Q_COMMENTS)?;
+    let mut table = Table::new(["theme", "2011", "2024", "Δ (pp)", "p (BH)"])
+        .title("Coded obstacles: theme prevalence among commenters");
+    for r in &rows {
+        table.row([
+            r.item.clone(),
+            fmt::pct(r.p_before),
+            fmt::pct(r.p_after),
+            format!("{:+.1}", (r.p_after - r.p_before) * 100.0),
+            fmt::p_value(r.p_adj),
+        ]);
+    }
+    println!("{}", table.render_ascii());
+
+    let risers: Vec<&str> = rows
+        .iter()
+        .filter(|r| r.significant(0.05) && r.z > 0.0)
+        .map(|r| r.item.as_str())
+        .collect();
+    println!("themes significantly MORE prevalent in 2024: {risers:?}");
+    Ok(())
+}

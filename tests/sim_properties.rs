@@ -1,0 +1,112 @@
+//! Property tests for the cluster simulator: safety invariants that must
+//! hold for every policy on arbitrary (small) job traces.
+
+use proptest::prelude::*;
+use rcr_cluster::job::Job;
+use rcr_cluster::sched::Policy;
+use rcr_cluster::sim::Simulator;
+
+const NODES: usize = 16;
+
+fn job_strategy() -> impl Strategy<Value = Job> {
+    (
+        0.0f64..500.0,       // submit
+        1usize..=NODES,      // nodes
+        1.0f64..200.0,       // runtime
+        1.0f64..=4.0,        // over-estimate factor
+    )
+        .prop_map(|(submit, nodes, runtime, over)| Job {
+            id: 0, // reassigned below
+            submit,
+            nodes,
+            runtime,
+            estimate: runtime * over,
+        })
+}
+
+fn trace_strategy() -> impl Strategy<Value = Vec<Job>> {
+    proptest::collection::vec(job_strategy(), 1..40).prop_map(|mut jobs| {
+        jobs.sort_by(|a, b| a.submit.partial_cmp(&b.submit).expect("finite"));
+        for (i, j) in jobs.iter_mut().enumerate() {
+            j.id = i as u64;
+        }
+        jobs
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_policy_completes_every_job_exactly_once(trace in trace_strategy()) {
+        for policy in Policy::ALL {
+            let out = Simulator::new(NODES, policy).run(trace.clone()).expect("runs");
+            prop_assert_eq!(out.completed.len(), trace.len(), "{:?}", policy);
+            let mut ids: Vec<u64> = out.completed.iter().map(|c| c.job.id).collect();
+            ids.sort_unstable();
+            let expect: Vec<u64> = (0..trace.len() as u64).collect();
+            prop_assert_eq!(ids, expect, "{:?}", policy);
+        }
+    }
+
+    #[test]
+    fn starts_respect_submits_and_runtimes(trace in trace_strategy()) {
+        for policy in Policy::ALL {
+            let out = Simulator::new(NODES, policy).run(trace.clone()).expect("runs");
+            for c in &out.completed {
+                prop_assert!(c.start >= c.job.submit - 1e-9, "{:?}: {:?}", policy, c);
+                prop_assert!((c.finish - c.start - c.job.runtime).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn node_capacity_never_exceeded(trace in trace_strategy()) {
+        for policy in Policy::ALL {
+            let out = Simulator::new(NODES, policy).run(trace.clone()).expect("runs");
+            let mut events: Vec<(f64, i64, i64)> = Vec::new(); // (time, order, delta)
+            for c in &out.completed {
+                // Process releases before acquisitions at equal times.
+                events.push((c.finish, 0, -(c.job.nodes as i64)));
+                events.push((c.start, 1, c.job.nodes as i64));
+            }
+            events.sort_by(|a, b| {
+                a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1))
+            });
+            let mut used = 0i64;
+            for (_, _, d) in events {
+                used += d;
+                prop_assert!(used <= NODES as i64, "{:?} overcommitted to {}", policy, used);
+                prop_assert!(used >= 0);
+            }
+        }
+    }
+
+    #[test]
+    fn fcfs_is_fifo_in_start_order_per_capacity(trace in trace_strategy()) {
+        // Under strict FCFS, start times are monotone in submission order.
+        let out = Simulator::new(NODES, Policy::Fcfs).run(trace).expect("runs");
+        let mut by_id: Vec<&rcr_cluster::job::CompletedJob> = out.completed.iter().collect();
+        by_id.sort_by_key(|c| c.job.id);
+        for w in by_id.windows(2) {
+            prop_assert!(
+                w[0].start <= w[1].start + 1e-9,
+                "FCFS inversion: job {} at {} vs job {} at {}",
+                w[0].job.id, w[0].start, w[1].job.id, w[1].start
+            );
+        }
+    }
+
+    #[test]
+    fn summaries_are_finite_and_bounded(trace in trace_strategy()) {
+        for policy in Policy::ALL {
+            let out = Simulator::new(NODES, policy).run(trace.clone()).expect("runs");
+            let s = out.summary();
+            prop_assert!(s.mean_wait.is_finite() && s.mean_wait >= 0.0);
+            prop_assert!(s.mean_slowdown >= 1.0 - 1e-9);
+            prop_assert!(s.utilization > 0.0 && s.utilization <= 1.0 + 1e-9);
+            prop_assert!(s.slowdown_fairness > 0.0 && s.slowdown_fairness <= 1.0 + 1e-9);
+            prop_assert!(s.median_wait <= s.p90_wait + 1e-9);
+        }
+    }
+}
