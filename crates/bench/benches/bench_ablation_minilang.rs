@@ -37,8 +37,12 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_minilang_foldable");
     g.sample_size(10);
-    g.bench_function("tree_walk", |b| b.iter(|| run_source(FOLDABLE).expect("runs")));
-    g.bench_function("bytecode", |b| b.iter(|| run_source_vm(FOLDABLE).expect("runs")));
+    g.bench_function("tree_walk", |b| {
+        b.iter(|| run_source(FOLDABLE).expect("runs"))
+    });
+    g.bench_function("bytecode", |b| {
+        b.iter(|| run_source_vm(FOLDABLE).expect("runs"))
+    });
     g.bench_function("bytecode_folded", |b| {
         b.iter(|| run_source_vm_optimized(FOLDABLE).expect("runs"))
     });
@@ -46,7 +50,9 @@ fn bench(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("ablation_minilang_unfoldable");
     g.sample_size(10);
-    g.bench_function("bytecode", |b| b.iter(|| run_source_vm(UNFOLDABLE).expect("runs")));
+    g.bench_function("bytecode", |b| {
+        b.iter(|| run_source_vm(UNFOLDABLE).expect("runs"))
+    });
     g.bench_function("bytecode_folded", |b| {
         b.iter(|| run_source_vm_optimized(UNFOLDABLE).expect("runs"))
     });

@@ -8,11 +8,15 @@ use rcr_stats::multiplicity::{benjamini_hochberg, bonferroni, holm};
 
 fn bench(c: &mut Criterion) {
     let mut rng = XorShift64::new(42);
-    let xs: Vec<f64> = (0..1_000_000).map(|_| rng.range_f64(-100.0, 100.0)).collect();
+    let xs: Vec<f64> = (0..1_000_000)
+        .map(|_| rng.range_f64(-100.0, 100.0))
+        .collect();
 
     let mut g = c.benchmark_group("ablation_variance");
     g.sample_size(20);
-    g.bench_function("two_pass_corrected", |b| b.iter(|| variance(&xs).expect("valid input")));
+    g.bench_function("two_pass_corrected", |b| {
+        b.iter(|| variance(&xs).expect("valid input"))
+    });
     g.bench_function("welford_single_pass", |b| {
         b.iter(|| {
             let mut w = Welford::new();
@@ -24,10 +28,14 @@ fn bench(c: &mut Criterion) {
     });
     g.finish();
 
-    let ps: Vec<f64> = (0..10_000).map(|i| ((i * 37) % 1000) as f64 / 1000.0 + 1e-6).collect();
+    let ps: Vec<f64> = (0..10_000)
+        .map(|i| ((i * 37) % 1000) as f64 / 1000.0 + 1e-6)
+        .collect();
     let mut g = c.benchmark_group("ablation_multiplicity");
     g.sample_size(20);
-    g.bench_function("bonferroni", |b| b.iter(|| bonferroni(&ps).expect("valid p-values")));
+    g.bench_function("bonferroni", |b| {
+        b.iter(|| bonferroni(&ps).expect("valid p-values"))
+    });
     g.bench_function("holm", |b| b.iter(|| holm(&ps).expect("valid p-values")));
     g.bench_function("benjamini_hochberg", |b| {
         b.iter(|| benjamini_hochberg(&ps).expect("valid p-values"))

@@ -20,7 +20,11 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for &load in &[0.5, 0.8, 1.0] {
         let jobs = generate(
-            &WorkloadSpec { n_jobs: 600, offered_load: load, ..Default::default() },
+            &WorkloadSpec {
+                n_jobs: 600,
+                offered_load: load,
+                ..Default::default()
+            },
             MASTER_SEED,
         );
         g.bench_with_input(BenchmarkId::from_parameter(load), &jobs, |b, jobs| {

@@ -14,21 +14,31 @@ const FIB: &str = "fn fib(n) { if n < 2 { return n; } return fib(n - 1) + fib(n 
 
 fn bench(c: &mut Criterion) {
     let ex = Experiments::new(MASTER_SEED);
-    let gaps = ex.e11_interp_ablation(&GapConfig::quick()).expect("E11 runs");
+    let gaps = ex
+        .e11_interp_ablation(&GapConfig::quick())
+        .expect("E11 runs");
     println!("{}", render::e11_table(&gaps).render_ascii());
 
     let mut g = c.benchmark_group("e11_mcpi_tiers");
     g.sample_size(10);
-    g.bench_function("tree_walk", |b| b.iter(|| run_source(MCPI).expect("script runs")));
-    g.bench_function("bytecode", |b| b.iter(|| run_source_vm(MCPI).expect("script runs")));
+    g.bench_function("tree_walk", |b| {
+        b.iter(|| run_source(MCPI).expect("script runs"))
+    });
+    g.bench_function("bytecode", |b| {
+        b.iter(|| run_source_vm(MCPI).expect("script runs"))
+    });
     g.finish();
 
     // Call-heavy workload where frame setup dominates — the worst case for
     // both tiers and the best discriminator between them.
     let mut g = c.benchmark_group("e11_fib_tiers");
     g.sample_size(10);
-    g.bench_function("tree_walk", |b| b.iter(|| run_source(FIB).expect("script runs")));
-    g.bench_function("bytecode", |b| b.iter(|| run_source_vm(FIB).expect("script runs")));
+    g.bench_function("tree_walk", |b| {
+        b.iter(|| run_source(FIB).expect("script runs"))
+    });
+    g.bench_function("bytecode", |b| {
+        b.iter(|| run_source_vm(FIB).expect("script runs"))
+    });
     g.finish();
 }
 

@@ -25,7 +25,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| compare_themes(&before, &after, &book, q::Q_COMMENTS).expect("coding runs"))
     });
     g.bench_function("code_2024_corpus_only", |b| {
-        b.iter(|| book.code_cohort(&after, q::Q_COMMENTS).expect("coding runs"))
+        b.iter(|| {
+            book.code_cohort(&after, q::Q_COMMENTS)
+                .expect("coding runs")
+        })
     });
     g.finish();
 }

@@ -1,0 +1,68 @@
+//! E14 (Figure 7): fault-injection resilience — simulation throughput per
+//! recovery policy under a harsh MTBF, plus artifact regeneration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcr_bench::render;
+use rcr_cluster::faults::{FaultSpec, RecoveryPolicy};
+use rcr_cluster::sched::Policy;
+use rcr_cluster::sim::Simulator;
+use rcr_cluster::workload::{generate, WorkloadSpec};
+use rcr_core::experiments::Experiments;
+use rcr_core::MASTER_SEED;
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let points = ex.e14_resilience(300).expect("E14 runs");
+    println!("{}", render::e14_table(&points).render_ascii());
+    assert!(render::e14_figure(&points).contains("</svg>"));
+
+    let spec = WorkloadSpec {
+        n_jobs: 500,
+        runtime_log_mean: 5.5,
+        runtime_log_sd: 0.8,
+        ..Default::default()
+    };
+    let mut jobs = generate(&spec, MASTER_SEED);
+    for j in &mut jobs {
+        j.nodes = j.nodes.min(spec.cluster_nodes / 4);
+    }
+    let recoveries = [
+        RecoveryPolicy::Resubmit {
+            max_retries: 3,
+            backoff_base: 300.0,
+        },
+        RecoveryPolicy::Checkpoint {
+            interval: 120.0,
+            overhead: 10.0,
+            max_retries: 3,
+        },
+    ];
+    let mut g = c.benchmark_group("e14_faulty_500_jobs_mtbf_4h");
+    g.sample_size(10);
+    for recovery in recoveries {
+        let faults = FaultSpec {
+            node_mtbf: 4.0 * 3600.0,
+            repair_time: 1800.0,
+            job_failure_prob: 0.02,
+            recovery,
+            seed: MASTER_SEED,
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(recovery.name()),
+            &faults,
+            |b, &f| {
+                b.iter(|| {
+                    Simulator::new(64, Policy::EasyBackfill)
+                        .with_faults(f)
+                        .expect("valid fault spec")
+                        .run(jobs.clone())
+                        .expect("simulation runs")
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -7,8 +7,12 @@ use rcr_core::trend::language_trends;
 use rcr_core::MASTER_SEED;
 
 fn bench(c: &mut Criterion) {
-    let trends = language_trends(MASTER_SEED, 400, &["python", "matlab", "fortran", "r", "julia"])
-        .expect("E3 runs");
+    let trends = language_trends(
+        MASTER_SEED,
+        400,
+        &["python", "matlab", "fortran", "r", "julia"],
+    )
+    .expect("E3 runs");
     println!("{}", render::e3_slope_table(&trends).render_ascii());
     let svg = render::e3_figure(&trends);
     assert!(svg.contains("</svg>"));

@@ -10,8 +10,7 @@ fn bench(c: &mut Criterion) {
     let shifts = ex.e4_parallelism_shift().expect("E4 runs");
     println!(
         "{}",
-        render::shift_table("Table 3: parallelism usage, 2011 vs 2024", &shifts)
-            .render_ascii()
+        render::shift_table("Table 3: parallelism usage, 2011 vs 2024", &shifts).render_ascii()
     );
 
     let mut g = c.benchmark_group("e4_parallelism");

@@ -30,7 +30,10 @@ fn bench(c: &mut Criterion) {
     // Regenerate the artifact (quick sizes keep `cargo bench` tractable).
     let ex = Experiments::new(MASTER_SEED);
     let gaps = ex.e5_perf_gap(&GapConfig::quick()).expect("E5 runs");
-    println!("{}", render::gap_table("Figure 2 data (quick sizes)", &gaps).render_ascii());
+    println!(
+        "{}",
+        render::gap_table("Figure 2 data (quick sizes)", &gaps).render_ascii()
+    );
     let svg = render::e5_figure(&gaps);
     assert!(svg.contains("</svg>"));
 
@@ -50,7 +53,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("tier3_vectorized", |bch| {
         bch.iter(|| run_source_vm(&vector).expect("script runs"))
     });
-    g.bench_function("tier4_native_naive", |bch| bch.iter(|| dotaxpy::dot_naive(&a, &b)));
+    g.bench_function("tier4_native_naive", |bch| {
+        bch.iter(|| dotaxpy::dot_naive(&a, &b))
+    });
     g.bench_function("tier5_native_optimized", |bch| {
         bch.iter(|| dotaxpy::dot_optimized(&a, &b))
     });
@@ -66,7 +71,9 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("naive", |bch| bch.iter(|| matmul::naive(&ma, &mb, n)));
     g.bench_function("blocked", |bch| bch.iter(|| matmul::blocked(&ma, &mb, n)));
-    g.bench_function("parallel", |bch| bch.iter(|| matmul::parallel(&ma, &mb, n, 4)));
+    g.bench_function("parallel", |bch| {
+        bch.iter(|| matmul::parallel(&ma, &mb, n, 4))
+    });
     g.finish();
 }
 

@@ -10,13 +10,18 @@ fn bench(c: &mut Criterion) {
     let shifts = ex.e7_practice_shift().expect("E7 runs");
     println!(
         "{}",
-        render::shift_table("Table 4: software-engineering practices, 2011 vs 2024", &shifts)
-            .render_ascii()
+        render::shift_table(
+            "Table 4: software-engineering practices, 2011 vs 2024",
+            &shifts
+        )
+        .render_ascii()
     );
 
     let mut g = c.benchmark_group("e7_practices");
     g.sample_size(20);
-    g.bench_function("shift_table", |b| b.iter(|| ex.e7_practice_shift().expect("E7 runs")));
+    g.bench_function("shift_table", |b| {
+        b.iter(|| ex.e7_practice_shift().expect("E7 runs"))
+    });
     g.finish();
 }
 

@@ -15,13 +15,27 @@ fn bench(c: &mut Criterion) {
     println!("{}", render::e9_table(&outcomes).render_ascii());
     assert!(render::e9_figure(&outcomes).contains("</svg>"));
 
-    let jobs = generate(&WorkloadSpec { n_jobs: 1000, ..Default::default() }, MASTER_SEED);
+    let jobs = generate(
+        &WorkloadSpec {
+            n_jobs: 1000,
+            ..Default::default()
+        },
+        MASTER_SEED,
+    );
     let mut g = c.benchmark_group("e9_policies_1000_jobs");
     g.sample_size(10);
     for policy in Policy::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(policy.name()), &policy, |b, &p| {
-            b.iter(|| Simulator::new(64, p).run(jobs.clone()).expect("simulation runs"))
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(policy.name()),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    Simulator::new(64, p)
+                        .run(jobs.clone())
+                        .expect("simulation runs")
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--quick] [--out DIR]
 //!
-//!   EXPERIMENT   e1..e13 (default: all)
+//!   EXPERIMENT   e1..e14 (default: all)
 //!   --quick      reduced sizes for the timing experiments (CI-friendly)
 //!   --out DIR    write tables (.txt/.csv) and figures (.svg) to DIR
 //!                (default: print tables to stdout only)
@@ -34,11 +34,12 @@ fn parse_args() -> Result<Args, String> {
             "--quick" => quick = true,
             "--out" => {
                 out = Some(PathBuf::from(
-                    it.next().ok_or_else(|| "--out requires a directory".to_owned())?,
+                    it.next()
+                        .ok_or_else(|| "--out requires a directory".to_owned())?,
                 ));
             }
             "--help" | "-h" => {
-                return Err("usage: reproduce [e1..e13 ...] [--quick] [--out DIR]".to_owned())
+                return Err("usage: reproduce [e1..e14 ...] [--quick] [--out DIR]".to_owned())
             }
             e if e.starts_with('e') || e.starts_with('E') => {
                 which.push(e.to_lowercase());
@@ -82,8 +83,8 @@ impl Emitter {
 
     fn json<T: serde::Serialize>(&self, id: &str, name: &str, value: &T) {
         if let Some(dir) = &self.out {
-            let payload = serde_json::to_string_pretty(value)
-                .expect("experiment outputs serialize");
+            let payload =
+                serde_json::to_string_pretty(value).expect("experiment outputs serialize");
             write_file(dir, &format!("{id}_{name}.json"), &payload);
         }
     }
@@ -111,7 +112,9 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let emit = Emitter { out: args.out.clone() };
+    let emit = Emitter {
+        out: args.out.clone(),
+    };
     let ex = Experiments::new(MASTER_SEED);
     let gap_config = if args.quick {
         GapConfig::quick()
@@ -124,7 +127,7 @@ fn main() {
         match info {
             Some(i) => println!("== {} ({}): {} ==\n", i.id, i.artifact, i.title),
             None => {
-                eprintln!("unknown experiment `{id}` (expected e1..e13)");
+                eprintln!("unknown experiment `{id}` (expected e1..e14)");
                 std::process::exit(2);
             }
         }
@@ -232,12 +235,15 @@ fn run_one(
             emit.table(
                 "e13",
                 "theme_shift",
-                &render::shift_table(
-                    "Table 7: coded free-text obstacles, 2011 vs 2024",
-                    &rows,
-                ),
+                &render::shift_table("Table 7: coded free-text obstacles, 2011 vs 2024", &rows),
             );
             emit.json("e13", "theme_shift", &rows);
+        }
+        "e14" => {
+            let pts = ex.e14_resilience(600)?;
+            emit.table("e14", "resilience", &render::e14_table(&pts));
+            emit.figure("e14", "resilience", &render::e14_figure(&pts));
+            emit.json("e14", "resilience", &pts);
         }
         other => unreachable!("validated above: {other}"),
     }

@@ -1,7 +1,7 @@
 //! Rendering experiment outputs into paper-style tables and SVG figures.
 
 use rcr_core::compare::{DistributionShift, FieldAdoption, ItemShift, LikertShift};
-use rcr_core::experiments::{Demographics, LoadPoint, PolicyOutcome};
+use rcr_core::experiments::{Demographics, LoadPoint, PolicyOutcome, ResiliencePoint};
 use rcr_core::perfgap::{KernelGap, ScalingCurve};
 use rcr_core::trend::LanguageTrend;
 use rcr_report::fmt;
@@ -13,8 +13,10 @@ pub fn e1_table(d: &Demographics) -> Table {
     let mut headers = vec!["field".to_owned()];
     headers.extend(d.stages.iter().cloned());
     headers.push("total".into());
-    let mut t = Table::new(headers)
-        .title(format!("Table 1: respondent demographics (2024 cohort, n={})", d.n));
+    let mut t = Table::new(headers).title(format!(
+        "Table 1: respondent demographics (2024 cohort, n={})",
+        d.n
+    ));
     let nc = d.stages.len();
     for (fi, field) in d.fields.iter().enumerate() {
         let row_counts = &d.counts[fi * nc..(fi + 1) * nc];
@@ -107,7 +109,12 @@ pub fn e3_slope_table(trends: &[LanguageTrend]) -> Table {
 /// E5: the performance-gap figure (log-scale speedup bars over the
 /// tree-walk baseline).
 pub fn e5_figure(gaps: &[KernelGap]) -> String {
-    let labels = ["bytecode VM", "native naive", "native optimized", "native parallel"];
+    let labels = [
+        "bytecode VM",
+        "native naive",
+        "native optimized",
+        "native parallel",
+    ];
     let groups: Vec<(&str, Vec<f64>)> = gaps
         .iter()
         .map(|g| {
@@ -135,8 +142,15 @@ pub fn e5_figure(gaps: &[KernelGap]) -> String {
 /// E5/E11: the gap table (absolute medians plus speedups).
 pub fn gap_table(title: &str, gaps: &[KernelGap]) -> Table {
     let mut t = Table::new([
-        "kernel", "size", "tree-walk", "bytecode", "vectorized", "native", "nat-opt",
-        "nat-par", "interp→native",
+        "kernel",
+        "size",
+        "tree-walk",
+        "bytecode",
+        "vectorized",
+        "native",
+        "nat-opt",
+        "nat-par",
+        "interp→native",
     ])
     .title(title.to_owned());
     for g in gaps {
@@ -168,7 +182,11 @@ pub fn e6_figure(curves: &[ScalingCurve]) -> String {
     for c in curves {
         series.push(Series::new(
             format!("{} (measured)", c.kernel),
-            c.threads.iter().zip(&c.speedup).map(|(&t, &s)| (t as f64, s)).collect(),
+            c.threads
+                .iter()
+                .zip(&c.speedup)
+                .map(|(&t, &s)| (t as f64, s))
+                .collect(),
         ));
     }
     // Ideal line for reference.
@@ -238,7 +256,13 @@ pub fn e9_figure(outcomes: &[PolicyOutcome]) -> String {
 /// E9 companion: the policy summary table.
 pub fn e9_table(outcomes: &[PolicyOutcome]) -> Table {
     let mut t = Table::new([
-        "policy", "mean wait", "median", "P90", "mean slowdown", "utilization", "fairness",
+        "policy",
+        "mean wait",
+        "median",
+        "P90",
+        "mean slowdown",
+        "utilization",
+        "fairness",
     ])
     .title("Figure 4 summary: scheduling policies at load 0.85".to_owned());
     for o in outcomes {
@@ -265,8 +289,10 @@ pub fn e10_figure(points: &[LoadPoint]) -> String {
             None => by_policy.push((p.policy.clone(), vec![(p.load, p.p90_wait)])),
         }
     }
-    let series: Vec<Series> =
-        by_policy.into_iter().map(|(name, pts)| Series::new(name, pts)).collect();
+    let series: Vec<Series> = by_policy
+        .into_iter()
+        .map(|(name, pts)| Series::new(name, pts))
+        .collect();
     svg::line_chart(
         "Figure 5: P90 wait vs offered load",
         "offered load",
@@ -294,10 +320,8 @@ pub fn e10_table(points: &[LoadPoint]) -> Table {
 /// E11: the interpreter-ablation table (gap of each script tier to the
 /// best native serial implementation).
 pub fn e11_table(gaps: &[KernelGap]) -> Table {
-    let mut t = Table::new([
-        "kernel", "tree-walk gap", "bytecode gap", "vectorized gap",
-    ])
-    .title("Table 6: slowdown vs optimized native, by interpreter tier".to_owned());
+    let mut t = Table::new(["kernel", "tree-walk gap", "bytecode gap", "vectorized gap"])
+        .title("Table 6: slowdown vs optimized native, by interpreter tier".to_owned());
     for g in gaps {
         let native = g
             .tiers
@@ -305,7 +329,9 @@ pub fn e11_table(gaps: &[KernelGap]) -> Table {
             .or(g.tiers.native_naive)
             .expect("native tier always measured");
         let gap = |tier: Option<rcr_core::perfgap::TierTime>| {
-            tier.map_or("—".to_owned(), |m| fmt::speedup(m.median_s / native.median_s))
+            tier.map_or("—".to_owned(), |m| {
+                fmt::speedup(m.median_s / native.median_s)
+            })
         };
         t.row([
             g.kernel.clone(),
@@ -354,6 +380,76 @@ pub fn e12_figure(rows: &[LikertShift]) -> String {
         &groups,
         false,
     )
+}
+
+/// Short label for a recovery policy name ("Resubmit" → "RS",
+/// "Checkpoint(τ=120s)" → "CP") so figure group labels stay readable.
+fn recovery_abbrev(name: &str) -> &'static str {
+    if name.starts_with("Checkpoint") {
+        "CP"
+    } else if name.starts_with("Resubmit") {
+        "RS"
+    } else {
+        "AB"
+    }
+}
+
+/// E14: goodput/badput stacked bars vs node MTBF under EASY backfill, one
+/// bar per (MTBF, recovery) pair. FCFS tells the same story and would
+/// double the bar count, so the figure keeps the backfilling scheduler and
+/// the table carries both.
+pub fn e14_figure(points: &[ResiliencePoint]) -> String {
+    let easy: Vec<&ResiliencePoint> = points
+        .iter()
+        .filter(|p| p.policy == "EASY-backfill")
+        .collect();
+    let labels: Vec<String> = easy
+        .iter()
+        .map(|p| format!("{:.0}h {}", p.mtbf_hours, recovery_abbrev(&p.recovery)))
+        .collect();
+    let groups: Vec<(&str, Vec<f64>)> = easy
+        .iter()
+        .zip(&labels)
+        .map(|(p, l)| (l.as_str(), vec![p.goodput_node_hours, p.badput_node_hours]))
+        .collect();
+    svg::stacked_bar_chart(
+        "Figure 7: goodput vs wasted work by node MTBF (EASY backfill)",
+        "node-hours",
+        &["goodput", "badput"],
+        &groups,
+    )
+}
+
+/// E14 companion: the full resilience grid, both schedulers.
+pub fn e14_table(points: &[ResiliencePoint]) -> Table {
+    let mut t = Table::new([
+        "MTBF",
+        "policy",
+        "recovery",
+        "done",
+        "lost",
+        "node fails",
+        "goodput (nh)",
+        "badput (nh)",
+        "waste",
+        "attempts",
+    ])
+    .title("Figure 7 data: resilience vs node MTBF".to_owned());
+    for p in points {
+        t.row([
+            format!("{:.0}h", p.mtbf_hours),
+            p.policy.clone(),
+            p.recovery.clone(),
+            p.completed.to_string(),
+            p.abandoned.to_string(),
+            p.node_failures.to_string(),
+            format!("{:.1}", p.goodput_node_hours),
+            format!("{:.1}", p.badput_node_hours),
+            fmt::pct(p.wasted_fraction),
+            format!("{:.2}", p.mean_attempts),
+        ]);
+    }
+    t
 }
 
 #[cfg(test)]
@@ -415,6 +511,20 @@ mod tests {
     }
 
     #[test]
+    fn resilience_outputs_render() {
+        let pts = ex().e14_resilience(120).unwrap();
+        let fig = e14_figure(&pts);
+        assert!(fig.contains("<svg") && fig.contains("goodput") && fig.contains("badput"));
+        // 5 MTBF levels × 2 recoveries under EASY backfill.
+        assert!(fig.contains("2h RS") && fig.contains("32h CP"));
+        let t = e14_table(&pts);
+        assert_eq!(t.n_rows(), 20);
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("FCFS") && ascii.contains("EASY-backfill"));
+        assert!(ascii.contains("Checkpoint"));
+    }
+
+    #[test]
     fn perf_tables_and_figures_render() {
         let e = ex();
         let gaps = e.e5_perf_gap(&GapConfig::quick()).unwrap();
@@ -425,7 +535,10 @@ mod tests {
         assert!(t.render_ascii().contains("×"));
         let t = e11_table(&gaps);
         assert_eq!(t.n_rows(), 4);
-        assert!(t.render_ascii().contains("—"), "missing tiers shown as em-dash");
+        assert!(
+            t.render_ascii().contains("—"),
+            "missing tiers shown as em-dash"
+        );
 
         let curves = e.e6_scaling(&GapConfig::quick()).unwrap();
         let fig = e6_figure(&curves);

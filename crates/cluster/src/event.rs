@@ -13,9 +13,34 @@ pub enum EventKind {
         job: usize,
     },
     /// A running job finishes and frees its nodes.
+    ///
+    /// The `attempt` tag invalidates stale finishes: when a fault kills
+    /// attempt `k` and the job later restarts as attempt `k+1`, the finish
+    /// scheduled for attempt `k` must be ignored when it surfaces.
     Finish {
         /// Index into the simulator's job table.
         job: usize,
+        /// Which attempt of the job this finish belongs to (1-based;
+        /// fault-free runs only ever see attempt 1).
+        attempt: u32,
+    },
+    /// A node fails; any job running on it is killed.
+    NodeFailure {
+        /// Index of the failing node.
+        node: usize,
+    },
+    /// A failed node comes back after its repair time.
+    NodeRepair {
+        /// Index of the repaired node.
+        node: usize,
+    },
+    /// A software fault strikes one attempt of a running job.
+    JobFault {
+        /// Index into the simulator's job table.
+        job: usize,
+        /// Attempt the fault belongs to; stale faults (the attempt already
+        /// ended) are ignored.
+        attempt: u32,
     },
 }
 
@@ -100,7 +125,7 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(5.0, EventKind::Arrival { job: 0 });
         q.push(1.0, EventKind::Arrival { job: 1 });
-        q.push(3.0, EventKind::Finish { job: 2 });
+        q.push(3.0, EventKind::Finish { job: 2, attempt: 1 });
         let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
         assert_eq!(order, vec![1.0, 3.0, 5.0]);
     }
@@ -108,14 +133,14 @@ mod tests {
     #[test]
     fn ties_break_by_insertion_order() {
         let mut q = EventQueue::new();
-        q.push(2.0, EventKind::Finish { job: 0 });
+        q.push(2.0, EventKind::Finish { job: 0, attempt: 1 });
         q.push(2.0, EventKind::Arrival { job: 1 });
         q.push(2.0, EventKind::Arrival { job: 2 });
         let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
         assert_eq!(
             kinds,
             vec![
-                EventKind::Finish { job: 0 },
+                EventKind::Finish { job: 0, attempt: 1 },
                 EventKind::Arrival { job: 1 },
                 EventKind::Arrival { job: 2 },
             ]

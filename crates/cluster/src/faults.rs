@@ -1,0 +1,514 @@
+//! Fault injection: seeded node-failure processes, per-job failure
+//! probability, and recovery policies.
+//!
+//! The model follows the standard HPC resilience literature: every node
+//! fails independently with exponentially distributed time-between-failures
+//! (mean [`FaultSpec::node_mtbf`]), goes down for a fixed
+//! [`FaultSpec::repair_time`], and comes back. A failure on a node that is
+//! running a job kills the *whole* job (jobs are rigid). Independently,
+//! every launched attempt may carry a software fault with probability
+//! [`FaultSpec::job_failure_prob`], striking at a uniformly random point of
+//! the attempt.
+//!
+//! What happens to a killed job is the [`RecoveryPolicy`]:
+//!
+//! * [`RecoveryPolicy::Resubmit`] — restart from scratch, at most
+//!   `max_retries` times, with exponential backoff applied to the requeue
+//!   priority (each retry re-enters the queue as if it had been submitted
+//!   `backoff_base · 2^(attempt-1)` seconds later);
+//! * [`RecoveryPolicy::Checkpoint`] — the job checkpoints every `interval`
+//!   seconds of useful progress, paying `overhead` wall-clock seconds per
+//!   checkpoint; a kill loses only the work since the last checkpoint;
+//! * [`RecoveryPolicy::Abandon`] — the job is lost and recorded as
+//!   abandoned.
+//!
+//! Everything is driven by one explicitly seeded PRNG, so a `(spec, trace)`
+//! pair replays exactly.
+
+use crate::{Error, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// What to do with a job killed by a failure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryPolicy {
+    /// Restart the job from scratch, at most `max_retries` times, with
+    /// exponential backoff on requeue priority.
+    Resubmit {
+        /// How many restarts a job is allowed before it is abandoned.
+        /// Must be at least 1.
+        max_retries: u32,
+        /// Priority penalty of the first retry, in seconds; doubles every
+        /// further retry. Zero disables backoff.
+        backoff_base: f64,
+    },
+    /// Periodic checkpointing: lose only the work since the last
+    /// checkpoint, paying `overhead` seconds per checkpoint taken.
+    Checkpoint {
+        /// Seconds of useful progress between checkpoints (τ). Must be
+        /// positive and finite.
+        interval: f64,
+        /// Wall-clock cost of writing one checkpoint, in seconds.
+        overhead: f64,
+        /// How many restarts a job is allowed before it is abandoned.
+        /// Must be at least 1.
+        max_retries: u32,
+    },
+    /// Give up on the job at the first kill; it is recorded as abandoned.
+    Abandon,
+}
+
+impl RecoveryPolicy {
+    /// Display name used in tables and figures (e.g. `Checkpoint(τ=300s)`).
+    pub fn name(&self) -> String {
+        match self {
+            RecoveryPolicy::Resubmit { .. } => "Resubmit".to_string(),
+            RecoveryPolicy::Checkpoint { interval, .. } => {
+                format!("Checkpoint(τ={interval:.0}s)")
+            }
+            RecoveryPolicy::Abandon => "Abandon".to_string(),
+        }
+    }
+
+    /// Retries allowed before abandoning (`None` = abandon immediately).
+    pub fn max_retries(&self) -> Option<u32> {
+        match self {
+            RecoveryPolicy::Resubmit { max_retries, .. }
+            | RecoveryPolicy::Checkpoint { max_retries, .. } => Some(*max_retries),
+            RecoveryPolicy::Abandon => None,
+        }
+    }
+}
+
+/// Configuration of the failure processes and the recovery policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Per-node mean time between failures, seconds (exponential).
+    /// `f64::INFINITY` disables node failures; zero is invalid.
+    pub node_mtbf: f64,
+    /// Fixed per-node repair time, seconds. Must be non-negative and
+    /// finite.
+    pub repair_time: f64,
+    /// Probability that a launched attempt carries a software fault,
+    /// striking at a uniformly random point of the attempt. In `[0, 1]`.
+    pub job_failure_prob: f64,
+    /// What happens to killed jobs.
+    pub recovery: RecoveryPolicy,
+    /// Seed of the fault-process PRNG.
+    pub seed: u64,
+}
+
+impl FaultSpec {
+    /// A spec that injects no faults at all (useful as a baseline: the
+    /// simulation is then byte-identical to a fault-free run under
+    /// `Resubmit`).
+    pub fn none(seed: u64) -> Self {
+        FaultSpec {
+            node_mtbf: f64::INFINITY,
+            repair_time: 0.0,
+            job_failure_prob: 0.0,
+            recovery: RecoveryPolicy::Resubmit {
+                max_retries: 1,
+                backoff_base: 0.0,
+            },
+            seed,
+        }
+    }
+
+    /// Validates every parameter, returning the spec unchanged on success.
+    ///
+    /// # Errors
+    /// [`Error::InvalidFaultSpec`] on zero or negative MTBF, negative or
+    /// non-finite repair time, an out-of-range failure probability, a retry
+    /// limit of 0, or a non-positive checkpoint interval.
+    pub fn validated(self) -> Result<Self> {
+        if self.node_mtbf.is_nan() || self.node_mtbf <= 0.0 {
+            return Err(Error::InvalidFaultSpec(format!(
+                "node_mtbf must be positive, got {}",
+                self.node_mtbf
+            )));
+        }
+        if !self.repair_time.is_finite() || self.repair_time < 0.0 {
+            return Err(Error::InvalidFaultSpec(format!(
+                "repair_time must be finite and non-negative, got {}",
+                self.repair_time
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.job_failure_prob) {
+            return Err(Error::InvalidFaultSpec(format!(
+                "job_failure_prob must be in [0, 1], got {}",
+                self.job_failure_prob
+            )));
+        }
+        match self.recovery {
+            RecoveryPolicy::Resubmit {
+                max_retries,
+                backoff_base,
+            } => {
+                if max_retries == 0 {
+                    return Err(Error::InvalidFaultSpec(
+                        "Resubmit retry limit must be at least 1 (use Abandon to \
+                         give up immediately)"
+                            .to_string(),
+                    ));
+                }
+                if !backoff_base.is_finite() || backoff_base < 0.0 {
+                    return Err(Error::InvalidFaultSpec(format!(
+                        "backoff_base must be finite and non-negative, got {backoff_base}"
+                    )));
+                }
+            }
+            RecoveryPolicy::Checkpoint {
+                interval,
+                overhead,
+                max_retries,
+            } => {
+                if max_retries == 0 {
+                    return Err(Error::InvalidFaultSpec(
+                        "Checkpoint retry limit must be at least 1 (use Abandon to \
+                         give up immediately)"
+                            .to_string(),
+                    ));
+                }
+                if !interval.is_finite() || interval <= 0.0 {
+                    return Err(Error::InvalidFaultSpec(format!(
+                        "checkpoint interval must be positive and finite, got {interval}"
+                    )));
+                }
+                if !overhead.is_finite() || overhead < 0.0 {
+                    return Err(Error::InvalidFaultSpec(format!(
+                        "checkpoint overhead must be finite and non-negative, got {overhead}"
+                    )));
+                }
+            }
+            RecoveryPolicy::Abandon => {}
+        }
+        Ok(self)
+    }
+
+    /// True when this spec can never kill a job.
+    pub fn is_inert(&self) -> bool {
+        self.node_mtbf.is_infinite() && self.job_failure_prob == 0.0
+    }
+}
+
+/// The seeded randomness behind the failure processes.
+///
+/// Owned by the simulator during a faulty run; all draws go through this
+/// one generator in event order, which is what makes replays exact.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: StdRng,
+    mtbf: f64,
+}
+
+impl FaultInjector {
+    /// Build from a validated spec.
+    pub fn new(spec: &FaultSpec) -> Self {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(spec.seed),
+            mtbf: spec.node_mtbf,
+        }
+    }
+
+    /// Draw a time-to-failure for one node (exponential with the spec's
+    /// MTBF). Returns `f64::INFINITY` when node failures are disabled.
+    pub fn time_to_failure(&mut self) -> f64 {
+        if self.mtbf.is_infinite() {
+            return f64::INFINITY;
+        }
+        let u: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        -self.mtbf * u.ln()
+    }
+
+    /// Whether a failed node was one of the `busy` busy nodes out of `up`
+    /// up nodes (uniform choice over up nodes).
+    pub fn failure_hits_busy(&mut self, busy: usize, up: usize) -> bool {
+        debug_assert!(busy <= up && up > 0);
+        if busy == 0 {
+            return false;
+        }
+        if busy == up {
+            return true;
+        }
+        self.rng.gen_range(0..up) < busy
+    }
+
+    /// Pick the victim among running jobs, weighted by node count.
+    /// `weights` are per-running-job node counts; their sum must equal the
+    /// busy-node total. Returns the index of the chosen job.
+    pub fn pick_victim(&mut self, weights: &[usize]) -> usize {
+        let total: usize = weights.iter().sum();
+        debug_assert!(total > 0, "no busy nodes to pick a victim from");
+        let mut w = self.rng.gen_range(0..total);
+        for (i, &n) in weights.iter().enumerate() {
+            if w < n {
+                return i;
+            }
+            w -= n;
+        }
+        weights.len() - 1
+    }
+
+    /// Whether a launched attempt carries a software fault, and if so at
+    /// which fraction of its duration it strikes. One draw when `p` is
+    /// zero-free keeps the stream aligned across configs with equal specs.
+    pub fn attempt_fault(&mut self, p: f64) -> Option<f64> {
+        if p <= 0.0 {
+            return None;
+        }
+        if self.rng.gen_range(0.0..1.0) < p {
+            Some(self.rng.gen_range(f64::MIN_POSITIVE..1.0))
+        } else {
+            None
+        }
+    }
+}
+
+/// Exponential-backoff priority penalty for retry number `retry` (1-based):
+/// `base · 2^(retry-1)`, capped at `base · 2^16` to keep times finite.
+pub fn backoff_penalty(base: f64, retry: u32) -> f64 {
+    if base <= 0.0 {
+        return 0.0;
+    }
+    base * 2f64.powi(retry.saturating_sub(1).min(16) as i32)
+}
+
+/// Wall-clock duration of an attempt that must complete `work` seconds of
+/// useful compute under `recovery`: checkpointing jobs pay `overhead` for
+/// every full `interval` of progress.
+pub fn attempt_duration(work: f64, recovery: &RecoveryPolicy) -> f64 {
+    match recovery {
+        RecoveryPolicy::Checkpoint {
+            interval, overhead, ..
+        } => {
+            let checkpoints = (work / interval).floor();
+            work + checkpoints * overhead
+        }
+        _ => work,
+    }
+}
+
+/// Useful progress retained after a kill `elapsed` seconds into an attempt
+/// (zero for non-checkpointing policies): the last fully written
+/// checkpoint, never more than the attempt's `work`.
+pub fn progress_saved(elapsed: f64, work: f64, recovery: &RecoveryPolicy) -> f64 {
+    match recovery {
+        RecoveryPolicy::Checkpoint {
+            interval, overhead, ..
+        } => {
+            let cycle = interval + overhead;
+            let cycles = (elapsed / cycle).floor();
+            (cycles * interval).min(work)
+        }
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_spec() -> FaultSpec {
+        FaultSpec {
+            node_mtbf: 3600.0,
+            repair_time: 120.0,
+            job_failure_prob: 0.05,
+            recovery: RecoveryPolicy::Resubmit {
+                max_retries: 3,
+                backoff_base: 60.0,
+            },
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        assert!(base_spec().validated().is_ok());
+        assert!(FaultSpec::none(1).validated().is_ok());
+        let cp = FaultSpec {
+            recovery: RecoveryPolicy::Checkpoint {
+                interval: 300.0,
+                overhead: 10.0,
+                max_retries: 2,
+            },
+            ..base_spec()
+        };
+        assert!(cp.validated().is_ok());
+    }
+
+    #[test]
+    fn zero_mtbf_rejected() {
+        let e = FaultSpec {
+            node_mtbf: 0.0,
+            ..base_spec()
+        }
+        .validated()
+        .unwrap_err();
+        assert!(matches!(e, Error::InvalidFaultSpec(_)));
+        assert!(e.to_string().contains("mtbf"));
+        assert!(FaultSpec {
+            node_mtbf: -10.0,
+            ..base_spec()
+        }
+        .validated()
+        .is_err());
+        assert!(FaultSpec {
+            node_mtbf: f64::NAN,
+            ..base_spec()
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn negative_repair_time_rejected() {
+        let e = FaultSpec {
+            repair_time: -1.0,
+            ..base_spec()
+        }
+        .validated()
+        .unwrap_err();
+        assert!(e.to_string().contains("repair"));
+        assert!(FaultSpec {
+            repair_time: f64::INFINITY,
+            ..base_spec()
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn zero_retry_limit_rejected() {
+        let rs = FaultSpec {
+            recovery: RecoveryPolicy::Resubmit {
+                max_retries: 0,
+                backoff_base: 0.0,
+            },
+            ..base_spec()
+        };
+        assert!(rs
+            .validated()
+            .unwrap_err()
+            .to_string()
+            .contains("retry limit"));
+        let cp = FaultSpec {
+            recovery: RecoveryPolicy::Checkpoint {
+                interval: 300.0,
+                overhead: 10.0,
+                max_retries: 0,
+            },
+            ..base_spec()
+        };
+        assert!(cp
+            .validated()
+            .unwrap_err()
+            .to_string()
+            .contains("retry limit"));
+    }
+
+    #[test]
+    fn bad_probability_and_checkpoint_params_rejected() {
+        assert!(FaultSpec {
+            job_failure_prob: 1.5,
+            ..base_spec()
+        }
+        .validated()
+        .is_err());
+        assert!(FaultSpec {
+            job_failure_prob: -0.1,
+            ..base_spec()
+        }
+        .validated()
+        .is_err());
+        let bad_interval = FaultSpec {
+            recovery: RecoveryPolicy::Checkpoint {
+                interval: 0.0,
+                overhead: 10.0,
+                max_retries: 2,
+            },
+            ..base_spec()
+        };
+        assert!(bad_interval.validated().is_err());
+        let bad_overhead = FaultSpec {
+            recovery: RecoveryPolicy::Checkpoint {
+                interval: 300.0,
+                overhead: -1.0,
+                max_retries: 2,
+            },
+            ..base_spec()
+        };
+        assert!(bad_overhead.validated().is_err());
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let spec = base_spec();
+        let mut a = FaultInjector::new(&spec);
+        let mut b = FaultInjector::new(&spec);
+        for _ in 0..100 {
+            assert_eq!(a.time_to_failure(), b.time_to_failure());
+            assert_eq!(a.attempt_fault(0.5), b.attempt_fault(0.5));
+        }
+    }
+
+    #[test]
+    fn exponential_draws_have_roughly_the_right_mean() {
+        let mut inj = FaultInjector::new(&base_spec());
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| inj.time_to_failure()).sum::<f64>() / n as f64;
+        // MTBF 3600; allow 5% sampling slack.
+        assert!((mean - 3600.0).abs() < 180.0, "mean = {mean}");
+    }
+
+    #[test]
+    fn inert_spec_draws_nothing() {
+        let spec = FaultSpec::none(3);
+        assert!(spec.is_inert());
+        let mut inj = FaultInjector::new(&spec);
+        assert!(inj.time_to_failure().is_infinite());
+        assert_eq!(inj.attempt_fault(0.0), None);
+    }
+
+    #[test]
+    fn victim_weighting_respects_node_counts() {
+        let mut inj = FaultInjector::new(&base_spec());
+        // Job 1 holds 9 of 10 busy nodes; it should absorb most failures.
+        let mut hits = [0usize; 2];
+        for _ in 0..2000 {
+            hits[inj.pick_victim(&[1, 9])] += 1;
+        }
+        assert!(hits[1] > hits[0] * 4, "hits = {hits:?}");
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(backoff_penalty(60.0, 1), 60.0);
+        assert_eq!(backoff_penalty(60.0, 2), 120.0);
+        assert_eq!(backoff_penalty(60.0, 4), 480.0);
+        assert_eq!(backoff_penalty(0.0, 10), 0.0);
+        assert!(backoff_penalty(60.0, 60).is_finite());
+    }
+
+    #[test]
+    fn checkpoint_durations_and_saved_progress() {
+        let cp = RecoveryPolicy::Checkpoint {
+            interval: 100.0,
+            overhead: 10.0,
+            max_retries: 2,
+        };
+        // 350s of work -> 3 full checkpoints -> 380s wall.
+        assert_eq!(attempt_duration(350.0, &cp), 380.0);
+        // Killed 250s in: two full (interval+overhead) cycles written.
+        assert_eq!(progress_saved(250.0, 350.0, &cp), 200.0);
+        // Saved progress never exceeds the attempt's work.
+        assert_eq!(progress_saved(10_000.0, 350.0, &cp), 350.0);
+        // Plain resubmit saves nothing and pays nothing.
+        let rs = RecoveryPolicy::Resubmit {
+            max_retries: 1,
+            backoff_base: 0.0,
+        };
+        assert_eq!(attempt_duration(350.0, &rs), 350.0);
+        assert_eq!(progress_saved(250.0, 350.0, &rs), 0.0);
+    }
+}

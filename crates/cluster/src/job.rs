@@ -35,10 +35,18 @@ impl Job {
 pub struct CompletedJob {
     /// The job as submitted.
     pub job: Job,
-    /// When it started running.
+    /// When its final (successful) attempt started running.
     pub start: f64,
-    /// When it finished (`start + runtime`).
+    /// When it finished. Equals `start + runtime` in fault-free runs; under
+    /// faults the final attempt may be shorter (checkpoint restart) or pay
+    /// checkpoint overhead on top.
     pub finish: f64,
+    /// How many attempts it took to finish (1 in fault-free runs).
+    pub attempts: u32,
+    /// Node-seconds burned that did not contribute to the final result:
+    /// killed attempts' lost progress plus checkpoint overhead. Zero in
+    /// fault-free runs.
+    pub wasted_work: f64,
 }
 
 impl CompletedJob {
@@ -60,27 +68,73 @@ impl CompletedJob {
     }
 }
 
+/// The simulator's record of a job given up on after repeated failures (or
+/// immediately, under [`crate::faults::RecoveryPolicy::Abandon`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbandonedJob {
+    /// The job as submitted.
+    pub job: Job,
+    /// Attempts started before giving up.
+    pub attempts: u32,
+    /// Node-seconds burned across all attempts — all of it wasted, since
+    /// the job never finished.
+    pub wasted_work: f64,
+    /// Simulation time of the final kill.
+    pub abandoned_at: f64,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn job() -> Job {
-        Job { id: 1, submit: 100.0, nodes: 4, runtime: 50.0, estimate: 80.0 }
+        Job {
+            id: 1,
+            submit: 100.0,
+            nodes: 4,
+            runtime: 50.0,
+            estimate: 80.0,
+        }
     }
 
     #[test]
     fn validity_checks() {
         assert!(job().is_valid());
         assert!(!Job { nodes: 0, ..job() }.is_valid());
-        assert!(!Job { runtime: 0.0, ..job() }.is_valid());
-        assert!(!Job { submit: -1.0, ..job() }.is_valid());
-        assert!(!Job { estimate: 10.0, ..job() }.is_valid(), "estimate below runtime");
-        assert!(!Job { runtime: f64::NAN, ..job() }.is_valid());
+        assert!(!Job {
+            runtime: 0.0,
+            ..job()
+        }
+        .is_valid());
+        assert!(!Job {
+            submit: -1.0,
+            ..job()
+        }
+        .is_valid());
+        assert!(
+            !Job {
+                estimate: 10.0,
+                ..job()
+            }
+            .is_valid(),
+            "estimate below runtime"
+        );
+        assert!(!Job {
+            runtime: f64::NAN,
+            ..job()
+        }
+        .is_valid());
     }
 
     #[test]
     fn completed_job_metrics() {
-        let c = CompletedJob { job: job(), start: 130.0, finish: 180.0 };
+        let c = CompletedJob {
+            job: job(),
+            start: 130.0,
+            finish: 180.0,
+            attempts: 1,
+            wasted_work: 0.0,
+        };
         assert_eq!(c.wait(), 30.0);
         // (30 + 50) / 50 = 1.6
         assert!((c.bounded_slowdown() - 1.6).abs() < 1e-12);
@@ -89,11 +143,25 @@ mod tests {
 
     #[test]
     fn slowdown_floor_for_tiny_jobs() {
-        let tiny = Job { runtime: 1.0, estimate: 1.0, ..job() };
-        let c = CompletedJob { job: tiny, start: 100.0, finish: 101.0 };
+        let tiny = Job {
+            runtime: 1.0,
+            estimate: 1.0,
+            ..job()
+        };
+        let c = CompletedJob {
+            job: tiny,
+            start: 100.0,
+            finish: 101.0,
+            attempts: 1,
+            wasted_work: 0.0,
+        };
         // (0 + 1) / max(1, 10) = 0.1 -> floored to 1.
         assert_eq!(c.bounded_slowdown(), 1.0);
-        let c = CompletedJob { job: tiny, start: 119.0, finish: 120.0 };
+        let c = CompletedJob {
+            finish: 120.0,
+            start: 119.0,
+            ..c
+        };
         // (19 + 1) / 10 = 2.
         assert!((c.bounded_slowdown() - 2.0).abs() < 1e-12);
     }

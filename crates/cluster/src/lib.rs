@@ -15,18 +15,26 @@
 //! backfill slashes mean wait at identical utilization, and every policy's
 //! wait curve turns a knee as offered load approaches 1.
 //!
+//! Experiment E14 layers [`faults`] on top: seeded node failures and
+//! software faults, with [`faults::RecoveryPolicy`] deciding whether killed
+//! jobs resubmit from scratch, restart from a checkpoint, or are abandoned;
+//! [`metrics::resilience_summary`] splits the cluster's work into goodput
+//! and badput.
+//!
 //! ```
 //! use rcr_cluster::{sim::Simulator, sched::Policy, workload};
 //!
 //! let jobs = workload::generate(&workload::WorkloadSpec::default(), 0xC0FFEE);
 //! let outcome = Simulator::new(64, Policy::EasyBackfill).run(jobs).unwrap();
-//! assert!(outcome.summary().utilization > 0.0);
+//! let summary = outcome.try_summary().expect("fault-free runs complete every job");
+//! assert!(summary.utilization > 0.0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod event;
+pub mod faults;
 pub mod job;
 pub mod metrics;
 pub mod sched;
@@ -55,18 +63,26 @@ pub enum Error {
     InvalidJob(u64),
     /// Workload specification parameter out of range.
     InvalidSpec(String),
+    /// Fault-injection configuration parameter out of range (zero MTBF,
+    /// negative repair time, retry limit of 0, ...).
+    InvalidFaultSpec(String),
 }
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Error::NoNodes => write!(f, "cluster needs at least one node"),
-            Error::JobTooWide { job, requested, available } => write!(
+            Error::JobTooWide {
+                job,
+                requested,
+                available,
+            } => write!(
                 f,
                 "job {job} requests {requested} nodes but the cluster has {available}"
             ),
             Error::InvalidJob(id) => write!(f, "job {id} has invalid times"),
             Error::InvalidSpec(msg) => write!(f, "invalid workload spec: {msg}"),
+            Error::InvalidFaultSpec(msg) => write!(f, "invalid fault spec: {msg}"),
         }
     }
 }
@@ -83,9 +99,18 @@ mod lib_tests {
     #[test]
     fn errors_display() {
         assert!(Error::NoNodes.to_string().contains("node"));
-        let e = Error::JobTooWide { job: 3, requested: 128, available: 64 };
+        let e = Error::JobTooWide {
+            job: 3,
+            requested: 128,
+            available: 64,
+        };
         assert!(e.to_string().contains("128"));
         assert!(Error::InvalidJob(9).to_string().contains('9'));
-        assert!(Error::InvalidSpec("load".into()).to_string().contains("load"));
+        assert!(Error::InvalidSpec("load".into())
+            .to_string()
+            .contains("load"));
+        let e = Error::InvalidFaultSpec("node_mtbf must be positive".into());
+        assert!(e.to_string().contains("fault spec"));
+        assert!(e.to_string().contains("mtbf"));
     }
 }

@@ -1,6 +1,6 @@
 //! Aggregate metrics over a finished simulation.
 
-use crate::job::CompletedJob;
+use crate::job::{AbandonedJob, CompletedJob};
 
 /// Aggregate outcome statistics for one policy run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,10 +27,21 @@ pub struct Summary {
     pub slowdown_fairness: f64,
 }
 
+/// Fallible variant of [`summarize`]: `None` when no jobs completed, which
+/// is reachable once fault injection can abandon every job.
+pub fn try_summarize(completed: &[CompletedJob], nodes: usize) -> Option<Summary> {
+    if completed.is_empty() {
+        None
+    } else {
+        Some(summarize(completed, nodes))
+    }
+}
+
 /// Computes the summary for completed jobs on a cluster of `nodes` nodes.
 ///
 /// # Panics
-/// Panics on an empty job list (a simulation always completes ≥ 1 job).
+/// Panics on an empty job list; prefer [`try_summarize`] when the trace may
+/// have abandoned every job.
 pub fn summarize(completed: &[CompletedJob], nodes: usize) -> Summary {
     assert!(!completed.is_empty(), "no completed jobs to summarize");
     let mut waits: Vec<f64> = completed.iter().map(CompletedJob::wait).collect();
@@ -39,14 +50,25 @@ pub fn summarize(completed: &[CompletedJob], nodes: usize) -> Summary {
     let mean_wait = waits.iter().sum::<f64>() / n as f64;
     let median_wait = waits[n / 2];
     let p90_wait = waits[((n as f64 * 0.9) as usize).min(n - 1)];
-    let mean_slowdown =
-        completed.iter().map(CompletedJob::bounded_slowdown).sum::<f64>() / n as f64;
-    let t0 = completed.iter().map(|c| c.job.submit).fold(f64::INFINITY, f64::min);
-    let t1 = completed.iter().map(|c| c.finish).fold(f64::NEG_INFINITY, f64::max);
+    let mean_slowdown = completed
+        .iter()
+        .map(CompletedJob::bounded_slowdown)
+        .sum::<f64>()
+        / n as f64;
+    let t0 = completed
+        .iter()
+        .map(|c| c.job.submit)
+        .fold(f64::INFINITY, f64::min);
+    let t1 = completed
+        .iter()
+        .map(|c| c.finish)
+        .fold(f64::NEG_INFINITY, f64::max);
     let makespan = (t1 - t0).max(f64::MIN_POSITIVE);
     let busy: f64 = completed.iter().map(CompletedJob::node_seconds).sum();
-    let slowdowns: Vec<f64> =
-        completed.iter().map(CompletedJob::bounded_slowdown).collect();
+    let slowdowns: Vec<f64> = completed
+        .iter()
+        .map(CompletedJob::bounded_slowdown)
+        .collect();
     Summary {
         n_jobs: n,
         mean_wait,
@@ -56,6 +78,60 @@ pub fn summarize(completed: &[CompletedJob], nodes: usize) -> Summary {
         utilization: busy / (nodes as f64 * makespan),
         makespan,
         slowdown_fairness: jain_index(&slowdowns),
+    }
+}
+
+/// Resilience metrics over a (possibly faulty) simulation: how much of the
+/// cluster's work was useful, and what the failures cost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResilienceSummary {
+    /// Jobs that finished.
+    pub completed: usize,
+    /// Jobs given up on.
+    pub abandoned: usize,
+    /// Node failures injected during the run.
+    pub node_failures: usize,
+    /// Useful node-seconds: each completed job's `nodes × runtime`, counted
+    /// once no matter how many attempts it took.
+    pub goodput: f64,
+    /// Wasted node-seconds: killed attempts' lost progress, checkpoint
+    /// overhead, and everything burned by abandoned jobs.
+    pub badput: f64,
+    /// `badput / (goodput + badput)`; zero when nothing ran.
+    pub wasted_fraction: f64,
+    /// Mean attempts per resolved (completed or abandoned) job.
+    pub mean_attempts: f64,
+    /// Total restarts across all jobs (attempts beyond each job's first).
+    pub total_retries: u64,
+}
+
+/// Computes resilience metrics from the completed and abandoned traces.
+/// Well-defined on empty inputs (all counts zero, ratios zero).
+pub fn resilience_summary(
+    completed: &[CompletedJob],
+    abandoned: &[AbandonedJob],
+    node_failures: usize,
+) -> ResilienceSummary {
+    let goodput: f64 = completed.iter().map(CompletedJob::node_seconds).sum();
+    let badput: f64 = completed.iter().map(|c| c.wasted_work).sum::<f64>()
+        + abandoned.iter().map(|a| a.wasted_work).sum::<f64>();
+    let total = goodput + badput;
+    let resolved = completed.len() + abandoned.len();
+    let attempts: u64 = completed.iter().map(|c| u64::from(c.attempts)).sum::<u64>()
+        + abandoned.iter().map(|a| u64::from(a.attempts)).sum::<u64>();
+    ResilienceSummary {
+        completed: completed.len(),
+        abandoned: abandoned.len(),
+        node_failures,
+        goodput,
+        badput,
+        wasted_fraction: if total > 0.0 { badput / total } else { 0.0 },
+        mean_attempts: if resolved > 0 {
+            attempts as f64 / resolved as f64
+        } else {
+            0.0
+        },
+        total_retries: attempts.saturating_sub(resolved as u64),
     }
 }
 
@@ -100,6 +176,8 @@ mod tests {
             },
             start,
             finish: start + runtime,
+            attempts: 1,
+            wasted_work: 0.0,
         }
     }
 
@@ -142,6 +220,53 @@ mod tests {
     #[should_panic(expected = "no completed jobs")]
     fn empty_summary_panics() {
         summarize(&[], 4);
+    }
+
+    #[test]
+    fn try_summarize_handles_empty_trace() {
+        assert_eq!(try_summarize(&[], 4), None);
+        let jobs = vec![completed(0.0, 0.0, 100.0, 1)];
+        let s = try_summarize(&jobs, 2).expect("non-empty trace");
+        assert_eq!(s.n_jobs, 1);
+        assert_eq!(s, summarize(&jobs, 2));
+    }
+
+    #[test]
+    fn resilience_summary_accounting() {
+        use crate::job::AbandonedJob;
+        let mut done = completed(0.0, 100.0, 200.0, 4);
+        done.attempts = 3;
+        done.wasted_work = 500.0;
+        let lost = AbandonedJob {
+            job: Job {
+                id: 1,
+                submit: 0.0,
+                nodes: 2,
+                runtime: 50.0,
+                estimate: 50.0,
+            },
+            attempts: 2,
+            wasted_work: 120.0,
+            abandoned_at: 400.0,
+        };
+        let r = resilience_summary(&[done], &[lost], 7);
+        assert_eq!(r.completed, 1);
+        assert_eq!(r.abandoned, 1);
+        assert_eq!(r.node_failures, 7);
+        assert_eq!(r.goodput, 800.0); // 4 nodes x 200 s, counted once
+        assert_eq!(r.badput, 620.0);
+        assert!((r.wasted_fraction - 620.0 / 1420.0).abs() < 1e-12);
+        assert!((r.mean_attempts - 2.5).abs() < 1e-12);
+        assert_eq!(r.total_retries, 3); // 5 attempts for 2 jobs
+    }
+
+    #[test]
+    fn resilience_summary_is_defined_on_empty_traces() {
+        let r = resilience_summary(&[], &[], 0);
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.goodput, 0.0);
+        assert_eq!(r.wasted_fraction, 0.0);
+        assert_eq!(r.mean_attempts, 0.0);
     }
 
     #[test]

@@ -34,8 +34,12 @@ impl Policy {
     }
 
     /// All policies, in the order the paper's figures present them.
-    pub const ALL: [Policy; 4] =
-        [Policy::Fcfs, Policy::Sjf, Policy::EasyBackfill, Policy::ConservativeBackfill];
+    pub const ALL: [Policy; 4] = [
+        Policy::Fcfs,
+        Policy::Sjf,
+        Policy::EasyBackfill,
+        Policy::ConservativeBackfill,
+    ];
 }
 
 /// A waiting job, as the scheduler sees it.
@@ -47,6 +51,20 @@ pub struct QueuedJob {
     pub nodes: usize,
     /// User runtime estimate (what planning uses).
     pub estimate: f64,
+    /// Queue-ordering key: the effective submit time. Fresh arrivals use
+    /// the job's submit time; fault-recovery requeues use the kill time
+    /// plus any retry backoff, so repeatedly failing jobs drift backwards
+    /// instead of hammering the head of the queue.
+    pub priority: f64,
+}
+
+/// Inserts a job into a queue kept sorted by ascending [`QueuedJob::priority`],
+/// after any existing entries with an equal priority (so first-come order is
+/// preserved among ties, and a requeue never leapfrogs a same-priority
+/// arrival).
+pub fn requeue(queue: &mut Vec<QueuedJob>, job: QueuedJob) {
+    let at = queue.partition_point(|q| q.priority <= job.priority);
+    queue.insert(at, job);
 }
 
 /// A running job, as the scheduler sees it.
@@ -93,7 +111,10 @@ impl Profile {
             .map(|r| (r.expected_finish.max(now), r.nodes as i64))
             .collect();
         deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
-        Profile { deltas, base: free_now as i64 }
+        Profile {
+            deltas,
+            base: free_now as i64,
+        }
     }
 
     /// Candidate start times: `now` plus every future change point.
@@ -137,16 +158,12 @@ impl Profile {
     fn reserve(&mut self, start: f64, dur: f64, nodes: usize) {
         self.deltas.push((start, -(nodes as i64)));
         self.deltas.push((start + dur, nodes as i64));
-        self.deltas.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        self.deltas
+            .sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
     }
 }
 
-fn conservative(
-    queue: &[QueuedJob],
-    running: &[RunningJob],
-    free: usize,
-    now: f64,
-) -> Vec<usize> {
+fn conservative(queue: &[QueuedJob], running: &[RunningJob], free: usize, now: f64) -> Vec<usize> {
     let mut profile = Profile::new(free, running, now);
     let mut starts = Vec::new();
     for (pos, j) in queue.iter().enumerate() {
@@ -269,11 +286,20 @@ mod tests {
     use super::*;
 
     fn q(job_idx: usize, nodes: usize, estimate: f64) -> QueuedJob {
-        QueuedJob { job_idx, nodes, estimate }
+        QueuedJob {
+            job_idx,
+            nodes,
+            estimate,
+            priority: 0.0,
+        }
     }
 
     fn r(nodes: usize, expected_finish: f64) -> RunningJob {
-        RunningJob { job_idx: 99, nodes, expected_finish }
+        RunningJob {
+            job_idx: 99,
+            nodes,
+            expected_finish,
+        }
     }
 
     #[test]
@@ -407,6 +433,69 @@ mod tests {
         let running = [r(4, 50.0)];
         let queue = [q(0, 6, 10.0), q(1, 3, 30.0), q(2, 3, 60.0)];
         assert_eq!(easy(&queue, &running, 4, 0.0), vec![1]);
+    }
+
+    #[test]
+    fn requeue_keeps_priority_order_and_is_stable() {
+        let mut queue = Vec::new();
+        requeue(
+            &mut queue,
+            QueuedJob {
+                priority: 10.0,
+                ..q(0, 1, 5.0)
+            },
+        );
+        requeue(
+            &mut queue,
+            QueuedJob {
+                priority: 30.0,
+                ..q(1, 1, 5.0)
+            },
+        );
+        requeue(
+            &mut queue,
+            QueuedJob {
+                priority: 20.0,
+                ..q(2, 1, 5.0)
+            },
+        );
+        // Equal priority inserts after the existing entry.
+        requeue(
+            &mut queue,
+            QueuedJob {
+                priority: 20.0,
+                ..q(3, 1, 5.0)
+            },
+        );
+        // A backoff-heavy retry lands at the back.
+        requeue(
+            &mut queue,
+            QueuedJob {
+                priority: 99.0,
+                ..q(4, 1, 5.0)
+            },
+        );
+        let order: Vec<usize> = queue.iter().map(|j| j.job_idx).collect();
+        assert_eq!(order, vec![0, 2, 3, 1, 4]);
+    }
+
+    #[test]
+    fn requeue_of_nondecreasing_priorities_matches_push_order() {
+        // Fresh arrivals pop in submit order, so sorted insert must reduce
+        // to a plain push — this is what keeps fault-free runs with the
+        // faulty event loop byte-identical to the plain loop.
+        let mut queue = Vec::new();
+        for (i, p) in [1.0, 2.0, 2.0, 5.0].iter().enumerate() {
+            requeue(
+                &mut queue,
+                QueuedJob {
+                    priority: *p,
+                    ..q(i, 1, 5.0)
+                },
+            );
+        }
+        let order: Vec<usize> = queue.iter().map(|j| j.job_idx).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
     }
 
     #[test]

@@ -1,9 +1,13 @@
-//! The simulation engine: event loop, queue management, and bookkeeping.
+//! The simulation engine: event loop, queue management, and bookkeeping —
+//! with optional fault injection and recovery.
 
 use crate::event::{EventKind, EventQueue};
-use crate::job::{CompletedJob, Job};
-use crate::metrics::{summarize, Summary};
-use crate::sched::{select, Policy, QueuedJob, RunningJob};
+use crate::faults::{
+    attempt_duration, backoff_penalty, progress_saved, FaultInjector, FaultSpec, RecoveryPolicy,
+};
+use crate::job::{AbandonedJob, CompletedJob, Job};
+use crate::metrics::{resilience_summary, summarize, try_summarize, ResilienceSummary, Summary};
+use crate::sched::{requeue, select, Policy, QueuedJob, RunningJob};
 use crate::{Error, Result};
 
 /// Result of a finished simulation: the completed-job trace plus the
@@ -12,6 +16,11 @@ use crate::{Error, Result};
 pub struct Outcome {
     /// Per-job completion records, in completion order.
     pub completed: Vec<CompletedJob>,
+    /// Jobs the recovery policy gave up on (always empty without fault
+    /// injection).
+    pub abandoned: Vec<AbandonedJob>,
+    /// Node failures injected during the run.
+    pub node_failures: usize,
     /// Number of nodes the cluster had.
     pub nodes: usize,
     /// Policy that produced this outcome.
@@ -19,13 +28,26 @@ pub struct Outcome {
 }
 
 impl Outcome {
+    /// Aggregate statistics, or `None` when no job completed — which is
+    /// reachable under fault injection (every job abandoned).
+    pub fn try_summary(&self) -> Option<Summary> {
+        try_summarize(&self.completed, self.nodes)
+    }
+
     /// Aggregate statistics.
     ///
     /// # Panics
-    /// Panics if the simulation completed no jobs (impossible for valid,
-    /// non-empty traces).
+    /// Panics if the simulation completed no jobs. Fault-free runs of valid
+    /// non-empty traces always complete every job; with fault injection
+    /// prefer [`Outcome::try_summary`].
     pub fn summary(&self) -> Summary {
         summarize(&self.completed, self.nodes)
+    }
+
+    /// Resilience metrics (goodput, badput, retries, abandonment). Defined
+    /// for every outcome, including empty and all-abandoned ones.
+    pub fn resilience(&self) -> ResilienceSummary {
+        resilience_summary(&self.completed, &self.abandoned, self.node_failures)
     }
 }
 
@@ -34,13 +56,29 @@ impl Outcome {
 pub struct Simulator {
     nodes: usize,
     policy: Policy,
+    faults: Option<FaultSpec>,
 }
 
 impl Simulator {
     /// Creates a simulator for a cluster with `nodes` identical nodes under
-    /// the given policy.
+    /// the given policy. No faults are injected; every run is equivalent to
+    /// perfectly reliable hardware.
     pub fn new(nodes: usize, policy: Policy) -> Self {
-        Simulator { nodes, policy }
+        Simulator {
+            nodes,
+            policy,
+            faults: None,
+        }
+    }
+
+    /// Enables fault injection under `spec`, validating it first.
+    ///
+    /// # Errors
+    /// [`Error::InvalidFaultSpec`] when any parameter is out of range (zero
+    /// MTBF, negative repair time, retry limit of 0, ...).
+    pub fn with_faults(mut self, spec: FaultSpec) -> Result<Self> {
+        self.faults = Some(spec.validated()?);
+        Ok(self)
     }
 
     /// Runs the trace to completion and returns per-job records.
@@ -64,7 +102,14 @@ impl Simulator {
                 });
             }
         }
+        match &self.faults {
+            None => self.run_plain(jobs),
+            Some(spec) => self.run_faulty(jobs, *spec),
+        }
+    }
 
+    /// The fault-free event loop: every job runs exactly once.
+    fn run_plain(&self, jobs: Vec<Job>) -> Result<Outcome> {
         let mut events = EventQueue::new();
         for (idx, j) in jobs.iter().enumerate() {
             events.push(j.submit, EventKind::Arrival { job: idx });
@@ -85,9 +130,10 @@ impl Simulator {
                         job_idx: job,
                         nodes: jobs[job].nodes,
                         estimate: jobs[job].estimate,
+                        priority: jobs[job].submit,
                     });
                 }
-                EventKind::Finish { job } => {
+                EventKind::Finish { job, .. } => {
                     let pos = running
                         .iter()
                         .position(|r| r.job_idx == job)
@@ -98,7 +144,14 @@ impl Simulator {
                         job: jobs[job],
                         start: start_time[job],
                         finish: now,
+                        attempts: 1,
+                        wasted_work: 0.0,
                     });
+                }
+                EventKind::NodeFailure { .. }
+                | EventKind::NodeRepair { .. }
+                | EventKind::JobFault { .. } => {
+                    unreachable!("fault events are never scheduled without a FaultSpec")
                 }
             }
             // Let the policy start whatever it can after any state change.
@@ -118,13 +171,271 @@ impl Simulator {
                     nodes: qj.nodes,
                     expected_finish: now + j.estimate,
                 });
-                events.push(now + j.runtime, EventKind::Finish { job: qj.job_idx });
+                events.push(
+                    now + j.runtime,
+                    EventKind::Finish {
+                        job: qj.job_idx,
+                        attempt: 1,
+                    },
+                );
             }
         }
 
         debug_assert!(queue.is_empty(), "all jobs eventually run");
         debug_assert!(running.is_empty(), "all jobs eventually finish");
-        Ok(Outcome { completed, nodes: self.nodes, policy: self.policy })
+        Ok(Outcome {
+            completed,
+            abandoned: Vec::new(),
+            node_failures: 0,
+            nodes: self.nodes,
+            policy: self.policy,
+        })
+    }
+
+    /// The fault-injecting event loop. With an inert spec (infinite MTBF,
+    /// zero job-failure probability, `Resubmit` recovery) this produces an
+    /// outcome identical to [`Simulator::run_plain`]: no fault events are
+    /// scheduled, no random draws are made, and priority-ordered requeueing
+    /// of fresh arrivals degenerates to plain push.
+    fn run_faulty(&self, jobs: Vec<Job>, spec: FaultSpec) -> Result<Outcome> {
+        let recovery = spec.recovery;
+        let mut inj = FaultInjector::new(&spec);
+        let n = jobs.len();
+
+        let mut events = EventQueue::new();
+        for (idx, j) in jobs.iter().enumerate() {
+            events.push(j.submit, EventKind::Arrival { job: idx });
+        }
+        // Arm every node's first failure clock.
+        let mut node_up = vec![true; self.nodes];
+        let mut up = self.nodes;
+        for node in 0..self.nodes {
+            let ttf = inj.time_to_failure();
+            if ttf.is_finite() {
+                events.push(ttf, EventKind::NodeFailure { node });
+            }
+        }
+
+        let mut free = self.nodes;
+        let mut queue: Vec<QueuedJob> = Vec::new();
+        let mut running: Vec<RunningJob> = Vec::new();
+        let mut completed: Vec<CompletedJob> = Vec::with_capacity(n);
+        let mut abandoned: Vec<AbandonedJob> = Vec::new();
+        let mut node_failures = 0usize;
+
+        // Per-job mutable state, indexed like `jobs`.
+        let mut attempts = vec![0u32; n]; // attempts started so far
+        let mut wasted = vec![0f64; n]; // node-seconds burned uselessly
+        let mut remaining: Vec<f64> = jobs.iter().map(|j| j.runtime).collect();
+        let mut att_start = vec![f64::NAN; n]; // current attempt's launch time
+        let mut att_work = vec![0f64; n]; // current attempt's useful work
+        let mut resolved = 0usize;
+        let mut last_time = 0.0f64;
+
+        // Kills the (running) job's current attempt at `now`: account the
+        // lost work, then either requeue under the recovery policy or
+        // abandon. The caller removes the job from `running` and returns
+        // its nodes to `free`.
+        let kill = |job: usize,
+                    now: f64,
+                    queue: &mut Vec<QueuedJob>,
+                    abandoned: &mut Vec<AbandonedJob>,
+                    attempts: &[u32],
+                    wasted: &mut [f64],
+                    remaining: &mut [f64],
+                    att_start: &[f64],
+                    att_work: &[f64],
+                    resolved: &mut usize| {
+            let j = &jobs[job];
+            let elapsed = now - att_start[job];
+            let saved = progress_saved(elapsed, att_work[job], &recovery);
+            remaining[job] = att_work[job] - saved;
+            wasted[job] += j.nodes as f64 * (elapsed - saved);
+            let k = attempts[job];
+            let retry_allowed = match recovery.max_retries() {
+                Some(max) => k <= max,
+                None => false,
+            };
+            if retry_allowed {
+                let backoff = match recovery {
+                    RecoveryPolicy::Resubmit { backoff_base, .. } => {
+                        backoff_penalty(backoff_base, k)
+                    }
+                    _ => 0.0,
+                };
+                // Scale the user's over-estimate factor onto the remaining
+                // work, never below the actual wall time of the retry.
+                let scale = j.estimate / j.runtime;
+                let estimate =
+                    (remaining[job] * scale).max(attempt_duration(remaining[job], &recovery));
+                requeue(
+                    queue,
+                    QueuedJob {
+                        job_idx: job,
+                        nodes: j.nodes,
+                        estimate,
+                        priority: now + backoff,
+                    },
+                );
+            } else {
+                abandoned.push(AbandonedJob {
+                    job: *j,
+                    attempts: k,
+                    wasted_work: wasted[job],
+                    abandoned_at: now,
+                });
+                *resolved += 1;
+            }
+        };
+
+        while resolved < n {
+            let Some(ev) = events.pop() else {
+                debug_assert!(false, "event queue drained with unresolved jobs");
+                break;
+            };
+            let now = ev.time;
+            debug_assert!(now >= last_time, "event time went backwards");
+            last_time = now;
+            match ev.kind {
+                EventKind::Arrival { job } => {
+                    requeue(
+                        &mut queue,
+                        QueuedJob {
+                            job_idx: job,
+                            nodes: jobs[job].nodes,
+                            estimate: jobs[job].estimate,
+                            priority: jobs[job].submit,
+                        },
+                    );
+                }
+                EventKind::Finish { job, attempt } => {
+                    // Stale finishes (the attempt was killed) are ignored.
+                    if attempts[job] != attempt {
+                        continue;
+                    }
+                    let Some(pos) = running.iter().position(|r| r.job_idx == job) else {
+                        continue;
+                    };
+                    let r = running.swap_remove(pos);
+                    free += r.nodes;
+                    // Checkpoint overhead paid in the successful attempt is
+                    // wall time beyond the useful work — it counts as waste.
+                    // (Computed from the model, not from event-time
+                    // subtraction, which carries rounding residue.)
+                    let overhead_paid = attempt_duration(att_work[job], &recovery) - att_work[job];
+                    wasted[job] += r.nodes as f64 * overhead_paid;
+                    completed.push(CompletedJob {
+                        job: jobs[job],
+                        start: att_start[job],
+                        finish: now,
+                        attempts: attempt,
+                        wasted_work: wasted[job],
+                    });
+                    resolved += 1;
+                }
+                EventKind::NodeFailure { node } => {
+                    debug_assert!(node_up[node], "failure of an already-down node");
+                    node_failures += 1;
+                    node_up[node] = false;
+                    events.push(now + spec.repair_time, EventKind::NodeRepair { node });
+                    let busy = up - free;
+                    if inj.failure_hits_busy(busy, up) {
+                        let weights: Vec<usize> = running.iter().map(|r| r.nodes).collect();
+                        let victim = inj.pick_victim(&weights);
+                        let r = running.remove(victim);
+                        // The victim's nodes come back idle, minus the one
+                        // that just died.
+                        free += r.nodes - 1;
+                        kill(
+                            r.job_idx,
+                            now,
+                            &mut queue,
+                            &mut abandoned,
+                            &attempts,
+                            &mut wasted,
+                            &mut remaining,
+                            &att_start,
+                            &att_work,
+                            &mut resolved,
+                        );
+                    } else {
+                        // An idle node went down.
+                        debug_assert!(free > 0);
+                        free -= 1;
+                    }
+                    up -= 1;
+                }
+                EventKind::NodeRepair { node } => {
+                    debug_assert!(!node_up[node], "repair of an up node");
+                    node_up[node] = true;
+                    up += 1;
+                    free += 1;
+                    let ttf = inj.time_to_failure();
+                    if ttf.is_finite() {
+                        events.push(now + ttf, EventKind::NodeFailure { node });
+                    }
+                }
+                EventKind::JobFault { job, attempt } => {
+                    // Stale faults (attempt already finished or was killed
+                    // by a node failure) are ignored.
+                    if attempts[job] != attempt {
+                        continue;
+                    }
+                    let Some(pos) = running.iter().position(|r| r.job_idx == job) else {
+                        continue;
+                    };
+                    let r = running.remove(pos);
+                    free += r.nodes;
+                    kill(
+                        job,
+                        now,
+                        &mut queue,
+                        &mut abandoned,
+                        &attempts,
+                        &mut wasted,
+                        &mut remaining,
+                        &att_start,
+                        &att_work,
+                        &mut resolved,
+                    );
+                }
+            }
+            // Let the policy start whatever it can after any state change.
+            let starts = select(self.policy, &queue, &running, free, now);
+            debug_assert!(
+                starts.windows(2).all(|w| w[0] < w[1]),
+                "policies return sorted unique positions"
+            );
+            for &pos in starts.iter().rev() {
+                let qj = queue.remove(pos);
+                let job = qj.job_idx;
+                debug_assert!(qj.nodes <= free, "policy over-committed nodes");
+                free -= qj.nodes;
+                attempts[job] += 1;
+                let attempt = attempts[job];
+                let work = remaining[job];
+                let duration = attempt_duration(work, &recovery);
+                att_start[job] = now;
+                att_work[job] = work;
+                running.push(RunningJob {
+                    job_idx: job,
+                    nodes: qj.nodes,
+                    expected_finish: now + qj.estimate,
+                });
+                events.push(now + duration, EventKind::Finish { job, attempt });
+                if let Some(frac) = inj.attempt_fault(spec.job_failure_prob) {
+                    events.push(now + frac * duration, EventKind::JobFault { job, attempt });
+                }
+            }
+        }
+
+        Ok(Outcome {
+            completed,
+            abandoned,
+            node_failures,
+            nodes: self.nodes,
+            policy: self.policy,
+        })
     }
 }
 
@@ -134,7 +445,20 @@ mod tests {
     use crate::workload::{generate, WorkloadSpec};
 
     fn job(id: u64, submit: f64, nodes: usize, runtime: f64, estimate: f64) -> Job {
-        Job { id, submit, nodes, runtime, estimate }
+        Job {
+            id,
+            submit,
+            nodes,
+            runtime,
+            estimate,
+        }
+    }
+
+    fn resubmit(max_retries: u32) -> RecoveryPolicy {
+        RecoveryPolicy::Resubmit {
+            max_retries,
+            backoff_base: 0.0,
+        }
     }
 
     #[test]
@@ -147,6 +471,8 @@ mod tests {
         assert_eq!(c.start, 10.0);
         assert_eq!(c.finish, 110.0);
         assert_eq!(c.wait(), 0.0);
+        assert_eq!(c.attempts, 1);
+        assert_eq!(c.wasted_work, 0.0);
     }
 
     #[test]
@@ -158,7 +484,11 @@ mod tests {
                 job(1, 1.0, 3, 100.0, 100.0),
             ])
             .unwrap();
-        let c1 = out.completed.iter().find(|c| c.job.id == 1).expect("job 1 completed");
+        let c1 = out
+            .completed
+            .iter()
+            .find(|c| c.job.id == 1)
+            .expect("job 1 completed");
         assert_eq!(c1.start, 100.0);
         assert_eq!(c1.wait(), 99.0);
     }
@@ -177,10 +507,17 @@ mod tests {
         let fcfs = Simulator::new(4, Policy::Fcfs).run(trace.clone()).unwrap();
         let easy = Simulator::new(4, Policy::EasyBackfill).run(trace).unwrap();
         let wait_of = |o: &Outcome, id: u64| {
-            o.completed.iter().find(|c| c.job.id == id).expect("completed").wait()
+            o.completed
+                .iter()
+                .find(|c| c.job.id == id)
+                .expect("completed")
+                .wait()
         };
         assert_eq!(wait_of(&fcfs, 2), 198.0); // starts at t=200 under FCFS
-        assert!(wait_of(&easy, 2) < 1.0, "EASY should backfill J2 at arrival");
+        assert!(
+            wait_of(&easy, 2) < 1.0,
+            "EASY should backfill J2 at arrival"
+        );
         // And the head job J1 is NOT delayed by the backfill.
         assert_eq!(wait_of(&fcfs, 1), 99.0);
         assert_eq!(wait_of(&easy, 1), 99.0);
@@ -189,7 +526,10 @@ mod tests {
     #[test]
     fn all_jobs_complete_under_every_policy() {
         let jobs = generate(
-            &WorkloadSpec { n_jobs: 300, ..Default::default() },
+            &WorkloadSpec {
+                n_jobs: 300,
+                ..Default::default()
+            },
             99,
         );
         for policy in Policy::ALL {
@@ -204,7 +544,13 @@ mod tests {
 
     #[test]
     fn node_capacity_never_exceeded() {
-        let jobs = generate(&WorkloadSpec { n_jobs: 400, ..Default::default() }, 5);
+        let jobs = generate(
+            &WorkloadSpec {
+                n_jobs: 400,
+                ..Default::default()
+            },
+            5,
+        );
         let out = Simulator::new(64, Policy::EasyBackfill).run(jobs).unwrap();
         // Reconstruct concurrent usage from the trace at every start point.
         let mut points: Vec<(f64, i64)> = Vec::new();
@@ -212,9 +558,7 @@ mod tests {
             points.push((c.start, c.job.nodes as i64));
             points.push((c.finish, -(c.job.nodes as i64)));
         }
-        points.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1))
-        });
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite").then(a.1.cmp(&b.1)));
         let mut used = 0i64;
         for (_, d) in points {
             used += d;
@@ -226,12 +570,23 @@ mod tests {
     #[test]
     fn backfill_improves_mean_wait_on_contended_workload() {
         let jobs = generate(
-            &WorkloadSpec { n_jobs: 800, offered_load: 0.9, ..Default::default() },
+            &WorkloadSpec {
+                n_jobs: 800,
+                offered_load: 0.9,
+                ..Default::default()
+            },
             7,
         );
-        let fcfs = Simulator::new(64, Policy::Fcfs).run(jobs.clone()).unwrap().summary();
-        let easy =
-            Simulator::new(64, Policy::EasyBackfill).run(jobs).unwrap().summary();
+        let fcfs = Simulator::new(64, Policy::Fcfs)
+            .run(jobs.clone())
+            .unwrap()
+            .try_summary()
+            .expect("jobs completed");
+        let easy = Simulator::new(64, Policy::EasyBackfill)
+            .run(jobs)
+            .unwrap()
+            .try_summary()
+            .expect("jobs completed");
         assert!(
             easy.mean_wait < fcfs.mean_wait,
             "EASY {:.0}s should beat FCFS {:.0}s",
@@ -248,7 +603,9 @@ mod tests {
         );
         let wide = job(7, 0.0, 128, 10.0, 10.0);
         assert!(matches!(
-            Simulator::new(64, Policy::Fcfs).run(vec![wide]).unwrap_err(),
+            Simulator::new(64, Policy::Fcfs)
+                .run(vec![wide])
+                .unwrap_err(),
             Error::JobTooWide { job: 7, .. }
         ));
         let bad = job(3, 0.0, 1, -5.0, 10.0);
@@ -259,8 +616,43 @@ mod tests {
     }
 
     #[test]
+    fn invalid_fault_specs_are_rejected() {
+        let base = FaultSpec::none(1);
+        assert!(matches!(
+            Simulator::new(4, Policy::Fcfs)
+                .with_faults(FaultSpec {
+                    node_mtbf: 0.0,
+                    ..base
+                })
+                .unwrap_err(),
+            Error::InvalidFaultSpec(_)
+        ));
+        assert!(Simulator::new(4, Policy::Fcfs)
+            .with_faults(FaultSpec {
+                repair_time: -3.0,
+                ..base
+            })
+            .is_err());
+        assert!(Simulator::new(4, Policy::Fcfs)
+            .with_faults(FaultSpec {
+                recovery: RecoveryPolicy::Resubmit {
+                    max_retries: 0,
+                    backoff_base: 0.0
+                },
+                ..base
+            })
+            .is_err());
+    }
+
+    #[test]
     fn deterministic_outcomes() {
-        let jobs = generate(&WorkloadSpec { n_jobs: 200, ..Default::default() }, 21);
+        let jobs = generate(
+            &WorkloadSpec {
+                n_jobs: 200,
+                ..Default::default()
+            },
+            21,
+        );
         let a = Simulator::new(64, Policy::Sjf).run(jobs.clone()).unwrap();
         let b = Simulator::new(64, Policy::Sjf).run(jobs).unwrap();
         assert_eq!(a, b);
@@ -270,5 +662,245 @@ mod tests {
     fn empty_trace_is_fine() {
         let out = Simulator::new(8, Policy::Fcfs).run(vec![]).unwrap();
         assert!(out.completed.is_empty());
+        assert_eq!(out.try_summary(), None);
+        let r = out.resilience();
+        assert_eq!(r.completed + r.abandoned, 0);
+    }
+
+    #[test]
+    fn inert_fault_spec_reproduces_fault_free_run_exactly() {
+        // The zero-failure acceptance check: an inert FaultSpec must not
+        // perturb the simulation in any way.
+        let jobs = generate(
+            &WorkloadSpec {
+                n_jobs: 300,
+                ..Default::default()
+            },
+            11,
+        );
+        for policy in Policy::ALL {
+            let plain = Simulator::new(64, policy).run(jobs.clone()).unwrap();
+            let faulty = Simulator::new(64, policy)
+                .with_faults(FaultSpec::none(0xC0FFEE))
+                .unwrap()
+                .run(jobs.clone())
+                .unwrap();
+            assert_eq!(plain, faulty, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn job_fault_triggers_resubmit_and_waste_accounting() {
+        // Single job, job_failure_prob = 1: every attempt faults until the
+        // retry budget is spent... except retries also always fault, so the
+        // job is eventually abandoned with max_retries + 1 attempts.
+        let spec = FaultSpec {
+            node_mtbf: f64::INFINITY,
+            repair_time: 0.0,
+            job_failure_prob: 1.0,
+            recovery: resubmit(3),
+            seed: 42,
+        };
+        let out = Simulator::new(4, Policy::Fcfs)
+            .with_faults(spec)
+            .unwrap()
+            .run(vec![job(0, 0.0, 2, 100.0, 100.0)])
+            .unwrap();
+        assert!(out.completed.is_empty());
+        assert_eq!(out.abandoned.len(), 1);
+        let a = &out.abandoned[0];
+        assert_eq!(a.attempts, 4, "1 initial + 3 retries");
+        assert!(a.wasted_work > 0.0, "every attempt burned node-seconds");
+        assert_eq!(out.try_summary(), None, "nothing completed");
+        let r = out.resilience();
+        assert_eq!(r.abandoned, 1);
+        assert_eq!(r.goodput, 0.0);
+        assert_eq!(r.wasted_fraction, 1.0);
+        assert_eq!(r.total_retries, 3);
+    }
+
+    #[test]
+    fn abandon_policy_gives_up_at_first_kill() {
+        let spec = FaultSpec {
+            node_mtbf: f64::INFINITY,
+            repair_time: 0.0,
+            job_failure_prob: 1.0,
+            recovery: RecoveryPolicy::Abandon,
+            seed: 9,
+        };
+        let out = Simulator::new(4, Policy::Fcfs)
+            .with_faults(spec)
+            .unwrap()
+            .run(vec![
+                job(0, 0.0, 2, 100.0, 100.0),
+                job(1, 0.0, 2, 50.0, 50.0),
+            ])
+            .unwrap();
+        assert!(out.completed.is_empty());
+        assert_eq!(out.abandoned.len(), 2);
+        assert!(out.abandoned.iter().all(|a| a.attempts == 1));
+    }
+
+    #[test]
+    fn checkpointing_bounds_lost_work() {
+        // One job, 1000 s, checkpoint every 100 s (no overhead to keep the
+        // arithmetic exact). A guaranteed software fault kills each attempt
+        // partway, but every retry resumes from the last checkpoint, so the
+        // job finishes despite 100% per-attempt fault probability being
+        // re-rolled each launch... the fault fraction is random, but with
+        // enough retries progress is monotone as long as attempts pass
+        // checkpoints. Use a generous retry budget.
+        let spec = FaultSpec {
+            node_mtbf: f64::INFINITY,
+            repair_time: 0.0,
+            job_failure_prob: 0.9,
+            recovery: RecoveryPolicy::Checkpoint {
+                interval: 100.0,
+                overhead: 0.0,
+                max_retries: 200,
+            },
+            seed: 3,
+        };
+        let out = Simulator::new(4, Policy::Fcfs)
+            .with_faults(spec)
+            .unwrap()
+            .run(vec![job(0, 0.0, 2, 1000.0, 1000.0)])
+            .unwrap();
+        assert_eq!(out.completed.len(), 1);
+        let c = &out.completed[0];
+        assert!(c.attempts > 1, "the 90% fault rate should have struck");
+        assert!(c.wasted_work > 0.0);
+        // Goodput counts the useful kiloseconds exactly once.
+        let r = out.resilience();
+        assert_eq!(r.goodput, 2000.0);
+        assert!(r.badput > 0.0);
+        assert!(r.wasted_fraction < 1.0);
+    }
+
+    #[test]
+    fn checkpoint_overhead_is_charged_as_waste_without_failures() {
+        // No faults strike, but the checkpoint tax is still paid: 1000 s of
+        // work, τ=100 s, 10 s overhead -> 10 checkpoints -> 1100 s wall and
+        // 2 nodes × 100 s = 200 node-seconds of waste.
+        let spec = FaultSpec {
+            node_mtbf: f64::INFINITY,
+            repair_time: 0.0,
+            job_failure_prob: 0.0,
+            recovery: RecoveryPolicy::Checkpoint {
+                interval: 100.0,
+                overhead: 10.0,
+                max_retries: 3,
+            },
+            seed: 1,
+        };
+        let out = Simulator::new(4, Policy::Fcfs)
+            .with_faults(spec)
+            .unwrap()
+            .run(vec![job(0, 0.0, 2, 1000.0, 1000.0)])
+            .unwrap();
+        let c = &out.completed[0];
+        assert_eq!(c.attempts, 1);
+        assert_eq!(c.finish, 1100.0);
+        assert!((c.wasted_work - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_failures_kill_and_recover_jobs() {
+        // Short MTBF on a busy machine: failures must strike, jobs must
+        // still resolve, and the books must balance.
+        let jobs = generate(
+            &WorkloadSpec {
+                n_jobs: 120,
+                ..Default::default()
+            },
+            17,
+        );
+        let n = jobs.len();
+        let spec = FaultSpec {
+            node_mtbf: 20_000.0,
+            repair_time: 600.0,
+            job_failure_prob: 0.0,
+            recovery: resubmit(8),
+            seed: 0xC0FFEE,
+        };
+        let out = Simulator::new(64, Policy::EasyBackfill)
+            .with_faults(spec)
+            .unwrap()
+            .run(jobs)
+            .unwrap();
+        assert!(out.node_failures > 0, "MTBF is short; failures must occur");
+        assert_eq!(out.completed.len() + out.abandoned.len(), n, "conservation");
+        let r = out.resilience();
+        assert!(
+            r.total_retries > 0,
+            "some job must have been hit and retried"
+        );
+        assert!(r.badput > 0.0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let jobs = generate(
+            &WorkloadSpec {
+                n_jobs: 150,
+                ..Default::default()
+            },
+            13,
+        );
+        let spec = FaultSpec {
+            node_mtbf: 30_000.0,
+            repair_time: 300.0,
+            job_failure_prob: 0.05,
+            recovery: RecoveryPolicy::Checkpoint {
+                interval: 300.0,
+                overhead: 15.0,
+                max_retries: 5,
+            },
+            seed: 0xC0FFEE,
+        };
+        let run = || {
+            Simulator::new(64, Policy::EasyBackfill)
+                .with_faults(spec)
+                .unwrap()
+                .run(jobs.clone())
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.node_failures > 0);
+    }
+
+    #[test]
+    fn backoff_pushes_retries_behind_waiting_jobs() {
+        // 2 nodes. J0 (2 nodes) always faults; its retry backoff of 1000 s
+        // must let J1 (submitted later) start first even under FCFS.
+        let spec = FaultSpec {
+            node_mtbf: f64::INFINITY,
+            repair_time: 0.0,
+            job_failure_prob: 1.0,
+            recovery: RecoveryPolicy::Resubmit {
+                max_retries: 2,
+                backoff_base: 1000.0,
+            },
+            seed: 5,
+        };
+        let out = Simulator::new(2, Policy::Fcfs)
+            .with_faults(spec)
+            .unwrap()
+            .run(vec![
+                job(0, 0.0, 2, 100.0, 100.0),
+                job(1, 10.0, 2, 50.0, 50.0),
+            ])
+            .unwrap();
+        // J1 never faults? No — fault probability is 1 for every attempt,
+        // so both jobs are eventually abandoned; but J1's first attempt must
+        // have started before J0's first retry (which carries the backoff).
+        let a1 = out
+            .abandoned
+            .iter()
+            .find(|a| a.job.id == 1)
+            .expect("J1 resolved");
+        assert_eq!(a1.attempts, 3, "J1 got its full retry budget");
     }
 }

@@ -124,7 +124,13 @@ pub fn generate_checked(spec: &WorkloadSpec, seed: u64) -> Result<Vec<Job>> {
             .exp()
             .clamp(1.0, 7.0 * 24.0 * 3600.0);
         let over = rng.gen_range(1.0..=spec.max_overestimate);
-        jobs.push(Job { id: id as u64, submit: t, nodes, runtime, estimate: runtime * over });
+        jobs.push(Job {
+            id: id as u64,
+            submit: t,
+            nodes,
+            runtime,
+            estimate: runtime * over,
+        });
     }
     Ok(jobs)
 }
@@ -159,7 +165,11 @@ mod tests {
     #[test]
     fn offered_load_tracks_spec() {
         for load in [0.5, 0.9] {
-            let spec = WorkloadSpec { n_jobs: 4000, offered_load: load, ..Default::default() };
+            let spec = WorkloadSpec {
+                n_jobs: 4000,
+                offered_load: load,
+                ..Default::default()
+            };
             let jobs = generate(&spec, 3);
             let span = jobs.last().expect("non-empty").submit - jobs[0].submit;
             let work: f64 = jobs.iter().map(|j| j.nodes as f64 * j.runtime).sum();
@@ -182,20 +192,46 @@ mod tests {
     #[test]
     fn invalid_specs_rejected() {
         let base = WorkloadSpec::default();
-        assert!(generate_checked(&WorkloadSpec { n_jobs: 0, ..base.clone() }, 1).is_err());
-        assert!(
-            generate_checked(&WorkloadSpec { cluster_nodes: 0, ..base.clone() }, 1).is_err()
-        );
-        assert!(
-            generate_checked(&WorkloadSpec { offered_load: 0.0, ..base.clone() }, 1).is_err()
-        );
-        assert!(
-            generate_checked(&WorkloadSpec { max_overestimate: 0.5, ..base.clone() }, 1)
-                .is_err()
-        );
-        assert!(
-            generate_checked(&WorkloadSpec { runtime_log_sd: -1.0, ..base }, 1).is_err()
-        );
+        assert!(generate_checked(
+            &WorkloadSpec {
+                n_jobs: 0,
+                ..base.clone()
+            },
+            1
+        )
+        .is_err());
+        assert!(generate_checked(
+            &WorkloadSpec {
+                cluster_nodes: 0,
+                ..base.clone()
+            },
+            1
+        )
+        .is_err());
+        assert!(generate_checked(
+            &WorkloadSpec {
+                offered_load: 0.0,
+                ..base.clone()
+            },
+            1
+        )
+        .is_err());
+        assert!(generate_checked(
+            &WorkloadSpec {
+                max_overestimate: 0.5,
+                ..base.clone()
+            },
+            1
+        )
+        .is_err());
+        assert!(generate_checked(
+            &WorkloadSpec {
+                runtime_log_sd: -1.0,
+                ..base
+            },
+            1
+        )
+        .is_err());
     }
 
     #[test]

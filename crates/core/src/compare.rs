@@ -198,7 +198,7 @@ pub fn compare_multi_choice_adjusted(
             .weighted_proportion(after, |r| {
                 r.answer(question)
                     .and_then(|a| a.as_choices())
-                    .is_some_and(|cs| cs.iter().any(|c| *c == item))
+                    .is_some_and(|cs| cs.contains(&item))
             })
             .unwrap_or(raw.p_after);
         // Rescale to the answered-item denominator the raw share uses.
@@ -214,7 +214,11 @@ pub fn compare_multi_choice_adjusted(
         } else {
             (p_after_adjusted - raw.p_before) / raw_delta
         };
-        out.push(AdjustedShift { raw, p_after_adjusted, survives_fraction });
+        out.push(AdjustedShift {
+            raw,
+            p_after_adjusted,
+            survives_fraction,
+        });
     }
     Ok(out)
 }
@@ -278,8 +282,8 @@ pub fn distribution_shift(
             row_a.push(*ca as f64);
         }
     }
-    let table = ContingencyTable::from_rows(&[&row_b, &row_a])
-        .map_err(|e| Error::Stats(e.to_string()))?;
+    let table =
+        ContingencyTable::from_rows(&[&row_b, &row_a]).map_err(|e| Error::Stats(e.to_string()))?;
     let t = rcr_stats::tests::chi_square_independence(&table)?;
     Ok(DistributionShift {
         chi2: t.statistic,
@@ -401,7 +405,11 @@ pub fn gpu_by_field(cohort: &Cohort) -> Result<Vec<FieldAdoption>> {
                 .iter()
                 .filter(|r| r.answered(q::Q_PARALLELISM))
                 .count() as u64;
-            let gpu = c.responses().iter().filter(|r| gpu_filter.matches(r)).count() as u64;
+            let gpu = c
+                .responses()
+                .iter()
+                .filter(|r| gpu_filter.matches(r))
+                .count() as u64;
             Ok((gpu, answered))
         };
         let (gpu_in, n_in) = count_answering(&in_field)?;
@@ -481,10 +489,15 @@ pub fn experience_vs_practices(cohort: &Cohort) -> Result<ExperiencePractices> {
     order.sort_by(|&a, &b| years[a].partial_cmp(&years[b]).expect("finite years"));
     let third = order.len() / 3;
     if third < 3 {
-        return Err(Error::Stats("too few respondents for a tertile split".into()));
+        return Err(Error::Stats(
+            "too few respondents for a tertile split".into(),
+        ));
     }
     let junior: Vec<f64> = order[..third].iter().map(|&i| counts[i]).collect();
-    let senior: Vec<f64> = order[order.len() - third..].iter().map(|&i| counts[i]).collect();
+    let senior: Vec<f64> = order[order.len() - third..]
+        .iter()
+        .map(|&i| counts[i])
+        .collect();
     let t = rcr_stats::tests::welch_t(&junior, &senior)?;
     Ok(ExperiencePractices {
         spearman_rho: rho,
@@ -498,9 +511,9 @@ pub fn experience_vs_practices(cohort: &Cohort) -> Result<ExperiencePractices> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rcr_survey::canonical as q;
     use rcr_synth::calibration::Wave;
     use rcr_synth::generator::Generator;
-    use rcr_survey::canonical as q;
 
     fn cohorts() -> (Cohort, Cohort) {
         let g = Generator::new(0xC0FFEE);
@@ -512,15 +525,25 @@ mod tests {
         let (before, after) = cohorts();
         let shifts = compare_multi_choice(&before, &after, q::Q_LANGS).unwrap();
         assert_eq!(shifts.len(), q::LANGUAGES.len());
-        let py = shifts.iter().find(|s| s.item == "python").expect("python row");
-        assert!(py.p_after > py.p_before + 0.2, "{:?}", (py.p_before, py.p_after));
+        let py = shifts
+            .iter()
+            .find(|s| s.item == "python")
+            .expect("python row");
+        assert!(
+            py.p_after > py.p_before + 0.2,
+            "{:?}",
+            (py.p_before, py.p_after)
+        );
         assert!(py.significant(0.01), "p_adj = {}", py.p_adj);
         assert!(py.z > 0.0);
         assert!(py.cohens_h > 0.5);
         assert_ne!(py.effect, "negligible");
         // CIs bracket the point estimates.
         assert!(py.ci_after.0 <= py.p_after && py.p_after <= py.ci_after.1);
-        let fortran = shifts.iter().find(|s| s.item == "fortran").expect("fortran row");
+        let fortran = shifts
+            .iter()
+            .find(|s| s.item == "fortran")
+            .expect("fortran row");
         assert!(fortran.z < 0.0, "fortran should fall");
     }
 
@@ -533,7 +556,13 @@ mod tests {
             compare_multi_choice(&before, &after, q::Q_PARALLELISM).unwrap(),
         ] {
             for r in rows {
-                assert!(r.p_adj >= r.p_raw - 1e-12, "{}: {} < {}", r.item, r.p_adj, r.p_raw);
+                assert!(
+                    r.p_adj >= r.p_raw - 1e-12,
+                    "{}: {} < {}",
+                    r.item,
+                    r.p_adj,
+                    r.p_raw
+                );
                 assert!((0.0..=1.0).contains(&r.p_adj));
             }
         }
@@ -548,7 +577,10 @@ mod tests {
         let total_after: f64 = rows.iter().map(|r| r.p_after).sum();
         assert!((total_after - 1.0).abs() < 1e-9);
         let omni = distribution_shift(&before, &after, q::Q_PRIMARY_LANG).unwrap();
-        assert!(omni.p_value < 0.001, "mix change must be detected: {omni:?}");
+        assert!(
+            omni.p_value < 0.001,
+            "mix change must be detected: {omni:?}"
+        );
         assert!(omni.cramers_v > 0.1);
         assert!(omni.chi2 > 0.0 && omni.df >= 1.0);
     }
@@ -593,10 +625,12 @@ mod tests {
     #[test]
     fn composition_adjustment_preserves_real_shifts() {
         let (before, after) = cohorts();
-        let rows =
-            compare_multi_choice_adjusted(&before, &after, q::Q_LANGS, q::Q_FIELD).unwrap();
+        let rows = compare_multi_choice_adjusted(&before, &after, q::Q_LANGS, q::Q_FIELD).unwrap();
         assert_eq!(rows.len(), q::LANGUAGES.len());
-        let py = rows.iter().find(|r| r.raw.item == "python").expect("python row");
+        let py = rows
+            .iter()
+            .find(|r| r.raw.item == "python")
+            .expect("python row");
         // Python's rise is practice change, not field mix: the adjusted 2024
         // share stays far above the 2011 share.
         assert!(

@@ -1,9 +1,10 @@
-//! The experiment registry: one driver per table/figure (E1–E12), all
+//! The experiment registry: one driver per table/figure (E1–E14), all
 //! deterministic from one master seed. `DESIGN.md` §4 is the index; the
 //! `reproduce` binary and the Criterion benches both call these drivers.
 
 use serde::Serialize;
 
+use rcr_cluster::faults::{FaultSpec, RecoveryPolicy};
 use rcr_cluster::metrics::{wait_cdf, Summary};
 use rcr_cluster::sched::Policy;
 use rcr_cluster::sim::Simulator;
@@ -33,20 +34,77 @@ pub struct ExperimentInfo {
 }
 
 /// The experiment index (matches `DESIGN.md` §4).
-pub const INDEX: [ExperimentInfo; 13] = [
-    ExperimentInfo { id: "E1", artifact: "Table 1", title: "Respondent demographics (2024)" },
-    ExperimentInfo { id: "E2", artifact: "Table 2", title: "Language usage 2011 vs 2024" },
-    ExperimentInfo { id: "E3", artifact: "Figure 1", title: "Language adoption trends" },
-    ExperimentInfo { id: "E4", artifact: "Table 3", title: "Parallelism usage shift" },
-    ExperimentInfo { id: "E5", artifact: "Figure 2", title: "Interpreted-vs-native performance gap" },
-    ExperimentInfo { id: "E6", artifact: "Figure 3", title: "Thread scaling and Amdahl fits" },
-    ExperimentInfo { id: "E7", artifact: "Table 4", title: "Software-engineering practice adoption" },
-    ExperimentInfo { id: "E8", artifact: "Table 5", title: "GPU adoption by field (2024)" },
-    ExperimentInfo { id: "E9", artifact: "Figure 4", title: "Scheduler policy wait-time CDF" },
-    ExperimentInfo { id: "E10", artifact: "Figure 5", title: "Utilization and wait vs offered load" },
-    ExperimentInfo { id: "E11", artifact: "Table 6", title: "Interpreter-tier ablation" },
-    ExperimentInfo { id: "E12", artifact: "Figure 6", title: "Pain-point Likert shift" },
-    ExperimentInfo { id: "E13", artifact: "Table 7", title: "Coded free-text obstacles" },
+pub const INDEX: [ExperimentInfo; 14] = [
+    ExperimentInfo {
+        id: "E1",
+        artifact: "Table 1",
+        title: "Respondent demographics (2024)",
+    },
+    ExperimentInfo {
+        id: "E2",
+        artifact: "Table 2",
+        title: "Language usage 2011 vs 2024",
+    },
+    ExperimentInfo {
+        id: "E3",
+        artifact: "Figure 1",
+        title: "Language adoption trends",
+    },
+    ExperimentInfo {
+        id: "E4",
+        artifact: "Table 3",
+        title: "Parallelism usage shift",
+    },
+    ExperimentInfo {
+        id: "E5",
+        artifact: "Figure 2",
+        title: "Interpreted-vs-native performance gap",
+    },
+    ExperimentInfo {
+        id: "E6",
+        artifact: "Figure 3",
+        title: "Thread scaling and Amdahl fits",
+    },
+    ExperimentInfo {
+        id: "E7",
+        artifact: "Table 4",
+        title: "Software-engineering practice adoption",
+    },
+    ExperimentInfo {
+        id: "E8",
+        artifact: "Table 5",
+        title: "GPU adoption by field (2024)",
+    },
+    ExperimentInfo {
+        id: "E9",
+        artifact: "Figure 4",
+        title: "Scheduler policy wait-time CDF",
+    },
+    ExperimentInfo {
+        id: "E10",
+        artifact: "Figure 5",
+        title: "Utilization and wait vs offered load",
+    },
+    ExperimentInfo {
+        id: "E11",
+        artifact: "Table 6",
+        title: "Interpreter-tier ablation",
+    },
+    ExperimentInfo {
+        id: "E12",
+        artifact: "Figure 6",
+        title: "Pain-point Likert shift",
+    },
+    ExperimentInfo {
+        id: "E13",
+        artifact: "Table 7",
+        title: "Coded free-text obstacles",
+    },
+    ExperimentInfo {
+        id: "E14",
+        artifact: "Figure 7",
+        title: "Resilience: goodput and wasted work vs node MTBF",
+    },
 ];
 
 /// E1 output: a field × career-stage count grid.
@@ -98,6 +156,32 @@ pub struct LoadPoint {
     pub p90_wait: f64,
     /// Achieved utilization.
     pub utilization: f64,
+}
+
+/// E14 output: one (MTBF, recovery, policy) sweep point.
+#[derive(Debug, Clone, Serialize)]
+pub struct ResiliencePoint {
+    /// Per-node mean time between failures, hours.
+    pub mtbf_hours: f64,
+    /// Scheduling policy name.
+    pub policy: String,
+    /// Recovery policy name (e.g. `Checkpoint(τ=300s)`).
+    pub recovery: String,
+    /// Jobs that finished.
+    pub completed: usize,
+    /// Jobs abandoned after exhausting their retry budget.
+    pub abandoned: usize,
+    /// Node failures injected.
+    pub node_failures: usize,
+    /// Useful node-hours delivered.
+    pub goodput_node_hours: f64,
+    /// Wasted node-hours (lost attempts, checkpoint overhead, abandoned
+    /// work).
+    pub badput_node_hours: f64,
+    /// `badput / (goodput + badput)`.
+    pub wasted_fraction: f64,
+    /// Mean attempts per resolved job.
+    pub mean_attempts: f64,
 }
 
 /// The experiment driver set, parameterized by the master seed.
@@ -172,7 +256,11 @@ impl Experiments {
     /// # Errors
     /// Statistics errors.
     pub fn e3_language_trends(&self) -> Result<Vec<LanguageTrend>> {
-        language_trends(self.seed, 400, &["python", "matlab", "fortran", "r", "julia"])
+        language_trends(
+            self.seed,
+            400,
+            &["python", "matlab", "fortran", "r", "julia"],
+        )
     }
 
     /// E4: parallelism usage shift table.
@@ -223,16 +311,20 @@ impl Experiments {
     /// # Errors
     /// Cluster-simulation errors.
     pub fn e9_sched_policies(&self, n_jobs: usize) -> Result<Vec<PolicyOutcome>> {
-        let spec = WorkloadSpec { n_jobs, ..Default::default() };
+        let spec = WorkloadSpec {
+            n_jobs,
+            ..Default::default()
+        };
         let jobs = generate_checked(&spec, self.seed)?;
         let mut out = Vec::new();
         for policy in Policy::ALL {
             let outcome = Simulator::new(spec.cluster_nodes, policy).run(jobs.clone())?;
-            let s: Summary = outcome.summary();
+            let s: Summary = outcome
+                .try_summary()
+                .ok_or_else(|| crate::Error::VerificationFailed("E9: no jobs completed".into()))?;
             let full_cdf = wait_cdf(&outcome.completed);
             let stride = (full_cdf.len() / 200).max(1);
-            let cdf: Vec<(f64, f64)> =
-                full_cdf.into_iter().step_by(stride).collect();
+            let cdf: Vec<(f64, f64)> = full_cdf.into_iter().step_by(stride).collect();
             out.push(PolicyOutcome {
                 policy: policy.name().to_owned(),
                 mean_wait: s.mean_wait,
@@ -254,12 +346,19 @@ impl Experiments {
     pub fn e10_load_sweep(&self, n_jobs: usize, loads: &[f64]) -> Result<Vec<LoadPoint>> {
         let mut out = Vec::new();
         for &load in loads {
-            let spec = WorkloadSpec { n_jobs, offered_load: load, ..Default::default() };
+            let spec = WorkloadSpec {
+                n_jobs,
+                offered_load: load,
+                ..Default::default()
+            };
             let jobs = generate_checked(&spec, self.seed ^ load.to_bits())?;
             for policy in Policy::ALL {
                 let s = Simulator::new(spec.cluster_nodes, policy)
                     .run(jobs.clone())?
-                    .summary();
+                    .try_summary()
+                    .ok_or_else(|| {
+                        crate::Error::VerificationFailed("E10: no jobs completed".into())
+                    })?;
                 out.push(LoadPoint {
                     load,
                     policy: policy.name().to_owned(),
@@ -300,6 +399,77 @@ impl Experiments {
         let book = rcr_survey::coding::canonical_code_book();
         crate::compare::compare_themes(&before, &after, &book, q::Q_COMMENTS)
     }
+
+    /// E14: resilience sweep — goodput and wasted work vs per-node MTBF,
+    /// Resubmit vs Checkpoint(τ) recovery, FCFS vs EASY backfill.
+    ///
+    /// The same workload and the same fault seed (per MTBF level) are
+    /// replayed under every (recovery, policy) pair, so the comparison uses
+    /// common random numbers.
+    ///
+    /// # Errors
+    /// Cluster-simulation errors.
+    pub fn e14_resilience(&self, n_jobs: usize) -> Result<Vec<ResiliencePoint>> {
+        const MTBF_HOURS: [f64; 5] = [2.0, 4.0, 8.0, 16.0, 32.0];
+        // E14 uses a tamer workload than E9: a shorter runtime tail, and job
+        // width capped at a quarter of the machine. Full-width jobs would
+        // need every node up at once — essentially impossible at a 2-hour
+        // MTBF — and a single monster job would dominate the goodput
+        // accounting, drowning the MTBF signal the figure is about.
+        let spec = WorkloadSpec {
+            n_jobs,
+            runtime_log_mean: 5.5,
+            runtime_log_sd: 0.8,
+            ..Default::default()
+        };
+        let mut jobs = generate_checked(&spec, self.seed ^ 0xFA17)?;
+        let width_cap = spec.cluster_nodes / 4;
+        for j in &mut jobs {
+            j.nodes = j.nodes.min(width_cap);
+        }
+        let recoveries = [
+            RecoveryPolicy::Resubmit {
+                max_retries: 3,
+                backoff_base: 300.0,
+            },
+            RecoveryPolicy::Checkpoint {
+                interval: 120.0,
+                overhead: 10.0,
+                max_retries: 3,
+            },
+        ];
+        let mut out = Vec::new();
+        for &mtbf_hours in &MTBF_HOURS {
+            for recovery in recoveries {
+                for policy in [Policy::Fcfs, Policy::EasyBackfill] {
+                    let faults = FaultSpec {
+                        node_mtbf: mtbf_hours * 3600.0,
+                        repair_time: 1800.0,
+                        job_failure_prob: 0.02,
+                        recovery,
+                        seed: self.seed ^ mtbf_hours.to_bits(),
+                    };
+                    let outcome = Simulator::new(spec.cluster_nodes, policy)
+                        .with_faults(faults)?
+                        .run(jobs.clone())?;
+                    let r = outcome.resilience();
+                    out.push(ResiliencePoint {
+                        mtbf_hours,
+                        policy: policy.name().to_owned(),
+                        recovery: recovery.name(),
+                        completed: r.completed,
+                        abandoned: r.abandoned,
+                        node_failures: r.node_failures,
+                        goodput_node_hours: r.goodput / 3600.0,
+                        badput_node_hours: r.badput / 3600.0,
+                        wasted_fraction: r.wasted_fraction,
+                        mean_attempts: r.mean_attempts,
+                    });
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -312,13 +482,15 @@ mod tests {
     }
 
     #[test]
-    fn index_lists_thirteen_unique_ids() {
+    fn index_lists_fourteen_unique_ids() {
         let mut ids: Vec<&str> = INDEX.iter().map(|i| i.id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 13);
+        assert_eq!(ids.len(), 14);
         assert_eq!(INDEX[0].id, "E1");
         assert_eq!(INDEX[11].artifact, "Figure 6");
         assert_eq!(INDEX[12].id, "E13");
+        assert_eq!(INDEX[13].id, "E14");
+        assert_eq!(INDEX[13].artifact, "Figure 7");
     }
 
     #[test]
@@ -354,7 +526,10 @@ mod tests {
         assert!(none.p_after < none.p_before);
 
         let prac = e.e7_practice_shift().unwrap();
-        let vcs = prac.iter().find(|s| s.item == "version-control").expect("vcs row");
+        let vcs = prac
+            .iter()
+            .find(|s| s.item == "version-control")
+            .expect("vcs row");
         assert!(vcs.significant(0.01));
         assert!(vcs.p_after > 2.0 * vcs.p_before);
     }
@@ -377,7 +552,11 @@ mod tests {
         let outcomes = ex().e9_sched_policies(600).unwrap();
         assert_eq!(outcomes.len(), 4);
         let wait_of = |name: &str| {
-            outcomes.iter().find(|o| o.policy == name).expect("policy present").mean_wait
+            outcomes
+                .iter()
+                .find(|o| o.policy == name)
+                .expect("policy present")
+                .mean_wait
         };
         // Both backfill variants beat FCFS on this contended workload.
         assert!(wait_of("EASY-backfill") < wait_of("FCFS"));
@@ -413,6 +592,65 @@ mod tests {
     fn e12_pain_rows() {
         let rows = ex().e12_pain_points().unwrap();
         assert_eq!(rows.len(), 6);
+    }
+
+    #[test]
+    fn e14_resilience_shapes_hold() {
+        let pts = ex().e14_resilience(300).unwrap();
+        // 5 MTBF levels x 2 recoveries x 2 policies.
+        assert_eq!(pts.len(), 20);
+        let find = |mtbf: f64, rec: &str, pol: &str| {
+            pts.iter()
+                .find(|p| p.mtbf_hours == mtbf && p.recovery.starts_with(rec) && p.policy == pol)
+                .expect("sweep point")
+        };
+        for pol in ["FCFS", "EASY-backfill"] {
+            // Checkpointing recovers goodput at the harshest MTBF…
+            let cp = find(2.0, "Checkpoint", pol);
+            let rs = find(2.0, "Resubmit", pol);
+            assert!(
+                cp.goodput_node_hours >= rs.goodput_node_hours,
+                "{pol}: checkpoint goodput {} < resubmit {}",
+                cp.goodput_node_hours,
+                rs.goodput_node_hours
+            );
+            assert!(
+                cp.abandoned <= rs.abandoned,
+                "{pol}: checkpointing abandons more"
+            );
+            // …and the wasted-work fraction grows as MTBF shrinks.
+            for rec in ["Resubmit", "Checkpoint"] {
+                let harsh = find(2.0, rec, pol);
+                let calm = find(32.0, rec, pol);
+                assert!(
+                    harsh.wasted_fraction > calm.wasted_fraction,
+                    "{pol}/{rec}: waste must grow as MTBF shrinks \
+                     ({} vs {})",
+                    harsh.wasted_fraction,
+                    calm.wasted_fraction
+                );
+                assert!(harsh.node_failures > calm.node_failures);
+            }
+        }
+        for p in &pts {
+            assert_eq!(p.completed + p.abandoned, 300, "conservation");
+            assert!(p.goodput_node_hours > 0.0);
+            assert!((0.0..1.0).contains(&p.wasted_fraction));
+            assert!(p.mean_attempts >= 1.0);
+        }
+    }
+
+    #[test]
+    fn e14_is_deterministic() {
+        let a = ex().e14_resilience(150).unwrap();
+        let b = ex().e14_resilience(150).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.goodput_node_hours, y.goodput_node_hours);
+            assert_eq!(x.badput_node_hours, y.badput_node_hours);
+            assert_eq!(x.node_failures, y.node_failures);
+            assert_eq!(x.completed, y.completed);
+        }
     }
 
     #[test]

@@ -28,14 +28,20 @@ pub struct GapConfig {
 
 impl Default for GapConfig {
     fn default() -> Self {
-        GapConfig { quick: false, threads: par::default_threads() }
+        GapConfig {
+            quick: false,
+            threads: par::default_threads(),
+        }
     }
 }
 
 impl GapConfig {
     /// Quick configuration for tests.
     pub fn quick() -> Self {
-        GapConfig { quick: true, threads: 2 }
+        GapConfig {
+            quick: true,
+            threads: 2,
+        }
     }
 
     fn reps(&self) -> usize {
@@ -58,7 +64,10 @@ pub struct TierTime {
 
 impl From<Measurement> for TierTime {
     fn from(m: Measurement) -> Self {
-        TierTime { median_s: m.median.as_secs_f64(), runs: m.runs }
+        TierTime {
+            median_s: m.median.as_secs_f64(),
+            runs: m.runs,
+        }
     }
 }
 
@@ -204,7 +213,9 @@ fn run_vm(src: &str) -> Result<f64> {
 fn value_to_f64(v: Value) -> Result<f64> {
     match v {
         Value::Num(n) => Ok(n),
-        other => Err(Error::Script(format!("expected numeric result, got {other:?}"))),
+        other => Err(Error::Script(format!(
+            "expected numeric result, got {other:?}"
+        ))),
     }
 }
 
@@ -267,7 +278,11 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
         let mut sink = 0.0;
         let m_naive = measure(reps, || dotaxpy::dot_naive(&a, &b), |v| sink += v);
         let m_opt = measure(reps, || dotaxpy::dot_optimized(&a, &b), |v| sink += v);
-        let m_par = measure(reps, || dotaxpy::dot_parallel(&a, &b, threads), |v| sink += v);
+        let m_par = measure(
+            reps,
+            || dotaxpy::dot_parallel(&a, &b, threads),
+            |v| sink += v,
+        );
         assert!(sink.is_finite());
         out.push(KernelGap {
             kernel: "dot".into(),
@@ -349,12 +364,20 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
         verify_close("mc-pi interp/vm", r_interp, r_vm, 0.0)?;
         // The scripted LCG and both native verifiers are bit-identical.
         verify_close("mc-pi script/native-lcg", r_vm, mcpi_native(n), 0.0)?;
-        verify_close("mc-pi native/native-int", mcpi_native(n), mcpi_native_optimized(n), 0.0)?;
+        verify_close(
+            "mc-pi native/native-int",
+            mcpi_native(n),
+            mcpi_native_optimized(n),
+            0.0,
+        )?;
         let mut sink = 0.0;
         let m_naive = measure(reps, || mcpi_native(n), |v| sink += v);
         let m_opt = measure(reps, || mcpi_native_optimized(n), |v| sink += v);
-        let m_par =
-            measure(reps, || montecarlo::pi_parallel(n, 42, threads), |v| sink += v);
+        let m_par = measure(
+            reps,
+            || montecarlo::pi_parallel(n, 42, threads),
+            |v| sink += v,
+        );
         assert!(sink.is_finite());
         out.push(KernelGap {
             kernel: "mc-pi".into(),
@@ -384,8 +407,11 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
         let mut sink = 0.0;
         let m_naive = measure(reps, || matmul::naive(&a, &b, n)[0], |v| sink += v);
         let m_opt = measure(reps, || matmul::blocked(&a, &b, n)[0], |v| sink += v);
-        let m_par =
-            measure(reps, || matmul::parallel(&a, &b, n, threads)[0], |v| sink += v);
+        let m_par = measure(
+            reps,
+            || matmul::parallel(&a, &b, n, threads)[0],
+            |v| sink += v,
+        );
         assert!(sink.is_finite());
         out.push(KernelGap {
             kernel: "matmul".into(),
@@ -447,13 +473,12 @@ pub fn measure_scaling(config: &GapConfig) -> Result<Vec<ScalingCurve>> {
     let threads = thread_sweep(config.threads.max(2));
     let mut out = Vec::new();
 
-    let mut push_curve = |kernel: &str,
-                          size: String,
-                          times: Vec<Duration>|
-     -> Result<()> {
+    let mut push_curve = |kernel: &str, size: String, times: Vec<Duration>| -> Result<()> {
         let base = times[0].as_secs_f64();
-        let speedup: Vec<f64> =
-            times.iter().map(|t| base / t.as_secs_f64().max(1e-12)).collect();
+        let speedup: Vec<f64> = times
+            .iter()
+            .map(|t| base / t.as_secs_f64().max(1e-12))
+            .collect();
         let tf: Vec<f64> = threads.iter().map(|&t| t as f64).collect();
         let f = fit_amdahl(&tf, &speedup)?;
         let fit: Vec<f64> = tf.iter().map(|&p| amdahl_speedup(f, p)).collect();
@@ -485,8 +510,11 @@ pub fn measure_scaling(config: &GapConfig) -> Result<Vec<ScalingCurve>> {
 
     // stencil — memory-bound, sub-linear.
     {
-        let (rows, cols, sweeps) =
-            if config.quick { (64, 64, 4) } else { (512, 512, 20) };
+        let (rows, cols, sweeps) = if config.quick {
+            (64, 64, 4)
+        } else {
+            (512, 512, 20)
+        };
         let g = stencil::gen_grid(rows, cols, 3);
         let mut times = Vec::new();
         for &t in &threads {
@@ -594,7 +622,9 @@ mod tests {
                 nat.median_s,
                 vm.median_s
             );
-            let s = g.speedup_vs_interp(g.tiers.native_naive).expect("both present");
+            let s = g
+                .speedup_vs_interp(g.tiers.native_naive)
+                .expect("both present");
             assert!(s > 2.0, "{}: interp->native speedup only {s}", g.kernel);
         }
         let dot = &gaps[0];
@@ -609,8 +639,16 @@ mod tests {
         assert_eq!(curves.len(), 4);
         for c in &curves {
             assert_eq!(c.threads[0], 1);
-            assert!((c.speedup[0] - 1.0).abs() < 1e-9, "{}: base speedup", c.kernel);
-            assert!((0.0..=1.0).contains(&c.amdahl_serial_fraction), "{}", c.kernel);
+            assert!(
+                (c.speedup[0] - 1.0).abs() < 1e-9,
+                "{}: base speedup",
+                c.kernel
+            );
+            assert!(
+                (0.0..=1.0).contains(&c.amdahl_serial_fraction),
+                "{}",
+                c.kernel
+            );
             assert_eq!(c.amdahl_fit.len(), c.threads.len());
             assert!(c.speedup.iter().all(|&s| s > 0.0));
         }

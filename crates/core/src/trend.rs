@@ -80,27 +80,43 @@ mod tests {
 
     #[test]
     fn trends_have_expected_shape() {
-        let trends =
-            language_trends(0xC0FFEE, 250, &["python", "fortran", "julia"]).unwrap();
+        let trends = language_trends(0xC0FFEE, 250, &["python", "fortran", "julia"]).unwrap();
         assert_eq!(trends.len(), 3);
         for t in &trends {
             assert_eq!(t.points.len(), 14);
             assert_eq!(t.band.len(), 14);
             for ((_, share), (lo, hi)) in t.points.iter().zip(&t.band) {
-                assert!(lo <= share && share <= hi, "{}: band must bracket point", t.language);
+                assert!(
+                    lo <= share && share <= hi,
+                    "{}: band must bracket point",
+                    t.language
+                );
             }
         }
         let slope_of = |l: &str| {
-            trends.iter().find(|t| t.language == l).expect("language present").slope_per_year
+            trends
+                .iter()
+                .find(|t| t.language == l)
+                .expect("language present")
+                .slope_per_year
         };
         assert!(slope_of("python") > 0.02, "python rises");
         assert!(slope_of("fortran") < -0.005, "fortran falls");
         assert!(slope_of("julia") > 0.0, "julia appears");
-        let py = trends.iter().find(|t| t.language == "python").expect("present");
+        let py = trends
+            .iter()
+            .find(|t| t.language == "python")
+            .expect("present");
         assert!(py.slope_p < 0.01, "python trend is significant (OLS)");
-        assert!(py.trend_p < 0.001, "python trend is significant (Cochran–Armitage)");
+        assert!(
+            py.trend_p < 0.001,
+            "python trend is significant (Cochran–Armitage)"
+        );
         assert!(py.trend_z > 0.0, "CA statistic shares the slope's sign");
-        let fortran = trends.iter().find(|t| t.language == "fortran").expect("present");
+        let fortran = trends
+            .iter()
+            .find(|t| t.language == "fortran")
+            .expect("present");
         assert!(fortran.trend_z < 0.0);
     }
 

@@ -132,7 +132,10 @@ mod tests {
             let x = gen_vector(n, 1);
             let y = gen_vector(n, 2);
             let reference = dot_naive(&x, &y);
-            assert!(approx_eq(reference, dot_optimized(&x, &y), 1e-10), "opt at n={n}");
+            assert!(
+                approx_eq(reference, dot_optimized(&x, &y), 1e-10),
+                "opt at n={n}"
+            );
             for threads in [1, 2, 8] {
                 assert!(
                     approx_eq(reference, dot_parallel(&x, &y, threads), 1e-10),
@@ -155,7 +158,10 @@ mod tests {
             for threads in [1, 3, 8] {
                 let mut y3 = base.clone();
                 axpy_parallel(2.5, &x, &mut y3, threads);
-                assert!(approx_eq_slices(&y1, &y3, 1e-12), "par at n={n} t={threads}");
+                assert!(
+                    approx_eq_slices(&y1, &y3, 1e-12),
+                    "par at n={n} t={threads}"
+                );
             }
         }
     }

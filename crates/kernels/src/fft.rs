@@ -24,17 +24,26 @@ impl Complex {
 
     /// `e^(iθ)`.
     pub fn cis(theta: f64) -> Self {
-        Complex { re: theta.cos(), im: theta.sin() }
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
     }
 
     /// Complex addition.
     pub fn add(self, o: Complex) -> Complex {
-        Complex { re: self.re + o.re, im: self.im + o.im }
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
     }
 
     /// Complex subtraction.
     pub fn sub(self, o: Complex) -> Complex {
-        Complex { re: self.re - o.re, im: self.im - o.im }
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
     }
 
     /// Complex multiplication.
@@ -88,7 +97,10 @@ pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
 /// Panics unless `x.len()` is a power of two (and non-zero).
 pub fn fft(x: &[Complex]) -> Vec<Complex> {
     let n = x.len();
-    assert!(n.is_power_of_two() && n > 0, "fft length must be a power of two");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "fft length must be a power of two"
+    );
     let mut a = bit_reverse_permute(x);
     let mut len = 2;
     while len <= n {
@@ -119,7 +131,10 @@ pub fn fft(x: &[Complex]) -> Vec<Complex> {
 /// Panics unless `x.len()` is a power of two.
 pub fn fft_parallel(x: &[Complex], threads: usize) -> Vec<Complex> {
     let n = x.len();
-    assert!(n.is_power_of_two() && n > 0, "fft length must be a power of two");
+    assert!(
+        n.is_power_of_two() && n > 0,
+        "fft length must be a power of two"
+    );
     let threads = threads.max(1).next_power_of_two().min(n);
     if threads == 1 || n <= 4096 {
         return fft(x);

@@ -40,7 +40,11 @@ pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 ///
 /// # Panics
 /// Panics when `runs == 0`.
-pub fn measure<T>(runs: usize, mut f: impl FnMut() -> T, mut consume: impl FnMut(T)) -> Measurement {
+pub fn measure<T>(
+    runs: usize,
+    mut f: impl FnMut() -> T,
+    mut consume: impl FnMut(T),
+) -> Measurement {
     assert!(runs > 0, "need at least one timed run");
     consume(f()); // warm-up
     let mut times = Vec::with_capacity(runs);
@@ -120,7 +124,10 @@ mod tests {
             mean: Duration::from_millis(10),
             max: Duration::from_millis(10),
         };
-        let slow = Measurement { median: Duration::from_millis(40), ..fast };
+        let slow = Measurement {
+            median: Duration::from_millis(40),
+            ..fast
+        };
         assert!((fast.speedup_over(&slow) - 4.0).abs() < 1e-9);
         assert!((slow.speedup_over(&fast) - 0.25).abs() < 1e-9);
     }

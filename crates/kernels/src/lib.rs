@@ -54,7 +54,13 @@ impl XorShift64 {
     /// Creates a generator; a zero seed is remapped (xorshift requires a
     /// non-zero state).
     pub fn new(seed: u64) -> Self {
-        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        XorShift64 {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Next raw 64-bit value.

@@ -62,7 +62,10 @@ mod tests {
     #[test]
     fn serial_converges_to_pi() {
         let est = pi_serial(200_000, 42);
-        assert!((est - std::f64::consts::PI).abs() < 0.02, "estimate = {est}");
+        assert!(
+            (est - std::f64::consts::PI).abs() < 0.02,
+            "estimate = {est}"
+        );
     }
 
     #[test]

@@ -155,8 +155,16 @@ mod tests {
     #[test]
     fn two_body_attraction() {
         let mut bodies = vec![
-            Body { pos: [0.0; 3], vel: [0.0; 3], mass: 1.0 },
-            Body { pos: [1.0, 0.0, 0.0], vel: [0.0; 3], mass: 1.0 },
+            Body {
+                pos: [0.0; 3],
+                vel: [0.0; 3],
+                mass: 1.0,
+            },
+            Body {
+                pos: [1.0, 0.0, 0.0],
+                vel: [0.0; 3],
+                mass: 1.0,
+            },
         ];
         step_serial(&mut bodies, 1e-2);
         // They accelerate toward each other along x.
@@ -174,7 +182,10 @@ mod tests {
         }
         let e1 = total_energy(&bodies);
         // Symplectic-ish integrator at tiny dt: drift well under 1%.
-        assert!((e1 - e0).abs() < 0.01 * e0.abs().max(1.0), "e0={e0} e1={e1}");
+        assert!(
+            (e1 - e0).abs() < 0.01 * e0.abs().max(1.0),
+            "e0={e0} e1={e1}"
+        );
     }
 
     #[test]

@@ -65,13 +65,17 @@ where
 /// Prefer this over [`for_each_chunk`] when per-index cost varies (e.g.
 /// triangular loops); prefer static chunking when cost is uniform.
 ///
+/// `chunk == 0` is clamped to 1, matching [`for_each_chunk`]'s tolerance of
+/// degenerate partition parameters (a zero chunk would otherwise spin the
+/// claim loop forever without making progress).
+///
 /// # Panics
-/// Re-raises panics from worker threads; panics if `chunk == 0`.
+/// Re-raises panics from worker threads.
 pub fn for_each_dynamic<F>(n: usize, threads: usize, chunk: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
 {
-    assert!(chunk > 0, "chunk size must be positive");
+    let chunk = chunk.max(1);
     if n == 0 {
         return;
     }
@@ -168,7 +172,9 @@ where
     let (out_tx, out_rx) = crossbeam::channel::unbounded::<T>();
     let n_items = items.len();
     for item in items {
-        work_tx.send(item).expect("unbounded channel accepts all items");
+        work_tx
+            .send(item)
+            .expect("unbounded channel accepts all items");
     }
     drop(work_tx);
     std::thread::scope(|scope| {
@@ -208,8 +214,8 @@ mod tests {
         let n = 1003;
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         for_each_chunk(n, 7, |s, e| {
-            for i in s..e {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
@@ -220,8 +226,8 @@ mod tests {
         let n = 997;
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
         for_each_dynamic(n, 5, 16, |s, e| {
-            for i in s..e {
-                hits[i].fetch_add(1, Ordering::Relaxed);
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
             }
         });
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
@@ -247,9 +253,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "chunk size")]
-    fn dynamic_zero_chunk_panics() {
-        for_each_dynamic(10, 2, 0, |_, _| {});
+    fn dynamic_zero_chunk_is_clamped_to_one() {
+        // Regression: chunk 0 used to panic (and before that, would have
+        // spun forever claiming empty slices). It now behaves as chunk 1.
+        let n = 37;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        for_each_dynamic(n, 4, 0, |s, e| {
+            assert_eq!(e, s + 1, "clamped chunk claims one index at a time");
+            for h in &hits[s..e] {
+                h.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // Single-thread fallback with chunk 0 runs the whole range inline.
+        for_each_dynamic(10, 1, 0, |s, e| assert_eq!((s, e), (0, 10)));
     }
 
     #[test]
@@ -268,8 +285,20 @@ mod tests {
         }
         // Repeated runs with the same thread count are bit-identical even
         // for floats.
-        let a = map_reduce(1 << 12, 4, 0.0f64, |s, e| (s..e).map(|i| (i as f64).sin()).sum(), |x, y| x + y);
-        let b = map_reduce(1 << 12, 4, 0.0f64, |s, e| (s..e).map(|i| (i as f64).sin()).sum(), |x, y| x + y);
+        let a = map_reduce(
+            1 << 12,
+            4,
+            0.0f64,
+            |s, e| (s..e).map(|i| (i as f64).sin()).sum(),
+            |x, y| x + y,
+        );
+        let b = map_reduce(
+            1 << 12,
+            4,
+            0.0f64,
+            |s, e| (s..e).map(|i| (i as f64).sin()).sum(),
+            |x, y| x + y,
+        );
         assert_eq!(a.to_bits(), b.to_bits());
     }
 

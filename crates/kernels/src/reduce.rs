@@ -42,7 +42,13 @@ pub fn sum_optimized(xs: &[f64]) -> f64 {
 
 /// Parallel sum via chunked map-reduce.
 pub fn sum_parallel(xs: &[f64], threads: usize) -> f64 {
-    par::map_reduce(xs.len(), threads, 0.0, |s, e| sum_optimized(&xs[s..e]), |a, b| a + b)
+    par::map_reduce(
+        xs.len(),
+        threads,
+        0.0,
+        |s, e| sum_optimized(&xs[s..e]),
+        |a, b| a + b,
+    )
 }
 
 /// Serial inclusive prefix sum.
@@ -73,8 +79,10 @@ pub fn prefix_sum_parallel(xs: &[f64], threads: usize) -> Vec<f64> {
     // Pass 1: local scans, collecting each chunk's total.
     let mut totals = vec![0.0f64; out.chunks(chunk).len()];
     std::thread::scope(|scope| {
-        for ((band, src), total) in
-            out.chunks_mut(chunk).zip(xs.chunks(chunk)).zip(totals.iter_mut())
+        for ((band, src), total) in out
+            .chunks_mut(chunk)
+            .zip(xs.chunks(chunk))
+            .zip(totals.iter_mut())
         {
             scope.spawn(move || {
                 let mut acc = 0.0;
@@ -123,7 +131,10 @@ mod tests {
             let reference = sum_naive(&xs);
             assert!(approx_eq(reference, sum_optimized(&xs), 1e-10), "opt n={n}");
             for t in [1, 2, 8] {
-                assert!(approx_eq(reference, sum_parallel(&xs, t), 1e-10), "par n={n} t={t}");
+                assert!(
+                    approx_eq(reference, sum_parallel(&xs, t), 1e-10),
+                    "par n={n} t={t}"
+                );
             }
         }
     }

@@ -59,7 +59,13 @@ pub fn gen_sparse(n: usize, max_row_nnz: usize, seed: u64) -> Csr {
         }
         row_ptr.push(values.len());
     }
-    Csr { n_rows: n, n_cols: n, row_ptr, col_idx, values }
+    Csr {
+        n_rows: n,
+        n_cols: n,
+        row_ptr,
+        col_idx,
+        values,
+    }
 }
 
 #[inline]
@@ -117,11 +123,15 @@ pub fn parallel_dynamic(m: &Csr, x: &[f64], threads: usize, chunk: usize) -> Vec
     // (row, value) pairs instead: simpler and still contention-light.
     let n = m.n_rows;
     let mut y = vec![0.0; n];
-    let slots: Vec<std::sync::atomic::AtomicU64> =
-        (0..n).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+    let slots: Vec<std::sync::atomic::AtomicU64> = (0..n)
+        .map(|_| std::sync::atomic::AtomicU64::new(0))
+        .collect();
     par::for_each_dynamic(n, threads, chunk.max(1), |s, e| {
         for (r, slot) in slots.iter().enumerate().take(e).skip(s) {
-            slot.store(row_dot(m, x, r).to_bits(), std::sync::atomic::Ordering::Relaxed);
+            slot.store(
+                row_dot(m, x, r).to_bits(),
+                std::sync::atomic::Ordering::Relaxed,
+            );
         }
     });
     for (out, slot) in y.iter_mut().zip(&slots) {
@@ -173,19 +183,29 @@ mod tests {
         let x = crate::dotaxpy::gen_vector(500, 9);
         let reference = serial(&m, &x);
         for t in [1, 2, 4, 8] {
-            assert!(approx_eq_slices(&reference, &parallel_static(&m, &x, t), 1e-12));
-            assert!(approx_eq_slices(&reference, &parallel_dynamic(&m, &x, t, 16), 1e-12));
+            assert!(approx_eq_slices(
+                &reference,
+                &parallel_static(&m, &x, t),
+                1e-12
+            ));
+            assert!(approx_eq_slices(
+                &reference,
+                &parallel_dynamic(&m, &x, t, 16),
+                1e-12
+            ));
         }
     }
 
     #[test]
     fn row_costs_are_skewed() {
         let m = gen_sparse(2000, 64, 5);
-        let rows: Vec<usize> =
-            m.row_ptr.windows(2).map(|w| w[1] - w[0]).collect();
+        let rows: Vec<usize> = m.row_ptr.windows(2).map(|w| w[1] - w[0]).collect();
         let max = *rows.iter().max().expect("non-empty");
         let min = *rows.iter().min().expect("non-empty");
-        assert!(max >= 8 * min.max(1), "expected heavy tail: min={min} max={max}");
+        assert!(
+            max >= 8 * min.max(1),
+            "expected heavy tail: min={min} max={max}"
+        );
     }
 
     #[test]

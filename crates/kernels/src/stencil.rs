@@ -172,11 +172,19 @@ mod tests {
         let out = optimized(&g, rows, cols, 3);
         for c in 0..cols {
             assert_eq!(out[c], g[c], "top row changed");
-            assert_eq!(out[(rows - 1) * cols + c], g[(rows - 1) * cols + c], "bottom row changed");
+            assert_eq!(
+                out[(rows - 1) * cols + c],
+                g[(rows - 1) * cols + c],
+                "bottom row changed"
+            );
         }
         for r in 0..rows {
             assert_eq!(out[r * cols], g[r * cols], "left col changed");
-            assert_eq!(out[r * cols + cols - 1], g[r * cols + cols - 1], "right col changed");
+            assert_eq!(
+                out[r * cols + cols - 1],
+                g[r * cols + cols - 1],
+                "right col changed"
+            );
         }
     }
 

@@ -49,7 +49,9 @@ fn parse_args() -> Result<Args, String> {
             "--disasm" => disasm = true,
             "--time" => time = true,
             "-e" => {
-                let expr = it.next().ok_or_else(|| format!("-e needs an argument\n{}", usage()))?;
+                let expr = it
+                    .next()
+                    .ok_or_else(|| format!("-e needs an argument\n{}", usage()))?;
                 source = Some(Source::Inline(expr));
             }
             "--help" | "-h" => return Err(usage().to_owned()),
@@ -60,7 +62,13 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let source = source.ok_or_else(|| usage().to_owned())?;
-    Ok(Args { source, interp, optimize, disasm, time })
+    Ok(Args {
+        source,
+        interp,
+        optimize,
+        disasm,
+        time,
+    })
 }
 
 fn main() -> ExitCode {
@@ -89,7 +97,11 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
-    let program = if args.optimize { optimize::optimize(&program) } else { program };
+    let program = if args.optimize {
+        optimize::optimize(&program)
+    } else {
+        program
+    };
 
     if args.disasm {
         match bytecode::compile(&program) {

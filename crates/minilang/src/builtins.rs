@@ -35,8 +35,8 @@ pub fn lookup(name: &str) -> Option<BuiltinFn> {
 
 /// Names of all builtins (used by the compiler to resolve call targets).
 pub const NAMES: [&str; 14] = [
-    "print", "len", "push", "sqrt", "abs", "floor", "min", "max", "fill", "zeros", "vsum",
-    "vdot", "vaxpy", "vscale",
+    "print", "len", "push", "sqrt", "abs", "floor", "min", "max", "fill", "zeros", "vsum", "vdot",
+    "vaxpy", "vscale",
 ];
 
 fn arity(name: &str, args: &[Value], want: usize) -> Result<()> {
@@ -71,7 +71,10 @@ fn b_len(args: &[Value]) -> Result<Value> {
         Value::FloatArray(items) => items.borrow().len(),
         Value::Str(s) => s.len(),
         other => {
-            return Err(Error::runtime(format!("len: cannot measure a {}", other.type_name())))
+            return Err(Error::runtime(format!(
+                "len: cannot measure a {}",
+                other.type_name()
+            )))
         }
     };
     Ok(Value::Num(n as f64))
@@ -88,7 +91,10 @@ fn b_push(args: &[Value]) -> Result<Value> {
             items.borrow_mut().push(args[1].as_num("push")?);
             Ok(Value::Nil)
         }
-        other => Err(Error::runtime(format!("push: cannot push onto a {}", other.type_name()))),
+        other => Err(Error::runtime(format!(
+            "push: cannot push onto a {}",
+            other.type_name()
+        ))),
     }
 }
 
@@ -109,12 +115,16 @@ fn b_floor(args: &[Value]) -> Result<Value> {
 
 fn b_min(args: &[Value]) -> Result<Value> {
     arity("min", args, 2)?;
-    Ok(Value::Num(args[0].as_num("min")?.min(args[1].as_num("min")?)))
+    Ok(Value::Num(
+        args[0].as_num("min")?.min(args[1].as_num("min")?),
+    ))
 }
 
 fn b_max(args: &[Value]) -> Result<Value> {
     arity("max", args, 2)?;
-    Ok(Value::Num(args[0].as_num("max")?.max(args[1].as_num("max")?)))
+    Ok(Value::Num(
+        args[0].as_num("max")?.max(args[1].as_num("max")?),
+    ))
 }
 
 fn b_fill(args: &[Value]) -> Result<Value> {
@@ -130,7 +140,10 @@ fn b_zeros(args: &[Value]) -> Result<Value> {
     Ok(Value::float_array(vec![0.0; n]))
 }
 
-fn float_arg<'a>(name: &str, v: &'a Value) -> Result<&'a std::rc::Rc<std::cell::RefCell<Vec<f64>>>> {
+fn float_arg<'a>(
+    name: &str,
+    v: &'a Value,
+) -> Result<&'a std::rc::Rc<std::cell::RefCell<Vec<f64>>>> {
     match v {
         Value::FloatArray(items) => Ok(items),
         other => Err(Error::runtime(format!(
@@ -207,7 +220,10 @@ mod tests {
             assert!(lookup(n).is_some(), "missing builtin {n}");
         }
         assert!(lookup("nope").is_none());
-        assert!(lookup("range").is_none(), "`range` is syntax, not a builtin");
+        assert!(
+            lookup("range").is_none(),
+            "`range` is syntax, not a builtin"
+        );
     }
 
     #[test]
@@ -230,8 +246,14 @@ mod tests {
         assert_eq!(b_sqrt(&[Value::Num(9.0)]).unwrap(), Value::Num(3.0));
         assert_eq!(b_abs(&[Value::Num(-2.5)]).unwrap(), Value::Num(2.5));
         assert_eq!(b_floor(&[Value::Num(2.9)]).unwrap(), Value::Num(2.0));
-        assert_eq!(b_min(&[Value::Num(1.0), Value::Num(2.0)]).unwrap(), Value::Num(1.0));
-        assert_eq!(b_max(&[Value::Num(1.0), Value::Num(2.0)]).unwrap(), Value::Num(2.0));
+        assert_eq!(
+            b_min(&[Value::Num(1.0), Value::Num(2.0)]).unwrap(),
+            Value::Num(1.0)
+        );
+        assert_eq!(
+            b_max(&[Value::Num(1.0), Value::Num(2.0)]).unwrap(),
+            Value::Num(2.0)
+        );
         assert!(b_sqrt(&[Value::str("4")]).is_err());
         assert!(b_sqrt(&[]).is_err());
     }
@@ -249,7 +271,7 @@ mod tests {
     fn vector_ops() {
         let a = Value::float_array(vec![1.0, 2.0, 3.0]);
         let b = Value::float_array(vec![4.0, 5.0, 6.0]);
-        assert_eq!(b_vsum(&[a.clone()]).unwrap(), Value::Num(6.0));
+        assert_eq!(b_vsum(std::slice::from_ref(&a)).unwrap(), Value::Num(6.0));
         assert_eq!(b_vdot(&[a.clone(), b.clone()]).unwrap(), Value::Num(32.0));
         b_vaxpy(&[Value::Num(2.0), a.clone(), b.clone()]).unwrap();
         assert_eq!(b, Value::float_array(vec![6.0, 9.0, 12.0]));

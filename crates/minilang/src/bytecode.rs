@@ -103,7 +103,10 @@ pub fn compile(program: &Program) -> Result<Compiled> {
             ));
         }
         if fn_indices.insert(&f.name, (i, f.params.len())).is_some() {
-            return Err(Error::compile(format!("function `{}` defined twice", f.name), f.line));
+            return Err(Error::compile(
+                format!("function `{}` defined twice", f.name),
+                f.line,
+            ));
         }
     }
     let mut funcs = Vec::with_capacity(program.functions.len() + 1);
@@ -121,7 +124,10 @@ pub fn compile(program: &Program) -> Result<Compiled> {
     main.emit(Op::RetNil);
     funcs.push(main.finish());
     let main_idx = funcs.len() - 1;
-    Ok(Compiled { funcs, main: main_idx })
+    Ok(Compiled {
+        funcs,
+        main: main_idx,
+    })
 }
 
 fn compile_fn(f: &FnDef, fns: &HashMap<&str, (usize, usize)>) -> Result<CompiledFn> {
@@ -207,7 +213,10 @@ impl<'a> Compiler<'a> {
 
     fn constant(&mut self, v: Value) -> Result<u16> {
         if self.consts.len() >= u16::MAX as usize {
-            return Err(Error::compile("too many constants in one function", self.line));
+            return Err(Error::compile(
+                "too many constants in one function",
+                self.line,
+            ));
         }
         self.consts.push(v);
         Ok((self.consts.len() - 1) as u16)
@@ -221,7 +230,11 @@ impl<'a> Compiler<'a> {
     }
 
     fn resolve(&self, name: &str) -> Option<u16> {
-        self.locals.iter().rev().find(|(n, _)| n == name).map(|&(_, s)| s)
+        self.locals
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|&(_, s)| s)
     }
 
     fn push_scope(&mut self) {
@@ -278,7 +291,11 @@ impl<'a> Compiler<'a> {
                 self.emit(if self.is_main { Op::SetResult } else { Op::Pop });
                 Ok(())
             }
-            Stmt::If { cond, then_block, else_block } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 self.expr(cond)?;
                 let jf = self.emit(Op::JumpIfFalse(0));
                 self.block_scoped(then_block)?;
@@ -299,8 +316,10 @@ impl<'a> Compiler<'a> {
                 let top = self.here();
                 self.expr(cond)?;
                 let jf = self.emit(Op::JumpIfFalse(0));
-                self.loops
-                    .push(LoopCtx { continue_target: Some(top), break_patches: Vec::new() });
+                self.loops.push(LoopCtx {
+                    continue_target: Some(top),
+                    break_patches: Vec::new(),
+                });
                 self.block_scoped(body)?;
                 self.emit(Op::Jump(top));
                 let exit = self.here();
@@ -311,7 +330,12 @@ impl<'a> Compiler<'a> {
                 }
                 Ok(())
             }
-            Stmt::ForRange { var, start, end, body } => {
+            Stmt::ForRange {
+                var,
+                start,
+                end,
+                body,
+            } => {
                 // Scope holding the loop variable and the hidden end slot.
                 self.push_scope();
                 self.expr(start)?;
@@ -330,8 +354,10 @@ impl<'a> Compiler<'a> {
 
                 // `continue` must run the increment, so it targets a stub we
                 // know only after the body: emit body, record increment spot.
-                self.loops
-                    .push(LoopCtx { continue_target: None, break_patches: Vec::new() });
+                self.loops.push(LoopCtx {
+                    continue_target: None,
+                    break_patches: Vec::new(),
+                });
                 let body_start = self.here();
                 self.block_scoped(body)?;
                 let increment_at = self.here();
@@ -423,7 +449,10 @@ impl<'a> Compiler<'a> {
             }
             Expr::Var(name) => {
                 let Some(slot) = self.resolve(name) else {
-                    return Err(Error::compile(format!("undefined variable `{name}`"), self.line));
+                    return Err(Error::compile(
+                        format!("undefined variable `{name}`"),
+                        self.line,
+                    ));
                 };
                 self.emit(Op::LoadLocal(slot));
             }
@@ -488,9 +517,7 @@ impl<'a> Compiler<'a> {
                         self.expr(a)?;
                     }
                     self.emit(Op::CallFn(idx as u16, args.len() as u8));
-                } else if let Some(bidx) =
-                    builtins::NAMES.iter().position(|n| n == name)
-                {
+                } else if let Some(bidx) = builtins::NAMES.iter().position(|n| n == name) {
                     for a in args {
                         self.expr(a)?;
                     }
@@ -583,9 +610,10 @@ mod tests {
 
     #[test]
     fn continue_in_for_patched_to_increment() {
-        let c =
-            compile_src("let s = 0; for i in range(0, 10) { if i % 2 == 0 { continue; } s = s + i; }")
-                .unwrap();
+        let c = compile_src(
+            "let s = 0; for i in range(0, 10) { if i % 2 == 0 { continue; } s = s + i; }",
+        )
+        .unwrap();
         let main = &c.funcs[c.main];
         assert!(!main.code.contains(&Op::Jump(CONTINUE_PLACEHOLDER)));
     }

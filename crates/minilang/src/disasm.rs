@@ -13,7 +13,14 @@ use crate::bytecode::{Compiled, CompiledFn, Op};
 /// Disassembles one compiled function.
 pub fn disassemble_fn(f: &CompiledFn) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "fn {} (arity {}, {} slots, {} consts)", f.name, f.arity, f.n_slots, f.consts.len());
+    let _ = writeln!(
+        out,
+        "fn {} (arity {}, {} slots, {} consts)",
+        f.name,
+        f.arity,
+        f.n_slots,
+        f.consts.len()
+    );
     for (i, op) in f.code.iter().enumerate() {
         let _ = writeln!(out, "  {i:4}  {}", render_op(f, *op));
     }
@@ -129,6 +136,11 @@ mod tests {
         let opt_ast = crate::optimize::optimize(&parse("1 + 2 * 3").unwrap());
         let opt = compile(&opt_ast).unwrap();
         let count = |c: &Compiled| c.funcs[c.main].code.len();
-        assert!(count(&opt) < count(&plain), "{} !< {}", count(&opt), count(&plain));
+        assert!(
+            count(&opt) < count(&plain),
+            "{} !< {}",
+            count(&opt),
+            count(&plain)
+        );
     }
 }

@@ -44,22 +44,36 @@ pub enum Error {
         /// Description.
         message: String,
     },
+    /// The configured fuel budget ran out before the program finished
+    /// (see `Interpreter::with_fuel` / `Vm::with_fuel`).
+    FuelExhausted {
+        /// The step budget that was spent.
+        budget: u64,
+    },
 }
 
 impl Error {
     /// Builds a runtime error from anything printable.
     pub fn runtime(message: impl Into<String>) -> Self {
-        Error::Runtime { message: message.into() }
+        Error::Runtime {
+            message: message.into(),
+        }
     }
 
     /// Builds a parse error.
     pub fn parse(message: impl Into<String>, line: u32) -> Self {
-        Error::Parse { message: message.into(), line }
+        Error::Parse {
+            message: message.into(),
+            line,
+        }
     }
 
     /// Builds a compile error.
     pub fn compile(message: impl Into<String>, line: u32) -> Self {
-        Error::Compile { message: message.into(), line }
+        Error::Compile {
+            message: message.into(),
+            line,
+        }
     }
 }
 
@@ -80,6 +94,12 @@ impl fmt::Display for Error {
                 write!(f, "line {line}: compile error: {message}")
             }
             Error::Runtime { message } => write!(f, "runtime error: {message}"),
+            Error::FuelExhausted { budget } => {
+                write!(
+                    f,
+                    "fuel exhausted: budget of {budget} steps spent before the program finished"
+                )
+            }
         }
     }
 }
@@ -99,12 +119,24 @@ mod tests {
             Error::UnexpectedChar { ch: '@', line: 3 }.to_string(),
             "line 3: unexpected character `@`"
         );
-        assert!(Error::parse("expected `)`", 7).to_string().contains("line 7"));
-        assert!(Error::runtime("boom").to_string().contains("boom"));
-        assert!(Error::compile("too many locals", 2).to_string().contains("compile"));
-        assert!(Error::UnterminatedString { line: 1 }.to_string().contains("unterminated"));
-        assert!(Error::BadNumber { text: "1.2.3".into(), line: 4 }
+        assert!(Error::parse("expected `)`", 7)
             .to_string()
-            .contains("1.2.3"));
+            .contains("line 7"));
+        assert!(Error::runtime("boom").to_string().contains("boom"));
+        assert!(Error::compile("too many locals", 2)
+            .to_string()
+            .contains("compile"));
+        assert!(Error::UnterminatedString { line: 1 }
+            .to_string()
+            .contains("unterminated"));
+        assert!(Error::BadNumber {
+            text: "1.2.3".into(),
+            line: 4
+        }
+        .to_string()
+        .contains("1.2.3"));
+        assert!(Error::FuelExhausted { budget: 1000 }
+            .to_string()
+            .contains("1000 steps"));
     }
 }

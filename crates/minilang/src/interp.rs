@@ -42,6 +42,10 @@ pub struct Interpreter {
     /// Whether expression statements should record into `result` (true only
     /// while executing top-level code).
     record_result: bool,
+    /// Step budget per [`Interpreter::run`] call; `None` means unlimited.
+    fuel_budget: Option<u64>,
+    /// Fuel remaining in the current run.
+    fuel_left: u64,
 }
 
 impl Default for Interpreter {
@@ -59,7 +63,31 @@ impl Interpreter {
             depth: 0,
             result: Value::Nil,
             record_result: true,
+            fuel_budget: None,
+            fuel_left: 0,
         }
+    }
+
+    /// Creates an interpreter with a step budget: each [`Interpreter::run`]
+    /// may execute at most `fuel` statements/loop iterations before failing
+    /// with [`Error::FuelExhausted`]. A bound on runaway scripts
+    /// (`while true {}`) that [`Interpreter::new`] would execute forever.
+    pub fn with_fuel(fuel: u64) -> Self {
+        let mut i = Self::new();
+        i.fuel_budget = Some(fuel);
+        i
+    }
+
+    /// Spends one unit of fuel; errors when the budget is gone.
+    #[inline]
+    fn charge(&mut self) -> Result<()> {
+        if let Some(budget) = self.fuel_budget {
+            if self.fuel_left == 0 {
+                return Err(Error::FuelExhausted { budget });
+            }
+            self.fuel_left -= 1;
+        }
+        Ok(())
     }
 
     /// Runs a program, returning the value of its final top-level expression
@@ -68,12 +96,23 @@ impl Interpreter {
     /// # Errors
     /// [`Error::Runtime`] diagnostics.
     pub fn run(&mut self, program: &Program) -> Result<Value> {
+        self.fuel_left = self.fuel_budget.unwrap_or(0);
         for f in &program.functions {
-            if self.functions.insert(f.name.clone(), Rc::clone(f)).is_some() {
-                return Err(Error::runtime(format!("function `{}` defined twice", f.name)));
+            if self
+                .functions
+                .insert(f.name.clone(), Rc::clone(f))
+                .is_some()
+            {
+                return Err(Error::runtime(format!(
+                    "function `{}` defined twice",
+                    f.name
+                )));
             }
             if builtins::lookup(&f.name).is_some() {
-                return Err(Error::runtime(format!("function `{}` shadows a builtin", f.name)));
+                return Err(Error::runtime(format!(
+                    "function `{}` shadows a builtin",
+                    f.name
+                )));
             }
         }
         match self.exec_block_flat(&program.main)? {
@@ -104,6 +143,7 @@ impl Interpreter {
     }
 
     fn exec_stmt(&mut self, stmt: &Stmt) -> Result<Flow> {
+        self.charge()?;
         match stmt {
             Stmt::Let { name, init } => {
                 let v = self.eval(init)?;
@@ -121,7 +161,9 @@ impl Interpreter {
                         return Ok(Flow::Normal);
                     }
                 }
-                Err(Error::runtime(format!("assignment to undefined variable `{name}`")))
+                Err(Error::runtime(format!(
+                    "assignment to undefined variable `{name}`"
+                )))
             }
             Stmt::IndexAssign { base, index, value } => {
                 let b = self.eval(base)?;
@@ -137,7 +179,11 @@ impl Interpreter {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::If { cond, then_block, else_block } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 if self.eval(cond)?.truthy() {
                     self.exec_block_scoped(then_block)
                 } else {
@@ -145,7 +191,13 @@ impl Interpreter {
                 }
             }
             Stmt::While { cond, body } => {
-                while self.eval(cond)?.truthy() {
+                // Charge per iteration: an empty body executes no statements,
+                // so the statement-entry charge alone would never bound
+                // `while true {}`.
+                while {
+                    self.charge()?;
+                    self.eval(cond)?.truthy()
+                } {
                     match self.exec_block_scoped(body)? {
                         Flow::Normal | Flow::Continue => {}
                         Flow::Break => break,
@@ -154,11 +206,17 @@ impl Interpreter {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::ForRange { var, start, end, body } => {
+            Stmt::ForRange {
+                var,
+                start,
+                end,
+                body,
+            } => {
                 let start = self.eval(start)?.as_num("for start")?;
                 let end = self.eval(end)?.as_num("for end")?;
                 let mut i = start;
                 while i < end {
+                    self.charge()?;
                     self.scopes.push(HashMap::new());
                     self.scopes
                         .last_mut()
@@ -309,6 +367,39 @@ mod tests {
     }
 
     #[test]
+    fn fuel_bounds_infinite_loops() {
+        let program = parse("while true { }").expect("parses");
+        let err = Interpreter::with_fuel(10_000).run(&program).unwrap_err();
+        assert!(
+            matches!(err, Error::FuelExhausted { budget: 10_000 }),
+            "{err}"
+        );
+        // Without fuel this program would never return; the default engine
+        // stays unlimited.
+        let program = parse("let i = 0; while i < 100 { i = i + 1; } i").expect("parses");
+        assert_eq!(Interpreter::new().run(&program).unwrap(), Value::Num(100.0));
+        // A generous budget does not change the result.
+        assert_eq!(
+            Interpreter::with_fuel(10_000).run(&program).unwrap(),
+            Value::Num(100.0)
+        );
+        // A budget that is too small fails even for terminating programs.
+        let err = Interpreter::with_fuel(5).run(&program).unwrap_err();
+        assert!(matches!(err, Error::FuelExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn fuel_resets_on_each_run() {
+        let program = parse("let s = 0; for i in range(0, 10) { s = s + i; } s").expect("parses");
+        let mut i = Interpreter::with_fuel(100);
+        assert_eq!(i.run(&program).unwrap(), Value::Num(45.0));
+        // The budget is per run, not cumulative across runs.
+        let mut j = Interpreter::with_fuel(100);
+        assert_eq!(j.run(&program).unwrap(), Value::Num(45.0));
+        assert_eq!(j.run(&program).unwrap(), Value::Num(45.0));
+    }
+
+    #[test]
     fn empty_program_yields_nil() {
         assert_eq!(run("").unwrap(), Value::Nil);
         assert_eq!(run("let x = 1;").unwrap(), Value::Nil);
@@ -333,7 +424,10 @@ mod tests {
         // expression statement is `f()`, whose value is nil.
         assert_eq!(run("fn f() { 42; } f(); let x = 1;").unwrap(), Value::Nil);
         // And a later `let` does not clobber an earlier recorded result.
-        assert_eq!(run("fn f() { 42; } f(); 7; let x = 1;").unwrap(), Value::Num(7.0));
+        assert_eq!(
+            run("fn f() { 42; } f(); 7; let x = 1;").unwrap(),
+            Value::Num(7.0)
+        );
     }
 
     #[test]
@@ -344,7 +438,10 @@ mod tests {
 
     #[test]
     fn shadowing_and_scope_exit() {
-        assert_eq!(run("let x = 1; { let x = 2; x; } x").unwrap(), Value::Num(1.0));
+        assert_eq!(
+            run("let x = 1; { let x = 2; x; } x").unwrap(),
+            Value::Num(1.0)
+        );
         // Inner assignment to outer variable persists.
         assert_eq!(run("let x = 1; { x = 5; } x").unwrap(), Value::Num(5.0));
     }
@@ -366,8 +463,7 @@ mod tests {
     #[test]
     fn recursion_and_depth_limit() {
         assert_eq!(
-            run("fn fact(n) { if n <= 1 { return 1; } return n * fact(n - 1); } fact(10)")
-                .unwrap(),
+            run("fn fact(n) { if n <= 1 { return 1; } return n * fact(n - 1); } fact(10)").unwrap(),
             Value::Num(3_628_800.0)
         );
         let r = run("fn inf(n) { return inf(n + 1); } inf(0)");
@@ -376,10 +472,7 @@ mod tests {
 
     #[test]
     fn early_return_skips_rest() {
-        assert_eq!(
-            run("fn f() { return 1; 2; } f()").unwrap(),
-            Value::Num(1.0)
-        );
+        assert_eq!(run("fn f() { return 1; 2; } f()").unwrap(), Value::Num(1.0));
         assert_eq!(run("fn f() { return; } f()").unwrap(), Value::Nil);
         // Return from inside nested loops.
         assert_eq!(
@@ -418,8 +511,7 @@ mod tests {
     #[test]
     fn arrays_share_by_reference() {
         assert_eq!(
-            run("fn bump(a) { a[0] = a[0] + 1; } let xs = [1]; bump(xs); bump(xs); xs[0]")
-                .unwrap(),
+            run("fn bump(a) { a[0] = a[0] + 1; } let xs = [1]; bump(xs); bump(xs); xs[0]").unwrap(),
             Value::Num(3.0)
         );
     }

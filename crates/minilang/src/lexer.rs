@@ -150,55 +150,94 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 }
             }
             '(' => {
-                tokens.push(Token { tok: Tok::LParen, line });
+                tokens.push(Token {
+                    tok: Tok::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { tok: Tok::RParen, line });
+                tokens.push(Token {
+                    tok: Tok::RParen,
+                    line,
+                });
                 i += 1;
             }
             '{' => {
-                tokens.push(Token { tok: Tok::LBrace, line });
+                tokens.push(Token {
+                    tok: Tok::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                tokens.push(Token { tok: Tok::RBrace, line });
+                tokens.push(Token {
+                    tok: Tok::RBrace,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { tok: Tok::LBracket, line });
+                tokens.push(Token {
+                    tok: Tok::LBracket,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { tok: Tok::RBracket, line });
+                tokens.push(Token {
+                    tok: Tok::RBracket,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { tok: Tok::Comma, line });
+                tokens.push(Token {
+                    tok: Tok::Comma,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { tok: Tok::Semi, line });
+                tokens.push(Token {
+                    tok: Tok::Semi,
+                    line,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { tok: Tok::Plus, line });
+                tokens.push(Token {
+                    tok: Tok::Plus,
+                    line,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { tok: Tok::Minus, line });
+                tokens.push(Token {
+                    tok: Tok::Minus,
+                    line,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { tok: Tok::Star, line });
+                tokens.push(Token {
+                    tok: Tok::Star,
+                    line,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { tok: Tok::Slash, line });
+                tokens.push(Token {
+                    tok: Tok::Slash,
+                    line,
+                });
                 i += 1;
             }
             '%' => {
-                tokens.push(Token { tok: Tok::Percent, line });
+                tokens.push(Token {
+                    tok: Tok::Percent,
+                    line,
+                });
                 i += 1;
             }
             '=' => {
@@ -206,7 +245,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     tokens.push(Token { tok: Tok::Eq, line });
                     i += 2;
                 } else {
-                    tokens.push(Token { tok: Tok::Assign, line });
+                    tokens.push(Token {
+                        tok: Tok::Assign,
+                        line,
+                    });
                     i += 1;
                 }
             }
@@ -254,9 +296,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                                 Some(b't') => s.push('\t'),
                                 Some(b'"') => s.push('"'),
                                 Some(b'\\') => s.push('\\'),
-                                _ => {
-                                    return Err(Error::UnterminatedString { line: start_line })
-                                }
+                                _ => return Err(Error::UnterminatedString { line: start_line }),
                             }
                             i += 2;
                         }
@@ -269,14 +309,20 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         }
                     }
                 }
-                tokens.push(Token { tok: Tok::Str(s), line: start_line });
+                tokens.push(Token {
+                    tok: Tok::Str(s),
+                    line: start_line,
+                });
             }
             '0'..='9' => {
                 let start = i;
                 while i < bytes.len() && bytes[i].is_ascii_digit() {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+                {
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
                         i += 1;
@@ -296,10 +342,14 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     }
                 }
                 let text = &src[start..i];
-                let n: f64 = text
-                    .parse()
-                    .map_err(|_| Error::BadNumber { text: text.to_owned(), line })?;
-                tokens.push(Token { tok: Tok::Num(n), line });
+                let n: f64 = text.parse().map_err(|_| Error::BadNumber {
+                    text: text.to_owned(),
+                    line,
+                })?;
+                tokens.push(Token {
+                    tok: Tok::Num(n),
+                    line,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -315,7 +365,10 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             other => return Err(Error::UnexpectedChar { ch: other, line }),
         }
     }
-    tokens.push(Token { tok: Tok::Eof, line });
+    tokens.push(Token {
+        tok: Tok::Eof,
+        line,
+    });
     Ok(tokens)
 }
 
@@ -346,7 +399,16 @@ mod tests {
     fn distinguishes_operators() {
         assert_eq!(
             kinds("= == != < <= > >="),
-            vec![Tok::Assign, Tok::Eq, Tok::Ne, Tok::Lt, Tok::Le, Tok::Gt, Tok::Ge, Tok::Eof]
+            vec![
+                Tok::Assign,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eof
+            ]
         );
     }
 
@@ -358,7 +420,10 @@ mod tests {
         // `1.` is number then a lone dot -> error (dot unsupported).
         assert!(lex("1.x").is_err());
         // Method-call style `3 .` never arises; `3.e` without digits stays 3.
-        assert_eq!(kinds("3e"), vec![Tok::Num(3.0), Tok::Ident("e".into()), Tok::Eof]);
+        assert_eq!(
+            kinds("3e"),
+            vec![Tok::Num(3.0), Tok::Ident("e".into()), Tok::Eof]
+        );
     }
 
     #[test]
@@ -373,9 +438,18 @@ mod tests {
                 Tok::Eof
             ]
         );
-        assert_eq!(kinds("true false nil and or not"), vec![
-            Tok::True, Tok::False, Tok::Nil, Tok::And, Tok::Or, Tok::Not, Tok::Eof
-        ]);
+        assert_eq!(
+            kinds("true false nil and or not"),
+            vec![
+                Tok::True,
+                Tok::False,
+                Tok::Nil,
+                Tok::And,
+                Tok::Or,
+                Tok::Not,
+                Tok::Eof
+            ]
+        );
     }
 
     #[test]
@@ -391,16 +465,30 @@ mod tests {
         let toks = lex("# header\nlet x = 1; # trailing\nx").unwrap();
         assert_eq!(toks[0].tok, Tok::Let);
         assert_eq!(toks[0].line, 2);
-        let last_ident = toks.iter().find(|t| t.tok == Tok::Ident("x".into()) && t.line == 3);
+        let last_ident = toks
+            .iter()
+            .find(|t| t.tok == Tok::Ident("x".into()) && t.line == 3);
         assert!(last_ident.is_some());
     }
 
     #[test]
     fn error_cases() {
-        assert!(matches!(lex("@"), Err(Error::UnexpectedChar { ch: '@', line: 1 })));
-        assert!(matches!(lex("\"open"), Err(Error::UnterminatedString { line: 1 })));
-        assert!(matches!(lex("!x"), Err(Error::UnexpectedChar { ch: '!', .. })));
-        assert!(matches!(lex("\"bad\\q\""), Err(Error::UnterminatedString { .. })));
+        assert!(matches!(
+            lex("@"),
+            Err(Error::UnexpectedChar { ch: '@', line: 1 })
+        ));
+        assert!(matches!(
+            lex("\"open"),
+            Err(Error::UnterminatedString { line: 1 })
+        ));
+        assert!(matches!(
+            lex("!x"),
+            Err(Error::UnexpectedChar { ch: '!', .. })
+        ));
+        assert!(matches!(
+            lex("\"bad\\q\""),
+            Err(Error::UnterminatedString { .. })
+        ));
     }
 
     #[test]

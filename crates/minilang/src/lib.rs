@@ -108,19 +108,40 @@ mod tier_equivalence {
         ("cmp", "1 < 2 and 3 >= 3 and not (2 == 3)"),
         ("string", "\"a\" + \"b\""),
         ("ternary-ish", "if 1 < 2 { 10 } else { 20 }"),
-        ("while", "let i = 0; let s = 0; while i < 5 { s = s + i; i = i + 1; } s"),
+        (
+            "while",
+            "let i = 0; let s = 0; while i < 5 { s = s + i; i = i + 1; } s",
+        ),
         ("for", "let s = 0; for i in range(0, 10) { s = s + i; } s"),
-        ("nested-for", "let s = 0; for i in range(0, 4) { for j in range(0, 4) { s = s + i * j; } } s"),
+        (
+            "nested-for",
+            "let s = 0; for i in range(0, 4) { for j in range(0, 4) { s = s + i * j; } } s",
+        ),
         ("fn", "fn sq(x) { return x * x; } sq(7)"),
-        ("recursion", "fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } fib(12)"),
+        (
+            "recursion",
+            "fn fib(n) { if n < 2 { return n; } return fib(n-1) + fib(n-2); } fib(12)",
+        ),
         ("array", "let a = [1, 2, 3]; a[0] + a[2]"),
         ("array-set", "let a = [0, 0]; a[1] = 9; a[1]"),
         ("farray", "let a = fill(4, 2.5); a[3] * len(a)"),
-        ("push", "let a = []; push(a, 5); push(a, 6); a[0] + a[1] + len(a)"),
-        ("break", "let s = 0; for i in range(0, 100) { if i == 5 { break; } s = s + i; } s"),
-        ("continue", "let s = 0; for i in range(0, 10) { if i % 2 == 0 { continue; } s = s + i; } s"),
+        (
+            "push",
+            "let a = []; push(a, 5); push(a, 6); a[0] + a[1] + len(a)",
+        ),
+        (
+            "break",
+            "let s = 0; for i in range(0, 100) { if i == 5 { break; } s = s + i; } s",
+        ),
+        (
+            "continue",
+            "let s = 0; for i in range(0, 10) { if i % 2 == 0 { continue; } s = s + i; } s",
+        ),
         ("builtin-math", "sqrt(16) + abs(0 - 3) + floor(2.9)"),
-        ("vector", "let a = fill(100, 2.0); let b = fill(100, 3.0); vdot(a, b)"),
+        (
+            "vector",
+            "let a = fill(100, 2.0); let b = fill(100, 3.0); vdot(a, b)",
+        ),
         ("shadow-scope", "let x = 1; { let x = 2; } x"),
     ];
 
@@ -130,6 +151,42 @@ mod tier_equivalence {
             let a = run_source(src).unwrap_or_else(|e| panic!("interp {name}: {e}"));
             let b = run_source_vm(src).unwrap_or_else(|e| panic!("vm {name}: {e}"));
             assert_eq!(a, b, "tier mismatch on `{name}`");
+        }
+    }
+
+    #[test]
+    fn both_tiers_exhaust_fuel_identically() {
+        // Step counting differs between tiers (statements vs instructions),
+        // but the observable behaviour must match: the same typed error on
+        // runaway programs, and identical results when the budget suffices.
+        for src in [
+            "while true { }",
+            "while true { let x = 1; }",
+            "fn spin() { while true { } } spin()",
+        ] {
+            let program = parser::parse(src).expect("parses");
+            let a = interp::Interpreter::with_fuel(50_000)
+                .run(&program)
+                .unwrap_err();
+            let compiled = bytecode::compile(&program).expect("compiles");
+            let b = vm::Vm::with_fuel(50_000).run(&compiled).unwrap_err();
+            assert!(
+                matches!(a, Error::FuelExhausted { budget: 50_000 }),
+                "interp `{src}`: {a}"
+            );
+            assert_eq!(a, b, "tier mismatch on `{src}`");
+        }
+        for (name, src) in PROGRAMS {
+            let program = parser::parse(src).expect("parses");
+            let a = interp::Interpreter::with_fuel(1_000_000).run(&program);
+            let compiled = bytecode::compile(&program).expect("compiles");
+            let b = vm::Vm::with_fuel(1_000_000).run(&compiled);
+            assert_eq!(a, b, "fueled tier mismatch on `{name}`");
+            assert_eq!(
+                a.unwrap(),
+                run_source(src).unwrap(),
+                "fuel changed `{name}`"
+            );
         }
     }
 

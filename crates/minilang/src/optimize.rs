@@ -41,10 +41,16 @@ fn optimize_block(block: &Block) -> Block {
 fn optimize_stmt(stmt: &Stmt) -> Vec<Stmt> {
     match stmt {
         Stmt::Let { name, init } => {
-            vec![Stmt::Let { name: name.clone(), init: fold(init) }]
+            vec![Stmt::Let {
+                name: name.clone(),
+                init: fold(init),
+            }]
         }
         Stmt::Assign { name, value } => {
-            vec![Stmt::Assign { name: name.clone(), value: fold(value) }]
+            vec![Stmt::Assign {
+                name: name.clone(),
+                value: fold(value),
+            }]
         }
         Stmt::IndexAssign { base, index, value } => vec![Stmt::IndexAssign {
             base: fold(base),
@@ -52,7 +58,11 @@ fn optimize_stmt(stmt: &Stmt) -> Vec<Stmt> {
             value: fold(value),
         }],
         Stmt::Expr(e) => vec![Stmt::Expr(fold(e))],
-        Stmt::If { cond, then_block, else_block } => {
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => {
             let cond = fold(&cond.clone());
             // Dead-branch elimination when the condition folded to a literal.
             match literal_truthiness(&cond) {
@@ -77,9 +87,17 @@ fn optimize_stmt(stmt: &Stmt) -> Vec<Stmt> {
                 // `while false` never runs.
                 return Vec::new();
             }
-            vec![Stmt::While { cond, body: optimize_block(body) }]
+            vec![Stmt::While {
+                cond,
+                body: optimize_block(body),
+            }]
         }
-        Stmt::ForRange { var, start, end, body } => vec![Stmt::ForRange {
+        Stmt::ForRange {
+            var,
+            start,
+            end,
+            body,
+        } => vec![Stmt::ForRange {
             var: var.clone(),
             start: fold(start),
             end: fold(end),
@@ -149,7 +167,11 @@ pub fn fold(e: &Expr) -> Expr {
                     }
                 }
             }
-            Expr::Bin { op: *op, lhs: Box::new(l), rhs: Box::new(r) }
+            Expr::Bin {
+                op: *op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            }
         }
         Expr::And(l, r) => {
             let l = fold(l);
@@ -180,7 +202,10 @@ pub fn fold(e: &Expr) -> Expr {
                     return lit;
                 }
             }
-            Expr::Un { op: *op, expr: Box::new(inner) }
+            Expr::Un {
+                op: *op,
+                expr: Box::new(inner),
+            }
         }
         Expr::Index { base, index } => Expr::Index {
             base: Box::new(fold(base)),
@@ -219,7 +244,13 @@ mod tests {
     fn folds_arithmetic_chains() {
         let p = parse("let x = 1 + 2 * 3 - 4;").unwrap();
         let o = optimize(&p);
-        assert_eq!(o.main[0], Stmt::Let { name: "x".into(), init: Expr::Num(3.0) });
+        assert_eq!(
+            o.main[0],
+            Stmt::Let {
+                name: "x".into(),
+                init: Expr::Num(3.0)
+            }
+        );
     }
 
     #[test]
@@ -262,7 +293,9 @@ mod tests {
         let o = optimize(&parse("if false { 1; }").unwrap());
         assert!(o.main.is_empty());
         let o = optimize(&parse("if 1 < 2 { 1; } else { 2; }").unwrap());
-        assert!(matches!(&o.main[0], Stmt::Block(b) if matches!(b[0], Stmt::Expr(Expr::Num(n)) if n == 1.0)));
+        assert!(
+            matches!(&o.main[0], Stmt::Block(b) if matches!(b[0], Stmt::Expr(Expr::Num(n)) if n == 1.0))
+        );
         let o = optimize(&parse("while false { 1; }").unwrap());
         assert!(o.main.is_empty());
     }
@@ -282,7 +315,11 @@ mod tests {
         let f = &o.functions[0];
         // `1 + 1` in the condition folded to 2.
         match &f.body[0] {
-            Stmt::If { cond: Expr::Bin { rhs, .. }, then_block, .. } => {
+            Stmt::If {
+                cond: Expr::Bin { rhs, .. },
+                then_block,
+                ..
+            } => {
                 assert_eq!(**rhs, Expr::Num(2.0));
                 assert_eq!(then_block[0], Stmt::Return(Some(Expr::Num(6.0))));
             }

@@ -103,14 +103,24 @@ impl Parser {
             }
         }
         self.eat(&Tok::RParen, "`)`")?;
-        if params.iter().collect::<std::collections::BTreeSet<_>>().len() != params.len() {
+        if params
+            .iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+            != params.len()
+        {
             return Err(Error::parse(
                 format!("function `{name}` repeats a parameter name"),
                 line,
             ));
         }
         let body = self.block(true)?;
-        Ok(FnDef { name, params, body, line })
+        Ok(FnDef {
+            name,
+            params,
+            body,
+            line,
+        })
     }
 
     /// Parses `{ stmt* }`. `in_fn` controls whether `return` is legal.
@@ -119,7 +129,10 @@ impl Parser {
         let mut stmts = Vec::new();
         while self.peek() != &Tok::RBrace {
             if self.peek() == &Tok::Eof {
-                return Err(Error::parse("unexpected end of input in block", self.line()));
+                return Err(Error::parse(
+                    "unexpected end of input in block",
+                    self.line(),
+                ));
             }
             stmts.push(self.stmt(in_fn)?);
         }
@@ -136,7 +149,10 @@ impl Parser {
                 Ok(())
             }
             Tok::RBrace | Tok::Eof => Ok(()),
-            other => Err(Error::parse(format!("expected `;`, found {other:?}"), self.line())),
+            other => Err(Error::parse(
+                format!("expected `;`, found {other:?}"),
+                self.line(),
+            )),
         }
     }
 
@@ -181,7 +197,12 @@ impl Parser {
                     }
                 };
                 let body = self.block(in_fn)?;
-                Ok(Stmt::ForRange { var, start, end, body })
+                Ok(Stmt::ForRange {
+                    var,
+                    start,
+                    end,
+                    body,
+                })
             }
             Tok::Return => {
                 let line = self.line();
@@ -249,7 +270,11 @@ impl Parser {
         } else {
             Vec::new()
         };
-        Ok(Stmt::If { cond, then_block, else_block })
+        Ok(Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        })
     }
 
     // ---- expressions ----
@@ -288,7 +313,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.comparison()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -305,7 +334,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.additive()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -320,7 +353,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.multiplicative()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -336,7 +373,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.unary()?;
-            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -346,12 +387,18 @@ impl Parser {
             Tok::Minus => {
                 self.advance();
                 let e = self.unary()?;
-                Ok(Expr::Un { op: UnOp::Neg, expr: Box::new(e) })
+                Ok(Expr::Un {
+                    op: UnOp::Neg,
+                    expr: Box::new(e),
+                })
             }
             Tok::Not => {
                 self.advance();
                 let e = self.unary()?;
-                Ok(Expr::Un { op: UnOp::Not, expr: Box::new(e) })
+                Ok(Expr::Un {
+                    op: UnOp::Not,
+                    expr: Box::new(e),
+                })
             }
             _ => self.postfix(),
         }
@@ -363,7 +410,10 @@ impl Parser {
             self.advance();
             let index = self.expr()?;
             self.eat(&Tok::RBracket, "`]`")?;
-            e = Expr::Index { base: Box::new(e), index: Box::new(index) };
+            e = Expr::Index {
+                base: Box::new(e),
+                index: Box::new(index),
+            };
         }
         Ok(e)
     }
@@ -453,7 +503,11 @@ mod tests {
                 assert_eq!(name, "x");
                 // 1 + (2 * 3) by precedence.
                 match init {
-                    Expr::Bin { op: BinOp::Add, rhs, .. } => {
+                    Expr::Bin {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    } => {
                         assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
                     }
                     other => panic!("bad tree: {other:?}"),
@@ -477,7 +531,12 @@ mod tests {
     fn for_desugars_range() {
         let p = parse("for i in range(0, 10) { i; }").unwrap();
         match &p.main[0] {
-            Stmt::ForRange { var, start, end, body } => {
+            Stmt::ForRange {
+                var,
+                start,
+                end,
+                body,
+            } => {
                 assert_eq!(var, "i");
                 assert_eq!(*start, Expr::Num(0.0));
                 assert_eq!(*end, Expr::Num(10.0));
@@ -503,7 +562,10 @@ mod tests {
 
     #[test]
     fn assignments_and_targets() {
-        assert!(matches!(parse("x = 1;").unwrap().main[0], Stmt::Assign { .. }));
+        assert!(matches!(
+            parse("x = 1;").unwrap().main[0],
+            Stmt::Assign { .. }
+        ));
         assert!(matches!(
             parse("a[0] = 1;").unwrap().main[0],
             Stmt::IndexAssign { .. }

@@ -102,9 +102,7 @@ impl PartialEq for Value {
             (Value::Bool(a), Value::Bool(b)) => a == b,
             (Value::Num(a), Value::Num(b)) => a == b,
             (Value::Str(a), Value::Str(b)) => a == b,
-            (Value::Array(a), Value::Array(b)) => {
-                Rc::ptr_eq(a, b) || *a.borrow() == *b.borrow()
-            }
+            (Value::Array(a), Value::Array(b)) => Rc::ptr_eq(a, b) || *a.borrow() == *b.borrow(),
             (Value::FloatArray(a), Value::FloatArray(b)) => {
                 Rc::ptr_eq(a, b) || *a.borrow() == *b.borrow()
             }
@@ -255,7 +253,10 @@ pub fn index_get(base: &Value, index: &Value) -> Result<Value> {
             .get(i)
             .map(|&f| Value::Num(f))
             .ok_or_else(|| oob(i, items.borrow().len())),
-        other => Err(Error::runtime(format!("cannot index a {}", other.type_name()))),
+        other => Err(Error::runtime(format!(
+            "cannot index a {}",
+            other.type_name()
+        ))),
     }
 }
 
@@ -282,7 +283,10 @@ pub fn index_set(base: &Value, index: &Value, value: Value) -> Result<()> {
             *slot = n;
             Ok(())
         }
-        other => Err(Error::runtime(format!("cannot index a {}", other.type_name()))),
+        other => Err(Error::runtime(format!(
+            "cannot index a {}",
+            other.type_name()
+        ))),
     }
 }
 

@@ -26,12 +26,28 @@ struct Frame {
 pub struct Vm {
     stack: Vec<Value>,
     result: Value,
+    /// Instruction budget per [`Vm::run`] call; `None` means unlimited.
+    fuel_budget: Option<u64>,
 }
 
 impl Vm {
     /// Creates a fresh VM.
     pub fn new() -> Self {
-        Vm { stack: Vec::with_capacity(256), result: Value::Nil }
+        Vm {
+            stack: Vec::with_capacity(256),
+            result: Value::Nil,
+            fuel_budget: None,
+        }
+    }
+
+    /// Creates a VM with an instruction budget: each [`Vm::run`] may
+    /// dispatch at most `fuel` instructions before failing with
+    /// [`Error::FuelExhausted`]. A bound on runaway scripts
+    /// (`while true {}`) that [`Vm::new`] would execute forever.
+    pub fn with_fuel(fuel: u64) -> Self {
+        let mut vm = Self::new();
+        vm.fuel_budget = Some(fuel);
+        vm
     }
 
     /// Executes a compiled program, returning the value of its final
@@ -44,7 +60,12 @@ impl Vm {
         self.result = Value::Nil;
         let main = &compiled.funcs[compiled.main];
         self.stack.resize(main.n_slots as usize, Value::Nil);
-        let mut frames = vec![Frame { func: compiled.main, ip: 0, base: 0 }];
+        let mut frames = vec![Frame {
+            func: compiled.main,
+            ip: 0,
+            base: 0,
+        }];
+        let mut fuel_left = self.fuel_budget.unwrap_or(0);
 
         'frames: while let Some(frame) = frames.last_mut() {
             let func = &compiled.funcs[frame.func];
@@ -54,6 +75,12 @@ impl Vm {
             let base = frame.base;
             loop {
                 debug_assert!(ip < code.len(), "ip ran off the end of {}", func.name);
+                if let Some(budget) = self.fuel_budget {
+                    if fuel_left == 0 {
+                        return Err(Error::FuelExhausted { budget });
+                    }
+                    fuel_left -= 1;
+                }
                 let op = code[ip];
                 ip += 1;
                 match op {
@@ -73,11 +100,9 @@ impl Vm {
                         let r = self.pop();
                         let l = self.pop();
                         // Fast path for the overwhelmingly common case.
-                        let v = if let (Value::Num(a), Value::Num(b), true) = (
-                            &l,
-                            &r,
-                            matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul),
-                        ) {
+                        let v = if let (Value::Num(a), Value::Num(b), true) =
+                            (&l, &r, matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul))
+                        {
                             match op {
                                 BinOp::Add => Value::Num(a + b),
                                 BinOp::Sub => Value::Num(a - b),
@@ -127,7 +152,11 @@ impl Vm {
                             .resize(new_base + callee.n_slots as usize, Value::Nil);
                         // Save our cursor, switch frames.
                         frames.last_mut().expect("current frame exists").ip = ip;
-                        frames.push(Frame { func: fidx as usize, ip: 0, base: new_base });
+                        frames.push(Frame {
+                            func: fidx as usize,
+                            ip: 0,
+                            base: new_base,
+                        });
                         continue 'frames;
                     }
                     Op::CallBuiltin(bidx, argc) => {
@@ -139,7 +168,11 @@ impl Vm {
                         self.stack.push(v);
                     }
                     Op::Ret | Op::RetNil => {
-                        let v = if op == Op::Ret { self.pop() } else { Value::Nil };
+                        let v = if op == Op::Ret {
+                            self.pop()
+                        } else {
+                            Value::Nil
+                        };
                         self.stack.truncate(base);
                         frames.pop();
                         if frames.is_empty() {
@@ -178,12 +211,16 @@ impl Vm {
 
     #[inline]
     fn pop(&mut self) -> Value {
-        self.stack.pop().expect("compiler guarantees stack discipline")
+        self.stack
+            .pop()
+            .expect("compiler guarantees stack discipline")
     }
 
     #[inline]
     fn peek(&self) -> &Value {
-        self.stack.last().expect("compiler guarantees stack discipline")
+        self.stack
+            .last()
+            .expect("compiler guarantees stack discipline")
     }
 }
 
@@ -207,7 +244,10 @@ mod tests {
 
     #[test]
     fn control_flow() {
-        assert_eq!(run("if 2 > 1 { 10 } else { 20 }").unwrap(), Value::Num(10.0));
+        assert_eq!(
+            run("if 2 > 1 { 10 } else { 20 }").unwrap(),
+            Value::Num(10.0)
+        );
         assert_eq!(
             run("let s = 0; let i = 0; while i < 100 { s = s + i; i = i + 1; } s").unwrap(),
             Value::Num(4950.0)
@@ -226,10 +266,7 @@ mod tests {
             Value::Num(25.0)
         );
         // While at instruction offset zero (regression: continue target 0).
-        assert_eq!(
-            run("while true { break; } 5").unwrap(),
-            Value::Num(5.0)
-        );
+        assert_eq!(run("while true { break; } 5").unwrap(), Value::Num(5.0));
     }
 
     #[test]
@@ -290,6 +327,25 @@ mod tests {
                 .unwrap(),
             Value::Num(10_000.0)
         );
+    }
+
+    #[test]
+    fn fuel_bounds_infinite_loops() {
+        let c = compile(&parse("while true { }").unwrap()).unwrap();
+        let err = Vm::with_fuel(10_000).run(&c).unwrap_err();
+        assert!(
+            matches!(err, Error::FuelExhausted { budget: 10_000 }),
+            "{err}"
+        );
+        // A generous budget does not change results, and resets per run.
+        let c =
+            compile(&parse("let s = 0; for i in range(0, 100) { s = s + i; } s").unwrap()).unwrap();
+        let mut vm = Vm::with_fuel(10_000);
+        assert_eq!(vm.run(&c).unwrap(), Value::Num(4950.0));
+        assert_eq!(vm.run(&c).unwrap(), Value::Num(4950.0));
+        // Too small a budget fails even for terminating programs.
+        let err = Vm::with_fuel(5).run(&c).unwrap_err();
+        assert!(matches!(err, Error::FuelExhausted { .. }), "{err}");
     }
 
     #[test]

@@ -22,11 +22,25 @@ fn expr_strategy() -> impl Strategy<Value = String> {
     ];
     leaf.prop_recursive(4, 64, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone(), prop_oneof![
-                Just("+"), Just("-"), Just("*"), Just("/"), Just("%"),
-                Just("=="), Just("!="), Just("<"), Just("<="), Just(">"), Just(">="),
-                Just("and"), Just("or"),
-            ])
+            (
+                inner.clone(),
+                inner.clone(),
+                prop_oneof![
+                    Just("+"),
+                    Just("-"),
+                    Just("*"),
+                    Just("/"),
+                    Just("%"),
+                    Just("=="),
+                    Just("!="),
+                    Just("<"),
+                    Just("<="),
+                    Just(">"),
+                    Just(">="),
+                    Just("and"),
+                    Just("or"),
+                ]
+            )
                 .prop_map(|(l, r, op)| format!("({l} {op} {r})")),
             inner.clone().prop_map(|e| format!("(-{e})")),
             inner.clone().prop_map(|e| format!("(not {e})")),
@@ -37,7 +51,9 @@ fn expr_strategy() -> impl Strategy<Value = String> {
     })
     // `if` as an expression is not in the grammar; strip those forms back
     // out by wrapping in a full statement program below instead.
-    .prop_filter("if-expressions handled at program level", |s| !s.contains("if "))
+    .prop_filter("if-expressions handled at program level", |s| {
+        !s.contains("if ")
+    })
 }
 
 /// Wraps an expression in a program that declares the free variables.

@@ -14,8 +14,9 @@ const MARGIN_T: f64 = 40.0;
 const MARGIN_B: f64 = 55.0;
 
 /// Series colours (colour-blind-safe Okabe–Ito subset).
-const PALETTE: [&str; 6] =
-    ["#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9"];
+const PALETTE: [&str; 6] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9",
+];
 
 /// A named line series.
 #[derive(Debug, Clone)]
@@ -31,7 +32,11 @@ pub struct Series {
 impl Series {
     /// Creates a series without a band.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Series { label: label.into(), points, band: None }
+        Series {
+            label: label.into(),
+            points,
+            band: None,
+        }
     }
 
     /// Attaches a confidence band (must be aligned with `points`).
@@ -95,7 +100,8 @@ impl Frame {
     }
 
     fn y(&self, v: f64) -> f64 {
-        HEIGHT - MARGIN_B
+        HEIGHT
+            - MARGIN_B
             - (v - self.y_lo) / (self.y_hi - self.y_lo) * (HEIGHT - MARGIN_T - MARGIN_B)
     }
 }
@@ -112,7 +118,9 @@ fn svg_header(title: &str) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn axes(out: &mut String, f: &Frame, x_label: &str, y_label: &str, y_log: bool) {
@@ -138,7 +146,11 @@ fn axes(out: &mut String, f: &Frame, x_label: &str, y_label: &str, y_log: bool) 
     }
     for t in ticks(f.y_lo, f.y_hi, 6) {
         let py = f.y(t);
-        let label = if y_log { format!("1e{}", fmt_tick(t)) } else { fmt_tick(t) };
+        let label = if y_log {
+            format!("1e{}", fmt_tick(t))
+        } else {
+            fmt_tick(t)
+        };
         let _ = writeln!(
             out,
             "<line x1=\"{}\" y1=\"{py}\" x2=\"{x0}\" y2=\"{py}\" stroke=\"black\"/>\n\
@@ -185,7 +197,10 @@ fn legend(out: &mut String, labels: &[&str]) {
 /// # Panics
 /// Panics when no series contains any point.
 pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) -> String {
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!all.is_empty(), "line chart needs at least one point");
     let x_lo = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
     let x_hi = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
@@ -228,8 +243,11 @@ pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series]) 
                 d.trim_end()
             );
         }
-        let pts: Vec<String> =
-            s.points.iter().map(|&(x, y)| format!("{},{}", f.x(x), f.y(y))).collect();
+        let pts: Vec<String> = s
+            .points
+            .iter()
+            .map(|&(x, y)| format!("{},{}", f.x(x), f.y(y)))
+            .collect();
         let _ = writeln!(
             out,
             "<polyline points=\"{}\" fill=\"none\" stroke=\"{colour}\" stroke-width=\"2\"/>",
@@ -256,7 +274,10 @@ pub fn bar_chart(
     groups: &[(&str, Vec<f64>)],
     log_scale: bool,
 ) -> String {
-    assert!(!groups.is_empty() && !series_labels.is_empty(), "bar chart needs data");
+    assert!(
+        !groups.is_empty() && !series_labels.is_empty(),
+        "bar chart needs data"
+    );
     for (g, vals) in groups {
         assert_eq!(
             vals.len(),
@@ -274,8 +295,10 @@ pub fn bar_chart(
             v
         }
     };
-    let tvals: Vec<f64> =
-        groups.iter().flat_map(|(_, vs)| vs.iter().map(|&v| transform(v))).collect();
+    let tvals: Vec<f64> = groups
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().map(|&v| transform(v)))
+        .collect();
     let hi = tvals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let lo = tvals.iter().copied().fold(f64::INFINITY, f64::min).min(0.0);
     let f = Frame {
@@ -295,7 +318,11 @@ pub fn bar_chart(
             let x = gx + group_w * 0.1 + si as f64 * bar_w;
             let y = f.y(tv.max(f.y_lo));
             let base = f.y(f.y_lo.max(0.0f64.min(f.y_hi)));
-            let (top, h) = if y <= base { (y, base - y) } else { (base, y - base) };
+            let (top, h) = if y <= base {
+                (y, base - y)
+            } else {
+                (base, y - base)
+            };
             let _ = writeln!(
                 out,
                 "<rect x=\"{x:.1}\" y=\"{top:.1}\" width=\"{bar_w:.1}\" height=\"{h:.1}\" \
@@ -316,17 +343,88 @@ pub fn bar_chart(
     out
 }
 
+/// Renders a stacked bar chart: one bar per group, each bar split into one
+/// segment per label (stacked bottom-up in label order). Built for
+/// part-versus-whole figures like goodput/badput: the bar height is the
+/// total, the segments show how it divides.
+///
+/// # Panics
+/// Panics on empty input, ragged groups, or negative segment values
+/// (stacks of signed values have no meaningful total).
+pub fn stacked_bar_chart(
+    title: &str,
+    y_label: &str,
+    segment_labels: &[&str],
+    groups: &[(&str, Vec<f64>)],
+) -> String {
+    assert!(
+        !groups.is_empty() && !segment_labels.is_empty(),
+        "stacked bar chart needs data"
+    );
+    for (g, vals) in groups {
+        assert_eq!(
+            vals.len(),
+            segment_labels.len(),
+            "group `{g}` has {} values for {} segments",
+            vals.len(),
+            segment_labels.len()
+        );
+        for &v in vals {
+            assert!(
+                v >= 0.0,
+                "stacked bars need non-negative values, got {v} in `{g}`"
+            );
+        }
+    }
+    let hi = groups
+        .iter()
+        .map(|(_, vs)| vs.iter().sum::<f64>())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let f = Frame {
+        x_lo: 0.0,
+        x_hi: groups.len() as f64,
+        y_lo: 0.0,
+        y_hi: if hi > 0.0 { hi * 1.08 } else { 1.0 },
+    };
+    let mut out = svg_header(title);
+    axes(&mut out, &f, "", y_label, false);
+    let group_w = (WIDTH - MARGIN_L - MARGIN_R) / groups.len() as f64;
+    let bar_w = group_w * 0.6;
+    for (gi, (gname, vals)) in groups.iter().enumerate() {
+        let gx = MARGIN_L + gi as f64 * group_w;
+        let x = gx + group_w * 0.2;
+        let mut cum = 0.0;
+        for (si, &v) in vals.iter().enumerate() {
+            let y_top = f.y(cum + v);
+            let y_bot = f.y(cum);
+            let _ = writeln!(
+                out,
+                "<rect x=\"{x:.1}\" y=\"{y_top:.1}\" width=\"{bar_w:.1}\" \
+                 height=\"{:.1}\" fill=\"{}\"/>",
+                y_bot - y_top,
+                PALETTE[si % PALETTE.len()]
+            );
+            cum += v;
+        }
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\" font-size=\"10\">{}</text>",
+            gx + group_w / 2.0,
+            HEIGHT - MARGIN_B + 20.0,
+            escape(gname)
+        );
+    }
+    legend(&mut out, segment_labels);
+    out.push_str("</svg>\n");
+    out
+}
+
 /// Renders a heat map of a row-major matrix with row/column labels; cell
 /// colour interpolates white → blue over the value range.
 ///
 /// # Panics
 /// Panics on dimension mismatches or empty input.
-pub fn heatmap(
-    title: &str,
-    row_labels: &[&str],
-    col_labels: &[&str],
-    values: &[f64],
-) -> String {
+pub fn heatmap(title: &str, row_labels: &[&str], col_labels: &[&str], values: &[f64]) -> String {
     let (nr, nc) = (row_labels.len(), col_labels.len());
     assert!(nr > 0 && nc > 0, "heatmap needs rows and columns");
     assert_eq!(values.len(), nr * nc, "values must be rows × cols");
@@ -439,6 +537,40 @@ mod tests {
     }
 
     #[test]
+    fn stacked_bars_render_segments_and_totals() {
+        let groups = [
+            ("2h", vec![60.0, 40.0]),
+            ("8h", vec![80.0, 18.0]),
+            ("32h", vec![84.0, 7.0]),
+        ];
+        let svg = stacked_bar_chart("Fig 7", "node-hours", &["goodput", "badput"], &groups);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // background + 6 segments + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 9);
+        assert!(svg.contains("goodput") && svg.contains("badput"));
+        assert!(svg.contains("2h") && svg.contains("32h"));
+    }
+
+    #[test]
+    fn stacked_bars_accept_zero_segments() {
+        let svg = stacked_bar_chart("t", "y", &["a", "b"], &[("g", vec![0.0, 5.0])]);
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn stacked_bars_reject_negative_values() {
+        let _ = stacked_bar_chart("t", "y", &["a"], &[("g", vec![-1.0])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "segments")]
+    fn ragged_stacked_groups_panic() {
+        let _ = stacked_bar_chart("t", "y", &["a", "b"], &[("g", vec![1.0])]);
+    }
+
+    #[test]
     fn heatmap_renders_all_cells() {
         let svg = heatmap(
             "GPU by field",
@@ -461,8 +593,12 @@ mod tests {
 
     #[test]
     fn constant_series_does_not_divide_by_zero() {
-        let svg =
-            line_chart("flat", "x", "y", &[Series::new("s", vec![(0.0, 5.0), (1.0, 5.0)])]);
+        let svg = line_chart(
+            "flat",
+            "x",
+            "y",
+            &[Series::new("s", vec![(0.0, 5.0), (1.0, 5.0)])],
+        );
         assert!(!svg.contains("NaN"));
         assert!(!svg.contains("inf"));
     }

@@ -32,7 +32,12 @@ impl Table {
             .enumerate()
             .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
             .collect();
-        Table { headers, aligns, rows: Vec::new(), title: None }
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+            title: None,
+        }
     }
 
     /// Sets a caption printed above the table.
@@ -112,7 +117,12 @@ impl Table {
             .collect();
         out.push_str(&head.join("  "));
         out.push('\n');
-        out.push_str(&w.iter().map(|&wi| "-".repeat(wi)).collect::<Vec<_>>().join("  "));
+        out.push_str(
+            &w.iter()
+                .map(|&wi| "-".repeat(wi))
+                .collect::<Vec<_>>()
+                .join("  "),
+        );
         out.push('\n');
         for r in &self.rows {
             let cells: Vec<String> = r
@@ -159,7 +169,14 @@ impl Table {
             }
         }
         let mut out = String::new();
-        out.push_str(&self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for r in &self.rows {
             out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -238,6 +255,9 @@ mod tests {
         let out = t.render_ascii();
         // Header and rule line up by char count.
         let lines: Vec<&str> = out.lines().collect();
-        assert_eq!(lines[1].split("  ").next().unwrap().len(), "-".repeat(5).len());
+        assert_eq!(
+            lines[1].split("  ").next().unwrap().len(),
+            "-".repeat(5).len()
+        );
     }
 }

@@ -31,10 +31,16 @@ fn check_binomial(successes: u64, trials: u64, level: f64) -> Result<()> {
         return Err(Error::InvalidCount(0.0));
     }
     if successes > trials {
-        return Err(Error::OutOfRange { what: "successes", value: successes as f64 });
+        return Err(Error::OutOfRange {
+            what: "successes",
+            value: successes as f64,
+        });
     }
     if !(0.0..1.0).contains(&level) || level <= 0.0 {
-        return Err(Error::OutOfRange { what: "level", value: level });
+        return Err(Error::OutOfRange {
+            what: "level",
+            value: level,
+        });
     }
     Ok(())
 }
@@ -57,8 +63,16 @@ pub fn wilson(successes: u64, trials: u64, level: f64) -> Result<Interval> {
     let half = z * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt() / denom;
     // Snap the boundary cases exactly so `contains(0.0)` / `contains(1.0)`
     // holds despite rounding in `centre - half`.
-    let lo = if successes == 0 { 0.0 } else { (centre - half).max(0.0) };
-    let hi = if successes == trials { 1.0 } else { (centre + half).min(1.0) };
+    let lo = if successes == 0 {
+        0.0
+    } else {
+        (centre - half).max(0.0)
+    };
+    let hi = if successes == trials {
+        1.0
+    } else {
+        (centre + half).min(1.0)
+    };
     Ok(Interval { lo, hi, level })
 }
 
@@ -96,7 +110,11 @@ pub fn wald(successes: u64, trials: u64, level: f64) -> Result<Interval> {
     let n = trials as f64;
     let p = successes as f64 / n;
     let half = z * (p * (1.0 - p) / n).sqrt();
-    Ok(Interval { lo: (p - half).max(0.0), hi: (p + half).min(1.0), level })
+    Ok(Interval {
+        lo: (p - half).max(0.0),
+        hi: (p + half).min(1.0),
+        level,
+    })
 }
 
 /// Student-t confidence interval for the mean of a sample.
@@ -105,7 +123,10 @@ pub fn wald(successes: u64, trials: u64, level: f64) -> Result<Interval> {
 /// Requires at least two observations.
 pub fn mean_t(xs: &[f64], level: f64) -> Result<Interval> {
     if !(0.0..1.0).contains(&level) || level <= 0.0 {
-        return Err(Error::OutOfRange { what: "level", value: level });
+        return Err(Error::OutOfRange {
+            what: "level",
+            value: level,
+        });
     }
     let n = xs.len();
     if n < 2 {
@@ -115,7 +136,11 @@ pub fn mean_t(xs: &[f64], level: f64) -> Result<Interval> {
     let s = crate::descriptive::std_dev(xs)?;
     let t = t_quantile_two_sided(1.0 - level, (n - 1) as f64)?;
     let half = t * s / (n as f64).sqrt();
-    Ok(Interval { lo: m - half, hi: m + half, level })
+    Ok(Interval {
+        lo: m - half,
+        hi: m + half,
+        level,
+    })
 }
 
 #[cfg(test)]

@@ -12,7 +12,10 @@ fn check_paired(xs: &[f64], ys: &[f64]) -> Result<()> {
         )));
     }
     if xs.len() < 2 {
-        return Err(Error::TooFewObservations { needed: 2, got: xs.len() });
+        return Err(Error::TooFewObservations {
+            needed: 2,
+            got: xs.len(),
+        });
     }
     crate::ensure_finite(xs, "correlation xs")?;
     crate::ensure_finite(ys, "correlation ys")?;
@@ -155,8 +158,16 @@ mod tests {
             1e-12,
         );
         // Perfect agreement / disagreement.
-        close(kendall_tau_b(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap(), 1.0, 1e-12);
-        close(kendall_tau_b(&[1.0, 2.0, 3.0], &[6.0, 5.0, 4.0]).unwrap(), -1.0, 1e-12);
+        close(
+            kendall_tau_b(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]).unwrap(),
+            1.0,
+            1e-12,
+        );
+        close(
+            kendall_tau_b(&[1.0, 2.0, 3.0], &[6.0, 5.0, 4.0]).unwrap(),
+            -1.0,
+            1e-12,
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ pub fn mean(xs: &[f64]) -> Result<f64> {
 pub fn variance(xs: &[f64]) -> Result<f64> {
     ensure_sample(xs, "variance input")?;
     if xs.len() < 2 {
-        return Err(Error::TooFewObservations { needed: 2, got: xs.len() });
+        return Err(Error::TooFewObservations {
+            needed: 2,
+            got: xs.len(),
+        });
     }
     let m = mean(xs)?;
     // Corrected two-pass: subtracting the mean-residual term compensates for
@@ -57,7 +60,10 @@ pub fn geometric_mean(xs: &[f64]) -> Result<f64> {
     let mut acc = 0.0;
     for &x in xs {
         if x <= 0.0 {
-            return Err(Error::OutOfRange { what: "geometric_mean element", value: x });
+            return Err(Error::OutOfRange {
+                what: "geometric_mean element",
+                value: x,
+            });
         }
         acc += x.ln();
     }
@@ -72,7 +78,10 @@ pub fn geometric_mean(xs: &[f64]) -> Result<f64> {
 pub fn quantile(xs: &[f64], q: f64) -> Result<f64> {
     ensure_sample(xs, "quantile input")?;
     if !(0.0..=1.0).contains(&q) {
-        return Err(Error::OutOfRange { what: "q", value: q });
+        return Err(Error::OutOfRange {
+            what: "q",
+            value: q,
+        });
     }
     let mut sorted = xs.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite by ensure_sample"));
@@ -229,10 +238,16 @@ impl Welford {
 pub fn histogram(xs: &[f64], lo: f64, hi: f64, bins: usize) -> Result<Vec<u64>> {
     crate::ensure_finite(xs, "histogram input")?;
     if bins == 0 {
-        return Err(Error::OutOfRange { what: "bins", value: 0.0 });
+        return Err(Error::OutOfRange {
+            what: "bins",
+            value: 0.0,
+        });
     }
     if hi <= lo {
-        return Err(Error::OutOfRange { what: "hi", value: hi });
+        return Err(Error::OutOfRange {
+            what: "hi",
+            value: hi,
+        });
     }
     let mut counts = vec![0u64; bins];
     let width = (hi - lo) / bins as f64;

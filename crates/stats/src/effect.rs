@@ -38,8 +38,7 @@ pub fn phi(table: &ContingencyTable) -> Result<f64> {
     let b = table.get(0, 1);
     let c = table.get(1, 0);
     let d = table.get(1, 1);
-    let denom =
-        ((a + b) * (c + d) * (a + c) * (b + d)).sqrt();
+    let denom = ((a + b) * (c + d) * (a + c) * (b + d)).sqrt();
     if denom == 0.0 {
         return Err(Error::InvalidCount(0.0));
     }
@@ -76,7 +75,10 @@ pub fn odds_ratio(table: &ContingencyTable, level: f64) -> Result<OddsRatio> {
         )));
     }
     if !(0.0..1.0).contains(&level) || level <= 0.0 {
-        return Err(Error::OutOfRange { what: "level", value: level });
+        return Err(Error::OutOfRange {
+            what: "level",
+            value: level,
+        });
     }
     let mut a = table.get(0, 0);
     let mut b = table.get(0, 1);
@@ -111,7 +113,10 @@ pub fn odds_ratio(table: &ContingencyTable, level: f64) -> Result<OddsRatio> {
 pub fn cohens_h(p1: f64, p2: f64) -> Result<f64> {
     for (name, p) in [("p1", p1), ("p2", p2)] {
         if !(0.0..=1.0).contains(&p) || !p.is_finite() {
-            return Err(Error::OutOfRange { what: name, value: p });
+            return Err(Error::OutOfRange {
+                what: name,
+                value: p,
+            });
         }
     }
     Ok(2.0 * p1.sqrt().asin() - 2.0 * p2.sqrt().asin())
@@ -154,11 +159,7 @@ mod tests {
 
     #[test]
     fn cramers_v_rectangular() {
-        let t = ContingencyTable::from_rows(&[
-            &[20.0, 5.0, 5.0],
-            &[5.0, 20.0, 5.0],
-        ])
-        .unwrap();
+        let t = ContingencyTable::from_rows(&[&[20.0, 5.0, 5.0], &[5.0, 20.0, 5.0]]).unwrap();
         let v = cramers_v(&t).unwrap();
         assert!(v > 0.3 && v < 1.0);
     }

@@ -135,16 +135,23 @@ mod lib_tests {
         };
         assert!(e.to_string().contains('p'));
         assert!(Error::EmptyInput.to_string().contains("empty"));
-        assert!(Error::NoConvergence("betainc").to_string().contains("betainc"));
+        assert!(Error::NoConvergence("betainc")
+            .to_string()
+            .contains("betainc"));
         assert!(Error::NonFinite("xs").to_string().contains("xs"));
         assert!(Error::InvalidCount(-1.0).to_string().contains("-1"));
-        assert!(Error::DimensionMismatch("2x2".into()).to_string().contains("2x2"));
+        assert!(Error::DimensionMismatch("2x2".into())
+            .to_string()
+            .contains("2x2"));
     }
 
     #[test]
     fn ensure_sample_rejects_bad_input() {
         assert_eq!(ensure_sample(&[], "xs"), Err(Error::EmptyInput));
-        assert_eq!(ensure_sample(&[1.0, f64::NAN], "xs"), Err(Error::NonFinite("xs")));
+        assert_eq!(
+            ensure_sample(&[1.0, f64::NAN], "xs"),
+            Err(Error::NonFinite("xs"))
+        );
         assert!(ensure_sample(&[1.0, 2.0], "xs").is_ok());
     }
 }

@@ -13,7 +13,10 @@ fn check_pvalues(ps: &[f64]) -> Result<()> {
     }
     for &p in ps {
         if !p.is_finite() || !(0.0..=1.0).contains(&p) {
-            return Err(Error::OutOfRange { what: "p", value: p });
+            return Err(Error::OutOfRange {
+                what: "p",
+                value: p,
+            });
         }
     }
     Ok(())

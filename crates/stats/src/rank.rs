@@ -88,8 +88,14 @@ mod tests {
 
     #[test]
     fn tie_groups_found() {
-        assert_eq!(tie_group_sizes(&[1.0, 2.0, 3.0]).unwrap(), Vec::<usize>::new());
-        assert_eq!(tie_group_sizes(&[1.0, 2.0, 2.0, 2.0, 3.0, 3.0]).unwrap(), vec![3, 2]);
+        assert_eq!(
+            tie_group_sizes(&[1.0, 2.0, 3.0]).unwrap(),
+            Vec::<usize>::new()
+        );
+        assert_eq!(
+            tie_group_sizes(&[1.0, 2.0, 2.0, 2.0, 3.0, 3.0]).unwrap(),
+            vec![3, 2]
+        );
         assert_eq!(tie_group_sizes(&[7.0; 5]).unwrap(), vec![5]);
     }
 

@@ -42,7 +42,10 @@ pub fn ols(xs: &[f64], ys: &[f64]) -> Result<LinearFit> {
         )));
     }
     if xs.len() < 2 {
-        return Err(Error::TooFewObservations { needed: 2, got: xs.len() });
+        return Err(Error::TooFewObservations {
+            needed: 2,
+            got: xs.len(),
+        });
     }
     crate::ensure_finite(xs, "ols xs")?;
     crate::ensure_finite(ys, "ols ys")?;
@@ -88,7 +91,14 @@ pub fn ols(xs: &[f64], ys: &[f64]) -> Result<LinearFit> {
     } else {
         (f64::NAN, f64::NAN)
     };
-    Ok(LinearFit { slope, intercept, r_squared, slope_se, slope_p, n: xs.len() })
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        slope_se,
+        slope_p,
+        n: xs.len(),
+    })
 }
 
 /// Theil–Sen estimator: the median of pairwise slopes, robust to outliers.
@@ -105,7 +115,10 @@ pub fn theil_sen(xs: &[f64], ys: &[f64]) -> Result<(f64, f64)> {
         )));
     }
     if xs.len() < 2 {
-        return Err(Error::TooFewObservations { needed: 2, got: xs.len() });
+        return Err(Error::TooFewObservations {
+            needed: 2,
+            got: xs.len(),
+        });
     }
     crate::ensure_finite(xs, "theil_sen xs")?;
     crate::ensure_finite(ys, "theil_sen ys")?;
@@ -122,8 +135,7 @@ pub fn theil_sen(xs: &[f64], ys: &[f64]) -> Result<(f64, f64)> {
         return Err(Error::InvalidCount(0.0));
     }
     let slope = crate::descriptive::median(&slopes)?;
-    let residuals: Vec<f64> =
-        xs.iter().zip(ys).map(|(&x, &y)| y - slope * x).collect();
+    let residuals: Vec<f64> = xs.iter().zip(ys).map(|(&x, &y)| y - slope * x).collect();
     let intercept = crate::descriptive::median(&residuals)?;
     Ok((slope, intercept))
 }
@@ -146,12 +158,18 @@ pub fn fit_amdahl(threads: &[f64], speedups: &[f64]) -> Result<f64> {
         )));
     }
     if threads.len() < 2 {
-        return Err(Error::TooFewObservations { needed: 2, got: threads.len() });
+        return Err(Error::TooFewObservations {
+            needed: 2,
+            got: threads.len(),
+        });
     }
     crate::ensure_finite(threads, "fit_amdahl threads")?;
     crate::ensure_finite(speedups, "fit_amdahl speedups")?;
     if threads.iter().any(|&p| p <= 0.0) {
-        return Err(Error::OutOfRange { what: "threads", value: 0.0 });
+        return Err(Error::OutOfRange {
+            what: "threads",
+            value: 0.0,
+        });
     }
     let sse = |f: f64| -> f64 {
         threads
@@ -257,8 +275,7 @@ mod tests {
     fn amdahl_fit_recovers_serial_fraction() {
         let f_true = 0.08;
         let threads: Vec<f64> = (1..=16).map(|p| p as f64).collect();
-        let speedups: Vec<f64> =
-            threads.iter().map(|&p| amdahl_speedup(f_true, p)).collect();
+        let speedups: Vec<f64> = threads.iter().map(|&p| amdahl_speedup(f_true, p)).collect();
         let f_hat = fit_amdahl(&threads, &speedups).unwrap();
         close(f_hat, f_true, 1e-6);
     }

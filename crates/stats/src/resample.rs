@@ -28,10 +28,16 @@ where
 {
     ensure_sample(xs, "bootstrap input")?;
     if n_resamples < 100 {
-        return Err(Error::TooFewObservations { needed: 100, got: n_resamples });
+        return Err(Error::TooFewObservations {
+            needed: 100,
+            got: n_resamples,
+        });
     }
     if !(0.0..1.0).contains(&level) || level <= 0.0 {
-        return Err(Error::OutOfRange { what: "level", value: level });
+        return Err(Error::OutOfRange {
+            what: "level",
+            value: level,
+        });
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stats = Vec::with_capacity(n_resamples);
@@ -75,7 +81,10 @@ where
     ensure_sample(xs, "permutation xs")?;
     ensure_sample(ys, "permutation ys")?;
     if n_permutations < 100 {
-        return Err(Error::TooFewObservations { needed: 100, got: n_permutations });
+        return Err(Error::TooFewObservations {
+            needed: 100,
+            got: n_permutations,
+        });
     }
     let observed = (stat(xs) - stat(ys)).abs();
     if !observed.is_finite() {
@@ -108,7 +117,9 @@ mod tests {
     #[test]
     fn bootstrap_mean_ci_brackets_truth() {
         // Sample from a known location; the CI should bracket the sample mean.
-        let xs: Vec<f64> = (0..200).map(|i| 5.0 + ((i * 37) % 17) as f64 / 17.0).collect();
+        let xs: Vec<f64> = (0..200)
+            .map(|i| 5.0 + ((i * 37) % 17) as f64 / 17.0)
+            .collect();
         let m = mean(&xs).unwrap();
         let ci = bootstrap_ci(&xs, |s| mean(s).unwrap(), 1000, 0.95, 42).unwrap();
         assert!(ci.contains(m), "{ci:?} should contain {m}");

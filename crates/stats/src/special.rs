@@ -31,7 +31,10 @@ const LANCZOS: [f64; 9] = [
 /// Returns [`Error::OutOfRange`] for non-positive or non-finite `x`.
 pub fn ln_gamma(x: f64) -> Result<f64> {
     if !x.is_finite() || x <= 0.0 {
-        return Err(Error::OutOfRange { what: "x", value: x });
+        return Err(Error::OutOfRange {
+            what: "x",
+            value: x,
+        });
     }
     Ok(ln_gamma_unchecked(x))
 }
@@ -100,10 +103,16 @@ const FPMIN: f64 = 1e-300;
 /// Returns [`Error::OutOfRange`] if `a <= 0` or `x < 0`.
 pub fn gamma_p(a: f64, x: f64) -> Result<f64> {
     if !a.is_finite() || a <= 0.0 {
-        return Err(Error::OutOfRange { what: "a", value: a });
+        return Err(Error::OutOfRange {
+            what: "a",
+            value: a,
+        });
     }
     if !x.is_finite() || x < 0.0 {
-        return Err(Error::OutOfRange { what: "x", value: x });
+        return Err(Error::OutOfRange {
+            what: "x",
+            value: x,
+        });
     }
     if x == 0.0 {
         return Ok(0.0);
@@ -121,10 +130,16 @@ pub fn gamma_p(a: f64, x: f64) -> Result<f64> {
 /// Returns [`Error::OutOfRange`] if `a <= 0` or `x < 0`.
 pub fn gamma_q(a: f64, x: f64) -> Result<f64> {
     if !a.is_finite() || a <= 0.0 {
-        return Err(Error::OutOfRange { what: "a", value: a });
+        return Err(Error::OutOfRange {
+            what: "a",
+            value: a,
+        });
     }
     if !x.is_finite() || x < 0.0 {
-        return Err(Error::OutOfRange { what: "x", value: x });
+        return Err(Error::OutOfRange {
+            what: "x",
+            value: x,
+        });
     }
     if x == 0.0 {
         return Ok(1.0);
@@ -190,13 +205,22 @@ fn gamma_q_cf(a: f64, x: f64) -> Result<f64> {
 /// Returns [`Error::OutOfRange`] if `a <= 0`, `b <= 0`, or `x ∉ [0, 1]`.
 pub fn beta_inc(a: f64, b: f64, x: f64) -> Result<f64> {
     if !a.is_finite() || a <= 0.0 {
-        return Err(Error::OutOfRange { what: "a", value: a });
+        return Err(Error::OutOfRange {
+            what: "a",
+            value: a,
+        });
     }
     if !b.is_finite() || b <= 0.0 {
-        return Err(Error::OutOfRange { what: "b", value: b });
+        return Err(Error::OutOfRange {
+            what: "b",
+            value: b,
+        });
     }
     if !x.is_finite() || !(0.0..=1.0).contains(&x) {
-        return Err(Error::OutOfRange { what: "x", value: x });
+        return Err(Error::OutOfRange {
+            what: "x",
+            value: x,
+        });
     }
     if x == 0.0 {
         return Ok(0.0);
@@ -204,9 +228,7 @@ pub fn beta_inc(a: f64, b: f64, x: f64) -> Result<f64> {
     if x == 1.0 {
         return Ok(1.0);
     }
-    let ln_front = ln_gamma_unchecked(a + b)
-        - ln_gamma_unchecked(a)
-        - ln_gamma_unchecked(b)
+    let ln_front = ln_gamma_unchecked(a + b) - ln_gamma_unchecked(a) - ln_gamma_unchecked(b)
         + a * x.ln()
         + b * (1.0 - x).ln();
     let front = ln_front.exp();
@@ -274,7 +296,10 @@ fn beta_cf(a: f64, b: f64, x: f64) -> Result<f64> {
 /// Propagates range errors from [`beta_inc`] and rejects `p ∉ [0, 1]`.
 pub fn beta_inc_inv(a: f64, b: f64, p: f64) -> Result<f64> {
     if !p.is_finite() || !(0.0..=1.0).contains(&p) {
-        return Err(Error::OutOfRange { what: "p", value: p });
+        return Err(Error::OutOfRange {
+            what: "p",
+            value: p,
+        });
     }
     if p == 0.0 {
         return Ok(0.0);
@@ -343,7 +368,10 @@ pub fn normal_sf(z: f64) -> f64 {
 /// Returns [`Error::OutOfRange`] for `p ∉ (0, 1)`.
 pub fn normal_quantile(p: f64) -> Result<f64> {
     if !p.is_finite() || p <= 0.0 || p >= 1.0 {
-        return Err(Error::OutOfRange { what: "p", value: p });
+        return Err(Error::OutOfRange {
+            what: "p",
+            value: p,
+        });
     }
     const A: [f64; 6] = [
         -3.969_683_028_665_376e1,
@@ -403,7 +431,10 @@ pub fn normal_quantile(p: f64) -> Result<f64> {
 /// Returns [`Error::OutOfRange`] if `df <= 0` or `x < 0`.
 pub fn chi_square_sf(x: f64, df: f64) -> Result<f64> {
     if df <= 0.0 {
-        return Err(Error::OutOfRange { what: "df", value: df });
+        return Err(Error::OutOfRange {
+            what: "df",
+            value: df,
+        });
     }
     gamma_q(df / 2.0, x / 2.0)
 }
@@ -415,10 +446,16 @@ pub fn chi_square_sf(x: f64, df: f64) -> Result<f64> {
 /// Returns [`Error::OutOfRange`] if `df <= 0` or `t` is non-finite.
 pub fn t_sf_two_sided(t: f64, df: f64) -> Result<f64> {
     if df <= 0.0 {
-        return Err(Error::OutOfRange { what: "df", value: df });
+        return Err(Error::OutOfRange {
+            what: "df",
+            value: df,
+        });
     }
     if !t.is_finite() {
-        return Err(Error::OutOfRange { what: "t", value: t });
+        return Err(Error::OutOfRange {
+            what: "t",
+            value: t,
+        });
     }
     let t2 = t * t;
     beta_inc(df / 2.0, 0.5, df / (df + t2))
@@ -431,10 +468,16 @@ pub fn t_sf_two_sided(t: f64, df: f64) -> Result<f64> {
 /// Returns [`Error::OutOfRange`] for `alpha ∉ (0, 1)` or `df <= 0`.
 pub fn t_quantile_two_sided(alpha: f64, df: f64) -> Result<f64> {
     if !(0.0..1.0).contains(&alpha) || alpha == 0.0 {
-        return Err(Error::OutOfRange { what: "alpha", value: alpha });
+        return Err(Error::OutOfRange {
+            what: "alpha",
+            value: alpha,
+        });
     }
     if df <= 0.0 {
-        return Err(Error::OutOfRange { what: "df", value: df });
+        return Err(Error::OutOfRange {
+            what: "df",
+            value: df,
+        });
     }
     // Solve beta_inc(df/2, 1/2, df/(df+t^2)) = alpha for t via the beta inverse.
     let x = beta_inc_inv(df / 2.0, 0.5, alpha)?;
@@ -481,7 +524,11 @@ mod tests {
     #[test]
     fn ln_gamma_reflection_region() {
         // Γ(0.25) = 3.6256099082219083...
-        close(ln_gamma(0.25).unwrap(), 3.625_609_908_221_908_f64.ln(), 1e-11);
+        close(
+            ln_gamma(0.25).unwrap(),
+            3.625_609_908_221_908_f64.ln(),
+            1e-11,
+        );
     }
 
     #[test]
@@ -508,7 +555,13 @@ mod tests {
 
     #[test]
     fn gamma_p_q_are_complementary() {
-        for &(a, x) in &[(0.3, 0.2), (1.0, 1.0), (5.0, 2.0), (2.0, 10.0), (30.0, 25.0)] {
+        for &(a, x) in &[
+            (0.3, 0.2),
+            (1.0, 1.0),
+            (5.0, 2.0),
+            (2.0, 10.0),
+            (30.0, 25.0),
+        ] {
             let p = gamma_p(a, x).unwrap();
             let q = gamma_q(a, x).unwrap();
             close(p + q, 1.0, 1e-12);
@@ -558,9 +611,17 @@ mod tests {
         close(normal_sf(1.96), 1.0 - 0.975_002_104_851_780_3, 1e-9);
         close(normal_quantile(0.975).unwrap(), 1.959_963_984_540_054, 1e-8);
         close(normal_quantile(0.5).unwrap(), 0.0, 1e-9);
-        close(normal_quantile(0.025).unwrap(), -1.959_963_984_540_054, 1e-8);
+        close(
+            normal_quantile(0.025).unwrap(),
+            -1.959_963_984_540_054,
+            1e-8,
+        );
         // Deep tail.
-        close(normal_quantile(1e-10).unwrap(), -6.361_340_902_404_056, 1e-6);
+        close(
+            normal_quantile(1e-10).unwrap(),
+            -6.361_340_902_404_056,
+            1e-6,
+        );
         assert!(normal_quantile(0.0).is_err());
         assert!(normal_quantile(1.0).is_err());
     }
@@ -576,9 +637,17 @@ mod tests {
     #[test]
     fn chi_square_sf_reference() {
         // scipy.stats.chi2.sf(3.841458820694124, 1) = 0.05
-        close(chi_square_sf(3.841_458_820_694_124, 1.0).unwrap(), 0.05, 1e-9);
+        close(
+            chi_square_sf(3.841_458_820_694_124, 1.0).unwrap(),
+            0.05,
+            1e-9,
+        );
         // chi2.sf(10, 5) = 0.07523524614651217
-        close(chi_square_sf(10.0, 5.0).unwrap(), 0.075_235_246_146_512_17, 1e-11);
+        close(
+            chi_square_sf(10.0, 5.0).unwrap(),
+            0.075_235_246_146_512_17,
+            1e-11,
+        );
         assert!(chi_square_sf(1.0, 0.0).is_err());
     }
 

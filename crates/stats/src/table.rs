@@ -132,7 +132,11 @@ impl ContingencyTable {
                 data.push(c);
             }
         }
-        Ok(Self { rows: rows.len(), cols, data })
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Builds a 2×2 table from four counts, ordered
@@ -179,7 +183,11 @@ impl ContingencyTable {
             data[ri * col_labels.len() + ci] = n;
         }
         Ok((
-            Self { rows: row_labels.len(), cols: col_labels.len(), data },
+            Self {
+                rows: row_labels.len(),
+                cols: col_labels.len(),
+                data,
+            },
             row_labels,
             col_labels,
         ))
@@ -200,13 +208,18 @@ impl ContingencyTable {
     /// # Panics
     /// Panics if the indices are out of bounds (programmer error).
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "cell index out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "cell index out of bounds"
+        );
         self.data[row * self.cols + col]
     }
 
     /// Sum of one row.
     pub fn row_total(&self, row: usize) -> f64 {
-        self.data[row * self.cols..(row + 1) * self.cols].iter().sum()
+        self.data[row * self.cols..(row + 1) * self.cols]
+            .iter()
+            .sum()
     }
 
     /// Sum of one column.
@@ -268,7 +281,11 @@ mod tests {
         assert_eq!(t.count("fortran"), 0);
         assert!((t.proportion("python").unwrap() - 0.6).abs() < 1e-12);
         assert_eq!(t.mode(), Some(("python", 3)));
-        let order: Vec<&str> = t.by_descending_count().into_iter().map(|(l, _)| l).collect();
+        let order: Vec<&str> = t
+            .by_descending_count()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
         assert_eq!(order, vec!["python", "c", "rust"]);
     }
 
@@ -283,7 +300,11 @@ mod tests {
     #[test]
     fn freq_table_tie_break_lexicographic() {
         let t = FreqTable::from_labels(["b", "a"]);
-        let order: Vec<&str> = t.by_descending_count().into_iter().map(|(l, _)| l).collect();
+        let order: Vec<&str> = t
+            .by_descending_count()
+            .into_iter()
+            .map(|(l, _)| l)
+            .collect();
         assert_eq!(order, vec!["a", "b"]);
     }
 

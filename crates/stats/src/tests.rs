@@ -43,7 +43,10 @@ pub fn chi_square_gof(observed: &[f64], expected: &[f64]) -> Result<TestResult> 
         )));
     }
     if observed.len() < 2 {
-        return Err(Error::TooFewObservations { needed: 2, got: observed.len() });
+        return Err(Error::TooFewObservations {
+            needed: 2,
+            got: observed.len(),
+        });
     }
     let n_obs: f64 = observed.iter().sum();
     let n_exp: f64 = expected.iter().sum();
@@ -63,7 +66,11 @@ pub fn chi_square_gof(observed: &[f64], expected: &[f64]) -> Result<TestResult> 
         chi2 += d * d / e_scaled;
     }
     let df = (observed.len() - 1) as f64;
-    Ok(TestResult { statistic: chi2, df: Some(df), p_value: chi_square_sf(chi2, df)? })
+    Ok(TestResult {
+        statistic: chi2,
+        df: Some(df),
+        p_value: chi_square_sf(chi2, df)?,
+    })
 }
 
 /// Pearson chi-square test of independence on an r×c contingency table.
@@ -78,7 +85,11 @@ pub fn chi_square_independence(table: &ContingencyTable) -> Result<TestResult> {
         chi2 += d * d / e;
     }
     let df = table.dof();
-    Ok(TestResult { statistic: chi2, df: Some(df), p_value: chi_square_sf(chi2, df)? })
+    Ok(TestResult {
+        statistic: chi2,
+        df: Some(df),
+        p_value: chi_square_sf(chi2, df)?,
+    })
 }
 
 /// G-test (log-likelihood ratio) of independence; asymptotically equivalent
@@ -99,7 +110,11 @@ pub fn g_test_independence(table: &ContingencyTable) -> Result<TestResult> {
     }
     g *= 2.0;
     let df = table.dof();
-    Ok(TestResult { statistic: g, df: Some(df), p_value: chi_square_sf(g, df)? })
+    Ok(TestResult {
+        statistic: g,
+        df: Some(df),
+        p_value: chi_square_sf(g, df)?,
+    })
 }
 
 /// Fisher's exact test on a 2×2 table, two-sided by the point-probability
@@ -136,9 +151,8 @@ pub fn fisher_exact_2x2(table: &ContingencyTable) -> Result<TestResult> {
     }
 
     // Hypergeometric log-pmf of observing `x` in the (0,0) cell.
-    let ln_pmf = |x: u64| -> f64 {
-        ln_choose(row1, x) + ln_choose(row2, col1 - x) - ln_choose(n, col1)
-    };
+    let ln_pmf =
+        |x: u64| -> f64 { ln_choose(row1, x) + ln_choose(row2, col1 - x) - ln_choose(n, col1) };
 
     let lo = col1.saturating_sub(row2);
     let hi = col1.min(row1);
@@ -157,7 +171,11 @@ pub fn fisher_exact_2x2(table: &ContingencyTable) -> Result<TestResult> {
     } else {
         (a as f64 * d as f64) / (b as f64 * c as f64)
     };
-    Ok(TestResult { statistic: odds, df: None, p_value: p.min(1.0) })
+    Ok(TestResult {
+        statistic: odds,
+        df: None,
+        p_value: p.min(1.0),
+    })
 }
 
 /// Two-proportion z-test (pooled standard error, two-sided).
@@ -173,7 +191,10 @@ pub fn two_proportion_z(x1: u64, n1: u64, x2: u64, n2: u64) -> Result<TestResult
         return Err(Error::InvalidCount(0.0));
     }
     if x1 > n1 || x2 > n2 {
-        return Err(Error::OutOfRange { what: "x", value: x1.max(x2) as f64 });
+        return Err(Error::OutOfRange {
+            what: "x",
+            value: x1.max(x2) as f64,
+        });
     }
     let p1 = x1 as f64 / n1 as f64;
     let p2 = x2 as f64 / n2 as f64;
@@ -181,10 +202,18 @@ pub fn two_proportion_z(x1: u64, n1: u64, x2: u64, n2: u64) -> Result<TestResult
     let se = (pooled * (1.0 - pooled) * (1.0 / n1 as f64 + 1.0 / n2 as f64)).sqrt();
     if se == 0.0 {
         // Both proportions are 0 or both are 1: no evidence of difference.
-        return Ok(TestResult { statistic: 0.0, df: None, p_value: 1.0 });
+        return Ok(TestResult {
+            statistic: 0.0,
+            df: None,
+            p_value: 1.0,
+        });
     }
     let z = (p1 - p2) / se;
-    Ok(TestResult { statistic: z, df: None, p_value: (2.0 * normal_sf(z.abs())).min(1.0) })
+    Ok(TestResult {
+        statistic: z,
+        df: None,
+        p_value: (2.0 * normal_sf(z.abs())).min(1.0),
+    })
 }
 
 /// Mann–Whitney U test (two-sided, normal approximation with tie
@@ -221,12 +250,20 @@ pub fn mann_whitney_u(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
     let var_u = n1 * n2 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
     if var_u <= 0.0 {
         // All observations identical: no evidence of difference.
-        return Ok(TestResult { statistic: u, df: None, p_value: 1.0 });
+        return Ok(TestResult {
+            statistic: u,
+            df: None,
+            p_value: 1.0,
+        });
     }
     let mean_u = n1 * n2 / 2.0;
     // Continuity correction of 0.5 toward the mean.
     let z = (u - mean_u + 0.5) / var_u.sqrt();
-    Ok(TestResult { statistic: u, df: None, p_value: (2.0 * normal_sf(z.abs())).min(1.0) })
+    Ok(TestResult {
+        statistic: u,
+        df: None,
+        p_value: (2.0 * normal_sf(z.abs())).min(1.0),
+    })
 }
 
 /// Two-sample Kolmogorov–Smirnov test (two-sided, asymptotic p-value via
@@ -266,7 +303,11 @@ pub fn kolmogorov_smirnov(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
     let sqrt_ne = ne.sqrt();
     let lambda = (sqrt_ne + 0.12 + 0.11 / sqrt_ne) * d;
     let p = kolmogorov_sf(lambda);
-    Ok(TestResult { statistic: d, df: None, p_value: p })
+    Ok(TestResult {
+        statistic: d,
+        df: None,
+        p_value: p,
+    })
 }
 
 /// Survival function of the Kolmogorov distribution:
@@ -297,7 +338,10 @@ fn kolmogorov_sf(lambda: f64) -> f64 {
 /// Requires at least two non-empty groups and finite data.
 pub fn kruskal_wallis(groups: &[&[f64]]) -> Result<TestResult> {
     if groups.len() < 2 {
-        return Err(Error::TooFewObservations { needed: 2, got: groups.len() });
+        return Err(Error::TooFewObservations {
+            needed: 2,
+            got: groups.len(),
+        });
     }
     let mut combined = Vec::new();
     for g in groups {
@@ -334,7 +378,11 @@ pub fn kruskal_wallis(groups: &[&[f64]]) -> Result<TestResult> {
     }
     h /= correction;
     let df = (groups.len() - 1) as f64;
-    Ok(TestResult { statistic: h, df: Some(df), p_value: chi_square_sf(h.max(0.0), df)? })
+    Ok(TestResult {
+        statistic: h,
+        df: Some(df),
+        p_value: chi_square_sf(h.max(0.0), df)?,
+    })
 }
 
 /// Cochran–Armitage test for a linear trend in proportions across ordered
@@ -347,11 +395,7 @@ pub fn kruskal_wallis(groups: &[&[f64]]) -> Result<TestResult> {
 /// # Errors
 /// Requires ≥ 2 groups of equal-length finite inputs with positive trials
 /// and non-constant scores.
-pub fn cochran_armitage(
-    successes: &[u64],
-    trials: &[u64],
-    scores: &[f64],
-) -> Result<TestResult> {
+pub fn cochran_armitage(successes: &[u64], trials: &[u64], scores: &[f64]) -> Result<TestResult> {
     if successes.len() != trials.len() || trials.len() != scores.len() {
         return Err(Error::DimensionMismatch(format!(
             "lengths differ: {} successes, {} trials, {} scores",
@@ -361,7 +405,10 @@ pub fn cochran_armitage(
         )));
     }
     if successes.len() < 2 {
-        return Err(Error::TooFewObservations { needed: 2, got: successes.len() });
+        return Err(Error::TooFewObservations {
+            needed: 2,
+            got: successes.len(),
+        });
     }
     crate::ensure_finite(scores, "cochran_armitage scores")?;
     let mut n_total = 0.0;
@@ -371,7 +418,10 @@ pub fn cochran_armitage(
             return Err(Error::InvalidCount(0.0));
         }
         if x > n {
-            return Err(Error::OutOfRange { what: "successes", value: x as f64 });
+            return Err(Error::OutOfRange {
+                what: "successes",
+                value: x as f64,
+            });
         }
         n_total += n as f64;
         x_total += x as f64;
@@ -379,10 +429,18 @@ pub fn cochran_armitage(
     let p_bar = x_total / n_total;
     if p_bar == 0.0 || p_bar == 1.0 {
         // No variation in outcomes at all.
-        return Ok(TestResult { statistic: 0.0, df: None, p_value: 1.0 });
+        return Ok(TestResult {
+            statistic: 0.0,
+            df: None,
+            p_value: 1.0,
+        });
     }
-    let s_bar: f64 =
-        scores.iter().zip(trials).map(|(&s, &n)| s * n as f64).sum::<f64>() / n_total;
+    let s_bar: f64 = scores
+        .iter()
+        .zip(trials)
+        .map(|(&s, &n)| s * n as f64)
+        .sum::<f64>()
+        / n_total;
     let mut num = 0.0;
     let mut den = 0.0;
     for ((&x, &n), &s) in successes.iter().zip(trials).zip(scores) {
@@ -394,7 +452,11 @@ pub fn cochran_armitage(
         return Err(Error::InvalidCount(var));
     }
     let z = num / var.sqrt();
-    Ok(TestResult { statistic: z, df: None, p_value: (2.0 * normal_sf(z.abs())).min(1.0) })
+    Ok(TestResult {
+        statistic: z,
+        df: None,
+        p_value: (2.0 * normal_sf(z.abs())).min(1.0),
+    })
 }
 
 /// Welch's unequal-variance t-test (two-sided) with the Welch–Satterthwaite
@@ -423,9 +485,12 @@ pub fn welch_t(xs: &[f64], ys: &[f64]) -> Result<TestResult> {
         });
     }
     let t = (m1 - m2) / se2.sqrt();
-    let df = se2 * se2
-        / ((v1 / n1) * (v1 / n1) / (n1 - 1.0) + (v2 / n2) * (v2 / n2) / (n2 - 1.0));
-    Ok(TestResult { statistic: t, df: Some(df), p_value: t_sf_two_sided(t, df)? })
+    let df = se2 * se2 / ((v1 / n1) * (v1 / n1) / (n1 - 1.0) + (v2 / n2) * (v2 / n2) / (n2 - 1.0));
+    Ok(TestResult {
+        statistic: t,
+        df: Some(df),
+        p_value: t_sf_two_sided(t, df)?,
+    })
 }
 
 #[cfg(test)]
@@ -433,7 +498,10 @@ mod unit {
     use super::*;
 
     fn close(a: f64, b: f64, tol: f64) {
-        assert!((a - b).abs() <= tol * (1.0 + b.abs()), "expected {b}, got {a}");
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "expected {b}, got {a}"
+        );
     }
 
     #[test]
@@ -471,8 +539,7 @@ mod unit {
     #[test]
     fn g_test_close_to_chi2_for_large_counts() {
         let t =
-            ContingencyTable::from_rows(&[&[100.0, 200.0, 150.0], &[120.0, 180.0, 160.0]])
-                .unwrap();
+            ContingencyTable::from_rows(&[&[100.0, 200.0, 150.0], &[120.0, 180.0, 160.0]]).unwrap();
         let chi = chi_square_independence(&t).unwrap();
         let g = g_test_independence(&t).unwrap();
         assert_eq!(g.df, chi.df);
@@ -518,8 +585,7 @@ mod unit {
     fn fisher_exact_rejects_non_integer_and_shape() {
         let t = ContingencyTable::two_by_two(1.5, 2.0, 3.0, 4.0).unwrap();
         assert!(fisher_exact_2x2(&t).is_err());
-        let t3 =
-            ContingencyTable::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        let t3 = ContingencyTable::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
         assert!(fisher_exact_2x2(&t3).is_err());
     }
 
@@ -630,12 +696,7 @@ mod unit {
     fn kruskal_wallis_reference() {
         // scipy.stats.kruskal([1,2,3], [4,5,6], [7,8,9]):
         // H = 7.2, p = chi2.sf(7.2, 2) = 0.02732372244729256
-        let r = kruskal_wallis(&[
-            &[1.0, 2.0, 3.0],
-            &[4.0, 5.0, 6.0],
-            &[7.0, 8.0, 9.0],
-        ])
-        .unwrap();
+        let r = kruskal_wallis(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]).unwrap();
         close(r.statistic, 7.2, 1e-9);
         assert_eq!(r.df, Some(2.0));
         close(r.p_value, 0.027_323_722_447_292_56, 1e-6);

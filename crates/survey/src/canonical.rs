@@ -137,8 +137,10 @@ pub fn questionnaire() -> Schema {
     for item in PAIN_ITEMS {
         b = b.question(Question::new(
             item,
-            format!("How painful is `{}` in your daily work? (1 = painless, 5 = severe)",
-                &item["pain-".len()..]),
+            format!(
+                "How painful is `{}` in your daily work? (1 = painless, 5 = severe)",
+                &item["pain-".len()..]
+            ),
             QuestionKind::likert(5),
         ));
     }
@@ -147,7 +149,8 @@ pub fn questionnaire() -> Schema {
         "What is the biggest obstacle in your computational work? (free text)",
         QuestionKind::FreeText,
     ));
-    b.build().expect("canonical questionnaire is statically valid")
+    b.build()
+        .expect("canonical questionnaire is statically valid")
 }
 
 #[cfg(test)]
@@ -181,7 +184,10 @@ mod tests {
     #[test]
     fn option_lists_are_consistent() {
         let s = questionnaire();
-        assert_eq!(s.question(Q_LANGS).unwrap().kind.options().len(), LANGUAGES.len());
+        assert_eq!(
+            s.question(Q_LANGS).unwrap().kind.options().len(),
+            LANGUAGES.len()
+        );
         assert_eq!(
             s.question(Q_PRIMARY_LANG).unwrap().kind.options(),
             s.question(Q_LANGS).unwrap().kind.options()

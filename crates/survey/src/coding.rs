@@ -49,7 +49,10 @@ impl CodeBook {
                 return Err(Error::InvalidSchema("empty code tag".into()));
             }
             if !seen.insert(&c.tag) {
-                return Err(Error::InvalidSchema(format!("duplicate code tag `{}`", c.tag)));
+                return Err(Error::InvalidSchema(format!(
+                    "duplicate code tag `{}`",
+                    c.tag
+                )));
             }
             if c.keywords.is_empty() || c.keywords.iter().any(String::is_empty) {
                 return Err(Error::InvalidSchema(format!(
@@ -72,7 +75,9 @@ impl CodeBook {
         self.codes
             .iter()
             .filter(|c| {
-                c.keywords.iter().any(|k| contains_word(&hay, &k.to_lowercase()))
+                c.keywords
+                    .iter()
+                    .any(|k| contains_word(&hay, &k.to_lowercase()))
             })
             .map(|c| c.tag.as_str())
             .collect()
@@ -84,7 +89,11 @@ impl CodeBook {
     ///
     /// # Errors
     /// Survey errors (unknown question / kind mismatch).
-    pub fn code_cohort(&self, cohort: &Cohort, question: &str) -> Result<(Vec<(String, u64)>, u64)> {
+    pub fn code_cohort(
+        &self,
+        cohort: &Cohort,
+        question: &str,
+    ) -> Result<(Vec<(String, u64)>, u64)> {
         let q = cohort.schema().require(question)?;
         if !matches!(q.kind, crate::schema::QuestionKind::FreeText) {
             return Err(Error::AnswerKindMismatch {
@@ -122,10 +131,16 @@ fn contains_word(hay: &str, needle: &str) -> bool {
     while let Some(pos) = hay[start..].find(needle) {
         let at = start + pos;
         let before_ok = at == 0
-            || !hay[..at].chars().next_back().is_some_and(|c| c.is_alphanumeric());
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric());
         let after = at + needle.len();
-        let after_ok =
-            after >= hay.len() || !hay[after..].chars().next().is_some_and(|c| c.is_alphanumeric());
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric());
         if before_ok && after_ok {
             return true;
         }
@@ -140,11 +155,20 @@ pub fn canonical_code_book() -> CodeBook {
     CodeBook::new(vec![
         Code {
             tag: "reproducibility".into(),
-            keywords: vec!["reproduce".into(), "reproducibility".into(), "reproducible".into()],
+            keywords: vec![
+                "reproduce".into(),
+                "reproducibility".into(),
+                "reproducible".into(),
+            ],
         },
         Code {
             tag: "version-control".into(),
-            keywords: vec!["git".into(), "github".into(), "version control".into(), "svn".into()],
+            keywords: vec![
+                "git".into(),
+                "github".into(),
+                "version control".into(),
+                "svn".into(),
+            ],
         },
         Code {
             tag: "environments".into(),
@@ -184,7 +208,12 @@ pub fn canonical_code_book() -> CodeBook {
         },
         Code {
             tag: "legacy-code".into(),
-            keywords: vec!["legacy".into(), "fortran".into(), "old code".into(), "rewrite".into()],
+            keywords: vec![
+                "legacy".into(),
+                "fortran".into(),
+                "old code".into(),
+                "rewrite".into(),
+            ],
         },
     ])
     .expect("canonical code book is statically valid")
@@ -198,8 +227,14 @@ mod tests {
 
     fn book() -> CodeBook {
         CodeBook::new(vec![
-            Code { tag: "vcs".into(), keywords: vec!["git".into(), "version control".into()] },
-            Code { tag: "scale".into(), keywords: vec!["gpu".into(), "cluster".into()] },
+            Code {
+                tag: "vcs".into(),
+                keywords: vec!["git".into(), "version control".into()],
+            },
+            Code {
+                tag: "scale".into(),
+                keywords: vec!["gpu".into(), "cluster".into()],
+            },
         ])
         .unwrap()
     }
@@ -207,11 +242,25 @@ mod tests {
     #[test]
     fn code_book_validation() {
         assert!(CodeBook::new(vec![]).is_err());
-        assert!(CodeBook::new(vec![Code { tag: "".into(), keywords: vec!["x".into()] }]).is_err());
-        assert!(CodeBook::new(vec![Code { tag: "a".into(), keywords: vec![] }]).is_err());
+        assert!(CodeBook::new(vec![Code {
+            tag: "".into(),
+            keywords: vec!["x".into()]
+        }])
+        .is_err());
+        assert!(CodeBook::new(vec![Code {
+            tag: "a".into(),
+            keywords: vec![]
+        }])
+        .is_err());
         assert!(CodeBook::new(vec![
-            Code { tag: "a".into(), keywords: vec!["x".into()] },
-            Code { tag: "a".into(), keywords: vec!["y".into()] },
+            Code {
+                tag: "a".into(),
+                keywords: vec!["x".into()]
+            },
+            Code {
+                tag: "a".into(),
+                keywords: vec!["y".into()]
+            },
         ])
         .is_err());
         assert_eq!(book().codes().len(), 2);
@@ -238,7 +287,10 @@ mod tests {
         assert!(b.code_text("the digital age is legitimate").is_empty());
         assert_eq!(b.code_text("git!").len(), 1);
         assert_eq!(b.code_text("(git)").len(), 1);
-        assert!(b.code_text("gitlab-like").is_empty(), "gitlab is a different word");
+        assert!(
+            b.code_text("gitlab-like").is_empty(),
+            "gitlab is a different word"
+        );
     }
 
     #[test]
@@ -287,7 +339,9 @@ mod tests {
             b.code_text("our fortran legacy code nobody dares rewrite"),
             vec!["legacy-code"]
         );
-        assert!(b.code_text("reproducibility crisis").contains(&"reproducibility"));
+        assert!(b
+            .code_text("reproducibility crisis")
+            .contains(&"reproducibility"));
     }
 
     #[test]

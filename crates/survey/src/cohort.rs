@@ -19,7 +19,12 @@ pub struct Cohort {
 impl Cohort {
     /// Creates an empty cohort.
     pub fn new(name: impl Into<String>, year: u16, schema: Schema) -> Self {
-        Cohort { name: name.into(), year, schema, responses: Vec::new() }
+        Cohort {
+            name: name.into(),
+            year,
+            schema,
+            responses: Vec::new(),
+        }
     }
 
     /// Cohort name (e.g. `"2024"`).
@@ -60,7 +65,11 @@ impl Cohort {
     /// [`Error::DuplicateRespondent`].
     pub fn push(&mut self, response: Response) -> Result<()> {
         response.validate(&self.schema)?;
-        if self.responses.iter().any(|r| r.respondent == response.respondent) {
+        if self
+            .responses
+            .iter()
+            .any(|r| r.respondent == response.respondent)
+        {
             return Err(Error::DuplicateRespondent(response.respondent));
         }
         self.responses.push(response);
@@ -69,7 +78,10 @@ impl Cohort {
 
     /// Number of respondents who answered `question_id`.
     pub fn n_answered(&self, question_id: &str) -> usize {
-        self.responses.iter().filter(|r| r.answered(question_id)).count()
+        self.responses
+            .iter()
+            .filter(|r| r.answered(question_id))
+            .count()
     }
 
     /// Item response rate for one question (answered / total respondents).
@@ -95,8 +107,7 @@ impl Cohort {
                 got: q.kind.name(),
             });
         };
-        let mut counts: Vec<(String, u64)> =
-            options.iter().map(|o| (o.clone(), 0u64)).collect();
+        let mut counts: Vec<(String, u64)> = options.iter().map(|o| (o.clone(), 0u64)).collect();
         let mut total = 0u64;
         for r in &self.responses {
             if let Some(Answer::Choice(c)) = r.answer(question_id) {
@@ -125,8 +136,7 @@ impl Cohort {
                 got: q.kind.name(),
             });
         };
-        let mut counts: Vec<(String, u64)> =
-            options.iter().map(|o| (o.clone(), 0u64)).collect();
+        let mut counts: Vec<(String, u64)> = options.iter().map(|o| (o.clone(), 0u64)).collect();
         let mut answered = 0u64;
         for r in &self.responses {
             if let Some(Answer::Choices(cs)) = r.answer(question_id) {
@@ -206,7 +216,10 @@ impl Cohort {
         if self.responses.is_empty() {
             return 0.0;
         }
-        self.responses.iter().map(|r| r.completion_rate(&self.schema)).sum::<f64>()
+        self.responses
+            .iter()
+            .map(|r| r.completion_rate(&self.schema))
+            .sum::<f64>()
             / self.responses.len() as f64
     }
 
@@ -233,10 +246,22 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::builder("s")
-            .question(Question::new("lang", "?", QuestionKind::single_choice(["py", "c", "rust"])))
-            .question(Question::new("tools", "?", QuestionKind::multi_choice(["git", "ci"])))
+            .question(Question::new(
+                "lang",
+                "?",
+                QuestionKind::single_choice(["py", "c", "rust"]),
+            ))
+            .question(Question::new(
+                "tools",
+                "?",
+                QuestionKind::multi_choice(["git", "ci"]),
+            ))
             .question(Question::new("pain", "?", QuestionKind::likert(5)))
-            .question(Question::new("cores", "?", QuestionKind::numeric(None, None)))
+            .question(Question::new(
+                "cores",
+                "?",
+                QuestionKind::numeric(None, None),
+            ))
             .build()
             .unwrap()
     }
@@ -310,7 +335,10 @@ mod tests {
     fn likert_and_numeric_extraction() {
         let c = filled_cohort();
         assert_eq!(c.likert_scores("pain").unwrap(), vec![4.0, 3.0, 2.0, 5.0]);
-        assert_eq!(c.numeric_values("cores").unwrap(), vec![8.0, 4.0, 64.0, 16.0]);
+        assert_eq!(
+            c.numeric_values("cores").unwrap(),
+            vec![8.0, 4.0, 64.0, 16.0]
+        );
         assert!(c.likert_scores("lang").is_err());
         assert!(c.numeric_values("pain").is_err());
     }

@@ -88,10 +88,22 @@ mod tests {
 
     fn cohort() -> Cohort {
         let schema = Schema::builder("s")
-            .question(Question::new("lang", "?", QuestionKind::single_choice(["py", "c"])))
-            .question(Question::new("tools", "?", QuestionKind::multi_choice(["git", "ci"])))
+            .question(Question::new(
+                "lang",
+                "?",
+                QuestionKind::single_choice(["py", "c"]),
+            ))
+            .question(Question::new(
+                "tools",
+                "?",
+                QuestionKind::multi_choice(["git", "ci"]),
+            ))
             .question(Question::new("pain", "?", QuestionKind::likert(5)))
-            .question(Question::new("cores", "?", QuestionKind::numeric(None, None)))
+            .question(Question::new(
+                "cores",
+                "?",
+                QuestionKind::numeric(None, None),
+            ))
             .question(Question::new("notes", "?", QuestionKind::FreeText))
             .build()
             .unwrap();
@@ -104,7 +116,8 @@ mod tests {
             .set("notes", Answer::Text("fast, but \"quirky\"".into()));
         c.push(r).unwrap();
         let mut r = Response::new("r2");
-        r.set("lang", Answer::choice("c")).set("cores", Answer::Number(2.5));
+        r.set("lang", Answer::choice("c"))
+            .set("cores", Answer::Number(2.5));
         c.push(r).unwrap();
         c
     }
@@ -142,7 +155,10 @@ mod tests {
         let c = cohort();
         let csv = cohort_to_csv(&c);
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "respondent,lang,tools,pain,cores,notes");
+        assert_eq!(
+            lines.next().unwrap(),
+            "respondent,lang,tools,pain,cores,notes"
+        );
         let row1 = lines.next().unwrap();
         assert!(row1.starts_with("r1,py,git;ci,4,16,"));
         // Embedded quotes doubled, field quoted.

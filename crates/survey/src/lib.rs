@@ -102,14 +102,22 @@ impl fmt::Display for Error {
         match self {
             Error::DuplicateQuestion(q) => write!(f, "duplicate question id `{q}`"),
             Error::UnknownQuestion(q) => write!(f, "unknown question id `{q}`"),
-            Error::AnswerKindMismatch { question, expected, got } => write!(
+            Error::AnswerKindMismatch {
+                question,
+                expected,
+                got,
+            } => write!(
                 f,
                 "answer to `{question}` has kind {got}, schema expects {expected}"
             ),
             Error::UnknownOption { question, option } => {
                 write!(f, "answer to `{question}` uses unknown option `{option}`")
             }
-            Error::ScaleOutOfRange { question, value, points } => write!(
+            Error::ScaleOutOfRange {
+                question,
+                value,
+                points,
+            } => write!(
                 f,
                 "answer to `{question}` is {value}, outside the 1..={points} scale"
             ),
@@ -135,10 +143,17 @@ mod lib_tests {
 
     #[test]
     fn error_messages_name_the_question() {
-        let e = Error::UnknownOption { question: "lang".into(), option: "perl6".into() };
+        let e = Error::UnknownOption {
+            question: "lang".into(),
+            option: "perl6".into(),
+        };
         assert!(e.to_string().contains("lang"));
         assert!(e.to_string().contains("perl6"));
-        let e = Error::ScaleOutOfRange { question: "pain".into(), value: 9, points: 5 };
+        let e = Error::ScaleOutOfRange {
+            question: "pain".into(),
+            value: 9,
+            points: 5,
+        };
         assert!(e.to_string().contains("1..=5"));
     }
 }

@@ -58,22 +58,35 @@ pub enum Filter {
 impl Filter {
     /// `choice_is("field", "physics")` — single-choice equality.
     pub fn choice_is(question: impl Into<String>, option: impl Into<String>) -> Self {
-        Filter::ChoiceIs { question: question.into(), option: option.into() }
+        Filter::ChoiceIs {
+            question: question.into(),
+            option: option.into(),
+        }
     }
 
     /// `selected("langs", "python")` — multi-choice membership.
     pub fn selected(question: impl Into<String>, option: impl Into<String>) -> Self {
-        Filter::Selected { question: question.into(), option: option.into() }
+        Filter::Selected {
+            question: question.into(),
+            option: option.into(),
+        }
     }
 
     /// Likert threshold.
     pub fn scale_at_least(question: impl Into<String>, min: u8) -> Self {
-        Filter::ScaleAtLeast { question: question.into(), min }
+        Filter::ScaleAtLeast {
+            question: question.into(),
+            min,
+        }
     }
 
     /// Numeric range (inclusive).
     pub fn number_in_range(question: impl Into<String>, lo: f64, hi: f64) -> Self {
-        Filter::NumberInRange { question: question.into(), lo, hi }
+        Filter::NumberInRange {
+            question: question.into(),
+            lo,
+            hi,
+        }
     }
 
     /// Item was answered.
@@ -161,13 +174,22 @@ mod tests {
                 "?",
                 QuestionKind::single_choice(["physics", "biology"]),
             ))
-            .question(Question::new("langs", "?", QuestionKind::multi_choice(["py", "c"])))
+            .question(Question::new(
+                "langs",
+                "?",
+                QuestionKind::multi_choice(["py", "c"]),
+            ))
             .question(Question::new("pain", "?", QuestionKind::likert(5)))
-            .question(Question::new("cores", "?", QuestionKind::numeric(None, None)))
+            .question(Question::new(
+                "cores",
+                "?",
+                QuestionKind::numeric(None, None),
+            ))
             .build()
             .unwrap();
         let mut c = Cohort::new("t", 2024, schema);
-        let rows: [(&str, &str, Vec<&str>, Option<u8>, f64); 4] = [
+        type Row<'a> = (&'a str, &'a str, Vec<&'a str>, Option<u8>, f64);
+        let rows: [Row; 4] = [
             ("a", "physics", vec!["py", "c"], Some(5), 32.0),
             ("b", "physics", vec!["c"], Some(2), 4.0),
             ("c", "biology", vec!["py"], Some(4), 1.0),
@@ -187,13 +209,19 @@ mod tests {
     }
 
     fn ids(c: &Cohort) -> Vec<&str> {
-        c.responses().iter().map(|r| r.respondent.as_str()).collect()
+        c.responses()
+            .iter()
+            .map(|r| r.respondent.as_str())
+            .collect()
     }
 
     #[test]
     fn leaf_filters() {
         let c = cohort();
-        assert_eq!(ids(&filter_cohort(&c, &Filter::All)), vec!["a", "b", "c", "d"]);
+        assert_eq!(
+            ids(&filter_cohort(&c, &Filter::All)),
+            vec!["a", "b", "c", "d"]
+        );
         assert_eq!(
             ids(&filter_cohort(&c, &Filter::choice_is("field", "physics"))),
             vec!["a", "b"]
@@ -207,7 +235,10 @@ mod tests {
             vec!["a", "c"]
         );
         assert_eq!(
-            ids(&filter_cohort(&c, &Filter::number_in_range("cores", 2.0, 16.0))),
+            ids(&filter_cohort(
+                &c,
+                &Filter::number_in_range("cores", 2.0, 16.0)
+            )),
             vec!["b", "d"]
         );
         assert_eq!(
@@ -230,13 +261,15 @@ mod tests {
     #[test]
     fn combinators() {
         let c = cohort();
-        let physics_py =
-            Filter::choice_is("field", "physics").and(Filter::selected("langs", "py"));
+        let physics_py = Filter::choice_is("field", "physics").and(Filter::selected("langs", "py"));
         assert_eq!(ids(&filter_cohort(&c, &physics_py)), vec!["a"]);
 
         let bio_or_painful =
             Filter::choice_is("field", "biology").or(Filter::scale_at_least("pain", 5));
-        assert_eq!(ids(&filter_cohort(&c, &bio_or_painful)), vec!["a", "c", "d"]);
+        assert_eq!(
+            ids(&filter_cohort(&c, &bio_or_painful)),
+            vec!["a", "c", "d"]
+        );
 
         let not_physics = Filter::choice_is("field", "physics").not();
         assert_eq!(ids(&filter_cohort(&c, &not_physics)), vec!["c", "d"]);
@@ -253,11 +286,12 @@ mod tests {
 
     #[test]
     fn describe_is_readable() {
-        let f = Filter::choice_is("field", "physics")
-            .and(Filter::selected("langs", "py").not());
+        let f = Filter::choice_is("field", "physics").and(Filter::selected("langs", "py").not());
         assert_eq!(f.describe(), "(field=physics & !langs∋py)");
         assert_eq!(Filter::All.describe(), "all");
-        assert!(Filter::number_in_range("cores", 1.0, 8.0).describe().contains("cores"));
+        assert!(Filter::number_in_range("cores", 1.0, 8.0)
+            .describe()
+            .contains("cores"));
         assert!(Filter::answered("pain").describe().contains("pain"));
         let g = Filter::scale_at_least("pain", 3).or(Filter::All);
         assert!(g.describe().contains('|'));

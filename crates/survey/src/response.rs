@@ -100,7 +100,10 @@ impl Answer {
                 if options.contains(c) {
                     Ok(())
                 } else {
-                    Err(Error::UnknownOption { question: q.id.clone(), option: c.clone() })
+                    Err(Error::UnknownOption {
+                        question: q.id.clone(),
+                        option: c.clone(),
+                    })
                 }
             }
             (QuestionKind::MultiChoice { options }, Answer::Choices(cs)) => {
@@ -133,11 +136,12 @@ impl Answer {
                 }
             }
             (QuestionKind::Numeric { min, max }, Answer::Number(v)) => {
-                if !v.is_finite()
-                    || min.is_some_and(|lo| *v < lo)
-                    || max.is_some_and(|hi| *v > hi)
+                if !v.is_finite() || min.is_some_and(|lo| *v < lo) || max.is_some_and(|hi| *v > hi)
                 {
-                    Err(Error::NumberOutOfRange { question: q.id.clone(), value: *v })
+                    Err(Error::NumberOutOfRange {
+                        question: q.id.clone(),
+                        value: *v,
+                    })
                 } else {
                     Ok(())
                 }
@@ -160,7 +164,10 @@ pub struct Response {
 impl Response {
     /// Creates an empty response for the given respondent id.
     pub fn new(respondent: impl Into<String>) -> Self {
-        Response { respondent: respondent.into(), answers: BTreeMap::new() }
+        Response {
+            respondent: respondent.into(),
+            answers: BTreeMap::new(),
+        }
     }
 
     /// Sets (or replaces) the answer to `question_id`.
@@ -213,7 +220,11 @@ impl Response {
         if schema.is_empty() {
             return 0.0;
         }
-        let answered = schema.questions().iter().filter(|q| self.answered(&q.id)).count();
+        let answered = schema
+            .questions()
+            .iter()
+            .filter(|q| self.answered(&q.id))
+            .count();
         answered as f64 / schema.len() as f64
     }
 }
@@ -225,10 +236,22 @@ mod tests {
 
     fn schema() -> Schema {
         Schema::builder("s")
-            .question(Question::new("lang", "?", QuestionKind::single_choice(["py", "c"])))
-            .question(Question::new("tools", "?", QuestionKind::multi_choice(["git", "ci"])))
+            .question(Question::new(
+                "lang",
+                "?",
+                QuestionKind::single_choice(["py", "c"]),
+            ))
+            .question(Question::new(
+                "tools",
+                "?",
+                QuestionKind::multi_choice(["git", "ci"]),
+            ))
             .question(Question::new("pain", "?", QuestionKind::likert(5)))
-            .question(Question::new("cores", "?", QuestionKind::numeric(Some(1.0), None)))
+            .question(Question::new(
+                "cores",
+                "?",
+                QuestionKind::numeric(Some(1.0), None),
+            ))
             .question(Question::new("notes", "?", QuestionKind::FreeText))
             .build()
             .unwrap()
@@ -284,7 +307,11 @@ mod tests {
         let mut r = Response::new("r");
         r.set("lang", Answer::Scale(1));
         match r.validate(&s) {
-            Err(Error::AnswerKindMismatch { question, expected, got }) => {
+            Err(Error::AnswerKindMismatch {
+                question,
+                expected,
+                got,
+            }) => {
                 assert_eq!(question, "lang");
                 assert_eq!(expected, "single-choice");
                 assert_eq!(got, "likert");
@@ -337,9 +364,15 @@ mod tests {
         let s = schema();
         let mut r = Response::new("r");
         r.set("cores", Answer::Number(0.5));
-        assert!(matches!(r.validate(&s), Err(Error::NumberOutOfRange { .. })));
+        assert!(matches!(
+            r.validate(&s),
+            Err(Error::NumberOutOfRange { .. })
+        ));
         r.set("cores", Answer::Number(f64::NAN));
-        assert!(matches!(r.validate(&s), Err(Error::NumberOutOfRange { .. })));
+        assert!(matches!(
+            r.validate(&s),
+            Err(Error::NumberOutOfRange { .. })
+        ));
         r.set("cores", Answer::Number(8.0));
         assert!(r.validate(&s).is_ok());
     }
@@ -360,7 +393,8 @@ mod tests {
     #[test]
     fn response_round_trips_through_json() {
         let mut r = Response::new("r9");
-        r.set("lang", Answer::choice("py")).set("pain", Answer::Scale(4));
+        r.set("lang", Answer::choice("py"))
+            .set("pain", Answer::Scale(4));
         let json = serde_json::to_string(&r).unwrap();
         let back: Response = serde_json::from_str(&json).unwrap();
         assert_eq!(r, back);

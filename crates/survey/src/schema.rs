@@ -143,7 +143,11 @@ pub struct Question {
 impl Question {
     /// Creates a question.
     pub fn new(id: impl Into<String>, prompt: impl Into<String>, kind: QuestionKind) -> Self {
-        Question { id: id.into(), prompt: prompt.into(), kind }
+        Question {
+            id: id.into(),
+            prompt: prompt.into(),
+            kind,
+        }
     }
 }
 
@@ -157,7 +161,10 @@ pub struct Schema {
 impl Schema {
     /// Starts building a schema with the given name.
     pub fn builder(name: impl Into<String>) -> SchemaBuilder {
-        SchemaBuilder { name: name.into(), questions: Vec::new() }
+        SchemaBuilder {
+            name: name.into(),
+            questions: Vec::new(),
+        }
     }
 
     /// The schema's name.
@@ -191,7 +198,8 @@ impl Schema {
     /// # Errors
     /// [`Error::UnknownQuestion`] when `id` is not in the schema.
     pub fn require(&self, id: &str) -> Result<&Question> {
-        self.question(id).ok_or_else(|| Error::UnknownQuestion(id.to_owned()))
+        self.question(id)
+            .ok_or_else(|| Error::UnknownQuestion(id.to_owned()))
     }
 }
 
@@ -228,7 +236,10 @@ impl SchemaBuilder {
             }
             q.kind.validate(&q.id)?;
         }
-        Ok(Schema { name: self.name, questions: self.questions })
+        Ok(Schema {
+            name: self.name,
+            questions: self.questions,
+        })
     }
 }
 
@@ -248,13 +259,21 @@ mod tests {
                 "Which tools do you use?",
                 QuestionKind::multi_choice(["git", "ci", "tests"]),
             ))
-            .question(Question::new("pain", "How painful is tooling?", QuestionKind::likert(5)))
+            .question(Question::new(
+                "pain",
+                "How painful is tooling?",
+                QuestionKind::likert(5),
+            ))
             .question(Question::new(
                 "cores",
                 "How many cores do you use?",
                 QuestionKind::numeric(Some(1.0), Some(100_000.0)),
             ))
-            .question(Question::new("notes", "Anything else?", QuestionKind::FreeText))
+            .question(Question::new(
+                "notes",
+                "Anything else?",
+                QuestionKind::FreeText,
+            ))
             .build()
             .unwrap()
     }
@@ -270,7 +289,10 @@ mod tests {
         assert_eq!(s.question("pain").unwrap().kind, QuestionKind::likert(5));
         assert!(s.question("nope").is_none());
         assert!(s.require("lang").is_ok());
-        assert_eq!(s.require("nope"), Err(Error::UnknownQuestion("nope".into())));
+        assert_eq!(
+            s.require("nope"),
+            Err(Error::UnknownQuestion("nope".into()))
+        );
     }
 
     #[test]
@@ -290,11 +312,19 @@ mod tests {
     #[test]
     fn option_constraints_enforced() {
         let one_option = Schema::builder("x")
-            .question(Question::new("q", "?", QuestionKind::single_choice(["only"])))
+            .question(Question::new(
+                "q",
+                "?",
+                QuestionKind::single_choice(["only"]),
+            ))
             .build();
         assert!(one_option.is_err());
         let dup_option = Schema::builder("x")
-            .question(Question::new("q", "?", QuestionKind::single_choice(["a", "a"])))
+            .question(Question::new(
+                "q",
+                "?",
+                QuestionKind::single_choice(["a", "a"]),
+            ))
             .build();
         assert!(dup_option.is_err());
     }
@@ -310,7 +340,11 @@ mod tests {
             .build()
             .is_err());
         assert!(Schema::builder("x")
-            .question(Question::new("q", "?", QuestionKind::numeric(Some(5.0), Some(1.0))))
+            .question(Question::new(
+                "q",
+                "?",
+                QuestionKind::numeric(Some(5.0), Some(1.0))
+            ))
             .build()
             .is_err());
         assert!(Schema::builder("x")
@@ -335,7 +369,10 @@ mod tests {
         assert_eq!(QuestionKind::FreeText.options(), &[] as &[String]);
         assert_eq!(QuestionKind::likert(5).name(), "likert");
         assert_eq!(QuestionKind::numeric(None, None).name(), "numeric");
-        assert_eq!(QuestionKind::multi_choice(["x", "y"]).name(), "multi-choice");
+        assert_eq!(
+            QuestionKind::multi_choice(["x", "y"]).name(),
+            "multi-choice"
+        );
     }
 
     #[test]

@@ -82,7 +82,10 @@ impl Weights {
                     .unwrap_or(1.0)
             })
             .collect();
-        Ok(Weights { stratum_question: stratum_question.to_owned(), values })
+        Ok(Weights {
+            stratum_question: stratum_question.to_owned(),
+            values,
+        })
     }
 
     /// The per-respondent weights, aligned with `cohort.responses()`.
@@ -142,7 +145,11 @@ mod tests {
                 "?",
                 QuestionKind::single_choice(["physics", "biology"]),
             ))
-            .question(Question::new("langs", "?", QuestionKind::multi_choice(["py", "c"])))
+            .question(Question::new(
+                "langs",
+                "?",
+                QuestionKind::multi_choice(["py", "c"]),
+            ))
             .build()
             .unwrap();
         let mut c = Cohort::new("t", 2024, schema);
@@ -154,7 +161,8 @@ mod tests {
             ("d", "biology", vec!["c"]),
         ] {
             let mut r = Response::new(id);
-            r.set("field", Answer::choice(field)).set("langs", Answer::choices(langs));
+            r.set("field", Answer::choice(field))
+                .set("langs", Answer::choices(langs));
             c.push(r).unwrap();
         }
         c

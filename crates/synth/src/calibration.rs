@@ -238,7 +238,10 @@ impl Calibration {
 
     /// Field sampling weights aligned with [`q::FIELDS`].
     pub fn field_weights(&self) -> Vec<f64> {
-        q::FIELDS.iter().map(|f| self.select(pair(&FIELD_WEIGHT, f))).collect()
+        q::FIELDS
+            .iter()
+            .map(|f| self.select(pair(&FIELD_WEIGHT, f)))
+            .collect()
     }
 
     /// Stage sampling weights aligned with [`q::STAGES`].
@@ -301,10 +304,10 @@ impl Calibration {
     /// cluster use.
     pub fn cores_lognormal(&self, uses_cluster: bool) -> (f64, f64) {
         match (self.wave, uses_cluster) {
-            (Wave::Y2011, false) => (0.8, 0.9),  // a few cores
-            (Wave::Y2011, true) => (3.2, 1.4),   // tens of cores
-            (Wave::Y2024, false) => (1.8, 1.0),  // laptop multicore
-            (Wave::Y2024, true) => (4.6, 1.6),   // hundreds of cores
+            (Wave::Y2011, false) => (0.8, 0.9), // a few cores
+            (Wave::Y2011, true) => (3.2, 1.4),  // tens of cores
+            (Wave::Y2024, false) => (1.8, 1.0), // laptop multicore
+            (Wave::Y2024, true) => (4.6, 1.6),  // hundreds of cores
         }
     }
 

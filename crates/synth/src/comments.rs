@@ -136,10 +136,12 @@ mod tests {
     fn comments_sometimes_absent_and_deterministic() {
         let mut a = StdRng::seed_from_u64(1);
         let mut b = StdRng::seed_from_u64(1);
-        let xs: Vec<Option<String>> =
-            (0..50).map(|_| generate_comment(&mut a, Wave::Y2024)).collect();
-        let ys: Vec<Option<String>> =
-            (0..50).map(|_| generate_comment(&mut b, Wave::Y2024)).collect();
+        let xs: Vec<Option<String>> = (0..50)
+            .map(|_| generate_comment(&mut a, Wave::Y2024))
+            .collect();
+        let ys: Vec<Option<String>> = (0..50)
+            .map(|_| generate_comment(&mut b, Wave::Y2024))
+            .collect();
         assert_eq!(xs, ys);
         assert!(xs.iter().any(Option::is_none), "some respondents skip");
         assert!(xs.iter().any(Option::is_some), "most respondents comment");
@@ -156,9 +158,17 @@ mod tests {
                 .count()
         };
         // Install pain dominates 2011; data pain dominates 2024.
-        assert!(count_theme(Wave::Y2011, "environments") > 2 * count_theme(Wave::Y2024, "environments"));
-        assert!(count_theme(Wave::Y2024, "data-management") > 2 * count_theme(Wave::Y2011, "data-management"));
-        assert!(count_theme(Wave::Y2024, "reproducibility") > count_theme(Wave::Y2011, "reproducibility"));
+        assert!(
+            count_theme(Wave::Y2011, "environments") > 2 * count_theme(Wave::Y2024, "environments")
+        );
+        assert!(
+            count_theme(Wave::Y2024, "data-management")
+                > 2 * count_theme(Wave::Y2011, "data-management")
+        );
+        assert!(
+            count_theme(Wave::Y2024, "reproducibility")
+                > count_theme(Wave::Y2011, "reproducibility")
+        );
     }
 
     #[test]
@@ -169,6 +179,9 @@ mod tests {
             .filter_map(|_| generate_comment(&mut rng, Wave::Y2024))
             .filter(|t| book.code_text(t).is_empty())
             .count();
-        assert!(uncoded > 10, "the corpus needs code-book-silent texts, got {uncoded}");
+        assert!(
+            uncoded > 10,
+            "the corpus needs code-book-silent texts, got {uncoded}"
+        );
     }
 }

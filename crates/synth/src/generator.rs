@@ -92,7 +92,9 @@ fn generate_one(rng: &mut StdRng, cal: &Calibration, id: &str) -> Response {
         let best = q::LANGUAGES
             .iter()
             .max_by(|a, b| {
-                cal.lang_base(a).partial_cmp(&cal.lang_base(b)).expect("finite")
+                cal.lang_base(a)
+                    .partial_cmp(&cal.lang_base(b))
+                    .expect("finite")
             })
             .expect("non-empty language list");
         langs.push(best);
@@ -141,7 +143,9 @@ fn generate_one(rng: &mut StdRng, cal: &Calibration, id: &str) -> Response {
     let stage_delta = cal.stage_practice_logit(stage);
     let practices: Vec<&str> = q::PRACTICES
         .iter()
-        .filter(|p| sampler::bernoulli(rng, sampler::logit_shift(cal.practice_base(p), stage_delta)))
+        .filter(|p| {
+            sampler::bernoulli(rng, sampler::logit_shift(cal.practice_base(p), stage_delta))
+        })
         .copied()
         .collect();
     if !skip(rng) {
@@ -177,7 +181,10 @@ fn generate_one(rng: &mut StdRng, cal: &Calibration, id: &str) -> Response {
     // Pain Likert items.
     for item in q::PAIN_ITEMS {
         if !skip(rng) {
-            r.set(item, Answer::Scale(sampler::likert(rng, cal.pain_mean(item), 1.0, 5)));
+            r.set(
+                item,
+                Answer::Scale(sampler::likert(rng, cal.pain_mean(item), 1.0, 5)),
+            );
         }
     }
 
@@ -205,8 +212,12 @@ impl InterpolatedCalibration {
     /// interpolation so trajectories stay inside the unit interval and look
     /// like adoption curves rather than straight lines).
     pub fn lang_p(&self, lang: &str) -> f64 {
-        let a = Calibration::for_wave(Wave::Y2011).lang_base(lang).clamp(0.01, 0.99);
-        let b = Calibration::for_wave(Wave::Y2024).lang_base(lang).clamp(0.01, 0.99);
+        let a = Calibration::for_wave(Wave::Y2011)
+            .lang_base(lang)
+            .clamp(0.01, 0.99);
+        let b = Calibration::for_wave(Wave::Y2024)
+            .lang_base(lang)
+            .clamp(0.01, 0.99);
         let la = (a / (1.0 - a)).ln();
         let lb = (b / (1.0 - b)).ln();
         let l = la + (lb - la) * self.t;
@@ -318,10 +329,8 @@ mod tests {
     #[test]
     fn joint_structure_cluster_users_run_bigger_jobs() {
         let c = Generator::new(5).cohort(Wave::Y2024, 1000);
-        let cluster = rcr_survey::query::filter_cohort(
-            &c,
-            &Filter::selected(q::Q_PARALLELISM, "cluster"),
-        );
+        let cluster =
+            rcr_survey::query::filter_cohort(&c, &Filter::selected(q::Q_PARALLELISM, "cluster"));
         let non = rcr_survey::query::filter_cohort(
             &c,
             &Filter::selected(q::Q_PARALLELISM, "cluster").not(),
@@ -338,7 +347,8 @@ mod tests {
     #[test]
     fn field_effects_visible_fortran_in_physical_sciences() {
         let c = Generator::new(11).cohort(Wave::Y2011, 2000);
-        let astro = rcr_survey::query::filter_cohort(&c, &Filter::choice_is(q::Q_FIELD, "astronomy"));
+        let astro =
+            rcr_survey::query::filter_cohort(&c, &Filter::choice_is(q::Q_FIELD, "astronomy"));
         let social =
             rcr_survey::query::filter_cohort(&c, &Filter::choice_is(q::Q_FIELD, "social-science"));
         let (fa, na) = astro.selected_count(q::Q_LANGS, "fortran").unwrap();

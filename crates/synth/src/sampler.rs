@@ -125,8 +125,9 @@ mod tests {
     #[test]
     fn likert_in_range_and_tracks_mean() {
         let mut r = rng();
-        let samples: Vec<f64> =
-            (0..20_000).map(|_| f64::from(likert(&mut r, 3.5, 1.0, 5))).collect();
+        let samples: Vec<f64> = (0..20_000)
+            .map(|_| f64::from(likert(&mut r, 3.5, 1.0, 5)))
+            .collect();
         assert!(samples.iter().all(|&v| (1.0..=5.0).contains(&v)));
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         assert!((mean - 3.5).abs() < 0.1, "mean = {mean}");

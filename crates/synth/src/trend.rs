@@ -79,8 +79,7 @@ mod tests {
         // Broad monotonic trend: second half mean above first half mean.
         let half = py.len() / 2;
         let first: f64 = py[..half].iter().map(|p| p.1).sum::<f64>() / half as f64;
-        let second: f64 =
-            py[half..].iter().map(|p| p.1).sum::<f64>() / (py.len() - half) as f64;
+        let second: f64 = py[half..].iter().map(|p| p.1).sum::<f64>() / (py.len() - half) as f64;
         assert!(second > first);
     }
 

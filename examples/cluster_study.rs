@@ -13,7 +13,10 @@ use rcr_report::{fmt, table::Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One contended workload, three policies.
-    let spec = WorkloadSpec { n_jobs: 1500, ..Default::default() };
+    let spec = WorkloadSpec {
+        n_jobs: 1500,
+        ..Default::default()
+    };
     let jobs = generate_checked(&spec, MASTER_SEED)?;
     println!(
         "workload: {} jobs on {} nodes at offered load {:.2}\n",
@@ -23,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = Table::new(["policy", "mean wait", "P90 wait", "slowdown", "utilization"])
         .title("Scheduling policies on the same trace");
     for policy in Policy::ALL {
-        let summary = Simulator::new(spec.cluster_nodes, policy).run(jobs.clone())?.summary();
+        let summary = Simulator::new(spec.cluster_nodes, policy)
+            .run(jobs.clone())?
+            .try_summary()
+            .ok_or("no jobs completed")?;
         table.row([
             policy.name().to_owned(),
             fmt::duration_s(summary.mean_wait),
@@ -39,10 +45,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .title("P90 wait vs offered load (600-job traces)");
     for load_tenths in 5..=10 {
         let load = load_tenths as f64 / 10.0;
-        let spec = WorkloadSpec { n_jobs: 600, offered_load: load, ..Default::default() };
+        let spec = WorkloadSpec {
+            n_jobs: 600,
+            offered_load: load,
+            ..Default::default()
+        };
         let jobs = generate_checked(&spec, MASTER_SEED ^ load_tenths)?;
-        let p90 = |policy: Policy| -> Result<String, rcr_cluster::Error> {
-            let s = Simulator::new(spec.cluster_nodes, policy).run(jobs.clone())?.summary();
+        let p90 = |policy: Policy| -> Result<String, Box<dyn std::error::Error>> {
+            let s = Simulator::new(spec.cluster_nodes, policy)
+                .run(jobs.clone())?
+                .try_summary()
+                .ok_or("no jobs completed")?;
             Ok(fmt::duration_s(s.p90_wait))
         };
         sweep.row([

@@ -12,8 +12,9 @@ use rcr_report::svg::{line_chart, Series};
 use rcr_report::table::Table;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_path =
-        std::env::args().nth(1).unwrap_or_else(|| "language_trends.svg".to_owned());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "language_trends.svg".to_owned());
 
     let trends = language_trends(
         MASTER_SEED,

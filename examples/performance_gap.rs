@@ -11,7 +11,11 @@ use rcr_report::{fmt, table::Table};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|a| a == "--quick");
-    let config = if quick { GapConfig::quick() } else { GapConfig::default() };
+    let config = if quick {
+        GapConfig::quick()
+    } else {
+        GapConfig::default()
+    };
     eprintln!(
         "measuring {} sizes on {} threads (this runs each kernel through six tiers)...",
         if quick { "quick" } else { "full" },
@@ -21,7 +25,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gaps = measure_gaps(&config)?;
 
     let mut table = Table::new([
-        "kernel", "size", "tree-walk", "bytecode", "native naive", "native parallel",
+        "kernel",
+        "size",
+        "tree-walk",
+        "bytecode",
+        "native naive",
+        "native parallel",
         "total speedup",
     ])
     .title("Performance ladder: median wall time per tier");

@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", table.render_ascii());
 
     // 4. The headline finding, spelled out.
-    let python = shifts.iter().find(|s| s.item == "python").expect("python is in the battery");
+    let python = shifts
+        .iter()
+        .find(|s| s.item == "python")
+        .expect("python is in the battery");
     println!(
         "Python usage rose from {} to {} (z = {:+.1}, Cohen's h = {:+.2}).",
         fmt::pct(python.p_before),

@@ -28,7 +28,9 @@ fn timed<F: FnMut() -> Value>(label: &str, mut f: F) -> (f64, f64) {
     let t0 = Instant::now();
     let v = f();
     let dt = t0.elapsed().as_secs_f64();
-    let Value::Num(result) = v else { panic!("kernel returns a number") };
+    let Value::Num(result) = v else {
+        panic!("kernel returns a number")
+    };
     println!("{label:<28} {:>10.1} ms   result = {result}", dt * 1e3);
     (dt, result)
 }
@@ -38,12 +40,15 @@ fn main() {
     let scalar_src = script(false);
     let vector_src = script(true);
 
-    let (t_interp, r1) =
-        timed("tree-walking interpreter", || run_source(&scalar_src).expect("script runs"));
-    let (t_vm, r2) =
-        timed("bytecode VM", || run_source_vm(&scalar_src).expect("script runs"));
-    let (t_vec, r3) =
-        timed("VM + vectorized builtin", || run_source_vm(&vector_src).expect("script runs"));
+    let (t_interp, r1) = timed("tree-walking interpreter", || {
+        run_source(&scalar_src).expect("script runs")
+    });
+    let (t_vm, r2) = timed("bytecode VM", || {
+        run_source_vm(&scalar_src).expect("script runs")
+    });
+    let (t_vec, r3) = timed("VM + vectorized builtin", || {
+        run_source_vm(&vector_src).expect("script runs")
+    });
 
     // Native comparison on identical data.
     let a: Vec<f64> = (0..N).map(|i| (i % 7) as f64 * 0.25).collect();
@@ -51,7 +56,11 @@ fn main() {
     let t0 = Instant::now();
     let native = dotaxpy::dot_optimized(&a, &b);
     let t_native = t0.elapsed().as_secs_f64();
-    println!("{:<28} {:>10.3} ms   result = {native}", "native Rust (optimized)", t_native * 1e3);
+    println!(
+        "{:<28} {:>10.3} ms   result = {native}",
+        "native Rust (optimized)",
+        t_native * 1e3
+    );
 
     // All four agree.
     for (label, r) in [("interp", r1), ("vm", r2), ("vectorized", r3)] {
@@ -63,5 +72,8 @@ fn main() {
     println!("\nall tiers agree; speedups over the tree-walker:");
     println!("  bytecode VM     : {:>8.1}×", t_interp / t_vm);
     println!("  vectorized      : {:>8.1}×", t_interp / t_vec);
-    println!("  native optimized: {:>8.1}×", t_interp / t_native.max(1e-9));
+    println!(
+        "  native optimized: {:>8.1}×",
+        t_interp / t_native.max(1e-9)
+    );
 }

@@ -89,8 +89,10 @@ fn e9_json_shape() {
     let j = to_json(&outcomes);
     let rows = j.as_array().expect("array");
     assert_eq!(rows.len(), 4);
-    let names: Vec<&str> =
-        rows.iter().map(|r| r["policy"].as_str().expect("policy name")).collect();
+    let names: Vec<&str> = rows
+        .iter()
+        .map(|r| r["policy"].as_str().expect("policy name"))
+        .collect();
     assert!(names.contains(&"FCFS"));
     assert!(names.contains(&"EASY-backfill"));
     for r in rows {

@@ -47,10 +47,14 @@ fn survey_counts_match_stats_frequency_table() {
     use rcr_synth::generator::Generator;
 
     let cohort = Generator::new(MASTER_SEED).cohort(Wave::Y2024, 300);
-    let (counts, _) = cohort.single_choice_counts(q::Q_FIELD).expect("field counts");
+    let (counts, _) = cohort
+        .single_choice_counts(q::Q_FIELD)
+        .expect("field counts");
     // Recount independently through the generic frequency table.
     let labels = cohort.responses().iter().filter_map(|r| {
-        r.answer(q::Q_FIELD).and_then(|a| a.as_choice()).map(str::to_owned)
+        r.answer(q::Q_FIELD)
+            .and_then(|a| a.as_choice())
+            .map(str::to_owned)
     });
     let freq = FreqTable::from_labels(labels);
     for (field, count) in counts {
@@ -66,12 +70,17 @@ fn cluster_utilization_consistent_with_workload_offered_load() {
 
     // At a modest load with a good scheduler, achieved utilization should
     // approach (but not exceed) the offered load.
-    let spec = WorkloadSpec { n_jobs: 1500, offered_load: 0.6, ..Default::default() };
+    let spec = WorkloadSpec {
+        n_jobs: 1500,
+        offered_load: 0.6,
+        ..Default::default()
+    };
     let jobs = generate(&spec, MASTER_SEED);
     let s = Simulator::new(spec.cluster_nodes, Policy::EasyBackfill)
         .run(jobs)
         .expect("simulation runs")
-        .summary();
+        .try_summary()
+        .expect("fault-free run completes every job");
     assert!(s.utilization <= 1.0);
     // Achieved utilization sits below the offered load by the ramp/drain
     // tails of the makespan and power-of-two packing losses, but must be in
@@ -108,7 +117,10 @@ fn amdahl_fit_recovers_mc_pi_scaling_shape() {
     let f = rcr_stats::regression::fit_amdahl(&tf, &speedups).expect("fit converges");
     assert!((0.0..=1.0).contains(&f), "fit out of range: {f}");
     if cores >= 4 {
-        assert!(f < 0.5, "mc-pi serial fraction came out {f} on a {cores}-core host");
+        assert!(
+            f < 0.5,
+            "mc-pi serial fraction came out {f} on a {cores}-core host"
+        );
     }
 }
 
@@ -135,5 +147,8 @@ fn minilang_tiers_agree_on_a_statistics_computation() {
     let xs: Vec<f64> = (0..200).map(|i| (i % 13) as f64 * 0.5).collect();
     let native = rcr_stats::descriptive::variance(&xs).expect("variance");
     assert_eq!(interp, vm, "script tiers disagree");
-    assert!((interp - native).abs() < 1e-9, "script {interp} vs stats {native}");
+    assert!(
+        (interp - native).abs() < 1e-9,
+        "script {interp} vs stats {native}"
+    );
 }

@@ -31,7 +31,9 @@ fn every_survey_experiment_produces_renderable_output() {
     assert_eq!(prac.len(), 6);
 
     let gpu = e.e8_gpu_by_field().expect("E8");
-    assert!(rcr_bench::render::e8_table(&gpu).render_csv().contains("neuroscience"));
+    assert!(rcr_bench::render::e8_table(&gpu)
+        .render_csv()
+        .contains("neuroscience"));
 
     let pain = e.e12_pain_points().expect("E12");
     assert!(rcr_bench::render::e12_figure(&pain).contains("</svg>"));
@@ -55,6 +57,9 @@ fn cluster_experiments_run_and_render() {
     assert!(rcr_bench::render::e9_figure(&outcomes).contains("FCFS"));
     let pts = e.e10_load_sweep(250, &[0.6, 0.9]).expect("E10");
     assert!(rcr_bench::render::e10_figure(&pts).contains("EASY-backfill"));
+    let res = e.e14_resilience(150).expect("E14");
+    assert!(rcr_bench::render::e14_figure(&res).contains("goodput"));
+    assert_eq!(rcr_bench::render::e14_table(&res).n_rows(), 20);
 }
 
 #[test]
@@ -70,8 +75,14 @@ fn headline_findings_hold_end_to_end() {
     assert!(pick("fortran").p_after < pick("fortran").p_before);
     // 3. Version control went mainstream while CI stayed minority.
     let prac = e.e7_practice_shift().expect("E7");
-    let vcs = prac.iter().find(|s| s.item == "version-control").expect("vcs");
-    let ci = prac.iter().find(|s| s.item == "continuous-integration").expect("ci");
+    let vcs = prac
+        .iter()
+        .find(|s| s.item == "version-control")
+        .expect("vcs");
+    let ci = prac
+        .iter()
+        .find(|s| s.item == "continuous-integration")
+        .expect("ci");
     assert!(vcs.p_after > 0.75);
     assert!(ci.p_after < 0.5);
     // 4. GPU adoption multiplied.
@@ -88,7 +99,7 @@ fn experiment_index_matches_drivers() {
     assert_eq!(
         ids,
         vec![
-            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"
         ]
     );
 }
@@ -102,7 +113,9 @@ fn survey_weighting_integrates_with_synthetic_cohorts() {
     let (before, after) = ex().cohorts();
     // Post-stratify the 2024 cohort to the 2011 field mix, then verify the
     // weighted field shares match the 2011 shares.
-    let (counts_2011, n_2011) = before.single_choice_counts(q::Q_FIELD).expect("field counts");
+    let (counts_2011, n_2011) = before
+        .single_choice_counts(q::Q_FIELD)
+        .expect("field counts");
     let targets: BTreeMap<String, f64> = counts_2011
         .iter()
         .map(|(f, c)| (f.clone(), (*c as f64 / n_2011 as f64).max(1e-6)))

@@ -2,6 +2,7 @@
 //! hold for every policy on arbitrary (small) job traces.
 
 use proptest::prelude::*;
+use rcr_cluster::faults::{FaultSpec, RecoveryPolicy};
 use rcr_cluster::job::Job;
 use rcr_cluster::sched::Policy;
 use rcr_cluster::sim::Simulator;
@@ -10,10 +11,10 @@ const NODES: usize = 16;
 
 fn job_strategy() -> impl Strategy<Value = Job> {
     (
-        0.0f64..500.0,       // submit
-        1usize..=NODES,      // nodes
-        1.0f64..200.0,       // runtime
-        1.0f64..=4.0,        // over-estimate factor
+        0.0f64..500.0,  // submit
+        1usize..=NODES, // nodes
+        1.0f64..200.0,  // runtime
+        1.0f64..=4.0,   // over-estimate factor
     )
         .prop_map(|(submit, nodes, runtime, over)| Job {
             id: 0, // reassigned below
@@ -32,6 +33,38 @@ fn trace_strategy() -> impl Strategy<Value = Vec<Job>> {
         }
         jobs
     })
+}
+
+/// Fault regimes from mild to brutal; paired with each recovery policy in
+/// the fault properties below.
+fn fault_strategy() -> impl Strategy<Value = FaultSpec> {
+    (
+        600.0f64..50_000.0, // node MTBF (s) — down to ten minutes
+        10.0f64..2_000.0,   // repair time (s)
+        0.0f64..0.3,        // per-attempt software fault probability
+        0u8..3,             // recovery policy selector
+        any::<u64>(),       // fault RNG seed
+    )
+        .prop_map(
+            |(node_mtbf, repair_time, job_failure_prob, which, seed)| FaultSpec {
+                node_mtbf,
+                repair_time,
+                job_failure_prob,
+                recovery: match which {
+                    0 => RecoveryPolicy::Resubmit {
+                        max_retries: 4,
+                        backoff_base: 60.0,
+                    },
+                    1 => RecoveryPolicy::Checkpoint {
+                        interval: 50.0,
+                        overhead: 2.0,
+                        max_retries: 6,
+                    },
+                    _ => RecoveryPolicy::Abandon,
+                },
+                seed,
+            },
+        )
 }
 
 proptest! {
@@ -98,10 +131,81 @@ proptest! {
     }
 
     #[test]
+    fn faulty_runs_conserve_jobs(trace in trace_strategy(), faults in fault_strategy()) {
+        // Every submitted job is resolved exactly once: completed or
+        // abandoned, never both, never lost.
+        for policy in Policy::ALL {
+            let out = Simulator::new(NODES, policy)
+                .with_faults(faults).expect("valid spec")
+                .run(trace.clone()).expect("runs");
+            prop_assert_eq!(
+                out.completed.len() + out.abandoned.len(),
+                trace.len(),
+                "{:?} under {}", policy, faults.recovery.name()
+            );
+            let mut ids: Vec<u64> = out.completed.iter().map(|c| c.job.id)
+                .chain(out.abandoned.iter().map(|a| a.job.id)).collect();
+            ids.sort_unstable();
+            let expect: Vec<u64> = (0..trace.len() as u64).collect();
+            prop_assert_eq!(ids, expect, "{:?}", policy);
+        }
+    }
+
+    #[test]
+    fn goodput_plus_badput_fits_in_the_cluster(trace in trace_strategy(), faults in fault_strategy()) {
+        // All accounted node-seconds — useful and wasted — must fit inside
+        // nodes × (horizon − first submit): the cluster cannot do more work
+        // than exists.
+        for policy in Policy::ALL {
+            let out = Simulator::new(NODES, policy)
+                .with_faults(faults).expect("valid spec")
+                .run(trace.clone()).expect("runs");
+            let r = out.resilience();
+            prop_assert!(r.goodput >= 0.0 && r.badput >= 0.0);
+            prop_assert!(r.wasted_fraction >= 0.0 && r.wasted_fraction <= 1.0);
+            let t0 = trace.iter().map(|j| j.submit).fold(f64::INFINITY, f64::min);
+            let horizon = out.completed.iter().map(|c| c.finish)
+                .chain(out.abandoned.iter().map(|a| a.abandoned_at))
+                .fold(t0, f64::max);
+            let capacity = NODES as f64 * (horizon - t0);
+            prop_assert!(
+                r.goodput + r.badput <= capacity + 1e-6,
+                "{:?}: {} + {} > {}", policy, r.goodput, r.badput, capacity
+            );
+        }
+    }
+
+    #[test]
+    fn event_times_stay_monotone_under_failures(trace in trace_strategy(), faults in fault_strategy()) {
+        // Per-job timelines must respect causality even when attempts are
+        // killed and requeued; the simulator's internal debug assertion on
+        // global event order also runs live in this (debug) build.
+        for policy in Policy::ALL {
+            let out = Simulator::new(NODES, policy)
+                .with_faults(faults).expect("valid spec")
+                .run(trace.clone()).expect("runs");
+            for c in &out.completed {
+                prop_assert!(c.start >= c.job.submit - 1e-9, "{:?}: {:?}", policy, c);
+                // `start` is the final attempt's launch, which under
+                // checkpointing only runs the remaining work — so only
+                // strict ordering is guaranteed, not start + runtime.
+                prop_assert!(c.finish > c.start, "{:?}: {:?}", policy, c);
+                prop_assert!(c.attempts >= 1);
+                prop_assert!(c.wasted_work >= 0.0);
+            }
+            for a in &out.abandoned {
+                prop_assert!(a.abandoned_at >= a.job.submit - 1e-9, "{:?}: {:?}", policy, a);
+                prop_assert!(a.attempts >= 1);
+                prop_assert!(a.wasted_work >= 0.0);
+            }
+        }
+    }
+
+    #[test]
     fn summaries_are_finite_and_bounded(trace in trace_strategy()) {
         for policy in Policy::ALL {
             let out = Simulator::new(NODES, policy).run(trace.clone()).expect("runs");
-            let s = out.summary();
+            let s = out.try_summary().expect("fault-free runs complete every job");
             prop_assert!(s.mean_wait.is_finite() && s.mean_wait >= 0.0);
             prop_assert!(s.mean_slowdown >= 1.0 - 1e-9);
             prop_assert!(s.utilization > 0.0 && s.utilization <= 1.0 + 1e-9);

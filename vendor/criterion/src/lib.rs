@@ -1,0 +1,194 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! keeps the workspace's `harness = false` bench targets compiling and
+//! running. It implements the subset of the criterion 0.5 API used here:
+//! `Criterion`, `benchmark_group` / `sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`, `Bencher::iter`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's statistical machinery it times a small fixed
+//! number of iterations and prints the median — enough to eyeball relative
+//! performance, and fast enough that `cargo test` (which also executes
+//! bench binaries) stays quick. All CLI arguments are accepted and ignored.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// How many timed iterations each benchmark runs.
+///
+/// Kept deliberately small: these stubs exist to smoke-test the bench
+/// targets and give rough numbers, not publishable statistics.
+const TIMED_ITERS: u32 = 3;
+
+/// Identifier for a parameterized benchmark, mirroring `criterion::BenchmarkId`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Benchmark named only by its parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// Benchmark named by a function name plus parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing harness handed to benchmark closures.
+pub struct Bencher {
+    last_ns: u128,
+}
+
+impl Bencher {
+    /// Time `f`, running it [`TIMED_ITERS`] times and recording the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut samples = Vec::with_capacity(TIMED_ITERS as usize);
+        for _ in 0..TIMED_ITERS {
+            let start = Instant::now();
+            let out = f();
+            samples.push(start.elapsed().as_nanos());
+            drop(out);
+        }
+        samples.sort_unstable();
+        self.last_ns = samples[samples.len() / 2];
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Accepted for API compatibility; the stub ignores sample counts.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub ignores throughput hints.
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { last_ns: 0 };
+        f(&mut b);
+        report(&self.name, &id.id, b.last_ns);
+        self
+    }
+
+    /// Run one benchmark that receives an input value.
+    pub fn bench_with_input<I, IN, F>(&mut self, id: I, input: &IN, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher, &IN),
+    {
+        let id = id.into();
+        let mut b = Bencher { last_ns: 0 };
+        f(&mut b, input);
+        report(&self.name, &id.id, b.last_ns);
+        self
+    }
+
+    /// Finish the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { last_ns: 0 };
+        f(&mut b);
+        report("", id, b.last_ns);
+        self
+    }
+}
+
+fn report(group: &str, id: &str, ns: u128) {
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    let pretty = if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    };
+    println!("bench {label:<50} {pretty}");
+}
+
+/// Opaque-value hint, re-exporting the std implementation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Define a benchmark group function from a list of `fn(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` running one or more benchmark groups.
+///
+/// CLI arguments (cargo passes `--bench`, test filters, etc.) are ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Swallow whatever arguments cargo test/bench passes.
+            let _ = std::env::args().count();
+            $( $group(); )+
+        }
+    };
+}

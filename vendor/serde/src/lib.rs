@@ -1,0 +1,578 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides a simplified data model that covers everything the workspace
+//! does with serde: derive `Serialize`/`Deserialize` on plain structs and
+//! enums (externally tagged), serialize to JSON via the companion
+//! `serde_json` stub, and round-trip back.
+//!
+//! Instead of upstream serde's visitor architecture, serialization goes
+//! through a single dynamic [`value::Value`] tree: `Serialize` produces a
+//! `Value`, `Deserialize` consumes one. That is dramatically simpler and is
+//! fully adequate here because both ends of every (de)serialization in this
+//! workspace are our own types with the default representation (no
+//! `#[serde(...)]` attributes are used anywhere).
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The dynamic data model every (de)serialization routes through.
+pub mod value {
+    use std::fmt;
+
+    /// A JSON-shaped dynamic value.
+    ///
+    /// Distinguishes unsigned/signed/float numbers so integer round-trips
+    /// are exact (mirroring `serde_json::Number`'s internal storage).
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// JSON `null`.
+        Null,
+        /// JSON boolean.
+        Bool(bool),
+        /// Non-negative integer.
+        UInt(u64),
+        /// Negative integer.
+        Int(i64),
+        /// Floating-point number (non-finite values serialize as `null`).
+        Float(f64),
+        /// JSON string.
+        Str(String),
+        /// JSON array.
+        Array(Vec<Value>),
+        /// JSON object; insertion-ordered pairs so serialized output is
+        /// deterministic and reflects struct field order.
+        Object(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Borrow as an array, if this is one.
+        pub fn as_array(&self) -> Option<&Vec<Value>> {
+            match self {
+                Value::Array(xs) => Some(xs),
+                _ => None,
+            }
+        }
+
+        /// Borrow as an object (ordered key/value pairs), if this is one.
+        pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+            match self {
+                Value::Object(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        /// Borrow as a string slice, if this is a string.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Numeric value widened to `f64`, if this is any number.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Value::UInt(n) => Some(*n as f64),
+                Value::Int(n) => Some(*n as f64),
+                Value::Float(x) => Some(*x),
+                _ => None,
+            }
+        }
+
+        /// Numeric value as `u64`, if representable.
+        pub fn as_u64(&self) -> Option<u64> {
+            match self {
+                Value::UInt(n) => Some(*n),
+                Value::Int(n) if *n >= 0 => Some(*n as u64),
+                _ => None,
+            }
+        }
+
+        /// Numeric value as `i64`, if representable.
+        pub fn as_i64(&self) -> Option<i64> {
+            match self {
+                Value::UInt(n) if *n <= i64::MAX as u64 => Some(*n as i64),
+                Value::Int(n) => Some(*n),
+                _ => None,
+            }
+        }
+
+        /// Whether this is any kind of number.
+        pub fn is_number(&self) -> bool {
+            matches!(self, Value::UInt(_) | Value::Int(_) | Value::Float(_))
+        }
+
+        /// Whether this is a string.
+        pub fn is_string(&self) -> bool {
+            matches!(self, Value::Str(_))
+        }
+
+        /// Whether this is `null`.
+        pub fn is_null(&self) -> bool {
+            matches!(self, Value::Null)
+        }
+
+        /// Object field lookup by key (linear scan; objects here are small).
+        pub fn get(&self, key: &str) -> Option<&Value> {
+            match self {
+                Value::Object(fields) => {
+                    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+                }
+                _ => None,
+            }
+        }
+
+        /// Array element lookup by index.
+        pub fn get_index(&self, idx: usize) -> Option<&Value> {
+            match self {
+                Value::Array(xs) => xs.get(idx),
+                _ => None,
+            }
+        }
+    }
+
+    /// Look up `key` in an ordered field list (helper for derived code).
+    pub fn get_field<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    impl std::ops::Index<&str> for Value {
+        type Output = Value;
+        fn index(&self, key: &str) -> &Value {
+            static NULL: Value = Value::Null;
+            self.get(key).unwrap_or(&NULL)
+        }
+    }
+
+    impl std::ops::Index<usize> for Value {
+        type Output = Value;
+        fn index(&self, idx: usize) -> &Value {
+            static NULL: Value = Value::Null;
+            self.get_index(idx).unwrap_or(&NULL)
+        }
+    }
+
+    /// Compact JSON rendering (used by `format!("{v}")` in test messages).
+    impl fmt::Display for Value {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let mut out = String::new();
+            write_json(self, &mut out, None, 0);
+            f.write_str(&out)
+        }
+    }
+
+    /// Render `v` as JSON into `out`. `indent = Some(width)` pretty-prints.
+    pub fn write_json(v: &Value, out: &mut String, indent: Option<usize>, level: usize) {
+        match v {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::UInt(n) => out.push_str(&n.to_string()),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::Float(x) => {
+                if x.is_finite() {
+                    // Rust's shortest round-trip formatting; integral floats
+                    // print without a fraction, which our own parser reads
+                    // back as an integer and `Deserialize for f64` accepts.
+                    out.push_str(&x.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_json_string(s, out),
+            Value::Array(xs) => {
+                if xs.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, x) in xs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_json(x, out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, x)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    newline_indent(out, indent, level + 1);
+                    write_json_string(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_json(x, out, indent, level + 1);
+                }
+                newline_indent(out, indent, level);
+                out.push('}');
+            }
+        }
+    }
+
+    fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * level {
+                out.push(' ');
+            }
+        }
+    }
+
+    fn write_json_string(s: &str, out: &mut String) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                '\u{08}' => out.push_str("\\b"),
+                '\u{0C}' => out.push_str("\\f"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+}
+
+use value::Value;
+
+/// Deserialization error: a human-readable description of the mismatch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Construct from any message.
+    pub fn new<S: Into<String>>(msg: S) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into the dynamic [`Value`] model.
+pub trait Serialize {
+    /// Produce the `Value` representation.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from the dynamic [`Value`] model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a `Value`, reporting shape mismatches as [`DeError`].
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------- primitives
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!("expected bool, got {other}"))),
+        }
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| DeError::new(format!("expected unsigned integer, got {v}")))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::UInt(n as u64)
+                } else {
+                    Value::Int(n)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::new(format!("expected integer, got {v}")))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DeError::new(format!("integer {n} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                v.as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| DeError::new(format!("expected number, got {v}")))
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new(format!("expected string, got {v}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// --------------------------------------------------------------- containers
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {v}")))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let xs = v
+            .as_array()
+            .ok_or_else(|| DeError::new(format!("expected array, got {v}")))?;
+        if xs.len() != N {
+            return Err(DeError::new(format!(
+                "expected array of {N}, got {} elements",
+                xs.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (slot, x) in out.iter_mut().zip(xs) {
+            *slot = T::from_value(x)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::new(format!("expected object, got {v}")))?
+            .iter()
+            .map(|(k, x)| Ok((k.clone(), V::from_value(x)?)))
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let xs = v
+                    .as_array()
+                    .ok_or_else(|| DeError::new(format!("expected tuple array, got {v}")))?;
+                let expected = [$($idx),+].len();
+                if xs.len() != expected {
+                    return Err(DeError::new(format!(
+                        "expected tuple of {expected}, got {} elements",
+                        xs.len()
+                    )));
+                }
+                Ok(($($name::from_value(&xs[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::value::Value;
+    use super::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+    }
+
+    #[test]
+    fn integral_floats_survive_via_uint() {
+        // 3.0 prints as "3"; deserializing f64 from UInt must work.
+        let v = Value::UInt(3);
+        assert_eq!(f64::from_value(&v).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let xs = vec![(1.0f64, 2.0f64), (3.0, 4.0)];
+        let back: Vec<(f64, f64)> = Vec::from_value(&xs.to_value()).unwrap();
+        assert_eq!(back, xs);
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        m.insert("b".to_string(), 2u64);
+        let back: BTreeMap<String, u64> = BTreeMap::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn type_mismatches_error() {
+        assert!(u64::from_value(&Value::Str("x".into())).is_err());
+        assert!(String::from_value(&Value::UInt(1)).is_err());
+        assert!(bool::from_value(&Value::Null).is_err());
+        assert!(<Vec<u64>>::from_value(&Value::Bool(true)).is_err());
+    }
+}

@@ -1,0 +1,429 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the vendored `serde` crate's `Value`-based model. Because the upstream
+//! `syn`/`quote` crates are unavailable offline, the item is parsed with a
+//! small hand-rolled walk over `proc_macro::TokenStream` and the impl is
+//! emitted by string construction.
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! * structs with named fields (externally: a JSON object in field order);
+//! * enums with unit variants (a JSON string), newtype/tuple variants
+//!   (`{"Variant": value}` / `{"Variant": [v0, v1, ...]}`), and struct
+//!   variants (`{"Variant": {"field": ...}}`) — serde's externally-tagged
+//!   default.
+//!
+//! Generics, tuple structs, and `#[serde(...)]` attributes are not
+//! supported and produce a compile error rather than wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What a derive input parsed into.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derive `serde::Serialize` for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize` for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().unwrap(),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ------------------------------------------------------------------ parsing
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => return Err(format!("derive: expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("derive: expected type name, got {other:?}")),
+    };
+    i += 1;
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive on `{name}`: generic types are not supported by the vendored serde_derive"
+        ));
+    }
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            return Err(format!(
+                "derive on `{name}`: tuple structs are not supported by the vendored serde_derive"
+            ));
+        }
+        other => return Err(format!("derive on `{name}`: expected a braced body, got {other:?}")),
+    };
+
+    if kind == "struct" {
+        Ok(Item::Struct {
+            name,
+            fields: parse_named_fields(body)?,
+        })
+    } else {
+        Ok(Item::Enum {
+            name,
+            variants: parse_variants(body)?,
+        })
+    }
+}
+
+/// Skip any leading `#[...]` attributes and a `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // '#' + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` from a brace group's stream, returning the names.
+///
+/// Types are skipped with angle-bracket depth tracking so commas inside
+/// `BTreeMap<String, Answer>` do not split fields.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let fname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{fname}`, got {other:?}")),
+        }
+        // Skip the type up to a top-level comma.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(fname);
+    }
+    Ok(fields)
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_elems(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => Shape::Unit,
+        };
+        // Skip an optional discriminant `= expr` and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name: vname, shape });
+    }
+    Ok(variants)
+}
+
+/// Count top-level comma-separated types inside a tuple variant's parens.
+fn count_tuple_elems(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing_comma = true;
+                continue;
+            }
+            _ => {}
+        }
+        trailing_comma = false;
+    }
+    if trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+// --------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "fields.push(({f:?}.to_string(), \
+                     ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         let mut fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::value::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\
+                         ::serde::value::Value::Object(fields)\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::value::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(ref __f0) => ::serde::value::Value::Object(vec![\
+                         ({vn:?}.to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("ref __f{k}")).collect();
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Serialize::to_value(__f{k})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::value::Value::Object(vec![\
+                             ({vn:?}.to_string(), ::serde::value::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| format!("ref {f}")).collect();
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::value::Value::Object(vec![\
+                             ({vn:?}.to_string(), ::serde::value::Value::Object(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pairs.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::value::Value {{\n\
+                         match *self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::value::get_field(obj, {f:?}).ok_or_else(|| \
+                         ::serde::DeError::new(concat!(\"missing field `\", {f:?}, \
+                         \"` in {name}\")))?)?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\
+                             concat!(\"expected object for struct \", {name:?})))?;\n\
+                         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{vn:?} => return ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vn:?} => return ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!(
+                                    "::serde::Deserialize::from_value(xs.get({k}).ok_or_else(|| \
+                                     ::serde::DeError::new(\"short tuple variant\"))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                                 let xs = inner.as_array().ok_or_else(|| \
+                                     ::serde::DeError::new(\"expected array for tuple variant\"))?;\n\
+                                 return ::std::result::Result::Ok({name}::{vn}({}));\n\
+                             }}\n",
+                            elems.join(", ")
+                        ));
+                    }
+                    Shape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::value::get_field(obj, {f:?}).ok_or_else(|| \
+                                     ::serde::DeError::new(concat!(\"missing field `\", {f:?}, \
+                                     \"` in variant {vn}\")))?)?"
+                                )
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vn:?} => {{\n\
+                                 let obj = inner.as_object().ok_or_else(|| \
+                                     ::serde::DeError::new(\"expected object for struct variant\"))?;\n\
+                                 return ::std::result::Result::Ok({name}::{vn} {{ {} }});\n\
+                             }}\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::value::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::std::option::Option::Some(tag) = v.as_str() {{\n\
+                             match tag {{\n{unit_arms}\
+                                 other => return ::std::result::Result::Err(\
+                                     ::serde::DeError::new(format!(\
+                                     \"unknown unit variant `{{other}}` for {name}\"))),\n\
+                             }}\n\
+                         }}\n\
+                         let obj = v.as_object().ok_or_else(|| ::serde::DeError::new(\
+                             concat!(\"expected string or single-key object for enum \", \
+                             {name:?})))?;\n\
+                         if obj.len() != 1 {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::new(\
+                                 concat!(\"expected single-key object for enum \", {name:?})));\n\
+                         }}\n\
+                         let (tag, inner) = (&obj[0].0, &obj[0].1);\n\
+                         match tag.as_str() {{\n{tagged_arms}\
+                             other => ::std::result::Result::Err(::serde::DeError::new(\
+                                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n"
+            )
+        }
+    }
+}
