@@ -1,0 +1,34 @@
+//! E15 (Table 8): linter throughput — full-study time, plus the per-stage
+//! cost of linting one corpus script against simply parsing it (the study's
+//! overhead is the analysis, not the frontend).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::experiments::Experiments;
+use rcr_core::lintstudy::generate_script;
+use rcr_core::MASTER_SEED;
+use rcr_minilang::{lint, parser};
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let study = ex.e15_lint_detection(24).expect("E15 runs");
+    println!("{}", render::e15_table(&study).render_ascii());
+    assert!(render::e15_figure(&study).contains("</svg>"));
+
+    let script = generate_script(MASTER_SEED, 0, None);
+    let program = parser::parse(&script).expect("corpus script parses");
+
+    let mut g = c.benchmark_group("e15_lint");
+    g.sample_size(20);
+    g.bench_function("parse_one_script", |b| {
+        b.iter(|| parser::parse(&script).expect("parses"))
+    });
+    g.bench_function("lint_one_script", |b| b.iter(|| lint::lint(&program)));
+    g.bench_function("full_study_8_per_class", |b| {
+        b.iter(|| ex.e15_lint_detection(8).expect("study runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--quick] [--out DIR]
 //!
-//!   EXPERIMENT   e1..e14 (default: all)
+//!   EXPERIMENT   e1..e15 (default: all)
 //!   --quick      reduced sizes for the timing experiments (CI-friendly)
 //!   --out DIR    write tables (.txt/.csv) and figures (.svg) to DIR
 //!                (default: print tables to stdout only)
@@ -39,7 +39,7 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--help" | "-h" => {
-                return Err("usage: reproduce [e1..e14 ...] [--quick] [--out DIR]".to_owned())
+                return Err("usage: reproduce [e1..e15 ...] [--quick] [--out DIR]".to_owned())
             }
             e if e.starts_with('e') || e.starts_with('E') => {
                 which.push(e.to_lowercase());
@@ -127,7 +127,7 @@ fn main() {
         match info {
             Some(i) => println!("== {} ({}): {} ==\n", i.id, i.artifact, i.title),
             None => {
-                eprintln!("unknown experiment `{id}` (expected e1..e14)");
+                eprintln!("unknown experiment `{id}` (expected e1..e15)");
                 std::process::exit(2);
             }
         }
@@ -244,6 +244,12 @@ fn run_one(
             emit.table("e14", "resilience", &render::e14_table(&pts));
             emit.figure("e14", "resilience", &render::e14_figure(&pts));
             emit.json("e14", "resilience", &pts);
+        }
+        "e15" => {
+            let study = ex.e15_lint_detection(24)?;
+            emit.table("e15", "lint_detection", &render::e15_table(&study));
+            emit.figure("e15", "lint_detection", &render::e15_figure(&study));
+            emit.json("e15", "lint_detection", &study);
         }
         other => unreachable!("validated above: {other}"),
     }

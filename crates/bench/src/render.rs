@@ -2,6 +2,7 @@
 
 use rcr_core::compare::{DistributionShift, FieldAdoption, ItemShift, LikertShift};
 use rcr_core::experiments::{Demographics, LoadPoint, PolicyOutcome, ResiliencePoint};
+use rcr_core::lintstudy::LintStudy;
 use rcr_core::perfgap::{KernelGap, ScalingCurve};
 use rcr_core::trend::LanguageTrend;
 use rcr_report::fmt;
@@ -452,6 +453,56 @@ pub fn e14_table(points: &[ResiliencePoint]) -> Table {
     t
 }
 
+/// E15: per-class detection-rate bars for the defect-injection study.
+pub fn e15_figure(study: &LintStudy) -> String {
+    let labels: Vec<String> = study
+        .classes
+        .iter()
+        .map(|c| format!("{} [{}]", c.class, c.expected_code))
+        .collect();
+    let groups: Vec<(&str, Vec<f64>)> = study
+        .classes
+        .iter()
+        .zip(&labels)
+        .map(|(c, l)| (l.as_str(), vec![c.detection_rate * 100.0]))
+        .collect();
+    svg::bar_chart(
+        "Table 8 figure: lint detection rate by injected defect class",
+        "detection rate (%)",
+        &["detected"],
+        &groups,
+        false,
+    )
+}
+
+/// E15: Table 8 — detection per defect class plus the false-positive probe.
+pub fn e15_table(study: &LintStudy) -> Table {
+    let mut t = Table::new([
+        "defect class",
+        "expected",
+        "mutants",
+        "detected",
+        "rate",
+        "diags/mutant",
+    ])
+    .title(format!(
+        "Table 8: static-analysis detection of seeded defects \
+         (clean corpus: {} scripts, {} false positives)",
+        study.n_clean, study.clean_with_findings
+    ));
+    for c in &study.classes {
+        t.row([
+            c.class.clone(),
+            c.expected_code.clone(),
+            c.n.to_string(),
+            c.detected.to_string(),
+            fmt::pct(c.detection_rate),
+            format!("{:.1}", c.mean_diagnostics),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -508,6 +559,18 @@ mod tests {
 
         let f = e12_figure(&e.e12_pain_points().unwrap());
         assert!(f.contains("debugging"));
+    }
+
+    #[test]
+    fn lint_study_outputs_render() {
+        let study = ex().e15_lint_detection(8).unwrap();
+        let fig = e15_figure(&study);
+        assert!(fig.contains("<svg") && fig.contains("W001"));
+        let t = e15_table(&study);
+        assert_eq!(t.n_rows(), 5);
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("dropped initialization") && ascii.contains("W006"));
+        assert!(ascii.contains("0 false positives"));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The experiment registry: one driver per table/figure (E1–E14), all
+//! The experiment registry: one driver per table/figure (E1–E15), all
 //! deterministic from one master seed. `DESIGN.md` §4 is the index; the
 //! `reproduce` binary and the Criterion benches both call these drivers.
 
@@ -17,6 +17,7 @@ use crate::compare::{
     compare_likert_battery, compare_multi_choice, distribution_shift, gpu_by_field,
     DistributionShift, FieldAdoption, ItemShift, LikertShift,
 };
+use crate::lintstudy::{run_study, LintStudy};
 use crate::perfgap::{measure_gaps, measure_scaling, GapConfig, KernelGap, ScalingCurve};
 use crate::questionnaire as q;
 use crate::trend::{language_trends, LanguageTrend};
@@ -34,7 +35,7 @@ pub struct ExperimentInfo {
 }
 
 /// The experiment index (matches `DESIGN.md` §4).
-pub const INDEX: [ExperimentInfo; 14] = [
+pub const INDEX: [ExperimentInfo; 15] = [
     ExperimentInfo {
         id: "E1",
         artifact: "Table 1",
@@ -104,6 +105,11 @@ pub const INDEX: [ExperimentInfo; 14] = [
         id: "E14",
         artifact: "Figure 7",
         title: "Resilience: goodput and wasted work vs node MTBF",
+    },
+    ExperimentInfo {
+        id: "E15",
+        artifact: "Table 8",
+        title: "Static-analysis defect detection (seeded injection)",
     },
 ];
 
@@ -470,6 +476,17 @@ impl Experiments {
         }
         Ok(out)
     }
+
+    /// E15: the seeded defect-injection study — per-class detection rates
+    /// of the `rsc --check` analyzer, plus the false-positive probe on the
+    /// unmutated corpus.
+    ///
+    /// # Errors
+    /// Script errors when a generated clean script fails to parse, lint
+    /// non-silent, or fails to run.
+    pub fn e15_lint_detection(&self, n_per_class: usize) -> Result<LintStudy> {
+        run_study(self.seed, n_per_class)
+    }
 }
 
 #[cfg(test)]
@@ -482,15 +499,32 @@ mod tests {
     }
 
     #[test]
-    fn index_lists_fourteen_unique_ids() {
+    fn index_lists_fifteen_unique_ids() {
         let mut ids: Vec<&str> = INDEX.iter().map(|i| i.id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 14);
+        assert_eq!(ids.len(), 15);
         assert_eq!(INDEX[0].id, "E1");
         assert_eq!(INDEX[11].artifact, "Figure 6");
         assert_eq!(INDEX[12].id, "E13");
         assert_eq!(INDEX[13].id, "E14");
         assert_eq!(INDEX[13].artifact, "Figure 7");
+        assert_eq!(INDEX[14].id, "E15");
+        assert_eq!(INDEX[14].artifact, "Table 8");
+    }
+
+    #[test]
+    fn e15_detects_structural_defects_with_no_false_positives() {
+        let study = ex().e15_lint_detection(10).unwrap();
+        assert_eq!(study.clean_with_findings, 0);
+        assert_eq!(study.classes.len(), 5);
+        for c in &study.classes {
+            assert!(
+                c.detection_rate > 0.5,
+                "{}: detection rate {} too low",
+                c.class,
+                c.detection_rate
+            );
+        }
     }
 
     #[test]

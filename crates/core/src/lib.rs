@@ -12,7 +12,9 @@
 //! * [`perfgap`] — the performance study: the same kernels run as
 //!   ResearchScript (tree-walk → bytecode → vectorized) and as native Rust
 //!   (naive → optimized → parallel), plus thread-scaling with Amdahl fits;
-//! * [`experiments`] — the registry mapping experiment ids E1–E12 to
+//! * [`lintstudy`] — the defect-injection study: seeded mutants of a clean
+//!   script corpus scored against the `rsc --check` static analyzer;
+//! * [`experiments`] — the registry mapping experiment ids E1–E15 to
 //!   drivers that regenerate each table and figure (see `DESIGN.md` §4).
 //!
 //! ```
@@ -29,6 +31,7 @@
 
 pub mod compare;
 pub mod experiments;
+pub mod lintstudy;
 pub mod perfgap;
 pub mod trend;
 

@@ -149,6 +149,20 @@ fn matmul_script(n: usize) -> String {
     )
 }
 
+/// Every ResearchScript kernel the performance study executes, labeled with
+/// kernel and variant, at audit-friendly sizes — exposed so the lint gate
+/// can assert the study's own scripts are diagnostic-free.
+pub fn study_scripts() -> Vec<(String, String)> {
+    vec![
+        ("dot".to_owned(), dot_script(64, false)),
+        ("dot-vectorized".to_owned(), dot_script(64, true)),
+        ("saxpy".to_owned(), saxpy_script(64, false)),
+        ("saxpy-vectorized".to_owned(), saxpy_script(64, true)),
+        ("mcpi".to_owned(), mcpi_script(1000)),
+        ("matmul".to_owned(), matmul_script(8)),
+    ]
+}
+
 // ---- native reference data matching the scripts ------------------------
 
 fn script_vec_a(n: usize) -> Vec<f64> {

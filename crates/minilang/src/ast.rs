@@ -1,4 +1,9 @@
 //! Abstract syntax tree of ResearchScript.
+//!
+//! Every expression and statement carries the 1-based source line it
+//! started on ([`Expr::line`] / [`Stmt::line`]), threaded through from
+//! [`crate::lexer::Token::line`] by the parser. Runtime errors and the
+//! static analyzer ([`crate::lint`]) anchor their messages on these spans.
 
 use std::rc::Rc;
 
@@ -38,9 +43,25 @@ pub enum UnOp {
     Not,
 }
 
-/// Expressions.
+/// An expression: a shape ([`ExprKind`]) plus the source line it starts on.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Expr {
+pub struct Expr {
+    /// What the expression is.
+    pub kind: ExprKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Expr {
+    /// Builds an expression at a source line.
+    pub fn new(kind: ExprKind, line: u32) -> Self {
+        Expr { kind, line }
+    }
+}
+
+/// Expression shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
     /// Numeric literal.
     Num(f64),
     /// String literal.
@@ -79,8 +100,6 @@ pub enum Expr {
         name: String,
         /// Arguments.
         args: Vec<Expr>,
-        /// Source line of the call (for error messages).
-        line: u32,
     },
     /// Indexing `base[index]`.
     Index {
@@ -94,9 +113,25 @@ pub enum Expr {
 /// A block of statements.
 pub type Block = Vec<Stmt>;
 
-/// Statements.
+/// A statement: a shape ([`StmtKind`]) plus the source line it starts on.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Stmt {
+pub struct Stmt {
+    /// What the statement is.
+    pub kind: StmtKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl Stmt {
+    /// Builds a statement at a source line.
+    pub fn new(kind: StmtKind, line: u32) -> Self {
+        Stmt { kind, line }
+    }
+}
+
+/// Statement shapes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
     /// `let name = expr;`
     Let {
         /// Variable name.
@@ -189,21 +224,36 @@ mod tests {
 
     #[test]
     fn ast_nodes_construct_and_compare() {
-        let e = Expr::Bin {
-            op: BinOp::Add,
-            lhs: Box::new(Expr::Num(1.0)),
-            rhs: Box::new(Expr::Var("x".into())),
-        };
+        let e = Expr::new(
+            ExprKind::Bin {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::new(ExprKind::Num(1.0), 1)),
+                rhs: Box::new(Expr::new(ExprKind::Var("x".into()), 1)),
+            },
+            1,
+        );
         assert_eq!(
             e,
-            Expr::Bin {
-                op: BinOp::Add,
-                lhs: Box::new(Expr::Num(1.0)),
-                rhs: Box::new(Expr::Var("x".into())),
-            }
+            Expr::new(
+                ExprKind::Bin {
+                    op: BinOp::Add,
+                    lhs: Box::new(Expr::new(ExprKind::Num(1.0), 1)),
+                    rhs: Box::new(Expr::new(ExprKind::Var("x".into()), 1)),
+                },
+                1,
+            )
         );
+        assert_eq!(e.line, 1);
         let p = Program::default();
         assert!(p.functions.is_empty());
         assert!(p.main.is_empty());
+    }
+
+    #[test]
+    fn spans_distinguish_otherwise_equal_nodes() {
+        let a = Expr::new(ExprKind::Num(1.0), 1);
+        let b = Expr::new(ExprKind::Num(1.0), 2);
+        assert_ne!(a, b, "lines are part of node identity");
+        assert_eq!(a.kind, b.kind, "shapes still compare");
     }
 }

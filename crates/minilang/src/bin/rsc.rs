@@ -4,6 +4,8 @@
 //! rsc [OPTIONS] FILE.rsc        run a script file
 //! rsc [OPTIONS] -e 'EXPR'       evaluate a one-liner
 //!
+//!   --check       lint instead of running; print `file:line: warning[Wnnn]: …`
+//!                 and exit non-zero iff there are findings
 //!   --interp      use the tree-walking interpreter (default: bytecode VM)
 //!   --no-opt      skip the constant-folding optimizer (VM mode only)
 //!   --disasm      print the compiled bytecode instead of running
@@ -16,10 +18,11 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use rcr_minilang::{bytecode, disasm, interp::Interpreter, optimize, parser, vm::Vm, Value};
+use rcr_minilang::{bytecode, disasm, interp::Interpreter, lint, optimize, parser, vm::Vm, Value};
 
 struct Args {
     source: Source,
+    check: bool,
     interp: bool,
     optimize: bool,
     disasm: bool,
@@ -32,11 +35,12 @@ enum Source {
 }
 
 fn usage() -> &'static str {
-    "usage: rsc [--interp] [--no-opt] [--disasm] [--time] (FILE.rsc | -e 'EXPR')"
+    "usage: rsc [--check] [--interp] [--no-opt] [--disasm] [--time] (FILE.rsc | -e 'EXPR')"
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut source = None;
+    let mut check = false;
     let mut interp = false;
     let mut optimize = true;
     let mut disasm = false;
@@ -44,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--check" => check = true,
             "--interp" => interp = true,
             "--no-opt" => optimize = false,
             "--disasm" => disasm = true,
@@ -64,6 +69,7 @@ fn parse_args() -> Result<Args, String> {
     let source = source.ok_or_else(|| usage().to_owned())?;
     Ok(Args {
         source,
+        check,
         interp,
         optimize,
         disasm,
@@ -97,6 +103,30 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+
+    if args.check {
+        // Lint the un-optimized program: the analyses fold constants where
+        // they need to, and must see the code the author wrote.
+        let label = match &args.source {
+            Source::File(path) => path.as_str(),
+            Source::Inline(_) => "<inline>",
+        };
+        let diags = lint::lint(&program);
+        for d in &diags {
+            println!(
+                "{label}:{}: warning[{}]: {}",
+                d.line,
+                d.code.id(),
+                d.message
+            );
+        }
+        return if diags.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
     let program = if args.optimize {
         optimize::optimize(&program)
     } else {

@@ -39,6 +39,20 @@ pub const NAMES: [&str; 14] = [
     "vaxpy", "vscale",
 ];
 
+/// Static arity of a builtin, for compile-time and lint-time checking.
+///
+/// Returns `None` when `name` is not a builtin, `Some(None)` for variadic
+/// builtins (`print`), and `Some(Some(n))` for fixed-arity ones.
+pub fn arity_of(name: &str) -> Option<Option<usize>> {
+    Some(match name {
+        "print" => None,
+        "len" | "sqrt" | "abs" | "floor" | "zeros" | "vsum" => Some(1),
+        "push" | "min" | "max" | "fill" | "vdot" | "vscale" => Some(2),
+        "vaxpy" => Some(3),
+        _ => return None,
+    })
+}
+
 fn arity(name: &str, args: &[Value], want: usize) -> Result<()> {
     if args.len() == want {
         Ok(())
@@ -224,6 +238,34 @@ mod tests {
             lookup("range").is_none(),
             "`range` is syntax, not a builtin"
         );
+    }
+
+    #[test]
+    fn arity_table_covers_exactly_the_builtins() {
+        for n in NAMES {
+            assert!(arity_of(n).is_some(), "missing arity for builtin {n}");
+        }
+        assert_eq!(arity_of("nope"), None);
+        assert_eq!(arity_of("print"), Some(None), "print is variadic");
+        // Spot-check fixed arities against the runtime checks.
+        assert_eq!(arity_of("len"), Some(Some(1)));
+        assert_eq!(arity_of("push"), Some(Some(2)));
+        assert_eq!(arity_of("vaxpy"), Some(Some(3)));
+        // Every fixed arity agrees with the runtime enforcement.
+        let probe = [Value::Nil, Value::Nil, Value::Nil, Value::Nil];
+        for n in NAMES {
+            if let Some(Some(want)) = arity_of(n) {
+                let f = lookup(n).unwrap();
+                let wrong = &probe[..(want + 1).min(probe.len())];
+                if wrong.len() != want {
+                    let err = f(wrong).unwrap_err().to_string();
+                    assert!(
+                        err.contains(&format!("expects {want} argument")),
+                        "{n}: runtime arity disagrees: {err}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

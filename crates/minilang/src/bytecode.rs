@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use crate::ast::{BinOp, Block, Expr, FnDef, Program, Stmt, UnOp};
+use crate::ast::{BinOp, Block, Expr, ExprKind, FnDef, Program, Stmt, StmtKind, UnOp};
 use crate::builtins;
 use crate::error::{Error, Result};
 use crate::value::Value;
@@ -73,6 +73,10 @@ pub struct CompiledFn {
     pub n_slots: u16,
     /// Instructions.
     pub code: Vec<Op>,
+    /// Source line of each instruction, parallel to [`CompiledFn::code`]
+    /// (`0` for synthesized code such as the implicit final return). The VM
+    /// uses this to attach lines to runtime errors.
+    pub lines: Vec<u32>,
     /// Constant pool.
     pub consts: Vec<Value>,
 }
@@ -121,6 +125,7 @@ pub fn compile(program: &Program) -> Result<Compiled> {
     };
     let mut main = Compiler::new(&main_def, &fn_indices, true);
     main.block_flat(&program.main)?;
+    main.line = 0; // synthesized return carries no source line
     main.emit(Op::RetNil);
     funcs.push(main.finish());
     let main_idx = funcs.len() - 1;
@@ -133,6 +138,7 @@ pub fn compile(program: &Program) -> Result<Compiled> {
 fn compile_fn(f: &FnDef, fns: &HashMap<&str, (usize, usize)>) -> Result<CompiledFn> {
     let mut c = Compiler::new(f, fns, false);
     c.block_flat(&f.body)?;
+    c.line = 0; // synthesized return carries no source line
     c.emit(Op::RetNil);
     Ok(c.finish())
 }
@@ -154,6 +160,7 @@ struct Compiler<'a> {
     scope_starts: Vec<usize>,
     next_slot: u16,
     code: Vec<Op>,
+    lines: Vec<u32>,
     consts: Vec<Value>,
     loops: Vec<LoopCtx>,
     is_main: bool,
@@ -170,6 +177,7 @@ impl<'a> Compiler<'a> {
             scope_starts: Vec::new(),
             next_slot: 0,
             code: Vec::new(),
+            lines: Vec::new(),
             consts: Vec::new(),
             loops: Vec::new(),
             is_main,
@@ -189,12 +197,14 @@ impl<'a> Compiler<'a> {
             arity: self.arity,
             n_slots: self.next_slot,
             code: self.code,
+            lines: self.lines,
             consts: self.consts,
         }
     }
 
     fn emit(&mut self, op: Op) -> usize {
         self.code.push(op);
+        self.lines.push(self.line);
         self.code.len() - 1
     }
 
@@ -261,14 +271,16 @@ impl<'a> Compiler<'a> {
     }
 
     fn stmt(&mut self, stmt: &Stmt) -> Result<()> {
-        match stmt {
-            Stmt::Let { name, init } => {
+        self.line = stmt.line;
+        let line = stmt.line;
+        match &stmt.kind {
+            StmtKind::Let { name, init } => {
                 self.expr(init)?;
                 let slot = self.declare(name.clone());
                 self.emit(Op::StoreLocal(slot));
                 Ok(())
             }
-            Stmt::Assign { name, value } => {
+            StmtKind::Assign { name, value } => {
                 let Some(slot) = self.resolve(name) else {
                     return Err(Error::compile(
                         format!("assignment to undefined variable `{name}`"),
@@ -279,19 +291,20 @@ impl<'a> Compiler<'a> {
                 self.emit(Op::StoreLocal(slot));
                 Ok(())
             }
-            Stmt::IndexAssign { base, index, value } => {
+            StmtKind::IndexAssign { base, index, value } => {
                 self.expr(base)?;
                 self.expr(index)?;
                 self.expr(value)?;
+                self.line = line;
                 self.emit(Op::IndexSet);
                 Ok(())
             }
-            Stmt::Expr(e) => {
+            StmtKind::Expr(e) => {
                 self.expr(e)?;
                 self.emit(if self.is_main { Op::SetResult } else { Op::Pop });
                 Ok(())
             }
-            Stmt::If {
+            StmtKind::If {
                 cond,
                 then_block,
                 else_block,
@@ -312,7 +325,7 @@ impl<'a> Compiler<'a> {
                 }
                 Ok(())
             }
-            Stmt::While { cond, body } => {
+            StmtKind::While { cond, body } => {
                 let top = self.here();
                 self.expr(cond)?;
                 let jf = self.emit(Op::JumpIfFalse(0));
@@ -330,7 +343,7 @@ impl<'a> Compiler<'a> {
                 }
                 Ok(())
             }
-            Stmt::ForRange {
+            StmtKind::ForRange {
                 var,
                 start,
                 end,
@@ -384,7 +397,7 @@ impl<'a> Compiler<'a> {
                 self.pop_scope();
                 Ok(())
             }
-            Stmt::Return(value) => {
+            StmtKind::Return(value) => {
                 match value {
                     Some(e) => {
                         self.expr(e)?;
@@ -396,7 +409,7 @@ impl<'a> Compiler<'a> {
                 }
                 Ok(())
             }
-            Stmt::Break => {
+            StmtKind::Break => {
                 if self.loops.is_empty() {
                     return Err(Error::compile("`break` outside a loop", self.line));
                 }
@@ -408,7 +421,7 @@ impl<'a> Compiler<'a> {
                     .push(j);
                 Ok(())
             }
-            Stmt::Continue => {
+            StmtKind::Continue => {
                 let Some(ctx) = self.loops.last() else {
                     return Err(Error::compile("`continue` outside a loop", self.line));
                 };
@@ -424,30 +437,32 @@ impl<'a> Compiler<'a> {
                 }
                 Ok(())
             }
-            Stmt::Block(b) => self.block_scoped(b),
+            StmtKind::Block(b) => self.block_scoped(b),
         }
     }
 
     fn expr(&mut self, e: &Expr) -> Result<()> {
-        match e {
-            Expr::Num(n) => {
+        self.line = e.line;
+        let line = e.line;
+        match &e.kind {
+            ExprKind::Num(n) => {
                 let c = self.constant(Value::Num(*n))?;
                 self.emit(Op::Const(c));
             }
-            Expr::Str(s) => {
+            ExprKind::Str(s) => {
                 let c = self.constant(Value::str(s))?;
                 self.emit(Op::Const(c));
             }
-            Expr::Bool(true) => {
+            ExprKind::Bool(true) => {
                 self.emit(Op::True);
             }
-            Expr::Bool(false) => {
+            ExprKind::Bool(false) => {
                 self.emit(Op::False);
             }
-            Expr::Nil => {
+            ExprKind::Nil => {
                 self.emit(Op::Nil);
             }
-            Expr::Var(name) => {
+            ExprKind::Var(name) => {
                 let Some(slot) = self.resolve(name) else {
                     return Err(Error::compile(
                         format!("undefined variable `{name}`"),
@@ -456,7 +471,7 @@ impl<'a> Compiler<'a> {
                 };
                 self.emit(Op::LoadLocal(slot));
             }
-            Expr::Array(elems) => {
+            ExprKind::Array(elems) => {
                 if elems.len() > u16::MAX as usize {
                     return Err(Error::compile("array literal too large", self.line));
                 }
@@ -465,12 +480,13 @@ impl<'a> Compiler<'a> {
                 }
                 self.emit(Op::MakeArray(elems.len() as u16));
             }
-            Expr::Bin { op, lhs, rhs } => {
+            ExprKind::Bin { op, lhs, rhs } => {
                 self.expr(lhs)?;
                 self.expr(rhs)?;
+                self.line = line;
                 self.emit(Op::Bin(*op));
             }
-            Expr::And(l, r) => {
+            ExprKind::And(l, r) => {
                 self.expr(l)?;
                 let j = self.emit(Op::JumpIfFalsePeek(0));
                 self.emit(Op::Pop);
@@ -478,7 +494,7 @@ impl<'a> Compiler<'a> {
                 let end = self.here();
                 self.patch(j, end);
             }
-            Expr::Or(l, r) => {
+            ExprKind::Or(l, r) => {
                 self.expr(l)?;
                 let j = self.emit(Op::JumpIfTruePeek(0));
                 self.emit(Op::Pop);
@@ -486,22 +502,23 @@ impl<'a> Compiler<'a> {
                 let end = self.here();
                 self.patch(j, end);
             }
-            Expr::Un { op, expr } => {
+            ExprKind::Un { op, expr } => {
                 self.expr(expr)?;
+                self.line = line;
                 self.emit(match op {
                     UnOp::Neg => Op::Neg,
                     UnOp::Not => Op::Not,
                 });
             }
-            Expr::Index { base, index } => {
+            ExprKind::Index { base, index } => {
                 self.expr(base)?;
                 self.expr(index)?;
+                self.line = line;
                 self.emit(Op::IndexGet);
             }
-            Expr::Call { name, args, line } => {
-                self.line = *line;
+            ExprKind::Call { name, args } => {
                 if args.len() > u8::MAX as usize {
-                    return Err(Error::compile("too many call arguments", *line));
+                    return Err(Error::compile("too many call arguments", line));
                 }
                 if let Some(&(idx, arity)) = self.fns.get(name.as_str()) {
                     if args.len() != arity {
@@ -510,20 +527,36 @@ impl<'a> Compiler<'a> {
                                 "function `{name}` expects {arity} argument(s), got {}",
                                 args.len()
                             ),
-                            *line,
+                            line,
                         ));
                     }
                     for a in args {
                         self.expr(a)?;
                     }
+                    self.line = line;
                     self.emit(Op::CallFn(idx as u16, args.len() as u8));
                 } else if let Some(bidx) = builtins::NAMES.iter().position(|n| n == name) {
+                    // Builtins declare their arity statically; front-load the
+                    // check that lookup-based dispatch would only hit at
+                    // runtime (variadic builtins report `None` and skip it).
+                    if let Some(Some(want)) = builtins::arity_of(name) {
+                        if args.len() != want {
+                            return Err(Error::compile(
+                                format!(
+                                    "builtin `{name}` expects {want} argument(s), got {}",
+                                    args.len()
+                                ),
+                                line,
+                            ));
+                        }
+                    }
                     for a in args {
                         self.expr(a)?;
                     }
+                    self.line = line;
                     self.emit(Op::CallBuiltin(bidx as u16, args.len() as u8));
                 } else {
-                    return Err(Error::compile(format!("unknown function `{name}`"), *line));
+                    return Err(Error::compile(format!("unknown function `{name}`"), line));
                 }
             }
         }
@@ -575,6 +608,48 @@ mod tests {
         assert!(compile_src("nope(1)").is_err());
         assert!(compile_src("fn f(a) { return a; } f(1, 2)").is_err());
         assert!(compile_src("fn f(a) { return a; } f(1)").is_ok());
+    }
+
+    #[test]
+    fn builtin_arity_checked_at_compile_time() {
+        // Fixed-arity builtins are rejected before execution.
+        let err = compile_src("sqrt(1, 2)").unwrap_err();
+        assert!(
+            matches!(err, Error::Compile { .. }),
+            "want compile error, got {err:?}"
+        );
+        assert!(err.to_string().contains("expects 1 argument"), "{err}");
+        assert!(compile_src("vdot([1.0])").is_err());
+        assert!(compile_src("let a = zeros(4); vaxpy(2.0, a)").is_err());
+        // Correct arities still compile.
+        assert!(compile_src("sqrt(4)").is_ok());
+        assert!(compile_src("min(1, 2)").is_ok());
+        // Variadic `print` accepts any argument count.
+        assert!(compile_src("print()").is_ok());
+        assert!(compile_src("print(1, 2, 3, 4)").is_ok());
+    }
+
+    #[test]
+    fn line_table_parallels_code() {
+        let c = compile_src("let x = 1;\nlet y = x + 2;\ny").unwrap();
+        for f in &c.funcs {
+            assert_eq!(
+                f.code.len(),
+                f.lines.len(),
+                "{}: lines not parallel",
+                f.name
+            );
+        }
+        let main = &c.funcs[c.main];
+        // The Bin(Add) instruction sits on source line 2.
+        let at = main
+            .code
+            .iter()
+            .position(|op| *op == Op::Bin(BinOp::Add))
+            .expect("add compiled");
+        assert_eq!(main.lines[at], 2);
+        // The synthesized trailing RetNil carries no line.
+        assert_eq!(*main.lines.last().unwrap(), 0);
     }
 
     #[test]

@@ -1,0 +1,458 @@
+//! Per-function control-flow graphs for the static analyzer.
+//!
+//! Each function region (the top level, or one function body) becomes a
+//! graph of basic blocks whose actions record variable reads, writes, and
+//! scope-exit kills in evaluation order, resolved against
+//! [`crate::resolve::SymbolTable`]. Edges follow the interpreter's control
+//! flow, with one deliberate exception: nothing falls through a `return`,
+//! `break`, or `continue`, so statements after them land in a block with no
+//! predecessors — exactly what the reachability pass reports as W004.
+//! Constant conditions keep both edges (W005 owns that finding; pruning
+//! here would cascade into spurious unreachable-code reports).
+
+use crate::ast::{Block, Expr, ExprKind, Stmt, StmtKind};
+use crate::resolve::{SymKind, SymbolTable};
+
+/// One entry in a block's action list, in evaluation order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// A read of a resolved binding.
+    Read {
+        /// Symbol id.
+        sym: usize,
+        /// Source line of the read.
+        line: u32,
+    },
+    /// A read of a name with no visible binding.
+    ReadUnresolved {
+        /// The name as written.
+        name: String,
+        /// Source line of the read.
+        line: u32,
+    },
+    /// An assignment to a resolved binding (including `let` initializers,
+    /// parameters at entry, and loop variables at the loop head).
+    Write {
+        /// Symbol id.
+        sym: usize,
+        /// Source line of the write.
+        line: u32,
+    },
+    /// An assignment to a name with no visible binding.
+    WriteUnresolved {
+        /// The name as written.
+        name: String,
+        /// Source line of the write.
+        line: u32,
+    },
+    /// A binding going out of scope (stops tracking it in the dataflow).
+    Kill {
+        /// Symbol id.
+        sym: usize,
+    },
+}
+
+/// A basic block.
+#[derive(Debug, Default)]
+pub struct BasicBlock {
+    /// Actions in evaluation order.
+    pub actions: Vec<Action>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+    /// Line of the first statement that starts in this block, if any
+    /// (anchor for unreachable-code reports).
+    pub first_line: Option<u32>,
+}
+
+/// A shadowing event: a declaration hiding an earlier visible one.
+#[derive(Debug, Clone)]
+pub struct Shadow {
+    /// The shared name.
+    pub name: String,
+    /// Line of the new (shadowing) declaration.
+    pub line: u32,
+    /// Line of the declaration it hides.
+    pub shadowed_line: u32,
+}
+
+/// The control-flow graph of one function region.
+#[derive(Debug)]
+pub struct Cfg {
+    /// Basic blocks; `blocks[entry]` is the entry.
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block index.
+    pub entry: usize,
+    /// Exit block index (every `return` and the final fall-through lead
+    /// here).
+    pub exit: usize,
+    /// The region's symbol table (fully populated after the build).
+    pub table: SymbolTable,
+    /// Shadowing events, in source order.
+    pub shadows: Vec<Shadow>,
+}
+
+impl Cfg {
+    /// Builds the CFG for one region: `params` bind at entry, then `body`
+    /// executes.
+    pub fn build(params: &[(String, u32)], body: &Block) -> Cfg {
+        let mut b = Builder {
+            blocks: vec![BasicBlock::default(), BasicBlock::default()],
+            cur: 0,
+            exit: 1,
+            table: SymbolTable::new(),
+            shadows: Vec::new(),
+            loops: Vec::new(),
+        };
+        for (name, line) in params {
+            let (sym, _) = b.table.declare(name, SymKind::Param, *line);
+            b.action(Action::Write { sym, line: *line });
+        }
+        b.walk_block_scoped(body);
+        let last = b.cur;
+        b.edge(last, b.exit);
+        Cfg {
+            blocks: b.blocks,
+            entry: 0,
+            exit: b.exit,
+            table: b.table,
+            shadows: b.shadows,
+        }
+    }
+
+    /// Predecessor lists, computed from the successor edges.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (i, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(i);
+            }
+        }
+        preds
+    }
+}
+
+/// An open loop during the build: where `continue` and `break` jump.
+struct LoopFrame {
+    head: usize,
+    exit: usize,
+}
+
+struct Builder {
+    blocks: Vec<BasicBlock>,
+    cur: usize,
+    exit: usize,
+    table: SymbolTable,
+    shadows: Vec<Shadow>,
+    loops: Vec<LoopFrame>,
+}
+
+impl Builder {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(BasicBlock::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    fn action(&mut self, a: Action) {
+        self.blocks[self.cur].actions.push(a);
+    }
+
+    fn mark_stmt(&mut self, line: u32) {
+        let b = &mut self.blocks[self.cur];
+        if b.first_line.is_none() {
+            b.first_line = Some(line);
+        }
+    }
+
+    fn declare(&mut self, name: &str, kind: SymKind, line: u32) -> usize {
+        let (sym, shadowed) = self.table.declare(name, kind, line);
+        if let Some(old) = shadowed {
+            self.shadows.push(Shadow {
+                name: name.to_string(),
+                line,
+                shadowed_line: self.table.symbols[old].line,
+            });
+        }
+        sym
+    }
+
+    /// Records the reads an expression performs, left to right.
+    fn reads(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Num(_) | ExprKind::Str(_) | ExprKind::Bool(_) | ExprKind::Nil => {}
+            ExprKind::Var(name) => match self.table.resolve(name) {
+                Some(sym) => self.action(Action::Read { sym, line: e.line }),
+                None => self.action(Action::ReadUnresolved {
+                    name: name.clone(),
+                    line: e.line,
+                }),
+            },
+            ExprKind::Array(elems) => {
+                for el in elems {
+                    self.reads(el);
+                }
+            }
+            ExprKind::Bin { lhs, rhs, .. } => {
+                self.reads(lhs);
+                self.reads(rhs);
+            }
+            ExprKind::And(l, r) | ExprKind::Or(l, r) => {
+                self.reads(l);
+                self.reads(r);
+            }
+            ExprKind::Un { expr, .. } => self.reads(expr),
+            ExprKind::Call { args, .. } => {
+                for a in args {
+                    self.reads(a);
+                }
+            }
+            ExprKind::Index { base, index } => {
+                self.reads(base);
+                self.reads(index);
+            }
+        }
+    }
+
+    fn walk_block_scoped(&mut self, block: &Block) {
+        self.table.push_scope();
+        for s in block {
+            self.walk_stmt(s);
+        }
+        for sym in self.table.pop_scope() {
+            self.action(Action::Kill { sym });
+        }
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt) {
+        self.mark_stmt(stmt.line);
+        match &stmt.kind {
+            StmtKind::Let { name, init } => {
+                // Initializer evaluates before the binding exists.
+                self.reads(init);
+                let sym = self.declare(name, SymKind::Local, stmt.line);
+                self.action(Action::Write {
+                    sym,
+                    line: stmt.line,
+                });
+            }
+            StmtKind::Assign { name, value } => {
+                self.reads(value);
+                match self.table.resolve(name) {
+                    Some(sym) => self.action(Action::Write {
+                        sym,
+                        line: stmt.line,
+                    }),
+                    None => self.action(Action::WriteUnresolved {
+                        name: name.clone(),
+                        line: stmt.line,
+                    }),
+                }
+            }
+            StmtKind::IndexAssign { base, index, value } => {
+                self.reads(base);
+                self.reads(index);
+                self.reads(value);
+            }
+            StmtKind::Expr(e) => self.reads(e),
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                self.reads(cond);
+                let branch = self.cur;
+                let join = self.new_block();
+
+                let then_b = self.new_block();
+                self.edge(branch, then_b);
+                self.cur = then_b;
+                self.walk_block_scoped(then_block);
+                let then_end = self.cur;
+                self.edge(then_end, join);
+
+                if else_block.is_empty() {
+                    self.edge(branch, join);
+                } else {
+                    let else_b = self.new_block();
+                    self.edge(branch, else_b);
+                    self.cur = else_b;
+                    self.walk_block_scoped(else_block);
+                    let else_end = self.cur;
+                    self.edge(else_end, join);
+                }
+                self.cur = join;
+            }
+            StmtKind::While { cond, body } => {
+                let head = self.new_block();
+                let body_b = self.new_block();
+                let exit = self.new_block();
+                self.edge(self.cur, head);
+                self.cur = head;
+                self.reads(cond);
+                self.edge(head, body_b);
+                self.edge(head, exit);
+                self.loops.push(LoopFrame { head, exit });
+                self.cur = body_b;
+                self.walk_block_scoped(body);
+                let body_end = self.cur;
+                self.edge(body_end, head);
+                self.loops.pop();
+                self.cur = exit;
+            }
+            StmtKind::ForRange {
+                var,
+                start,
+                end,
+                body,
+            } => {
+                // Bounds evaluate once, before the loop variable exists.
+                self.reads(start);
+                self.reads(end);
+                // The loop variable lives in a scope wrapping the body.
+                self.table.push_scope();
+                let sym = self.declare(var, SymKind::LoopVar, stmt.line);
+                let head = self.new_block();
+                let body_b = self.new_block();
+                let exit = self.new_block();
+                self.edge(self.cur, head);
+                self.cur = head;
+                // The header assigns the loop variable each iteration.
+                self.action(Action::Write {
+                    sym,
+                    line: stmt.line,
+                });
+                self.edge(head, body_b);
+                self.edge(head, exit);
+                self.loops.push(LoopFrame { head, exit });
+                self.cur = body_b;
+                self.walk_block_scoped(body);
+                let body_end = self.cur;
+                self.edge(body_end, head);
+                self.loops.pop();
+                self.cur = exit;
+                for s in self.table.pop_scope() {
+                    self.action(Action::Kill { sym: s });
+                }
+            }
+            StmtKind::Return(value) => {
+                if let Some(e) = value {
+                    self.reads(e);
+                }
+                self.edge(self.cur, self.exit);
+                // Whatever follows has no way in.
+                self.cur = self.new_block();
+            }
+            StmtKind::Break => {
+                if let Some(frame) = self.loops.last() {
+                    let exit = frame.exit;
+                    self.edge(self.cur, exit);
+                }
+                self.cur = self.new_block();
+            }
+            StmtKind::Continue => {
+                if let Some(frame) = self.loops.last() {
+                    let head = frame.head;
+                    self.edge(self.cur, head);
+                }
+                self.cur = self.new_block();
+            }
+            StmtKind::Block(b) => self.walk_block_scoped(b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn cfg_of(src: &str) -> Cfg {
+        let p = parse(src).expect("test programs parse");
+        Cfg::build(&[], &p.main)
+    }
+
+    fn reachable(cfg: &Cfg) -> Vec<bool> {
+        let mut seen = vec![false; cfg.blocks.len()];
+        let mut stack = vec![cfg.entry];
+        seen[cfg.entry] = true;
+        while let Some(b) = stack.pop() {
+            for &s in &cfg.blocks[b].succs {
+                if !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        seen
+    }
+
+    #[test]
+    fn straight_line_code_is_one_reachable_chain() {
+        let cfg = cfg_of("let a = 1; let b = a + 2; b");
+        let seen = reachable(&cfg);
+        assert!(seen[cfg.exit], "exit reachable");
+        // Reads and writes land in entry, in order: write a, read a, write b,
+        // read b, then kills.
+        let acts = &cfg.blocks[cfg.entry].actions;
+        assert!(matches!(acts[0], Action::Write { .. }));
+        assert!(matches!(acts[1], Action::Read { .. }));
+    }
+
+    #[test]
+    fn code_after_return_lands_in_a_predecessor_free_block() {
+        let p = parse("fn f() { return 1; let dead = 2; dead; }").expect("parses");
+        let f = &p.functions[0];
+        let cfg = Cfg::build(&[], &f.body);
+        let preds = cfg.preds();
+        let seen = reachable(&cfg);
+        // Some non-empty block is unreachable with no predecessors.
+        let dead = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .find(|(i, b)| !seen[*i] && b.first_line.is_some())
+            .expect("dead block exists");
+        assert!(preds[dead.0].is_empty());
+        assert_eq!(dead.1.first_line, Some(1));
+    }
+
+    #[test]
+    fn while_loop_edges_allow_zero_and_many_iterations() {
+        let cfg = cfg_of("let i = 0; while i < 3 { i = i + 1; } i");
+        let seen = reachable(&cfg);
+        assert!(seen.iter().all(|s| *s), "every block reachable: {seen:?}");
+    }
+
+    #[test]
+    fn break_reaches_loop_exit() {
+        let cfg = cfg_of("while true { break; } 1");
+        let seen = reachable(&cfg);
+        assert!(seen[cfg.exit]);
+    }
+
+    #[test]
+    fn loop_variable_scoping_and_shadowing() {
+        let cfg = cfg_of("let i = 5; for i in range(0, 3) { i; } i");
+        assert_eq!(cfg.shadows.len(), 1);
+        assert_eq!(cfg.shadows[0].name, "i");
+        // Both `i` symbols exist and the final read resolves to the outer.
+        assert_eq!(cfg.table.symbols.len(), 2);
+    }
+
+    #[test]
+    fn unresolved_reads_and_writes_are_recorded() {
+        let cfg = cfg_of("ghost; ghost = 1;");
+        let acts = &cfg.blocks[cfg.entry].actions;
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::ReadUnresolved { name, .. } if name == "ghost")));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, Action::WriteUnresolved { name, .. } if name == "ghost")));
+    }
+}

@@ -1,0 +1,232 @@
+//! Dataflow analyses over the per-function [`crate::cfg::Cfg`].
+//!
+//! Two classic forward analyses:
+//!
+//! * **Reachability** — which blocks control can reach from the entry; the
+//!   unreachable frontier anchors W004 reports.
+//! * **Definite assignment** — a must-analysis (set intersection at joins,
+//!   iterated to a fixpoint over loops) tracking which symbols are certainly
+//!   assigned before each read. Because every ResearchScript `let` carries a
+//!   mandatory initializer, violations arise only from degenerate paths, but
+//!   the analysis also validates the resolver: any read the lexical pass
+//!   resolved must be definitely assigned here.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::{Action, Cfg};
+
+/// Result of the reachability pass.
+#[derive(Debug)]
+pub struct Reachability {
+    /// `reachable[b]` — whether block `b` is reachable from the entry.
+    pub reachable: Vec<bool>,
+    /// Source lines anchoring unreachable code, one per *frontier* block: an
+    /// unreachable block none of whose predecessors is also unreachable, so
+    /// a chain of dead statements is reported once, at its start.
+    pub unreachable_lines: Vec<u32>,
+}
+
+/// Computes reachability from the entry block.
+pub fn reachability(cfg: &Cfg) -> Reachability {
+    let mut reachable = vec![false; cfg.blocks.len()];
+    let mut stack = vec![cfg.entry];
+    reachable[cfg.entry] = true;
+    while let Some(b) = stack.pop() {
+        for &s in &cfg.blocks[b].succs {
+            if !reachable[s] {
+                reachable[s] = true;
+                stack.push(s);
+            }
+        }
+    }
+    let preds = cfg.preds();
+    let mut unreachable_lines = Vec::new();
+    for (i, blk) in cfg.blocks.iter().enumerate() {
+        if reachable[i] || blk.first_line.is_none() {
+            continue;
+        }
+        let frontier = preds[i].iter().all(|&p| reachable[p]);
+        if frontier {
+            unreachable_lines.push(blk.first_line.expect("checked above"));
+        }
+    }
+    unreachable_lines.sort_unstable();
+    Reachability {
+        reachable,
+        unreachable_lines,
+    }
+}
+
+/// One definite-assignment violation: a resolved read not certainly
+/// assigned on some path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnassignedRead {
+    /// Symbol id of the read binding.
+    pub sym: usize,
+    /// Source line of the read.
+    pub line: u32,
+}
+
+/// Runs the definite-assignment analysis, returning reads of symbols not
+/// definitely assigned at that point. Only reachable blocks participate —
+/// dead code gets its own diagnostic.
+pub fn definite_assignment(cfg: &Cfg, reachable: &[bool]) -> Vec<UnassignedRead> {
+    let n = cfg.blocks.len();
+    // IN[b]: symbols certainly assigned on entry to b. `None` = not yet
+    // computed (top: the full set, represented lazily).
+    let mut ins: Vec<Option<BTreeSet<usize>>> = vec![None; n];
+    ins[cfg.entry] = Some(BTreeSet::new());
+    let preds = cfg.preds();
+
+    // Iterate to a fixpoint: intersection meet shrinks monotonically.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..n {
+            if !reachable[b] {
+                continue;
+            }
+            let meet: Option<BTreeSet<usize>> = if b == cfg.entry {
+                Some(BTreeSet::new())
+            } else {
+                let mut acc: Option<BTreeSet<usize>> = None;
+                for &p in &preds[b] {
+                    if !reachable[p] {
+                        continue;
+                    }
+                    if let Some(out) = transfer(cfg, p, &ins[p]) {
+                        acc = Some(match acc {
+                            None => out,
+                            Some(cur) => cur.intersection(&out).copied().collect(),
+                        });
+                    }
+                }
+                acc
+            };
+            if let Some(new_in) = meet {
+                if ins[b].as_ref() != Some(&new_in) {
+                    ins[b] = Some(new_in);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    for b in 0..n {
+        if !reachable[b] {
+            continue;
+        }
+        let Some(start) = &ins[b] else { continue };
+        let mut assigned = start.clone();
+        for a in &cfg.blocks[b].actions {
+            match a {
+                Action::Read { sym, line } => {
+                    if !assigned.contains(sym) {
+                        violations.push(UnassignedRead {
+                            sym: *sym,
+                            line: *line,
+                        });
+                    }
+                }
+                Action::Write { sym, .. } => {
+                    assigned.insert(*sym);
+                }
+                Action::Kill { sym } => {
+                    assigned.remove(sym);
+                }
+                Action::ReadUnresolved { .. } | Action::WriteUnresolved { .. } => {}
+            }
+        }
+    }
+    violations.sort_by_key(|v| (v.line, v.sym));
+    violations.dedup();
+    violations
+}
+
+/// OUT[b] from IN[b]: applies the block's writes and kills.
+fn transfer(cfg: &Cfg, b: usize, input: &Option<BTreeSet<usize>>) -> Option<BTreeSet<usize>> {
+    let mut set = input.as_ref()?.clone();
+    for a in &cfg.blocks[b].actions {
+        match a {
+            Action::Write { sym, .. } => {
+                set.insert(*sym);
+            }
+            Action::Kill { sym } => {
+                set.remove(sym);
+            }
+            _ => {}
+        }
+    }
+    Some(set)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::parser::parse;
+
+    fn analyze(src: &str) -> (Cfg, Reachability) {
+        let p = parse(src).expect("test programs parse");
+        let cfg = Cfg::build(&[], &p.main);
+        let r = reachability(&cfg);
+        (cfg, r)
+    }
+
+    fn analyze_fn(src: &str) -> (Cfg, Reachability) {
+        let p = parse(src).expect("test programs parse");
+        let f = &p.functions[0];
+        let params: Vec<(String, u32)> = f.params.iter().map(|p| (p.clone(), f.line)).collect();
+        let cfg = Cfg::build(&params, &f.body);
+        let r = reachability(&cfg);
+        (cfg, r)
+    }
+
+    #[test]
+    fn fully_reachable_program_has_no_dead_frontier() {
+        let (_, r) = analyze("let a = 1; if a { a; } else { a + 1; } a");
+        assert!(r.unreachable_lines.is_empty(), "{:?}", r.unreachable_lines);
+    }
+
+    #[test]
+    fn code_after_return_is_a_single_frontier() {
+        let (_, r) = analyze_fn("fn f() {\n  return 1;\n  let a = 2;\n  a + 1;\n}");
+        // Lines 3 and 4 are both dead but chain into one block → one report.
+        assert_eq!(r.unreachable_lines, vec![3]);
+    }
+
+    #[test]
+    fn code_after_break_is_dead() {
+        let (_, r) = analyze("while true {\n  break;\n  1 + 1;\n}");
+        assert_eq!(r.unreachable_lines, vec![3]);
+    }
+
+    #[test]
+    fn loops_and_branches_keep_definite_assignment_clean() {
+        for src in [
+            "let s = 0; for i in range(0, 3) { s = s + i; } s",
+            "let x = 1; if x > 0 { x = 2; } else { x = 3; } x",
+            "let i = 0; while i < 5 { i = i + 1; } i",
+            "let a = 1; { let b = a + 1; b; } a",
+        ] {
+            let (cfg, r) = analyze(src);
+            let v = definite_assignment(&cfg, &r.reachable);
+            assert!(v.is_empty(), "{src}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn params_are_assigned_at_entry() {
+        let (cfg, r) = analyze_fn("fn f(a, b) { return a + b; }");
+        assert!(definite_assignment(&cfg, &r.reachable).is_empty());
+    }
+
+    #[test]
+    fn scope_exit_kills_bindings() {
+        // After the block, `b` is gone; resolution already makes the outer
+        // read unresolved, so the dataflow sees no resolved read of b.
+        let (cfg, r) = analyze("let a = 1; { let b = 2; b; } a");
+        assert!(definite_assignment(&cfg, &r.reachable).is_empty());
+    }
+}

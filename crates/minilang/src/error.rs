@@ -43,6 +43,8 @@ pub enum Error {
     Runtime {
         /// Description.
         message: String,
+        /// 1-based source line of the failing expression; `0` when unknown.
+        line: u32,
     },
     /// The configured fuel budget ran out before the program finished
     /// (see `Interpreter::with_fuel` / `Vm::with_fuel`).
@@ -53,10 +55,23 @@ pub enum Error {
 }
 
 impl Error {
-    /// Builds a runtime error from anything printable.
+    /// Builds a runtime error from anything printable, with no source
+    /// location yet (the evaluator attaches one via [`Error::with_line`]).
     pub fn runtime(message: impl Into<String>) -> Self {
         Error::Runtime {
             message: message.into(),
+            line: 0,
+        }
+    }
+
+    /// Attaches a source line to a [`Error::Runtime`] that does not yet have
+    /// one. The innermost frame wins: once a line is set, outer frames leave
+    /// it alone. All other error kinds pass through unchanged.
+    #[must_use]
+    pub fn with_line(self, line: u32) -> Self {
+        match self {
+            Error::Runtime { message, line: 0 } => Error::Runtime { message, line },
+            other => other,
         }
     }
 
@@ -93,7 +108,10 @@ impl fmt::Display for Error {
             Error::Compile { message, line } => {
                 write!(f, "line {line}: compile error: {message}")
             }
-            Error::Runtime { message } => write!(f, "runtime error: {message}"),
+            Error::Runtime { message, line: 0 } => write!(f, "runtime error: {message}"),
+            Error::Runtime { message, line } => {
+                write!(f, "line {line}: runtime error: {message}")
+            }
             Error::FuelExhausted { budget } => {
                 write!(
                     f,
@@ -123,6 +141,20 @@ mod tests {
             .to_string()
             .contains("line 7"));
         assert!(Error::runtime("boom").to_string().contains("boom"));
+        assert_eq!(
+            Error::runtime("boom").with_line(9).to_string(),
+            "line 9: runtime error: boom"
+        );
+        // The innermost line sticks; later frames must not overwrite it.
+        assert_eq!(
+            Error::runtime("boom").with_line(9).with_line(12),
+            Error::runtime("boom").with_line(9)
+        );
+        // Non-runtime errors pass through `with_line` untouched.
+        assert_eq!(
+            Error::FuelExhausted { budget: 7 }.with_line(3),
+            Error::FuelExhausted { budget: 7 }
+        );
         assert!(Error::compile("too many locals", 2)
             .to_string()
             .contains("compile"));

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use crate::ast::{Block, Expr, FnDef, Program, Stmt, UnOp};
+use crate::ast::{Block, Expr, ExprKind, FnDef, Program, Stmt, StmtKind, UnOp};
 use crate::builtins;
 use crate::error::{Error, Result};
 use crate::value::{binop, index_get, index_set, Value};
@@ -103,16 +103,16 @@ impl Interpreter {
                 .insert(f.name.clone(), Rc::clone(f))
                 .is_some()
             {
-                return Err(Error::runtime(format!(
-                    "function `{}` defined twice",
-                    f.name
-                )));
+                return Err(
+                    Error::runtime(format!("function `{}` defined twice", f.name))
+                        .with_line(f.line),
+                );
             }
             if builtins::lookup(&f.name).is_some() {
-                return Err(Error::runtime(format!(
-                    "function `{}` shadows a builtin",
-                    f.name
-                )));
+                return Err(
+                    Error::runtime(format!("function `{}` shadows a builtin", f.name))
+                        .with_line(f.line),
+                );
             }
         }
         match self.exec_block_flat(&program.main)? {
@@ -144,8 +144,15 @@ impl Interpreter {
 
     fn exec_stmt(&mut self, stmt: &Stmt) -> Result<Flow> {
         self.charge()?;
+        // Any runtime error escaping this statement that an inner expression
+        // has not already pinned to a line gets the statement's line.
+        self.exec_stmt_kind(&stmt.kind)
+            .map_err(|e| e.with_line(stmt.line))
+    }
+
+    fn exec_stmt_kind(&mut self, stmt: &StmtKind) -> Result<Flow> {
         match stmt {
-            Stmt::Let { name, init } => {
+            StmtKind::Let { name, init } => {
                 let v = self.eval(init)?;
                 self.scopes
                     .last_mut()
@@ -153,7 +160,7 @@ impl Interpreter {
                     .insert(name.clone(), v);
                 Ok(Flow::Normal)
             }
-            Stmt::Assign { name, value } => {
+            StmtKind::Assign { name, value } => {
                 let v = self.eval(value)?;
                 for scope in self.scopes.iter_mut().rev() {
                     if let Some(slot) = scope.get_mut(name) {
@@ -165,21 +172,21 @@ impl Interpreter {
                     "assignment to undefined variable `{name}`"
                 )))
             }
-            Stmt::IndexAssign { base, index, value } => {
+            StmtKind::IndexAssign { base, index, value } => {
                 let b = self.eval(base)?;
                 let i = self.eval(index)?;
                 let v = self.eval(value)?;
                 index_set(&b, &i, v)?;
                 Ok(Flow::Normal)
             }
-            Stmt::Expr(e) => {
+            StmtKind::Expr(e) => {
                 let v = self.eval(e)?;
                 if self.record_result {
                     self.result = v;
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::If {
+            StmtKind::If {
                 cond,
                 then_block,
                 else_block,
@@ -190,7 +197,7 @@ impl Interpreter {
                     self.exec_block_scoped(else_block)
                 }
             }
-            Stmt::While { cond, body } => {
+            StmtKind::While { cond, body } => {
                 // Charge per iteration: an empty body executes no statements,
                 // so the statement-entry charge alone would never bound
                 // `while true {}`.
@@ -206,7 +213,7 @@ impl Interpreter {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::ForRange {
+            StmtKind::ForRange {
                 var,
                 start,
                 end,
@@ -233,16 +240,16 @@ impl Interpreter {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::Return(value) => {
+            StmtKind::Return(value) => {
                 let v = match value {
                     Some(e) => self.eval(e)?,
                     None => Value::Nil,
                 };
                 Ok(Flow::Return(v))
             }
-            Stmt::Break => Ok(Flow::Break),
-            Stmt::Continue => Ok(Flow::Continue),
-            Stmt::Block(b) => self.exec_block_scoped(b),
+            StmtKind::Break => Ok(Flow::Break),
+            StmtKind::Continue => Ok(Flow::Continue),
+            StmtKind::Block(b) => self.exec_block_scoped(b),
         }
     }
 
@@ -256,25 +263,32 @@ impl Interpreter {
     }
 
     fn eval(&mut self, expr: &Expr) -> Result<Value> {
+        // The innermost failing expression stamps its line first; enclosing
+        // frames see a line already set and leave it be.
+        self.eval_kind(&expr.kind)
+            .map_err(|e| e.with_line(expr.line))
+    }
+
+    fn eval_kind(&mut self, expr: &ExprKind) -> Result<Value> {
         match expr {
-            Expr::Num(n) => Ok(Value::Num(*n)),
-            Expr::Str(s) => Ok(Value::str(s)),
-            Expr::Bool(b) => Ok(Value::Bool(*b)),
-            Expr::Nil => Ok(Value::Nil),
-            Expr::Var(name) => self.lookup(name),
-            Expr::Array(elems) => {
+            ExprKind::Num(n) => Ok(Value::Num(*n)),
+            ExprKind::Str(s) => Ok(Value::str(s)),
+            ExprKind::Bool(b) => Ok(Value::Bool(*b)),
+            ExprKind::Nil => Ok(Value::Nil),
+            ExprKind::Var(name) => self.lookup(name),
+            ExprKind::Array(elems) => {
                 let mut items = Vec::with_capacity(elems.len());
                 for e in elems {
                     items.push(self.eval(e)?);
                 }
                 Ok(Value::array(items))
             }
-            Expr::Bin { op, lhs, rhs } => {
+            ExprKind::Bin { op, lhs, rhs } => {
                 let l = self.eval(lhs)?;
                 let r = self.eval(rhs)?;
                 binop(*op, &l, &r)
             }
-            Expr::And(lhs, rhs) => {
+            ExprKind::And(lhs, rhs) => {
                 let l = self.eval(lhs)?;
                 if !l.truthy() {
                     Ok(l)
@@ -282,7 +296,7 @@ impl Interpreter {
                     self.eval(rhs)
                 }
             }
-            Expr::Or(lhs, rhs) => {
+            ExprKind::Or(lhs, rhs) => {
                 let l = self.eval(lhs)?;
                 if l.truthy() {
                     Ok(l)
@@ -290,19 +304,19 @@ impl Interpreter {
                     self.eval(rhs)
                 }
             }
-            Expr::Un { op, expr } => {
+            ExprKind::Un { op, expr } => {
                 let v = self.eval(expr)?;
                 match op {
                     UnOp::Neg => Ok(Value::Num(-v.as_num("unary `-`")?)),
                     UnOp::Not => Ok(Value::Bool(!v.truthy())),
                 }
             }
-            Expr::Index { base, index } => {
+            ExprKind::Index { base, index } => {
                 let b = self.eval(base)?;
                 let i = self.eval(index)?;
                 index_get(&b, &i)
             }
-            Expr::Call { name, args, .. } => {
+            ExprKind::Call { name, args, .. } => {
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args {
                     argv.push(self.eval(a)?);
@@ -539,5 +553,20 @@ mod tests {
         "#;
         // Row of ones dot column of twos, n=4: 8.
         assert_eq!(run(src).unwrap(), Value::Num(8.0));
+    }
+
+    #[test]
+    fn runtime_errors_carry_the_failing_line() {
+        let err = run("let a = 1;\nlet b = 2;\nlet c = a + ghost;\nc").unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "line 3: runtime error: undefined variable `ghost`"
+        );
+        // The innermost expression wins over the enclosing statement.
+        let err = run("let x = [1, 2];\nlet y =\n  x[9];").unwrap_err();
+        assert!(err.to_string().starts_with("line 3:"), "{err}");
+        // Statement-level failures use the statement line.
+        let err = run("let a = 1;\nmissing = 2;").unwrap_err();
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
     }
 }

@@ -46,12 +46,17 @@
 pub mod ast;
 pub mod builtins;
 pub mod bytecode;
+pub mod cfg;
+pub mod dataflow;
+pub mod diagnostics;
 pub mod disasm;
 pub mod error;
 pub mod interp;
 pub mod lexer;
+pub mod lint;
 pub mod optimize;
 pub mod parser;
+pub mod resolve;
 pub mod value;
 pub mod vm;
 

@@ -1,0 +1,546 @@
+//! The ResearchScript linter: orchestrates name resolution, control-flow,
+//! and dataflow analyses into coded diagnostics (`W001`–`W008`).
+//!
+//! Entry points: [`lint`] on a parsed [`Program`], or [`lint_source`]
+//! straight from source text. Diagnostics come back sorted by line then
+//! code — the order `rsc --check` prints them.
+//!
+//! | Code | Name | Example trigger |
+//! |------|------|-----------------|
+//! | W001 | undefined-variable | `let a = 1; a + typo` |
+//! | W002 | use-before-assignment | `acc = acc + 1; let acc = 0;` |
+//! | W003 | unused | `let x = 1;` with `x` never read |
+//! | W004 | unreachable-code | `return 1; let a = 2;` |
+//! | W005 | constant-condition | `if 1 < 2 { }` / `while true { }` with no `break` |
+//! | W006 | arity-mismatch | `sqrt(1, 2)` |
+//! | W007 | shadowing | `let x = 1; { let x = 2; }` |
+//! | W008 | division-by-zero | `n / 0` |
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ast::{BinOp, Block, Expr, ExprKind, Program, Stmt, StmtKind};
+use crate::builtins;
+use crate::cfg::{Action, Cfg};
+use crate::dataflow;
+use crate::diagnostics::{Code, Diagnostic};
+use crate::error::Result;
+use crate::optimize::fold;
+use crate::parser::parse;
+use crate::resolve::SymKind;
+
+/// Lints source text: parse, then [`lint`].
+///
+/// # Errors
+/// Lexer/parser errors (lint findings are *not* errors — they come back in
+/// the `Ok` vector).
+pub fn lint_source(src: &str) -> Result<Vec<Diagnostic>> {
+    Ok(lint(&parse(src)?))
+}
+
+/// Lints a parsed program, returning diagnostics sorted by line, then code.
+pub fn lint(program: &Program) -> Vec<Diagnostic> {
+    let mut l = Linter {
+        fns: program
+            .functions
+            .iter()
+            .map(|f| (f.name.as_str(), f.params.len()))
+            .collect(),
+        called: BTreeSet::new(),
+        out: Vec::new(),
+    };
+
+    // Region analyses: the top level, then each function body.
+    l.region(&[], &program.main);
+    for f in &program.functions {
+        let params: Vec<(String, u32)> = f.params.iter().map(|p| (p.clone(), f.line)).collect();
+        l.region(&params, &f.body);
+    }
+
+    // Syntactic walks (conditions, arities, constant divisors) see the whole
+    // program, and record which functions are ever called.
+    l.walk_block(&program.main);
+    for f in &program.functions {
+        l.walk_block(&f.body);
+    }
+
+    // W003 for whole functions: defined but never called.
+    for f in &program.functions {
+        if !f.name.starts_with('_') && !l.called.contains(f.name.as_str()) {
+            l.out.push(Diagnostic::new(
+                Code::Unused,
+                f.line,
+                format!("function `{}` is never called", f.name),
+            ));
+        }
+    }
+
+    let mut out = l.out;
+    out.sort();
+    out.dedup_by(|a, b| a.line == b.line && a.code == b.code && a.message == b.message);
+    out
+}
+
+struct Linter<'p> {
+    /// User function name → arity.
+    fns: HashMap<&'p str, usize>,
+    /// Function names called anywhere in the program.
+    called: BTreeSet<String>,
+    out: Vec<Diagnostic>,
+}
+
+impl<'p> Linter<'p> {
+    fn warn(&mut self, code: Code, line: u32, message: impl Into<String>) {
+        self.out.push(Diagnostic::new(code, line, message));
+    }
+
+    /// Flow-sensitive analyses for one function region.
+    fn region(&mut self, params: &[(String, u32)], body: &Block) {
+        let cfg = Cfg::build(params, body);
+        let reach = dataflow::reachability(&cfg);
+
+        // W004: unreachable frontiers.
+        for line in &reach.unreachable_lines {
+            self.warn(
+                Code::UnreachableCode,
+                *line,
+                "unreachable code (control flow never arrives here)",
+            );
+        }
+
+        // W001 / W002 from resolution: a name with no binding anywhere in
+        // the region is a typo; one declared elsewhere (later, or in a
+        // sibling scope) is a use before its binding exists.
+        let mut read_unresolved: BTreeSet<(String, u32)> = BTreeSet::new();
+        for (i, blk) in cfg.blocks.iter().enumerate() {
+            if !reach.reachable[i] {
+                continue; // dead code already has its W004
+            }
+            for a in &blk.actions {
+                if let Action::ReadUnresolved { name, line } = a {
+                    read_unresolved.insert((name.clone(), *line));
+                    if cfg.table.declared_anywhere(name) {
+                        self.warn(
+                            Code::UseBeforeAssignment,
+                            *line,
+                            format!("`{name}` is used before any binding for it is in scope"),
+                        );
+                    } else {
+                        self.warn(
+                            Code::UndefinedVariable,
+                            *line,
+                            format!("undefined variable `{name}`"),
+                        );
+                    }
+                }
+            }
+        }
+        for (i, blk) in cfg.blocks.iter().enumerate() {
+            if !reach.reachable[i] {
+                continue;
+            }
+            for a in &blk.actions {
+                if let Action::WriteUnresolved { name, line } = a {
+                    // A read of the same name on the same line already told
+                    // the story (`acc = acc + 1` with the `let` dropped).
+                    if read_unresolved.contains(&(name.clone(), *line)) {
+                        continue;
+                    }
+                    if cfg.table.declared_anywhere(name) {
+                        self.warn(
+                            Code::UseBeforeAssignment,
+                            *line,
+                            format!("`{name}` is assigned before any binding for it is in scope"),
+                        );
+                    } else {
+                        self.warn(
+                            Code::UndefinedVariable,
+                            *line,
+                            format!("assignment to undefined variable `{name}`"),
+                        );
+                    }
+                }
+            }
+        }
+
+        // W002 from the must-analysis (belt and braces: mandatory `let`
+        // initializers make these rare, but the CFG is the authority).
+        for v in dataflow::definite_assignment(&cfg, &reach.reachable) {
+            let name = &cfg.table.symbols[v.sym].name;
+            self.warn(
+                Code::UseBeforeAssignment,
+                v.line,
+                format!("`{name}` may be read before it is assigned"),
+            );
+        }
+
+        // W007: shadowing events recorded during the build.
+        for s in &cfg.shadows {
+            self.warn(
+                Code::Shadowing,
+                s.line,
+                format!(
+                    "`{}` shadows the binding declared on line {}",
+                    s.name, s.shadowed_line
+                ),
+            );
+        }
+
+        // W003: bindings never read. Loop variables are exempt (an unused
+        // index is idiomatic), as is anything spelled with a `_` prefix.
+        let mut read: BTreeSet<usize> = BTreeSet::new();
+        for blk in &cfg.blocks {
+            for a in &blk.actions {
+                if let Action::Read { sym, .. } = a {
+                    read.insert(*sym);
+                }
+            }
+        }
+        for s in &cfg.table.symbols {
+            if read.contains(&s.id) || s.name.starts_with('_') || s.kind == SymKind::LoopVar {
+                continue;
+            }
+            let what = match s.kind {
+                SymKind::Param => "parameter",
+                _ => "variable",
+            };
+            self.warn(
+                Code::Unused,
+                s.line,
+                format!("{what} `{}` is never read", s.name),
+            );
+        }
+    }
+
+    // ---- syntactic walks: W001 (unknown calls), W005, W006, W008 ----
+
+    fn walk_block(&mut self, block: &Block) {
+        for s in block {
+            self.walk_stmt(s);
+        }
+    }
+
+    fn walk_stmt(&mut self, stmt: &Stmt) {
+        match &stmt.kind {
+            StmtKind::Let { init, .. } => self.walk_expr(init),
+            StmtKind::Assign { value, .. } => self.walk_expr(value),
+            StmtKind::IndexAssign { base, index, value } => {
+                self.walk_expr(base);
+                self.walk_expr(index);
+                self.walk_expr(value);
+            }
+            StmtKind::Expr(e) => self.walk_expr(e),
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                self.walk_expr(cond);
+                if let Some(always) = folded_truthiness(cond) {
+                    self.warn(
+                        Code::ConstantCondition,
+                        cond.line,
+                        format!("condition is always {always}"),
+                    );
+                }
+                self.walk_block(then_block);
+                self.walk_block(else_block);
+            }
+            StmtKind::While { cond, body } => {
+                self.walk_expr(cond);
+                match folded_truthiness(cond) {
+                    Some(true) if !contains_break(body) => self.warn(
+                        Code::ConstantCondition,
+                        cond.line,
+                        "loop condition is always true and the loop has no `break`",
+                    ),
+                    // `while true { ... break ... }` is the idiomatic
+                    // unbounded loop; leave it alone.
+                    Some(true) => {}
+                    Some(false) => self.warn(
+                        Code::ConstantCondition,
+                        cond.line,
+                        "loop condition is always false; the body never runs",
+                    ),
+                    None => {}
+                }
+                self.walk_block(body);
+            }
+            StmtKind::ForRange {
+                start, end, body, ..
+            } => {
+                self.walk_expr(start);
+                self.walk_expr(end);
+                self.walk_block(body);
+            }
+            StmtKind::Return(v) => {
+                if let Some(e) = v {
+                    self.walk_expr(e);
+                }
+            }
+            StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Block(b) => self.walk_block(b),
+        }
+    }
+
+    fn walk_expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Num(_)
+            | ExprKind::Str(_)
+            | ExprKind::Bool(_)
+            | ExprKind::Nil
+            | ExprKind::Var(_) => {}
+            ExprKind::Array(elems) => {
+                for el in elems {
+                    self.walk_expr(el);
+                }
+            }
+            ExprKind::Bin { op, lhs, rhs } => {
+                self.walk_expr(lhs);
+                self.walk_expr(rhs);
+                if matches!(op, BinOp::Div | BinOp::Mod) {
+                    if let ExprKind::Num(n) = fold(rhs).kind {
+                        if n == 0.0 {
+                            let what = if *op == BinOp::Div {
+                                "division"
+                            } else {
+                                "modulo"
+                            };
+                            self.warn(
+                                Code::DivisionByZero,
+                                rhs.line,
+                                format!("{what} by constant zero"),
+                            );
+                        }
+                    }
+                }
+            }
+            ExprKind::And(l, r) | ExprKind::Or(l, r) => {
+                self.walk_expr(l);
+                self.walk_expr(r);
+            }
+            ExprKind::Un { expr, .. } => self.walk_expr(expr),
+            ExprKind::Index { base, index } => {
+                self.walk_expr(base);
+                self.walk_expr(index);
+            }
+            ExprKind::Call { name, args } => {
+                for a in args {
+                    self.walk_expr(a);
+                }
+                self.called.insert(name.clone());
+                if let Some(&arity) = self.fns.get(name.as_str()) {
+                    if args.len() != arity {
+                        self.warn(
+                            Code::ArityMismatch,
+                            e.line,
+                            format!(
+                                "function `{name}` expects {arity} argument(s), got {}",
+                                args.len()
+                            ),
+                        );
+                    }
+                } else if let Some(want) = builtins::arity_of(name) {
+                    if let Some(want) = want {
+                        if args.len() != want {
+                            self.warn(
+                                Code::ArityMismatch,
+                                e.line,
+                                format!(
+                                    "builtin `{name}` expects {want} argument(s), got {}",
+                                    args.len()
+                                ),
+                            );
+                        }
+                    }
+                } else {
+                    self.warn(
+                        Code::UndefinedVariable,
+                        e.line,
+                        format!("call to undefined function `{name}`"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Truthiness of a condition after constant folding, `None` when it still
+/// depends on runtime values.
+fn folded_truthiness(cond: &Expr) -> Option<bool> {
+    match fold(cond).kind {
+        ExprKind::Num(_) | ExprKind::Str(_) => Some(true),
+        ExprKind::Bool(b) => Some(b),
+        ExprKind::Nil => Some(false),
+        _ => None,
+    }
+}
+
+/// Whether a loop body contains a `break` belonging to *this* loop (nested
+/// loops own their breaks).
+fn contains_break(body: &Block) -> bool {
+    body.iter().any(|s| match &s.kind {
+        StmtKind::Break => true,
+        StmtKind::If {
+            then_block,
+            else_block,
+            ..
+        } => contains_break(then_block) || contains_break(else_block),
+        StmtKind::Block(b) => contains_break(b),
+        // A break inside a nested loop exits that loop, not this one.
+        StmtKind::While { .. } | StmtKind::ForRange { .. } => false,
+        _ => false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<&'static str> {
+        lint_source(src)
+            .expect("parses")
+            .iter()
+            .map(|d| d.code.id())
+            .collect()
+    }
+
+    #[test]
+    fn w001_undefined_variable() {
+        let ds = lint_source("let a = 1;\na + typo").unwrap();
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, Code::UndefinedVariable);
+        assert_eq!(ds[0].line, 2);
+        assert!(ds[0].message.contains("typo"));
+        // Unknown function calls are W001 too.
+        assert_eq!(codes("ghost(1)"), vec!["W001"]);
+    }
+
+    #[test]
+    fn w002_use_before_assignment() {
+        // The dropped-initialization shape: the `let` is gone, uses remain.
+        let ds = lint_source("let n = 3;\nacc = acc + n;\nlet acc = 0;\nacc").unwrap();
+        assert!(
+            ds.iter()
+                .any(|d| d.code == Code::UseBeforeAssignment && d.line == 2),
+            "{ds:?}"
+        );
+        assert!(
+            ds.iter().all(|d| d.code != Code::UndefinedVariable),
+            "a later binding exists, so this is W002, not W001: {ds:?}"
+        );
+        // Sibling-scope escape is also W002.
+        assert!(codes("if 1 < 0 { } let a = 1; { let b = a; b; } b").contains(&"W002"));
+    }
+
+    #[test]
+    fn w003_unused_variable_param_function() {
+        assert_eq!(codes("let unused = 5; let x = 1; x"), vec!["W003"]);
+        let ds = lint_source("fn f(a, b) { return a; } f(1, 2)").unwrap();
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, Code::Unused);
+        assert!(ds[0].message.contains("parameter `b`"));
+        let ds = lint_source("fn helper(x) { return x; } 1 + 1").unwrap();
+        assert!(
+            ds.iter()
+                .any(|d| d.code == Code::Unused && d.message.contains("function `helper`")),
+            "{ds:?}"
+        );
+        // Underscore names and loop variables are exempt.
+        assert!(codes("let _scratch = 1; 2").is_empty());
+        assert!(codes("let s = 0; for i in range(0, 3) { s = s + 1; } s").is_empty());
+    }
+
+    #[test]
+    fn w004_unreachable_code() {
+        let ds = lint_source("fn f() {\n  return 1;\n  let a = 2;\n  a;\n}\nf()").unwrap();
+        let w4: Vec<_> = ds
+            .iter()
+            .filter(|d| d.code == Code::UnreachableCode)
+            .collect();
+        assert_eq!(w4.len(), 1, "one frontier report: {ds:?}");
+        assert_eq!(w4[0].line, 3);
+        assert!(codes("for i in range(0, 3) { continue; 1 + 1; }").contains(&"W004"));
+    }
+
+    #[test]
+    fn w005_constant_condition() {
+        assert!(codes("if 1 < 2 { 1; } else { 2; }").contains(&"W005"));
+        assert!(codes("if true { 1; }").contains(&"W005"));
+        assert!(codes("let x = 1; while false { x = 2; } x").contains(&"W005"));
+        // `while true` without break never exits.
+        assert!(codes("while true { let x = 1; x; }").contains(&"W005"));
+        // ... but with a break it is the idiomatic unbounded loop.
+        assert!(codes("let i = 0; while true { i = i + 1; if i > 3 { break; } } i").is_empty());
+        // A break owned by a nested loop does not rescue the outer loop.
+        assert!(codes("while true { for i in range(0, 3) { break; } }").contains(&"W005"));
+    }
+
+    #[test]
+    fn w006_arity_mismatch() {
+        let ds = lint_source("fn add(a, b) { return a + b; } add(1)").unwrap();
+        assert!(ds.iter().any(|d| d.code == Code::ArityMismatch), "{ds:?}");
+        assert_eq!(codes("sqrt(1, 2)"), vec!["W006"]);
+        assert_eq!(codes("let a = zeros(3); vdot(a)"), vec!["W006"]);
+        // print is variadic.
+        assert!(codes("print(1, 2, 3)").is_empty());
+    }
+
+    #[test]
+    fn w007_shadowing() {
+        let ds = lint_source("let x = 1;\n{ let x = 2; x; }\nx").unwrap();
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, Code::Shadowing);
+        assert_eq!(ds[0].line, 2);
+        assert!(ds[0].message.contains("line 1"));
+        // A loop variable shadowing an outer binding warns too.
+        assert!(codes("let i = 9; for i in range(0, 2) { } i").contains(&"W007"));
+        // Distinct scopes with the same name do not shadow.
+        assert!(codes("{ let t = 1; t; } { let t = 2; t; }").is_empty());
+    }
+
+    #[test]
+    fn w008_division_by_constant_zero() {
+        assert_eq!(codes("let n = 4; n / 0"), vec!["W008"]);
+        assert_eq!(codes("let n = 4; n % (1 - 1)"), vec!["W008"]);
+        // Non-zero and non-constant divisors are fine.
+        assert!(codes("let n = 4; n / 2").is_empty());
+        assert!(codes("let n = 4; let d = 0; n / d").is_empty());
+    }
+
+    #[test]
+    fn clean_realistic_programs_have_zero_findings() {
+        // Shapes mirroring the perf-gap kernels: these must stay silent or
+        // E15's false-positive rate lies.
+        for src in [
+            "fn dot(a, b, n) { let acc = 0; for i in range(0, n) { acc = acc + a[i] * b[i]; } return acc; }\nlet x = fill(64, 1.5); let y = fill(64, 2.0); dot(x, y, 64)",
+            "let inside = 0;\nfor i in range(0, 100) { let v = i % 7; if v < 3 { inside = inside + 1; } }\ninside",
+            "fn f(n) { if n < 2 { return n; } return f(n - 1) + f(n - 2); } f(10)",
+            "let a = [1, 2, 3]; a[0] = a[1] + a[2]; a[0]",
+            "let i = 0; while i < 10 { i = i + 1; } i",
+        ] {
+            let ds = lint_source(src).unwrap();
+            assert!(ds.is_empty(), "false positive on clean program:\n{src}\n{ds:?}");
+        }
+    }
+
+    #[test]
+    fn diagnostics_sort_by_line_then_code() {
+        let ds = lint_source("let u = 1;\nlet v = w;\nif true { 1; }").unwrap();
+        let lines: Vec<u32> = ds.iter().map(|d| d.line).collect();
+        let mut sorted = lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(lines, sorted, "{ds:?}");
+    }
+
+    #[test]
+    fn dead_code_does_not_double_report_resolution_issues() {
+        // The unreachable block references an undefined name; it gets W004
+        // for the block, not a W001 as well.
+        let ds = lint_source("fn f() { return 1; ghost; } f()").unwrap();
+        assert!(ds.iter().any(|d| d.code == Code::UnreachableCode));
+        assert!(
+            ds.iter().all(|d| d.code != Code::UndefinedVariable),
+            "{ds:?}"
+        );
+    }
+}

@@ -2,10 +2,13 @@
 //!
 //! Precedence (loosest to tightest): `or` < `and` < equality < comparison
 //! < additive < multiplicative < unary < postfix (call/index) < primary.
+//!
+//! Every node is stamped with the source line of its first token, so both
+//! runtime errors and [`crate::lint`] diagnostics can point back at code.
 
 use std::rc::Rc;
 
-use crate::ast::{BinOp, Block, Expr, FnDef, Program, Stmt, UnOp};
+use crate::ast::{BinOp, Block, Expr, ExprKind, FnDef, Program, Stmt, StmtKind, UnOp};
 use crate::error::{Error, Result};
 use crate::lexer::{lex, Tok, Token};
 
@@ -157,10 +160,11 @@ impl Parser {
     }
 
     fn stmt(&mut self, in_fn: bool) -> Result<Stmt> {
+        let line = self.line();
         match self.peek() {
             Tok::Fn => Err(Error::parse(
                 "functions may only be declared at the top level",
-                self.line(),
+                line,
             )),
             Tok::Let => {
                 self.advance();
@@ -168,23 +172,23 @@ impl Parser {
                 self.eat(&Tok::Assign, "`=`")?;
                 let init = self.expr()?;
                 self.terminator()?;
-                Ok(Stmt::Let { name, init })
+                Ok(Stmt::new(StmtKind::Let { name, init }, line))
             }
             Tok::If => self.if_stmt(in_fn),
             Tok::While => {
                 self.advance();
                 let cond = self.expr()?;
                 let body = self.block(in_fn)?;
-                Ok(Stmt::While { cond, body })
+                Ok(Stmt::new(StmtKind::While { cond, body }, line))
             }
             Tok::For => {
                 self.advance();
                 let var = self.eat_ident("loop variable")?;
                 self.eat(&Tok::In, "`in`")?;
-                let line = self.line();
+                let iter_line = self.line();
                 let iter = self.expr()?;
-                let (start, end) = match iter {
-                    Expr::Call { name, mut args, .. } if name == "range" && args.len() == 2 => {
+                let (start, end) = match iter.kind {
+                    ExprKind::Call { name, mut args } if name == "range" && args.len() == 2 => {
                         let end = args.pop().expect("len checked");
                         let start = args.pop().expect("len checked");
                         (start, end)
@@ -192,20 +196,22 @@ impl Parser {
                     _ => {
                         return Err(Error::parse(
                             "`for` requires `range(start, end)` as its iterator",
-                            line,
+                            iter_line,
                         ))
                     }
                 };
                 let body = self.block(in_fn)?;
-                Ok(Stmt::ForRange {
-                    var,
-                    start,
-                    end,
-                    body,
-                })
+                Ok(Stmt::new(
+                    StmtKind::ForRange {
+                        var,
+                        start,
+                        end,
+                        body,
+                    },
+                    line,
+                ))
             }
             Tok::Return => {
-                let line = self.line();
                 if !in_fn {
                     return Err(Error::parse("`return` outside a function", line));
                 }
@@ -216,45 +222,51 @@ impl Parser {
                     Some(self.expr()?)
                 };
                 self.terminator()?;
-                Ok(Stmt::Return(value))
+                Ok(Stmt::new(StmtKind::Return(value), line))
             }
             Tok::Break => {
                 self.advance();
                 self.terminator()?;
-                Ok(Stmt::Break)
+                Ok(Stmt::new(StmtKind::Break, line))
             }
             Tok::Continue => {
                 self.advance();
                 self.terminator()?;
-                Ok(Stmt::Continue)
+                Ok(Stmt::new(StmtKind::Continue, line))
             }
-            Tok::LBrace => Ok(Stmt::Block(self.block(in_fn)?)),
+            Tok::LBrace => Ok(Stmt::new(StmtKind::Block(self.block(in_fn)?), line)),
             _ => {
                 // Expression, assignment, or index assignment.
                 let e = self.expr()?;
                 if self.peek() == &Tok::Assign {
-                    let line = self.line();
+                    let eq_line = self.line();
                     self.advance();
                     let value = self.expr()?;
                     self.terminator()?;
-                    match e {
-                        Expr::Var(name) => Ok(Stmt::Assign { name, value }),
-                        Expr::Index { base, index } => Ok(Stmt::IndexAssign {
-                            base: *base,
-                            index: *index,
-                            value,
-                        }),
-                        _ => Err(Error::parse("invalid assignment target", line)),
+                    match e.kind {
+                        ExprKind::Var(name) => {
+                            Ok(Stmt::new(StmtKind::Assign { name, value }, line))
+                        }
+                        ExprKind::Index { base, index } => Ok(Stmt::new(
+                            StmtKind::IndexAssign {
+                                base: *base,
+                                index: *index,
+                                value,
+                            },
+                            line,
+                        )),
+                        _ => Err(Error::parse("invalid assignment target", eq_line)),
                     }
                 } else {
                     self.terminator()?;
-                    Ok(Stmt::Expr(e))
+                    Ok(Stmt::new(StmtKind::Expr(e), line))
                 }
             }
         }
     }
 
     fn if_stmt(&mut self, in_fn: bool) -> Result<Stmt> {
+        let line = self.line();
         self.eat(&Tok::If, "`if`")?;
         let cond = self.expr()?;
         let then_block = self.block(in_fn)?;
@@ -270,11 +282,14 @@ impl Parser {
         } else {
             Vec::new()
         };
-        Ok(Stmt::If {
-            cond,
-            then_block,
-            else_block,
-        })
+        Ok(Stmt::new(
+            StmtKind::If {
+                cond,
+                then_block,
+                else_block,
+            },
+            line,
+        ))
     }
 
     // ---- expressions ----
@@ -286,9 +301,10 @@ impl Parser {
     fn or_expr(&mut self) -> Result<Expr> {
         let mut lhs = self.and_expr()?;
         while self.peek() == &Tok::Or {
+            let line = self.line();
             self.advance();
             let rhs = self.and_expr()?;
-            lhs = Expr::Or(Box::new(lhs), Box::new(rhs));
+            lhs = Expr::new(ExprKind::Or(Box::new(lhs), Box::new(rhs)), line);
         }
         Ok(lhs)
     }
@@ -296,9 +312,10 @@ impl Parser {
     fn and_expr(&mut self) -> Result<Expr> {
         let mut lhs = self.equality()?;
         while self.peek() == &Tok::And {
+            let line = self.line();
             self.advance();
             let rhs = self.equality()?;
-            lhs = Expr::And(Box::new(lhs), Box::new(rhs));
+            lhs = Expr::new(ExprKind::And(Box::new(lhs), Box::new(rhs)), line);
         }
         Ok(lhs)
     }
@@ -311,13 +328,17 @@ impl Parser {
                 Tok::Ne => BinOp::Ne,
                 _ => break,
             };
+            let line = self.line();
             self.advance();
             let rhs = self.comparison()?;
-            lhs = Expr::Bin {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
+            lhs = Expr::new(
+                ExprKind::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                line,
+            );
         }
         Ok(lhs)
     }
@@ -332,13 +353,17 @@ impl Parser {
                 Tok::Ge => BinOp::Ge,
                 _ => break,
             };
+            let line = self.line();
             self.advance();
             let rhs = self.additive()?;
-            lhs = Expr::Bin {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
+            lhs = Expr::new(
+                ExprKind::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                line,
+            );
         }
         Ok(lhs)
     }
@@ -351,13 +376,17 @@ impl Parser {
                 Tok::Minus => BinOp::Sub,
                 _ => break,
             };
+            let line = self.line();
             self.advance();
             let rhs = self.multiplicative()?;
-            lhs = Expr::Bin {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
+            lhs = Expr::new(
+                ExprKind::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                line,
+            );
         }
         Ok(lhs)
     }
@@ -371,34 +400,45 @@ impl Parser {
                 Tok::Percent => BinOp::Mod,
                 _ => break,
             };
+            let line = self.line();
             self.advance();
             let rhs = self.unary()?;
-            lhs = Expr::Bin {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
+            lhs = Expr::new(
+                ExprKind::Bin {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                line,
+            );
         }
         Ok(lhs)
     }
 
     fn unary(&mut self) -> Result<Expr> {
+        let line = self.line();
         match self.peek() {
             Tok::Minus => {
                 self.advance();
                 let e = self.unary()?;
-                Ok(Expr::Un {
-                    op: UnOp::Neg,
-                    expr: Box::new(e),
-                })
+                Ok(Expr::new(
+                    ExprKind::Un {
+                        op: UnOp::Neg,
+                        expr: Box::new(e),
+                    },
+                    line,
+                ))
             }
             Tok::Not => {
                 self.advance();
                 let e = self.unary()?;
-                Ok(Expr::Un {
-                    op: UnOp::Not,
-                    expr: Box::new(e),
-                })
+                Ok(Expr::new(
+                    ExprKind::Un {
+                        op: UnOp::Not,
+                        expr: Box::new(e),
+                    },
+                    line,
+                ))
             }
             _ => self.postfix(),
         }
@@ -407,13 +447,17 @@ impl Parser {
     fn postfix(&mut self) -> Result<Expr> {
         let mut e = self.primary()?;
         while self.peek() == &Tok::LBracket {
+            let line = self.line();
             self.advance();
             let index = self.expr()?;
             self.eat(&Tok::RBracket, "`]`")?;
-            e = Expr::Index {
-                base: Box::new(e),
-                index: Box::new(index),
-            };
+            e = Expr::new(
+                ExprKind::Index {
+                    base: Box::new(e),
+                    index: Box::new(index),
+                },
+                line,
+            );
         }
         Ok(e)
     }
@@ -423,23 +467,23 @@ impl Parser {
         match self.peek().clone() {
             Tok::Num(n) => {
                 self.advance();
-                Ok(Expr::Num(n))
+                Ok(Expr::new(ExprKind::Num(n), line))
             }
             Tok::Str(s) => {
                 self.advance();
-                Ok(Expr::Str(s))
+                Ok(Expr::new(ExprKind::Str(s), line))
             }
             Tok::True => {
                 self.advance();
-                Ok(Expr::Bool(true))
+                Ok(Expr::new(ExprKind::Bool(true), line))
             }
             Tok::False => {
                 self.advance();
-                Ok(Expr::Bool(false))
+                Ok(Expr::new(ExprKind::Bool(false), line))
             }
             Tok::Nil => {
                 self.advance();
-                Ok(Expr::Nil)
+                Ok(Expr::new(ExprKind::Nil, line))
             }
             Tok::LParen => {
                 self.advance();
@@ -461,7 +505,7 @@ impl Parser {
                     }
                 }
                 self.eat(&Tok::RBracket, "`]`")?;
-                Ok(Expr::Array(elems))
+                Ok(Expr::new(ExprKind::Array(elems), line))
             }
             Tok::Ident(name) => {
                 if self.peek2() == &Tok::LParen {
@@ -479,10 +523,10 @@ impl Parser {
                         }
                     }
                     self.eat(&Tok::RParen, "`)`")?;
-                    Ok(Expr::Call { name, args, line })
+                    Ok(Expr::new(ExprKind::Call { name, args }, line))
                 } else {
                     self.advance();
-                    Ok(Expr::Var(name))
+                    Ok(Expr::new(ExprKind::Var(name), line))
                 }
             }
             other => Err(Error::parse(format!("unexpected token {other:?}"), line)),
@@ -498,17 +542,17 @@ mod tests {
     fn parses_let_and_expression() {
         let p = parse("let x = 1 + 2 * 3;").unwrap();
         assert_eq!(p.main.len(), 1);
-        match &p.main[0] {
-            Stmt::Let { name, init } => {
+        match &p.main[0].kind {
+            StmtKind::Let { name, init } => {
                 assert_eq!(name, "x");
                 // 1 + (2 * 3) by precedence.
-                match init {
-                    Expr::Bin {
+                match &init.kind {
+                    ExprKind::Bin {
                         op: BinOp::Add,
                         rhs,
                         ..
                     } => {
-                        assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }));
+                        assert!(matches!(rhs.kind, ExprKind::Bin { op: BinOp::Mul, .. }));
                     }
                     other => panic!("bad tree: {other:?}"),
                 }
@@ -530,16 +574,16 @@ mod tests {
     #[test]
     fn for_desugars_range() {
         let p = parse("for i in range(0, 10) { i; }").unwrap();
-        match &p.main[0] {
-            Stmt::ForRange {
+        match &p.main[0].kind {
+            StmtKind::ForRange {
                 var,
                 start,
                 end,
                 body,
             } => {
                 assert_eq!(var, "i");
-                assert_eq!(*start, Expr::Num(0.0));
-                assert_eq!(*end, Expr::Num(10.0));
+                assert_eq!(start.kind, ExprKind::Num(0.0));
+                assert_eq!(end.kind, ExprKind::Num(10.0));
                 assert_eq!(body.len(), 1);
             }
             other => panic!("expected for, got {other:?}"),
@@ -551,10 +595,10 @@ mod tests {
     #[test]
     fn else_if_chains() {
         let p = parse("if a { 1; } else if b { 2; } else { 3; }").unwrap();
-        match &p.main[0] {
-            Stmt::If { else_block, .. } => {
+        match &p.main[0].kind {
+            StmtKind::If { else_block, .. } => {
                 assert_eq!(else_block.len(), 1);
-                assert!(matches!(else_block[0], Stmt::If { .. }));
+                assert!(matches!(else_block[0].kind, StmtKind::If { .. }));
             }
             other => panic!("expected if, got {other:?}"),
         }
@@ -563,12 +607,12 @@ mod tests {
     #[test]
     fn assignments_and_targets() {
         assert!(matches!(
-            parse("x = 1;").unwrap().main[0],
-            Stmt::Assign { .. }
+            parse("x = 1;").unwrap().main[0].kind,
+            StmtKind::Assign { .. }
         ));
         assert!(matches!(
-            parse("a[0] = 1;").unwrap().main[0],
-            Stmt::IndexAssign { .. }
+            parse("a[0] = 1;").unwrap().main[0].kind,
+            StmtKind::IndexAssign { .. }
         ));
         assert!(parse("1 = 2;").is_err());
         assert!(parse("f() = 2;").is_err());
@@ -577,9 +621,15 @@ mod tests {
     #[test]
     fn trailing_expression_needs_no_semicolon() {
         let p = parse("let x = 1; x").unwrap();
-        assert!(matches!(p.main[1], Stmt::Expr(Expr::Var(_))));
+        assert!(matches!(
+            p.main[1].kind,
+            StmtKind::Expr(Expr {
+                kind: ExprKind::Var(_),
+                ..
+            })
+        ));
         let p = parse("if a { x }").unwrap();
-        assert!(matches!(p.main[0], Stmt::If { .. }));
+        assert!(matches!(p.main[0].kind, StmtKind::If { .. }));
         // But two expressions without a separator fail.
         assert!(parse("x y").is_err());
     }
@@ -603,8 +653,11 @@ mod tests {
     fn short_circuit_operators_parse_with_precedence() {
         // `a or b and c` is `a or (b and c)`.
         let p = parse("a or b and c").unwrap();
-        match &p.main[0] {
-            Stmt::Expr(Expr::Or(_, rhs)) => assert!(matches!(**rhs, Expr::And(_, _))),
+        match &p.main[0].kind {
+            StmtKind::Expr(Expr {
+                kind: ExprKind::Or(_, rhs),
+                ..
+            }) => assert!(matches!(rhs.kind, ExprKind::And(_, _))),
             other => panic!("bad parse: {other:?}"),
         }
     }
@@ -612,9 +665,12 @@ mod tests {
     #[test]
     fn postfix_index_chains() {
         let p = parse("m[i][j]").unwrap();
-        match &p.main[0] {
-            Stmt::Expr(Expr::Index { base, .. }) => {
-                assert!(matches!(**base, Expr::Index { .. }));
+        match &p.main[0].kind {
+            StmtKind::Expr(Expr {
+                kind: ExprKind::Index { base, .. },
+                ..
+            }) => {
+                assert!(matches!(base.kind, ExprKind::Index { .. }));
             }
             other => panic!("bad parse: {other:?}"),
         }
@@ -629,18 +685,58 @@ mod tests {
     #[test]
     fn call_argument_lists() {
         let p = parse("f(1, 2, g(3))").unwrap();
-        match &p.main[0] {
-            Stmt::Expr(Expr::Call { name, args, .. }) => {
+        match &p.main[0].kind {
+            StmtKind::Expr(Expr {
+                kind: ExprKind::Call { name, args },
+                ..
+            }) => {
                 assert_eq!(name, "f");
                 assert_eq!(args.len(), 3);
-                assert!(matches!(args[2], Expr::Call { .. }));
+                assert!(matches!(args[2].kind, ExprKind::Call { .. }));
             }
             other => panic!("bad parse: {other:?}"),
         }
         let p = parse("f()").unwrap();
-        match &p.main[0] {
-            Stmt::Expr(Expr::Call { args, .. }) => assert!(args.is_empty()),
+        match &p.main[0].kind {
+            StmtKind::Expr(Expr {
+                kind: ExprKind::Call { args, .. },
+                ..
+            }) => assert!(args.is_empty()),
             other => panic!("bad parse: {other:?}"),
         }
+    }
+
+    #[test]
+    fn every_node_carries_its_source_line() {
+        let src = "let a = 1;\nlet b = a +\n  2;\nif a < b {\n  b = a / b;\n}";
+        let p = parse(src).unwrap();
+        assert_eq!(p.main[0].line, 1);
+        assert_eq!(p.main[1].line, 2);
+        match &p.main[1].kind {
+            StmtKind::Let { init, .. } => {
+                // The `+` operator sits on line 2; its rhs literal on line 3.
+                assert_eq!(init.line, 2);
+                match &init.kind {
+                    ExprKind::Bin { rhs, .. } => assert_eq!(rhs.line, 3),
+                    other => panic!("bad tree: {other:?}"),
+                }
+            }
+            other => panic!("expected let, got {other:?}"),
+        }
+        assert_eq!(p.main[2].line, 4);
+        match &p.main[2].kind {
+            StmtKind::If { then_block, .. } => {
+                assert_eq!(then_block[0].line, 5);
+                match &then_block[0].kind {
+                    StmtKind::Assign { value, .. } => assert_eq!(value.line, 5),
+                    other => panic!("expected assign, got {other:?}"),
+                }
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+        // Function definitions already carried lines; they still do.
+        let p = parse("\n\nfn f(x) { return x; }").unwrap();
+        assert_eq!(p.functions[0].line, 3);
+        assert_eq!(p.functions[0].body[0].line, 3);
     }
 }

@@ -1,0 +1,146 @@
+//! Lexical name resolution with unique symbol identities.
+//!
+//! Each binding (`let`, parameter, loop variable) becomes a [`Symbol`] with
+//! a unique id, so two bindings that share a name — shadowing — stay
+//! distinguishable in the control-flow graph and the dataflow analysis.
+//! The [`SymbolTable`] mirrors the interpreter's scope stack: resolution
+//! walks scopes innermost-first, and popping a scope retires its symbols.
+
+/// What kind of binding introduced a symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymKind {
+    /// A function parameter (assigned at entry).
+    Param,
+    /// A `let` binding (assigned by its mandatory initializer).
+    Local,
+    /// A `for` loop variable (assigned by the loop header, exempt from
+    /// unused-variable reporting: discarding the index is idiomatic).
+    LoopVar,
+}
+
+/// One binding within a function region.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    /// Unique id within the region (index into [`SymbolTable::symbols`]).
+    pub id: usize,
+    /// Source name.
+    pub name: String,
+    /// Binding kind.
+    pub kind: SymKind,
+    /// Line of the declaration.
+    pub line: u32,
+}
+
+/// A scope-stack symbol table for one function region (the top level, or
+/// one function body).
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Every symbol ever declared in the region, in declaration order.
+    pub symbols: Vec<Symbol>,
+    /// Visible scopes, innermost last; each holds ids declared in it.
+    scopes: Vec<Vec<usize>>,
+}
+
+impl SymbolTable {
+    /// Creates a table with the outermost scope open.
+    pub fn new() -> Self {
+        SymbolTable {
+            symbols: Vec::new(),
+            scopes: vec![Vec::new()],
+        }
+    }
+
+    /// Opens a nested scope.
+    pub fn push_scope(&mut self) {
+        self.scopes.push(Vec::new());
+    }
+
+    /// Closes the innermost scope, returning the ids that just went out of
+    /// scope (the CFG builder turns these into kill actions).
+    pub fn pop_scope(&mut self) -> Vec<usize> {
+        self.scopes.pop().expect("balanced scopes")
+    }
+
+    /// Declares a binding in the innermost scope. Returns the new symbol id
+    /// and, when the name was already visible, the id it now shadows.
+    pub fn declare(&mut self, name: &str, kind: SymKind, line: u32) -> (usize, Option<usize>) {
+        let shadowed = self.resolve(name);
+        let id = self.symbols.len();
+        self.symbols.push(Symbol {
+            id,
+            name: name.to_string(),
+            kind,
+            line,
+        });
+        self.scopes.last_mut().expect("a scope is open").push(id);
+        (id, shadowed)
+    }
+
+    /// Resolves a name to the innermost visible symbol, if any.
+    pub fn resolve(&self, name: &str) -> Option<usize> {
+        for scope in self.scopes.iter().rev() {
+            for &id in scope.iter().rev() {
+                if self.symbols[id].name == name {
+                    return Some(id);
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether any symbol with this name was declared anywhere in the
+    /// region, in or out of scope. Distinguishes a dropped initialization
+    /// (binding exists somewhere: use-before-assignment) from a typo
+    /// (no binding at all: undefined variable).
+    pub fn declared_anywhere(&self, name: &str) -> bool {
+        self.symbols.iter().any(|s| s.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_finds_innermost_binding() {
+        let mut t = SymbolTable::new();
+        let (outer, sh) = t.declare("x", SymKind::Local, 1);
+        assert_eq!(sh, None);
+        t.push_scope();
+        let (inner, sh) = t.declare("x", SymKind::Local, 2);
+        assert_eq!(sh, Some(outer), "inner x shadows outer x");
+        assert_eq!(t.resolve("x"), Some(inner));
+        let killed = t.pop_scope();
+        assert_eq!(killed, vec![inner]);
+        assert_eq!(t.resolve("x"), Some(outer), "outer visible again");
+    }
+
+    #[test]
+    fn same_scope_redeclaration_shadows() {
+        let mut t = SymbolTable::new();
+        let (a, _) = t.declare("v", SymKind::Local, 1);
+        let (b, sh) = t.declare("v", SymKind::Local, 2);
+        assert_eq!(sh, Some(a));
+        assert_eq!(t.resolve("v"), Some(b));
+    }
+
+    #[test]
+    fn declared_anywhere_sees_retired_symbols() {
+        let mut t = SymbolTable::new();
+        t.push_scope();
+        t.declare("gone", SymKind::Local, 3);
+        t.pop_scope();
+        assert_eq!(t.resolve("gone"), None);
+        assert!(t.declared_anywhere("gone"));
+        assert!(!t.declared_anywhere("never"));
+    }
+
+    #[test]
+    fn params_and_loop_vars_carry_their_kind() {
+        let mut t = SymbolTable::new();
+        let (p, _) = t.declare("n", SymKind::Param, 1);
+        let (i, _) = t.declare("i", SymKind::LoopVar, 2);
+        assert_eq!(t.symbols[p].kind, SymKind::Param);
+        assert_eq!(t.symbols[i].kind, SymKind::LoopVar);
+    }
+}

@@ -109,13 +109,16 @@ impl Vm {
                                 _ => Value::Num(a * b),
                             }
                         } else {
-                            binop(op, &l, &r)?
+                            binop(op, &l, &r).map_err(|e| e.with_line(func.lines[ip - 1]))?
                         };
                         self.stack.push(v);
                     }
                     Op::Neg => {
                         let v = self.pop();
-                        self.stack.push(Value::Num(-v.as_num("unary `-`")?));
+                        self.stack.push(Value::Num(
+                            -v.as_num("unary `-`")
+                                .map_err(|e| e.with_line(func.lines[ip - 1]))?,
+                        ));
                     }
                     Op::Not => {
                         let v = self.pop();
@@ -142,7 +145,8 @@ impl Vm {
                         if frames.len() >= MAX_FRAMES {
                             return Err(Error::runtime(format!(
                                 "call depth exceeded {MAX_FRAMES} (runaway recursion?)"
-                            )));
+                            ))
+                            .with_line(func.lines[ip - 1]));
                         }
                         let callee = &compiled.funcs[fidx as usize];
                         debug_assert_eq!(callee.arity, argc, "arity checked at compile time");
@@ -163,7 +167,8 @@ impl Vm {
                         let name = builtins::NAMES[bidx as usize];
                         let f = builtins::lookup(name).expect("index from compiler");
                         let at = self.stack.len() - argc as usize;
-                        let v = f(&self.stack[at..])?;
+                        let v =
+                            f(&self.stack[at..]).map_err(|e| e.with_line(func.lines[ip - 1]))?;
                         self.stack.truncate(at);
                         self.stack.push(v);
                     }
@@ -189,13 +194,14 @@ impl Vm {
                     Op::IndexGet => {
                         let i = self.pop();
                         let b = self.pop();
-                        self.stack.push(index_get(&b, &i)?);
+                        self.stack
+                            .push(index_get(&b, &i).map_err(|e| e.with_line(func.lines[ip - 1]))?);
                     }
                     Op::IndexSet => {
                         let v = self.pop();
                         let i = self.pop();
                         let b = self.pop();
-                        index_set(&b, &i, v)?;
+                        index_set(&b, &i, v).map_err(|e| e.with_line(func.lines[ip - 1]))?;
                     }
                     Op::Pop => {
                         self.pop();
@@ -317,6 +323,18 @@ mod tests {
         assert!(run("let a = [1]; a[3]").is_err());
         assert!(run("sqrt(\"x\")").is_err());
         assert!(run("-\"s\"").is_err());
+    }
+
+    #[test]
+    fn runtime_errors_carry_the_failing_line() {
+        let err = run("let a = 1;\nlet b = a / 0;\nb").unwrap_err();
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
+        let err = run("let a = [1];\n\na[3]").unwrap_err();
+        assert!(err.to_string().starts_with("line 3:"), "{err}");
+        let err = run("let x = 2;\nsqrt(\"no\");").unwrap_err();
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
+        let err = run("let a = [1];\na[0] = \"x\" * 2;").unwrap_err();
+        assert!(err.to_string().starts_with("line 2:"), "{err}");
     }
 
     #[test]

@@ -56,6 +56,47 @@ fn expr_strategy() -> impl Strategy<Value = String> {
     })
 }
 
+/// Strategy: a small arithmetic expression over the mutable slots `v0`–`v3`.
+fn small_expr() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (-9i32..10).prop_map(|n| n.to_string()),
+        (0usize..4).prop_map(|k| format!("v{k}")),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![Just("+"), Just("-"), Just("*")],
+        )
+            .prop_map(|(l, r, op)| format!("({l} {op} {r})"))
+    })
+}
+
+/// Strategy: a random *statement* — assignments at the leaves, `if`/`else`
+/// and bounded `for` loops above them — exercising control flow, scoping,
+/// and jump compilation rather than just expression evaluation.
+fn stmt_strategy() -> impl Strategy<Value = String> {
+    let assign = (0usize..4, small_expr()).prop_map(|(k, e)| format!("v{k} = {e};"));
+    assign.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            (
+                small_expr(),
+                proptest::collection::vec(inner.clone(), 1..3),
+                proptest::collection::vec(inner.clone(), 0..3),
+            )
+                .prop_map(|(c, t, e)| {
+                    format!(
+                        "if ({c} % 2) == 0 {{ {} }} else {{ {} }}",
+                        t.join(" "),
+                        e.join(" ")
+                    )
+                }),
+            (1u32..5, proptest::collection::vec(inner, 1..3))
+                .prop_map(|(b, body)| format!("for i in range(0, {b}) {{ {} }}", body.join(" "))),
+        ]
+    })
+}
+
 /// Wraps an expression in a program that declares the free variables.
 fn program(expr: &str, x: i32, y: i32, z: i32, f: bool) -> String {
     format!("let x = {x};\nlet y = {y};\nlet z = {z};\nlet f = {f};\n{expr}")
@@ -63,6 +104,17 @@ fn program(expr: &str, x: i32, y: i32, z: i32, f: bool) -> String {
 
 fn outcome(r: Result<Value, rcr_minilang::Error>) -> Result<Value, ()> {
     r.map_err(|_| ())
+}
+
+/// Like [`outcome`] but compares through the display form, normalizing NaN
+/// (repeated multiplication can overflow to inf, and inf - inf is NaN,
+/// which is never `==` itself).
+fn norm(r: Result<Value, rcr_minilang::Error>) -> Result<String, ()> {
+    r.map(|v| match v {
+        Value::Num(n) if n.is_nan() => "NaN".to_owned(),
+        v => v.to_string(),
+    })
+    .map_err(|_| ())
 }
 
 proptest! {
@@ -116,5 +168,25 @@ proptest! {
         let c = outcome(run_source_vm_optimized(&src));
         prop_assert_eq!(a.clone(), b, "interp vs vm on: {}", src);
         prop_assert_eq!(a, c, "interp vs optimized vm on: {}", src);
+    }
+
+    #[test]
+    fn random_statement_programs_agree_after_optimization(
+        stmts in proptest::collection::vec(stmt_strategy(), 1..6),
+        a in -5i32..5,
+        b in -5i32..5,
+        c in -5i32..5,
+        d in -5i32..5,
+    ) {
+        // Tree-walk the program as written; run the optimized form on the
+        // VM. Statement-level generation covers branches, loops, and
+        // assignment interleavings the expression strategies cannot reach.
+        let src = format!(
+            "let v0 = {a};\nlet v1 = {b};\nlet v2 = {c};\nlet v3 = {d};\n{}\nv0 + v1 + v2 + v3",
+            stmts.join("\n")
+        );
+        let tree = norm(run_source(&src));
+        let vm = norm(run_source_vm_optimized(&src));
+        prop_assert_eq!(tree, vm, "tiers disagree on: {}", src);
     }
 }

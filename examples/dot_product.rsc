@@ -1,0 +1,15 @@
+# Dot product of two generated vectors — the tier-1 kernel from the
+# performance study, written the way the paper's survey respondents would.
+fn dot(a, b, n) {
+  let acc = 0;
+  for i in range(0, n) {
+    acc = acc + a[i] * b[i];
+  }
+  return acc;
+}
+
+let n = 64;
+let x = fill(n, 1.5);
+let y = fill(n, 2.0);
+print("dot =", dot(x, y, n));
+dot(x, y, n)

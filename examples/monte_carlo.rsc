@@ -1,0 +1,17 @@
+# Monte-Carlo estimate of pi with a hand-rolled LCG, so the run is
+# deterministic: same seed, same estimate, every time.
+let seed = 12345;
+let inside = 0;
+let n = 2000;
+for i in range(0, n) {
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  let x = seed / 2147483648;
+  seed = (seed * 1103515245 + 12345) % 2147483648;
+  let y = seed / 2147483648;
+  if x * x + y * y < 1 {
+    inside = inside + 1;
+  }
+}
+let pi = 4 * inside / n;
+print("pi ~", pi);
+pi

@@ -1,0 +1,17 @@
+# Welford's running mean and variance over a synthetic series — the
+# numerically stable one-pass formulation.
+let n = 100;
+let mean = 0;
+let m2 = 0;
+let count = 0;
+for i in range(0, n) {
+  let x = (i * 7) % 13;
+  count = count + 1;
+  let delta = x - mean;
+  mean = mean + delta / count;
+  m2 = m2 + delta * (x - mean);
+}
+let variance = m2 / (count - 1);
+print("mean =", mean);
+print("var =", variance);
+variance

@@ -99,8 +99,24 @@ fn experiment_index_matches_drivers() {
     assert_eq!(
         ids,
         vec![
-            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
+            "E14", "E15"
         ]
+    );
+}
+
+#[test]
+fn lint_study_runs_and_renders() {
+    let study = ex().e15_lint_detection(8).expect("E15");
+    assert_eq!(study.clean_with_findings, 0, "lint false positive");
+    assert_eq!(study.classes.len(), 5);
+    assert!(rcr_bench::render::e15_figure(&study).contains("</svg>"));
+    assert_eq!(rcr_bench::render::e15_table(&study).n_rows(), 5);
+    // Byte-identical reruns: the study is a function of the master seed.
+    let again = ex().e15_lint_detection(8).expect("E15 rerun");
+    assert_eq!(
+        serde_json::to_string(&study).expect("serializes"),
+        serde_json::to_string(&again).expect("serializes")
     );
 }
 

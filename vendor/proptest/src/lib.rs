@@ -670,11 +670,8 @@ mod tests {
     #[test]
     fn map_filter_union_compose() {
         let mut rng = crate::test_runner::TestRng::deterministic("t2");
-        let s = prop_oneof![
-            (0i32..50).prop_map(|n| n * 2),
-            Just(1i32),
-        ]
-        .prop_filter("odd or small-even", |n| *n % 2 == 1 || *n < 60);
+        let s = prop_oneof![(0i32..50).prop_map(|n| n * 2), Just(1i32),]
+            .prop_filter("odd or small-even", |n| *n % 2 == 1 || *n < 60);
         for _ in 0..500 {
             let v = s.sample(&mut rng);
             assert!(v == 1 || (v % 2 == 0 && v < 60), "v = {v}");

@@ -121,9 +121,7 @@ pub mod value {
         /// Object field lookup by key (linear scan; objects here are small).
         pub fn get(&self, key: &str) -> Option<&Value> {
             match self {
-                Value::Object(fields) => {
-                    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
-                }
+                Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
                 _ => None,
             }
         }

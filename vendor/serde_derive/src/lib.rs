@@ -74,7 +74,11 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
     let kind = match tokens.get(i) {
         Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
         Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
-        other => return Err(format!("derive: expected `struct` or `enum`, got {other:?}")),
+        other => {
+            return Err(format!(
+                "derive: expected `struct` or `enum`, got {other:?}"
+            ))
+        }
     };
     i += 1;
 
@@ -97,7 +101,11 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                 "derive on `{name}`: tuple structs are not supported by the vendored serde_derive"
             ));
         }
-        other => return Err(format!("derive on `{name}`: expected a braced body, got {other:?}")),
+        other => {
+            return Err(format!(
+                "derive on `{name}`: expected a braced body, got {other:?}"
+            ))
+        }
     };
 
     if kind == "struct" {
@@ -294,9 +302,7 @@ fn gen_serialize(item: &Item) -> String {
                         let pairs: Vec<String> = fields
                             .iter()
                             .map(|f| {
-                                format!(
-                                    "({f:?}.to_string(), ::serde::Serialize::to_value({f}))"
-                                )
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))")
                             })
                             .collect();
                         arms.push_str(&format!(

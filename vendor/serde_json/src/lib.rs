@@ -221,8 +221,7 @@ impl<'a> Parser<'a> {
                                     return Err(self.err("lone surrogate"));
                                 }
                             } else {
-                                char::from_u32(cp)
-                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid \\u escape"))?
                             };
                             out.push(c);
                             continue;
@@ -322,7 +321,9 @@ mod tests {
 
     #[test]
     fn rejects_malformed_input() {
-        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "\"open", "1.2.3", "[1] x"] {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "tru", "\"open", "1.2.3", "[1] x",
+        ] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
     }
@@ -331,7 +332,10 @@ mod tests {
     fn round_trips_through_text() {
         let v = Value::Object(vec![
             ("name".into(), Value::Str("q \"x\"\n".into())),
-            ("xs".into(), Value::Array(vec![Value::UInt(1), Value::Float(0.5)])),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::UInt(1), Value::Float(0.5)]),
+            ),
             ("neg".into(), Value::Int(-7)),
         ]);
         let text = to_string(&v).unwrap();
