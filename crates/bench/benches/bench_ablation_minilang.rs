@@ -1,9 +1,13 @@
 //! Ablation for the ResearchScript implementation choices: tree-walking vs
 //! bytecode vs bytecode + constant folding, on programs where folding has
-//! something to fold and on programs where it does not.
+//! something to fold and on programs where it does not — plus the peephole
+//! pass ablations (fused vs unfused dispatch, constant-pool dedup on/off).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rcr_minilang::{run_source, run_source_vm, run_source_vm_optimized};
+use rcr_minilang::{
+    bytecode, parser, peephole, run_source, run_source_vm, run_source_vm_fused,
+    run_source_vm_optimized, vm::Vm,
+};
 
 /// A loop whose body is full of foldable subexpressions (unit conversions
 /// and literal arithmetic inlined the way quickly-written scripts do it).
@@ -55,6 +59,52 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("bytecode_folded", |b| {
         b.iter(|| run_source_vm_optimized(UNFOLDABLE).expect("runs"))
+    });
+    g.finish();
+
+    // Peephole ablation 1: superinstruction fusion on vs off, end to end.
+    assert_eq!(
+        run_source_vm(UNFOLDABLE).expect("runs"),
+        run_source_vm_fused(UNFOLDABLE).expect("runs")
+    );
+    let mut g = c.benchmark_group("ablation_minilang_fusion");
+    g.sample_size(10);
+    g.bench_function("unfused", |b| {
+        b.iter(|| run_source_vm(UNFOLDABLE).expect("runs"))
+    });
+    g.bench_function("fused", |b| {
+        b.iter(|| run_source_vm_fused(UNFOLDABLE).expect("runs"))
+    });
+    g.finish();
+
+    // Peephole ablation 2: constant-pool dedup on vs off, fusion held on.
+    // FOLDABLE's body repeats the same literals, so the pools differ.
+    let compiled = bytecode::compile(&parser::parse(FOLDABLE).expect("parses")).expect("compiles");
+    let with_dedup = peephole::optimize_with(
+        &compiled,
+        peephole::Options {
+            fuse: true,
+            dedup_consts: true,
+        },
+    );
+    let no_dedup = peephole::optimize_with(
+        &compiled,
+        peephole::Options {
+            fuse: true,
+            dedup_consts: false,
+        },
+    );
+    assert_eq!(
+        Vm::new().run(&with_dedup).expect("runs"),
+        Vm::new().run(&no_dedup).expect("runs")
+    );
+    let mut g = c.benchmark_group("ablation_minilang_const_dedup");
+    g.sample_size(10);
+    g.bench_function("dedup", |b| {
+        b.iter(|| Vm::new().run(&with_dedup).expect("runs"))
+    });
+    g.bench_function("no_dedup", |b| {
+        b.iter(|| Vm::new().run(&no_dedup).expect("runs"))
     });
     g.finish();
 }

@@ -1,0 +1,51 @@
+//! E16 (Table 9): the superinstruction-VM gap closure — plain bytecode VM
+//! vs the peephole-fused VM on the scalar-loop workloads where dispatch
+//! overhead dominates.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::experiments::Experiments;
+use rcr_core::perfgap::GapConfig;
+use rcr_core::MASTER_SEED;
+use rcr_minilang::{run_source_vm, run_source_vm_fused};
+
+const MCPI: &str = "fn mcpi(n) {\n  let seed = 12345;\n  let hits = 0;\n  for i in range(0, n) {\n    seed = (seed * 16807) % 2147483647;\n    let x = seed / 2147483647;\n    seed = (seed * 16807) % 2147483647;\n    let y = seed / 2147483647;\n    if x * x + y * y <= 1 { hits = hits + 1; }\n  }\n  return 4 * hits / n;\n}\nmcpi(20000)";
+
+const DOT: &str = "fn dot(a, b, n) {\n  let acc = 0;\n  for i in range(0, n) { acc = acc + a[i] * b[i]; }\n  return acc;\n}\nlet n = 20000;\nlet a = fill(n, 1.5);\nlet b = fill(n, 2.0);\ndot(a, b, n)";
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let closures = ex.e16_gap_closure(&GapConfig::quick()).expect("E16 runs");
+    println!("{}", render::e16_table(&closures).render_ascii());
+
+    // Both tiers agree before we time anything.
+    for src in [MCPI, DOT] {
+        assert_eq!(
+            run_source_vm(src).expect("plain vm runs"),
+            run_source_vm_fused(src).expect("fused vm runs")
+        );
+    }
+
+    let mut g = c.benchmark_group("e16_mcpi_vm_tiers");
+    g.sample_size(10);
+    g.bench_function("bytecode", |b| {
+        b.iter(|| run_source_vm(MCPI).expect("script runs"))
+    });
+    g.bench_function("bytecode_fused", |b| {
+        b.iter(|| run_source_vm_fused(MCPI).expect("script runs"))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("e16_dot_vm_tiers");
+    g.sample_size(10);
+    g.bench_function("bytecode", |b| {
+        b.iter(|| run_source_vm(DOT).expect("script runs"))
+    });
+    g.bench_function("bytecode_fused", |b| {
+        b.iter(|| run_source_vm_fused(DOT).expect("script runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--quick] [--out DIR]
 //!
-//!   EXPERIMENT   e1..e15 (default: all)
+//!   EXPERIMENT   e1..e16 (default: all)
 //!   --quick      reduced sizes for the timing experiments (CI-friendly)
 //!   --out DIR    write tables (.txt/.csv) and figures (.svg) to DIR
 //!                (default: print tables to stdout only)
@@ -39,7 +39,7 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--help" | "-h" => {
-                return Err("usage: reproduce [e1..e15 ...] [--quick] [--out DIR]".to_owned())
+                return Err("usage: reproduce [e1..e16 ...] [--quick] [--out DIR]".to_owned())
             }
             e if e.starts_with('e') || e.starts_with('E') => {
                 which.push(e.to_lowercase());
@@ -127,7 +127,7 @@ fn main() {
         match info {
             Some(i) => println!("== {} ({}): {} ==\n", i.id, i.artifact, i.title),
             None => {
-                eprintln!("unknown experiment `{id}` (expected e1..e15)");
+                eprintln!("unknown experiment `{id}` (expected e1..e16)");
                 std::process::exit(2);
             }
         }
@@ -250,6 +250,12 @@ fn run_one(
             emit.table("e15", "lint_detection", &render::e15_table(&study));
             emit.figure("e15", "lint_detection", &render::e15_figure(&study));
             emit.json("e15", "lint_detection", &study);
+        }
+        "e16" => {
+            let closures = ex.e16_gap_closure(gap_config)?;
+            emit.table("e16", "gap_closure", &render::e16_table(&closures));
+            emit.figure("e16", "gap_closure", &render::e16_figure(&closures));
+            emit.json("e16", "gap_closure", &closures);
         }
         other => unreachable!("validated above: {other}"),
     }

@@ -3,7 +3,7 @@
 use rcr_core::compare::{DistributionShift, FieldAdoption, ItemShift, LikertShift};
 use rcr_core::experiments::{Demographics, LoadPoint, PolicyOutcome, ResiliencePoint};
 use rcr_core::lintstudy::LintStudy;
-use rcr_core::perfgap::{KernelGap, ScalingCurve};
+use rcr_core::perfgap::{GapClosure, KernelGap, ScalingCurve, Tier};
 use rcr_core::trend::LanguageTrend;
 use rcr_report::fmt;
 use rcr_report::svg::{self, Series};
@@ -107,27 +107,37 @@ pub fn e3_slope_table(trends: &[LanguageTrend]) -> Table {
     t
 }
 
+/// The speedup-bar tiers of the E5 figure, in ladder order.
+const E5_FIGURE_TIERS: [Tier; 5] = [
+    Tier::Vm,
+    Tier::VmFused,
+    Tier::NativeNaive,
+    Tier::NativeOptimized,
+    Tier::NativeParallel,
+];
+
 /// E5: the performance-gap figure (log-scale speedup bars over the
-/// tree-walk baseline).
+/// tree-walk baseline). Tier labels come from [`Tier::name`].
 pub fn e5_figure(gaps: &[KernelGap]) -> String {
-    let labels = [
-        "bytecode VM",
-        "native naive",
-        "native optimized",
-        "native parallel",
-    ];
+    let labels: Vec<&str> = E5_FIGURE_TIERS.iter().map(|t| t.name()).collect();
     let groups: Vec<(&str, Vec<f64>)> = gaps
         .iter()
         .map(|g| {
             let s = |tier| g.speedup_vs_interp(tier).unwrap_or(1.0);
             (
                 g.kernel.as_str(),
-                vec![
-                    s(g.tiers.vm),
-                    s(g.tiers.native_naive),
-                    s(g.tiers.native_optimized.or(g.tiers.native_naive)),
-                    s(g.tiers.native_parallel),
-                ],
+                E5_FIGURE_TIERS
+                    .iter()
+                    .map(|&tier| {
+                        // The optimized-native bar falls back to naive for
+                        // kernels without a distinct optimized variant.
+                        let t = match tier {
+                            Tier::NativeOptimized => g.tiers.native_best_serial(),
+                            other => g.tiers.get(other),
+                        };
+                        s(t)
+                    })
+                    .collect(),
             )
         })
         .collect();
@@ -140,20 +150,13 @@ pub fn e5_figure(gaps: &[KernelGap]) -> String {
     )
 }
 
-/// E5/E11: the gap table (absolute medians plus speedups).
+/// E5/E11: the gap table (absolute medians plus speedups). Tier columns
+/// come from [`Tier::ALL`] so the table tracks the measured ladder.
 pub fn gap_table(title: &str, gaps: &[KernelGap]) -> Table {
-    let mut t = Table::new([
-        "kernel",
-        "size",
-        "tree-walk",
-        "bytecode",
-        "vectorized",
-        "native",
-        "nat-opt",
-        "nat-par",
-        "interp→native",
-    ])
-    .title(title.to_owned());
+    let mut headers = vec!["kernel".to_owned(), "size".to_owned()];
+    headers.extend(Tier::ALL.iter().map(|t| t.name().to_owned()));
+    headers.push("interp→native".into());
+    let mut t = Table::new(headers).title(title.to_owned());
     for g in gaps {
         let cell = |tier: Option<rcr_core::perfgap::TierTime>| {
             tier.map_or("—".to_owned(), |m| fmt::duration_s(m.median_s))
@@ -161,17 +164,10 @@ pub fn gap_table(title: &str, gaps: &[KernelGap]) -> Table {
         let final_speedup = g
             .speedup_vs_interp(g.tiers.native_parallel.or(g.tiers.native_optimized))
             .map_or("—".to_owned(), fmt::speedup);
-        t.row([
-            g.kernel.clone(),
-            g.size.clone(),
-            cell(g.tiers.interp),
-            cell(g.tiers.vm),
-            cell(g.tiers.vectorized),
-            cell(g.tiers.native_naive),
-            cell(g.tiers.native_optimized),
-            cell(g.tiers.native_parallel),
-            final_speedup,
-        ]);
+        let mut cells = vec![g.kernel.clone(), g.size.clone()];
+        cells.extend(Tier::ALL.iter().map(|&tier| cell(g.tiers.get(tier))));
+        cells.push(final_speedup);
+        t.row(cells);
     }
     t
 }
@@ -318,30 +314,75 @@ pub fn e10_table(points: &[LoadPoint]) -> Table {
     t
 }
 
+/// The script tiers of the E11 ablation, in ladder order.
+const E11_TIERS: [Tier; 4] = [Tier::Interp, Tier::Vm, Tier::VmFused, Tier::Vectorized];
+
 /// E11: the interpreter-ablation table (gap of each script tier to the
-/// best native serial implementation).
+/// best native serial implementation). Column names come from
+/// [`Tier::name`], the single tier-name table.
 pub fn e11_table(gaps: &[KernelGap]) -> Table {
-    let mut t = Table::new(["kernel", "tree-walk gap", "bytecode gap", "vectorized gap"])
+    let mut headers = vec!["kernel".to_owned()];
+    headers.extend(E11_TIERS.iter().map(|t| format!("{} gap", t.name())));
+    let mut t = Table::new(headers)
         .title("Table 6: slowdown vs optimized native, by interpreter tier".to_owned());
     for g in gaps {
         let native = g
             .tiers
-            .native_optimized
-            .or(g.tiers.native_naive)
+            .native_best_serial()
             .expect("native tier always measured");
         let gap = |tier: Option<rcr_core::perfgap::TierTime>| {
             tier.map_or("—".to_owned(), |m| {
                 fmt::speedup(m.median_s / native.median_s)
             })
         };
+        let mut cells = vec![g.kernel.clone()];
+        cells.extend(E11_TIERS.iter().map(|&tier| gap(g.tiers.get(tier))));
+        t.row(cells);
+    }
+    t
+}
+
+/// E16: Table 9 — how much of the bytecode-VM → native gap the peephole /
+/// superinstruction pass closes per workload.
+pub fn e16_table(closures: &[GapClosure]) -> Table {
+    let mut t = Table::new([
+        "kernel".to_owned(),
+        "size".to_owned(),
+        Tier::Vm.name().to_owned(),
+        Tier::VmFused.name().to_owned(),
+        "native best".to_owned(),
+        "speedup".to_owned(),
+        "gap closed".to_owned(),
+    ])
+    .title("Table 9: VM→native gap closed by the superinstruction pass".to_owned());
+    for c in closures {
         t.row([
-            g.kernel.clone(),
-            gap(g.tiers.interp),
-            gap(g.tiers.vm),
-            gap(g.tiers.vectorized),
+            c.kernel.clone(),
+            c.size.clone(),
+            fmt::duration_s(c.vm_s),
+            fmt::duration_s(c.vm_fused_s),
+            fmt::duration_s(c.native_best_s),
+            fmt::speedup(c.speedup),
+            fmt::pct(c.closure_frac),
         ]);
     }
     t
+}
+
+/// E16 companion figure: fused-VM speedup over the plain VM per workload.
+pub fn e16_figure(closures: &[GapClosure]) -> String {
+    let labels = [Tier::VmFused.name()];
+    let groups: Vec<(&str, Vec<f64>)> = closures
+        .iter()
+        .map(|c| (c.kernel.as_str(), vec![c.speedup]))
+        .collect();
+    svg::bar_chart(
+        "Table 9 figure: fused-VM speedup over the plain bytecode VM",
+        "speedup (×)",
+        &labels,
+        &groups,
+        false,
+    )
 }
 
 /// E12: pain-point table.
@@ -593,15 +634,25 @@ mod tests {
         let gaps = e.e5_perf_gap(&GapConfig::quick()).unwrap();
         let fig = e5_figure(&gaps);
         assert!(fig.contains("matmul"));
+        assert!(fig.contains(Tier::VmFused.name()), "fused tier in legend");
         let t = gap_table("Figure 2 data", &gaps);
         assert_eq!(t.n_rows(), 4);
-        assert!(t.render_ascii().contains("×"));
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("×"));
+        assert!(ascii.contains(Tier::VmFused.name()));
         let t = e11_table(&gaps);
         assert_eq!(t.n_rows(), 4);
-        assert!(
-            t.render_ascii().contains("—"),
-            "missing tiers shown as em-dash"
-        );
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("—"), "missing tiers shown as em-dash");
+        assert!(ascii.contains("fused VM gap"), "fused ablation column");
+
+        let closures = rcr_core::perfgap::gap_closure(&gaps);
+        let t = e16_table(&closures);
+        assert_eq!(t.n_rows(), 4);
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("gap closed") && ascii.contains('%'));
+        let fig = e16_figure(&closures);
+        assert!(fig.contains("<svg") && fig.contains("mc-pi"));
 
         let curves = e.e6_scaling(&GapConfig::quick()).unwrap();
         let fig = e6_figure(&curves);

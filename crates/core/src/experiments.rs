@@ -1,4 +1,4 @@
-//! The experiment registry: one driver per table/figure (E1–E15), all
+//! The experiment registry: one driver per table/figure (E1–E16), all
 //! deterministic from one master seed. `DESIGN.md` §4 is the index; the
 //! `reproduce` binary and the Criterion benches both call these drivers.
 
@@ -18,7 +18,9 @@ use crate::compare::{
     DistributionShift, FieldAdoption, ItemShift, LikertShift,
 };
 use crate::lintstudy::{run_study, LintStudy};
-use crate::perfgap::{measure_gaps, measure_scaling, GapConfig, KernelGap, ScalingCurve};
+use crate::perfgap::{
+    gap_closure, measure_gaps, measure_scaling, GapClosure, GapConfig, KernelGap, ScalingCurve,
+};
 use crate::questionnaire as q;
 use crate::trend::{language_trends, LanguageTrend};
 use crate::Result;
@@ -35,7 +37,7 @@ pub struct ExperimentInfo {
 }
 
 /// The experiment index (matches `DESIGN.md` §4).
-pub const INDEX: [ExperimentInfo; 15] = [
+pub const INDEX: [ExperimentInfo; 16] = [
     ExperimentInfo {
         id: "E1",
         artifact: "Table 1",
@@ -110,6 +112,11 @@ pub const INDEX: [ExperimentInfo; 15] = [
         id: "E15",
         artifact: "Table 8",
         title: "Static-analysis defect detection (seeded injection)",
+    },
+    ExperimentInfo {
+        id: "E16",
+        artifact: "Table 9",
+        title: "Superinstruction VM gap closure",
     },
 ];
 
@@ -487,6 +494,16 @@ impl Experiments {
     pub fn e15_lint_detection(&self, n_per_class: usize) -> Result<LintStudy> {
         run_study(self.seed, n_per_class)
     }
+
+    /// E16: per-workload closure of the bytecode-VM → native gap by the
+    /// peephole / superinstruction pass (reuses the E5 measurement
+    /// machinery; every tier is verified before timing).
+    ///
+    /// # Errors
+    /// Script / verification errors.
+    pub fn e16_gap_closure(&self, config: &GapConfig) -> Result<Vec<GapClosure>> {
+        Ok(gap_closure(&measure_gaps(config)?))
+    }
 }
 
 #[cfg(test)]
@@ -499,10 +516,10 @@ mod tests {
     }
 
     #[test]
-    fn index_lists_fifteen_unique_ids() {
+    fn index_lists_sixteen_unique_ids() {
         let mut ids: Vec<&str> = INDEX.iter().map(|i| i.id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 16);
         assert_eq!(INDEX[0].id, "E1");
         assert_eq!(INDEX[11].artifact, "Figure 6");
         assert_eq!(INDEX[12].id, "E13");
@@ -510,6 +527,8 @@ mod tests {
         assert_eq!(INDEX[13].artifact, "Figure 7");
         assert_eq!(INDEX[14].id, "E15");
         assert_eq!(INDEX[14].artifact, "Table 8");
+        assert_eq!(INDEX[15].id, "E16");
+        assert_eq!(INDEX[15].artifact, "Table 9");
     }
 
     #[test]

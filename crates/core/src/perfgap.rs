@@ -9,7 +9,7 @@ use serde::Serialize;
 
 use rcr_kernels::harness::{measure, Measurement};
 use rcr_kernels::{dotaxpy, matmul, montecarlo, par, reduce, stencil};
-use rcr_minilang::{bytecode, interp::Interpreter, parser, vm::Vm, Value};
+use rcr_minilang::{bytecode, interp::Interpreter, parser, peephole, vm::Vm, Value};
 use rcr_stats::regression::{amdahl_speedup, fit_amdahl};
 
 use crate::{Error, Result};
@@ -71,6 +71,56 @@ impl From<Measurement> for TierTime {
     }
 }
 
+/// One execution tier of the gap study, in ladder order (slowest first).
+///
+/// The display names here are the single source of truth: every table and
+/// figure (`reproduce e5`/`e11`/`e16`, the render module) takes tier labels
+/// from [`Tier::name`] so prose, tables, and legends cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Tier {
+    /// ResearchScript on the tree-walking interpreter.
+    Interp,
+    /// ResearchScript on the plain bytecode VM.
+    Vm,
+    /// ResearchScript on the bytecode VM after the peephole /
+    /// superinstruction pass.
+    VmFused,
+    /// ResearchScript using the vectorized builtins.
+    Vectorized,
+    /// Native Rust, naive variant.
+    NativeNaive,
+    /// Native Rust, locality/allocation-optimized variant.
+    NativeOptimized,
+    /// Native Rust, parallel variant.
+    NativeParallel,
+}
+
+impl Tier {
+    /// Every tier, in ladder order.
+    pub const ALL: [Tier; 7] = [
+        Tier::Interp,
+        Tier::Vm,
+        Tier::VmFused,
+        Tier::Vectorized,
+        Tier::NativeNaive,
+        Tier::NativeOptimized,
+        Tier::NativeParallel,
+    ];
+
+    /// The human-readable tier label used by every table and figure.
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Interp => "tree-walk",
+            Tier::Vm => "bytecode VM",
+            Tier::VmFused => "fused VM",
+            Tier::Vectorized => "vectorized",
+            Tier::NativeNaive => "native naive",
+            Tier::NativeOptimized => "native optimized",
+            Tier::NativeParallel => "native parallel",
+        }
+    }
+}
+
 /// All execution tiers for one kernel. Tiers a kernel cannot express (e.g.
 /// a vectorized Monte-Carlo) are `None`.
 #[derive(Debug, Clone, Serialize, Default)]
@@ -79,6 +129,8 @@ pub struct TierTimes {
     pub interp: Option<TierTime>,
     /// ResearchScript on the bytecode VM.
     pub vm: Option<TierTime>,
+    /// ResearchScript on the fused (peephole-optimized) bytecode VM.
+    pub vm_fused: Option<TierTime>,
     /// ResearchScript using the vectorized builtins.
     pub vectorized: Option<TierTime>,
     /// Native Rust, naive variant.
@@ -87,6 +139,27 @@ pub struct TierTimes {
     pub native_optimized: Option<TierTime>,
     /// Native Rust, parallel variant.
     pub native_parallel: Option<TierTime>,
+}
+
+impl TierTimes {
+    /// The measured time for `tier`, if that tier ran on this kernel.
+    pub fn get(&self, tier: Tier) -> Option<TierTime> {
+        match tier {
+            Tier::Interp => self.interp,
+            Tier::Vm => self.vm,
+            Tier::VmFused => self.vm_fused,
+            Tier::Vectorized => self.vectorized,
+            Tier::NativeNaive => self.native_naive,
+            Tier::NativeOptimized => self.native_optimized,
+            Tier::NativeParallel => self.native_parallel,
+        }
+    }
+
+    /// The faster of the two serial native tiers (optimized when measured,
+    /// naive otherwise) — the denominator of the E16 gap-closure metric.
+    pub fn native_best_serial(&self) -> Option<TierTime> {
+        self.native_optimized.or(self.native_naive)
+    }
 }
 
 /// One kernel's row in the gap table/figure.
@@ -224,6 +297,14 @@ fn run_vm(src: &str) -> Result<f64> {
     value_to_f64(v)
 }
 
+fn run_vm_fused(src: &str) -> Result<f64> {
+    let program = parser::parse(src)?;
+    let compiled = bytecode::compile(&program)?;
+    let fused = peephole::optimize(&compiled);
+    let v = Vm::new().run(&fused)?;
+    value_to_f64(v)
+}
+
 fn value_to_f64(v: Value) -> Result<f64> {
     match v {
         Value::Num(n) => Ok(n),
@@ -282,11 +363,13 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
         let n = if config.quick { 20_000 } else { 1_000_000 };
         let (m_interp, r_interp) = measure_script(&dot_script(n, false), reps, run_interp)?;
         let (m_vm, r_vm) = measure_script(&dot_script(n, false), reps, run_vm)?;
+        let (m_fused, r_fused) = measure_script(&dot_script(n, false), reps, run_vm_fused)?;
         let (m_vec, r_vec) = measure_script(&dot_script(n, true), reps, run_vm)?;
         let a = script_vec_a(n);
         let b = script_vec_b(n);
         let native_ref = dotaxpy::dot_optimized(&a, &b);
         verify_close("dot interp/vm", r_interp, r_vm, 1e-12)?;
+        verify_close("dot vm/fused", r_vm, r_fused, 0.0)?;
         verify_close("dot vm/vectorized", r_vm, r_vec, 1e-9)?;
         verify_close("dot script/native", r_vm, native_ref, 1e-9)?;
         let mut sink = 0.0;
@@ -304,6 +387,7 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
             tiers: TierTimes {
                 interp: Some(m_interp.into()),
                 vm: Some(m_vm.into()),
+                vm_fused: Some(m_fused.into()),
                 vectorized: Some(m_vec.into()),
                 native_naive: Some(m_naive.into()),
                 native_optimized: Some(m_opt.into()),
@@ -317,8 +401,10 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
         let n = if config.quick { 20_000 } else { 1_000_000 };
         let (m_interp, r_interp) = measure_script(&saxpy_script(n, false), reps, run_interp)?;
         let (m_vm, r_vm) = measure_script(&saxpy_script(n, false), reps, run_vm)?;
+        let (m_fused, r_fused) = measure_script(&saxpy_script(n, false), reps, run_vm_fused)?;
         let (m_vec, r_vec) = measure_script(&saxpy_script(n, true), reps, run_vm)?;
         verify_close("saxpy interp/vm", r_interp, r_vm, 1e-12)?;
+        verify_close("saxpy vm/fused", r_vm, r_fused, 0.0)?;
         verify_close("saxpy vm/vectorized", r_vm, r_vec, 1e-9)?;
         let x = script_vec_a(n);
         let base = script_vec_b(n);
@@ -361,6 +447,7 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
             tiers: TierTimes {
                 interp: Some(m_interp.into()),
                 vm: Some(m_vm.into()),
+                vm_fused: Some(m_fused.into()),
                 vectorized: Some(m_vec.into()),
                 native_naive: Some(m_naive.into()),
                 native_optimized: Some(m_opt.into()),
@@ -375,7 +462,9 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
         let src = mcpi_script(n as usize);
         let (m_interp, r_interp) = measure_script(&src, reps, run_interp)?;
         let (m_vm, r_vm) = measure_script(&src, reps, run_vm)?;
+        let (m_fused, r_fused) = measure_script(&src, reps, run_vm_fused)?;
         verify_close("mc-pi interp/vm", r_interp, r_vm, 0.0)?;
+        verify_close("mc-pi vm/fused", r_vm, r_fused, 0.0)?;
         // The scripted LCG and both native verifiers are bit-identical.
         verify_close("mc-pi script/native-lcg", r_vm, mcpi_native(n), 0.0)?;
         verify_close(
@@ -399,6 +488,7 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
             tiers: TierTimes {
                 interp: Some(m_interp.into()),
                 vm: Some(m_vm.into()),
+                vm_fused: Some(m_fused.into()),
                 vectorized: None, // no vectorized form of the sampling loop
                 native_naive: Some(m_naive.into()),
                 native_optimized: Some(m_opt.into()),
@@ -413,7 +503,9 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
         let src = matmul_script(n);
         let (m_interp, r_interp) = measure_script(&src, reps, run_interp)?;
         let (m_vm, r_vm) = measure_script(&src, reps, run_vm)?;
+        let (m_fused, r_fused) = measure_script(&src, reps, run_vm_fused)?;
         verify_close("matmul interp/vm", r_interp, r_vm, 1e-12)?;
+        verify_close("matmul vm/fused", r_vm, r_fused, 0.0)?;
         let a = script_vec_a(n * n);
         let b = script_vec_b(n * n);
         let native_ref: f64 = matmul::naive(&a, &b, n).iter().sum();
@@ -433,6 +525,7 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
             tiers: TierTimes {
                 interp: Some(m_interp.into()),
                 vm: Some(m_vm.into()),
+                vm_fused: Some(m_fused.into()),
                 vectorized: None, // no matrix builtin — deliberately
                 native_naive: Some(m_naive.into()),
                 native_optimized: Some(m_opt.into()),
@@ -442,6 +535,57 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
     }
 
     Ok(out)
+}
+
+// ---- gap closure (E16) --------------------------------------------------
+
+/// How much of the bytecode-VM → native gap the fused VM closes on one
+/// kernel (experiment E16).
+#[derive(Debug, Clone, Serialize)]
+pub struct GapClosure {
+    /// Kernel name.
+    pub kernel: String,
+    /// Human-readable problem size.
+    pub size: String,
+    /// Plain bytecode-VM median seconds.
+    pub vm_s: f64,
+    /// Fused-VM median seconds.
+    pub vm_fused_s: f64,
+    /// Best serial native median seconds (optimized, else naive).
+    pub native_best_s: f64,
+    /// Fused-VM speedup over the plain VM (`vm / fused`).
+    pub speedup: f64,
+    /// Fraction of the log-scale VM → native gap the fused tier closes:
+    /// `(ln vm − ln fused) / (ln vm − ln native)`. Zero when fusion buys
+    /// nothing; 1.0 would mean the fused VM reached native speed.
+    pub closure_frac: f64,
+}
+
+/// Derives the E16 gap-closure rows from a measured gap study. Kernels
+/// missing any of the three required tiers are skipped.
+pub fn gap_closure(gaps: &[KernelGap]) -> Vec<GapClosure> {
+    gaps.iter()
+        .filter_map(|g| {
+            let vm = g.tiers.vm?.median_s.max(1e-12);
+            let fused = g.tiers.vm_fused?.median_s.max(1e-12);
+            let native = g.tiers.native_best_serial()?.median_s.max(1e-12);
+            let log_gap = (vm / native).ln();
+            let closure_frac = if log_gap.abs() > 1e-9 {
+                (vm / fused).ln() / log_gap
+            } else {
+                0.0
+            };
+            Some(GapClosure {
+                kernel: g.kernel.clone(),
+                size: g.size.clone(),
+                vm_s: vm,
+                vm_fused_s: fused,
+                native_best_s: native,
+                speedup: vm / fused,
+                closure_frac,
+            })
+        })
+        .collect()
 }
 
 // ---- scaling study (E6) ---------------------------------------------------
@@ -645,6 +789,83 @@ mod tests {
         assert_eq!(dot.kernel, "dot");
         assert!(dot.tiers.vectorized.is_some());
         assert!(dot.speedup_vs_interp(None).is_none());
+        // Every kernel measures the fused tier, and the closure rows
+        // derive from it.
+        for g in &gaps {
+            assert!(g.tiers.vm_fused.is_some(), "{}: fused missing", g.kernel);
+        }
+        let closures = gap_closure(&gaps);
+        assert_eq!(closures.len(), 4);
+        for c in &closures {
+            assert!(c.speedup > 0.0, "{}: speedup {}", c.kernel, c.speedup);
+            assert!(c.closure_frac.is_finite(), "{}", c.kernel);
+        }
+    }
+
+    #[test]
+    fn tier_table_is_the_single_name_source() {
+        assert_eq!(Tier::ALL.len(), 7);
+        let names: Vec<&str> = Tier::ALL.iter().map(|t| t.name()).collect();
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "duplicate tier names");
+        assert_eq!(Tier::VmFused.name(), "fused VM");
+        // `get` routes each enum member to the matching struct field.
+        let t = TierTimes {
+            vm_fused: Some(TierTime {
+                median_s: 1.0,
+                runs: 1,
+            }),
+            ..Default::default()
+        };
+        assert!(t.get(Tier::VmFused).is_some());
+        assert!(t.get(Tier::Vm).is_none());
+        assert!(t.native_best_serial().is_none());
+    }
+
+    #[test]
+    fn gap_closure_handles_missing_and_degenerate_tiers() {
+        let tt = |s: f64| {
+            Some(TierTime {
+                median_s: s,
+                runs: 1,
+            })
+        };
+        let gaps = vec![
+            KernelGap {
+                kernel: "full".into(),
+                size: "n=1".into(),
+                tiers: TierTimes {
+                    vm: tt(8.0),
+                    vm_fused: tt(4.0),
+                    native_naive: tt(2.0),
+                    native_optimized: tt(1.0),
+                    ..Default::default()
+                },
+            },
+            KernelGap {
+                kernel: "no-fused".into(),
+                size: "n=1".into(),
+                tiers: TierTimes {
+                    vm: tt(8.0),
+                    native_naive: tt(1.0),
+                    ..Default::default()
+                },
+            },
+        ];
+        let rows = gap_closure(&gaps);
+        assert_eq!(rows.len(), 1, "kernel without a fused tier is skipped");
+        let r = &rows[0];
+        assert_eq!(r.kernel, "full");
+        assert!((r.speedup - 2.0).abs() < 1e-12);
+        // ln(8/4) / ln(8/1): closed one of three halvings.
+        assert!(
+            (r.closure_frac - 1.0 / 3.0).abs() < 1e-12,
+            "{}",
+            r.closure_frac
+        );
+        assert_eq!(r.native_best_s, 1.0, "optimized preferred over naive");
     }
 
     #[test]

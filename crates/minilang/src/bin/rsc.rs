@@ -8,6 +8,8 @@
 //!                 and exit non-zero iff there are findings
 //!   --interp      use the tree-walking interpreter (default: bytecode VM)
 //!   --no-opt      skip the constant-folding optimizer (VM mode only)
+//!   --no-fuse     skip the bytecode peephole/superinstruction pass
+//!                 (VM mode only; on by default)
 //!   --disasm      print the compiled bytecode instead of running
 //!   --time        print wall time to stderr after the run
 //! ```
@@ -18,13 +20,16 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
-use rcr_minilang::{bytecode, disasm, interp::Interpreter, lint, optimize, parser, vm::Vm, Value};
+use rcr_minilang::{
+    bytecode, disasm, interp::Interpreter, lint, optimize, parser, peephole, vm::Vm, Value,
+};
 
 struct Args {
     source: Source,
     check: bool,
     interp: bool,
     optimize: bool,
+    fuse: bool,
     disasm: bool,
     time: bool,
 }
@@ -35,7 +40,7 @@ enum Source {
 }
 
 fn usage() -> &'static str {
-    "usage: rsc [--check] [--interp] [--no-opt] [--disasm] [--time] (FILE.rsc | -e 'EXPR')"
+    "usage: rsc [--check] [--interp] [--no-opt] [--no-fuse] [--disasm] [--time] (FILE.rsc | -e 'EXPR')"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -43,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
     let mut check = false;
     let mut interp = false;
     let mut optimize = true;
+    let mut fuse = true;
     let mut disasm = false;
     let mut time = false;
     let mut it = std::env::args().skip(1);
@@ -51,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
             "--check" => check = true,
             "--interp" => interp = true,
             "--no-opt" => optimize = false,
+            "--no-fuse" => fuse = false,
             "--disasm" => disasm = true,
             "--time" => time = true,
             "-e" => {
@@ -72,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
         check,
         interp,
         optimize,
+        fuse,
         disasm,
         time,
     })
@@ -133,9 +141,20 @@ fn main() -> ExitCode {
         program
     };
 
+    // The VM pipeline runs the peephole superinstruction pass by default;
+    // `--no-fuse` exposes the plain bytecode (and `--disasm` shows
+    // whichever one would execute).
+    let fuse = |c: bytecode::Compiled| {
+        if args.fuse {
+            peephole::optimize(&c)
+        } else {
+            c
+        }
+    };
+
     if args.disasm {
         match bytecode::compile(&program) {
-            Ok(c) => print!("{}", disasm::disassemble(&c)),
+            Ok(c) => print!("{}", disasm::disassemble(&fuse(c))),
             Err(e) => {
                 eprintln!("rsc: {e}");
                 return ExitCode::from(1);
@@ -148,7 +167,7 @@ fn main() -> ExitCode {
     let result = if args.interp {
         Interpreter::new().run(&program)
     } else {
-        bytecode::compile(&program).and_then(|c| Vm::new().run(&c))
+        bytecode::compile(&program).and_then(|c| Vm::new().run(&fuse(c)))
     };
     let dt = t0.elapsed();
     match result {

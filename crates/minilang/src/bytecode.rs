@@ -60,6 +60,54 @@ pub enum Op {
     Pop,
     /// Pop into the VM's result register (top-level expression statements).
     SetResult,
+
+    // --- Superinstructions ---------------------------------------------
+    // The compiler never emits these; [`crate::peephole`] synthesizes them
+    // from the plain opcodes above, and the VM executes them with fewer
+    // dispatches and less stack traffic. Each one is observably equivalent
+    // to the sequence it replaces (including error messages and source
+    // lines), which the equivalence proptests enforce.
+    /// Push local slot `a`, then local slot `b`
+    /// (fuses `LoadLocal(a); LoadLocal(b)`).
+    LoadLocal2(u16, u16),
+    /// Push local slot `a`, then constant `consts[c]`
+    /// (fuses `LoadLocal(a); Const(c)`).
+    LoadLocalConst(u16, u16),
+    /// Push `binop(op, slot a, slot b)`, reading both operands straight
+    /// from their frame slots (fuses `LoadLocal(a); LoadLocal(b); Bin(op)`).
+    BinLL(BinOp, u16, u16),
+    /// Push `binop(op, slot a, consts[c])`
+    /// (fuses `LoadLocal(a); Const(c); Bin(op)`).
+    BinLC(BinOp, u16, u16),
+    /// Pop `lhs`, push `binop(op, lhs, consts[c])`
+    /// (fuses `Const(c); Bin(op)`).
+    BinC(BinOp, u16),
+    /// `slot a = slot a + consts[c]` with no stack traffic (fuses
+    /// `LoadLocal(a); Const(c); Bin(Add); StoreLocal(a)`; the constant is
+    /// always numeric).
+    AddConstToLocal(u16, u16),
+    /// `slot a = slot a + 1` — the induction-variable special case of
+    /// [`Op::AddConstToLocal`].
+    IncLocal(u16),
+    /// Pop a value and add it into slot `a` in place — the accumulator
+    /// pattern (fuses `LoadLocal(a); …expr…; Bin(Add); StoreLocal(a)`
+    /// around a straight-line value expression).
+    AddStackToLocal(u16),
+    /// Pop `rhs` then `lhs`, jump to `t` when `binop(op, lhs, rhs)` is
+    /// false (fuses a comparison `Bin` with the `JumpIfFalse` consuming
+    /// it; `op` is always a comparison).
+    JumpIfNotCmp(BinOp, u32),
+    /// Push `slot a[slot b]` without touching the operand stack for base
+    /// or index (fuses `LoadLocal(a); LoadLocal(b); IndexGet`). Emitted
+    /// only when slot `a` is proven to hold a float array; the VM keeps a
+    /// guarded fast path and falls back to the generic
+    /// [`crate::value::index_get`] otherwise.
+    IndexGetF(u16, u16),
+    /// Pop a value and store it at `slot a[slot b]`
+    /// (fuses the `LoadLocal(a); LoadLocal(b); … ; IndexSet` shape around
+    /// a straight-line value expression). Same proof and fallback rules
+    /// as [`Op::IndexGetF`].
+    IndexSetF(u16, u16),
 }
 
 /// A compiled function body.

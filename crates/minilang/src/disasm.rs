@@ -79,6 +79,29 @@ fn render_op(f: &CompiledFn, op: Op) -> String {
         Op::IndexSet => "index.set".into(),
         Op::Pop => "pop".into(),
         Op::SetResult => "setresult".into(),
+        Op::LoadLocal2(a, b) => format!("load2      slot{a} slot{b}"),
+        Op::LoadLocalConst(a, c) => {
+            format!("load.const slot{a} {c} ; {}", f.consts[c as usize])
+        }
+        Op::BinLL(b, x, y) => format!("{:<10} slot{x} slot{y}", format!("{}.ll", bin_name(b))),
+        Op::BinLC(b, x, c) => format!(
+            "{:<10} slot{x} {c} ; {}",
+            format!("{}.lc", bin_name(b)),
+            f.consts[c as usize]
+        ),
+        Op::BinC(b, c) => format!(
+            "{:<10} {c} ; {}",
+            format!("{}.c", bin_name(b)),
+            f.consts[c as usize]
+        ),
+        Op::AddConstToLocal(a, c) => {
+            format!("addc       slot{a} {c} ; {}", f.consts[c as usize])
+        }
+        Op::IncLocal(a) => format!("inc        slot{a}"),
+        Op::AddStackToLocal(a) => format!("add.into   slot{a}"),
+        Op::JumpIfNotCmp(b, t) => format!("{:<10} -> {t}", format!("jnot.{}", bin_name(b))),
+        Op::IndexGetF(a, b) => format!("index.getf slot{a}[slot{b}]"),
+        Op::IndexSetF(a, b) => format!("index.setf slot{a}[slot{b}]"),
     }
 }
 

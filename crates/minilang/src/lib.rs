@@ -56,6 +56,7 @@ pub mod lexer;
 pub mod lint;
 pub mod optimize;
 pub mod parser;
+pub mod peephole;
 pub mod resolve;
 pub mod value;
 pub mod vm;
@@ -98,6 +99,20 @@ pub fn run_source_vm(src: &str) -> Result<Value> {
     let compiled = bytecode::compile(&program)?;
     let mut m = vm::Vm::new();
     m.run(&compiled)
+}
+
+/// Like [`run_source_vm`], but runs the [`peephole`] superinstruction pass
+/// over the compiled bytecode first — the "fused VM" tier that E11/E16
+/// measure.
+///
+/// # Errors
+/// Lexing, parsing, compilation, or runtime errors.
+pub fn run_source_vm_fused(src: &str) -> Result<Value> {
+    let program = parser::parse(src)?;
+    let compiled = bytecode::compile(&program)?;
+    let fused = peephole::optimize(&compiled);
+    let mut m = vm::Vm::new();
+    m.run(&fused)
 }
 
 #[cfg(test)]
@@ -156,6 +171,8 @@ mod tier_equivalence {
             let a = run_source(src).unwrap_or_else(|e| panic!("interp {name}: {e}"));
             let b = run_source_vm(src).unwrap_or_else(|e| panic!("vm {name}: {e}"));
             assert_eq!(a, b, "tier mismatch on `{name}`");
+            let c = run_source_vm_fused(src).unwrap_or_else(|e| panic!("fused {name}: {e}"));
+            assert_eq!(a, c, "fused tier mismatch on `{name}`");
         }
     }
 
@@ -180,6 +197,11 @@ mod tier_equivalence {
                 "interp `{src}`: {a}"
             );
             assert_eq!(a, b, "tier mismatch on `{src}`");
+            // The fused VM charges fuel per basic block, but the guarantee
+            // is identical: runaway programs fail with the same error.
+            let fused = peephole::optimize(&compiled);
+            let c = vm::Vm::with_fuel(50_000).run(&fused).unwrap_err();
+            assert_eq!(a, c, "fused tier mismatch on `{src}`");
         }
         for (name, src) in PROGRAMS {
             let program = parser::parse(src).expect("parses");
@@ -187,6 +209,9 @@ mod tier_equivalence {
             let compiled = bytecode::compile(&program).expect("compiles");
             let b = vm::Vm::with_fuel(1_000_000).run(&compiled);
             assert_eq!(a, b, "fueled tier mismatch on `{name}`");
+            let fused = peephole::optimize(&compiled);
+            let c = vm::Vm::with_fuel(1_000_000).run(&fused);
+            assert_eq!(b, c, "fueled fused tier mismatch on `{name}`");
             assert_eq!(
                 a.unwrap(),
                 run_source(src).unwrap(),
@@ -209,6 +234,10 @@ mod tier_equivalence {
             let b = run_source_vm(src);
             assert!(a.is_err(), "interp should fail on `{src}`");
             assert!(b.is_err(), "vm should fail on `{src}`");
+            assert!(
+                run_source_vm_fused(src).is_err(),
+                "fused vm should fail on `{src}`"
+            );
         }
     }
 }

@@ -56,6 +56,16 @@ impl Vm {
     /// # Errors
     /// [`Error::Runtime`] diagnostics.
     pub fn run(&mut self, compiled: &Compiled) -> Result<Value> {
+        // Monomorphize the dispatch loop: the unfueled VM carries no fuel
+        // branch at all, and the fueled VM charges whole basic blocks at
+        // control transfers instead of testing an `Option` per instruction.
+        match self.fuel_budget {
+            None => self.run_inner::<false>(compiled, 0),
+            Some(budget) => self.run_inner::<true>(compiled, budget),
+        }
+    }
+
+    fn run_inner<const FUELED: bool>(&mut self, compiled: &Compiled, budget: u64) -> Result<Value> {
         self.stack.clear();
         self.result = Value::Nil;
         let main = &compiled.funcs[compiled.main];
@@ -65,7 +75,14 @@ impl Vm {
             ip: 0,
             base: 0,
         }];
-        let mut fuel_left = self.fuel_budget.unwrap_or(0);
+        // Fuel accounting (compiled out when `FUELED` is false): straight-
+        // line instructions are charged in one batch at every control
+        // transfer, counting `ip - run_start` dispatches. Total accounting
+        // is exact — the error fires iff the program needs more than
+        // `budget` instructions — but detection may overshoot by at most
+        // one basic block.
+        let mut consumed: u64 = 0;
+        let mut run_start: usize = 0;
 
         'frames: while let Some(frame) = frames.last_mut() {
             let func = &compiled.funcs[frame.func];
@@ -73,14 +90,21 @@ impl Vm {
             // Hot loop: local copies of the frame cursor.
             let mut ip = frame.ip;
             let base = frame.base;
+            if FUELED {
+                run_start = ip;
+            }
+            macro_rules! charge {
+                () => {
+                    if FUELED {
+                        consumed += (ip - run_start) as u64;
+                        if consumed > budget {
+                            return Err(Error::FuelExhausted { budget });
+                        }
+                    }
+                };
+            }
             loop {
                 debug_assert!(ip < code.len(), "ip ran off the end of {}", func.name);
-                if let Some(budget) = self.fuel_budget {
-                    if fuel_left == 0 {
-                        return Err(Error::FuelExhausted { budget });
-                    }
-                    fuel_left -= 1;
-                }
                 let op = code[ip];
                 ip += 1;
                 match op {
@@ -124,24 +148,43 @@ impl Vm {
                         let v = self.pop();
                         self.stack.push(Value::Bool(!v.truthy()));
                     }
-                    Op::Jump(t) => ip = t as usize,
+                    Op::Jump(t) => {
+                        charge!();
+                        ip = t as usize;
+                        if FUELED {
+                            run_start = ip;
+                        }
+                    }
                     Op::JumpIfFalse(t) => {
+                        charge!();
                         let v = self.pop();
                         if !v.truthy() {
                             ip = t as usize;
                         }
+                        if FUELED {
+                            run_start = ip;
+                        }
                     }
                     Op::JumpIfFalsePeek(t) => {
+                        charge!();
                         if !self.peek().truthy() {
                             ip = t as usize;
                         }
+                        if FUELED {
+                            run_start = ip;
+                        }
                     }
                     Op::JumpIfTruePeek(t) => {
+                        charge!();
                         if self.peek().truthy() {
                             ip = t as usize;
                         }
+                        if FUELED {
+                            run_start = ip;
+                        }
                     }
                     Op::CallFn(fidx, argc) => {
+                        charge!();
                         if frames.len() >= MAX_FRAMES {
                             return Err(Error::runtime(format!(
                                 "call depth exceeded {MAX_FRAMES} (runaway recursion?)"
@@ -173,6 +216,7 @@ impl Vm {
                         self.stack.push(v);
                     }
                     Op::Ret | Op::RetNil => {
+                        charge!();
                         let v = if op == Op::Ret {
                             self.pop()
                         } else {
@@ -209,6 +253,144 @@ impl Vm {
                     Op::SetResult => {
                         self.result = self.pop();
                     }
+
+                    // Superinstructions ([`crate::peephole`]). Each fast
+                    // path bails to the canonical shared-semantics helper
+                    // on anything unusual, so values, error messages, and
+                    // evaluation order match the plain opcode sequences
+                    // exactly.
+                    Op::LoadLocal2(a, b) => {
+                        let va = self.stack[base + a as usize].clone();
+                        let vb = self.stack[base + b as usize].clone();
+                        self.stack.push(va);
+                        self.stack.push(vb);
+                    }
+                    Op::LoadLocalConst(a, c) => {
+                        let va = self.stack[base + a as usize].clone();
+                        self.stack.push(va);
+                        self.stack.push(func.consts[c as usize].clone());
+                    }
+                    Op::BinLL(bop, a, b) => {
+                        let l = &self.stack[base + a as usize];
+                        let r = &self.stack[base + b as usize];
+                        let v = match bin_fast(bop, l, r) {
+                            Some(v) => v,
+                            None => {
+                                binop(bop, l, r).map_err(|e| e.with_line(func.lines[ip - 1]))?
+                            }
+                        };
+                        self.stack.push(v);
+                    }
+                    Op::BinLC(bop, a, c) => {
+                        let l = &self.stack[base + a as usize];
+                        let r = &func.consts[c as usize];
+                        let v = match bin_fast(bop, l, r) {
+                            Some(v) => v,
+                            None => {
+                                binop(bop, l, r).map_err(|e| e.with_line(func.lines[ip - 1]))?
+                            }
+                        };
+                        self.stack.push(v);
+                    }
+                    Op::BinC(bop, c) => {
+                        let l = self.pop();
+                        let r = &func.consts[c as usize];
+                        let v = match bin_fast(bop, &l, r) {
+                            Some(v) => v,
+                            None => {
+                                binop(bop, &l, r).map_err(|e| e.with_line(func.lines[ip - 1]))?
+                            }
+                        };
+                        self.stack.push(v);
+                    }
+                    Op::AddConstToLocal(a, c) => {
+                        let slot = base + a as usize;
+                        let v = match (&self.stack[slot], &func.consts[c as usize]) {
+                            (Value::Num(x), Value::Num(n)) => Value::Num(x + n),
+                            (l, r) => binop(BinOp::Add, l, r)
+                                .map_err(|e| e.with_line(func.lines[ip - 1]))?,
+                        };
+                        self.stack[slot] = v;
+                    }
+                    Op::IncLocal(a) => {
+                        let slot = base + a as usize;
+                        if let Value::Num(x) = self.stack[slot] {
+                            self.stack[slot] = Value::Num(x + 1.0);
+                        } else {
+                            let v = binop(BinOp::Add, &self.stack[slot], &Value::Num(1.0))
+                                .map_err(|e| e.with_line(func.lines[ip - 1]))?;
+                            self.stack[slot] = v;
+                        }
+                    }
+                    Op::AddStackToLocal(a) => {
+                        let v = self.pop();
+                        let slot = base + a as usize;
+                        let nv = match (&self.stack[slot], &v) {
+                            (Value::Num(x), Value::Num(y)) => Value::Num(x + y),
+                            (l, r) => binop(BinOp::Add, l, r)
+                                .map_err(|e| e.with_line(func.lines[ip - 1]))?,
+                        };
+                        self.stack[slot] = nv;
+                    }
+                    Op::JumpIfNotCmp(cmp, t) => {
+                        let r = self.pop();
+                        let l = self.pop();
+                        let v = match bin_fast(cmp, &l, &r) {
+                            Some(v) => v,
+                            None => {
+                                binop(cmp, &l, &r).map_err(|e| e.with_line(func.lines[ip - 1]))?
+                            }
+                        };
+                        charge!();
+                        if !v.truthy() {
+                            ip = t as usize;
+                        }
+                        if FUELED {
+                            run_start = ip;
+                        }
+                    }
+                    Op::IndexGetF(a, b) => {
+                        let bval = &self.stack[base + a as usize];
+                        let ival = &self.stack[base + b as usize];
+                        let fast = match (bval, ival) {
+                            (Value::FloatArray(cell), Value::Num(n))
+                                if *n >= 0.0 && n.fract() == 0.0 && n.is_finite() =>
+                            {
+                                cell.borrow().get(*n as usize).map(|&x| Value::Num(x))
+                            }
+                            _ => None,
+                        };
+                        let v = match fast {
+                            Some(v) => v,
+                            None => index_get(bval, ival)
+                                .map_err(|e| e.with_line(func.lines[ip - 1]))?,
+                        };
+                        self.stack.push(v);
+                    }
+                    Op::IndexSetF(a, b) => {
+                        let v = self.pop();
+                        let bval = &self.stack[base + a as usize];
+                        let ival = &self.stack[base + b as usize];
+                        let done = match (bval, ival, &v) {
+                            (Value::FloatArray(cell), Value::Num(n), Value::Num(x))
+                                if *n >= 0.0 && n.fract() == 0.0 && n.is_finite() =>
+                            {
+                                let mut arr = cell.borrow_mut();
+                                let idx = *n as usize;
+                                if idx < arr.len() {
+                                    arr[idx] = *x;
+                                    true
+                                } else {
+                                    false
+                                }
+                            }
+                            _ => false,
+                        };
+                        if !done {
+                            index_set(bval, ival, v)
+                                .map_err(|e| e.with_line(func.lines[ip - 1]))?;
+                        }
+                    }
                 }
             }
         }
@@ -228,6 +410,45 @@ impl Vm {
             .last()
             .expect("compiler guarantees stack discipline")
     }
+}
+
+/// Numeric fast path shared by the superinstructions. Returns `None` for
+/// anything the canonical [`binop`] must handle — non-numeric operands,
+/// zero divisors (a runtime error), and NaN comparisons (which are runtime
+/// errors, not `false`).
+#[inline]
+fn bin_fast(op: BinOp, l: &Value, r: &Value) -> Option<Value> {
+    let (Value::Num(a), Value::Num(b)) = (l, r) else {
+        return None;
+    };
+    Some(match op {
+        BinOp::Add => Value::Num(a + b),
+        BinOp::Sub => Value::Num(a - b),
+        BinOp::Mul => Value::Num(a * b),
+        BinOp::Div => {
+            if *b == 0.0 {
+                return None;
+            }
+            Value::Num(a / b)
+        }
+        BinOp::Mod => {
+            if *b == 0.0 {
+                return None;
+            }
+            Value::Num(a % b)
+        }
+        BinOp::Eq => Value::Bool(a == b),
+        BinOp::Ne => Value::Bool(a != b),
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+            let ord = a.partial_cmp(b)?;
+            Value::Bool(match op {
+                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                BinOp::Le => ord != std::cmp::Ordering::Greater,
+                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                _ => ord != std::cmp::Ordering::Less,
+            })
+        }
+    })
 }
 
 #[cfg(test)]

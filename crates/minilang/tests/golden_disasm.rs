@@ -1,0 +1,127 @@
+//! Golden disassembly of the fused pipeline, plus end-to-end equivalence
+//! of the shipped example scripts under both pipelines.
+//!
+//! The golden listing pins the peephole pass output for a program that
+//! exercises every superinstruction: any change to the fusion windows, the
+//! dedup pass, or the disassembler shows up as a readable diff here.
+
+use rcr_minilang::{
+    bytecode, disasm, parser, peephole, run_source, run_source_vm, run_source_vm_fused,
+};
+
+/// One program hitting all eleven fused opcodes: `load.const`/`load2` +
+/// `jnot.lt` loop headers, `mul.lc`/`mod.c`/`add.ll` arithmetic,
+/// `index.setf`/`index.getf` typed indexing, `add.into` accumulation,
+/// `inc`/`addc` induction updates.
+const GOLDEN_SRC: &str = "\
+let a = zeros(4);
+let s = 0;
+let i = 0;
+while i < 4 {
+  a[i] = (i * 2) % 3;
+  s = s + a[i] * a[i];
+  i = i + 1;
+}
+for j in range(0, 2) {
+  s = s + j;
+}
+s = s + 100;
+s";
+
+const GOLDEN_DISASM: &str = "\
+fn <main> (arity 0, 5 slots, 6 consts)
+     0  const      0 ; 4
+     1  callb      zeros/1
+     2  store      slot0
+     3  const      1 ; 0
+     4  store      slot1
+     5  const      1 ; 0
+     6  store      slot2
+     7  load.const slot2 0 ; 4
+     8  jnot.lt    -> 18
+     9  mul.lc     slot2 2 ; 2
+    10  mod.c      3 ; 3
+    11  index.setf slot0[slot2]
+    12  index.getf slot0[slot2]
+    13  index.getf slot0[slot2]
+    14  mul
+    15  add.into   slot1
+    16  inc        slot2
+    17  jump       -> 7
+    18  const      1 ; 0
+    19  store      slot3
+    20  const      2 ; 2
+    21  store      slot4
+    22  load2      slot3 slot4
+    23  jnot.lt    -> 28
+    24  add.ll     slot1 slot3
+    25  store      slot1
+    26  inc        slot3
+    27  jump       -> 22
+    28  addc       slot1 5 ; 100
+    29  load       slot1
+    30  setresult
+    31  ret.nil
+";
+
+#[test]
+fn fused_disassembly_matches_golden_listing() {
+    let compiled =
+        bytecode::compile(&parser::parse(GOLDEN_SRC).expect("parses")).expect("compiles");
+    let fused = peephole::optimize(&compiled);
+    let listing = disasm::disassemble(&fused);
+    assert_eq!(listing.trim_end(), GOLDEN_DISASM.trim_end());
+    // The golden program itself computes the same value on every tier.
+    let a = run_source(GOLDEN_SRC).expect("interp runs");
+    let b = run_source_vm(GOLDEN_SRC).expect("vm runs");
+    let c = run_source_vm_fused(GOLDEN_SRC).expect("fused vm runs");
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
+
+#[test]
+fn golden_listing_covers_every_superinstruction() {
+    // Guard against the golden program silently losing coverage when the
+    // fusion windows change: every fused mnemonic must still appear.
+    for mnemonic in [
+        "load2",
+        "load.const",
+        ".ll",
+        ".lc",
+        "mod.c ",
+        "addc",
+        "inc",
+        "add.into",
+        "jnot.",
+        "index.getf",
+        "index.setf",
+    ] {
+        assert!(
+            GOLDEN_DISASM.contains(mnemonic),
+            "golden listing lost `{mnemonic}`"
+        );
+    }
+}
+
+#[test]
+fn example_scripts_agree_under_both_pipelines() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("examples dir exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rsc") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("example reads");
+        let plain = run_source_vm(&src)
+            .unwrap_or_else(|e| panic!("{}: plain vm failed: {e}", path.display()));
+        let fused = run_source_vm_fused(&src)
+            .unwrap_or_else(|e| panic!("{}: fused vm failed: {e}", path.display()));
+        assert_eq!(plain, fused, "{}: pipelines disagree", path.display());
+        checked += 1;
+    }
+    assert!(
+        checked >= 3,
+        "expected the shipped examples, found {checked}"
+    );
+}

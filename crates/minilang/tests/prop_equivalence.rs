@@ -4,7 +4,9 @@
 //! every tier computes the same thing.
 
 use proptest::prelude::*;
-use rcr_minilang::{run_source, run_source_vm, run_source_vm_optimized, Value};
+use rcr_minilang::{
+    run_source, run_source_vm, run_source_vm_fused, run_source_vm_optimized, Value,
+};
 
 /// Strategy: a random expression string over the predeclared variables
 /// `x`, `y`, `z` (numbers) and `f` (bool), with literals and nested
@@ -166,8 +168,10 @@ proptest! {
         let a = outcome(run_source(&src));
         let b = outcome(run_source_vm(&src));
         let c = outcome(run_source_vm_optimized(&src));
+        let d = outcome(run_source_vm_fused(&src));
         prop_assert_eq!(a.clone(), b, "interp vs vm on: {}", src);
-        prop_assert_eq!(a, c, "interp vs optimized vm on: {}", src);
+        prop_assert_eq!(a.clone(), c, "interp vs optimized vm on: {}", src);
+        prop_assert_eq!(a, d, "interp vs fused vm on: {}", src);
     }
 
     #[test]
@@ -179,14 +183,19 @@ proptest! {
         d in -5i32..5,
     ) {
         // Tree-walk the program as written; run the optimized form on the
-        // VM. Statement-level generation covers branches, loops, and
-        // assignment interleavings the expression strategies cannot reach.
+        // VM and the peephole-fused bytecode on the fused VM. Statement
+        // generation covers branches, loops, and assignment interleavings
+        // the expression strategies cannot reach — exactly the shapes the
+        // superinstruction windows (IncLocal, AddStackToLocal, BinLL/BinLC,
+        // JumpIfNotCmp) rewrite.
         let src = format!(
             "let v0 = {a};\nlet v1 = {b};\nlet v2 = {c};\nlet v3 = {d};\n{}\nv0 + v1 + v2 + v3",
             stmts.join("\n")
         );
         let tree = norm(run_source(&src));
         let vm = norm(run_source_vm_optimized(&src));
-        prop_assert_eq!(tree, vm, "tiers disagree on: {}", src);
+        let fused = norm(run_source_vm_fused(&src));
+        prop_assert_eq!(tree.clone(), vm, "tiers disagree on: {}", src);
+        prop_assert_eq!(tree, fused, "fused vm disagrees on: {}", src);
     }
 }

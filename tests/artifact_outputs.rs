@@ -71,6 +71,7 @@ fn e5_json_shape_quick() {
         for key in [
             "interp",
             "vm",
+            "vm_fused",
             "vectorized",
             "native_naive",
             "native_optimized",
@@ -80,6 +81,32 @@ fn e5_json_shape_quick() {
         }
         let interp = &tiers["interp"];
         assert!(interp["median_s"].as_f64().expect("median_s") > 0.0);
+    }
+}
+
+#[test]
+fn e16_json_shape_quick() {
+    let closures = ex().e16_gap_closure(&GapConfig::quick()).expect("E16");
+    let j = to_json(&closures);
+    let rows = j.as_array().expect("array");
+    assert_eq!(rows.len(), 4);
+    for row in rows {
+        for key in [
+            "kernel",
+            "size",
+            "vm_s",
+            "vm_fused_s",
+            "native_best_s",
+            "speedup",
+            "closure_frac",
+        ] {
+            assert!(row.get(key).is_some(), "missing key `{key}` in {row}");
+        }
+        assert!(row["speedup"].as_f64().expect("speedup") > 0.0);
+        assert!(row["closure_frac"]
+            .as_f64()
+            .expect("closure_frac")
+            .is_finite());
     }
 }
 

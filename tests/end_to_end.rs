@@ -45,9 +45,18 @@ fn performance_experiments_run_quick_and_render() {
     let cfg = GapConfig::quick();
     let gaps = e.e5_perf_gap(&cfg).expect("E5");
     assert!(rcr_bench::render::e5_figure(&gaps).contains("</svg>"));
-    assert_eq!(rcr_bench::render::e11_table(&gaps).n_rows(), 4);
+    let e11 = rcr_bench::render::e11_table(&gaps);
+    assert_eq!(e11.n_rows(), 4);
+    assert!(
+        e11.render_ascii().contains("fused VM gap"),
+        "E11 carries the fused-VM ablation column"
+    );
     let curves = e.e6_scaling(&cfg).expect("E6");
     assert!(rcr_bench::render::e6_figure(&curves).contains("ideal"));
+    let closures = e.e16_gap_closure(&cfg).expect("E16");
+    assert_eq!(closures.len(), 4);
+    assert!(rcr_bench::render::e16_figure(&closures).contains("</svg>"));
+    assert_eq!(rcr_bench::render::e16_table(&closures).n_rows(), 4);
 }
 
 #[test]
@@ -100,7 +109,7 @@ fn experiment_index_matches_drivers() {
         ids,
         vec![
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15"
+            "E14", "E15", "E16"
         ]
     );
 }
