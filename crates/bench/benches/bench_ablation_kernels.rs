@@ -1,9 +1,12 @@
 //! Ablations for the kernel-level design choices DESIGN.md §5 calls out:
 //! contended-atomic vs thread-local histograms, static vs dynamic SpMV
-//! scheduling, naive vs blocked matmul, and allocating vs ping-pong
-//! stencils.
+//! scheduling, naive vs blocked matmul, allocating vs ping-pong stencils,
+//! and spawn-per-call vs persistent work-stealing scheduling.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_kernels::par::Scheduler;
 use rcr_kernels::{fft, histogram, matmul, spmv, stencil};
 
 fn bench(c: &mut Criterion) {
@@ -54,6 +57,26 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("dft_naive_n4096", |b| b.iter(|| fft::dft_naive(&signal)));
     g.bench_function("fft_n4096", |b| b.iter(|| fft::fft(&signal)));
+    g.finish();
+
+    // Scheduler: spawn-per-call (static/dynamic) vs the persistent
+    // work-stealing pool, on the same skewed SpMV rows — load balance and
+    // per-call overhead both matter here.
+    let slots: Vec<AtomicU64> = (0..20_000).map(|_| AtomicU64::new(0)).collect();
+    let mut g = c.benchmark_group("ablation_scheduler");
+    g.sample_size(10);
+    for sched in Scheduler::ALL {
+        g.bench_function(sched.name(), |b| {
+            b.iter(|| {
+                sched.for_each(20_000, threads, 32, |s, e| {
+                    for (r, slot) in slots.iter().enumerate().take(e).skip(s) {
+                        slot.store(spmv::row_dot(&m, &x, r).to_bits(), Ordering::Relaxed);
+                    }
+                });
+                slots[10_000].load(Ordering::Relaxed)
+            })
+        });
+    }
     g.finish();
 
     // Stencil: allocate-per-sweep vs ping-pong buffers.

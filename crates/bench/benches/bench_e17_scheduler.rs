@@ -1,0 +1,72 @@
+//! E17 (Figure 8): the scheduler ablation — spawn-per-call static and
+//! dynamic runtimes vs the persistent work-stealing pool, on a regular
+//! kernel (saxpy) and an irregular one (skewed SpMV).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::experiments::Experiments;
+use rcr_core::perfgap::GapConfig;
+use rcr_core::MASTER_SEED;
+use rcr_kernels::par::Scheduler;
+use rcr_kernels::{dotaxpy, spmv};
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let points = ex
+        .e17_sched_ablation(&GapConfig::quick())
+        .expect("E17 runs");
+    println!("{}", render::e17_table(&points).render_ascii());
+
+    // The study already checksum-verified every arm against the serial
+    // reference; spot-check the shape before timing anything.
+    assert_eq!(points.len(), 12, "4 workloads x 3 schedulers");
+
+    let threads = 4;
+
+    // Regular work: saxpy stores.
+    let n = 400_000;
+    let x = dotaxpy::gen_vector(n, 1);
+    let y0 = dotaxpy::gen_vector(n, 2);
+    let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let mut g = c.benchmark_group("e17_saxpy_schedulers");
+    g.sample_size(10);
+    for sched in Scheduler::ALL {
+        g.bench_function(sched.name(), |b| {
+            b.iter(|| {
+                sched.for_each(n, threads, 2048, |s, e| {
+                    for (i, slot) in slots.iter().enumerate().take(e).skip(s) {
+                        slot.store((2.5 * x[i] + y0[i]).to_bits(), Ordering::Relaxed);
+                    }
+                });
+                slots[n / 2].load(Ordering::Relaxed)
+            })
+        });
+    }
+    g.finish();
+
+    // Irregular work: skewed SpMV rows.
+    let rows = 20_000;
+    let m = spmv::gen_sparse(rows, 256, 3);
+    let xv = dotaxpy::gen_vector(rows, 9);
+    let slots: Vec<AtomicU64> = (0..rows).map(|_| AtomicU64::new(0)).collect();
+    let mut g = c.benchmark_group("e17_spmv_skewed_schedulers");
+    g.sample_size(10);
+    for sched in Scheduler::ALL {
+        g.bench_function(sched.name(), |b| {
+            b.iter(|| {
+                sched.for_each(rows, threads, 32, |s, e| {
+                    for (r, slot) in slots.iter().enumerate().take(e).skip(s) {
+                        slot.store(spmv::row_dot(&m, &xv, r).to_bits(), Ordering::Relaxed);
+                    }
+                });
+                slots[rows / 2].load(Ordering::Relaxed)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

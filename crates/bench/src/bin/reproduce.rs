@@ -3,11 +3,15 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--quick] [--out DIR]
 //!
-//!   EXPERIMENT   e1..e16 (default: all)
-//!   --quick      reduced sizes for the timing experiments (CI-friendly)
+//!   EXPERIMENT   e1..e17 (default: all)
+//!   --quick      reduced sizes for the timing experiments (CI-friendly;
+//!                --smoke is an alias)
 //!   --out DIR    write tables (.txt/.csv) and figures (.svg) to DIR
 //!                (default: print tables to stdout only)
 //! ```
+//!
+//! `RCR_THREADS` overrides the worker-thread count used by every parallel
+//! tier (see `rcr_kernels::par::default_threads`).
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -31,7 +35,7 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" => quick = true,
+            "--quick" | "--smoke" => quick = true,
             "--out" => {
                 out = Some(PathBuf::from(
                     it.next()
@@ -39,7 +43,7 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--help" | "-h" => {
-                return Err("usage: reproduce [e1..e16 ...] [--quick] [--out DIR]".to_owned())
+                return Err("usage: reproduce [e1..e17 ...] [--quick] [--out DIR]".to_owned())
             }
             e if e.starts_with('e') || e.starts_with('E') => {
                 which.push(e.to_lowercase());
@@ -127,7 +131,7 @@ fn main() {
         match info {
             Some(i) => println!("== {} ({}): {} ==\n", i.id, i.artifact, i.title),
             None => {
-                eprintln!("unknown experiment `{id}` (expected e1..e16)");
+                eprintln!("unknown experiment `{id}` (expected e1..e17)");
                 std::process::exit(2);
             }
         }
@@ -256,6 +260,12 @@ fn run_one(
             emit.table("e16", "gap_closure", &render::e16_table(&closures));
             emit.figure("e16", "gap_closure", &render::e16_figure(&closures));
             emit.json("e16", "gap_closure", &closures);
+        }
+        "e17" => {
+            let points = ex.e17_sched_ablation(gap_config)?;
+            emit.table("e17", "scheduler_ablation", &render::e17_table(&points));
+            emit.figure("e17", "scheduler_ablation", &render::e17_figure(&points));
+            emit.json("e17", "scheduler_ablation", &points);
         }
         other => unreachable!("validated above: {other}"),
     }

@@ -4,6 +4,7 @@ use rcr_core::compare::{DistributionShift, FieldAdoption, ItemShift, LikertShift
 use rcr_core::experiments::{Demographics, LoadPoint, PolicyOutcome, ResiliencePoint};
 use rcr_core::lintstudy::LintStudy;
 use rcr_core::perfgap::{GapClosure, KernelGap, ScalingCurve, Tier};
+use rcr_core::schedstudy::SchedPoint;
 use rcr_core::trend::LanguageTrend;
 use rcr_report::fmt;
 use rcr_report::svg::{self, Series};
@@ -385,6 +386,58 @@ pub fn e16_figure(closures: &[GapClosure]) -> String {
     )
 }
 
+/// E17: Figure 8 data — the scheduler ablation, one row per
+/// (workload, scheduler) cell.
+pub fn e17_table(points: &[SchedPoint]) -> Table {
+    let mut t = Table::new([
+        "workload",
+        "scheduler",
+        "threads",
+        "calls",
+        "median",
+        "per-call (µs)",
+        "vs spawn-static",
+        "efficiency",
+    ])
+    .title("Figure 8 data: scheduler ablation".to_owned());
+    for p in points {
+        t.row([
+            p.workload.clone(),
+            p.scheduler.clone(),
+            p.threads.to_string(),
+            p.calls.to_string(),
+            fmt::duration_s(p.median_s),
+            format!("{:.1}", p.per_call_us),
+            fmt::speedup(p.speedup_vs_spawn_static),
+            fmt::pct(p.efficiency),
+        ]);
+    }
+    t
+}
+
+/// E17: Figure 8 — per-workload speedup of each scheduler over the
+/// spawn-per-call static baseline.
+pub fn e17_figure(points: &[SchedPoint]) -> String {
+    let mut labels: Vec<&str> = Vec::new();
+    let mut groups: Vec<(&str, Vec<f64>)> = Vec::new();
+    for p in points {
+        if !labels.contains(&p.scheduler.as_str()) {
+            labels.push(p.scheduler.as_str());
+        }
+        match groups.iter_mut().find(|(w, _)| *w == p.workload) {
+            Some((_, bars)) => bars.push(p.speedup_vs_spawn_static),
+            None => groups.push((p.workload.as_str(), vec![p.speedup_vs_spawn_static])),
+        }
+    }
+    svg::bar_chart(
+        "Figure 8: scheduler speedup over spawn-per-call static",
+        "speedup (×)",
+        &labels,
+        &groups,
+        false,
+    )
+}
+
 /// E12: pain-point table.
 pub fn e12_table(rows: &[LikertShift]) -> Table {
     let mut t = Table::new(["item", "mean 2011", "mean 2024", "Δ", "U", "p (BH)"])
@@ -657,6 +710,23 @@ mod tests {
         let curves = e.e6_scaling(&GapConfig::quick()).unwrap();
         let fig = e6_figure(&curves);
         assert!(fig.contains("ideal"));
-        assert_eq!(e6_table(&curves).n_rows(), 4);
+        assert!(
+            fig.contains("spmv (work-stealing) (measured)"),
+            "work-stealing series in the E6 figure"
+        );
+        assert_eq!(e6_table(&curves).n_rows(), 6);
+    }
+
+    #[test]
+    fn sched_ablation_outputs_render() {
+        let points = ex().e17_sched_ablation(&GapConfig::quick()).unwrap();
+        let t = e17_table(&points);
+        assert_eq!(t.n_rows(), 12);
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("spmv-skewed") && ascii.contains("work-stealing"));
+        assert!(ascii.contains("per-call"));
+        let fig = e17_figure(&points);
+        assert!(fig.contains("<svg") && fig.contains("matmul-tiny"));
+        assert!(fig.contains("spawn-dynamic"));
     }
 }

@@ -1,4 +1,4 @@
-//! The experiment registry: one driver per table/figure (E1–E16), all
+//! The experiment registry: one driver per table/figure (E1–E17), all
 //! deterministic from one master seed. `DESIGN.md` §4 is the index; the
 //! `reproduce` binary and the Criterion benches both call these drivers.
 
@@ -22,6 +22,7 @@ use crate::perfgap::{
     gap_closure, measure_gaps, measure_scaling, GapClosure, GapConfig, KernelGap, ScalingCurve,
 };
 use crate::questionnaire as q;
+use crate::schedstudy::SchedPoint;
 use crate::trend::{language_trends, LanguageTrend};
 use crate::Result;
 
@@ -37,7 +38,7 @@ pub struct ExperimentInfo {
 }
 
 /// The experiment index (matches `DESIGN.md` §4).
-pub const INDEX: [ExperimentInfo; 16] = [
+pub const INDEX: [ExperimentInfo; 17] = [
     ExperimentInfo {
         id: "E1",
         artifact: "Table 1",
@@ -117,6 +118,11 @@ pub const INDEX: [ExperimentInfo; 16] = [
         id: "E16",
         artifact: "Table 9",
         title: "Superinstruction VM gap closure",
+    },
+    ExperimentInfo {
+        id: "E17",
+        artifact: "Figure 8",
+        title: "Scheduler ablation: spawn-per-call vs persistent work-stealing",
     },
 ];
 
@@ -504,6 +510,17 @@ impl Experiments {
     pub fn e16_gap_closure(&self, config: &GapConfig) -> Result<Vec<GapClosure>> {
         Ok(gap_closure(&measure_gaps(config)?))
     }
+
+    /// E17: the scheduler ablation — spawn-per-call static and dynamic
+    /// runtimes vs the persistent work-stealing pool across regular,
+    /// irregular, fine-grained, and null workloads, with every arm's
+    /// output checksum verified against the serial reference.
+    ///
+    /// # Errors
+    /// [`crate::Error::VerificationFailed`] when an arm's result diverges.
+    pub fn e17_sched_ablation(&self, config: &GapConfig) -> Result<Vec<SchedPoint>> {
+        crate::schedstudy::run(config)
+    }
 }
 
 #[cfg(test)]
@@ -516,10 +533,10 @@ mod tests {
     }
 
     #[test]
-    fn index_lists_sixteen_unique_ids() {
+    fn index_lists_seventeen_unique_ids() {
         let mut ids: Vec<&str> = INDEX.iter().map(|i| i.id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 17);
         assert_eq!(INDEX[0].id, "E1");
         assert_eq!(INDEX[11].artifact, "Figure 6");
         assert_eq!(INDEX[12].id, "E13");
@@ -529,6 +546,8 @@ mod tests {
         assert_eq!(INDEX[14].artifact, "Table 8");
         assert_eq!(INDEX[15].id, "E16");
         assert_eq!(INDEX[15].artifact, "Table 9");
+        assert_eq!(INDEX[16].id, "E17");
+        assert_eq!(INDEX[16].artifact, "Figure 8");
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //!   (naive → optimized → parallel), plus thread-scaling with Amdahl fits;
 //! * [`lintstudy`] — the defect-injection study: seeded mutants of a clean
 //!   script corpus scored against the `rsc --check` static analyzer;
-//! * [`experiments`] — the registry mapping experiment ids E1–E15 to
+//! * [`schedstudy`] — the scheduler ablation: spawn-per-call runtimes vs
+//!   the persistent work-stealing pool on regular, irregular, and
+//!   fine-grained workloads;
+//! * [`experiments`] — the registry mapping experiment ids E1–E17 to
 //!   drivers that regenerate each table and figure (see `DESIGN.md` §4).
 //!
 //! ```
@@ -33,6 +36,7 @@ pub mod compare;
 pub mod experiments;
 pub mod lintstudy;
 pub mod perfgap;
+pub mod schedstudy;
 pub mod trend;
 
 /// The canonical questionnaire (re-exported from `rcr-survey` so analysis

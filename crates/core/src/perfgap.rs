@@ -8,7 +8,7 @@ use std::time::Duration;
 use serde::Serialize;
 
 use rcr_kernels::harness::{measure, Measurement};
-use rcr_kernels::{dotaxpy, matmul, montecarlo, par, reduce, stencil};
+use rcr_kernels::{dotaxpy, matmul, montecarlo, par, reduce, spmv, stencil};
 use rcr_minilang::{bytecode, interp::Interpreter, parser, peephole, vm::Vm, Value};
 use rcr_stats::regression::{amdahl_speedup, fit_amdahl};
 
@@ -715,6 +715,46 @@ pub fn measure_scaling(config: &GapConfig) -> Result<Vec<ScalingCurve>> {
         push_curve("sum", format!("n={n}"), times)?;
     }
 
+    // skewed spmv under two schedulers — irregular work, where the
+    // work-stealing series separates from static partitioning (E17's
+    // headline, shown here on the E6 scaling axes).
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let (n, max_nnz) = if config.quick {
+            (2_000, 64)
+        } else {
+            (20_000, 256)
+        };
+        let m = spmv::gen_sparse(n, max_nnz, 3);
+        let x = dotaxpy::gen_vector(n, 9);
+        for sched in [par::Scheduler::SpawnStatic, par::Scheduler::WorkStealing] {
+            let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            let mut times = Vec::new();
+            for &t in &threads {
+                let mut sink = 0.0;
+                let meas = measure(
+                    reps,
+                    || {
+                        sched.for_each(n, t, 32, |s, e| {
+                            for (r, slot) in slots.iter().enumerate().take(e).skip(s) {
+                                slot.store(spmv::row_dot(&m, &x, r).to_bits(), Ordering::Relaxed);
+                            }
+                        });
+                        f64::from_bits(slots[n / 2].load(Ordering::Relaxed))
+                    },
+                    |v| sink += v,
+                );
+                assert!(sink.is_finite());
+                times.push(meas.median);
+            }
+            push_curve(
+                &format!("spmv ({})", sched.name()),
+                format!("n={n} nnz<={max_nnz}"),
+                times,
+            )?;
+        }
+    }
+
     Ok(out)
 }
 
@@ -871,7 +911,9 @@ mod tests {
     #[test]
     fn quick_scaling_study_shapes() {
         let curves = measure_scaling(&GapConfig::quick()).unwrap();
-        assert_eq!(curves.len(), 4);
+        assert_eq!(curves.len(), 6);
+        assert_eq!(curves[4].kernel, "spmv (spawn-static)");
+        assert_eq!(curves[5].kernel, "spmv (work-stealing)");
         for c in &curves {
             assert_eq!(c.threads[0], 1);
             assert!(

@@ -92,23 +92,14 @@ pub fn axpy_optimized(alpha: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
-/// Parallel AXPY over disjoint chunks of `y`.
+/// Parallel AXPY over disjoint chunks of `y`, on the persistent pool.
 ///
 /// # Panics
 /// Panics on length mismatch.
 pub fn axpy_parallel(alpha: f64, x: &[f64], y: &mut [f64], threads: usize) {
     assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
-    let n = y.len();
-    if n == 0 {
-        return;
-    }
-    let threads = threads.clamp(1, n);
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, yband) in y.chunks_mut(chunk).enumerate() {
-            let xband = &x[t * chunk..(t * chunk + yband.len())];
-            scope.spawn(move || axpy_optimized(alpha, xband, yband));
-        }
+    par::for_each_mut_chunk(y, threads, |off, band| {
+        axpy_optimized(alpha, &x[off..off + band.len()], band);
     });
 }
 

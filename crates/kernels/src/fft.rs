@@ -4,6 +4,8 @@
 
 use std::f64::consts::PI;
 
+use crate::par;
+use crate::pool;
 use crate::XorShift64;
 
 /// A complex number (we avoid external crates by construction).
@@ -123,9 +125,13 @@ pub fn fft(x: &[Complex]) -> Vec<Complex> {
 }
 
 /// Parallel FFT: the independent sub-transforms of the first
-/// `log2(threads)` recursion levels run on scoped threads, then the
-/// remaining butterfly passes are applied serially (they are bandwidth
-/// bound and cheap relative to the sub-transforms).
+/// `log2(threads)` recursion levels run on the persistent pool, and the
+/// butterfly merge levels are parallel too — across merge pairs while
+/// several remain, and across the output halves of each pair near the top
+/// of the tree (where a level is just one large merge).
+///
+/// Every output element is a pure function of its index, so the spectrum
+/// is identical for any thread count and any steal interleaving.
 ///
 /// # Panics
 /// Panics unless `x.len()` is a power of two.
@@ -145,12 +151,10 @@ pub fn fft_parallel(x: &[Complex], threads: usize) -> Vec<Complex> {
     let mut subs: Vec<Vec<Complex>> = (0..threads)
         .map(|s| (0..sub_n).map(|i| x[i * threads + s]).collect())
         .collect();
-    std::thread::scope(|scope| {
-        for sub in &mut subs {
-            scope.spawn(|| {
-                let transformed = fft(sub);
-                sub.copy_from_slice(&transformed);
-            });
+    par::for_each_mut_chunk(&mut subs, threads, |_, band| {
+        for sub in band {
+            let transformed = fft(sub);
+            sub.copy_from_slice(&transformed);
         }
     });
     // Combine level by level (decimation in time, bottom-up). A stride-T'
@@ -162,23 +166,51 @@ pub fn fft_parallel(x: &[Complex], threads: usize) -> Vec<Complex> {
     while groups.len() > 1 {
         let half_groups = groups.len() / 2;
         let merged_len = group_len * 2;
-        let mut next = Vec::with_capacity(half_groups);
-        for s in 0..half_groups {
-            let even = &groups[s];
-            let odd = &groups[s + half_groups];
-            let mut merged = vec![Complex::default(); merged_len];
-            for k in 0..group_len {
-                let w = Complex::cis(-2.0 * PI * k as f64 / merged_len as f64);
-                let t = odd[k].mul(w);
-                merged[k] = even[k].add(t);
-                merged[k + group_len] = even[k].sub(t);
+        let mut next: Vec<Vec<Complex>> = (0..half_groups)
+            .map(|_| vec![Complex::default(); merged_len])
+            .collect();
+        let groups_ref = &groups;
+        let per_pair_threads = (threads / half_groups).max(1);
+        par::for_each_mut_chunk(&mut next, threads.min(half_groups), |start, band| {
+            for (k, merged) in band.iter_mut().enumerate() {
+                let s = start + k;
+                merge_pair(
+                    &groups_ref[s],
+                    &groups_ref[s + half_groups],
+                    merged,
+                    per_pair_threads,
+                );
             }
-            next.push(merged);
-        }
+        });
         groups = next;
         group_len = merged_len;
     }
     groups.pop().expect("one merged transform remains")
+}
+
+/// One butterfly merge: combines sub-transforms `even` and `odd` into
+/// `merged` (twice their length). The two output halves are written by a
+/// fork-join pair, each half chunked over `threads` tasks — this is the
+/// parallel butterfly stage, and it matters most at the top of the merge
+/// tree where a level is a single huge pair.
+fn merge_pair(even: &[Complex], odd: &[Complex], merged: &mut [Complex], threads: usize) {
+    let group_len = even.len();
+    let merged_len = merged.len();
+    let fill = |sign: f64, half: &mut [Complex]| {
+        par::for_each_mut_chunk(half, threads, |off, band| {
+            for (k, slot) in band.iter_mut().enumerate() {
+                let i = off + k;
+                let w = Complex::cis(-2.0 * PI * i as f64 / merged_len as f64);
+                let t = odd[i].mul(w);
+                *slot = Complex {
+                    re: even[i].re + sign * t.re,
+                    im: even[i].im + sign * t.im,
+                };
+            }
+        });
+    };
+    let (lo, hi) = merged.split_at_mut(group_len);
+    pool::join(|| fill(1.0, lo), || fill(-1.0, hi));
 }
 
 fn bit_reverse_permute(x: &[Complex]) -> Vec<Complex> {

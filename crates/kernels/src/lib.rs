@@ -1,8 +1,9 @@
 //! # rcr-kernels
 //!
 //! The HPC micro-kernel suite behind the performance-gap experiments
-//! (E5, E6) — every kernel in **naive**, **optimized**, and **parallel**
-//! variants, plus the scoped-thread parallel runtime they share.
+//! (E5, E6, E17) — every kernel in **naive**, **optimized**, and **parallel**
+//! variants, plus the persistent work-stealing runtime they share
+//! ([`pool`]) and its scheduler facade ([`par`]).
 //!
 //! The three variants model the performance ladder a researcher climbs:
 //! the straightforward translation of the math (naive), the
@@ -35,6 +36,7 @@ pub mod matmul;
 pub mod montecarlo;
 pub mod nbody;
 pub mod par;
+pub mod pool;
 pub mod reduce;
 pub mod sort;
 pub mod spmv;

@@ -5,8 +5,10 @@
 //! * [`blocked`] — `ikj` reordering plus register-friendly row accumulation:
 //!   the classic "one-line locality fix" whose payoff the paper's
 //!   performance-gap argument leans on.
-//! * [`parallel`] — `ikj` with rows distributed over scoped threads.
+//! * [`parallel`] — `ikj` with output-row bands distributed over the
+//!   persistent work-stealing pool.
 
+use crate::par;
 use crate::XorShift64;
 
 /// Generates a deterministic `n × n` matrix (row-major) with entries in
@@ -67,26 +69,22 @@ fn mul_rows_ikj(a: &[f64], b: &[f64], c: &mut [f64], n: usize, row_start: usize,
     }
 }
 
-/// Parallel `ikj` multiplication over `threads` scoped workers, each owning
-/// a contiguous band of output rows.
+/// Parallel `ikj` multiplication over `threads` pool tasks, each owning a
+/// contiguous band of output rows.
 ///
 /// # Panics
 /// Panics when slice lengths are not `n * n`.
 pub fn parallel(a: &[f64], b: &[f64], n: usize, threads: usize) -> Vec<f64> {
     check_dims(a, b, n);
     let mut c = vec![0.0; n * n];
-    // Split the output into disjoint row bands so each worker writes its own
-    // region; scoped threads borrow the bands mutably via chunks_mut.
-    let threads = threads.clamp(1, n.max(1));
-    let rows_per = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for (t, band) in c.chunks_mut(rows_per * n).enumerate() {
-            let row_start = t * rows_per;
-            let row_end = (row_start + band.len() / n).min(n);
-            scope.spawn(move || {
-                mul_rows_ikj(a, b, band, n, row_start, row_end);
-            });
-        }
+    if n == 0 {
+        return c;
+    }
+    // Split the output into disjoint row bands so each task writes its own
+    // region; the fork-join band splitter hands out whole rows.
+    par::for_each_bands_mut(&mut c, n, threads, |off, band| {
+        let row_start = off / n;
+        mul_rows_ikj(a, b, band, n, row_start, row_start + band.len() / n);
     });
     c
 }

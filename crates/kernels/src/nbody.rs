@@ -60,23 +60,16 @@ pub fn step_serial(bodies: &mut [Body], dt: f64) {
     advance(bodies, &accels, dt);
 }
 
-/// Parallel step: the O(n²) acceleration pass is distributed over threads;
-/// the O(n) advance stays serial.
+/// Parallel step: the O(n²) acceleration pass is distributed over the
+/// persistent pool; the O(n) advance stays serial.
 pub fn step_parallel(bodies: &mut [Body], dt: f64, threads: usize) {
     let n = bodies.len();
     let mut accels = vec![[0.0f64; 3]; n];
     {
         let bodies_ref: &[Body] = bodies;
-        let threads = threads.clamp(1, n.max(1));
-        let chunk = n.div_ceil(threads.max(1)).max(1);
-        std::thread::scope(|scope| {
-            for (t, band) in accels.chunks_mut(chunk).enumerate() {
-                let start = t * chunk;
-                scope.spawn(move || {
-                    for (k, a) in band.iter_mut().enumerate() {
-                        *a = accel_on(start + k, bodies_ref);
-                    }
-                });
+        par::for_each_mut_chunk(&mut accels, threads, |start, band| {
+            for (k, a) in band.iter_mut().enumerate() {
+                *a = accel_on(start + k, bodies_ref);
             }
         });
     }
@@ -119,14 +112,6 @@ pub fn position_checksum(bodies: &[Body]) -> f64 {
         .enumerate()
         .map(|(i, b)| (b.pos[0] + 2.0 * b.pos[1] + 3.0 * b.pos[2]) * (1.0 + (i % 5) as f64))
         .sum()
-}
-
-/// Dummy use of [`par`] so the module-level doc claim about the shared
-/// runtime stays true if variants change. (The acceleration pass uses raw
-/// scoped threads for disjoint `&mut` bands.)
-#[doc(hidden)]
-pub fn _runtime_threads() -> usize {
-    par::default_threads()
 }
 
 #[cfg(test)]

@@ -1,38 +1,83 @@
-//! The parallel runtime: scoped-thread fork-join primitives shared by every
-//! parallel kernel variant.
+//! The parallel runtime facade: fork-join primitives shared by every
+//! parallel kernel variant, now backed by the persistent work-stealing
+//! pool in [`crate::pool`].
 //!
-//! Two schedulers are provided and compared in `bench_ablation_kernels`:
+//! Three schedulers are provided and compared in E17 / `bench_ablation_kernels`
+//! (see [`Scheduler`]):
 //!
-//! * [`for_each_chunk`] — **static** partitioning: the index range is cut
-//!   into one contiguous chunk per worker. Zero scheduling overhead,
-//!   vulnerable to load imbalance.
-//! * [`for_each_dynamic`] — **dynamic** self-scheduling: workers pull
-//!   fixed-size chunks from a shared atomic counter. Balances irregular
-//!   work at the cost of one atomic RMW per chunk.
+//! * **spawn-static** ([`for_each_chunk_spawn`]) — fresh `std::thread::scope`
+//!   threads per call, one contiguous chunk per worker. Zero scheduling
+//!   overhead inside a call, but pays thread creation on *every* call and
+//!   is vulnerable to load imbalance.
+//! * **spawn-dynamic** ([`for_each_dynamic_spawn`]) — fresh scoped threads
+//!   pulling fixed-size chunks from a shared atomic counter. Balances
+//!   irregular work, still pays per-call spawn cost.
+//! * **work-stealing** — the persistent pool: per-call cost is an inject +
+//!   wakeup, and idle workers steal oldest-first from their peers.
 //!
-//! Both run on `std::thread::scope`, so borrowed data flows in without
-//! `Arc` and panics propagate. A crossbeam channel based
+//! The historical entry points [`for_each_chunk`], [`for_each_dynamic`] and
+//! [`map_reduce`] keep their exact signatures but now run on the pool; the
+//! `threads` argument still controls the *partition* of the index space
+//! (and thereby reduction order), so results remain bit-identical for a
+//! fixed `threads` value — the partition is a pure function of the
+//! arguments, never of steal timing. A crossbeam channel based
 //! [`map_reduce_unordered`] rounds out the toolkit for producers with
 //! uneven item cost.
 
+use crate::pool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Number of worker threads to use by default: the machine's available
-/// parallelism, capped at 16 (the fork-join kernels here stop scaling well
-/// beyond that on shared-memory hosts).
+/// Parses a thread-count override string: a positive integer in `1..=256`.
+/// Anything else (empty, junk, zero, absurd) is rejected with `None`.
+pub fn parse_threads(s: &str) -> Option<usize> {
+    s.trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|t| (1..=256).contains(t))
+}
+
+/// Number of worker threads to use by default.
+///
+/// The `RCR_THREADS` environment variable, when set to an integer in
+/// `1..=256`, overrides the detected value — so experiments and benches
+/// can pin a thread count without recompiling. Otherwise: the machine's
+/// available parallelism, capped at 16 (the fork-join kernels here stop
+/// scaling well beyond that on shared-memory hosts).
 pub fn default_threads() -> usize {
+    if let Ok(s) = std::env::var("RCR_THREADS") {
+        if let Some(t) = parse_threads(&s) {
+            return t;
+        }
+    }
     std::thread::available_parallelism().map_or(4, |n| n.get().min(16))
 }
 
+/// Splits `0..n` into exactly `parts` contiguous half-open ranges whose
+/// sizes differ by at most one. All ranges are non-empty when
+/// `parts <= n`; `parts` is clamped to `1..=n` first (empty result for
+/// `n == 0`).
+pub fn balanced_ranges(n: usize, parts: usize) -> Vec<(usize, usize)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, n);
+    (0..parts)
+        .map(|i| (i * n / parts, (i + 1) * n / parts))
+        .collect()
+}
+
 /// Splits `0..n` into at most `threads` contiguous chunks and runs `body`
-/// on each chunk in parallel. `body` receives `(start, end)` half-open
-/// bounds.
+/// on each chunk in parallel on the persistent pool. `body` receives
+/// `(start, end)` half-open bounds.
 ///
-/// Falls back to a direct call for `threads <= 1` or tiny `n`, so callers
-/// can pass user-supplied thread counts without special-casing.
+/// The partition depends only on `(n, threads)` — every chunk is
+/// non-empty and chunk sizes differ by at most one — so a deterministic
+/// `body` yields identical behaviour regardless of pool size or steal
+/// timing. Falls back to a direct call for `threads <= 1`, so callers can
+/// pass user-supplied thread counts without special-casing.
 ///
 /// # Panics
-/// Re-raises panics from worker threads.
+/// Re-raises panics from worker tasks.
 pub fn for_each_chunk<F>(n: usize, threads: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
@@ -45,33 +90,86 @@ where
         body(0, n);
         return;
     }
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(n);
-            if start >= end {
-                break;
-            }
-            let body = &body;
-            scope.spawn(move || body(start, end));
-        }
+    let ranges = balanced_ranges(n, threads);
+    pool::sized(threads).run_tasks(ranges.len(), |t| {
+        let (s, e) = ranges[t];
+        body(s, e);
     });
 }
 
-/// Dynamic self-scheduling parallel-for: workers repeatedly claim
-/// `chunk`-sized slices of `0..n` from a shared counter until exhausted.
+/// Dynamic self-scheduling parallel-for on the persistent pool: `threads`
+/// tasks repeatedly claim `chunk`-sized slices of `0..n` from a shared
+/// counter until exhausted.
 ///
 /// Prefer this over [`for_each_chunk`] when per-index cost varies (e.g.
-/// triangular loops); prefer static chunking when cost is uniform.
+/// triangular loops); prefer static chunking when cost is uniform. Chunk
+/// *claim order* is nondeterministic, so bodies must write disjoint state
+/// (as all kernel callers here do) for results to be reproducible.
 ///
 /// `chunk == 0` is clamped to 1, matching [`for_each_chunk`]'s tolerance of
 /// degenerate partition parameters (a zero chunk would otherwise spin the
 /// claim loop forever without making progress).
 ///
 /// # Panics
-/// Re-raises panics from worker threads.
+/// Re-raises panics from worker tasks.
 pub fn for_each_dynamic<F>(n: usize, threads: usize, chunk: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let chunk = chunk.max(1);
+    if n == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        body(0, n);
+        return;
+    }
+    let cursor = AtomicUsize::new(0);
+    pool::sized(threads).run_tasks(threads, |_| loop {
+        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+        if start >= n {
+            break;
+        }
+        let end = (start + chunk).min(n);
+        body(start, end);
+    });
+}
+
+/// Spawn-per-call static scheduler: the pre-pool implementation, kept as
+/// the "naive runtime" arm of the E17 scheduler ablation. Spawns fresh
+/// scoped threads on every call, one balanced chunk each.
+///
+/// # Panics
+/// Re-raises panics from worker threads.
+pub fn for_each_chunk_spawn<F>(n: usize, threads: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        body(0, n);
+        return;
+    }
+    let ranges = balanced_ranges(n, threads);
+    std::thread::scope(|scope| {
+        for &(start, end) in &ranges {
+            let body = &body;
+            scope.spawn(move || body(start, end));
+        }
+    });
+}
+
+/// Spawn-per-call dynamic scheduler: fresh scoped threads pulling
+/// `chunk`-sized slices from a shared counter — the second "naive runtime"
+/// arm of the E17 ablation.
+///
+/// # Panics
+/// Re-raises panics from worker threads.
+pub fn for_each_dynamic_spawn<F>(n: usize, threads: usize, chunk: usize, body: F)
 where
     F: Fn(usize, usize) + Sync,
 {
@@ -101,10 +199,141 @@ where
     });
 }
 
-/// Parallel map-reduce over contiguous chunks: each worker computes a
+/// The three parallel schedulers compared by experiment E17 and the
+/// `scheduler` Criterion group. All three present the same
+/// `(n, threads, chunk, body)` interface so workloads are interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Fresh scoped threads per call, one static chunk per worker.
+    SpawnStatic,
+    /// Fresh scoped threads per call, atomic-counter chunk claiming.
+    SpawnDynamic,
+    /// The persistent work-stealing pool ([`crate::pool`]).
+    WorkStealing,
+}
+
+impl Scheduler {
+    /// Every scheduler, in ablation order (the spawn-static arm is the
+    /// baseline the others are compared against).
+    pub const ALL: [Scheduler; 3] = [
+        Scheduler::SpawnStatic,
+        Scheduler::SpawnDynamic,
+        Scheduler::WorkStealing,
+    ];
+
+    /// Stable display name used in tables, CSV and figure labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheduler::SpawnStatic => "spawn-static",
+            Scheduler::SpawnDynamic => "spawn-dynamic",
+            Scheduler::WorkStealing => "work-stealing",
+        }
+    }
+
+    /// Runs `body` over `0..n` under this scheduler with `threads` workers.
+    /// `chunk` is the dynamic-claim / stealing grain (ignored by
+    /// spawn-static, which always uses one balanced chunk per worker).
+    pub fn for_each<F>(self, n: usize, threads: usize, chunk: usize, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        match self {
+            Scheduler::SpawnStatic => for_each_chunk_spawn(n, threads, body),
+            Scheduler::SpawnDynamic => for_each_dynamic_spawn(n, threads, chunk, body),
+            Scheduler::WorkStealing => {
+                if n == 0 {
+                    return;
+                }
+                pool::sized(threads.max(1)).parallel_for(n, chunk.max(1), body);
+            }
+        }
+    }
+}
+
+/// Runs `body` once per contiguous band of `data`, in parallel, where a
+/// band is `band`-element-aligned (e.g. one matrix row = `n` elements).
+/// `body` receives the band's element offset within `data` and the
+/// mutable band slice. Bands are split recursively with [`pool::join`],
+/// so disjoint `&mut` access needs no unsafe and no `Arc`.
+pub fn for_each_bands_mut<T, F>(data: &mut [T], band: usize, parts: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let band = band.max(1);
+    let n_bands = data.len() / band;
+    debug_assert_eq!(
+        data.len() % band,
+        0,
+        "data length must be a multiple of the band size"
+    );
+    if n_bands == 0 {
+        if !data.is_empty() {
+            body(0, data);
+        }
+        return;
+    }
+    let parts = parts.clamp(1, n_bands);
+    if parts == 1 {
+        body(0, data);
+        return;
+    }
+    bands_rec(data, 0, band, n_bands, parts, &body);
+}
+
+fn bands_rec<T, F>(
+    data: &mut [T],
+    offset: usize,
+    band: usize,
+    n_bands: usize,
+    parts: usize,
+    body: &F,
+) where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if parts <= 1 {
+        body(offset, data);
+        return;
+    }
+    let left_parts = parts / 2;
+    // Bands split proportionally to parts, so every leaf gets >= 1 band
+    // (invariant: parts <= n_bands).
+    let left_bands = n_bands * left_parts / parts;
+    let split = left_bands * band;
+    let (l, r) = data.split_at_mut(split);
+    pool::join(
+        || bands_rec(l, offset, band, left_bands, left_parts, body),
+        || {
+            bands_rec(
+                r,
+                offset + split,
+                band,
+                n_bands - left_bands,
+                parts - left_parts,
+                body,
+            )
+        },
+    );
+}
+
+/// [`for_each_bands_mut`] with single-element bands: splits `data` into at
+/// most `parts` contiguous mutable chunks processed in parallel. `body`
+/// receives each chunk's start offset and the chunk itself.
+pub fn for_each_mut_chunk<T, F>(data: &mut [T], parts: usize, body: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    for_each_bands_mut(data, 1, parts, body);
+}
+
+/// Parallel map-reduce over contiguous chunks: each task computes a
 /// partial with `map` on its `(start, end)` range, and the partials are
 /// folded with `reduce` in deterministic chunk order (so non-associative
-/// floating-point reductions stay reproducible for a fixed thread count).
+/// floating-point reductions stay reproducible for a fixed thread count —
+/// the fold order is the partition order, which depends only on
+/// `(n, threads)`).
 pub fn map_reduce<T, M, R>(n: usize, threads: usize, identity: T, map: M, reduce: R) -> T
 where
     T: Send,
@@ -118,27 +347,36 @@ where
     if threads == 1 {
         return reduce(identity, map(0, n));
     }
-    let chunk = n.div_ceil(threads);
+    let ranges = balanced_ranges(n, threads);
     let mut partials: Vec<Option<T>> = Vec::new();
-    partials.resize_with(threads, || None);
-    std::thread::scope(|scope| {
-        for (t, slot) in partials.iter_mut().enumerate() {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(n);
-            if start >= end {
-                break;
-            }
-            let map = &map;
-            scope.spawn(move || {
-                *slot = Some(map(start, end));
-            });
-        }
-    });
+    partials.resize_with(ranges.len(), || None);
+    fill_slots(&mut partials, &ranges, &map);
     let mut acc = identity;
     for p in partials.into_iter().flatten() {
         acc = reduce(acc, p);
     }
     acc
+}
+
+/// Fills `slots[i] = Some(map(ranges[i]))` in parallel via nested joins.
+fn fill_slots<T, M>(slots: &mut [Option<T>], ranges: &[(usize, usize)], map: &M)
+where
+    T: Send,
+    M: Fn(usize, usize) -> T + Sync,
+{
+    match slots.len() {
+        0 => {}
+        1 => {
+            let (s, e) = ranges[0];
+            slots[0] = Some(map(s, e));
+        }
+        len => {
+            let mid = len / 2;
+            let (sl, sr) = slots.split_at_mut(mid);
+            let (rl, rr) = ranges.split_at(mid);
+            pool::join(|| fill_slots(sl, rl, map), || fill_slots(sr, rr, map));
+        }
+    }
 }
 
 /// Unordered map-reduce over work items delivered through a crossbeam
@@ -206,31 +444,128 @@ mod tests {
     #[test]
     fn default_threads_is_sane() {
         let t = default_threads();
-        assert!((1..=16).contains(&t));
+        assert!((1..=256).contains(&t));
     }
 
     #[test]
-    fn static_chunks_cover_range_exactly_once() {
-        let n = 1003;
+    fn parse_threads_accepts_sane_values_only() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 16 "), Some(16));
+        assert_eq!(parse_threads("1"), Some(1));
+        assert_eq!(parse_threads("256"), Some(256));
+        assert_eq!(parse_threads("0"), None);
+        assert_eq!(parse_threads("257"), None);
+        assert_eq!(parse_threads(""), None);
+        assert_eq!(parse_threads("four"), None);
+        assert_eq!(parse_threads("-2"), None);
+    }
+
+    #[test]
+    fn rcr_threads_env_overrides_default() {
+        // Env mutation is process-global; pick a value inside the sane
+        // range other tests assert on, and restore afterwards.
+        let prev = std::env::var("RCR_THREADS").ok();
+        std::env::set_var("RCR_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("RCR_THREADS", "not-a-number");
+        let fallback = default_threads();
+        assert!((1..=16).contains(&fallback), "junk override is ignored");
+        match prev {
+            Some(v) => std::env::set_var("RCR_THREADS", v),
+            None => std::env::remove_var("RCR_THREADS"),
+        }
+    }
+
+    #[test]
+    fn balanced_ranges_cover_and_never_produce_empty_chunks() {
+        assert!(balanced_ranges(0, 5).is_empty());
+        for n in 1..=48usize {
+            for parts in 1..=9usize {
+                let ranges = balanced_ranges(n, parts);
+                assert_eq!(ranges.len(), parts.min(n), "n = {n}, parts = {parts}");
+                let mut next = 0;
+                let mut min_len = usize::MAX;
+                let mut max_len = 0;
+                for &(s, e) in &ranges {
+                    assert_eq!(s, next, "contiguous: n = {n}, parts = {parts}");
+                    assert!(e > s, "non-empty: n = {n}, parts = {parts}");
+                    min_len = min_len.min(e - s);
+                    max_len = max_len.max(e - s);
+                    next = e;
+                }
+                assert_eq!(next, n, "covers 0..n: n = {n}, parts = {parts}");
+                assert!(
+                    max_len - min_len <= 1,
+                    "balanced: n = {n}, parts = {parts}, sizes {min_len}..={max_len}"
+                );
+            }
+        }
+    }
+
+    /// Exhaustive small-range coverage check for a `(start, end)` scheduler.
+    fn assert_covers_exactly_once(
+        n: usize,
+        label: &str,
+        run: impl Fn(&(dyn Fn(usize, usize) + Sync)),
+    ) {
         let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-        for_each_chunk(n, 7, |s, e| {
+        let workers = AtomicUsize::new(0);
+        run(&|s, e| {
+            assert!(e > s, "{label}: empty range ({s}, {e}) handed to a worker");
+            workers.fetch_add(1, Ordering::Relaxed);
             for h in &hits[s..e] {
                 h.fetch_add(1, Ordering::Relaxed);
             }
         });
-        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        assert!(
+            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+            "{label}: some index not covered exactly once"
+        );
     }
 
     #[test]
-    fn dynamic_chunks_cover_range_exactly_once() {
-        let n = 997;
-        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
-        for_each_dynamic(n, 5, 16, |s, e| {
-            for h in &hits[s..e] {
-                h.fetch_add(1, Ordering::Relaxed);
+    fn static_chunks_cover_exhaustively_with_no_empty_ranges() {
+        // The regression this guards: div_ceil chunking used to hand some
+        // workers empty ranges (e.g. n = 10, threads = 7 left 2 idle after
+        // a mid-loop break). Exhaustive over small (n, threads) for both
+        // the pool-backed shim and the spawn-per-call scheduler.
+        for n in 0..=48usize {
+            for threads in 1..=9usize {
+                assert_covers_exactly_once(n, &format!("pool n={n} t={threads}"), |body| {
+                    for_each_chunk(n, threads, body)
+                });
+                assert_covers_exactly_once(n, &format!("spawn n={n} t={threads}"), |body| {
+                    for_each_chunk_spawn(n, threads, body)
+                });
             }
-        });
-        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn dynamic_chunks_cover_exhaustively() {
+        for n in [0usize, 1, 7, 23, 48] {
+            for threads in 1..=5usize {
+                for chunk in [1usize, 3, 64] {
+                    assert_covers_exactly_once(n, &format!("dyn n={n} t={threads}"), |body| {
+                        for_each_dynamic(n, threads, chunk, body)
+                    });
+                    assert_covers_exactly_once(
+                        n,
+                        &format!("dyn-spawn n={n} t={threads}"),
+                        |body| for_each_dynamic_spawn(n, threads, chunk, body),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_schedulers_cover_range_exactly_once() {
+        for sched in Scheduler::ALL {
+            for n in [0usize, 1, 10, 1003] {
+                assert_covers_exactly_once(n, sched.name(), |body| sched.for_each(n, 4, 16, body));
+            }
+        }
     }
 
     #[test]
@@ -267,6 +602,41 @@ mod tests {
         assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
         // Single-thread fallback with chunk 0 runs the whole range inline.
         for_each_dynamic(10, 1, 0, |s, e| assert_eq!((s, e), (0, 10)));
+    }
+
+    #[test]
+    fn mut_chunk_bands_are_disjoint_aligned_and_complete() {
+        // Element chunks.
+        for n in [0usize, 1, 7, 100] {
+            for parts in 1..=6usize {
+                let mut data = vec![0u32; n];
+                for_each_mut_chunk(&mut data, parts, |off, band| {
+                    assert!(!band.is_empty() || n == 0);
+                    for (k, v) in band.iter_mut().enumerate() {
+                        *v = (off + k) as u32 + 1;
+                    }
+                });
+                assert!(
+                    data.iter().enumerate().all(|(i, &v)| v == i as u32 + 1),
+                    "n = {n}, parts = {parts}"
+                );
+            }
+        }
+        // Row-aligned bands: every band a multiple of the row width.
+        let rows = 13usize;
+        let cols = 7usize;
+        for parts in 1..=6usize {
+            let mut data = vec![0u32; rows * cols];
+            for_each_bands_mut(&mut data, cols, parts, |off, band| {
+                assert_eq!(off % cols, 0, "band starts on a row boundary");
+                assert_eq!(band.len() % cols, 0, "band is whole rows");
+                assert!(!band.is_empty());
+                for (k, v) in band.iter_mut().enumerate() {
+                    *v = (off + k) as u32 + 1;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i as u32 + 1));
+        }
     }
 
     #[test]
@@ -336,5 +706,33 @@ mod tests {
         });
         // All 256 indices visited.
         assert!(total.load(Ordering::Relaxed) <= 256);
+    }
+
+    #[test]
+    fn schedulers_agree_bitwise_on_disjoint_float_stores() {
+        // The determinism contract E17 relies on: identical per-index
+        // float writes under every scheduler and several thread counts.
+        let n = 4096usize;
+        let reference: Vec<u64> = (0..n)
+            .map(|i| ((i as f64) * 0.37).cos().to_bits())
+            .collect();
+        for sched in Scheduler::ALL {
+            for threads in [1usize, 2, 4, 7] {
+                let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                sched.for_each(n, threads, 32, |s, e| {
+                    for (i, slot) in slots.iter().enumerate().take(e).skip(s) {
+                        slot.store(((i as f64) * 0.37).cos().to_bits(), Ordering::Relaxed);
+                    }
+                });
+                for (i, slot) in slots.iter().enumerate() {
+                    assert_eq!(
+                        slot.load(Ordering::Relaxed),
+                        reference[i],
+                        "scheduler {}, threads {threads}, index {i}",
+                        sched.name()
+                    );
+                }
+            }
+        }
     }
 }

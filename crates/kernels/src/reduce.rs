@@ -6,6 +6,7 @@
 //! a crossover experiment E6 can show.
 
 use crate::par;
+use crate::pool;
 use crate::XorShift64;
 
 /// Generates a deterministic vector of length `n` in `[0, 1)`.
@@ -63,7 +64,10 @@ pub fn prefix_sum_serial(xs: &[f64]) -> Vec<f64> {
 }
 
 /// Two-pass parallel inclusive prefix sum: per-chunk local scans, serial
-/// scan of chunk totals, then a parallel offset fix-up pass.
+/// scan of chunk totals, then a parallel offset fix-up pass. Both parallel
+/// passes are nested-join recursions on the persistent pool; the chunk
+/// partition (and hence every rounding decision) depends only on
+/// `(n, threads)`.
 pub fn prefix_sum_parallel(xs: &[f64], threads: usize) -> Vec<f64> {
     let n = xs.len();
     if n == 0 {
@@ -73,27 +77,12 @@ pub fn prefix_sum_parallel(xs: &[f64], threads: usize) -> Vec<f64> {
     if threads == 1 {
         return prefix_sum_serial(xs);
     }
-    let chunk = n.div_ceil(threads);
+    let ranges = par::balanced_ranges(n, threads);
     let mut out = vec![0.0; n];
 
     // Pass 1: local scans, collecting each chunk's total.
-    let mut totals = vec![0.0f64; out.chunks(chunk).len()];
-    std::thread::scope(|scope| {
-        for ((band, src), total) in out
-            .chunks_mut(chunk)
-            .zip(xs.chunks(chunk))
-            .zip(totals.iter_mut())
-        {
-            scope.spawn(move || {
-                let mut acc = 0.0;
-                for (o, &x) in band.iter_mut().zip(src) {
-                    acc += x;
-                    *o = acc;
-                }
-                *total = acc;
-            });
-        }
-    });
+    let mut totals = vec![0.0f64; ranges.len()];
+    scan_chunks(xs, &mut out, &mut totals, &ranges);
 
     // Serial exclusive scan of chunk totals -> per-chunk offsets.
     let mut offsets = vec![0.0f64; totals.len()];
@@ -104,18 +93,59 @@ pub fn prefix_sum_parallel(xs: &[f64], threads: usize) -> Vec<f64> {
     }
 
     // Pass 2: add offsets.
-    std::thread::scope(|scope| {
-        for (band, &off) in out.chunks_mut(chunk).zip(&offsets) {
+    add_offsets(&mut out, &offsets, &ranges);
+    out
+}
+
+/// Pass 1 recursion: `out` covers exactly the indices spanned by `ranges`;
+/// each leaf scans its chunk locally and records the chunk total.
+fn scan_chunks(xs: &[f64], out: &mut [f64], totals: &mut [f64], ranges: &[(usize, usize)]) {
+    match ranges.len() {
+        0 => {}
+        1 => {
+            let (s, e) = ranges[0];
+            let mut acc = 0.0;
+            for (o, &x) in out.iter_mut().zip(&xs[s..e]) {
+                acc += x;
+                *o = acc;
+            }
+            totals[0] = acc;
+        }
+        len => {
+            let mid = len / 2;
+            let split = ranges[mid].0 - ranges[0].0;
+            let (ol, or) = out.split_at_mut(split);
+            let (tl, tr) = totals.split_at_mut(mid);
+            let (rl, rr) = ranges.split_at(mid);
+            pool::join(
+                || scan_chunks(xs, ol, tl, rl),
+                || scan_chunks(xs, or, tr, rr),
+            );
+        }
+    }
+}
+
+/// Pass 2 recursion: adds each chunk's offset to its band of `out`.
+fn add_offsets(out: &mut [f64], offsets: &[f64], ranges: &[(usize, usize)]) {
+    match ranges.len() {
+        0 => {}
+        1 => {
+            let off = offsets[0];
             if off != 0.0 {
-                scope.spawn(move || {
-                    for o in band {
-                        *o += off;
-                    }
-                });
+                for o in out {
+                    *o += off;
+                }
             }
         }
-    });
-    out
+        len => {
+            let mid = len / 2;
+            let split = ranges[mid].0 - ranges[0].0;
+            let (ol, or) = out.split_at_mut(split);
+            let (fl, fr) = offsets.split_at(mid);
+            let (rl, rr) = ranges.split_at(mid);
+            pool::join(|| add_offsets(ol, fl, rl), || add_offsets(or, fr, rr));
+        }
+    }
 }
 
 #[cfg(test)]

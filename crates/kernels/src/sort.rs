@@ -5,6 +5,7 @@
 //! final merge is serial at the top of the tree), which gives E6 a third
 //! scaling shape between matmul and stencil.
 
+use crate::pool;
 use crate::XorShift64;
 
 /// Generates `n` deterministic unsorted keys.
@@ -64,8 +65,9 @@ fn merge_halves(data: &mut [f64], scratch: &mut [f64], mid: usize) {
     }
 }
 
-/// Parallel mergesort: recursion forks onto scoped threads down to a depth
-/// of `log2(threads)`, then falls back to the serial sort.
+/// Parallel mergesort: the recursion forks with [`pool::join`] down to a
+/// depth of `log2(threads)`, then falls back to the serial sort. The split
+/// points (and thus the result) are independent of how steals interleave.
 pub fn merge_sort_parallel(xs: &[f64], threads: usize) -> Vec<f64> {
     let mut data = xs.to_vec();
     let mut scratch = data.clone();
@@ -84,10 +86,7 @@ fn par_rec(data: &mut [f64], scratch: &mut [f64], depth: u32) {
     {
         let (dl, dr) = data.split_at_mut(mid);
         let (sl, sr) = scratch.split_at_mut(mid);
-        std::thread::scope(|scope| {
-            scope.spawn(|| par_rec(dl, sl, depth - 1));
-            par_rec(dr, sr, depth - 1);
-        });
+        pool::join(|| par_rec(dl, sl, depth - 1), || par_rec(dr, sr, depth - 1));
     }
     merge_halves(data, scratch, mid);
 }

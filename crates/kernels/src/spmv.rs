@@ -68,8 +68,10 @@ pub fn gen_sparse(n: usize, max_row_nnz: usize, seed: u64) -> Csr {
     }
 }
 
+/// Dot product of row `r` of `m` with `x` — the per-row unit of work the
+/// E6/E17 scheduler studies partition.
 #[inline]
-fn row_dot(m: &Csr, x: &[f64], r: usize) -> f64 {
+pub fn row_dot(m: &Csr, x: &[f64], r: usize) -> f64 {
     let lo = m.row_ptr[r];
     let hi = m.row_ptr[r + 1];
     let mut acc = 0.0;
@@ -88,23 +90,16 @@ pub fn serial(m: &Csr, x: &[f64]) -> Vec<f64> {
     (0..m.n_rows).map(|r| row_dot(m, x, r)).collect()
 }
 
-/// Parallel SpMV with static row bands.
+/// Parallel SpMV with static row bands on the persistent pool.
 ///
 /// # Panics
 /// Panics when `x.len() != n_cols`.
 pub fn parallel_static(m: &Csr, x: &[f64], threads: usize) -> Vec<f64> {
     assert_eq!(x.len(), m.n_cols, "x must have n_cols entries");
     let mut y = vec![0.0; m.n_rows];
-    let threads = threads.clamp(1, m.n_rows.max(1));
-    let chunk = m.n_rows.div_ceil(threads.max(1)).max(1);
-    std::thread::scope(|scope| {
-        for (t, band) in y.chunks_mut(chunk).enumerate() {
-            let start = t * chunk;
-            scope.spawn(move || {
-                for (k, out) in band.iter_mut().enumerate() {
-                    *out = row_dot(m, x, start + k);
-                }
-            });
+    par::for_each_mut_chunk(&mut y, threads, |start, band| {
+        for (k, out) in band.iter_mut().enumerate() {
+            *out = row_dot(m, x, start + k);
         }
     });
     y

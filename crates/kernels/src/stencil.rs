@@ -7,9 +7,10 @@
 //! * [`naive`] — allocates a fresh grid every sweep (the way the loop is
 //!   usually first written).
 //! * [`optimized`] — ping-pong buffers, zero allocation in the sweep loop.
-//! * [`parallel`] — row-banded sweeps on scoped threads with the same
+//! * [`parallel`] — row-banded sweeps on the persistent pool with the same
 //!   ping-pong discipline.
 
+use crate::par;
 use crate::XorShift64;
 
 /// Generates a deterministic `rows × cols` grid with a hot spot in the
@@ -82,8 +83,9 @@ pub fn optimized(grid: &[f64], rows: usize, cols: usize, sweeps: usize) -> Vec<f
     cur
 }
 
-/// Parallel Jacobi: each sweep distributes row bands over scoped threads;
-/// buffers ping-pong between sweeps (one barrier per sweep via scope join).
+/// Parallel Jacobi: each sweep distributes row bands over the persistent
+/// pool; buffers ping-pong between sweeps (one barrier per sweep via the
+/// fork-join).
 ///
 /// # Panics
 /// Panics on dimension mismatch or grids smaller than 3×3.
@@ -91,16 +93,10 @@ pub fn parallel(grid: &[f64], rows: usize, cols: usize, sweeps: usize, threads: 
     check(grid, rows, cols);
     let mut cur = grid.to_vec();
     let mut next = vec![0.0; rows * cols];
-    let threads = threads.clamp(1, rows);
-    let band_rows = rows.div_ceil(threads);
     for _ in 0..sweeps {
         let src = &cur;
-        std::thread::scope(|scope| {
-            for (t, band) in next.chunks_mut(band_rows * cols).enumerate() {
-                let abs_start = t * band_rows;
-                let n_rows = band.len() / cols;
-                scope.spawn(move || sweep_rows(src, band, cols, abs_start, n_rows));
-            }
+        par::for_each_bands_mut(&mut next, cols, threads, |off, band| {
+            sweep_rows(src, band, cols, off / cols, band.len() / cols);
         });
         std::mem::swap(&mut cur, &mut next);
     }

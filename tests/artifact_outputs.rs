@@ -111,6 +111,39 @@ fn e16_json_shape_quick() {
 }
 
 #[test]
+fn e17_json_shape_quick() {
+    let points = ex().e17_sched_ablation(&GapConfig::quick()).expect("E17");
+    let j = to_json(&points);
+    let rows = j.as_array().expect("array");
+    assert_eq!(rows.len(), 12, "4 workloads x 3 schedulers");
+    for row in rows {
+        for key in [
+            "workload",
+            "scheduler",
+            "threads",
+            "calls",
+            "median_s",
+            "per_call_us",
+            "speedup_vs_spawn_static",
+            "efficiency",
+            "checksum",
+        ] {
+            assert!(row.get(key).is_some(), "missing key `{key}` in {row}");
+        }
+        assert!(row["median_s"].as_f64().expect("median_s") > 0.0);
+    }
+    // Checksums are identical across the three schedulers of a workload —
+    // the determinism contract downstream scripts can rely on.
+    for chunk in rows.chunks(3) {
+        let reference = chunk[0]["checksum"].as_u64().expect("checksum u64");
+        for row in chunk {
+            assert_eq!(row["workload"], chunk[0]["workload"]);
+            assert_eq!(row["checksum"].as_u64().expect("checksum u64"), reference);
+        }
+    }
+}
+
+#[test]
 fn e9_json_shape() {
     let outcomes = ex().e9_sched_policies(300).expect("E9");
     let j = to_json(&outcomes);

@@ -57,6 +57,10 @@ fn performance_experiments_run_quick_and_render() {
     assert_eq!(closures.len(), 4);
     assert!(rcr_bench::render::e16_figure(&closures).contains("</svg>"));
     assert_eq!(rcr_bench::render::e16_table(&closures).n_rows(), 4);
+    let points = e.e17_sched_ablation(&cfg).expect("E17");
+    assert_eq!(points.len(), 12);
+    assert!(rcr_bench::render::e17_figure(&points).contains("</svg>"));
+    assert_eq!(rcr_bench::render::e17_table(&points).n_rows(), 12);
 }
 
 #[test]
@@ -109,7 +113,7 @@ fn experiment_index_matches_drivers() {
         ids,
         vec![
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16"
+            "E14", "E15", "E16", "E17"
         ]
     );
 }

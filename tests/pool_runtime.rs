@@ -1,0 +1,80 @@
+//! Pool-runtime integration: the three schedulers in `rcr_kernels::par`
+//! (spawn-per-call static, spawn-per-call dynamic, persistent
+//! work-stealing) must be interchangeable — bitwise-identical outputs on
+//! deterministic kernels, for any problem size and thread count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use rcr_kernels::par::Scheduler;
+use rcr_kernels::{dotaxpy, pool, spmv};
+
+/// Runs `body` over `0..n` under one scheduler, storing per-index results
+/// into atomic slots, and returns the collected bits.
+fn run_sched<F>(sched: Scheduler, n: usize, threads: usize, chunk: usize, body: F) -> Vec<u64>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    sched.for_each(n, threads, chunk, |s, e| {
+        for (i, slot) in slots.iter().enumerate().take(e).skip(s) {
+            slot.store(body(i).to_bits(), Ordering::Relaxed);
+        }
+    });
+    slots.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // All three schedulers match the serial reference bit-for-bit on the
+    // skewed SpMV rows, whatever the thread count and chunk size.
+    #[test]
+    fn schedulers_are_bitwise_identical_on_spmv(
+        rows in 1usize..600,
+        threads in 1usize..9,
+        chunk in 1usize..64,
+    ) {
+        let m = spmv::gen_sparse(rows, 32, 3);
+        let x = dotaxpy::gen_vector(rows, 9);
+        let reference: Vec<u64> = (0..rows)
+            .map(|r| spmv::row_dot(&m, &x, r).to_bits())
+            .collect();
+        for sched in Scheduler::ALL {
+            let got = run_sched(sched, rows, threads, chunk, |r| spmv::row_dot(&m, &x, r));
+            prop_assert_eq!(&got, &reference, "scheduler {}", sched.name());
+        }
+    }
+
+    // Same contract on a transcendental per-element map (results with
+    // many significant bits, so any reordering of stores would show).
+    #[test]
+    fn schedulers_are_bitwise_identical_on_elementwise_map(
+        n in 0usize..3000,
+        threads in 1usize..9,
+    ) {
+        let reference: Vec<u64> = (0..n)
+            .map(|i| (i as f64 * 0.37).cos().to_bits())
+            .collect();
+        for sched in Scheduler::ALL {
+            let got = run_sched(sched, n, threads, 128, |i| (i as f64 * 0.37).cos());
+            prop_assert_eq!(&got, &reference, "scheduler {}", sched.name());
+        }
+    }
+
+    // `pool::join` computes both halves exactly, nested to arbitrary
+    // depth, from a non-worker caller thread.
+    #[test]
+    fn nested_join_sums_match_serial(n in 1usize..5000) {
+        fn par_sum(xs: &[u64]) -> u64 {
+            if xs.len() <= 64 {
+                return xs.iter().sum();
+            }
+            let (lo, hi) = xs.split_at(xs.len() / 2);
+            let (a, b) = pool::join(|| par_sum(lo), || par_sum(hi));
+            a + b
+        }
+        let xs: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        prop_assert_eq!(par_sum(&xs), xs.iter().sum::<u64>());
+    }
+}
