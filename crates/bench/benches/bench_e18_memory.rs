@@ -1,0 +1,73 @@
+//! E18 (Figure 9): the memory-hierarchy sweep — Criterion timings for the
+//! vectorized kernel tier at cache-resident sizes, plus the `ablation_simd`
+//! groups sweeping lane width `W` and the packed-matmul tile size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::experiments::Experiments;
+use rcr_core::perfgap::GapConfig;
+use rcr_core::MASTER_SEED;
+use rcr_kernels::{dotaxpy, matmul, simd};
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let points = ex.e18_memory(&GapConfig::quick()).expect("E18 verifies");
+    println!("{}", render::e18_table(&points).render_ascii());
+
+    // The study already verified every (kernel, tier, size) cell against
+    // its serial reference; spot-check the shape before timing anything.
+    assert_eq!(points.len(), 96, "6 kernels x 4 levels x 4 tiers");
+
+    // L1-resident dot: serial vs the vectorized tier. This is the pair the
+    // acceptance criterion quotes (the naive loop is a latency-bound add
+    // chain; the multi-accumulator tier breaks the dependency).
+    let n = 2048;
+    let x = dotaxpy::gen_vector(n, 1);
+    let y = dotaxpy::gen_vector(n, 2);
+    let mut g = c.benchmark_group("e18_dot_l1");
+    g.sample_size(20);
+    g.bench_function("naive", |b| b.iter(|| dotaxpy::dot_naive(&x, &y)));
+    g.bench_function("vectorized", |b| b.iter(|| dotaxpy::dot_vectorized(&x, &y)));
+    g.finish();
+
+    let mut ya = dotaxpy::gen_vector(n, 3);
+    let mut g = c.benchmark_group("e18_axpy_l1");
+    g.sample_size(20);
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            dotaxpy::axpy_naive(1.0003, &x, &mut ya);
+            ya[0]
+        })
+    });
+    g.bench_function("vectorized", |b| {
+        b.iter(|| {
+            dotaxpy::axpy_vectorized(1.0003, &x, &mut ya);
+            ya[0]
+        })
+    });
+    g.finish();
+
+    // Ablation: lane width W of the dot micro-kernel.
+    let mut g = c.benchmark_group("ablation_simd_lane_width");
+    g.sample_size(20);
+    g.bench_function("w2", |b| b.iter(|| simd::dot::<2>(&x, &y)));
+    g.bench_function("w4", |b| b.iter(|| simd::dot::<4>(&x, &y)));
+    g.bench_function("w8", |b| b.iter(|| simd::dot::<8>(&x, &y)));
+    g.finish();
+
+    // Ablation: cache-blocking tile of the packed matmul micro-kernel.
+    let mn = 160;
+    let a = matmul::gen_matrix(mn, 4);
+    let bm = matmul::gen_matrix(mn, 5);
+    let mut g = c.benchmark_group("ablation_simd_matmul_tile");
+    g.sample_size(10);
+    for tile in [16usize, 32, 64, 128] {
+        g.bench_function(format!("tile{tile}"), |b| {
+            b.iter(|| matmul::packed_with_tile(&a, &bm, mn, tile)[0])
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--quick] [--out DIR]
 //!
-//!   EXPERIMENT   e1..e17 (default: all)
+//!   EXPERIMENT   e1..e18 (default: all)
 //!   --quick      reduced sizes for the timing experiments (CI-friendly;
 //!                --smoke is an alias)
 //!   --out DIR    write tables (.txt/.csv) and figures (.svg) to DIR
@@ -11,7 +11,9 @@
 //! ```
 //!
 //! `RCR_THREADS` overrides the worker-thread count used by every parallel
-//! tier (see `rcr_kernels::par::default_threads`).
+//! tier (see `rcr_kernels::par::default_threads`), and `RCR_TILE` the
+//! cache-blocking tile of the packed matmul kernel (see
+//! `rcr_kernels::simd::default_tile`).
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -43,7 +45,7 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--help" | "-h" => {
-                return Err("usage: reproduce [e1..e17 ...] [--quick] [--out DIR]".to_owned())
+                return Err("usage: reproduce [e1..e18 ...] [--quick] [--out DIR]".to_owned())
             }
             e if e.starts_with('e') || e.starts_with('E') => {
                 which.push(e.to_lowercase());
@@ -131,7 +133,7 @@ fn main() {
         match info {
             Some(i) => println!("== {} ({}): {} ==\n", i.id, i.artifact, i.title),
             None => {
-                eprintln!("unknown experiment `{id}` (expected e1..e17)");
+                eprintln!("unknown experiment `{id}` (expected e1..e18)");
                 std::process::exit(2);
             }
         }
@@ -266,6 +268,12 @@ fn run_one(
             emit.table("e17", "scheduler_ablation", &render::e17_table(&points));
             emit.figure("e17", "scheduler_ablation", &render::e17_figure(&points));
             emit.json("e17", "scheduler_ablation", &points);
+        }
+        "e18" => {
+            let points = ex.e18_memory(gap_config)?;
+            emit.table("e18", "memory", &render::e18_table(&points));
+            emit.figure("e18", "memory", &render::e18_figure(&points));
+            emit.json("e18", "memory", &points);
         }
         other => unreachable!("validated above: {other}"),
     }

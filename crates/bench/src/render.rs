@@ -3,6 +3,7 @@
 use rcr_core::compare::{DistributionShift, FieldAdoption, ItemShift, LikertShift};
 use rcr_core::experiments::{Demographics, LoadPoint, PolicyOutcome, ResiliencePoint};
 use rcr_core::lintstudy::LintStudy;
+use rcr_core::memstudy::MemPoint;
 use rcr_core::perfgap::{GapClosure, KernelGap, ScalingCurve, Tier};
 use rcr_core::schedstudy::SchedPoint;
 use rcr_core::trend::LanguageTrend;
@@ -438,6 +439,70 @@ pub fn e17_figure(points: &[SchedPoint]) -> String {
     )
 }
 
+/// Human-readable working-set size for the E18 table (KiB below 1 MiB,
+/// MiB above).
+fn ws_label(bytes: usize) -> String {
+    if bytes < (1 << 20) {
+        format!("{:.0} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+/// E18: Figure 9 data — the memory-hierarchy sweep, one row per
+/// (kernel, level, tier) cell.
+pub fn e18_table(points: &[MemPoint]) -> Table {
+    let mut t = Table::new([
+        "kernel",
+        "level",
+        "working set",
+        "n",
+        "tier",
+        "median",
+        "GFLOP/s",
+        "GB/s",
+        "vs serial",
+    ])
+    .title("Figure 9 data: kernel tiers across the memory hierarchy".to_owned());
+    for p in points {
+        t.row([
+            p.kernel.clone(),
+            p.level.clone(),
+            ws_label(p.working_set_bytes),
+            p.n.to_string(),
+            p.tier.clone(),
+            fmt::duration_s(p.median_s),
+            format!("{:.2}", p.gflops),
+            format!("{:.2}", p.gbps),
+            fmt::speedup(p.speedup_vs_serial),
+        ]);
+    }
+    t
+}
+
+/// E18: Figure 9 — effective bandwidth of the dot kernel's four tiers as
+/// the working set falls out of each cache level (x is log₂ bytes, so the
+/// L1→DRAM sweep is evenly spaced).
+pub fn e18_figure(points: &[MemPoint]) -> String {
+    let mut series: Vec<Series> = Vec::new();
+    for tier in rcr_core::memstudy::TIERS {
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|p| p.kernel == "dot" && p.tier == tier)
+            .map(|p| ((p.working_set_bytes as f64).log2(), p.gbps))
+            .collect();
+        if !pts.is_empty() {
+            series.push(Series::new(tier, pts));
+        }
+    }
+    svg::line_chart(
+        "Figure 9: dot-kernel effective bandwidth across the memory hierarchy",
+        "log2(working-set bytes)",
+        "effective GB/s",
+        &series,
+    )
+}
+
 /// E12: pain-point table.
 pub fn e12_table(rows: &[LikertShift]) -> Table {
     let mut t = Table::new(["item", "mean 2011", "mean 2024", "Δ", "U", "p (BH)"])
@@ -728,5 +793,24 @@ mod tests {
         let fig = e17_figure(&points);
         assert!(fig.contains("<svg") && fig.contains("matmul-tiny"));
         assert!(fig.contains("spawn-dynamic"));
+    }
+
+    #[test]
+    fn memory_sweep_outputs_render() {
+        let points = ex().e18_memory(&GapConfig::quick()).unwrap();
+        let t = e18_table(&points);
+        assert_eq!(t.n_rows(), 96);
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("stencil") && ascii.contains("parallel+simd"));
+        assert!(ascii.contains("KiB") && ascii.contains("GB/s"));
+        let fig = e18_figure(&points);
+        assert!(fig.contains("<svg") && fig.contains("parallel+simd"));
+        assert!(fig.contains("effective GB/s"));
+    }
+
+    #[test]
+    fn ws_label_picks_sensible_units() {
+        assert_eq!(ws_label(24 << 10), "24 KiB");
+        assert_eq!(ws_label(96 << 20), "96.0 MiB");
     }
 }

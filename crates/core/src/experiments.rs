@@ -1,4 +1,4 @@
-//! The experiment registry: one driver per table/figure (E1–E17), all
+//! The experiment registry: one driver per table/figure (E1–E18), all
 //! deterministic from one master seed. `DESIGN.md` §4 is the index; the
 //! `reproduce` binary and the Criterion benches both call these drivers.
 
@@ -18,6 +18,7 @@ use crate::compare::{
     DistributionShift, FieldAdoption, ItemShift, LikertShift,
 };
 use crate::lintstudy::{run_study, LintStudy};
+use crate::memstudy::MemPoint;
 use crate::perfgap::{
     gap_closure, measure_gaps, measure_scaling, GapClosure, GapConfig, KernelGap, ScalingCurve,
 };
@@ -38,7 +39,7 @@ pub struct ExperimentInfo {
 }
 
 /// The experiment index (matches `DESIGN.md` §4).
-pub const INDEX: [ExperimentInfo; 17] = [
+pub const INDEX: [ExperimentInfo; 18] = [
     ExperimentInfo {
         id: "E1",
         artifact: "Table 1",
@@ -123,6 +124,11 @@ pub const INDEX: [ExperimentInfo; 17] = [
         id: "E17",
         artifact: "Figure 8",
         title: "Scheduler ablation: spawn-per-call vs persistent work-stealing",
+    },
+    ExperimentInfo {
+        id: "E18",
+        artifact: "Figure 9",
+        title: "Memory-hierarchy sweep: kernel tiers from L1 to DRAM",
     },
 ];
 
@@ -521,6 +527,17 @@ impl Experiments {
     pub fn e17_sched_ablation(&self, config: &GapConfig) -> Result<Vec<SchedPoint>> {
         crate::schedstudy::run(config)
     }
+
+    /// E18: the memory-hierarchy sweep — six kernels at L1/L2/LLC/DRAM
+    /// working-set sizes under serial, SIMD, parallel, and parallel+SIMD
+    /// tiers, reporting GFLOP/s and effective GB/s per cell. Every tier's
+    /// result is verified against the serial reference before timing.
+    ///
+    /// # Errors
+    /// [`crate::Error::VerificationFailed`] when a tier's result diverges.
+    pub fn e18_memory(&self, config: &GapConfig) -> Result<Vec<MemPoint>> {
+        crate::memstudy::run(config)
+    }
 }
 
 #[cfg(test)]
@@ -533,10 +550,10 @@ mod tests {
     }
 
     #[test]
-    fn index_lists_seventeen_unique_ids() {
+    fn index_lists_eighteen_unique_ids() {
         let mut ids: Vec<&str> = INDEX.iter().map(|i| i.id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 17);
+        assert_eq!(ids.len(), 18);
         assert_eq!(INDEX[0].id, "E1");
         assert_eq!(INDEX[11].artifact, "Figure 6");
         assert_eq!(INDEX[12].id, "E13");
@@ -548,6 +565,8 @@ mod tests {
         assert_eq!(INDEX[15].artifact, "Table 9");
         assert_eq!(INDEX[16].id, "E17");
         assert_eq!(INDEX[16].artifact, "Figure 8");
+        assert_eq!(INDEX[17].id, "E18");
+        assert_eq!(INDEX[17].artifact, "Figure 9");
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! * [`schedstudy`] — the scheduler ablation: spawn-per-call runtimes vs
 //!   the persistent work-stealing pool on regular, irregular, and
 //!   fine-grained workloads;
-//! * [`experiments`] — the registry mapping experiment ids E1–E17 to
+//! * [`memstudy`] — the memory-hierarchy study: six kernels swept across
+//!   L1/L2/LLC/DRAM working sets under serial, SIMD, parallel, and
+//!   parallel+SIMD tiers, every cell verified before timing;
+//! * [`experiments`] — the registry mapping experiment ids E1–E18 to
 //!   drivers that regenerate each table and figure (see `DESIGN.md` §4).
 //!
 //! ```
@@ -35,6 +38,7 @@
 pub mod compare;
 pub mod experiments;
 pub mod lintstudy;
+pub mod memstudy;
 pub mod perfgap;
 pub mod schedstudy;
 pub mod trend;

@@ -85,7 +85,10 @@ pub enum Tier {
     /// ResearchScript on the bytecode VM after the peephole /
     /// superinstruction pass.
     VmFused,
-    /// ResearchScript using the vectorized builtins.
+    /// ResearchScript using the vectorized builtins (which delegate to
+    /// the `rcr_kernels::simd` lane abstraction, so this tier runs the
+    /// same multi-accumulator kernels as native SIMD and pays only
+    /// interpreter dispatch).
     Vectorized,
     /// Native Rust, naive variant.
     NativeNaive,

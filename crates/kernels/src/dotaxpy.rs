@@ -1,8 +1,13 @@
 //! BLAS-1 kernels (dot product and AXPY): the bandwidth-bound floor of the
 //! suite and the direct native counterparts of the ResearchScript kernels
 //! in experiment E11.
+//!
+//! The vectorized variants ([`dot_vectorized`], [`axpy_vectorized`]) run
+//! on the [`crate::simd`] lane abstraction; the `parallel+simd` variants
+//! compose them with the persistent pool for the E18 top tier.
 
 use crate::par;
+use crate::simd;
 use crate::XorShift64;
 
 /// Generates a deterministic vector of length `n` in `[-1, 1)`.
@@ -49,6 +54,16 @@ pub fn dot_optimized(x: &[f64], y: &[f64]) -> f64 {
     (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
 }
 
+/// Vectorized dot product on the [`crate::simd`] lane abstraction:
+/// 4 × 8-lane accumulators with masked remainder handling. Reassociates
+/// relative to [`dot_naive`] — compare with [`crate::verify::close`].
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn dot_vectorized(x: &[f64], y: &[f64]) -> f64 {
+    simd::dot::<{ simd::LANES }>(x, y)
+}
+
 /// Parallel dot product via chunked map-reduce (deterministic fold order
 /// for a fixed thread count).
 ///
@@ -61,6 +76,22 @@ pub fn dot_parallel(x: &[f64], y: &[f64], threads: usize) -> f64 {
         threads,
         0.0f64,
         |s, e| dot_optimized(&x[s..e], &y[s..e]),
+        |a, b| a + b,
+    )
+}
+
+/// `parallel+simd` dot product: the [`dot_vectorized`] body inside the
+/// same deterministic chunked map-reduce as [`dot_parallel`].
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn dot_parallel_simd(x: &[f64], y: &[f64], threads: usize) -> f64 {
+    assert_eq!(x.len(), y.len(), "dot requires equal lengths");
+    par::map_reduce(
+        x.len(),
+        threads,
+        0.0f64,
+        |s, e| dot_vectorized(&x[s..e], &y[s..e]),
         |a, b| a + b,
     )
 }
@@ -92,6 +123,16 @@ pub fn axpy_optimized(alpha: f64, x: &[f64], y: &mut [f64]) {
     }
 }
 
+/// Vectorized AXPY on the [`crate::simd`] lane abstraction. Performs the
+/// same one-multiply-one-add per element as [`axpy_naive`], so the result
+/// is bitwise identical (no reassociation in a map-shaped kernel).
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn axpy_vectorized(alpha: f64, x: &[f64], y: &mut [f64]) {
+    simd::axpy::<{ simd::LANES }>(alpha, x, y);
+}
+
 /// Parallel AXPY over disjoint chunks of `y`, on the persistent pool.
 ///
 /// # Panics
@@ -103,10 +144,24 @@ pub fn axpy_parallel(alpha: f64, x: &[f64], y: &mut [f64], threads: usize) {
     });
 }
 
+/// `parallel+simd` AXPY: the [`axpy_vectorized`] body over disjoint pool
+/// chunks. Still bitwise identical to [`axpy_naive`] — chunking does not
+/// change any per-element operation.
+///
+/// # Panics
+/// Panics on length mismatch.
+pub fn axpy_parallel_simd(alpha: f64, x: &[f64], y: &mut [f64], threads: usize) {
+    assert_eq!(x.len(), y.len(), "axpy requires equal lengths");
+    par::for_each_mut_chunk(y, threads, |off, band| {
+        axpy_vectorized(alpha, &x[off..off + band.len()], band);
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verify::{approx_eq, approx_eq_slices};
+    use crate::verify::{approx_eq, approx_eq_slices, close, sum_abs_tol};
+    use proptest::prelude::*;
 
     #[test]
     fn dot_known_value() {
@@ -114,7 +169,9 @@ mod tests {
         let y = [4.0, 5.0, 6.0];
         assert_eq!(dot_naive(&x, &y), 32.0);
         assert_eq!(dot_optimized(&x, &y), 32.0);
+        assert_eq!(dot_vectorized(&x, &y), 32.0);
         assert_eq!(dot_parallel(&x, &y, 2), 32.0);
+        assert_eq!(dot_parallel_simd(&x, &y, 2), 32.0);
     }
 
     #[test]
@@ -123,14 +180,23 @@ mod tests {
             let x = gen_vector(n, 1);
             let y = gen_vector(n, 2);
             let reference = dot_naive(&x, &y);
+            let tol = sum_abs_tol(x.iter().zip(&y).map(|(a, b)| a * b));
             assert!(
                 approx_eq(reference, dot_optimized(&x, &y), 1e-10),
                 "opt at n={n}"
+            );
+            assert!(
+                close(reference, dot_vectorized(&x, &y), 64, tol),
+                "vec at n={n}"
             );
             for threads in [1, 2, 8] {
                 assert!(
                     approx_eq(reference, dot_parallel(&x, &y, threads), 1e-10),
                     "par at n={n}, threads={threads}"
+                );
+                assert!(
+                    close(reference, dot_parallel_simd(&x, &y, threads), 64, tol),
+                    "par+simd at n={n}, threads={threads}"
                 );
             }
         }
@@ -146,6 +212,10 @@ mod tests {
             let mut y2 = base.clone();
             axpy_optimized(2.5, &x, &mut y2);
             assert!(approx_eq_slices(&y1, &y2, 1e-12), "opt at n={n}");
+            // The vectorized tier does identical per-element work: bitwise.
+            let mut yv = base.clone();
+            axpy_vectorized(2.5, &x, &mut yv);
+            assert_eq!(y1, yv, "vec at n={n}");
             for threads in [1, 3, 8] {
                 let mut y3 = base.clone();
                 axpy_parallel(2.5, &x, &mut y3, threads);
@@ -153,7 +223,29 @@ mod tests {
                     approx_eq_slices(&y1, &y3, 1e-12),
                     "par at n={n} t={threads}"
                 );
+                let mut y4 = base.clone();
+                axpy_parallel_simd(2.5, &x, &mut y4, threads);
+                assert_eq!(y1, y4, "par+simd at n={n} t={threads}");
             }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_vectorized_dot_agrees_for_any_n(
+            n in 0usize..600,
+            threads in 1usize..9,
+            seed in 1u64..500
+        ) {
+            // Arbitrary n (including n < W and n % W != 0) and thread
+            // counts: the vectorized and parallel+simd tiers stay within
+            // the reassociation tolerance of the serial reference.
+            let x = gen_vector(n, seed);
+            let y = gen_vector(n, seed + 1);
+            let reference = dot_naive(&x, &y);
+            let tol = sum_abs_tol(x.iter().zip(&y).map(|(a, b)| a * b));
+            prop_assert!(close(reference, dot_vectorized(&x, &y), 128, tol));
+            prop_assert!(close(reference, dot_parallel_simd(&x, &y, threads), 128, tol));
         }
     }
 

@@ -1,15 +1,20 @@
 //! # rcr-kernels
 //!
 //! The HPC micro-kernel suite behind the performance-gap experiments
-//! (E5, E6, E17) — every kernel in **naive**, **optimized**, and **parallel**
-//! variants, plus the persistent work-stealing runtime they share
-//! ([`pool`]) and its scheduler facade ([`par`]).
+//! (E5, E6, E17, E18) — every kernel in **naive**, **optimized**,
+//! **vectorized**, and **parallel** variants, plus the persistent
+//! work-stealing runtime they share ([`pool`]), its scheduler facade
+//! ([`par`]), and the portable lane abstraction behind the vectorized
+//! tier ([`simd`]).
 //!
-//! The three variants model the performance ladder a researcher climbs:
-//! the straightforward translation of the math (naive), the
-//! locality/allocation-conscious rewrite (optimized), and the multicore
-//! port (parallel). Benchmarks report the ratios between rungs; the *shape*
-//! of those ratios (who wins, roughly by how much, where memory-bound
+//! The variants model the performance ladder a researcher climbs: the
+//! straightforward translation of the math (naive), the
+//! locality/allocation-conscious rewrite (optimized), the explicitly
+//! SIMD-shaped rewrite (vectorized — multi-accumulator lane bundles,
+//! register blocking, time tiling), and the multicore port (parallel,
+//! which composes with the vectorized bodies into a `parallel+simd` top
+//! tier). Benchmarks report the ratios between rungs; the *shape* of
+//! those ratios (who wins, roughly by how much, where memory-bound
 //! kernels stop scaling) is the reproduction target.
 //!
 //! ```
@@ -38,6 +43,7 @@ pub mod nbody;
 pub mod par;
 pub mod pool;
 pub mod reduce;
+pub mod simd;
 pub mod sort;
 pub mod spmv;
 pub mod stencil;

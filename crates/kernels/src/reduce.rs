@@ -7,6 +7,7 @@
 
 use crate::par;
 use crate::pool;
+use crate::simd;
 use crate::XorShift64;
 
 /// Generates a deterministic vector of length `n` in `[0, 1)`.
@@ -41,6 +42,14 @@ pub fn sum_optimized(xs: &[f64]) -> f64 {
     acc.iter().sum::<f64>() + tail
 }
 
+/// Vectorized sum on the [`crate::simd`] lane abstraction (4 × 8-lane
+/// accumulators, masked remainder, pairwise horizontal reduction).
+/// Reassociates relative to [`sum_naive`] — compare with
+/// [`crate::verify::close`].
+pub fn sum_vectorized(xs: &[f64]) -> f64 {
+    simd::sum::<{ simd::LANES }>(xs)
+}
+
 /// Parallel sum via chunked map-reduce.
 pub fn sum_parallel(xs: &[f64], threads: usize) -> f64 {
     par::map_reduce(
@@ -48,6 +57,18 @@ pub fn sum_parallel(xs: &[f64], threads: usize) -> f64 {
         threads,
         0.0,
         |s, e| sum_optimized(&xs[s..e]),
+        |a, b| a + b,
+    )
+}
+
+/// `parallel+simd` sum: the [`sum_vectorized`] body inside the same
+/// deterministic chunked map-reduce as [`sum_parallel`].
+pub fn sum_parallel_simd(xs: &[f64], threads: usize) -> f64 {
+    par::map_reduce(
+        xs.len(),
+        threads,
+        0.0,
+        |s, e| sum_vectorized(&xs[s..e]),
         |a, b| a + b,
     )
 }
@@ -156,14 +177,21 @@ mod tests {
 
     #[test]
     fn sums_agree() {
+        use crate::verify::{close, sum_abs_tol};
         for n in [0, 1, 7, 8, 9, 1000, 12_345] {
             let xs = gen_data(n, 5);
             let reference = sum_naive(&xs);
+            let tol = sum_abs_tol(xs.iter().copied());
             assert!(approx_eq(reference, sum_optimized(&xs), 1e-10), "opt n={n}");
+            assert!(close(reference, sum_vectorized(&xs), 64, tol), "vec n={n}");
             for t in [1, 2, 8] {
                 assert!(
                     approx_eq(reference, sum_parallel(&xs, t), 1e-10),
                     "par n={n} t={t}"
+                );
+                assert!(
+                    close(reference, sum_parallel_simd(&xs, t), 64, tol),
+                    "par+simd n={n} t={t}"
                 );
             }
         }
@@ -174,7 +202,9 @@ mod tests {
         let xs: Vec<f64> = (1..=100).map(f64::from).collect();
         assert_eq!(sum_naive(&xs), 5050.0);
         assert_eq!(sum_optimized(&xs), 5050.0);
+        assert_eq!(sum_vectorized(&xs), 5050.0);
         assert_eq!(sum_parallel(&xs, 4), 5050.0);
+        assert_eq!(sum_parallel_simd(&xs, 4), 5050.0);
     }
 
     #[test]

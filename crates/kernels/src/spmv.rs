@@ -1,6 +1,13 @@
 //! Sparse matrix–vector multiply (CSR): irregular memory access with
 //! per-row load imbalance — the kernel that motivates the dynamic
 //! scheduler ablation.
+//!
+//! The vectorized tier ([`vectorized`], [`parallel_vectorized`]) cannot
+//! use contiguous lane loads (CSR gathers through `col_idx`), so its
+//! speedup comes from instruction-level parallelism instead: each row's
+//! gather-multiply chain runs on four independent accumulators
+//! ([`row_dot_vectorized`]), and rows are processed in batches of four
+//! independent chains so short rows overlap in the out-of-order window.
 
 use crate::par;
 use crate::XorShift64;
@@ -90,6 +97,77 @@ pub fn serial(m: &Csr, x: &[f64]) -> Vec<f64> {
     (0..m.n_rows).map(|r| row_dot(m, x, r)).collect()
 }
 
+/// Dot product of row `r` with four independent accumulators over the
+/// row's non-zeros — breaks the serial add-latency chain of [`row_dot`].
+/// Reassociates, so results are compared with [`crate::verify::close`].
+#[inline]
+pub fn row_dot_vectorized(m: &Csr, x: &[f64], r: usize) -> f64 {
+    let lo = m.row_ptr[r];
+    let hi = m.row_ptr[r + 1];
+    let cols = &m.col_idx[lo..hi];
+    let vals = &m.values[lo..hi];
+    let mut acc = [0.0f64; 4];
+    let cc = cols.chunks_exact(4);
+    let vc = vals.chunks_exact(4);
+    let (cr, vr) = (cc.remainder(), vc.remainder());
+    for (c4, v4) in cc.zip(vc) {
+        acc[0] += v4[0] * x[c4[0]];
+        acc[1] += v4[1] * x[c4[1]];
+        acc[2] += v4[2] * x[c4[2]];
+        acc[3] += v4[3] * x[c4[3]];
+    }
+    let mut tail = 0.0;
+    for (c, v) in cr.iter().zip(vr) {
+        tail += v * x[*c];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + tail
+}
+
+/// Fills `band` (rows `start..start + band.len()` of the output) with
+/// [`row_dot_vectorized`] results, four rows per batch — the shared body
+/// of [`vectorized`] and [`parallel_vectorized`].
+fn fill_rows_vectorized(m: &Csr, x: &[f64], start: usize, band: &mut [f64]) {
+    let mut r = start;
+    let mut quads = band.chunks_exact_mut(4);
+    for quad in &mut quads {
+        // Four independent accumulation chains in flight per batch.
+        quad[0] = row_dot_vectorized(m, x, r);
+        quad[1] = row_dot_vectorized(m, x, r + 1);
+        quad[2] = row_dot_vectorized(m, x, r + 2);
+        quad[3] = row_dot_vectorized(m, x, r + 3);
+        r += 4;
+    }
+    for out in quads.into_remainder() {
+        *out = row_dot_vectorized(m, x, r);
+        r += 1;
+    }
+}
+
+/// Vectorized SpMV: 4-row batches of 4-accumulator row dots.
+///
+/// # Panics
+/// Panics when `x.len() != n_cols`.
+pub fn vectorized(m: &Csr, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), m.n_cols, "x must have n_cols entries");
+    let mut y = vec![0.0; m.n_rows];
+    fill_rows_vectorized(m, x, 0, &mut y);
+    y
+}
+
+/// `parallel+simd` SpMV: static row bands on the persistent pool, each
+/// band running the 4-row-batched vectorized body.
+///
+/// # Panics
+/// Panics when `x.len() != n_cols`.
+pub fn parallel_vectorized(m: &Csr, x: &[f64], threads: usize) -> Vec<f64> {
+    assert_eq!(x.len(), m.n_cols, "x must have n_cols entries");
+    let mut y = vec![0.0; m.n_rows];
+    par::for_each_mut_chunk(&mut y, threads, |start, band| {
+        fill_rows_vectorized(m, x, start, band);
+    });
+    y
+}
+
 /// Parallel SpMV with static row bands on the persistent pool.
 ///
 /// # Panics
@@ -138,7 +216,8 @@ pub fn parallel_dynamic(m: &Csr, x: &[f64], threads: usize, chunk: usize) -> Vec
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verify::approx_eq_slices;
+    use crate::verify::{approx_eq_slices, close_slices};
+    use proptest::prelude::*;
 
     fn small_csr() -> Csr {
         // [1 0 2]
@@ -161,6 +240,8 @@ mod tests {
         assert_eq!(y, vec![7.0, 0.0, 11.0]);
         assert_eq!(parallel_static(&m, &[1.0, 2.0, 3.0], 2), y);
         assert_eq!(parallel_dynamic(&m, &[1.0, 2.0, 3.0], 2, 1), y);
+        assert_eq!(vectorized(&m, &[1.0, 2.0, 3.0]), y);
+        assert_eq!(parallel_vectorized(&m, &[1.0, 2.0, 3.0], 2), y);
     }
 
     #[test]
@@ -177,6 +258,8 @@ mod tests {
         let m = gen_sparse(500, 64, 3);
         let x = crate::dotaxpy::gen_vector(500, 9);
         let reference = serial(&m, &x);
+        let tol = spmv_tol(&m, &x);
+        assert!(close_slices(&reference, &vectorized(&m, &x), 64, tol));
         for t in [1, 2, 4, 8] {
             assert!(approx_eq_slices(
                 &reference,
@@ -188,6 +271,77 @@ mod tests {
                 &parallel_dynamic(&m, &x, t, 16),
                 1e-12
             ));
+            assert!(close_slices(
+                &reference,
+                &parallel_vectorized(&m, &x, t),
+                64,
+                tol
+            ));
+        }
+    }
+
+    /// Absolute floor for one reassociated row dot: the densest row's
+    /// worst-case Σ|v·x| with entries in [-1, 1) is bounded by its nnz.
+    fn spmv_tol(m: &Csr, _x: &[f64]) -> f64 {
+        let max_nnz = m.row_ptr.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        f64::EPSILON * max_nnz as f64 * 8.0
+    }
+
+    #[test]
+    fn vectorized_row_remainders_are_exact() {
+        // Rows with 0..=9 nnz hit every chunks_exact(4) remainder path.
+        let m = gen_sparse(64, 10, 11);
+        let x = crate::dotaxpy::gen_vector(64, 12);
+        let reference = serial(&m, &x);
+        assert!(close_slices(
+            &reference,
+            &vectorized(&m, &x),
+            64,
+            spmv_tol(&m, &x)
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_parallel_simd_agrees_across_all_schedulers(
+            n in 1usize..300,
+            max_nnz in 1usize..48,
+            threads in 1usize..6,
+            seed in 1u64..200
+        ) {
+            // The E18 `parallel+simd` determinism contract: the vectorized
+            // row body is a pure function of the row index, so running it
+            // under each of the three schedulers gives bitwise-identical
+            // output — and all of it within tolerance of the serial
+            // reference.
+            use crate::par::Scheduler;
+            use std::sync::atomic::{AtomicU64, Ordering};
+            let m = gen_sparse(n, max_nnz, seed);
+            let x = crate::dotaxpy::gen_vector(n, seed + 7);
+            let reference = serial(&m, &x);
+            let tol = spmv_tol(&m, &x);
+            let mut first: Option<Vec<f64>> = None;
+            for sched in Scheduler::ALL {
+                let slots: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+                sched.for_each(n, threads, 8, |s, e| {
+                    for (r, slot) in slots.iter().enumerate().take(e).skip(s) {
+                        slot.store(row_dot_vectorized(&m, &x, r).to_bits(), Ordering::Relaxed);
+                    }
+                });
+                let y: Vec<f64> = slots
+                    .iter()
+                    .map(|s| f64::from_bits(s.load(Ordering::Relaxed)))
+                    .collect();
+                prop_assert!(close_slices(&reference, &y, 128, tol), "{}", sched.name());
+                match &first {
+                    None => first = Some(y),
+                    Some(f) => {
+                        for (a, b) in f.iter().zip(&y) {
+                            prop_assert_eq!(a.to_bits(), b.to_bits(), "{}", sched.name());
+                        }
+                    }
+                }
+            }
         }
     }
 

@@ -7,8 +7,15 @@
 //! * [`naive`] — allocates a fresh grid every sweep (the way the loop is
 //!   usually first written).
 //! * [`optimized`] — ping-pong buffers, zero allocation in the sweep loop.
-//! * [`parallel`] — row-banded sweeps on the persistent pool with the same
-//!   ping-pong discipline.
+//! * [`vectorized`] — time-tiled: pairs of sweeps fused through a rolling
+//!   three-row window, halving the grid traffic per sweep (the stencil is
+//!   bandwidth-bound, so the memory hierarchy — not the ALUs — is where
+//!   its vectorized tier wins). Per-element arithmetic is unchanged, so
+//!   results are bitwise identical to [`naive`].
+//! * [`parallel`] / [`parallel_vectorized`] — row-banded sweeps on the
+//!   persistent pool; the vectorized variant fuses sweep pairs per band,
+//!   recomputing the one-row halo at band seams (overlapped tiling) so
+//!   bands stay independent.
 
 use crate::par;
 use crate::XorShift64;
@@ -29,6 +36,18 @@ fn check(grid: &[f64], rows: usize, cols: usize) {
     assert!(rows >= 3 && cols >= 3, "stencil needs at least a 3x3 grid");
 }
 
+/// One interior output row from its three source rows: the shared
+/// five-point update every variant (plain, fused, banded) funnels
+/// through, so per-element arithmetic is identical across tiers.
+#[inline]
+fn sweep_one_row(up: &[f64], mid: &[f64], down: &[f64], dst_row: &mut [f64], cols: usize) {
+    dst_row[0] = mid[0];
+    dst_row[cols - 1] = mid[cols - 1];
+    for c in 1..cols - 1 {
+        dst_row[c] = 0.2 * (mid[c] + mid[c - 1] + mid[c + 1] + up[c] + down[c]);
+    }
+}
+
 #[inline]
 fn sweep_rows(src: &[f64], dst: &mut [f64], cols: usize, abs_row_start: usize, n_rows: usize) {
     // dst covers rows [abs_row_start, abs_row_start + n_rows) of the grid;
@@ -44,11 +63,58 @@ fn sweep_rows(src: &[f64], dst: &mut [f64], cols: usize, abs_row_start: usize, n
         let up = &src[(r - 1) * cols..r * cols];
         let mid = &src[r * cols..(r + 1) * cols];
         let down = &src[(r + 1) * cols..(r + 2) * cols];
-        dst_row[0] = mid[0];
-        dst_row[cols - 1] = mid[cols - 1];
-        for c in 1..cols - 1 {
-            dst_row[c] = 0.2 * (mid[c] + mid[c - 1] + mid[c + 1] + up[c] + down[c]);
+        sweep_one_row(up, mid, down, dst_row, cols);
+    }
+}
+
+/// Computes row `r` of `sweep(src)` into `buf` — the on-the-fly
+/// intermediate the fused pair consumes instead of materializing a whole
+/// first-sweep grid.
+#[inline]
+fn sweep_row_into(src: &[f64], rows: usize, cols: usize, r: usize, buf: &mut [f64]) {
+    if r == 0 || r + 1 == rows {
+        buf.copy_from_slice(&src[r * cols..(r + 1) * cols]);
+    } else {
+        let (up, rest) = src[(r - 1) * cols..(r + 2) * cols].split_at(cols);
+        let (mid, down) = rest.split_at(cols);
+        sweep_one_row(up, mid, down, buf, cols);
+    }
+}
+
+/// Two fused sweeps over output rows `[row_start, row_start + n_rows)`:
+/// first-sweep rows are produced into a rolling three-row window exactly
+/// when the second sweep needs them, so the intermediate grid never
+/// touches memory. `dst` is the band (indexed relative to `row_start`);
+/// `src` is the full grid. Bands recompute their one-row halo, keeping
+/// parallel bands independent.
+fn fused_pair_rows(
+    src: &[f64],
+    dst: &mut [f64],
+    rows: usize,
+    cols: usize,
+    row_start: usize,
+    n_rows: usize,
+) {
+    let mut prev = vec![0.0; cols]; // sweep-1 row r-1
+    let mut cur = vec![0.0; cols]; // sweep-1 row r
+    let mut next = vec![0.0; cols]; // sweep-1 row r+1
+    if row_start > 0 {
+        sweep_row_into(src, rows, cols, row_start - 1, &mut prev);
+    }
+    sweep_row_into(src, rows, cols, row_start, &mut cur);
+    for local_r in 0..n_rows {
+        let r = row_start + local_r;
+        if r + 1 < rows {
+            sweep_row_into(src, rows, cols, r + 1, &mut next);
         }
+        let dst_row = &mut dst[local_r * cols..(local_r + 1) * cols];
+        if r == 0 || r + 1 == rows {
+            dst_row.copy_from_slice(&cur);
+        } else {
+            sweep_one_row(&prev, &cur, &next, dst_row, cols);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        std::mem::swap(&mut cur, &mut next);
     }
 }
 
@@ -83,6 +149,64 @@ pub fn optimized(grid: &[f64], rows: usize, cols: usize, sweeps: usize) -> Vec<f
     cur
 }
 
+/// Time-tiled Jacobi (the vectorized tier): sweeps run in fused pairs
+/// through `fused_pair_rows` — per pair, the grid is read and written
+/// once instead of twice, which is the whole game for a bandwidth-bound
+/// kernel once the grid spills the cache. An odd final sweep falls back
+/// to one plain pass. Bitwise identical to [`naive`] (same per-element
+/// operations in the same order).
+///
+/// # Panics
+/// Panics on dimension mismatch or grids smaller than 3×3.
+pub fn vectorized(grid: &[f64], rows: usize, cols: usize, sweeps: usize) -> Vec<f64> {
+    check(grid, rows, cols);
+    let mut cur = grid.to_vec();
+    let mut next = vec![0.0; rows * cols];
+    for _ in 0..sweeps / 2 {
+        fused_pair_rows(&cur, &mut next, rows, cols, 0, rows);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    if sweeps % 2 == 1 {
+        sweep_rows(&cur, &mut next, cols, 0, rows);
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+/// `parallel+simd` Jacobi: fused sweep pairs over row bands on the
+/// persistent pool. Each band recomputes its one-row first-sweep halo
+/// (overlapped tiling), so bands need no cross-band synchronization
+/// within a pair and the result stays bitwise identical to [`naive`].
+///
+/// # Panics
+/// Panics on dimension mismatch or grids smaller than 3×3.
+pub fn parallel_vectorized(
+    grid: &[f64],
+    rows: usize,
+    cols: usize,
+    sweeps: usize,
+    threads: usize,
+) -> Vec<f64> {
+    check(grid, rows, cols);
+    let mut cur = grid.to_vec();
+    let mut next = vec![0.0; rows * cols];
+    for _ in 0..sweeps / 2 {
+        let src = &cur;
+        par::for_each_bands_mut(&mut next, cols, threads, |off, band| {
+            fused_pair_rows(src, band, rows, cols, off / cols, band.len() / cols);
+        });
+        std::mem::swap(&mut cur, &mut next);
+    }
+    if sweeps % 2 == 1 {
+        let src = &cur;
+        par::for_each_bands_mut(&mut next, cols, threads, |off, band| {
+            sweep_rows(src, band, cols, off / cols, band.len() / cols);
+        });
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
 /// Parallel Jacobi: each sweep distributes row bands over the persistent
 /// pool; buffers ping-pong between sweeps (one barrier per sweep via the
 /// fork-join).
@@ -107,6 +231,7 @@ pub fn parallel(grid: &[f64], rows: usize, cols: usize, sweeps: usize, threads: 
 mod tests {
     use super::*;
     use crate::verify::approx_eq_slices;
+    use proptest::prelude::*;
 
     #[test]
     fn uniform_grid_is_a_fixed_point() {
@@ -116,7 +241,9 @@ mod tests {
         for out in [
             naive(&grid, rows, cols, 4),
             optimized(&grid, rows, cols, 4),
+            vectorized(&grid, rows, cols, 4),
             parallel(&grid, rows, cols, 4, 3),
+            parallel_vectorized(&grid, rows, cols, 4, 3),
         ] {
             assert!(approx_eq_slices(&out, &grid, 1e-12));
         }
@@ -132,6 +259,12 @@ mod tests {
                 approx_eq_slices(&reference, &optimized(&g, rows, cols, sweeps), 1e-12),
                 "optimized mismatch at sweeps={sweeps}"
             );
+            // Time tiling preserves per-element arithmetic: bitwise.
+            assert_eq!(
+                reference,
+                vectorized(&g, rows, cols, sweeps),
+                "vectorized mismatch at sweeps={sweeps}"
+            );
             for threads in [1, 2, 4, 7] {
                 assert!(
                     approx_eq_slices(
@@ -141,7 +274,31 @@ mod tests {
                     ),
                     "parallel mismatch at sweeps={sweeps}, threads={threads}"
                 );
+                assert_eq!(
+                    reference,
+                    parallel_vectorized(&g, rows, cols, sweeps, threads),
+                    "parallel_vectorized mismatch at sweeps={sweeps}, threads={threads}"
+                );
             }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_time_tiled_bitwise_identical(
+            rows in 3usize..24,
+            cols in 3usize..24,
+            sweeps in 0usize..7,
+            threads in 1usize..6,
+            seed in 1u64..100
+        ) {
+            // Arbitrary grid shapes (odd, prime, minimal) and sweep
+            // counts (odd counts exercise the trailing plain sweep):
+            // fusion and band-halo recomputation never change a bit.
+            let g = gen_grid(rows, cols, seed);
+            let reference = naive(&g, rows, cols, sweeps);
+            prop_assert_eq!(&reference, &vectorized(&g, rows, cols, sweeps));
+            prop_assert_eq!(&reference, &parallel_vectorized(&g, rows, cols, sweeps, threads));
         }
     }
 

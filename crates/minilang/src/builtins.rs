@@ -4,7 +4,11 @@
 //! call, like any interpreted call. The vectorized builtins (`vdot`,
 //! `vaxpy`, `vsum`, `vscale`) amortize that dispatch over an entire
 //! contiguous float array — the ResearchScript analog of replacing a Python
-//! loop with a NumPy call, and the third rung of the E11 ablation.
+//! loop with a NumPy call, and the third rung of the E11 ablation. Their
+//! bodies delegate to the `rcr_kernels::simd` lane abstraction, so the
+//! "vectorized" tier runs the same multi-accumulator machine code as the
+//! native SIMD tier: what the script pays for is only the dispatch,
+//! exactly the gap E5/E11 quote.
 
 use crate::error::{Error, Result};
 use crate::value::Value;
@@ -170,7 +174,9 @@ fn float_arg<'a>(
 fn b_vsum(args: &[Value]) -> Result<Value> {
     arity("vsum", args, 1)?;
     let a = float_arg("vsum", &args[0])?.borrow();
-    Ok(Value::Num(a.iter().sum()))
+    Ok(Value::Num(rcr_kernels::simd::sum::<
+        { rcr_kernels::simd::LANES },
+    >(&a)))
 }
 
 fn b_vdot(args: &[Value]) -> Result<Value> {
@@ -184,7 +190,9 @@ fn b_vdot(args: &[Value]) -> Result<Value> {
             b.len()
         )));
     }
-    Ok(Value::Num(a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()))
+    Ok(Value::Num(rcr_kernels::simd::dot::<
+        { rcr_kernels::simd::LANES },
+    >(&a, &b)))
 }
 
 fn b_vaxpy(args: &[Value]) -> Result<Value> {
@@ -208,9 +216,7 @@ fn b_vaxpy(args: &[Value]) -> Result<Value> {
             y.len()
         )));
     }
-    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    rcr_kernels::simd::axpy::<{ rcr_kernels::simd::LANES }>(alpha, &x, &mut y);
     Ok(Value::Nil)
 }
 
@@ -218,9 +224,7 @@ fn b_vscale(args: &[Value]) -> Result<Value> {
     arity("vscale", args, 2)?;
     let alpha = args[0].as_num("vscale alpha")?;
     let x = float_arg("vscale", &args[1])?;
-    for v in x.borrow_mut().iter_mut() {
-        *v *= alpha;
-    }
+    rcr_kernels::simd::scale::<{ rcr_kernels::simd::LANES }>(alpha, &mut x.borrow_mut());
     Ok(Value::Nil)
 }
 

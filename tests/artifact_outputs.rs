@@ -144,6 +144,42 @@ fn e17_json_shape_quick() {
 }
 
 #[test]
+fn e18_json_shape_quick() {
+    let points = ex().e18_memory(&GapConfig::quick()).expect("E18");
+    let j = to_json(&points);
+    let rows = j.as_array().expect("array");
+    assert_eq!(rows.len(), 96, "6 kernels x 4 levels x 4 tiers");
+    for row in rows {
+        for key in [
+            "kernel",
+            "level",
+            "working_set_bytes",
+            "n",
+            "tier",
+            "median_s",
+            "gflops",
+            "gbps",
+            "speedup_vs_serial",
+            "verified",
+        ] {
+            assert!(row.get(key).is_some(), "missing key `{key}` in {row}");
+        }
+        assert!(row["median_s"].as_f64().expect("median_s") > 0.0);
+        // Returned rows are verified by construction — a mismatch aborts
+        // the experiment instead of producing a row.
+        assert!(matches!(row["verified"], Value::Bool(true)), "{row}");
+    }
+    // Each (kernel, level) cell carries all four tiers, serial first.
+    for cell in rows.chunks(4) {
+        assert_eq!(cell[0]["tier"].as_str(), Some("serial"));
+        for row in cell {
+            assert_eq!(row["kernel"], cell[0]["kernel"]);
+            assert_eq!(row["level"], cell[0]["level"]);
+        }
+    }
+}
+
+#[test]
 fn e9_json_shape() {
     let outcomes = ex().e9_sched_policies(300).expect("E9");
     let j = to_json(&outcomes);
