@@ -1,0 +1,62 @@
+//! E19 (Figure 10): the serving overload study — Criterion timings for the
+//! service's hot submission-side paths (content hashing, artifact
+//! instantiation, cached program lookup, and a full submit→wait round
+//! trip), after running the quick sweep once to verify the robustness
+//! contract end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::experiments::Experiments;
+use rcr_core::perfgap::GapConfig;
+use rcr_core::MASTER_SEED;
+use rcr_serve::{content_hash, JobSpec, ProgramArtifact, ProgramCache, Service, ServiceConfig};
+
+const SCRIPT: &str = "let s = 0; for i in range(0, 1000) { s = s + i * i; } s";
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let points = ex.e19_serve(&GapConfig::quick()).expect("E19 verifies");
+    println!("{}", render::e19_table(&points).render_ascii());
+    assert_eq!(points.len(), 9, "3 fault levels x 3 offered loads");
+
+    // Submission-side costs: the content hash is paid on every submit, the
+    // artifact instantiation on every execution.
+    let artifact = ProgramArtifact::compile(SCRIPT).expect("script compiles");
+    let mut g = c.benchmark_group("e19_submission_path");
+    g.sample_size(20);
+    g.bench_function("content_hash", |b| b.iter(|| content_hash(SCRIPT)));
+    g.bench_function("instantiate", |b| b.iter(|| artifact.instantiate().main));
+    g.bench_function("compile_uncached", |b| {
+        b.iter(|| ProgramArtifact::compile(SCRIPT).unwrap().code_len())
+    });
+    g.bench_function("cache_hit", |b| {
+        let cache = ProgramCache::new();
+        cache.get_or_compile(SCRIPT).unwrap();
+        b.iter(|| cache.get_or_compile(SCRIPT).unwrap().code_len())
+    });
+    g.finish();
+
+    // Full fault-free round trip: submit → execute → wait.
+    let service = Service::new(ServiceConfig {
+        admission_rate: 1e9,
+        admission_burst: 1e9,
+        ..ServiceConfig::default()
+    });
+    service.submit(JobSpec::new(0, SCRIPT)).unwrap().wait();
+    let mut g = c.benchmark_group("e19_round_trip");
+    g.sample_size(20);
+    g.bench_function("submit_wait", |b| {
+        b.iter(|| {
+            service
+                .submit(JobSpec::new(0, SCRIPT))
+                .expect("admitted")
+                .wait()
+                .is_completed()
+        })
+    });
+    g.finish();
+    service.shutdown();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

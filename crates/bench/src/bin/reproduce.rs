@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--quick] [--out DIR]
 //!
-//!   EXPERIMENT   e1..e18 (default: all)
+//!   EXPERIMENT   e1..e19 (default: all)
 //!   --quick      reduced sizes for the timing experiments (CI-friendly;
 //!                --smoke is an alias)
 //!   --out DIR    write tables (.txt/.csv) and figures (.svg) to DIR
@@ -45,7 +45,7 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--help" | "-h" => {
-                return Err("usage: reproduce [e1..e18 ...] [--quick] [--out DIR]".to_owned())
+                return Err("usage: reproduce [e1..e19 ...] [--quick] [--out DIR]".to_owned())
             }
             e if e.starts_with('e') || e.starts_with('E') => {
                 which.push(e.to_lowercase());
@@ -133,7 +133,7 @@ fn main() {
         match info {
             Some(i) => println!("== {} ({}): {} ==\n", i.id, i.artifact, i.title),
             None => {
-                eprintln!("unknown experiment `{id}` (expected e1..e18)");
+                eprintln!("unknown experiment `{id}` (expected e1..e19)");
                 std::process::exit(2);
             }
         }
@@ -274,6 +274,12 @@ fn run_one(
             emit.table("e18", "memory", &render::e18_table(&points));
             emit.figure("e18", "memory", &render::e18_figure(&points));
             emit.json("e18", "memory", &points);
+        }
+        "e19" => {
+            let points = ex.e19_serve(gap_config)?;
+            emit.table("e19", "serve", &render::e19_table(&points));
+            emit.figure("e19", "serve", &render::e19_figure(&points));
+            emit.json("e19", "serve", &points);
         }
         other => unreachable!("validated above: {other}"),
     }

@@ -265,6 +265,130 @@ impl FaultInjector {
     }
 }
 
+/// One fault injected into a single execution attempt by a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InjectedFault {
+    /// The worker executing the attempt crashes (modelled as a panic in
+    /// the job body).
+    WorkerCrash,
+    /// The compile stage of the attempt fails spuriously (e.g. a flaky
+    /// toolchain or corrupted artifact).
+    CompileFailure,
+    /// The attempt runs, but `factor` times slower than normal.
+    SlowJob {
+        /// Slowdown multiplier, ≥ 1.
+        factor: f64,
+    },
+}
+
+/// A stateless, concurrency-safe fault plan: the per-attempt counterpart of
+/// [`FaultInjector`], extracted for services that execute attempts from
+/// many threads at once.
+///
+/// `FaultInjector` owns one mutable PRNG and therefore requires all draws
+/// to happen in a single, fixed event order — fine for the discrete-event
+/// simulator, impossible for a concurrent executor where attempt order is
+/// scheduler-dependent. `FaultPlan` instead derives an independent stream
+/// per `(job, attempt)` key, so the decision for any attempt is a pure
+/// function of `(seed, job_id, attempt)`: deterministic under every
+/// interleaving, and shareable across threads without locks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the plan; every per-attempt stream is derived from it.
+    pub seed: u64,
+    /// Probability an attempt's worker crashes mid-run. In `[0, 1]`.
+    pub crash_prob: f64,
+    /// Probability an attempt's compile stage fails spuriously. In `[0, 1]`.
+    pub compile_fail_prob: f64,
+    /// Probability an attempt is slowed down. In `[0, 1]`.
+    pub slow_prob: f64,
+    /// Slowdown multiplier for slow attempts. Must be ≥ 1 and finite.
+    pub slow_factor: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (baseline).
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            crash_prob: 0.0,
+            compile_fail_prob: 0.0,
+            slow_prob: 0.0,
+            slow_factor: 1.0,
+        }
+    }
+
+    /// Validates every parameter, returning the plan unchanged on success.
+    ///
+    /// # Errors
+    /// [`Error::InvalidFaultSpec`] on out-of-range probabilities or a slow
+    /// factor below 1 / non-finite.
+    pub fn validated(self) -> Result<Self> {
+        for (name, p) in [
+            ("crash_prob", self.crash_prob),
+            ("compile_fail_prob", self.compile_fail_prob),
+            ("slow_prob", self.slow_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(Error::InvalidFaultSpec(format!(
+                    "{name} must be in [0, 1], got {p}"
+                )));
+            }
+        }
+        if !self.slow_factor.is_finite() || self.slow_factor < 1.0 {
+            return Err(Error::InvalidFaultSpec(format!(
+                "slow_factor must be finite and at least 1, got {}",
+                self.slow_factor
+            )));
+        }
+        Ok(self)
+    }
+
+    /// True when this plan can never perturb an attempt.
+    pub fn is_inert(&self) -> bool {
+        self.crash_prob == 0.0 && self.compile_fail_prob == 0.0 && self.slow_prob == 0.0
+    }
+
+    /// Decides what happens to attempt number `attempt` (1-based) of job
+    /// `job_id`. Pure: the same key always yields the same decision, and
+    /// different attempts of the same job draw independently — which is
+    /// what makes retries able to succeed after an injected fault.
+    ///
+    /// At most one fault fires per attempt; when several classes strike the
+    /// same draw, crashes beat compile failures beat slowdowns.
+    pub fn decide(&self, job_id: u64, attempt: u32) -> Option<InjectedFault> {
+        if self.is_inert() {
+            return None;
+        }
+        let mut rng = StdRng::seed_from_u64(per_attempt_seed(self.seed, job_id, attempt));
+        // Fixed draw order keeps each class's marginal rate independent of
+        // the others' probabilities.
+        let crash = self.crash_prob > 0.0 && rng.gen_bool(self.crash_prob);
+        let compile = self.compile_fail_prob > 0.0 && rng.gen_bool(self.compile_fail_prob);
+        let slow = self.slow_prob > 0.0 && rng.gen_bool(self.slow_prob);
+        if crash {
+            Some(InjectedFault::WorkerCrash)
+        } else if compile {
+            Some(InjectedFault::CompileFailure)
+        } else if slow {
+            Some(InjectedFault::SlowJob {
+                factor: self.slow_factor,
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Mixes a plan seed and an attempt key into a stream seed. The multipliers
+/// are odd 64-bit constants (from SplitMix64), so distinct keys land on
+/// distinct seeds; `StdRng::seed_from_u64` then diffuses the result through
+/// its own SplitMix64 expansion.
+fn per_attempt_seed(seed: u64, job_id: u64, attempt: u32) -> u64 {
+    seed ^ job_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ u64::from(attempt).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+}
+
 /// Exponential-backoff priority penalty for retry number `retry` (1-based):
 /// `base · 2^(retry-1)`, capped at `base · 2^16` to keep times finite.
 pub fn backoff_penalty(base: f64, retry: u32) -> f64 {
@@ -479,6 +603,107 @@ mod tests {
             hits[inj.pick_victim(&[1, 9])] += 1;
         }
         assert!(hits[1] > hits[0] * 4, "hits = {hits:?}");
+    }
+
+    fn base_plan() -> FaultPlan {
+        FaultPlan {
+            seed: 11,
+            crash_prob: 0.2,
+            compile_fail_prob: 0.1,
+            slow_prob: 0.3,
+            slow_factor: 4.0,
+        }
+    }
+
+    #[test]
+    fn fault_plan_validation() {
+        assert!(base_plan().validated().is_ok());
+        assert!(FaultPlan::none(1).validated().is_ok());
+        assert!(FaultPlan {
+            crash_prob: 1.5,
+            ..base_plan()
+        }
+        .validated()
+        .is_err());
+        assert!(FaultPlan {
+            compile_fail_prob: -0.1,
+            ..base_plan()
+        }
+        .validated()
+        .is_err());
+        assert!(FaultPlan {
+            slow_factor: 0.5,
+            ..base_plan()
+        }
+        .validated()
+        .is_err());
+        assert!(FaultPlan {
+            slow_factor: f64::INFINITY,
+            ..base_plan()
+        }
+        .validated()
+        .is_err());
+    }
+
+    #[test]
+    fn fault_plan_is_pure_and_key_sensitive() {
+        let plan = base_plan();
+        // Pure: same key, same decision, any number of times.
+        for job in 0..200u64 {
+            for attempt in 1..=3u32 {
+                assert_eq!(plan.decide(job, attempt), plan.decide(job, attempt));
+            }
+        }
+        // Different attempts of one job draw independently: some faulted
+        // first attempt must have a clean second attempt (retries can win).
+        let recovered =
+            (0..500u64).any(|job| plan.decide(job, 1).is_some() && plan.decide(job, 2).is_none());
+        assert!(recovered, "no faulted job ever recovered on retry");
+        // A different seed reshuffles decisions.
+        let other = FaultPlan {
+            seed: 12,
+            ..base_plan()
+        };
+        let differs = (0..500u64).any(|job| plan.decide(job, 1) != other.decide(job, 1));
+        assert!(differs, "seed had no effect on the plan");
+    }
+
+    #[test]
+    fn fault_plan_rates_are_roughly_respected() {
+        let plan = base_plan();
+        let n = 20_000u64;
+        let mut crash = 0usize;
+        let mut compile = 0usize;
+        let mut slow = 0usize;
+        for job in 0..n {
+            match plan.decide(job, 1) {
+                Some(InjectedFault::WorkerCrash) => crash += 1,
+                Some(InjectedFault::CompileFailure) => compile += 1,
+                Some(InjectedFault::SlowJob { factor }) => {
+                    assert_eq!(factor, 4.0);
+                    slow += 1;
+                }
+                None => {}
+            }
+        }
+        let frac = |c: usize| c as f64 / n as f64;
+        // Crash wins every collision, so its marginal rate is exact (±
+        // sampling noise); the others are thinned by higher-priority
+        // classes: compile ≈ 0.1·0.8, slow ≈ 0.3·0.8·0.9.
+        assert!((frac(crash) - 0.2).abs() < 0.02, "crash = {}", frac(crash));
+        assert!(
+            (frac(compile) - 0.08).abs() < 0.02,
+            "compile = {}",
+            frac(compile)
+        );
+        assert!((frac(slow) - 0.216).abs() < 0.02, "slow = {}", frac(slow));
+    }
+
+    #[test]
+    fn inert_fault_plan_never_fires() {
+        let plan = FaultPlan::none(9);
+        assert!(plan.is_inert());
+        assert!((0..1000u64).all(|job| plan.decide(job, 1).is_none()));
     }
 
     #[test]

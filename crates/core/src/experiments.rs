@@ -1,4 +1,4 @@
-//! The experiment registry: one driver per table/figure (E1–E18), all
+//! The experiment registry: one driver per table/figure (E1–E19), all
 //! deterministic from one master seed. `DESIGN.md` §4 is the index; the
 //! `reproduce` binary and the Criterion benches both call these drivers.
 
@@ -24,6 +24,7 @@ use crate::perfgap::{
 };
 use crate::questionnaire as q;
 use crate::schedstudy::SchedPoint;
+use crate::servestudy::ServePoint;
 use crate::trend::{language_trends, LanguageTrend};
 use crate::Result;
 
@@ -39,7 +40,7 @@ pub struct ExperimentInfo {
 }
 
 /// The experiment index (matches `DESIGN.md` §4).
-pub const INDEX: [ExperimentInfo; 18] = [
+pub const INDEX: [ExperimentInfo; 19] = [
     ExperimentInfo {
         id: "E1",
         artifact: "Table 1",
@@ -129,6 +130,11 @@ pub const INDEX: [ExperimentInfo; 18] = [
         id: "E18",
         artifact: "Figure 9",
         title: "Memory-hierarchy sweep: kernel tiers from L1 to DRAM",
+    },
+    ExperimentInfo {
+        id: "E19",
+        artifact: "Figure 10",
+        title: "Serving under overload: shedding, deadlines, and fault recovery",
     },
 ];
 
@@ -538,6 +544,21 @@ impl Experiments {
     pub fn e18_memory(&self, config: &GapConfig) -> Result<Vec<MemPoint>> {
         crate::memstudy::run(config)
     }
+
+    /// E19: the serving overload study — the `rcr-serve` execution service
+    /// offered 0.5×/1×/2× its measured saturation throughput under a fault
+    /// ablation (none/moderate/heavy), reporting sustained throughput,
+    /// latency percentiles, shed rate, retry success, and goodput/badput.
+    /// Each cell's robustness contract (closed outcome space, no hangs,
+    /// completed p99 within the deadline) is verified before its numbers
+    /// are reported.
+    ///
+    /// # Errors
+    /// [`crate::Error::VerificationFailed`] when a cell violates the
+    /// contract.
+    pub fn e19_serve(&self, config: &GapConfig) -> Result<Vec<ServePoint>> {
+        crate::servestudy::run(self.seed, config)
+    }
 }
 
 #[cfg(test)]
@@ -550,10 +571,10 @@ mod tests {
     }
 
     #[test]
-    fn index_lists_eighteen_unique_ids() {
+    fn index_lists_nineteen_unique_ids() {
         let mut ids: Vec<&str> = INDEX.iter().map(|i| i.id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 18);
+        assert_eq!(ids.len(), 19);
         assert_eq!(INDEX[0].id, "E1");
         assert_eq!(INDEX[11].artifact, "Figure 6");
         assert_eq!(INDEX[12].id, "E13");
@@ -567,6 +588,8 @@ mod tests {
         assert_eq!(INDEX[16].artifact, "Figure 8");
         assert_eq!(INDEX[17].id, "E18");
         assert_eq!(INDEX[17].artifact, "Figure 9");
+        assert_eq!(INDEX[18].id, "E19");
+        assert_eq!(INDEX[18].artifact, "Figure 10");
     }
 
     #[test]

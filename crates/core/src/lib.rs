@@ -20,7 +20,10 @@
 //! * [`memstudy`] — the memory-hierarchy study: six kernels swept across
 //!   L1/L2/LLC/DRAM working sets under serial, SIMD, parallel, and
 //!   parallel+SIMD tiers, every cell verified before timing;
-//! * [`experiments`] — the registry mapping experiment ids E1–E18 to
+//! * [`servestudy`] — the overload study: the `rcr-serve` execution
+//!   service driven open-loop past saturation under a fault ablation, with
+//!   its robustness contract verified before any number is reported;
+//! * [`experiments`] — the registry mapping experiment ids E1–E19 to
 //!   drivers that regenerate each table and figure (see `DESIGN.md` §4).
 //!
 //! ```
@@ -41,6 +44,7 @@ pub mod lintstudy;
 pub mod memstudy;
 pub mod perfgap;
 pub mod schedstudy;
+pub mod servestudy;
 pub mod trend;
 
 /// The canonical questionnaire (re-exported from `rcr-survey` so analysis

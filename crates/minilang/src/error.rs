@@ -52,6 +52,14 @@ pub enum Error {
         /// The step budget that was spent.
         budget: u64,
     },
+    /// The configured memory budget ran out before the program finished
+    /// (see `Interpreter::with_limits` / `Vm::with_limits`). Charged
+    /// against the cost model in [`crate::value::heap_cost`]: array
+    /// construction, builtin-allocated results, and string concatenation.
+    MemoryExhausted {
+        /// The byte budget that was spent.
+        budget: u64,
+    },
 }
 
 impl Error {
@@ -118,6 +126,13 @@ impl fmt::Display for Error {
                     "fuel exhausted: budget of {budget} steps spent before the program finished"
                 )
             }
+            Error::MemoryExhausted { budget } => {
+                write!(
+                    f,
+                    "memory exhausted: budget of {budget} bytes allocated before the program \
+                     finished"
+                )
+            }
         }
     }
 }
@@ -170,5 +185,13 @@ mod tests {
         assert!(Error::FuelExhausted { budget: 1000 }
             .to_string()
             .contains("1000 steps"));
+        assert!(Error::MemoryExhausted { budget: 4096 }
+            .to_string()
+            .contains("4096 bytes"));
+        // Memory errors also pass through `with_line` untouched.
+        assert_eq!(
+            Error::MemoryExhausted { budget: 8 }.with_line(3),
+            Error::MemoryExhausted { budget: 8 }
+        );
     }
 }

@@ -15,7 +15,7 @@ use std::rc::Rc;
 use crate::ast::{Block, Expr, ExprKind, FnDef, Program, Stmt, StmtKind, UnOp};
 use crate::builtins;
 use crate::error::{Error, Result};
-use crate::value::{binop, index_get, index_set, Value};
+use crate::value::{binop, heap_cost, index_get, index_set, Value};
 
 /// Maximum interpreter call depth. The tree-walker recurses on the host
 /// stack (several Rust frames per script frame), so this is deliberately
@@ -46,6 +46,10 @@ pub struct Interpreter {
     fuel_budget: Option<u64>,
     /// Fuel remaining in the current run.
     fuel_left: u64,
+    /// Heap-byte budget per [`Interpreter::run`] call; `None` is unlimited.
+    mem_budget: Option<u64>,
+    /// Heap bytes remaining in the current run.
+    mem_left: u64,
 }
 
 impl Default for Interpreter {
@@ -65,6 +69,8 @@ impl Interpreter {
             record_result: true,
             fuel_budget: None,
             fuel_left: 0,
+            mem_budget: None,
+            mem_left: 0,
         }
     }
 
@@ -73,8 +79,19 @@ impl Interpreter {
     /// with [`Error::FuelExhausted`]. A bound on runaway scripts
     /// (`while true {}`) that [`Interpreter::new`] would execute forever.
     pub fn with_fuel(fuel: u64) -> Self {
+        Self::with_limits(Some(fuel), None)
+    }
+
+    /// Creates an interpreter with independent step and heap-byte budgets
+    /// (either may be `None` for unlimited). Memory is charged under the
+    /// [`heap_cost`] model at array construction, builtin-call results, and
+    /// string concatenation; exceeding the budget fails the run with
+    /// [`Error::MemoryExhausted`]. Both budgets reset on each
+    /// [`Interpreter::run`].
+    pub fn with_limits(fuel: Option<u64>, memory: Option<u64>) -> Self {
         let mut i = Self::new();
-        i.fuel_budget = Some(fuel);
+        i.fuel_budget = fuel;
+        i.mem_budget = memory;
         i
     }
 
@@ -90,6 +107,20 @@ impl Interpreter {
         Ok(())
     }
 
+    /// Charges `v`'s heap cost against the memory budget; errors when the
+    /// allocation would exceed it.
+    #[inline]
+    fn charge_alloc(&mut self, v: &Value) -> Result<()> {
+        if let Some(budget) = self.mem_budget {
+            let cost = heap_cost(v);
+            if cost > self.mem_left {
+                return Err(Error::MemoryExhausted { budget });
+            }
+            self.mem_left -= cost;
+        }
+        Ok(())
+    }
+
     /// Runs a program, returning the value of its final top-level expression
     /// statement (or [`Value::Nil`] if there is none).
     ///
@@ -97,6 +128,7 @@ impl Interpreter {
     /// [`Error::Runtime`] diagnostics.
     pub fn run(&mut self, program: &Program) -> Result<Value> {
         self.fuel_left = self.fuel_budget.unwrap_or(0);
+        self.mem_left = self.mem_budget.unwrap_or(0);
         for f in &program.functions {
             if self
                 .functions
@@ -281,12 +313,17 @@ impl Interpreter {
                 for e in elems {
                     items.push(self.eval(e)?);
                 }
-                Ok(Value::array(items))
+                let v = Value::array(items);
+                self.charge_alloc(&v)?;
+                Ok(v)
             }
             ExprKind::Bin { op, lhs, rhs } => {
                 let l = self.eval(lhs)?;
                 let r = self.eval(rhs)?;
-                binop(*op, &l, &r)
+                let v = binop(*op, &l, &r)?;
+                // Only string concatenation allocates here; scalars are free.
+                self.charge_alloc(&v)?;
+                Ok(v)
             }
             ExprKind::And(lhs, rhs) => {
                 let l = self.eval(lhs)?;
@@ -364,7 +401,10 @@ impl Interpreter {
                 _ => Err(Error::runtime("`break`/`continue` escaped all loops")),
             }
         } else if let Some(b) = builtins::lookup(name) {
-            b(&args)
+            let v = b(&args)?;
+            // Builtins like `fill`/`zeros` allocate their result.
+            self.charge_alloc(&v)?;
+            Ok(v)
         } else {
             Err(Error::runtime(format!("unknown function `{name}`")))
         }
@@ -400,6 +440,59 @@ mod tests {
         // A budget that is too small fails even for terminating programs.
         let err = Interpreter::with_fuel(5).run(&program).unwrap_err();
         assert!(matches!(err, Error::FuelExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn memory_budget_bounds_allocation() {
+        // One big builtin allocation: 1000 floats = 8000 bytes.
+        let program = parse("let a = zeros(1000); len(a)").expect("parses");
+        let err = Interpreter::with_limits(None, Some(4_000))
+            .run(&program)
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::MemoryExhausted { budget: 4_000 }),
+            "{err}"
+        );
+        // A generous budget does not change the result.
+        assert_eq!(
+            Interpreter::with_limits(None, Some(16_000))
+                .run(&program)
+                .unwrap(),
+            Value::Num(1000.0)
+        );
+        // Cumulative small allocations exhaust the budget too.
+        let program =
+            parse("let i = 0; while i < 100 { let a = zeros(10); i = i + 1; } i").expect("parses");
+        let err = Interpreter::with_limits(None, Some(1_000))
+            .run(&program)
+            .unwrap_err();
+        assert!(matches!(err, Error::MemoryExhausted { .. }), "{err}");
+        // String concatenation is charged per result.
+        let program = parse(
+            r#"let s = ""; let i = 0; while i < 64 { s = s + "abcdefgh"; i = i + 1; } len(s)"#,
+        )
+        .expect("parses");
+        let err = Interpreter::with_limits(None, Some(2_000))
+            .run(&program)
+            .unwrap_err();
+        assert!(matches!(err, Error::MemoryExhausted { .. }), "{err}");
+        // Scalars cost nothing: a long scalar loop runs under a tiny budget.
+        let program = parse("let i = 0; while i < 1000 { i = i + 1; } i").expect("parses");
+        assert_eq!(
+            Interpreter::with_limits(None, Some(0))
+                .run(&program)
+                .unwrap(),
+            Value::Num(1000.0)
+        );
+    }
+
+    #[test]
+    fn memory_budget_resets_on_each_run() {
+        let program = parse("let a = zeros(100); len(a)").expect("parses");
+        let mut i = Interpreter::with_limits(None, Some(1_000));
+        assert_eq!(i.run(&program).unwrap(), Value::Num(100.0));
+        // 800 bytes per run, budget per run — a second run still fits.
+        assert_eq!(i.run(&program).unwrap(), Value::Num(100.0));
     }
 
     #[test]

@@ -221,6 +221,85 @@ mod tier_equivalence {
     }
 
     #[test]
+    fn both_tiers_exhaust_memory_identically() {
+        // Memory accounting charges at the same semantic construction points
+        // in every tier, so — unlike fuel — the byte totals are *identical*:
+        // a budget one byte short fails everywhere with the same typed
+        // error, and the exact budget succeeds everywhere.
+        const CASES: &[(&str, u64)] = &[
+            // One big builtin allocation: 1000 floats.
+            ("let a = zeros(1000); len(a)", 8_000),
+            // Cumulative small builtin allocations.
+            (
+                "let i = 0; while i < 50 { let a = zeros(100); i = i + 1; } i",
+                50 * 800,
+            ),
+            // String concatenation charges each intermediate result:
+            // 8 + 16 + ... + 256 bytes.
+            (
+                "let s = \"\"; let i = 0; while i < 32 { s = s + \"abcdefgh\"; i = i + 1; } len(s)",
+                4_224,
+            ),
+            // Array literals: 16 bytes per boxed element.
+            (
+                "let i = 0; while i < 100 { let a = [i, i, i]; i = i + 1; } i",
+                100 * 48,
+            ),
+        ];
+        for (src, cost) in CASES {
+            let program = parser::parse(src).expect("parses");
+            let compiled = bytecode::compile(&program).expect("compiles");
+            let fused = peephole::optimize(&compiled);
+            // One byte short: every tier fails with the same typed error.
+            let short = Some(cost - 1);
+            let a = interp::Interpreter::with_limits(None, short)
+                .run(&program)
+                .unwrap_err();
+            assert!(
+                matches!(a, Error::MemoryExhausted { .. }),
+                "interp `{src}`: {a}"
+            );
+            let b = vm::Vm::with_limits(None, short).run(&compiled).unwrap_err();
+            assert_eq!(a, b, "tier mismatch on `{src}`");
+            let c = vm::Vm::with_limits(None, short).run(&fused).unwrap_err();
+            assert_eq!(a, c, "fused tier mismatch on `{src}`");
+            // The exact budget suffices on every tier, with results
+            // untouched.
+            let expect = run_source(src).unwrap();
+            let exact = Some(*cost);
+            assert_eq!(
+                interp::Interpreter::with_limits(None, exact)
+                    .run(&program)
+                    .unwrap(),
+                expect,
+                "memory budget changed interp `{src}`"
+            );
+            assert_eq!(
+                vm::Vm::with_limits(None, exact).run(&compiled).unwrap(),
+                expect,
+                "memory budget changed vm `{src}`"
+            );
+            assert_eq!(
+                vm::Vm::with_limits(None, exact).run(&fused).unwrap(),
+                expect,
+                "memory budget changed fused vm `{src}`"
+            );
+        }
+        // Fuel and memory are independent limits: whichever runs out first
+        // decides the error.
+        let program = parser::parse("let i = 0; while i < 1000 { i = i + 1; } i").expect("parses");
+        let err = interp::Interpreter::with_limits(Some(10), Some(1 << 20))
+            .run(&program)
+            .unwrap_err();
+        assert!(matches!(err, Error::FuelExhausted { .. }), "{err}");
+        let compiled = bytecode::compile(&program).expect("compiles");
+        let err = vm::Vm::with_limits(Some(10), Some(1 << 20))
+            .run(&compiled)
+            .unwrap_err();
+        assert!(matches!(err, Error::FuelExhausted { .. }), "{err}");
+    }
+
+    #[test]
     fn both_tiers_report_same_class_of_runtime_errors() {
         for src in [
             "undefined_var + 1",

@@ -148,6 +148,22 @@ impl fmt::Display for Value {
     }
 }
 
+/// Heap bytes attributed to a freshly constructed value under the memory
+/// cost model shared by both tiers: strings cost their UTF-8 length, boxed
+/// arrays 16 bytes per element (a tagged cell), float arrays 8 bytes per
+/// element. Scalars are free. Both tiers charge this at the same semantic
+/// construction points — array literals, builtin-call results, and string
+/// concatenation — so a memory budget exhausts identically on the
+/// interpreter and the VM.
+pub fn heap_cost(v: &Value) -> u64 {
+    match v {
+        Value::Nil | Value::Bool(_) | Value::Num(_) => 0,
+        Value::Str(s) => s.len() as u64,
+        Value::Array(items) => 16 * items.borrow().len() as u64,
+        Value::FloatArray(items) => 8 * items.borrow().len() as u64,
+    }
+}
+
 /// Applies a binary operator with the language's semantics. Shared by both
 /// tiers.
 ///
@@ -395,6 +411,16 @@ mod tests {
             "[1, a]"
         );
         assert_eq!(Value::float_array(vec![1.0, 2.5]).to_string(), "[1, 2.5]");
+    }
+
+    #[test]
+    fn heap_cost_model() {
+        assert_eq!(heap_cost(&Value::Nil), 0);
+        assert_eq!(heap_cost(&Value::Bool(true)), 0);
+        assert_eq!(heap_cost(&Value::Num(3.5)), 0);
+        assert_eq!(heap_cost(&Value::str("abcd")), 4);
+        assert_eq!(heap_cost(&Value::array(vec![Value::Nil; 3])), 48);
+        assert_eq!(heap_cost(&Value::float_array(vec![0.0; 3])), 24);
     }
 
     #[test]

@@ -9,7 +9,7 @@ use crate::ast::BinOp;
 use crate::builtins;
 use crate::bytecode::{Compiled, Op};
 use crate::error::{Error, Result};
-use crate::value::{binop, index_get, index_set, Value};
+use crate::value::{binop, heap_cost, index_get, index_set, Value};
 
 /// Maximum VM call depth (heap frames, so this bounds runaway recursion,
 /// not the host stack).
@@ -28,6 +28,10 @@ pub struct Vm {
     result: Value,
     /// Instruction budget per [`Vm::run`] call; `None` means unlimited.
     fuel_budget: Option<u64>,
+    /// Heap-byte budget per [`Vm::run`] call; `None` means unlimited.
+    mem_budget: Option<u64>,
+    /// Heap bytes remaining in the current run.
+    mem_left: u64,
 }
 
 impl Vm {
@@ -37,6 +41,8 @@ impl Vm {
             stack: Vec::with_capacity(256),
             result: Value::Nil,
             fuel_budget: None,
+            mem_budget: None,
+            mem_left: 0,
         }
     }
 
@@ -45,9 +51,35 @@ impl Vm {
     /// [`Error::FuelExhausted`]. A bound on runaway scripts
     /// (`while true {}`) that [`Vm::new`] would execute forever.
     pub fn with_fuel(fuel: u64) -> Self {
+        Self::with_limits(Some(fuel), None)
+    }
+
+    /// Creates a VM with independent instruction and heap-byte budgets
+    /// (either may be `None` for unlimited). Memory is charged under the
+    /// [`heap_cost`] model at the same semantic construction points as the
+    /// interpreter — array construction, builtin-call results, and string
+    /// concatenation — so both tiers exhaust a given budget identically.
+    /// Exceeding it fails the run with [`Error::MemoryExhausted`]. Both
+    /// budgets reset on each [`Vm::run`].
+    pub fn with_limits(fuel: Option<u64>, memory: Option<u64>) -> Self {
         let mut vm = Self::new();
-        vm.fuel_budget = Some(fuel);
+        vm.fuel_budget = fuel;
+        vm.mem_budget = memory;
         vm
+    }
+
+    /// Charges `v`'s heap cost against the memory budget; errors when the
+    /// allocation would exceed it.
+    #[inline]
+    fn charge_alloc(&mut self, v: &Value) -> Result<()> {
+        if let Some(budget) = self.mem_budget {
+            let cost = heap_cost(v);
+            if cost > self.mem_left {
+                return Err(Error::MemoryExhausted { budget });
+            }
+            self.mem_left -= cost;
+        }
+        Ok(())
     }
 
     /// Executes a compiled program, returning the value of its final
@@ -68,6 +100,7 @@ impl Vm {
     fn run_inner<const FUELED: bool>(&mut self, compiled: &Compiled, budget: u64) -> Result<Value> {
         self.stack.clear();
         self.result = Value::Nil;
+        self.mem_left = self.mem_budget.unwrap_or(0);
         let main = &compiled.funcs[compiled.main];
         self.stack.resize(main.n_slots as usize, Value::Nil);
         let mut frames = vec![Frame {
@@ -133,7 +166,12 @@ impl Vm {
                                 _ => Value::Num(a * b),
                             }
                         } else {
-                            binop(op, &l, &r).map_err(|e| e.with_line(func.lines[ip - 1]))?
+                            // Only the slow path can allocate (string
+                            // concat); the numeric fast path stays free.
+                            let v =
+                                binop(op, &l, &r).map_err(|e| e.with_line(func.lines[ip - 1]))?;
+                            self.charge_alloc(&v)?;
+                            v
                         };
                         self.stack.push(v);
                     }
@@ -212,6 +250,8 @@ impl Vm {
                         let at = self.stack.len() - argc as usize;
                         let v =
                             f(&self.stack[at..]).map_err(|e| e.with_line(func.lines[ip - 1]))?;
+                        // Builtins like `fill`/`zeros` allocate their result.
+                        self.charge_alloc(&v)?;
                         self.stack.truncate(at);
                         self.stack.push(v);
                     }
@@ -233,7 +273,9 @@ impl Vm {
                     Op::MakeArray(n) => {
                         let at = self.stack.len() - n as usize;
                         let items: Vec<Value> = self.stack.split_off(at);
-                        self.stack.push(Value::array(items));
+                        let v = Value::array(items);
+                        self.charge_alloc(&v)?;
+                        self.stack.push(v);
                     }
                     Op::IndexGet => {
                         let i = self.pop();
@@ -276,7 +318,10 @@ impl Vm {
                         let v = match bin_fast(bop, l, r) {
                             Some(v) => v,
                             None => {
-                                binop(bop, l, r).map_err(|e| e.with_line(func.lines[ip - 1]))?
+                                let v = binop(bop, l, r)
+                                    .map_err(|e| e.with_line(func.lines[ip - 1]))?;
+                                self.charge_alloc(&v)?;
+                                v
                             }
                         };
                         self.stack.push(v);
@@ -287,7 +332,10 @@ impl Vm {
                         let v = match bin_fast(bop, l, r) {
                             Some(v) => v,
                             None => {
-                                binop(bop, l, r).map_err(|e| e.with_line(func.lines[ip - 1]))?
+                                let v = binop(bop, l, r)
+                                    .map_err(|e| e.with_line(func.lines[ip - 1]))?;
+                                self.charge_alloc(&v)?;
+                                v
                             }
                         };
                         self.stack.push(v);
@@ -298,7 +346,10 @@ impl Vm {
                         let v = match bin_fast(bop, &l, r) {
                             Some(v) => v,
                             None => {
-                                binop(bop, &l, r).map_err(|e| e.with_line(func.lines[ip - 1]))?
+                                let v = binop(bop, &l, r)
+                                    .map_err(|e| e.with_line(func.lines[ip - 1]))?;
+                                self.charge_alloc(&v)?;
+                                v
                             }
                         };
                         self.stack.push(v);
@@ -307,8 +358,12 @@ impl Vm {
                         let slot = base + a as usize;
                         let v = match (&self.stack[slot], &func.consts[c as usize]) {
                             (Value::Num(x), Value::Num(n)) => Value::Num(x + n),
-                            (l, r) => binop(BinOp::Add, l, r)
-                                .map_err(|e| e.with_line(func.lines[ip - 1]))?,
+                            (l, r) => {
+                                let v = binop(BinOp::Add, l, r)
+                                    .map_err(|e| e.with_line(func.lines[ip - 1]))?;
+                                self.charge_alloc(&v)?;
+                                v
+                            }
                         };
                         self.stack[slot] = v;
                     }
@@ -327,8 +382,12 @@ impl Vm {
                         let slot = base + a as usize;
                         let nv = match (&self.stack[slot], &v) {
                             (Value::Num(x), Value::Num(y)) => Value::Num(x + y),
-                            (l, r) => binop(BinOp::Add, l, r)
-                                .map_err(|e| e.with_line(func.lines[ip - 1]))?,
+                            (l, r) => {
+                                let nv = binop(BinOp::Add, l, r)
+                                    .map_err(|e| e.with_line(func.lines[ip - 1]))?;
+                                self.charge_alloc(&nv)?;
+                                nv
+                            }
                         };
                         self.stack[slot] = nv;
                     }
@@ -585,6 +644,40 @@ mod tests {
         // Too small a budget fails even for terminating programs.
         let err = Vm::with_fuel(5).run(&c).unwrap_err();
         assert!(matches!(err, Error::FuelExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn memory_budget_bounds_allocation() {
+        let c = compile(&parse("let a = zeros(1000); len(a)").unwrap()).unwrap();
+        let err = Vm::with_limits(None, Some(4_000)).run(&c).unwrap_err();
+        assert!(
+            matches!(err, Error::MemoryExhausted { budget: 4_000 }),
+            "{err}"
+        );
+        // A generous budget does not change results, and resets per run.
+        let mut vm = Vm::with_limits(None, Some(16_000));
+        assert_eq!(vm.run(&c).unwrap(), Value::Num(1000.0));
+        assert_eq!(vm.run(&c).unwrap(), Value::Num(1000.0));
+        // Array literals and string concatenation are charged too.
+        let c = compile(
+            &parse("let i = 0; while i < 100 { let a = [1, 2, 3]; i = i + 1; } i").unwrap(),
+        )
+        .unwrap();
+        let err = Vm::with_limits(None, Some(1_000)).run(&c).unwrap_err();
+        assert!(matches!(err, Error::MemoryExhausted { .. }), "{err}");
+        let c = compile(
+            &parse(r#"let s = ""; let i = 0; while i < 64 { s = s + "abcdefgh"; i = i + 1; } s"#)
+                .unwrap(),
+        )
+        .unwrap();
+        let err = Vm::with_limits(None, Some(2_000)).run(&c).unwrap_err();
+        assert!(matches!(err, Error::MemoryExhausted { .. }), "{err}");
+        // Scalar-only programs run under a zero budget.
+        let c = compile(&parse("let i = 0; while i < 1000 { i = i + 1; } i").unwrap()).unwrap();
+        assert_eq!(
+            Vm::with_limits(None, Some(0)).run(&c).unwrap(),
+            Value::Num(1000.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,137 @@
+//! Retry schedule: exponential backoff with seeded, decorrelating jitter.
+//!
+//! The raw schedule reuses [`rcr_cluster::faults::backoff_penalty`]
+//! (`base · 2^(attempt-1)`, capped), then scales by a jitter factor in
+//! `[0.5, 1.0]` drawn from a PRNG stream keyed by `(seed, job, attempt)` —
+//! the same keyed-stream construction as
+//! [`rcr_cluster::faults::FaultPlan`], so the delay for any retry is a pure
+//! function of its key: deterministic under every executor interleaving,
+//! yet decorrelated across jobs so a failure wave does not retry in
+//! lockstep (the classic thundering-herd defence).
+
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcr_cluster::faults::backoff_penalty;
+
+/// Retry-with-backoff policy for transient attempt failures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// Maximum attempts per job (1 = never retry). Must be ≥ 1.
+    pub max_attempts: u32,
+    /// Nominal delay before the first retry, in seconds.
+    pub base: f64,
+    /// Hard cap on any single delay, in seconds.
+    pub cap: f64,
+    /// Seed of the jitter stream.
+    pub seed: u64,
+}
+
+impl BackoffPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        BackoffPolicy {
+            max_attempts: 1,
+            base: 0.0,
+            cap: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Delay to wait after attempt number `attempt` (1-based) of `job_id`
+    /// fails transiently, before launching attempt `attempt + 1`.
+    ///
+    /// Pure in `(self, job_id, attempt)`; strictly bounded by [`Self::cap`];
+    /// never negative.
+    pub fn delay(&self, job_id: u64, attempt: u32) -> Duration {
+        let raw = backoff_penalty(self.base, attempt).min(self.cap);
+        if raw <= 0.0 {
+            return Duration::ZERO;
+        }
+        // Decorrelating jitter in [0.5, 1.0], keyed per (seed, job, attempt).
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ job_id.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(attempt).wrapping_mul(0x94D0_49BB_1331_11EB),
+        );
+        let jitter = 0.5 + 0.5 * rng.gen_range(0.0..1.0);
+        Duration::from_secs_f64(raw * jitter)
+    }
+
+    /// Whether another attempt is allowed after `attempt` attempts.
+    pub fn allows_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn schedule_grows_and_caps() {
+        let p = BackoffPolicy {
+            max_attempts: 5,
+            base: 0.010,
+            cap: 0.100,
+            seed: 42,
+        };
+        // Jittered delays stay within [raw/2, raw] of the doubling curve.
+        for attempt in 1..=8 {
+            let raw = backoff_penalty(p.base, attempt).min(p.cap);
+            let d = p.delay(7, attempt).as_secs_f64();
+            assert!(
+                d >= raw * 0.5 - 1e-12 && d <= raw + 1e-12,
+                "attempt {attempt}: {d}"
+            );
+        }
+        assert!(p.allows_retry(1));
+        assert!(p.allows_retry(4));
+        assert!(!p.allows_retry(5));
+        assert_eq!(BackoffPolicy::none().delay(1, 1), Duration::ZERO);
+        assert!(!BackoffPolicy::none().allows_retry(1));
+    }
+
+    proptest! {
+        // Satellite property (a): for a given seed the schedule is a pure
+        // function of (job, attempt), and every delay is strictly bounded
+        // by the cap.
+        #[test]
+        fn backoff_is_deterministic_and_bounded(
+            seed in any::<u64>(),
+            job in any::<u64>(),
+            attempt in 1u32..40,
+            base in 0.0f64..2.0,
+            cap in 0.0f64..5.0,
+        ) {
+            let p = BackoffPolicy { max_attempts: 10, base, cap, seed };
+            let d1 = p.delay(job, attempt);
+            let d2 = p.delay(job, attempt);
+            prop_assert_eq!(d1, d2, "same key must give the same delay");
+            prop_assert!(d1.as_secs_f64() <= cap + 1e-12,
+                "delay {} exceeds cap {}", d1.as_secs_f64(), cap);
+            // A different seed changes the jitter (when there is any delay
+            // to jitter) without breaking the bound.
+            let q = BackoffPolicy { seed: seed ^ 0xDEAD_BEEF, ..p };
+            prop_assert!(q.delay(job, attempt).as_secs_f64() <= cap + 1e-12);
+        }
+
+        #[test]
+        fn backoff_never_shrinks_on_average_before_the_cap(
+            seed in any::<u64>(),
+            job in any::<u64>(),
+        ) {
+            // The un-jittered curve doubles until the cap; jitter keeps each
+            // delay within a factor of two, so delay(n+2) ≥ delay(n) until
+            // the cap region.
+            let p = BackoffPolicy { max_attempts: 10, base: 0.010, cap: 1e9, seed };
+            for attempt in 1u32..12 {
+                let lo = p.delay(job, attempt).as_secs_f64();
+                let hi = p.delay(job, attempt + 2).as_secs_f64();
+                prop_assert!(hi >= lo, "attempt {}: {} then {}", attempt, lo, hi);
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Per-tenant circuit breaker.
+//!
+//! A tenant whose jobs keep failing is cut off *before* admission, so a
+//! stream of doomed work cannot occupy queue slots, executors, and retry
+//! budget that healthy tenants need. The state machine is the classic one:
+//!
+//! ```text
+//!            threshold consecutive failures
+//!   Closed ────────────────────────────────▶ Open(until = now + cooldown)
+//!     ▲                                        │ cooldown elapses
+//!     │ probe succeeds                         ▼
+//!     └──────────────────────── HalfOpen ◀─────┘
+//!                                  │ probe fails
+//!                                  ▼
+//!                         Open(until = now + cooldown)
+//! ```
+//!
+//! `HalfOpen` admits exactly one probe job; everything else is rejected
+//! until the probe reports. The whole machine takes time as an explicit
+//! parameter (seconds on the service's monotonic clock), which makes its
+//! invariants directly provable by property tests — no sleeping, no hidden
+//! clock.
+
+/// Breaker state (see the module diagram).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakerState {
+    /// Healthy: all jobs admitted.
+    Closed,
+    /// Tripped: rejecting everything until the cooldown elapses at `until`.
+    Open {
+        /// Clock time (seconds) at which the breaker half-opens.
+        until: f64,
+    },
+    /// Cooldown elapsed; one probe job is in flight, everything else is
+    /// still rejected.
+    HalfOpen,
+}
+
+/// A per-tenant circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: f64,
+    state: BreakerState,
+    consecutive_failures: u32,
+}
+
+impl CircuitBreaker {
+    /// Creates a closed breaker that trips after `threshold` consecutive
+    /// failures (≥ 1) and half-opens `cooldown` seconds later.
+    pub fn new(threshold: u32, cooldown: f64) -> Self {
+        assert!(threshold >= 1, "threshold must be at least 1");
+        assert!(
+            cooldown.is_finite() && cooldown >= 0.0,
+            "cooldown must be finite and non-negative"
+        );
+        CircuitBreaker {
+            threshold,
+            cooldown,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+        }
+    }
+
+    /// Current state (diagnostic).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Asks to admit one job at clock time `now`. Returns `true` to admit.
+    ///
+    /// While open, the first call at or after the cooldown expiry flips to
+    /// half-open and admits that call as the probe; while half-open, all
+    /// further calls are rejected until the probe reports via
+    /// [`CircuitBreaker::record_success`] / [`CircuitBreaker::record_failure`].
+    pub fn admit(&mut self, now: f64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open { until } => {
+                if now >= until {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// Reports a successful job. Any success fully closes the breaker and
+    /// clears the failure streak.
+    pub fn record_success(&mut self) {
+        self.consecutive_failures = 0;
+        self.state = BreakerState::Closed;
+    }
+
+    /// Reports a failed job at clock time `now`. A failed half-open probe
+    /// re-opens immediately; in the closed state the `threshold`-th
+    /// consecutive failure trips the breaker.
+    pub fn record_failure(&mut self, now: f64) {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open {
+                    until: now + self.cooldown,
+                };
+            }
+            BreakerState::Closed if self.consecutive_failures >= self.threshold => {
+                self.state = BreakerState::Open {
+                    until: now + self.cooldown,
+                };
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trips_after_threshold_and_half_opens_after_cooldown() {
+        let mut b = CircuitBreaker::new(3, 10.0);
+        assert!(b.admit(0.0));
+        b.record_failure(0.0);
+        assert!(b.admit(1.0));
+        b.record_failure(1.0);
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(2.0);
+        // Tripped at t = 2, cooldown 10 → closed to traffic until t = 12.
+        assert_eq!(b.state(), BreakerState::Open { until: 12.0 });
+        assert!(!b.admit(2.0));
+        assert!(!b.admit(11.999));
+        // First ask after the cooldown is the probe.
+        assert!(b.admit(12.0));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        // Only one probe outstanding.
+        assert!(!b.admit(12.5));
+        // Successful probe closes fully.
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.admit(13.0));
+    }
+
+    #[test]
+    fn failed_probe_reopens_for_another_cooldown() {
+        let mut b = CircuitBreaker::new(1, 5.0);
+        b.record_failure(0.0);
+        assert!(!b.admit(4.0));
+        assert!(b.admit(5.0)); // probe
+        b.record_failure(6.0); // probe failed
+        assert_eq!(b.state(), BreakerState::Open { until: 11.0 });
+        assert!(!b.admit(10.0));
+        assert!(b.admit(11.0));
+        b.record_success();
+        assert!(b.admit(11.5));
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let mut b = CircuitBreaker::new(3, 10.0);
+        for round in 0..10 {
+            b.record_failure(round as f64);
+            b.record_failure(round as f64);
+            b.record_success();
+            assert_eq!(b.state(), BreakerState::Closed, "round {round}");
+        }
+    }
+
+    /// A random job-outcome event at a random (non-decreasing) time step.
+    #[derive(Debug, Clone, Copy)]
+    enum Event {
+        Admit,
+        Success,
+        Failure,
+    }
+
+    fn event_strategy() -> impl Strategy<Value = (Event, f64)> {
+        (0u8..3, 0.0f64..3.0).prop_map(|(k, dt)| {
+            let ev = match k {
+                0 => Event::Admit,
+                1 => Event::Success,
+                _ => Event::Failure,
+            };
+            (ev, dt)
+        })
+    }
+
+    proptest! {
+        // Satellite property (b): for ANY interleaving of job outcomes the
+        // breaker (1) never admits while open before the cooldown expires,
+        // and (2) always half-opens — i.e. admits a probe — at the first
+        // ask once the cooldown has elapsed.
+        #[test]
+        fn breaker_invariants_hold_for_any_interleaving(
+            threshold in 1u32..6,
+            cooldown in 0.0f64..20.0,
+            events in proptest::collection::vec(event_strategy(), 1..120),
+        ) {
+            let mut b = CircuitBreaker::new(threshold, cooldown);
+            let mut now = 0.0f64;
+            for (ev, dt) in events {
+                now += dt;
+                match ev {
+                    Event::Admit => {
+                        let before = b.state();
+                        let admitted = b.admit(now);
+                        match before {
+                            BreakerState::Open { until } if now < until => {
+                                // (1) never admit while open, pre-cooldown.
+                                prop_assert!(!admitted,
+                                    "admitted at {} though open until {}", now, until);
+                                prop_assert_eq!(b.state(), before,
+                                    "rejected ask must not change state");
+                            }
+                            BreakerState::Open { until } => {
+                                // (2) first ask past the cooldown IS the
+                                // probe: admitted, and now half-open.
+                                prop_assert!(admitted,
+                                    "probe refused at {} though open only until {}", now, until);
+                                prop_assert_eq!(b.state(), BreakerState::HalfOpen);
+                            }
+                            BreakerState::HalfOpen => {
+                                // Only one probe outstanding.
+                                prop_assert!(!admitted);
+                            }
+                            BreakerState::Closed => {
+                                prop_assert!(admitted, "closed breaker must admit");
+                            }
+                        }
+                    }
+                    Event::Success => {
+                        b.record_success();
+                        prop_assert_eq!(b.state(), BreakerState::Closed);
+                    }
+                    Event::Failure => {
+                        b.record_failure(now);
+                        if let BreakerState::Open { until } = b.state() {
+                            // Cooldowns are always exactly `cooldown` long.
+                            prop_assert!(until <= now + cooldown + 1e-9);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

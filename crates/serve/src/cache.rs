@@ -1,0 +1,197 @@
+//! Content-hash → compiled-program cache with single-flight deduplication.
+//!
+//! Under a compile storm — many tenants submitting the same script at once,
+//! the common case when a course or a batch pipeline fans out one kernel —
+//! exactly one thread runs the (comparatively expensive) parse + optimize +
+//! compile + fuse pipeline; every concurrent requester for the same content
+//! hash parks on a condvar and receives the shared [`ProgramArtifact`].
+//! Deterministic compile *errors* are cached too, so a broken script costs
+//! one compilation, not one per submission.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use rcr_minilang::Error;
+
+use crate::program::{content_hash, ProgramArtifact};
+
+/// State of one cache slot.
+enum Slot {
+    /// Some thread is compiling this hash right now; wait on the condvar.
+    Building,
+    /// Compilation succeeded.
+    Ready(Arc<ProgramArtifact>),
+    /// Compilation failed deterministically.
+    Failed(Error),
+}
+
+/// Cache counters (monotonic, readable at any time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from a `Ready`/`Failed` slot.
+    pub hits: u64,
+    /// Requests that ran the compiler.
+    pub misses: u64,
+    /// Requests that parked behind an in-flight compile (single-flight
+    /// deduplication at work).
+    pub coalesced: u64,
+}
+
+/// The single-flight program cache.
+pub struct ProgramCache {
+    slots: Mutex<HashMap<u64, Slot>>,
+    done: Condvar,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl Default for ProgramCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ProgramCache {
+            slots: Mutex::new(HashMap::new()),
+            done: Condvar::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the compiled artifact for `source`, compiling at most once
+    /// per distinct content hash no matter how many threads ask
+    /// concurrently.
+    ///
+    /// # Errors
+    /// The cached deterministic compile [`Error`] for broken sources.
+    pub fn get_or_compile(&self, source: &str) -> Result<Arc<ProgramArtifact>, Error> {
+        let key = content_hash(source);
+        let mut waited = false;
+        let mut slots = self.slots.lock().unwrap();
+        loop {
+            match slots.get(&key) {
+                Some(Slot::Ready(artifact)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(artifact));
+                }
+                Some(Slot::Failed(e)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Err(e.clone());
+                }
+                Some(Slot::Building) => {
+                    // Single-flight: wait for the builder, then re-check.
+                    if !waited {
+                        self.coalesced.fetch_add(1, Ordering::Relaxed);
+                        waited = true;
+                    }
+                    slots = self.done.wait(slots).unwrap();
+                }
+                None => {
+                    slots.insert(key, Slot::Building);
+                    break;
+                }
+            }
+        }
+        drop(slots);
+
+        // Compile outside the lock: other hashes stay fully concurrent and
+        // same-hash requesters park on the condvar instead of spinning.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let outcome = ProgramArtifact::compile(source);
+
+        let mut slots = self.slots.lock().unwrap();
+        let result = match outcome {
+            Ok(artifact) => {
+                let artifact = Arc::new(artifact);
+                slots.insert(key, Slot::Ready(Arc::clone(&artifact)));
+                Ok(artifact)
+            }
+            Err(e) => {
+                slots.insert(key, Slot::Failed(e.clone()));
+                Err(e)
+            }
+        };
+        drop(slots);
+        self.done.notify_all();
+        result
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of resolved (ready or failed) entries.
+    pub fn len(&self) -> usize {
+        self.slots
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|s| !matches!(s, Slot::Building))
+            .count()
+    }
+
+    /// True when no entry has been resolved yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_successes_and_failures() {
+        let cache = ProgramCache::new();
+        let a = cache.get_or_compile("1 + 1").unwrap();
+        let b = cache.get_or_compile("1 + 1").unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "same artifact instance expected");
+        assert!(cache.get_or_compile("let = ;").is_err());
+        assert!(cache.get_or_compile("let = ;").is_err());
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 2, "{stats:?}");
+        assert_eq!(stats.hits, 2, "{stats:?}");
+        assert_eq!(cache.len(), 2);
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn compile_storm_compiles_each_source_once() {
+        let cache = ProgramCache::new();
+        let sources: Vec<String> = (0..4)
+            .map(|i| format!("let s = 0; for i in range(0, 50) {{ s = s + i * {i}; }} s"))
+            .collect();
+        std::thread::scope(|scope| {
+            for t in 0..16 {
+                let cache = &cache;
+                let sources = &sources;
+                scope.spawn(move || {
+                    for round in 0..8 {
+                        let src = &sources[(t + round) % sources.len()];
+                        let artifact = cache.get_or_compile(src).unwrap();
+                        assert!(artifact.code_len() > 0);
+                    }
+                });
+            }
+        });
+        let stats = cache.stats();
+        // Single-flight: at most one compile per distinct source; every
+        // other request either hit or parked behind the in-flight build
+        // (and then hit).
+        assert_eq!(stats.misses, 4, "{stats:?}");
+        assert_eq!(stats.hits + stats.misses, 16 * 8, "{stats:?}");
+        assert!(stats.coalesced <= stats.hits, "{stats:?}");
+    }
+}

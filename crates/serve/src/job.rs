@@ -1,0 +1,207 @@
+//! Job API types: what tenants submit and the three — and only three —
+//! ways a submission can end.
+//!
+//! The service's core robustness contract is a *closed* outcome space:
+//! every submission terminates in exactly one of
+//!
+//! * [`Outcome::Completed`] — the script ran to completion within its
+//!   quotas and deadline;
+//! * synchronous rejection at admission ([`Rejected`], returned by
+//!   `Service::submit` before any work is done);
+//! * [`Outcome::Failed`] with a typed [`JobError`] naming the failure.
+//!
+//! There is no fourth state: no panic escapes to the caller, and no handle
+//! waits forever.
+
+use std::fmt;
+use std::time::Duration;
+
+/// One script submission.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Index of the submitting tenant in `ServiceConfig::tenants`.
+    pub tenant: usize,
+    /// ResearchScript source text.
+    pub source: String,
+    /// Relative deadline: the job must finish within this long of its
+    /// submission (queueing, retries, and backoff all included). `None`
+    /// uses the service's default deadline.
+    pub deadline: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A job with the service's default deadline.
+    pub fn new(tenant: usize, source: impl Into<String>) -> Self {
+        JobSpec {
+            tenant,
+            source: source.into(),
+            deadline: None,
+        }
+    }
+
+    /// Sets an explicit relative deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a submission was turned away at the door. Rejection is synchronous,
+/// explicit, and free: no queue slot, no compile, no execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// Admission control shed the job: the tenant's token bucket was empty
+    /// or the run queue was full. The caller may retry later.
+    Overloaded,
+    /// The tenant's circuit breaker is open after consecutive failures;
+    /// it half-opens automatically once the cooldown elapses.
+    CircuitOpen,
+    /// The tenant index does not exist in the service configuration.
+    UnknownTenant,
+    /// The service is shutting down and no longer accepts or runs work.
+    ShuttingDown,
+}
+
+impl fmt::Display for Rejected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rejected::Overloaded => write!(f, "rejected: overloaded (load shed at admission)"),
+            Rejected::CircuitOpen => write!(f, "rejected: tenant circuit breaker is open"),
+            Rejected::UnknownTenant => write!(f, "rejected: unknown tenant"),
+            Rejected::ShuttingDown => write!(f, "rejected: service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Why an *admitted* job failed. Every variant is terminal: the service
+/// has either exhausted its retry budget or determined the failure is
+/// deterministic and retrying would be wasted work.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobError {
+    /// The script does not compile (lex/parse/compile error). Deterministic;
+    /// never retried.
+    Compile(String),
+    /// The script failed at runtime (type error, bad index, division by
+    /// zero, ...). Deterministic; never retried.
+    Script(String),
+    /// The tenant's per-job fuel quota was spent before the script
+    /// finished. Deterministic; never retried.
+    FuelQuotaExceeded {
+        /// The fuel quota that was spent.
+        budget: u64,
+    },
+    /// The tenant's per-job memory quota was exhausted. Deterministic;
+    /// never retried.
+    MemoryQuotaExceeded {
+        /// The byte quota that was spent.
+        budget: u64,
+    },
+    /// The job's deadline passed — in the queue, mid-execution (enforced
+    /// by fuel-slicing preemption), or before a retry could be scheduled.
+    DeadlineExceeded,
+    /// Every attempt died to a worker crash and the retry budget is spent.
+    WorkerCrash {
+        /// Panic message of the last attempt.
+        message: String,
+        /// How many attempts were made.
+        attempts: u32,
+    },
+    /// Every attempt hit a (transient, injected) compile-stage fault and
+    /// the retry budget is spent.
+    CompileFault {
+        /// How many attempts were made.
+        attempts: u32,
+    },
+    /// The service shut down before the job left the queue. The job never
+    /// started executing; resubmitting it elsewhere is safe.
+    Cancelled,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Compile(m) => write!(f, "compile error: {m}"),
+            JobError::Script(m) => write!(f, "script error: {m}"),
+            JobError::FuelQuotaExceeded { budget } => {
+                write!(f, "fuel quota exceeded ({budget} steps)")
+            }
+            JobError::MemoryQuotaExceeded { budget } => {
+                write!(f, "memory quota exceeded ({budget} bytes)")
+            }
+            JobError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            JobError::WorkerCrash { message, attempts } => {
+                write!(f, "worker crashed on all {attempts} attempt(s): {message}")
+            }
+            JobError::CompileFault { attempts } => {
+                write!(f, "compile stage faulted on all {attempts} attempt(s)")
+            }
+            JobError::Cancelled => write!(f, "cancelled: service shut down before the job ran"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Terminal state of an admitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The script ran to completion within quota and deadline.
+    Completed {
+        /// Rendered result value of the script.
+        output: String,
+        /// Attempts used (1 = no retries were needed).
+        attempts: u32,
+        /// Submission-to-completion latency.
+        latency: Duration,
+    },
+    /// The job failed with a typed error.
+    Failed(JobError),
+}
+
+impl Outcome {
+    /// True for [`Outcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failure() {
+        assert!(Rejected::Overloaded.to_string().contains("overloaded"));
+        assert!(Rejected::CircuitOpen.to_string().contains("circuit"));
+        assert!(Rejected::ShuttingDown.to_string().contains("shutting down"));
+        assert!(JobError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(JobError::FuelQuotaExceeded { budget: 10 }
+            .to_string()
+            .contains("10 steps"));
+        assert!(JobError::MemoryQuotaExceeded { budget: 64 }
+            .to_string()
+            .contains("64 bytes"));
+        assert!(JobError::WorkerCrash {
+            message: "boom".into(),
+            attempts: 3
+        }
+        .to_string()
+        .contains("3 attempt"));
+        assert!(JobError::CompileFault { attempts: 2 }
+            .to_string()
+            .contains("2 attempt"));
+        assert!(JobError::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn spec_builder_sets_deadline() {
+        let j = JobSpec::new(0, "1 + 1");
+        assert!(j.deadline.is_none());
+        let j = j.with_deadline(Duration::from_millis(50));
+        assert_eq!(j.deadline, Some(Duration::from_millis(50)));
+        assert_eq!(j.tenant, 0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Compiled-program artifacts: a `Send + Sync` representation of a fully
+//! compiled (optimized + fused) ResearchScript program, plus the content
+//! hash that keys the program cache.
+//!
+//! [`rcr_minilang::bytecode::Compiled`] itself is not shareable across
+//! threads — its constant pool holds [`Value`]s, which are `Rc`-based — so
+//! the cache stores this flattened artifact instead and each execution
+//! [`ProgramArtifact::instantiate`]s a private `Compiled`. Instantiation is
+//! a shallow O(program-size) rebuild; the expensive work (parse, constant
+//! folding, bytecode compilation, peephole fusion) happens once per
+//! distinct source, deduplicated by the single-flight cache.
+
+use rcr_minilang::bytecode::{Compiled, CompiledFn};
+use rcr_minilang::{bytecode, optimize, parser, peephole, Error, Value};
+
+/// A scalar or string constant — the only value kinds a compiled constant
+/// pool can contain (array literals compile to construction opcodes).
+#[derive(Debug, Clone, PartialEq)]
+enum Const {
+    Nil,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+}
+
+impl Const {
+    fn from_value(v: &Value) -> Self {
+        match v {
+            Value::Nil => Const::Nil,
+            Value::Bool(b) => Const::Bool(*b),
+            Value::Num(n) => Const::Num(*n),
+            Value::Str(s) => Const::Str(s.to_string()),
+            // The compiler only interns literals; aggregate values cannot
+            // appear in a constant pool.
+            Value::Array(_) | Value::FloatArray(_) => {
+                unreachable!("aggregate value in constant pool")
+            }
+        }
+    }
+
+    fn to_value(&self) -> Value {
+        match self {
+            Const::Nil => Value::Nil,
+            Const::Bool(b) => Value::Bool(*b),
+            Const::Num(n) => Value::Num(*n),
+            Const::Str(s) => Value::str(s),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ArtifactFn {
+    name: String,
+    arity: u8,
+    n_slots: u16,
+    code: Vec<bytecode::Op>,
+    lines: Vec<u32>,
+    consts: Vec<Const>,
+}
+
+/// A thread-shareable compiled program (optimized AST → bytecode → fused
+/// superinstructions), ready to instantiate per execution.
+#[derive(Debug, Clone)]
+pub struct ProgramArtifact {
+    funcs: Vec<ArtifactFn>,
+    main: usize,
+}
+
+impl ProgramArtifact {
+    /// Runs the full compilation pipeline on `source`.
+    ///
+    /// # Errors
+    /// Any lex, parse, or compile [`Error`]; these are deterministic
+    /// properties of the source text, so callers may cache them.
+    pub fn compile(source: &str) -> Result<ProgramArtifact, Error> {
+        let program = parser::parse(source)?;
+        let optimized = optimize::optimize(&program);
+        let compiled = bytecode::compile(&optimized)?;
+        let fused = peephole::optimize(&compiled);
+        Ok(ProgramArtifact {
+            funcs: fused
+                .funcs
+                .iter()
+                .map(|f| ArtifactFn {
+                    name: f.name.clone(),
+                    arity: f.arity,
+                    n_slots: f.n_slots,
+                    code: f.code.clone(),
+                    lines: f.lines.clone(),
+                    consts: f.consts.iter().map(Const::from_value).collect(),
+                })
+                .collect(),
+            main: fused.main,
+        })
+    }
+
+    /// Rebuilds a private [`Compiled`] for one execution (cheap: clones
+    /// code and re-interns constants, no parsing or compilation).
+    pub fn instantiate(&self) -> Compiled {
+        Compiled {
+            funcs: self
+                .funcs
+                .iter()
+                .map(|f| CompiledFn {
+                    name: f.name.clone(),
+                    arity: f.arity,
+                    n_slots: f.n_slots,
+                    code: f.code.clone(),
+                    lines: f.lines.clone(),
+                    consts: f.consts.iter().map(Const::to_value).collect(),
+                })
+                .collect(),
+            main: self.main,
+        }
+    }
+
+    /// Total opcode count, a rough size measure for diagnostics.
+    pub fn code_len(&self) -> usize {
+        self.funcs.iter().map(|f| f.code.len()).sum()
+    }
+}
+
+// Compile-time proof that artifacts are shareable across service threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ProgramArtifact>();
+};
+
+/// FNV-1a 64-bit content hash of a source text — the program-cache key.
+/// Stable across runs and platforms (pure function of the bytes).
+pub fn content_hash(source: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in source.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcr_minilang::vm::Vm;
+
+    #[test]
+    fn artifact_round_trips_through_instantiate() {
+        let src = r#"
+            fn sq(x) { return x * x; }
+            let s = "a" + "b";
+            let a = [1, 2, 3];
+            sq(len(a)) + len(s)
+        "#;
+        let artifact = ProgramArtifact::compile(src).expect("compiles");
+        assert!(artifact.code_len() > 0);
+        // Two independent instantiations run independently and agree with
+        // the reference pipeline.
+        let expect = rcr_minilang::run_source_vm_fused(src).unwrap();
+        for _ in 0..2 {
+            let compiled = artifact.instantiate();
+            let got = Vm::new().run(&compiled).unwrap();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn compile_errors_surface() {
+        assert!(ProgramArtifact::compile("let = ;").is_err());
+        assert!(ProgramArtifact::compile("fn f() { } fn f() { }").is_err());
+    }
+
+    #[test]
+    fn content_hash_is_stable_and_discriminating() {
+        let a = content_hash("let x = 1;");
+        assert_eq!(a, content_hash("let x = 1;"));
+        assert_ne!(a, content_hash("let x = 2;"));
+        assert_ne!(content_hash(""), content_hash(" "));
+        // Known FNV-1a vector: the empty string hashes to the offset basis.
+        assert_eq!(content_hash(""), 0xCBF2_9CE4_8422_2325);
+    }
+}

@@ -1,0 +1,1029 @@
+//! The execution service: admission, queueing, execution, retries,
+//! breaker feedback, and shutdown — the place where every mechanism in
+//! this crate composes into one liveness argument.
+//!
+//! # Life of a job
+//!
+//! ```text
+//! submit ──▶ tenant bucket ──▶ breaker ──▶ bounded queue ──▶ executor
+//!               │ empty          │ open        │ full            │
+//!               ▼                ▼             ▼                 ▼
+//!           Overloaded      CircuitOpen    Overloaded     attempt loop:
+//!                                                         fault? retry w/
+//!                                                         backoff; fuel-
+//!                                                         sliced deadline
+//!                                                             │
+//!                                                             ▼
+//!                                                  Completed | Failed(typed)
+//! ```
+//!
+//! # Why every handle resolves (liveness)
+//!
+//! A [`JobHandle`] is created only after its job is *enqueued*. From there:
+//!
+//! * an executor pops it and `execute` always writes exactly one terminal
+//!   [`Outcome`] (the attempt loop is bounded by `max_attempts` and the
+//!   deadline, and worker panics are contained by
+//!   [`rcr_kernels::pool::Pool::try_run`]); or
+//! * shutdown drains the queue and terminates every still-queued job with
+//!   [`JobError::Cancelled`].
+//!
+//! Pushing onto a closed queue fails back to the submitter (no handle is
+//! ever created for an unqueued job), so no job can fall between the
+//! executors stopping and the drain. Every admitted job also reports its
+//! terminal outcome to its tenant's circuit breaker exactly once, which is
+//! what lets a half-open breaker always eventually learn its probe's fate.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rcr_cluster::faults::{FaultPlan, InjectedFault};
+use rcr_kernels::pool::{self, Pool};
+use rcr_minilang::vm::Vm;
+use rcr_minilang::Error;
+
+use crate::admission::{BoundedQueue, PushOutcome, TokenBucket};
+use crate::backoff::BackoffPolicy;
+use crate::breaker::{BreakerState, CircuitBreaker};
+use crate::cache::{CacheStats, ProgramCache};
+use crate::job::{JobError, JobSpec, Outcome, Rejected};
+use crate::program::ProgramArtifact;
+
+/// Per-tenant execution quotas, enforced on every attempt of every job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantQuota {
+    /// Per-job fuel (interpreter/VM step) budget.
+    pub fuel: u64,
+    /// Per-job heap allocation budget in bytes (see
+    /// `rcr_minilang::value::heap_cost` for the cost model).
+    pub memory: u64,
+}
+
+impl Default for TenantQuota {
+    fn default() -> Self {
+        TenantQuota {
+            fuel: 5_000_000,
+            memory: 16 << 20,
+        }
+    }
+}
+
+/// Service configuration. The [`Default`] is sized for tests and studies:
+/// small executor pool, sub-second deadlines, no injected faults.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// One quota per tenant; a job's `tenant` index must be in range.
+    pub tenants: Vec<TenantQuota>,
+    /// Executor threads (also the size of the shared worker pool).
+    pub executors: usize,
+    /// Run-queue capacity; pushes beyond it are shed as `Overloaded`.
+    pub queue_capacity: usize,
+    /// Sustained admission rate per tenant, in jobs/second.
+    pub admission_rate: f64,
+    /// Admission burst per tenant, in jobs (clamped to ≥ 1).
+    pub admission_burst: f64,
+    /// Deadline for jobs that do not set one explicitly.
+    pub default_deadline: Duration,
+    /// Consecutive failures that trip a tenant's circuit breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before half-opening.
+    pub breaker_cooldown: Duration,
+    /// Retry schedule for transient (injected) faults.
+    pub backoff: BackoffPolicy,
+    /// Fault-injection plan applied per (job, attempt).
+    pub faults: FaultPlan,
+    /// Initial fuel slice for deadline preemption. Execution runs in
+    /// doubling slices, re-checking the wall clock between slices, so a
+    /// smaller slice preempts runaway scripts sooner at the cost of
+    /// re-running short prefixes.
+    pub fuel_slice: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            tenants: vec![TenantQuota::default(); 4],
+            executors: 2,
+            queue_capacity: 64,
+            admission_rate: 500.0,
+            admission_burst: 32.0,
+            default_deadline: Duration::from_secs(2),
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_millis(250),
+            backoff: BackoffPolicy {
+                max_attempts: 3,
+                base: 0.0005,
+                cap: 0.005,
+                seed: 0x5EED,
+            },
+            faults: FaultPlan::none(0x5EED),
+            fuel_slice: 50_000,
+        }
+    }
+}
+
+/// Monotonic service-wide counters; see [`Service::metrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Calls to [`Service::submit`].
+    pub submitted: u64,
+    /// Jobs that made it into the run queue.
+    pub admitted: u64,
+    /// Admitted jobs that completed.
+    pub completed: u64,
+    /// Admitted jobs that failed with a typed [`JobError`] (excluding
+    /// shutdown cancellations).
+    pub failed: u64,
+    /// Admitted jobs cancelled by shutdown before executing.
+    pub cancelled: u64,
+    /// Submissions shed as [`Rejected::Overloaded`] (no token, or queue
+    /// full).
+    pub shed_overloaded: u64,
+    /// Submissions rejected by an open circuit breaker.
+    pub rejected_circuit_open: u64,
+    /// Submissions naming a tenant that does not exist.
+    pub rejected_unknown_tenant: u64,
+    /// Submissions rejected because the service was shutting down.
+    pub rejected_shutting_down: u64,
+    /// Retry attempts launched after transient faults.
+    pub retries: u64,
+}
+
+#[derive(Default)]
+struct MetricsCells {
+    submitted: AtomicU64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    cancelled: AtomicU64,
+    shed_overloaded: AtomicU64,
+    rejected_circuit_open: AtomicU64,
+    rejected_unknown_tenant: AtomicU64,
+    rejected_shutting_down: AtomicU64,
+    retries: AtomicU64,
+}
+
+impl MetricsCells {
+    fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            shed_overloaded: self.shed_overloaded.load(Ordering::Relaxed),
+            rejected_circuit_open: self.rejected_circuit_open.load(Ordering::Relaxed),
+            rejected_unknown_tenant: self.rejected_unknown_tenant.load(Ordering::Relaxed),
+            rejected_shutting_down: self.rejected_shutting_down.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Write-once terminal-outcome slot shared between an executor (or the
+/// shutdown drain) and the submitter's [`JobHandle`].
+#[derive(Debug)]
+struct OneShot {
+    outcome: Mutex<Option<Outcome>>,
+    done: Condvar,
+}
+
+impl OneShot {
+    fn new() -> Self {
+        OneShot {
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    /// First write wins; a second terminal outcome is a bug upstream and
+    /// is dropped rather than overwriting the one the caller may already
+    /// have observed.
+    fn set(&self, outcome: Outcome) {
+        let mut slot = self.outcome.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(outcome);
+            drop(slot);
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) -> Outcome {
+        let mut slot = self.outcome.lock().unwrap();
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return outcome.clone();
+            }
+            slot = self.done.wait(slot).unwrap();
+        }
+    }
+
+    fn wait_timeout(&self, timeout: Duration) -> Option<Outcome> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = self.outcome.lock().unwrap();
+        loop {
+            if let Some(outcome) = slot.as_ref() {
+                return Some(outcome.clone());
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (guard, _) = self.done.wait_timeout(slot, left).unwrap();
+            slot = guard;
+        }
+    }
+}
+
+/// Awaitable handle to an admitted job. Dropping the handle does not
+/// cancel the job; the service still runs it to a terminal outcome.
+#[derive(Debug)]
+pub struct JobHandle {
+    slot: Arc<OneShot>,
+}
+
+impl JobHandle {
+    /// Blocks until the job reaches its terminal [`Outcome`].
+    ///
+    /// This never hangs: admitted jobs are either executed (the attempt
+    /// loop is bounded) or cancelled by the shutdown drain.
+    pub fn wait(&self) -> Outcome {
+        self.slot.wait()
+    }
+
+    /// Like [`JobHandle::wait`] with an upper bound; `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Outcome> {
+        self.slot.wait_timeout(timeout)
+    }
+
+    /// Non-blocking check for the terminal outcome.
+    pub fn poll(&self) -> Option<Outcome> {
+        self.slot.outcome.lock().unwrap().clone()
+    }
+}
+
+/// Per-tenant admission state (bucket + breaker) behind one lock, so an
+/// admission decision is atomic per tenant.
+struct TenantState {
+    bucket: TokenBucket,
+    breaker: CircuitBreaker,
+}
+
+/// An admitted job, as carried by the run queue.
+struct QueuedJob {
+    id: u64,
+    tenant: usize,
+    source: String,
+    submitted_at: Instant,
+    deadline: Duration,
+    slot: Arc<OneShot>,
+}
+
+struct Inner {
+    config: ServiceConfig,
+    epoch: Instant,
+    tenants: Vec<Mutex<TenantState>>,
+    queue: BoundedQueue<QueuedJob>,
+    cache: ProgramCache,
+    pool: &'static Pool,
+    shutting_down: AtomicBool,
+    next_id: AtomicU64,
+    metrics: MetricsCells,
+}
+
+impl Inner {
+    /// Seconds since service start — the clock the bucket and breakers run
+    /// on.
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+}
+
+/// The multi-tenant script-execution service. See the module docs for the
+/// admission pipeline and the liveness argument.
+pub struct Service {
+    inner: Arc<Inner>,
+    executors: Mutex<Vec<thread::JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Starts a service with `config.executors` executor threads.
+    ///
+    /// # Panics
+    /// On structurally invalid configuration (no tenants, zero executors,
+    /// non-positive admission rate, or an invalid fault plan) — these are
+    /// programmer errors, not load conditions.
+    pub fn new(config: ServiceConfig) -> Service {
+        assert!(!config.tenants.is_empty(), "at least one tenant required");
+        assert!(config.executors >= 1, "at least one executor required");
+        config.faults.validated().expect("invalid fault plan");
+        silence_injected_crash_panics();
+        let tenants = config
+            .tenants
+            .iter()
+            .map(|_| {
+                Mutex::new(TenantState {
+                    bucket: TokenBucket::new(config.admission_rate, config.admission_burst),
+                    breaker: CircuitBreaker::new(
+                        config.breaker_threshold,
+                        config.breaker_cooldown.as_secs_f64(),
+                    ),
+                })
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            epoch: Instant::now(),
+            tenants,
+            queue: BoundedQueue::new(config.queue_capacity),
+            cache: ProgramCache::new(),
+            pool: pool::sized(config.executors),
+            shutting_down: AtomicBool::new(false),
+            next_id: AtomicU64::new(0),
+            metrics: MetricsCells::default(),
+            config,
+        });
+        let executors = (0..inner.config.executors)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                thread::Builder::new()
+                    .name(format!("rcr-serve-exec-{i}"))
+                    .spawn(move || executor_loop(&inner))
+                    .expect("spawn executor")
+            })
+            .collect();
+        Service {
+            inner,
+            executors: Mutex::new(executors),
+        }
+    }
+
+    /// Submits one job. Admission is synchronous: the job is either in the
+    /// run queue with a [`JobHandle`] guaranteed to resolve, or rejected
+    /// right here with a typed [`Rejected`] and zero work done.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, Rejected> {
+        let inner = &self.inner;
+        inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            inner
+                .metrics
+                .rejected_shutting_down
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::ShuttingDown);
+        }
+        if spec.tenant >= inner.config.tenants.len() {
+            inner
+                .metrics
+                .rejected_unknown_tenant
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::UnknownTenant);
+        }
+
+        let now = inner.now();
+        let mut tenant = inner.tenants[spec.tenant].lock().unwrap();
+        if !tenant.bucket.try_acquire(now) {
+            inner
+                .metrics
+                .shed_overloaded
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::Overloaded);
+        }
+        // Snapshot the breaker before asking, so a job the breaker admitted
+        // but the queue shed can be un-admitted: otherwise a shed half-open
+        // probe would leave the breaker waiting forever for a report.
+        let saved_breaker = tenant.breaker;
+        if !tenant.breaker.admit(now) {
+            inner
+                .metrics
+                .rejected_circuit_open
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(Rejected::CircuitOpen);
+        }
+
+        let slot = Arc::new(OneShot::new());
+        let job = QueuedJob {
+            id: inner.next_id.fetch_add(1, Ordering::Relaxed),
+            tenant: spec.tenant,
+            source: spec.source,
+            submitted_at: Instant::now(),
+            deadline: spec.deadline.unwrap_or(inner.config.default_deadline),
+            slot: Arc::clone(&slot),
+        };
+        match inner.queue.push(job) {
+            PushOutcome::Enqueued => {
+                inner.metrics.admitted.fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle { slot })
+            }
+            PushOutcome::Full(_) => {
+                tenant.breaker = saved_breaker;
+                inner
+                    .metrics
+                    .shed_overloaded
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(Rejected::Overloaded)
+            }
+            PushOutcome::Closed(_) => {
+                tenant.breaker = saved_breaker;
+                inner
+                    .metrics
+                    .rejected_shutting_down
+                    .fetch_add(1, Ordering::Relaxed);
+                Err(Rejected::ShuttingDown)
+            }
+        }
+    }
+
+    /// Stops accepting work, cancels everything still queued (each such job
+    /// terminates with [`JobError::Cancelled`]), and joins the executors.
+    /// In-flight jobs run to their terminal outcome first. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        for job in self.inner.queue.close_and_drain() {
+            self.inner.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            job.slot.set(Outcome::Failed(JobError::Cancelled));
+        }
+        let handles: Vec<_> = self.executors.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Snapshot of the service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Snapshot of the program-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Current breaker state of `tenant` (diagnostic; `None` if the tenant
+    /// does not exist).
+    pub fn breaker_state(&self, tenant: usize) -> Option<BreakerState> {
+        self.inner
+            .tenants
+            .get(tenant)
+            .map(|t| t.lock().unwrap().breaker.state())
+    }
+
+    /// Jobs currently waiting in the run queue (diagnostic; racy).
+    pub fn queue_len(&self) -> usize {
+        self.inner.queue.len()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Injected worker crashes are deliberate panics that `Pool::try_run`
+/// always contains; letting the default panic hook print a backtrace for
+/// each would bury real output under thousands of lines in a fault-heavy
+/// study. This hook swallows exactly those panics (matched by their
+/// message prefix) and forwards everything else untouched.
+fn silence_injected_crash_panics() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .is_some_and(|m| m.starts_with("injected worker crash"));
+            if !injected {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Executor thread body: pop, execute, repeat, until shutdown.
+fn executor_loop(inner: &Inner) {
+    loop {
+        match inner.queue.pop(Duration::from_millis(25)) {
+            Some(job) => execute(inner, job),
+            None => {
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Runs one popped job to its terminal outcome, publishes it, and reports
+/// it to the tenant's breaker — the one place both always happen, exactly
+/// once.
+fn execute(inner: &Inner, job: QueuedJob) {
+    let quota = inner.config.tenants[job.tenant];
+    let deadline_at = job.submitted_at + job.deadline;
+    let outcome = run_job(inner, &job, quota, deadline_at);
+    let completed = outcome.is_completed();
+    if completed {
+        inner.metrics.completed.fetch_add(1, Ordering::Relaxed);
+    } else {
+        inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+    }
+    // Feed the breaker BEFORE waking the waiter: anyone unblocked by
+    // `JobHandle::wait` must observe the breaker state this outcome
+    // produced, not the state from before the job ran.
+    let now = inner.now();
+    {
+        let mut tenant = inner.tenants[job.tenant].lock().unwrap();
+        if completed {
+            tenant.breaker.record_success();
+        } else {
+            tenant.breaker.record_failure(now);
+        }
+    }
+    job.slot.set(outcome);
+}
+
+/// How one attempt ended, from the retry loop's point of view.
+enum Attempt {
+    /// The script completed; here is its rendered result.
+    Done(String),
+    /// Deterministic failure (or deadline): retrying is wasted work.
+    Fatal(JobError),
+    /// Injected transient fault: retry if budget and deadline allow.
+    Transient(Transient),
+}
+
+enum Transient {
+    Crash(String),
+    Compile,
+}
+
+impl Transient {
+    fn into_terminal(self, attempts: u32) -> JobError {
+        match self {
+            Transient::Crash(message) => JobError::WorkerCrash { message, attempts },
+            Transient::Compile => JobError::CompileFault { attempts },
+        }
+    }
+}
+
+/// The bounded attempt loop: at most `max_attempts` attempts, each
+/// preceded by a deadline check, with backoff sleeps between transient
+/// failures. Always returns a terminal outcome.
+fn run_job(inner: &Inner, job: &QueuedJob, quota: TenantQuota, deadline_at: Instant) -> Outcome {
+    if Instant::now() >= deadline_at {
+        // Expired while queued: don't waste an executor on a dead job.
+        return Outcome::Failed(JobError::DeadlineExceeded);
+    }
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match run_attempt(inner, job, quota, deadline_at, attempt) {
+            Attempt::Done(output) => {
+                return Outcome::Completed {
+                    output,
+                    attempts: attempt,
+                    latency: job.submitted_at.elapsed(),
+                }
+            }
+            Attempt::Fatal(e) => return Outcome::Failed(e),
+            Attempt::Transient(t) => {
+                if !inner.config.backoff.allows_retry(attempt) {
+                    return Outcome::Failed(t.into_terminal(attempt));
+                }
+                let delay = inner.config.backoff.delay(job.id, attempt);
+                if Instant::now() + delay >= deadline_at {
+                    // The retry could not finish in time anyway.
+                    return Outcome::Failed(JobError::DeadlineExceeded);
+                }
+                inner.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                thread::sleep(delay);
+            }
+        }
+    }
+}
+
+/// One attempt: fault decision, cached compile, pool execution with panic
+/// containment, slowdown injection, and the finished-late deadline check.
+fn run_attempt(
+    inner: &Inner,
+    job: &QueuedJob,
+    quota: TenantQuota,
+    deadline_at: Instant,
+    attempt: u32,
+) -> Attempt {
+    let fault = inner.config.faults.decide(job.id, attempt);
+    if matches!(fault, Some(InjectedFault::CompileFailure)) {
+        // Transient infrastructure fault in the compile stage; decided
+        // before the cache so a retry actually re-enters the pipeline.
+        return Attempt::Transient(Transient::Compile);
+    }
+    let artifact = match inner.cache.get_or_compile(&job.source) {
+        Ok(artifact) => artifact,
+        Err(e) => return Attempt::Fatal(JobError::Compile(e.to_string())),
+    };
+
+    let crash = matches!(fault, Some(InjectedFault::WorkerCrash));
+    let slow = match fault {
+        Some(InjectedFault::SlowJob { factor }) => Some(factor),
+        _ => None,
+    };
+    let fuel_slice = inner.config.fuel_slice;
+    let (job_id, attempt_no) = (job.id, attempt);
+    let result = inner.pool.try_run(move || {
+        let started = Instant::now();
+        if crash {
+            panic!("injected worker crash (job {job_id}, attempt {attempt_no})");
+        }
+        let result = run_sliced(&artifact, quota, deadline_at, fuel_slice);
+        if let Some(factor) = slow {
+            // A slow worker takes `factor`× the normal duration. Sleeping
+            // past the deadline is pointless (the outcome is already
+            // DeadlineExceeded), so the injected slowdown is capped there.
+            let extra = started.elapsed().mul_f64(factor - 1.0);
+            let room =
+                deadline_at.saturating_duration_since(Instant::now()) + Duration::from_micros(100);
+            thread::sleep(extra.min(room));
+        }
+        result
+    });
+
+    match result {
+        Err(panic) => Attempt::Transient(Transient::Crash(panic.message)),
+        Ok(Ok(_)) if Instant::now() > deadline_at => {
+            // Finished, but too late to be useful: badput, not goodput.
+            Attempt::Fatal(JobError::DeadlineExceeded)
+        }
+        Ok(Ok(output)) => Attempt::Done(output),
+        Ok(Err(e)) => Attempt::Fatal(e),
+    }
+}
+
+/// Deadline preemption by iterative fuel deepening: run with a bounded
+/// fuel slice, and on `FuelExhausted` below the quota re-check the wall
+/// clock, double the slice, and re-run. A runaway script is preempted
+/// within one slice of fuel past the deadline; total re-executed work is
+/// at most 2× the final slice (geometric series).
+fn run_sliced(
+    artifact: &ProgramArtifact,
+    quota: TenantQuota,
+    deadline_at: Instant,
+    first_slice: u64,
+) -> Result<String, JobError> {
+    let fuel_quota = quota.fuel.max(1);
+    let mut slice = first_slice.clamp(1, fuel_quota);
+    loop {
+        let compiled = artifact.instantiate();
+        let mut vm = Vm::with_limits(Some(slice), Some(quota.memory));
+        match vm.run(&compiled) {
+            Ok(value) => return Ok(value.to_string()),
+            Err(Error::FuelExhausted { .. }) if slice < fuel_quota => {
+                if Instant::now() >= deadline_at {
+                    return Err(JobError::DeadlineExceeded);
+                }
+                slice = slice.saturating_mul(2).min(fuel_quota);
+            }
+            Err(Error::FuelExhausted { .. }) => {
+                return Err(JobError::FuelQuotaExceeded { budget: fuel_quota })
+            }
+            Err(Error::MemoryExhausted { .. }) => {
+                return Err(JobError::MemoryQuotaExceeded {
+                    budget: quota.memory,
+                })
+            }
+            Err(e) => return Err(JobError::Script(e.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ServiceConfig {
+        ServiceConfig {
+            admission_rate: 100_000.0,
+            admission_burst: 100_000.0,
+            ..ServiceConfig::default()
+        }
+    }
+
+    #[test]
+    fn completes_a_simple_script() {
+        let service = Service::new(quick_config());
+        let handle = service.submit(JobSpec::new(0, "40 + 2")).unwrap();
+        match handle.wait() {
+            Outcome::Completed {
+                output, attempts, ..
+            } => {
+                assert_eq!(output, "42");
+                assert_eq!(attempts, 1);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        let m = service.metrics();
+        assert_eq!((m.admitted, m.completed, m.failed), (1, 1, 0));
+    }
+
+    #[test]
+    fn compile_and_script_errors_are_typed_and_not_retried() {
+        let service = Service::new(quick_config());
+        let bad_syntax = service.submit(JobSpec::new(0, "let = ;")).unwrap();
+        let bad_runtime = service.submit(JobSpec::new(1, "1 + nil")).unwrap();
+        assert!(matches!(
+            bad_syntax.wait(),
+            Outcome::Failed(JobError::Compile(_))
+        ));
+        assert!(matches!(
+            bad_runtime.wait(),
+            Outcome::Failed(JobError::Script(_))
+        ));
+        assert_eq!(service.metrics().retries, 0);
+    }
+
+    #[test]
+    fn fuel_and_memory_quotas_produce_typed_failures() {
+        let mut config = quick_config();
+        config.tenants = vec![
+            TenantQuota {
+                fuel: 1_000,
+                memory: 1 << 20,
+            },
+            TenantQuota {
+                fuel: 5_000_000,
+                memory: 1_000,
+            },
+        ];
+        let service = Service::new(config);
+        let spin = "let s = 0; for i in range(0, 1000000) { s = s + i; } s";
+        let hog = "let a = zeros(100000); len(a)";
+        let fuel = service.submit(JobSpec::new(0, spin)).unwrap();
+        let mem = service.submit(JobSpec::new(1, hog)).unwrap();
+        assert_eq!(
+            fuel.wait(),
+            Outcome::Failed(JobError::FuelQuotaExceeded { budget: 1_000 })
+        );
+        assert_eq!(
+            mem.wait(),
+            Outcome::Failed(JobError::MemoryQuotaExceeded { budget: 1_000 })
+        );
+    }
+
+    #[test]
+    fn unknown_tenant_is_rejected_synchronously() {
+        let service = Service::new(quick_config());
+        assert_eq!(
+            service.submit(JobSpec::new(99, "1")).unwrap_err(),
+            Rejected::UnknownTenant
+        );
+        assert_eq!(service.metrics().rejected_unknown_tenant, 1);
+    }
+
+    #[test]
+    fn empty_token_bucket_sheds_with_overloaded() {
+        let mut config = quick_config();
+        config.admission_rate = 0.001; // effectively: the burst and no more
+        config.admission_burst = 1.0;
+        let service = Service::new(config);
+        let first = service.submit(JobSpec::new(0, "1 + 1")).unwrap();
+        assert_eq!(
+            service.submit(JobSpec::new(0, "1 + 1")).unwrap_err(),
+            Rejected::Overloaded
+        );
+        // Buckets are per tenant: tenant 1 still has its own burst.
+        let other = service.submit(JobSpec::new(1, "2 + 2")).unwrap();
+        assert!(first.wait().is_completed());
+        assert!(other.wait().is_completed());
+        assert_eq!(service.metrics().shed_overloaded, 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded() {
+        let mut config = quick_config();
+        config.executors = 1;
+        config.queue_capacity = 1;
+        config.default_deadline = Duration::from_secs(30);
+        let service = Service::new(config);
+        // Each job burns ~10⁶ VM steps, so submissions outrun the single
+        // executor and the one-slot queue must shed.
+        let slow = "let s = 0; for i in range(0, 300000) { s = s + i; } s";
+        let results: Vec<_> = (0..8)
+            .map(|_| service.submit(JobSpec::new(0, slow)))
+            .collect();
+        let shed = results.iter().filter(|r| r.is_err()).count();
+        assert!(shed > 0, "expected at least one Overloaded shed");
+        for r in results {
+            match r {
+                Ok(handle) => assert!(handle.wait().is_completed()),
+                Err(rejected) => assert_eq!(rejected, Rejected::Overloaded),
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_expired_in_queue_fails_without_executing() {
+        let service = Service::new(quick_config());
+        let handle = service
+            .submit(JobSpec::new(0, "1 + 1").with_deadline(Duration::ZERO))
+            .unwrap();
+        assert_eq!(handle.wait(), Outcome::Failed(JobError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn runaway_script_is_preempted_at_the_deadline() {
+        let mut config = quick_config();
+        // Tiny slices force frequent wall-clock checks; a huge fuel quota
+        // means only the deadline can stop this script.
+        config.fuel_slice = 1_000;
+        config.tenants = vec![TenantQuota {
+            fuel: u64::MAX / 4,
+            memory: 1 << 20,
+        }];
+        let service = Service::new(config);
+        let spin = "let s = 0; for i in range(0, 100000000) { s = s + i; } s";
+        let started = Instant::now();
+        let handle = service
+            .submit(JobSpec::new(0, spin).with_deadline(Duration::from_millis(30)))
+            .unwrap();
+        assert_eq!(handle.wait(), Outcome::Failed(JobError::DeadlineExceeded));
+        // Preemption must kick in near the deadline, not after the full
+        // (effectively unbounded) script. Generous bound for slow CI.
+        assert!(started.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn transient_crashes_are_retried_to_success() {
+        let mut config = quick_config();
+        config.faults = FaultPlan {
+            crash_prob: 0.4,
+            ..FaultPlan::none(7)
+        };
+        config.backoff = BackoffPolicy {
+            max_attempts: 6,
+            base: 0.0002,
+            cap: 0.002,
+            seed: 7,
+        };
+        let service = Service::new(config);
+        let handles: Vec<_> = (0..20)
+            .map(|i| {
+                service
+                    .submit(JobSpec::new(i % 4, format!("{i} * 2")))
+                    .unwrap()
+            })
+            .collect();
+        let outcomes: Vec<_> = handles.iter().map(|h| h.wait()).collect();
+        let completed = outcomes.iter().filter(|o| o.is_completed()).count();
+        // With crash probability 0.4 and 6 attempts, failure needs six
+        // crashes in a row (p ≈ 0.4 %); the plan is deterministic, and for
+        // this seed every job recovers.
+        assert_eq!(completed, 20, "outcomes: {outcomes:?}");
+        let retried = outcomes
+            .iter()
+            .filter(|o| matches!(o, Outcome::Completed { attempts, .. } if *attempts > 1))
+            .count();
+        assert!(
+            retried > 0,
+            "seed 7 should crash at least one first attempt"
+        );
+        assert!(service.metrics().retries > 0);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_worker_crash() {
+        let mut config = quick_config();
+        config.faults = FaultPlan {
+            crash_prob: 1.0,
+            ..FaultPlan::none(11)
+        };
+        config.backoff = BackoffPolicy {
+            max_attempts: 3,
+            base: 0.0001,
+            cap: 0.001,
+            seed: 11,
+        };
+        config.breaker_threshold = u32::MAX; // keep the breaker out of this test
+        let service = Service::new(config);
+        let handle = service.submit(JobSpec::new(0, "1 + 1")).unwrap();
+        match handle.wait() {
+            Outcome::Failed(JobError::WorkerCrash { attempts, message }) => {
+                assert_eq!(attempts, 3);
+                assert!(message.contains("injected worker crash"), "{message}");
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compile_faults_are_transient_and_typed() {
+        let mut config = quick_config();
+        config.faults = FaultPlan {
+            compile_fail_prob: 1.0,
+            ..FaultPlan::none(13)
+        };
+        config.backoff = BackoffPolicy {
+            max_attempts: 2,
+            base: 0.0001,
+            cap: 0.001,
+            seed: 13,
+        };
+        config.breaker_threshold = u32::MAX;
+        let service = Service::new(config);
+        let handle = service.submit(JobSpec::new(0, "1 + 1")).unwrap();
+        assert_eq!(
+            handle.wait(),
+            Outcome::Failed(JobError::CompileFault { attempts: 2 })
+        );
+        // The injected fault fired before compilation: nothing was cached.
+        assert_eq!(service.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn breaker_trips_rejects_then_admits_a_probe() {
+        let mut config = quick_config();
+        config.faults = FaultPlan {
+            crash_prob: 1.0,
+            ..FaultPlan::none(17)
+        };
+        config.backoff = BackoffPolicy::none();
+        config.breaker_threshold = 2;
+        config.breaker_cooldown = Duration::from_millis(40);
+        let service = Service::new(config);
+        // Two crashing jobs trip tenant 0's breaker...
+        for _ in 0..2 {
+            let h = service.submit(JobSpec::new(0, "1 + 1")).unwrap();
+            assert!(!h.wait().is_completed());
+        }
+        assert!(matches!(
+            service.breaker_state(0),
+            Some(BreakerState::Open { .. })
+        ));
+        // ...so the next submission is rejected, while tenant 1 sails on
+        // (its own breaker is closed; its jobs crash but are admitted).
+        assert_eq!(
+            service.submit(JobSpec::new(0, "1 + 1")).unwrap_err(),
+            Rejected::CircuitOpen
+        );
+        assert!(service.submit(JobSpec::new(1, "1 + 1")).is_ok());
+        // After the cooldown one probe is admitted; it crashes, so the
+        // breaker re-opens.
+        thread::sleep(Duration::from_millis(60));
+        let probe = service.submit(JobSpec::new(0, "1 + 1")).unwrap();
+        assert!(!probe.wait().is_completed());
+        assert!(matches!(
+            service.breaker_state(0),
+            Some(BreakerState::Open { .. })
+        ));
+        assert!(service.metrics().rejected_circuit_open >= 1);
+    }
+
+    #[test]
+    fn shutdown_cancels_queued_jobs_and_rejects_new_ones() {
+        let mut config = quick_config();
+        config.executors = 1;
+        config.queue_capacity = 16;
+        config.default_deadline = Duration::from_secs(30);
+        let service = Service::new(config);
+        let slow = "let s = 0; for i in range(0, 300000) { s = s + i; } s";
+        let handles: Vec<_> = (0..6)
+            .filter_map(|_| service.submit(JobSpec::new(0, slow)).ok())
+            .collect();
+        service.shutdown();
+        assert_eq!(
+            service.submit(JobSpec::new(0, "1")).unwrap_err(),
+            Rejected::ShuttingDown
+        );
+        // Every admitted job still resolves: executed or cancelled.
+        let mut cancelled = 0;
+        for h in &handles {
+            match h.wait() {
+                Outcome::Completed { .. } => {}
+                Outcome::Failed(JobError::Cancelled) => cancelled += 1,
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        let m = service.metrics();
+        assert_eq!(m.cancelled, cancelled);
+        assert_eq!(m.completed + m.failed + m.cancelled, m.admitted);
+        // Shutdown is idempotent.
+        service.shutdown();
+    }
+
+    #[test]
+    fn repeated_submissions_share_one_compilation() {
+        let service = Service::new(quick_config());
+        let src = "let s = 0; for i in range(0, 100) { s = s + i; } s";
+        let handles: Vec<_> = (0..12)
+            .map(|i| service.submit(JobSpec::new(i % 4, src)).unwrap())
+            .collect();
+        for h in handles {
+            match h.wait() {
+                Outcome::Completed { output, .. } => assert_eq!(output, "4950"),
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits, 11, "{stats:?}");
+    }
+}

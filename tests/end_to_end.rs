@@ -64,6 +64,16 @@ fn performance_experiments_run_quick_and_render() {
 }
 
 #[test]
+fn serving_overload_study_runs_and_renders() {
+    // The quick E19 sweep self-verifies the robustness contract (outcome
+    // closure, p99 within deadline) in every cell before returning.
+    let points = ex().e19_serve(&GapConfig::quick()).expect("E19");
+    assert_eq!(points.len(), 9, "3 fault levels x 3 offered loads");
+    assert!(rcr_bench::render::e19_figure(&points).contains("</svg>"));
+    assert_eq!(rcr_bench::render::e19_table(&points).n_rows(), 9);
+}
+
+#[test]
 fn cluster_experiments_run_and_render() {
     let e = ex();
     let outcomes = e.e9_sched_policies(400).expect("E9");
@@ -113,7 +123,7 @@ fn experiment_index_matches_drivers() {
         ids,
         vec![
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18"
+            "E14", "E15", "E16", "E17", "E18", "E19"
         ]
     );
 }
