@@ -1,0 +1,42 @@
+//! E20 (Table 10): abstract-interpretation throughput — the per-script
+//! cost of the full fixpoint against simply parsing, the static fuel
+//! lower bound consulted at serve admission, and the full-study time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::absintstudy::generate_script;
+use rcr_core::experiments::Experiments;
+use rcr_core::MASTER_SEED;
+use rcr_minilang::{absint, parser};
+use rcr_serve::static_fuel_lower_bound;
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let study = ex.e20_absint(8).expect("E20 runs");
+    println!("{}", render::e20_table(&study).render_ascii());
+    println!("{}", render::e20_admission_table(&study).render_ascii());
+    assert!(render::e20_figure(&study).contains("</svg>"));
+
+    let script = generate_script(MASTER_SEED, 0, None);
+    let program = parser::parse(&script).expect("corpus script parses");
+    assert!(static_fuel_lower_bound(&script).is_some());
+
+    let mut g = c.benchmark_group("e20_absint");
+    g.sample_size(20);
+    g.bench_function("parse_one_script", |b| {
+        b.iter(|| parser::parse(&script).expect("parses"))
+    });
+    g.bench_function("analyze_one_script", |b| {
+        b.iter(|| absint::analyze(&program))
+    });
+    g.bench_function("static_fuel_lower_bound", |b| {
+        b.iter(|| static_fuel_lower_bound(&script).expect("parses"))
+    });
+    g.bench_function("full_study_4_per_class", |b| {
+        b.iter(|| ex.e20_absint(4).expect("study runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--quick] [--out DIR]
 //!
-//!   EXPERIMENT   e1..e19 (default: all)
+//!   EXPERIMENT   e1..e20 (default: all)
 //!   --quick      reduced sizes for the timing experiments (CI-friendly;
 //!                --smoke is an alias)
 //!   --out DIR    write tables (.txt/.csv) and figures (.svg) to DIR
@@ -45,7 +45,7 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--help" | "-h" => {
-                return Err("usage: reproduce [e1..e19 ...] [--quick] [--out DIR]".to_owned())
+                return Err("usage: reproduce [e1..e20 ...] [--quick] [--out DIR]".to_owned())
             }
             e if e.starts_with('e') || e.starts_with('E') => {
                 which.push(e.to_lowercase());
@@ -133,7 +133,7 @@ fn main() {
         match info {
             Some(i) => println!("== {} ({}): {} ==\n", i.id, i.artifact, i.title),
             None => {
-                eprintln!("unknown experiment `{id}` (expected e1..e19)");
+                eprintln!("unknown experiment `{id}` (expected e1..e20)");
                 std::process::exit(2);
             }
         }
@@ -280,6 +280,13 @@ fn run_one(
             emit.table("e19", "serve", &render::e19_table(&points));
             emit.figure("e19", "serve", &render::e19_figure(&points));
             emit.json("e19", "serve", &points);
+        }
+        "e20" => {
+            let study = ex.e20_absint(if gap_config.quick { 8 } else { 24 })?;
+            emit.table("e20", "absint", &render::e20_table(&study));
+            emit.table("e20", "admission", &render::e20_admission_table(&study));
+            emit.figure("e20", "absint", &render::e20_figure(&study));
+            emit.json("e20", "absint", &study);
         }
         other => unreachable!("validated above: {other}"),
     }

@@ -1,5 +1,6 @@
 //! Rendering experiment outputs into paper-style tables and SVG figures.
 
+use rcr_core::absintstudy::AbsintStudy;
 use rcr_core::compare::{DistributionShift, FieldAdoption, ItemShift, LikertShift};
 use rcr_core::experiments::{Demographics, LoadPoint, PolicyOutcome, ResiliencePoint};
 use rcr_core::lintstudy::LintStudy;
@@ -727,6 +728,98 @@ pub fn e15_table(study: &LintStudy) -> Table {
     t
 }
 
+/// E20: Table 10 — detection per abstract-interpretation defect class,
+/// with the false-positive probe and the proved-fact density in the title.
+pub fn e20_table(study: &AbsintStudy) -> Table {
+    let d = &study.density;
+    let mut t = Table::new([
+        "defect class",
+        "expected",
+        "mutants",
+        "detected",
+        "rate",
+        "diags/mutant",
+    ])
+    .title(format!(
+        "Table 10: abstract-interpretation detection of seeded defects \
+         (clean corpus: {} scripts, {} false positives; proofs: {}/{} \
+         finite-cost fns, {} farray returns, {} typed main vars)",
+        study.n_clean,
+        study.clean_with_findings,
+        d.finite_cost_functions,
+        d.n_functions,
+        d.float_array_proofs,
+        fmt::pct(d.typed_main_var_fraction),
+    ));
+    for c in &study.classes {
+        t.row([
+            c.class.clone(),
+            c.expected_code.clone(),
+            c.n.to_string(),
+            c.detected.to_string(),
+            fmt::pct(c.detection_rate),
+            format!("{:.1}", c.mean_diagnostics),
+        ]);
+    }
+    t
+}
+
+/// E20 companion: the static-admission comparison, one row per arm.
+pub fn e20_admission_table(study: &AbsintStudy) -> Table {
+    let mut t = Table::new([
+        "arm",
+        "submitted",
+        "admitted",
+        "completed",
+        "failed",
+        "shed static",
+        "fuel deaths",
+        "compiles",
+        "goodput",
+    ])
+    .title(
+        "Table 10 companion: static admission vs runtime-only enforcement \
+         on a mixed feasible/infeasible workload"
+            .to_owned(),
+    );
+    for a in &study.admission {
+        t.row([
+            a.arm.clone(),
+            a.submitted.to_string(),
+            a.admitted.to_string(),
+            a.completed.to_string(),
+            a.failed.to_string(),
+            a.shed_static.to_string(),
+            a.fuel_quota_failures.to_string(),
+            a.compile_misses.to_string(),
+            fmt::pct(a.goodput_fraction),
+        ]);
+    }
+    t
+}
+
+/// E20: per-class detection-rate bars (the Table 10 figure).
+pub fn e20_figure(study: &AbsintStudy) -> String {
+    let labels: Vec<String> = study
+        .classes
+        .iter()
+        .map(|c| format!("{} [{}]", c.class, c.expected_code))
+        .collect();
+    let groups: Vec<(&str, Vec<f64>)> = study
+        .classes
+        .iter()
+        .zip(&labels)
+        .map(|(c, l)| (l.as_str(), vec![c.detection_rate * 100.0]))
+        .collect();
+    svg::bar_chart(
+        "Table 10 figure: abstract-interpretation detection rate by defect class",
+        "detection rate (%)",
+        &["detected"],
+        &groups,
+        false,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -884,6 +977,23 @@ mod tests {
         let fig = e19_figure(&points);
         assert!(fig.contains("<svg") && fig.contains("moderate"));
         assert!(fig.contains("completed jobs/s"));
+    }
+
+    #[test]
+    fn absint_study_outputs_render() {
+        let study = ex().e20_absint(6).unwrap();
+        let t = e20_table(&study);
+        assert_eq!(t.n_rows(), 5);
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("provably-zero divisor") && ascii.contains("W009"));
+        assert!(ascii.contains("0 false positives"));
+        assert!(ascii.contains("farray returns"));
+        let t = e20_admission_table(&study);
+        assert_eq!(t.n_rows(), 2);
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("static-admission") && ascii.contains("runtime-only"));
+        let fig = e20_figure(&study);
+        assert!(fig.contains("<svg") && fig.contains("W012"));
     }
 
     #[test]

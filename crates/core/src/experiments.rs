@@ -1,4 +1,4 @@
-//! The experiment registry: one driver per table/figure (E1–E19), all
+//! The experiment registry: one driver per table/figure (E1–E20), all
 //! deterministic from one master seed. `DESIGN.md` §4 is the index; the
 //! `reproduce` binary and the Criterion benches both call these drivers.
 
@@ -13,6 +13,7 @@ use rcr_survey::cohort::Cohort;
 use rcr_synth::calibration::Wave;
 use rcr_synth::generator::Generator;
 
+use crate::absintstudy::AbsintStudy;
 use crate::compare::{
     compare_likert_battery, compare_multi_choice, distribution_shift, gpu_by_field,
     DistributionShift, FieldAdoption, ItemShift, LikertShift,
@@ -40,7 +41,7 @@ pub struct ExperimentInfo {
 }
 
 /// The experiment index (matches `DESIGN.md` §4).
-pub const INDEX: [ExperimentInfo; 19] = [
+pub const INDEX: [ExperimentInfo; 20] = [
     ExperimentInfo {
         id: "E1",
         artifact: "Table 1",
@@ -135,6 +136,11 @@ pub const INDEX: [ExperimentInfo; 19] = [
         id: "E19",
         artifact: "Figure 10",
         title: "Serving under overload: shedding, deadlines, and fault recovery",
+    },
+    ExperimentInfo {
+        id: "E20",
+        artifact: "Table 10",
+        title: "Abstract interpretation: proofs, defect detection, static admission",
     },
 ];
 
@@ -559,6 +565,20 @@ impl Experiments {
     pub fn e19_serve(&self, config: &GapConfig) -> Result<Vec<ServePoint>> {
         crate::servestudy::run(self.seed, config)
     }
+
+    /// E20: the abstract-interpretation study — detection rates of the
+    /// interval/shape/cost defect classes (W008–W012), the false-positive
+    /// probe, proved-fact density over the clean corpus, and the
+    /// static-admission comparison on a mixed feasible/infeasible workload
+    /// (every cross-arm claim verified before the numbers are reported).
+    ///
+    /// # Errors
+    /// Script errors when a generated clean script misbehaves;
+    /// [`crate::Error::VerificationFailed`] when an admission arm breaks
+    /// its contract.
+    pub fn e20_absint(&self, n_per_class: usize) -> Result<AbsintStudy> {
+        crate::absintstudy::run_study(self.seed, n_per_class)
+    }
 }
 
 #[cfg(test)]
@@ -571,10 +591,10 @@ mod tests {
     }
 
     #[test]
-    fn index_lists_nineteen_unique_ids() {
+    fn index_lists_twenty_unique_ids() {
         let mut ids: Vec<&str> = INDEX.iter().map(|i| i.id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 19);
+        assert_eq!(ids.len(), 20);
         assert_eq!(INDEX[0].id, "E1");
         assert_eq!(INDEX[11].artifact, "Figure 6");
         assert_eq!(INDEX[12].id, "E13");
@@ -590,6 +610,8 @@ mod tests {
         assert_eq!(INDEX[17].artifact, "Figure 9");
         assert_eq!(INDEX[18].id, "E19");
         assert_eq!(INDEX[18].artifact, "Figure 10");
+        assert_eq!(INDEX[19].id, "E20");
+        assert_eq!(INDEX[19].artifact, "Table 10");
     }
 
     #[test]

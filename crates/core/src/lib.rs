@@ -23,7 +23,10 @@
 //! * [`servestudy`] — the overload study: the `rcr-serve` execution
 //!   service driven open-loop past saturation under a fault ablation, with
 //!   its robustness contract verified before any number is reported;
-//! * [`experiments`] — the registry mapping experiment ids E1–E19 to
+//! * [`absintstudy`] — the abstract-interpretation study: detection of
+//!   interval/shape/cost defects, proved-fact density over a clean corpus,
+//!   and the static-admission arm of the serving story;
+//! * [`experiments`] — the registry mapping experiment ids E1–E20 to
 //!   drivers that regenerate each table and figure (see `DESIGN.md` §4).
 //!
 //! ```
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absintstudy;
 pub mod compare;
 pub mod experiments;
 pub mod lintstudy;

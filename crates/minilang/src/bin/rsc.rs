@@ -6,6 +6,8 @@
 //!
 //!   --check       lint instead of running; print `file:line: warning[Wnnn]: …`
 //!                 and exit non-zero iff there are findings
+//!   --facts       print the abstract-interpretation fixpoint (per-function
+//!                 types, intervals, shapes, cost bounds) instead of running
 //!   --interp      use the tree-walking interpreter (default: bytecode VM)
 //!   --no-opt      skip the constant-folding optimizer (VM mode only)
 //!   --no-fuse     skip the bytecode peephole/superinstruction pass
@@ -21,12 +23,13 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use rcr_minilang::{
-    bytecode, disasm, interp::Interpreter, lint, optimize, parser, peephole, vm::Vm, Value,
+    absint, bytecode, disasm, interp::Interpreter, lint, optimize, parser, peephole, vm::Vm, Value,
 };
 
 struct Args {
     source: Source,
     check: bool,
+    facts: bool,
     interp: bool,
     optimize: bool,
     fuse: bool,
@@ -40,12 +43,13 @@ enum Source {
 }
 
 fn usage() -> &'static str {
-    "usage: rsc [--check] [--interp] [--no-opt] [--no-fuse] [--disasm] [--time] (FILE.rsc | -e 'EXPR')"
+    "usage: rsc [--check] [--facts] [--interp] [--no-opt] [--no-fuse] [--disasm] [--time] (FILE.rsc | -e 'EXPR')"
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut source = None;
     let mut check = false;
+    let mut facts = false;
     let mut interp = false;
     let mut optimize = true;
     let mut fuse = true;
@@ -55,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--check" => check = true,
+            "--facts" => facts = true,
             "--interp" => interp = true,
             "--no-opt" => optimize = false,
             "--no-fuse" => fuse = false,
@@ -77,6 +82,7 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         source,
         check,
+        facts,
         interp,
         optimize,
         fuse,
@@ -133,6 +139,12 @@ fn main() -> ExitCode {
         } else {
             ExitCode::from(1)
         };
+    }
+
+    if args.facts {
+        // Like --check, report on the program as written.
+        print!("{}", absint::analyze(&program).render_facts());
+        return ExitCode::SUCCESS;
     }
 
     let program = if args.optimize {

@@ -1,6 +1,6 @@
 //! Diagnostic codes and records emitted by the static analyzer.
 //!
-//! Every finding carries a stable code (`W001`–`W008`), the 1-based source
+//! Every finding carries a stable code (`W001`–`W012`), the 1-based source
 //! line it anchors to, and a human message. [`Diagnostic`] displays as
 //! `line N: warning[Wnnn]: message`; the `rsc --check` driver prefixes the
 //! file name.
@@ -27,8 +27,23 @@ pub enum Code {
     ArityMismatch,
     /// A binding that shadows an earlier visible binding of the same name.
     Shadowing,
-    /// Division or modulo by a constant zero.
+    /// Division or modulo by a provably-zero denominator (proved by the
+    /// interval lattice, not just a literal `0`).
     DivisionByZero,
+    /// An index the abstract interpreter proves is outside the array's
+    /// possible length interval on every execution.
+    ProvableOutOfBounds,
+    /// An operator or builtin applied to operands whose inferred type sets
+    /// admit no valid combination (e.g. `"a" * 2`, `len(3)`).
+    TypeConfusion,
+    /// A numeric builtin whose argument interval is provably outside its
+    /// domain (e.g. `sqrt` of a provably-negative value, `zeros` with a
+    /// provably-negative length).
+    NumericDomain,
+    /// A loop whose condition the fixpoint proves always true while the
+    /// body never breaks or returns: under the fuel model it can only end
+    /// in fuel exhaustion.
+    NonTerminatingLoop,
 }
 
 impl Code {
@@ -43,6 +58,10 @@ impl Code {
             Code::ArityMismatch => "W006",
             Code::Shadowing => "W007",
             Code::DivisionByZero => "W008",
+            Code::ProvableOutOfBounds => "W009",
+            Code::TypeConfusion => "W010",
+            Code::NumericDomain => "W011",
+            Code::NonTerminatingLoop => "W012",
         }
     }
 
@@ -57,11 +76,15 @@ impl Code {
             Code::ArityMismatch => "arity-mismatch",
             Code::Shadowing => "shadowing",
             Code::DivisionByZero => "division-by-zero",
+            Code::ProvableOutOfBounds => "provable-out-of-bounds",
+            Code::TypeConfusion => "type-confusion",
+            Code::NumericDomain => "numeric-domain",
+            Code::NonTerminatingLoop => "non-terminating-loop",
         }
     }
 
     /// All codes, in id order.
-    pub const ALL: [Code; 8] = [
+    pub const ALL: [Code; 12] = [
         Code::UndefinedVariable,
         Code::UseBeforeAssignment,
         Code::Unused,
@@ -70,6 +93,10 @@ impl Code {
         Code::ArityMismatch,
         Code::Shadowing,
         Code::DivisionByZero,
+        Code::ProvableOutOfBounds,
+        Code::TypeConfusion,
+        Code::NumericDomain,
+        Code::NonTerminatingLoop,
     ];
 }
 
@@ -116,7 +143,10 @@ mod tests {
         let ids: Vec<&str> = Code::ALL.iter().map(|c| c.id()).collect();
         assert_eq!(
             ids,
-            vec!["W001", "W002", "W003", "W004", "W005", "W006", "W007", "W008"]
+            vec![
+                "W001", "W002", "W003", "W004", "W005", "W006", "W007", "W008", "W009", "W010",
+                "W011", "W012"
+            ]
         );
         let names: std::collections::BTreeSet<&str> = Code::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), Code::ALL.len(), "names must be unique");

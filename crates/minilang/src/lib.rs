@@ -43,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod ast;
 pub mod builtins;
 pub mod bytecode;
@@ -103,14 +104,17 @@ pub fn run_source_vm(src: &str) -> Result<Value> {
 
 /// Like [`run_source_vm`], but runs the [`peephole`] superinstruction pass
 /// over the compiled bytecode first — the "fused VM" tier that E11/E16
-/// measure.
+/// measure. The pass consumes [`absint`] type facts from the same AST, so
+/// float-array proofs flow through function returns.
 ///
 /// # Errors
 /// Lexing, parsing, compilation, or runtime errors.
 pub fn run_source_vm_fused(src: &str) -> Result<Value> {
     let program = parser::parse(src)?;
     let compiled = bytecode::compile(&program)?;
-    let fused = peephole::optimize(&compiled);
+    let facts = absint::analyze(&program).facts;
+    let fused =
+        peephole::optimize_with_facts(&compiled, peephole::Options::default(), Some(&facts));
     let mut m = vm::Vm::new();
     m.run(&fused)
 }

@@ -18,7 +18,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use crate::ast::{BinOp, Block, Expr, ExprKind, Program, Stmt, StmtKind};
+use crate::ast::{Block, Expr, ExprKind, Program, Stmt, StmtKind};
 use crate::builtins;
 use crate::cfg::{Action, Cfg};
 use crate::dataflow;
@@ -75,6 +75,9 @@ pub fn lint(program: &Program) -> Vec<Diagnostic> {
     }
 
     let mut out = l.out;
+    // Semantic findings (W008–W012) from the abstract-interpretation
+    // fixpoint join the syntactic and CFG-based walks above.
+    out.extend(crate::absint::analyze(program).diagnostics);
     out.sort();
     out.dedup_by(|a, b| a.line == b.line && a.code == b.code && a.message == b.message);
     out
@@ -294,25 +297,12 @@ impl<'p> Linter<'p> {
                     self.walk_expr(el);
                 }
             }
-            ExprKind::Bin { op, lhs, rhs } => {
+            ExprKind::Bin { lhs, rhs, .. } => {
+                // W008 (division by zero) moved to the abstract interpreter,
+                // which proves the denominator zero through the interval
+                // lattice instead of pattern-matching a literal.
                 self.walk_expr(lhs);
                 self.walk_expr(rhs);
-                if matches!(op, BinOp::Div | BinOp::Mod) {
-                    if let ExprKind::Num(n) = fold(rhs).kind {
-                        if n == 0.0 {
-                            let what = if *op == BinOp::Div {
-                                "division"
-                            } else {
-                                "modulo"
-                            };
-                            self.warn(
-                                Code::DivisionByZero,
-                                rhs.line,
-                                format!("{what} by constant zero"),
-                            );
-                        }
-                    }
-                }
             }
             ExprKind::And(l, r) | ExprKind::Or(l, r) => {
                 self.walk_expr(l);
@@ -499,12 +489,19 @@ mod tests {
     }
 
     #[test]
-    fn w008_division_by_constant_zero() {
+    fn w008_division_by_provably_zero() {
         assert_eq!(codes("let n = 4; n / 0"), vec!["W008"]);
         assert_eq!(codes("let n = 4; n % (1 - 1)"), vec!["W008"]);
-        // Non-zero and non-constant divisors are fine.
+        // The interval lattice proves zero through variables too — not just
+        // literal denominators.
+        assert_eq!(codes("let n = 4; let d = 0; n / d"), vec!["W008"]);
+        // Non-zero and non-constant divisors are fine, and a denominator
+        // that is only *possibly* zero stays silent.
         assert!(codes("let n = 4; n / 2").is_empty());
-        assert!(codes("let n = 4; let d = 0; n / d").is_empty());
+        assert!(
+            codes("fn f(d) { return 4 / d; } f(2)").is_empty(),
+            "possibly-zero divisor must not warn"
+        );
     }
 
     #[test]

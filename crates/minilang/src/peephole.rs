@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 
+use crate::absint::TypeFacts;
 use crate::ast::BinOp;
 use crate::builtins;
 use crate::bytecode::{Compiled, CompiledFn, Op};
@@ -50,8 +51,18 @@ pub fn optimize(c: &Compiled) -> Compiled {
 /// Optimizes a compiled program with explicit [`Options`].
 #[must_use]
 pub fn optimize_with(c: &Compiled, opts: Options) -> Compiled {
+    optimize_with_facts(c, opts, None)
+}
+
+/// Optimizes a compiled program with explicit [`Options`] and, optionally,
+/// [`TypeFacts`] from the abstract interpreter ([`crate::absint::analyze`]).
+/// The facts extend the syntactic float-array proof with an extra producer:
+/// a call to a function whose return the fixpoint proved is always a
+/// `FloatArray`, so strictly more `IndexGetF`/`IndexSetF` sites fuse.
+#[must_use]
+pub fn optimize_with_facts(c: &Compiled, opts: Options, facts: Option<&TypeFacts>) -> Compiled {
     let proven = if opts.fuse {
-        proven_float_slots(c)
+        proven_float_slots(c, facts)
     } else {
         vec![Default::default(); c.funcs.len()]
     };
@@ -226,12 +237,14 @@ fn eliminate_dead(f: &CompiledFn) -> CompiledFn {
 ///
 /// A slot is proven when every `StoreLocal` targeting it (none being a
 /// jump target) takes its value from a producer: a `fill`/`zeros` builtin
-/// call or a load of an already-proven slot. Parameters are proven
+/// call, a load of an already-proven slot, or — when [`TypeFacts`] are
+/// supplied — a call to a user function whose return the abstract
+/// interpreter proved is always a `FloatArray`. Parameters are proven
 /// interprocedurally: parameter `j` of `f` is proven when every
 /// `CallFn(f, …)` site pushes its arguments with plain single-push
 /// instructions and argument `j` loads a slot proven in the caller. The
 /// whole system iterates to a (monotone, hence terminating) fixpoint.
-fn proven_float_slots(c: &Compiled) -> Vec<Vec<bool>> {
+fn proven_float_slots(c: &Compiled, facts: Option<&TypeFacts>) -> Vec<Vec<bool>> {
     let producer: Vec<u16> = ["fill", "zeros"]
         .iter()
         .filter_map(|want| {
@@ -296,6 +309,9 @@ fn proven_float_slots(c: &Compiled) -> Vec<Vec<bool>> {
                     && match f.code[k - 1] {
                         Op::CallBuiltin(b, _) => producer.contains(&b),
                         Op::LoadLocal(t) => proven[ci][t as usize],
+                        Op::CallFn(fi, _) => {
+                            facts.is_some_and(|t| t.returns_float_array(&c.funcs[fi as usize].name))
+                        }
                         _ => false,
                     };
                 let e = all_good.entry(s).or_insert(true);
@@ -751,6 +767,71 @@ mod tests {
         );
         let (a, b) = run_both(src);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn type_facts_prove_a_strict_superset_of_float_sites() {
+        // `make` returns `zeros(n)` — a fact the syntactic producer scan
+        // cannot see (the store reads a `CallFn` result) but the abstract
+        // interpreter proves. With facts the call-result slot fuses typed
+        // indexing; without, it must not.
+        let src = "fn make(n) { return zeros(n); } \
+                   let a = make(8); let s = 0; \
+                   for i in range(0, 8) { a[i] = i; s = s + a[i]; } s";
+        let program = parse(src).expect("parses");
+        let facts = crate::absint::analyze(&program).facts;
+        assert!(facts.returns_float_array("make"), "absint proves make");
+        let c = compile(&program).expect("compiles");
+        let typed = |c: &Compiled| {
+            c.funcs
+                .iter()
+                .flat_map(|f| &f.code)
+                .filter(|op| matches!(op, Op::IndexGetF(_, _) | Op::IndexSetF(_, _)))
+                .count()
+        };
+        let without = optimize(&c);
+        let with = optimize_with_facts(&c, Options::default(), Some(&facts));
+        assert_eq!(typed(&without), 0, "{:?}", main_code(&without));
+        assert!(typed(&with) >= 2, "{:?}", main_code(&with));
+        // Strict superset on a program mixing both proof styles: every
+        // syntactically-proven site stays proven, and the fact-only site is
+        // new.
+        let mixed = "fn make(n) { return zeros(n); } \
+                     let d = fill(4, 1.0); let m = make(4); let s = 0; \
+                     for i in range(0, 4) { s = s + d[i] + m[i]; } s";
+        let program = parse(mixed).expect("parses");
+        let facts = crate::absint::analyze(&program).facts;
+        let c = compile(&program).expect("compiles");
+        let without = optimize(&c);
+        let with = optimize_with_facts(&c, Options::default(), Some(&facts));
+        assert!(typed(&with) > typed(&without), "strict superset");
+        assert!(typed(&without) >= 1, "syntactic proof still fires");
+        // Both variants agree with the plain VM.
+        let plain = Vm::new().run(&c).expect("plain runs");
+        assert_eq!(plain, Vm::new().run(&without).expect("runs"));
+        assert_eq!(plain, Vm::new().run(&with).expect("runs"));
+    }
+
+    #[test]
+    fn facts_do_not_prove_mixed_return_functions() {
+        // One branch returns a general array: the summary joins to
+        // Arr|FArr, so `definitely(FARR)` fails and nothing fuses.
+        let src = "fn make(n) { if n < 0 { return [1]; } return zeros(n); } \
+                   let a = make(4); let i = 0; a[i]";
+        let program = parse(src).expect("parses");
+        let facts = crate::absint::analyze(&program).facts;
+        assert!(!facts.returns_float_array("make"));
+        let c = compile(&program).expect("compiles");
+        let with = optimize_with_facts(&c, Options::default(), Some(&facts));
+        assert!(
+            !with
+                .funcs
+                .iter()
+                .flat_map(|f| &f.code)
+                .any(|op| matches!(op, Op::IndexGetF(_, _) | Op::IndexSetF(_, _))),
+            "{:?}",
+            main_code(&with)
+        );
     }
 
     #[test]

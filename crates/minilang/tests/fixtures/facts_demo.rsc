@@ -1,0 +1,29 @@
+fn scale(v, n, k) {
+    for i in range(0, n) {
+        v[i] = v[i] * k;
+    }
+    return v;
+}
+
+fn make(n) {
+    return zeros(n);
+}
+
+fn clamp(x) {
+    if x < 0 {
+        return 0;
+    }
+    if x > 100 {
+        return 100;
+    }
+    return x;
+}
+
+let a = make(16);
+let b = scale(a, 16, 2.5);
+let total = 0;
+for i in range(0, 16) {
+    total = total + b[i];
+}
+let bounded = clamp(total);
+bounded

@@ -1,0 +1,53 @@
+//! Golden rendering of the abstract-interpretation fixpoint (`rsc --facts`).
+//!
+//! The fixture exercises every layer of the product lattice: a proven
+//! `FloatArray` return (`make`), an unbounded cost from a parametric loop
+//! (`scale`), an interval clipped by branch refinement (`clamp`), and the
+//! main-scope variable table. Any change to the lattice, the widening
+//! policy, or the renderer shows up as a readable diff here.
+
+use rcr_minilang::{absint, parser, run_source, run_source_vm_fused};
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn facts_rendering_matches_golden_file() {
+    let src = fixture("facts_demo.rsc");
+    let program = parser::parse(&src).expect("fixture parses");
+    let rendered = absint::analyze(&program).render_facts();
+    let golden = fixture("facts_demo.facts");
+    assert_eq!(
+        rendered, golden,
+        "fixpoint drifted from tests/fixtures/facts_demo.facts;\n\
+         regenerate with `rsc --facts crates/minilang/tests/fixtures/facts_demo.rsc`"
+    );
+}
+
+#[test]
+fn facts_fixture_runs_and_respects_its_own_proofs() {
+    // The fixture is a live program: both engines agree, the concrete
+    // result lands inside the abstract one, and the proven-farray fact is
+    // real.
+    let src = fixture("facts_demo.rsc");
+    let program = parser::parse(&src).expect("fixture parses");
+    let analysis = absint::analyze(&program);
+    assert!(analysis.facts.returns_float_array("make"));
+    assert!(
+        analysis.diagnostics.is_empty(),
+        "{:?}",
+        analysis.diagnostics
+    );
+    let a = run_source(&src).expect("interp runs");
+    let b = run_source_vm_fused(&src).expect("fused vm runs");
+    assert_eq!(a, b);
+    // clamp's return interval is [0, 100]; the program result must obey it.
+    match a {
+        rcr_minilang::Value::Num(n) => assert!((0.0..=100.0).contains(&n), "{n}"),
+        other => panic!("expected a number, got {other:?}"),
+    }
+}

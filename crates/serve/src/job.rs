@@ -61,6 +61,18 @@ pub enum Rejected {
     UnknownTenant,
     /// The service is shutting down and no longer accepts or runs work.
     ShuttingDown,
+    /// Static analysis proved the job cannot finish within the tenant's
+    /// fuel quota: the abstract interpreter's fuel *lower bound* for the
+    /// program already exceeds it (`required = u64::MAX` marks a provably
+    /// non-terminating program). Shed before any queue, compile, or
+    /// execute cost is paid. Deterministic; resubmitting the same source
+    /// under the same quota will always be rejected.
+    StaticallyInfeasible {
+        /// Static fuel lower bound of the program.
+        required: u64,
+        /// The tenant's per-job fuel quota it provably exceeds.
+        budget: u64,
+    },
 }
 
 impl fmt::Display for Rejected {
@@ -70,6 +82,21 @@ impl fmt::Display for Rejected {
             Rejected::CircuitOpen => write!(f, "rejected: tenant circuit breaker is open"),
             Rejected::UnknownTenant => write!(f, "rejected: unknown tenant"),
             Rejected::ShuttingDown => write!(f, "rejected: service is shutting down"),
+            Rejected::StaticallyInfeasible { required, budget } => {
+                if *required == u64::MAX {
+                    write!(
+                        f,
+                        "rejected: statically infeasible (provably non-terminating; \
+                         fuel quota {budget})"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "rejected: statically infeasible (needs at least {required} fuel, \
+                         quota {budget})"
+                    )
+                }
+            }
         }
     }
 }
@@ -177,6 +204,20 @@ mod tests {
         assert!(Rejected::Overloaded.to_string().contains("overloaded"));
         assert!(Rejected::CircuitOpen.to_string().contains("circuit"));
         assert!(Rejected::ShuttingDown.to_string().contains("shutting down"));
+        let infeasible = Rejected::StaticallyInfeasible {
+            required: 1_000,
+            budget: 10,
+        };
+        assert!(infeasible.to_string().contains("1000 fuel"), "{infeasible}");
+        assert!(infeasible.to_string().contains("quota 10"), "{infeasible}");
+        let divergent = Rejected::StaticallyInfeasible {
+            required: u64::MAX,
+            budget: 10,
+        };
+        assert!(
+            divergent.to_string().contains("non-terminating"),
+            "{divergent}"
+        );
         assert!(JobError::DeadlineExceeded.to_string().contains("deadline"));
         assert!(JobError::FuelQuotaExceeded { budget: 10 }
             .to_string()

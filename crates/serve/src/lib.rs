@@ -15,6 +15,11 @@
 //! * **Explicit shedding.** Admission is a per-tenant token bucket in front
 //!   of a bounded queue ([`admission`]); overload produces
 //!   [`Rejected::Overloaded`] at submission, never queue collapse.
+//! * **Static admission.** The abstract interpreter's fuel cost report
+//!   (`rcr_minilang::absint`) is consulted at submit time: a job whose
+//!   static fuel *lower bound* provably exceeds its tenant's quota is shed
+//!   as [`Rejected::StaticallyInfeasible`] before it costs a queue slot, a
+//!   compile, or an execution (cached per content hash).
 //! * **Quotas.** Per-tenant fuel *and* memory budgets
 //!   ([`TenantQuota`]) are enforced on every attempt, with byte-identical
 //!   semantics across interpreter and VM tiers (tested in `rcr-minilang`).
@@ -58,5 +63,5 @@ pub use backoff::BackoffPolicy;
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use cache::{CacheStats, ProgramCache};
 pub use job::{JobError, JobSpec, Outcome, Rejected};
-pub use program::{content_hash, ProgramArtifact};
+pub use program::{content_hash, static_fuel_lower_bound, ProgramArtifact};
 pub use service::{JobHandle, MetricsSnapshot, Service, ServiceConfig, TenantQuota};

@@ -11,7 +11,7 @@
 //! distinct source, deduplicated by the single-flight cache.
 
 use rcr_minilang::bytecode::{Compiled, CompiledFn};
-use rcr_minilang::{bytecode, optimize, parser, peephole, Error, Value};
+use rcr_minilang::{absint, bytecode, optimize, parser, peephole, Error, Value};
 
 /// A scalar or string constant — the only value kinds a compiled constant
 /// pool can contain (array literals compile to construction opcodes).
@@ -76,7 +76,12 @@ impl ProgramArtifact {
         let program = parser::parse(source)?;
         let optimized = optimize::optimize(&program);
         let compiled = bytecode::compile(&optimized)?;
-        let fused = peephole::optimize(&compiled);
+        // Abstract-interpretation type facts widen the float-array proof
+        // (function returns count as producers), so strictly more indexing
+        // sites fuse than the syntactic scan alone would prove.
+        let facts = absint::analyze(&optimized).facts;
+        let fused =
+            peephole::optimize_with_facts(&compiled, peephole::Options::default(), Some(&facts));
         Ok(ProgramArtifact {
             funcs: fused
                 .funcs
@@ -125,6 +130,18 @@ const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ProgramArtifact>();
 };
+
+/// Static fuel lower bound of `source` from the abstract interpreter's
+/// cost fixpoint, on the same optimized AST [`ProgramArtifact::compile`]
+/// feeds the VM. `None` when the source does not parse — admission then
+/// passes the job through so the compile stage reports the error with its
+/// usual typed outcome. A result of `u64::MAX` marks a provably
+/// non-terminating program.
+pub fn static_fuel_lower_bound(source: &str) -> Option<u64> {
+    let program = parser::parse(source).ok()?;
+    let optimized = optimize::optimize(&program);
+    Some(absint::analyze(&optimized).cost.program.lo)
+}
 
 /// FNV-1a 64-bit content hash of a source text — the program-cache key.
 /// Stable across runs and platforms (pure function of the bytes).

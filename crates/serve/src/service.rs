@@ -5,17 +5,22 @@
 //! # Life of a job
 //!
 //! ```text
-//! submit ──▶ tenant bucket ──▶ breaker ──▶ bounded queue ──▶ executor
-//!               │ empty          │ open        │ full            │
-//!               ▼                ▼             ▼                 ▼
-//!           Overloaded      CircuitOpen    Overloaded     attempt loop:
-//!                                                         fault? retry w/
-//!                                                         backoff; fuel-
-//!                                                         sliced deadline
-//!                                                             │
-//!                                                             ▼
-//!                                                  Completed | Failed(typed)
+//! submit ─▶ static cost ─▶ tenant bucket ─▶ breaker ─▶ bounded queue ─▶ executor
+//!             │ lo>quota       │ empty         │ open       │ full          │
+//!             ▼                ▼               ▼            ▼               ▼
+//!       Statically-        Overloaded     CircuitOpen   Overloaded    attempt loop:
+//!       Infeasible                                                    fault? retry w/
+//!                                                                    backoff; fuel-
+//!                                                                    sliced deadline
+//!                                                                         │
+//!                                                                         ▼
+//!                                                              Completed | Failed(typed)
 //! ```
+//!
+//! The static-cost stage is the abstract interpreter's fuel lower bound
+//! (`rcr_minilang::absint`), cached per content hash: a job it sheds could
+//! only ever have ended in `FuelQuotaExceeded`, so rejecting it costs zero
+//! queue/compile/execute work ([`Rejected::StaticallyInfeasible`]).
 //!
 //! # Why every handle resolves (liveness)
 //!
@@ -34,6 +39,7 @@
 //! terminal outcome to its tenant's circuit breaker exactly once, which is
 //! what lets a half-open breaker always eventually learn its probe's fate.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
@@ -49,7 +55,7 @@ use crate::backoff::BackoffPolicy;
 use crate::breaker::{BreakerState, CircuitBreaker};
 use crate::cache::{CacheStats, ProgramCache};
 use crate::job::{JobError, JobSpec, Outcome, Rejected};
-use crate::program::ProgramArtifact;
+use crate::program::{self, ProgramArtifact};
 
 /// Per-tenant execution quotas, enforced on every attempt of every job.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -99,6 +105,12 @@ pub struct ServiceConfig {
     /// smaller slice preempts runaway scripts sooner at the cost of
     /// re-running short prefixes.
     pub fuel_slice: u64,
+    /// Static admission: consult the abstract interpreter's fuel cost
+    /// report at submit time and shed jobs whose static fuel *lower bound*
+    /// already exceeds the tenant's quota
+    /// ([`Rejected::StaticallyInfeasible`]) before any queue, compile, or
+    /// execute cost is paid. Analysis results are cached by content hash.
+    pub static_admission: bool,
 }
 
 impl Default for ServiceConfig {
@@ -120,6 +132,7 @@ impl Default for ServiceConfig {
             },
             faults: FaultPlan::none(0x5EED),
             fuel_slice: 50_000,
+            static_admission: true,
         }
     }
 }
@@ -147,6 +160,10 @@ pub struct MetricsSnapshot {
     pub rejected_unknown_tenant: u64,
     /// Submissions rejected because the service was shutting down.
     pub rejected_shutting_down: u64,
+    /// Submissions shed at static admission: the program's static fuel
+    /// lower bound provably exceeds the tenant quota
+    /// ([`Rejected::StaticallyInfeasible`]).
+    pub rejected_statically_infeasible: u64,
     /// Retry attempts launched after transient faults.
     pub retries: u64,
 }
@@ -162,6 +179,7 @@ struct MetricsCells {
     rejected_circuit_open: AtomicU64,
     rejected_unknown_tenant: AtomicU64,
     rejected_shutting_down: AtomicU64,
+    rejected_statically_infeasible: AtomicU64,
     retries: AtomicU64,
 }
 
@@ -177,6 +195,9 @@ impl MetricsCells {
             rejected_circuit_open: self.rejected_circuit_open.load(Ordering::Relaxed),
             rejected_unknown_tenant: self.rejected_unknown_tenant.load(Ordering::Relaxed),
             rejected_shutting_down: self.rejected_shutting_down.load(Ordering::Relaxed),
+            rejected_statically_infeasible: self
+                .rejected_statically_infeasible
+                .load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
         }
     }
@@ -287,6 +308,9 @@ struct Inner {
     tenants: Vec<Mutex<TenantState>>,
     queue: BoundedQueue<QueuedJob>,
     cache: ProgramCache,
+    /// Static fuel lower bounds by content hash (`None` = unparseable, so
+    /// admission passes the job through for a typed compile error).
+    static_costs: Mutex<HashMap<u64, Option<u64>>>,
     pool: &'static Pool,
     shutting_down: AtomicBool,
     next_id: AtomicU64,
@@ -298,6 +322,22 @@ impl Inner {
     /// on.
     fn now(&self) -> f64 {
         self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Cached static fuel lower bound of `source` (see
+    /// [`program::static_fuel_lower_bound`]). One analysis per distinct
+    /// source text, keyed by content hash.
+    fn static_fuel_lo(&self, source: &str) -> Option<u64> {
+        let key = program::content_hash(source);
+        if let Some(cached) = self.static_costs.lock().unwrap().get(&key) {
+            return *cached;
+        }
+        // Analyze outside the lock: admission stays cheap for concurrent
+        // submitters of already-seen programs, and a duplicate analysis of
+        // a brand-new program is deterministic, so last-write-wins is fine.
+        let lo = program::static_fuel_lower_bound(source);
+        self.static_costs.lock().unwrap().insert(key, lo);
+        lo
     }
 }
 
@@ -338,6 +378,7 @@ impl Service {
             tenants,
             queue: BoundedQueue::new(config.queue_capacity),
             cache: ProgramCache::new(),
+            static_costs: Mutex::new(HashMap::new()),
             pool: pool::sized(config.executors),
             shutting_down: AtomicBool::new(false),
             next_id: AtomicU64::new(0),
@@ -378,6 +419,26 @@ impl Service {
                 .rejected_unknown_tenant
                 .fetch_add(1, Ordering::Relaxed);
             return Err(Rejected::UnknownTenant);
+        }
+        // Static admission: a job whose static fuel lower bound already
+        // exceeds the tenant quota can only end in FuelQuotaExceeded, so
+        // shed it here — before it costs a token, a queue slot, a compile,
+        // or an execution. Runs before the tenant lock; it touches no
+        // per-tenant state.
+        if inner.config.static_admission {
+            let budget = inner.config.tenants[spec.tenant].fuel;
+            if let Some(lo) = inner.static_fuel_lo(&spec.source) {
+                if lo > budget {
+                    inner
+                        .metrics
+                        .rejected_statically_infeasible
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Err(Rejected::StaticallyInfeasible {
+                        required: lo,
+                        budget,
+                    });
+                }
+            }
         }
 
         let now = inner.now();
@@ -744,6 +805,9 @@ mod tests {
     #[test]
     fn fuel_and_memory_quotas_produce_typed_failures() {
         let mut config = quick_config();
+        // This test exercises the *runtime* quota enforcement; static
+        // admission would shed the spin job before it ever ran.
+        config.static_admission = false;
         config.tenants = vec![
             TenantQuota {
                 fuel: 1_000,
@@ -1007,6 +1071,79 @@ mod tests {
         assert_eq!(m.completed + m.failed + m.cancelled, m.admitted);
         // Shutdown is idempotent.
         service.shutdown();
+    }
+
+    #[test]
+    fn statically_infeasible_jobs_shed_before_queue_and_compile() {
+        let mut config = quick_config();
+        config.tenants = vec![
+            TenantQuota {
+                fuel: 1_000,
+                memory: 1 << 20,
+            },
+            TenantQuota::default(),
+        ];
+        let service = Service::new(config);
+        // Static lower bound ≈ 2·10⁴ ≫ 1 000: provably infeasible for
+        // tenant 0, comfortably feasible (and fast) for tenant 1.
+        let spin = "let s = 0; for i in range(0, 10000) { s = s + i; } s";
+        match service.submit(JobSpec::new(0, spin)) {
+            Err(Rejected::StaticallyInfeasible { required, budget }) => {
+                assert!(required >= 20_000, "{required}");
+                assert_eq!(budget, 1_000);
+            }
+            other => panic!("expected static shed, got {other:?}"),
+        }
+        // Zero downstream cost: nothing admitted, nothing compiled.
+        let m = service.metrics();
+        assert_eq!(m.admitted, 0);
+        assert_eq!(m.rejected_statically_infeasible, 1);
+        assert_eq!(service.cache_stats().misses, 0);
+        // The same source is feasible under tenant 1's default quota.
+        let ok = service.submit(JobSpec::new(1, spin)).unwrap();
+        assert!(ok.wait().is_completed());
+        // A provably non-terminating program is shed for *any* finite
+        // quota, reported as `required = u64::MAX`.
+        match service.submit(JobSpec::new(1, "while true { let x = 1; x; }")) {
+            Err(Rejected::StaticallyInfeasible { required, .. }) => {
+                assert_eq!(required, u64::MAX);
+            }
+            other => panic!("expected divergence shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn static_admission_passes_unparseable_and_feasible_jobs_through() {
+        let service = Service::new(quick_config());
+        // Unparseable source is not shed statically: the compile stage owns
+        // that failure and reports it with its usual typed outcome.
+        let bad = service.submit(JobSpec::new(0, "let = ;")).unwrap();
+        assert!(matches!(bad.wait(), Outcome::Failed(JobError::Compile(_))));
+        // A cheap feasible job sails through with admission on.
+        let ok = service.submit(JobSpec::new(0, "40 + 2")).unwrap();
+        match ok.wait() {
+            Outcome::Completed { output, .. } => assert_eq!(output, "42"),
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+        assert_eq!(service.metrics().rejected_statically_infeasible, 0);
+    }
+
+    #[test]
+    fn static_admission_off_falls_back_to_runtime_enforcement() {
+        let mut config = quick_config();
+        config.static_admission = false;
+        config.tenants = vec![TenantQuota {
+            fuel: 1_000,
+            memory: 1 << 20,
+        }];
+        let service = Service::new(config);
+        let spin = "let s = 0; for i in range(0, 1000000) { s = s + i; } s";
+        let handle = service.submit(JobSpec::new(0, spin)).unwrap();
+        assert_eq!(
+            handle.wait(),
+            Outcome::Failed(JobError::FuelQuotaExceeded { budget: 1_000 })
+        );
+        assert_eq!(service.metrics().rejected_statically_infeasible, 0);
     }
 
     #[test]

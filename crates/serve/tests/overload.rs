@@ -31,6 +31,7 @@ fn base_config() -> ServiceConfig {
         },
         faults: FaultPlan::none(0xE19),
         fuel_slice: 100_000,
+        static_admission: true,
     }
 }
 

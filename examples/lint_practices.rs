@@ -1,6 +1,6 @@
 //! Static analysis as a software-engineering practice: runs `rsc --check`'s
 //! analyzer over a deliberately sloppy script corpus — one snippet per
-//! warning code W001–W008 — then sets the result against the paper's E7
+//! warning code W001–W012 — then sets the result against the paper's E7
 //! practice-adoption table (Table 4), where linting sits alongside testing
 //! and code review among the practices research code mostly lacks.
 //!
@@ -28,6 +28,10 @@ const SLOPPY: &[(&str, &str)] = &[
     ("bad_call.rsc", "let v = sqrt(4, 2);\nv"),
     ("shadow.rsc", "let x = 1;\n{\n  let x = 2;\n  x;\n}\nx"),
     ("div_zero.rsc", "let n = 10;\nn / (1 - 1)"),
+    ("off_end.rsc", "let a = zeros(4);\na[10]"),
+    ("str_math.rsc", "let s = \"x\";\ns * 2"),
+    ("neg_sqrt.rsc", "let n = 0 - 1;\nsqrt(n)"),
+    ("spin.rsc", "let i = 0;\nwhile i < 10 {\n  i;\n}\ni"),
 ];
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -46,7 +46,7 @@ fn perf_study_scripts_lint_clean() {
 #[test]
 fn every_code_fires_on_its_minimal_trigger() {
     // The minimal triggering examples documented in the minilang README.
-    let triggers: [(Code, &str); 8] = [
+    let triggers: [(Code, &str); 12] = [
         (Code::UndefinedVariable, "let a = 1; a + typo"),
         (Code::UseBeforeAssignment, "acc = acc + 1; let acc = 0; acc"),
         (Code::Unused, "let x = 1; 2"),
@@ -54,7 +54,11 @@ fn every_code_fires_on_its_minimal_trigger() {
         (Code::ConstantCondition, "while true { let a = 1; a; }"),
         (Code::ArityMismatch, "sqrt(1, 2)"),
         (Code::Shadowing, "let x = 1; { let x = 2; x; } x"),
-        (Code::DivisionByZero, "let n = 1; n / 0"),
+        (Code::DivisionByZero, "let n = 1; let d = 0; n / d"),
+        (Code::ProvableOutOfBounds, "let a = zeros(4); a[10]"),
+        (Code::TypeConfusion, "let s = \"x\"; s * 2"),
+        (Code::NumericDomain, "let n = 0 - 1; sqrt(n)"),
+        (Code::NonTerminatingLoop, "let i = 0; while i < 10 { i; }"),
     ];
     for (code, src) in triggers {
         let diags = lint::lint_source(src).expect("trigger parses");
