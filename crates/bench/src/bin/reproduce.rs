@@ -3,12 +3,16 @@
 //! ```text
 //! reproduce [EXPERIMENT ...] [--quick] [--out DIR]
 //!
-//!   EXPERIMENT   e1..e20 (default: all)
+//!   EXPERIMENT   e1..e21 (default: all)
 //!   --quick      reduced sizes for the timing experiments (CI-friendly;
 //!                --smoke is an alias)
 //!   --out DIR    write tables (.txt/.csv) and figures (.svg) to DIR
 //!                (default: print tables to stdout only)
 //! ```
+//!
+//! With `--out`, the timing experiments (e16..e21) additionally emit a
+//! machine-readable `BENCH_<ID>.json` summary (host info, headline
+//! metrics, determinism checksum) for run-over-run tracking.
 //!
 //! `RCR_THREADS` overrides the worker-thread count used by every parallel
 //! tier (see `rcr_kernels::par::default_threads`), and `RCR_TILE` the
@@ -18,7 +22,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use rcr_bench::render;
+use rcr_bench::{render, summary};
 use rcr_core::experiments::{Experiments, INDEX};
 use rcr_core::perfgap::GapConfig;
 use rcr_core::MASTER_SEED;
@@ -45,7 +49,7 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--help" | "-h" => {
-                return Err("usage: reproduce [e1..e20 ...] [--quick] [--out DIR]".to_owned())
+                return Err("usage: reproduce [e1..e21 ...] [--quick] [--out DIR]".to_owned())
             }
             e if e.starts_with('e') || e.starts_with('E') => {
                 which.push(e.to_lowercase());
@@ -94,6 +98,19 @@ impl Emitter {
             write_file(dir, &format!("{id}_{name}.json"), &payload);
         }
     }
+
+    fn bench(&self, s: &summary::BenchSummary) {
+        if let Some(dir) = &self.out {
+            let payload = serde_json::to_string_pretty(s).expect("bench summaries serialize");
+            write_file(dir, &format!("BENCH_{}.json", s.experiment), &payload);
+            println!(
+                "[wrote BENCH_{}.json: {} metrics, checksum {}]\n",
+                s.experiment,
+                s.metrics.len(),
+                s.checksum
+            );
+        }
+    }
 }
 
 fn write_file(dir: &Path, name: &str, contents: &str) {
@@ -133,7 +150,7 @@ fn main() {
         match info {
             Some(i) => println!("== {} ({}): {} ==\n", i.id, i.artifact, i.title),
             None => {
-                eprintln!("unknown experiment `{id}` (expected e1..e20)");
+                eprintln!("unknown experiment `{id}` (expected e1..e21)");
                 std::process::exit(2);
             }
         }
@@ -262,24 +279,28 @@ fn run_one(
             emit.table("e16", "gap_closure", &render::e16_table(&closures));
             emit.figure("e16", "gap_closure", &render::e16_figure(&closures));
             emit.json("e16", "gap_closure", &closures);
+            emit.bench(&summary::summarize_e16(gap_config.quick, &closures));
         }
         "e17" => {
             let points = ex.e17_sched_ablation(gap_config)?;
             emit.table("e17", "scheduler_ablation", &render::e17_table(&points));
             emit.figure("e17", "scheduler_ablation", &render::e17_figure(&points));
             emit.json("e17", "scheduler_ablation", &points);
+            emit.bench(&summary::summarize_e17(gap_config.quick, &points));
         }
         "e18" => {
             let points = ex.e18_memory(gap_config)?;
             emit.table("e18", "memory", &render::e18_table(&points));
             emit.figure("e18", "memory", &render::e18_figure(&points));
             emit.json("e18", "memory", &points);
+            emit.bench(&summary::summarize_e18(gap_config.quick, &points));
         }
         "e19" => {
             let points = ex.e19_serve(gap_config)?;
             emit.table("e19", "serve", &render::e19_table(&points));
             emit.figure("e19", "serve", &render::e19_figure(&points));
             emit.json("e19", "serve", &points);
+            emit.bench(&summary::summarize_e19(gap_config.quick, &points));
         }
         "e20" => {
             let study = ex.e20_absint(if gap_config.quick { 8 } else { 24 })?;
@@ -287,6 +308,14 @@ fn run_one(
             emit.table("e20", "admission", &render::e20_admission_table(&study));
             emit.figure("e20", "absint", &render::e20_figure(&study));
             emit.json("e20", "absint", &study);
+            emit.bench(&summary::summarize_e20(gap_config.quick, &study));
+        }
+        "e21" => {
+            let points = ex.e21_colstudy(gap_config)?;
+            emit.table("e21", "columnar", &render::e21_table(&points));
+            emit.figure("e21", "columnar", &render::e21_figure(&points));
+            emit.json("e21", "columnar", &points);
+            emit.bench(&summary::summarize_e21(gap_config.quick, &points));
         }
         other => unreachable!("validated above: {other}"),
     }

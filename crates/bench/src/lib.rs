@@ -9,3 +9,4 @@
 #![warn(missing_docs)]
 
 pub mod render;
+pub mod summary;

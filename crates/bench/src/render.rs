@@ -1,6 +1,7 @@
 //! Rendering experiment outputs into paper-style tables and SVG figures.
 
 use rcr_core::absintstudy::AbsintStudy;
+use rcr_core::colstudy::ColPoint;
 use rcr_core::compare::{DistributionShift, FieldAdoption, ItemShift, LikertShift};
 use rcr_core::experiments::{Demographics, LoadPoint, PolicyOutcome, ResiliencePoint};
 use rcr_core::lintstudy::LintStudy;
@@ -820,6 +821,48 @@ pub fn e20_figure(study: &AbsintStudy) -> String {
     )
 }
 
+/// E21: Figure 11 data — the columnar scaling study, one row per
+/// (population size, tier) cell.
+pub fn e21_table(points: &[ColPoint]) -> Table {
+    let mut t = Table::new(["rows", "tier", "median", "Mrows/s", "vs row", "checksum"]).title(
+        "Figure 11 data: columnar analytics throughput by population size and tier".to_owned(),
+    );
+    for p in points {
+        t.row([
+            p.rows.to_string(),
+            p.tier.clone(),
+            fmt::duration_s(p.median_s),
+            format!("{:.2}", p.rows_per_s / 1e6),
+            fmt::speedup(p.speedup_vs_row),
+            format!("{:016x}", p.checksum),
+        ]);
+    }
+    t
+}
+
+/// E21: Figure 11 — rows/sec vs population size, one line per tier
+/// (log–log, so constant-throughput tiers are flat and the row engine's
+/// fall-off is visible).
+pub fn e21_figure(points: &[ColPoint]) -> String {
+    let mut series: Vec<Series> = Vec::new();
+    for tier in rcr_core::colstudy::TIERS {
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|p| p.tier == tier)
+            .map(|p| ((p.rows as f64).log10(), p.rows_per_s.log10()))
+            .collect();
+        if !pts.is_empty() {
+            series.push(Series::new(tier, pts));
+        }
+    }
+    svg::line_chart(
+        "Figure 11: survey-analytics throughput vs population size",
+        "log10(rows)",
+        "log10(rows/s)",
+        &series,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1000,5 +1043,18 @@ mod tests {
     fn ws_label_picks_sensible_units() {
         assert_eq!(ws_label(24 << 10), "24 KiB");
         assert_eq!(ws_label(96 << 20), "96.0 MiB");
+    }
+
+    #[test]
+    fn columnar_study_outputs_render() {
+        let points = ex().e21_colstudy(&GapConfig::quick()).unwrap();
+        let t = e21_table(&points);
+        assert_eq!(t.n_rows(), 8);
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("columnar+simd") && ascii.contains("Mrows/s"));
+        assert!(ascii.contains("vs row"));
+        let fig = e21_figure(&points);
+        assert!(fig.contains("<svg") && fig.contains("columnar+parallel"));
+        assert!(fig.contains("population size"));
     }
 }

@@ -1,0 +1,292 @@
+//! Machine-readable run summaries (`BENCH_<ID>.json`).
+//!
+//! Every timing experiment the `reproduce` binary runs with `--out` also
+//! emits one small JSON file per experiment: the host it ran on, the
+//! handful of headline metrics a reader would paste into a tracking
+//! sheet, and a determinism checksum folded over the metric bits.
+//! Successive runs on the same host can be diffed mechanically; runs on
+//! different hosts carry enough context to explain their numbers.
+
+use serde::Serialize;
+
+use rcr_core::colstudy::ColPoint;
+use rcr_core::memstudy::MemPoint;
+use rcr_core::perfgap::GapClosure;
+use rcr_core::schedstudy::SchedPoint;
+use rcr_core::servestudy::ServePoint;
+
+/// The machine a summary was measured on, plus the tuning environment
+/// variables that change the numbers.
+#[derive(Debug, Clone, Serialize)]
+pub struct HostInfo {
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// `std::thread::available_parallelism()` (1 when unknown).
+    pub available_parallelism: usize,
+    /// `RCR_THREADS` if set (overrides every parallel tier's workers).
+    pub rcr_threads: Option<String>,
+    /// `RCR_TILE` if set (overrides the packed-matmul tile).
+    pub rcr_tile: Option<String>,
+}
+
+impl HostInfo {
+    /// Captures the current host.
+    pub fn capture() -> Self {
+        HostInfo {
+            os: std::env::consts::OS.to_owned(),
+            arch: std::env::consts::ARCH.to_owned(),
+            available_parallelism: std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            rcr_threads: std::env::var("RCR_THREADS").ok(),
+            rcr_tile: std::env::var("RCR_TILE").ok(),
+        }
+    }
+}
+
+/// One named metric of a summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct Metric {
+    /// Stable metric name, e.g. `"rows_per_s/1000000/columnar+simd"`.
+    pub name: String,
+    /// Metric value.
+    pub value: f64,
+    /// Unit label, e.g. `"rows/s"`.
+    pub unit: &'static str,
+}
+
+/// One experiment run's machine-readable summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchSummary {
+    /// Experiment id, e.g. `"E21"`.
+    pub experiment: String,
+    /// Paper artifact, e.g. `"Figure 11"`.
+    pub artifact: String,
+    /// Experiment title.
+    pub title: String,
+    /// Whether the run used `--quick` sizes.
+    pub quick: bool,
+    /// Host the numbers were measured on.
+    pub host: HostInfo,
+    /// Headline metrics.
+    pub metrics: Vec<Metric>,
+    /// Hex digest folded over every metric name and value bit pattern —
+    /// two runs with identical metrics have identical checksums.
+    pub checksum: String,
+}
+
+impl BenchSummary {
+    /// Starts an empty summary for one experiment.
+    pub fn new(experiment: &str, artifact: &str, title: &str, quick: bool) -> Self {
+        BenchSummary {
+            experiment: experiment.to_owned(),
+            artifact: artifact.to_owned(),
+            title: title.to_owned(),
+            quick,
+            host: HostInfo::capture(),
+            metrics: Vec::new(),
+            checksum: String::new(),
+        }
+    }
+
+    /// Appends one metric.
+    pub fn push(&mut self, name: impl Into<String>, value: f64, unit: &'static str) {
+        self.metrics.push(Metric {
+            name: name.into(),
+            value,
+            unit,
+        });
+    }
+
+    /// Seals the summary: computes the checksum over the metrics.
+    pub fn finish(mut self) -> Self {
+        let mut h = 0xBEAC_0000u64 ^ self.experiment.len() as u64;
+        for m in &self.metrics {
+            for b in m.name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01B3);
+            }
+            h = (h ^ m.value.to_bits()).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+        self.checksum = format!("{h:016x}");
+        self
+    }
+}
+
+/// E16 metrics: per (kernel, size), the fused-VM speedup and the fraction
+/// of the VM→native gap it closes.
+pub fn summarize_e16(quick: bool, rows: &[GapClosure]) -> BenchSummary {
+    let mut s = BenchSummary::new("E16", "Table 9", "Superinstruction VM gap closure", quick);
+    for r in rows {
+        s.push(format!("speedup/{}/{}", r.kernel, r.size), r.speedup, "x");
+        s.push(
+            format!("closure/{}/{}", r.kernel, r.size),
+            r.closure_frac,
+            "frac",
+        );
+    }
+    s.finish()
+}
+
+/// E17 metrics: per (workload, scheduler), the per-call cost.
+pub fn summarize_e17(quick: bool, rows: &[SchedPoint]) -> BenchSummary {
+    let mut s = BenchSummary::new(
+        "E17",
+        "Figure 8",
+        "Scheduler ablation: spawn-per-call vs persistent work-stealing",
+        quick,
+    );
+    for r in rows {
+        s.push(
+            format!("per_call_us/{}/{}", r.workload, r.scheduler),
+            r.per_call_us,
+            "us",
+        );
+    }
+    s.finish()
+}
+
+/// E18 metrics: per (kernel, tier), the DRAM-level effective bandwidth —
+/// the converged ceiling the figure is about.
+pub fn summarize_e18(quick: bool, rows: &[MemPoint]) -> BenchSummary {
+    let mut s = BenchSummary::new(
+        "E18",
+        "Figure 9",
+        "Memory-hierarchy sweep: kernel tiers from L1 to DRAM",
+        quick,
+    );
+    for r in rows.iter().filter(|r| r.level == "DRAM") {
+        s.push(format!("dram_gbps/{}/{}", r.kernel, r.tier), r.gbps, "GB/s");
+    }
+    s.finish()
+}
+
+/// E19 metrics: per (fault level, offered multiplier), sustained
+/// throughput and completed-job p99.
+pub fn summarize_e19(quick: bool, rows: &[ServePoint]) -> BenchSummary {
+    let mut s = BenchSummary::new(
+        "E19",
+        "Figure 10",
+        "Serving under overload: shedding, deadlines, and fault recovery",
+        quick,
+    );
+    for r in rows {
+        s.push(
+            format!("sustained_jps/{}/{}x", r.fault_level, r.offered_multiplier),
+            r.sustained_jps,
+            "jobs/s",
+        );
+        s.push(
+            format!("p99_ms/{}/{}x", r.fault_level, r.offered_multiplier),
+            r.p99_ms,
+            "ms",
+        );
+    }
+    s.finish()
+}
+
+/// E20 metrics: the false-positive rate and per-class detection rates.
+pub fn summarize_e20(quick: bool, study: &rcr_core::absintstudy::AbsintStudy) -> BenchSummary {
+    let mut s = BenchSummary::new(
+        "E20",
+        "Table 10",
+        "Abstract interpretation: proofs, defect detection, static admission",
+        quick,
+    );
+    s.push("false_positive_rate", study.false_positive_rate, "frac");
+    for c in &study.classes {
+        s.push(format!("detection/{}", c.class), c.detection_rate, "frac");
+    }
+    s.finish()
+}
+
+/// E21 metrics: per (population size, tier), rows scanned per second,
+/// plus the per-size speedup of the best columnar tier over the row
+/// engine.
+pub fn summarize_e21(quick: bool, rows: &[ColPoint]) -> BenchSummary {
+    let mut s = BenchSummary::new(
+        "E21",
+        "Figure 11",
+        "Columnar analytics: rows/sec vs population size and tier",
+        quick,
+    );
+    for r in rows {
+        s.push(
+            format!("rows_per_s/{}/{}", r.rows, r.tier),
+            r.rows_per_s,
+            "rows/s",
+        );
+    }
+    let sizes: Vec<usize> = {
+        let mut v: Vec<usize> = rows.iter().map(|r| r.rows).collect();
+        v.dedup();
+        v
+    };
+    for n in sizes {
+        let best = rows
+            .iter()
+            .filter(|r| r.rows == n && r.tier != "row")
+            .map(|r| r.speedup_vs_row)
+            .fold(0.0f64, f64::max);
+        s.push(format!("best_speedup_vs_row/{n}"), best, "x");
+    }
+    s.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_tracks_metrics() {
+        let mut a = BenchSummary::new("E21", "Figure 11", "t", true);
+        a.push("m", 1.5, "x");
+        let a = a.finish();
+        let mut b = BenchSummary::new("E21", "Figure 11", "t", true);
+        b.push("m", 1.5, "x");
+        let b = b.finish();
+        assert_eq!(a.checksum, b.checksum);
+        let mut c = BenchSummary::new("E21", "Figure 11", "t", true);
+        c.push("m", 2.5, "x");
+        let c = c.finish();
+        assert_ne!(a.checksum, c.checksum);
+        assert_eq!(a.checksum.len(), 16);
+    }
+
+    #[test]
+    fn e21_summary_names_sizes_and_tiers() {
+        let rows = vec![
+            ColPoint {
+                rows: 1000,
+                tier: "row".into(),
+                median_s: 0.1,
+                rows_per_s: 4e4,
+                speedup_vs_row: 1.0,
+                checksum: 7,
+                verified: true,
+            },
+            ColPoint {
+                rows: 1000,
+                tier: "columnar".into(),
+                median_s: 0.01,
+                rows_per_s: 4e5,
+                speedup_vs_row: 10.0,
+                checksum: 7,
+                verified: true,
+            },
+        ];
+        let s = summarize_e21(true, &rows);
+        assert!(s
+            .metrics
+            .iter()
+            .any(|m| m.name == "rows_per_s/1000/columnar"));
+        let best = s
+            .metrics
+            .iter()
+            .find(|m| m.name == "best_speedup_vs_row/1000")
+            .expect("speedup metric");
+        assert!((best.value - 10.0).abs() < 1e-12);
+        assert!(!s.checksum.is_empty());
+    }
+}

@@ -1,6 +1,11 @@
-//! The experiment registry: one driver per table/figure (E1–E20), all
+//! The experiment registry: one driver per table/figure (E1–E21), all
 //! deterministic from one master seed. `DESIGN.md` §4 is the index; the
 //! `reproduce` binary and the Criterion benches both call these drivers.
+//!
+//! The survey tabulation experiments (E1–E4, E7, E8) each have a
+//! `*_columnar` companion built on [`rcr_survey::columnar`]; the
+//! companions are bitwise identical to the row drivers (a test below
+//! gates this) and E21 measures the speed difference at scale.
 
 use serde::Serialize;
 
@@ -10,13 +15,16 @@ use rcr_cluster::sched::Policy;
 use rcr_cluster::sim::Simulator;
 use rcr_cluster::workload::{generate_checked, WorkloadSpec};
 use rcr_survey::cohort::Cohort;
+use rcr_survey::columnar::{ColumnarCohort, Engine};
 use rcr_synth::calibration::Wave;
 use rcr_synth::generator::Generator;
 
 use crate::absintstudy::AbsintStudy;
+use crate::colstudy::ColPoint;
 use crate::compare::{
-    compare_likert_battery, compare_multi_choice, distribution_shift, gpu_by_field,
-    DistributionShift, FieldAdoption, ItemShift, LikertShift,
+    compare_likert_battery, compare_multi_choice, compare_multi_choice_columnar,
+    distribution_shift, gpu_by_field, gpu_by_field_columnar, DistributionShift, FieldAdoption,
+    ItemShift, LikertShift,
 };
 use crate::lintstudy::{run_study, LintStudy};
 use crate::memstudy::MemPoint;
@@ -26,7 +34,7 @@ use crate::perfgap::{
 use crate::questionnaire as q;
 use crate::schedstudy::SchedPoint;
 use crate::servestudy::ServePoint;
-use crate::trend::{language_trends, LanguageTrend};
+use crate::trend::{language_trends, language_trends_columnar, LanguageTrend};
 use crate::Result;
 
 /// Metadata for one experiment.
@@ -41,7 +49,7 @@ pub struct ExperimentInfo {
 }
 
 /// The experiment index (matches `DESIGN.md` §4).
-pub const INDEX: [ExperimentInfo; 20] = [
+pub const INDEX: [ExperimentInfo; 21] = [
     ExperimentInfo {
         id: "E1",
         artifact: "Table 1",
@@ -141,6 +149,11 @@ pub const INDEX: [ExperimentInfo; 20] = [
         id: "E20",
         artifact: "Table 10",
         title: "Abstract interpretation: proofs, defect detection, static admission",
+    },
+    ExperimentInfo {
+        id: "E21",
+        artifact: "Figure 11",
+        title: "Columnar analytics: rows/sec vs population size and tier",
     },
 ];
 
@@ -242,6 +255,18 @@ impl Experiments {
         )
     }
 
+    /// The same two cohorts in columnar form, emitted straight into columns
+    /// by the streaming generator — identical data to
+    /// [`Experiments::cohorts`] (same RNG streams, same draws), no
+    /// intermediate `Response` structs.
+    pub fn columnar_cohorts(&self) -> (ColumnarCohort, ColumnarCohort) {
+        let g = Generator::new(self.seed);
+        (
+            g.columnar_cohort(Wave::Y2011, Wave::Y2011.default_n()),
+            g.columnar_cohort(Wave::Y2024, Wave::Y2024.default_n()),
+        )
+    }
+
     /// E1: demographics grid of the 2024 cohort.
     ///
     /// # Errors
@@ -269,6 +294,24 @@ impl Experiments {
         })
     }
 
+    /// E1 on the columnar engine: the field × stage grid is one
+    /// [`Engine::crosstab`] call instead of a per-respondent scan.
+    /// Bitwise identical to [`Experiments::e1_demographics`].
+    ///
+    /// # Errors
+    /// Survey errors (none expected on generated cohorts).
+    pub fn e1_demographics_columnar(&self) -> Result<Demographics> {
+        let (_, after) = self.columnar_cohorts();
+        let ct = Engine::serial().crosstab(&after, q::Q_FIELD, q::Q_STAGE, None)?;
+        Ok(Demographics {
+            fields: ct.row_options,
+            stages: ct.col_options,
+            counts: ct.counts,
+            n: after.n_rows(),
+            mean_completion: after.mean_completion(),
+        })
+    }
+
     /// E2: language usage shift table.
     ///
     /// # Errors
@@ -276,6 +319,15 @@ impl Experiments {
     pub fn e2_language_shift(&self) -> Result<Vec<ItemShift>> {
         let (before, after) = self.cohorts();
         compare_multi_choice(&before, &after, q::Q_LANGS)
+    }
+
+    /// E2 on the columnar engine (bitwise identical).
+    ///
+    /// # Errors
+    /// Survey/statistics errors.
+    pub fn e2_language_shift_columnar(&self) -> Result<Vec<ItemShift>> {
+        let (before, after) = self.columnar_cohorts();
+        compare_multi_choice_columnar(&before, &after, q::Q_LANGS)
     }
 
     /// E2 companion: omnibus shift of the primary-language distribution.
@@ -300,6 +352,20 @@ impl Experiments {
         )
     }
 
+    /// E3 on the columnar engine: the yearly cohorts stream straight into
+    /// columns and the shares come from bitmap popcounts (bitwise
+    /// identical).
+    ///
+    /// # Errors
+    /// Statistics errors.
+    pub fn e3_language_trends_columnar(&self) -> Result<Vec<LanguageTrend>> {
+        language_trends_columnar(
+            self.seed,
+            400,
+            &["python", "matlab", "fortran", "r", "julia"],
+        )
+    }
+
     /// E4: parallelism usage shift table.
     ///
     /// # Errors
@@ -307,6 +373,15 @@ impl Experiments {
     pub fn e4_parallelism_shift(&self) -> Result<Vec<ItemShift>> {
         let (before, after) = self.cohorts();
         compare_multi_choice(&before, &after, q::Q_PARALLELISM)
+    }
+
+    /// E4 on the columnar engine (bitwise identical).
+    ///
+    /// # Errors
+    /// Survey/statistics errors.
+    pub fn e4_parallelism_shift_columnar(&self) -> Result<Vec<ItemShift>> {
+        let (before, after) = self.columnar_cohorts();
+        compare_multi_choice_columnar(&before, &after, q::Q_PARALLELISM)
     }
 
     /// E5: the interpreted-vs-native performance gap.
@@ -334,6 +409,15 @@ impl Experiments {
         compare_multi_choice(&before, &after, q::Q_PRACTICES)
     }
 
+    /// E7 on the columnar engine (bitwise identical).
+    ///
+    /// # Errors
+    /// Survey/statistics errors.
+    pub fn e7_practice_shift_columnar(&self) -> Result<Vec<ItemShift>> {
+        let (before, after) = self.columnar_cohorts();
+        compare_multi_choice_columnar(&before, &after, q::Q_PRACTICES)
+    }
+
     /// E8: GPU adoption by field in the 2024 cohort.
     ///
     /// # Errors
@@ -341,6 +425,16 @@ impl Experiments {
     pub fn e8_gpu_by_field(&self) -> Result<Vec<FieldAdoption>> {
         let (_, after) = self.cohorts();
         gpu_by_field(&after)
+    }
+
+    /// E8 on the columnar engine: the 2×2 cells per field come from
+    /// bitmap intersections (bitwise identical).
+    ///
+    /// # Errors
+    /// Survey/statistics errors.
+    pub fn e8_gpu_by_field_columnar(&self) -> Result<Vec<FieldAdoption>> {
+        let (_, after) = self.columnar_cohorts();
+        gpu_by_field_columnar(&after)
     }
 
     /// E9: scheduler policy comparison at the canonical workload.
@@ -579,6 +673,18 @@ impl Experiments {
     pub fn e20_absint(&self, n_per_class: usize) -> Result<AbsintStudy> {
         crate::absintstudy::run_study(self.seed, n_per_class)
     }
+
+    /// E21: the columnar analytics scaling study — the four-query survey
+    /// suite on populations from 10⁴ to 10⁷ respondents under the row
+    /// engine and the serial/parallel/SIMD columnar tiers, every cell's
+    /// suite output verified against the row reference before timing (and
+    /// the row tier itself against the `Cohort` API at the smallest size).
+    ///
+    /// # Errors
+    /// [`crate::Error::VerificationFailed`] when a tier's result diverges.
+    pub fn e21_colstudy(&self, config: &GapConfig) -> Result<Vec<ColPoint>> {
+        crate::colstudy::run(self.seed, config)
+    }
 }
 
 #[cfg(test)]
@@ -591,10 +697,10 @@ mod tests {
     }
 
     #[test]
-    fn index_lists_twenty_unique_ids() {
+    fn index_lists_twenty_one_unique_ids() {
         let mut ids: Vec<&str> = INDEX.iter().map(|i| i.id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
         assert_eq!(INDEX[0].id, "E1");
         assert_eq!(INDEX[11].artifact, "Figure 6");
         assert_eq!(INDEX[12].id, "E13");
@@ -612,6 +718,77 @@ mod tests {
         assert_eq!(INDEX[18].artifact, "Figure 10");
         assert_eq!(INDEX[19].id, "E20");
         assert_eq!(INDEX[19].artifact, "Table 10");
+        assert_eq!(INDEX[20].id, "E21");
+        assert_eq!(INDEX[20].artifact, "Figure 11");
+    }
+
+    /// The E21 acceptance gate: every columnar companion driver reproduces
+    /// its row driver bitwise at the canonical cohort sizes.
+    #[test]
+    fn columnar_drivers_match_row_drivers_bitwise() {
+        let e = ex();
+
+        let row = e.e1_demographics().unwrap();
+        let col = e.e1_demographics_columnar().unwrap();
+        assert_eq!(row.fields, col.fields);
+        assert_eq!(row.stages, col.stages);
+        assert_eq!(row.counts, col.counts);
+        assert_eq!(row.n, col.n);
+        assert_eq!(row.mean_completion.to_bits(), col.mean_completion.to_bits());
+
+        let shift_pairs = [
+            (
+                e.e2_language_shift().unwrap(),
+                e.e2_language_shift_columnar().unwrap(),
+            ),
+            (
+                e.e4_parallelism_shift().unwrap(),
+                e.e4_parallelism_shift_columnar().unwrap(),
+            ),
+            (
+                e.e7_practice_shift().unwrap(),
+                e.e7_practice_shift_columnar().unwrap(),
+            ),
+        ];
+        for (row, col) in &shift_pairs {
+            assert_eq!(row.len(), col.len());
+            for (a, b) in row.iter().zip(col) {
+                assert_eq!(a.item, b.item);
+                assert_eq!(
+                    (a.count_before, a.count_after),
+                    (b.count_before, b.count_after)
+                );
+                assert_eq!((a.n_before, a.n_after), (b.n_before, b.n_after));
+                assert_eq!(a.z.to_bits(), b.z.to_bits(), "{}", a.item);
+                assert_eq!(a.p_adj.to_bits(), b.p_adj.to_bits(), "{}", a.item);
+                assert_eq!(a.cohens_h.to_bits(), b.cohens_h.to_bits(), "{}", a.item);
+            }
+        }
+
+        let row = e.e8_gpu_by_field().unwrap();
+        let col = e.e8_gpu_by_field_columnar().unwrap();
+        assert_eq!(row.len(), col.len());
+        for (a, b) in row.iter().zip(&col) {
+            assert_eq!(a.field, b.field);
+            assert_eq!((a.gpu_users, a.n_field), (b.gpu_users, b.n_field));
+            assert_eq!(a.share.to_bits(), b.share.to_bits());
+            assert_eq!(a.p_raw.to_bits(), b.p_raw.to_bits());
+        }
+    }
+
+    /// E3's columnar companion is exercised at a reduced size in
+    /// `crate::trend`'s tests; here we only check the full-size driver
+    /// shape to keep the suite fast.
+    #[test]
+    fn e21_quick_sweep_has_expected_shape() {
+        let points = ex().e21_colstudy(&GapConfig::quick()).unwrap();
+        assert_eq!(points.len(), 8);
+        for p in &points {
+            assert!(p.verified);
+        }
+        for pair in points.chunks(4) {
+            assert!(pair.iter().all(|p| p.checksum == pair[0].checksum));
+        }
     }
 
     #[test]

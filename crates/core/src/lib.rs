@@ -26,7 +26,11 @@
 //! * [`absintstudy`] — the abstract-interpretation study: detection of
 //!   interval/shape/cost defects, proved-fact density over a clean corpus,
 //!   and the static-admission arm of the serving story;
-//! * [`experiments`] — the registry mapping experiment ids E1–E20 to
+//! * [`colstudy`] — the columnar analytics scaling study: the survey
+//!   query suite on 10⁴–10⁷-respondent populations under the row engine
+//!   and the serial/parallel/SIMD columnar tiers, every cell verified
+//!   against the row reference before timing;
+//! * [`experiments`] — the registry mapping experiment ids E1–E21 to
 //!   drivers that regenerate each table and figure (see `DESIGN.md` §4).
 //!
 //! ```
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod absintstudy;
+pub mod colstudy;
 pub mod compare;
 pub mod experiments;
 pub mod lintstudy;

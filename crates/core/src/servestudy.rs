@@ -145,6 +145,7 @@ fn base_config(executors: usize, deadline: Duration) -> ServiceConfig {
         faults: FaultPlan::none(0xE19),
         fuel_slice: 100_000,
         static_admission: true,
+        program_cache_capacity: rcr_serve::PROGRAM_CACHE_CAPACITY,
     }
 }
 

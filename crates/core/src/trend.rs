@@ -6,7 +6,9 @@ use serde::Serialize;
 use rcr_stats::ci::wilson;
 use rcr_stats::regression::ols;
 use rcr_stats::tests::cochran_armitage;
-use rcr_synth::trend::{language_series, yearly_cohorts};
+use rcr_synth::trend::{
+    language_series, language_series_columnar, yearly_cohorts, yearly_columnar_cohorts,
+};
 
 use crate::compare::CI_LEVEL;
 use crate::Result;
@@ -42,36 +44,59 @@ pub fn language_trends(
     languages: &[&str],
 ) -> Result<Vec<LanguageTrend>> {
     let points = yearly_cohorts(seed, n_per_year);
-    let mut out = Vec::with_capacity(languages.len());
-    for &lang in languages {
-        let series = language_series(&points, lang);
-        let mut pts = Vec::with_capacity(series.len());
-        let mut band = Vec::with_capacity(series.len());
-        let mut successes = Vec::with_capacity(series.len());
-        let mut trials = Vec::with_capacity(series.len());
-        for &(year, share, n) in &series {
-            pts.push((year, share));
-            let s = ((share * n as f64).round() as u64).min(n);
-            let ci = wilson(s, n.max(1), CI_LEVEL)?;
-            band.push((ci.lo, ci.hi));
-            successes.push(s);
-            trials.push(n.max(1));
-        }
-        let xs: Vec<f64> = pts.iter().map(|p| f64::from(p.0)).collect();
-        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
-        let fit = ols(&xs, &ys)?;
-        let ca = cochran_armitage(&successes, &trials, &xs)?;
-        out.push(LanguageTrend {
-            language: lang.to_owned(),
-            points: pts,
-            band,
-            slope_per_year: fit.slope,
-            slope_p: fit.slope_p,
-            trend_z: ca.statistic,
-            trend_p: ca.p_value,
-        });
+    languages
+        .iter()
+        .map(|&lang| trend_from_series(lang, &language_series(&points, lang)))
+        .collect()
+}
+
+/// Columnar variant of [`language_trends`]: the yearly cohorts are built by
+/// the streaming columnar generator (identical RNG draws, no `Response`
+/// materialization) and tabulated by the columnar engine, then the same
+/// inference runs on the same counts — the output is bitwise identical.
+///
+/// # Errors
+/// Statistics errors (degenerate regression inputs).
+pub fn language_trends_columnar(
+    seed: u64,
+    n_per_year: usize,
+    languages: &[&str],
+) -> Result<Vec<LanguageTrend>> {
+    let points = yearly_columnar_cohorts(seed, n_per_year);
+    languages
+        .iter()
+        .map(|&lang| trend_from_series(lang, &language_series_columnar(&points, lang)))
+        .collect()
+}
+
+/// Shared inference tail: Wilson bands, the OLS slope, and the
+/// Cochran–Armitage trend test over one `(year, share, n)` series.
+fn trend_from_series(lang: &str, series: &[(u16, f64, u64)]) -> Result<LanguageTrend> {
+    let mut pts = Vec::with_capacity(series.len());
+    let mut band = Vec::with_capacity(series.len());
+    let mut successes = Vec::with_capacity(series.len());
+    let mut trials = Vec::with_capacity(series.len());
+    for &(year, share, n) in series {
+        pts.push((year, share));
+        let s = ((share * n as f64).round() as u64).min(n);
+        let ci = wilson(s, n.max(1), CI_LEVEL)?;
+        band.push((ci.lo, ci.hi));
+        successes.push(s);
+        trials.push(n.max(1));
     }
-    Ok(out)
+    let xs: Vec<f64> = pts.iter().map(|p| f64::from(p.0)).collect();
+    let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+    let fit = ols(&xs, &ys)?;
+    let ca = cochran_armitage(&successes, &trials, &xs)?;
+    Ok(LanguageTrend {
+        language: lang.to_owned(),
+        points: pts,
+        band,
+        slope_per_year: fit.slope,
+        slope_p: fit.slope_p,
+        trend_z: ca.statistic,
+        trend_p: ca.p_value,
+    })
 }
 
 #[cfg(test)]
@@ -125,5 +150,23 @@ mod tests {
         let a = language_trends(1, 80, &["python"]).unwrap();
         let b = language_trends(1, 80, &["python"]).unwrap();
         assert_eq!(a[0].points, b[0].points);
+    }
+
+    #[test]
+    fn columnar_trends_are_bitwise_identical() {
+        let row = language_trends(0xC0FFEE, 90, &["python", "fortran"]).unwrap();
+        let col = language_trends_columnar(0xC0FFEE, 90, &["python", "fortran"]).unwrap();
+        assert_eq!(row.len(), col.len());
+        for (a, b) in row.iter().zip(&col) {
+            assert_eq!(a.language, b.language);
+            assert_eq!(a.points.len(), b.points.len());
+            for ((ya, sa), (yb, sb)) in a.points.iter().zip(&b.points) {
+                assert_eq!(ya, yb);
+                assert_eq!(sa.to_bits(), sb.to_bits());
+            }
+            assert_eq!(a.slope_per_year.to_bits(), b.slope_per_year.to_bits());
+            assert_eq!(a.trend_z.to_bits(), b.trend_z.to_bits());
+            assert_eq!(a.trend_p.to_bits(), b.trend_p.to_bits());
+        }
     }
 }

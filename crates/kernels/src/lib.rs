@@ -33,6 +33,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitmap;
 pub mod dotaxpy;
 pub mod fft;
 pub mod harness;

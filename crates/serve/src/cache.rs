@@ -1,4 +1,5 @@
-//! Content-hash → compiled-program cache with single-flight deduplication.
+//! Content-hash → compiled-program cache with single-flight deduplication
+//! and a bounded LRU footprint.
 //!
 //! Under a compile storm — many tenants submitting the same script at once,
 //! the common case when a course or a batch pipeline fans out one kernel —
@@ -7,6 +8,16 @@
 //! hash parks on a condvar and receives the shared [`ProgramArtifact`].
 //! Deterministic compile *errors* are cached too, so a broken script costs
 //! one compilation, not one per submission.
+//!
+//! The cache is **bounded**: at most [`DEFAULT_CAPACITY`] resolved entries
+//! (configurable via [`ProgramCache::with_capacity`]) are retained, and the
+//! least-recently-used resolved entry is evicted when a new compile pushes
+//! the cache over capacity. In-flight (still-compiling) entries are never
+//! evicted — single-flight deduplication holds even under churn — and every
+//! eviction is counted in [`CacheStats::evictions`]. Eviction scans the map
+//! for the oldest stamp, which is linear in the capacity; that is the right
+//! trade at service cache sizes (hundreds to a few thousand programs),
+//! where a heap would cost more in bookkeeping than the scan.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -16,6 +27,13 @@ use rcr_minilang::Error;
 
 use crate::program::{content_hash, ProgramArtifact};
 
+/// Default bound on resolved cache entries. Compiled artifacts are small
+/// (bytecode plus constants), so the default is sized for "every distinct
+/// program a busy multi-tenant service sees in a session", not for memory
+/// pressure; long-running services with hostile tenants should set an
+/// explicit capacity via [`ProgramCache::with_capacity`].
+pub const DEFAULT_CAPACITY: usize = 1024;
+
 /// State of one cache slot.
 enum Slot {
     /// Some thread is compiling this hash right now; wait on the condvar.
@@ -24,6 +42,18 @@ enum Slot {
     Ready(Arc<ProgramArtifact>),
     /// Compilation failed deterministically.
     Failed(Error),
+}
+
+/// One slot plus its recency stamp (larger = more recently used).
+struct Entry {
+    slot: Slot,
+    stamp: u64,
+}
+
+/// The map and the logical clock it is stamped by, guarded together.
+struct Slots {
+    map: HashMap<u64, Entry>,
+    clock: u64,
 }
 
 /// Cache counters (monotonic, readable at any time).
@@ -36,15 +66,19 @@ pub struct CacheStats {
     /// Requests that parked behind an in-flight compile (single-flight
     /// deduplication at work).
     pub coalesced: u64,
+    /// Resolved entries evicted to keep the cache within capacity.
+    pub evictions: u64,
 }
 
-/// The single-flight program cache.
+/// The single-flight, capacity-bounded program cache.
 pub struct ProgramCache {
-    slots: Mutex<HashMap<u64, Slot>>,
+    slots: Mutex<Slots>,
     done: Condvar,
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for ProgramCache {
@@ -54,20 +88,38 @@ impl Default for ProgramCache {
 }
 
 impl ProgramCache {
-    /// Creates an empty cache.
+    /// Creates an empty cache bounded at [`DEFAULT_CAPACITY`] resolved
+    /// entries.
     pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache retaining at most `capacity` resolved
+    /// entries (clamped to ≥ 1).
+    pub fn with_capacity(capacity: usize) -> Self {
         ProgramCache {
-            slots: Mutex::new(HashMap::new()),
+            slots: Mutex::new(Slots {
+                map: HashMap::new(),
+                clock: 0,
+            }),
             done: Condvar::new(),
+            capacity: capacity.max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The bound on resolved entries this cache was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// Returns the compiled artifact for `source`, compiling at most once
     /// per distinct content hash no matter how many threads ask
-    /// concurrently.
+    /// concurrently. A hit refreshes the entry's recency, so hot programs
+    /// survive churn from one-shot submissions.
     ///
     /// # Errors
     /// The cached deterministic compile [`Error`] for broken sources.
@@ -76,25 +128,37 @@ impl ProgramCache {
         let mut waited = false;
         let mut slots = self.slots.lock().unwrap();
         loop {
-            match slots.get(&key) {
-                Some(Slot::Ready(artifact)) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Arc::clone(artifact));
-                }
-                Some(Slot::Failed(e)) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Err(e.clone());
-                }
-                Some(Slot::Building) => {
-                    // Single-flight: wait for the builder, then re-check.
-                    if !waited {
-                        self.coalesced.fetch_add(1, Ordering::Relaxed);
-                        waited = true;
+            slots.clock += 1;
+            let stamp = slots.clock;
+            match slots.map.get_mut(&key) {
+                Some(entry) => match &entry.slot {
+                    Slot::Ready(artifact) => {
+                        entry.stamp = stamp;
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok(Arc::clone(artifact));
                     }
-                    slots = self.done.wait(slots).unwrap();
-                }
+                    Slot::Failed(e) => {
+                        entry.stamp = stamp;
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Err(e.clone());
+                    }
+                    Slot::Building => {
+                        // Single-flight: wait for the builder, then re-check.
+                        if !waited {
+                            self.coalesced.fetch_add(1, Ordering::Relaxed);
+                            waited = true;
+                        }
+                        slots = self.done.wait(slots).unwrap();
+                    }
+                },
                 None => {
-                    slots.insert(key, Slot::Building);
+                    slots.map.insert(
+                        key,
+                        Entry {
+                            slot: Slot::Building,
+                            stamp,
+                        },
+                    );
                     break;
                 }
             }
@@ -107,20 +171,60 @@ impl ProgramCache {
         let outcome = ProgramArtifact::compile(source);
 
         let mut slots = self.slots.lock().unwrap();
+        slots.clock += 1;
+        let stamp = slots.clock;
         let result = match outcome {
             Ok(artifact) => {
                 let artifact = Arc::new(artifact);
-                slots.insert(key, Slot::Ready(Arc::clone(&artifact)));
+                slots.map.insert(
+                    key,
+                    Entry {
+                        slot: Slot::Ready(Arc::clone(&artifact)),
+                        stamp,
+                    },
+                );
                 Ok(artifact)
             }
             Err(e) => {
-                slots.insert(key, Slot::Failed(e.clone()));
+                slots.map.insert(
+                    key,
+                    Entry {
+                        slot: Slot::Failed(e.clone()),
+                        stamp,
+                    },
+                );
                 Err(e)
             }
         };
+        self.evict_over_capacity(&mut slots);
         drop(slots);
         self.done.notify_all();
         result
+    }
+
+    /// Evicts least-recently-used *resolved* entries until at most
+    /// `capacity` remain. `Building` entries are exempt: evicting one
+    /// would orphan the waiters parked on the condvar.
+    fn evict_over_capacity(&self, slots: &mut Slots) {
+        loop {
+            let resolved = slots
+                .map
+                .values()
+                .filter(|e| !matches!(e.slot, Slot::Building))
+                .count();
+            if resolved <= self.capacity {
+                return;
+            }
+            let victim = slots
+                .map
+                .iter()
+                .filter(|(_, e)| !matches!(e.slot, Slot::Building))
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| *k)
+                .expect("over-capacity cache has a resolved entry");
+            slots.map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Snapshot of the cache counters.
@@ -129,6 +233,7 @@ impl ProgramCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -137,8 +242,9 @@ impl ProgramCache {
         self.slots
             .lock()
             .unwrap()
+            .map
             .values()
-            .filter(|s| !matches!(s, Slot::Building))
+            .filter(|e| !matches!(e.slot, Slot::Building))
             .count()
     }
 
@@ -155,6 +261,7 @@ mod tests {
     #[test]
     fn caches_successes_and_failures() {
         let cache = ProgramCache::new();
+        assert_eq!(cache.capacity(), DEFAULT_CAPACITY);
         let a = cache.get_or_compile("1 + 1").unwrap();
         let b = cache.get_or_compile("1 + 1").unwrap();
         assert!(Arc::ptr_eq(&a, &b), "same artifact instance expected");
@@ -163,6 +270,7 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 2, "{stats:?}");
         assert_eq!(stats.hits, 2, "{stats:?}");
+        assert_eq!(stats.evictions, 0, "{stats:?}");
         assert_eq!(cache.len(), 2);
         assert!(!cache.is_empty());
     }
@@ -193,5 +301,50 @@ mod tests {
         assert_eq!(stats.misses, 4, "{stats:?}");
         assert_eq!(stats.hits + stats.misses, 16 * 8, "{stats:?}");
         assert!(stats.coalesced <= stats.hits, "{stats:?}");
+    }
+
+    #[test]
+    fn churn_never_exceeds_capacity_and_counts_evictions() {
+        let cache = ProgramCache::with_capacity(4);
+        assert_eq!(cache.capacity(), 4);
+        let sources: Vec<String> = (0..20).map(|i| format!("{i} + {i}")).collect();
+        for src in &sources {
+            cache.get_or_compile(src).unwrap();
+            assert!(
+                cache.len() <= 4,
+                "cache grew to {} entries past capacity 4",
+                cache.len()
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 20, "{stats:?}");
+        assert_eq!(stats.evictions, 16, "{stats:?}");
+        assert_eq!(cache.len(), 4);
+
+        // The oldest sources were evicted, so asking again recompiles...
+        cache.get_or_compile(&sources[0]).unwrap();
+        // ...while the newest are still resident and hit.
+        cache.get_or_compile(&sources[19]).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 21, "{stats:?}");
+        assert_eq!(stats.hits, 1, "{stats:?}");
+        assert_eq!(stats.evictions, 17, "{stats:?}");
+    }
+
+    #[test]
+    fn hits_refresh_recency() {
+        let cache = ProgramCache::with_capacity(2);
+        cache.get_or_compile("1 + 1").unwrap();
+        cache.get_or_compile("2 + 2").unwrap();
+        // Touch the older entry, then insert a third: the *untouched*
+        // entry is now least recently used and gets evicted.
+        cache.get_or_compile("1 + 1").unwrap();
+        cache.get_or_compile("3 + 3").unwrap();
+        let before = cache.stats();
+        cache.get_or_compile("1 + 1").unwrap(); // still resident → hit
+        cache.get_or_compile("2 + 2").unwrap(); // evicted → recompile
+        let after = cache.stats();
+        assert_eq!(after.hits, before.hits + 1, "{after:?}");
+        assert_eq!(after.misses, before.misses + 1, "{after:?}");
     }
 }

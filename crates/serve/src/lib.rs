@@ -61,7 +61,7 @@ pub mod service;
 
 pub use backoff::BackoffPolicy;
 pub use breaker::{BreakerState, CircuitBreaker};
-pub use cache::{CacheStats, ProgramCache};
+pub use cache::{CacheStats, ProgramCache, DEFAULT_CAPACITY as PROGRAM_CACHE_CAPACITY};
 pub use job::{JobError, JobSpec, Outcome, Rejected};
 pub use program::{content_hash, static_fuel_lower_bound, ProgramArtifact};
 pub use service::{JobHandle, MetricsSnapshot, Service, ServiceConfig, TenantQuota};

@@ -53,7 +53,7 @@ use rcr_minilang::Error;
 use crate::admission::{BoundedQueue, PushOutcome, TokenBucket};
 use crate::backoff::BackoffPolicy;
 use crate::breaker::{BreakerState, CircuitBreaker};
-use crate::cache::{CacheStats, ProgramCache};
+use crate::cache::{self, CacheStats, ProgramCache};
 use crate::job::{JobError, JobSpec, Outcome, Rejected};
 use crate::program::{self, ProgramArtifact};
 
@@ -111,6 +111,10 @@ pub struct ServiceConfig {
     /// ([`Rejected::StaticallyInfeasible`]) before any queue, compile, or
     /// execute cost is paid. Analysis results are cached by content hash.
     pub static_admission: bool,
+    /// Bound on resolved program-cache entries (LRU eviction past it, see
+    /// [`crate::cache`]); keeps a long-lived service's memory flat even
+    /// when tenants submit an unbounded stream of distinct programs.
+    pub program_cache_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -133,6 +137,7 @@ impl Default for ServiceConfig {
             faults: FaultPlan::none(0x5EED),
             fuel_slice: 50_000,
             static_admission: true,
+            program_cache_capacity: cache::DEFAULT_CAPACITY,
         }
     }
 }
@@ -377,7 +382,7 @@ impl Service {
             epoch: Instant::now(),
             tenants,
             queue: BoundedQueue::new(config.queue_capacity),
-            cache: ProgramCache::new(),
+            cache: ProgramCache::with_capacity(config.program_cache_capacity),
             static_costs: Mutex::new(HashMap::new()),
             pool: pool::sized(config.executors),
             shutting_down: AtomicBool::new(false),
@@ -1162,5 +1167,24 @@ mod tests {
         let stats = service.cache_stats();
         assert_eq!(stats.misses, 1, "{stats:?}");
         assert_eq!(stats.hits, 11, "{stats:?}");
+    }
+
+    #[test]
+    fn program_cache_capacity_bounds_distinct_program_churn() {
+        let mut config = quick_config();
+        config.program_cache_capacity = 3;
+        let service = Service::new(config);
+        for i in 0..10 {
+            let handle = service
+                .submit(JobSpec::new(0, format!("{i} + {i}")))
+                .unwrap();
+            match handle.wait() {
+                Outcome::Completed { output, .. } => assert_eq!(output, format!("{}", 2 * i)),
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 10, "{stats:?}");
+        assert_eq!(stats.evictions, 7, "{stats:?}");
     }
 }

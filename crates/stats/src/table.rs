@@ -148,6 +148,34 @@ impl ContingencyTable {
         Self::from_rows(&[&[a, b], &[c, d]])
     }
 
+    /// Builds an `rows × cols` table from a row-major slice of integer
+    /// counts — the entry point for pre-aggregated columnar crosstab
+    /// grids, where the counts already exist as `u64` cells and
+    /// per-row slicing would only add copies.
+    ///
+    /// # Errors
+    /// [`Error::DimensionMismatch`] when either dimension is < 2 or the
+    /// slice length is not `rows * cols`.
+    pub fn from_counts(rows: usize, cols: usize, counts: &[u64]) -> Result<Self> {
+        if rows < 2 || cols < 2 {
+            return Err(Error::DimensionMismatch(format!(
+                "need at least a 2x2 table, got {rows}x{cols}"
+            )));
+        }
+        if counts.len() != rows * cols {
+            return Err(Error::DimensionMismatch(format!(
+                "expected {rows}x{cols} = {} cells, got {}",
+                rows * cols,
+                counts.len()
+            )));
+        }
+        Ok(Self {
+            rows,
+            cols,
+            data: counts.iter().map(|&c| c as f64).collect(),
+        })
+    }
+
     /// Cross-tabulates paired categorical observations. Row/column categories
     /// are discovered from the data and ordered lexicographically; the label
     /// orderings are returned alongside the table.
@@ -357,6 +385,15 @@ mod tests {
         assert_eq!(t.get(0, 1), 0.0); // 2011/gpu
         assert_eq!(t.get(1, 0), 1.0); // 2024/cpu
         assert_eq!(t.get(1, 1), 2.0); // 2024/gpu
+    }
+
+    #[test]
+    fn from_counts_matches_from_rows() {
+        let a = ContingencyTable::from_counts(2, 3, &[1, 2, 3, 4, 5, 6]).unwrap();
+        let b = ContingencyTable::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(a, b);
+        assert!(ContingencyTable::from_counts(1, 3, &[1, 2, 3]).is_err());
+        assert!(ContingencyTable::from_counts(2, 2, &[1, 2, 3]).is_err());
     }
 
     #[test]

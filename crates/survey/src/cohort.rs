@@ -237,6 +237,55 @@ impl Cohort {
             responses: self.responses.iter().filter(|r| pred(r)).cloned().collect(),
         }
     }
+
+    /// Number of responses satisfying `pred`, without cloning anything.
+    ///
+    /// The non-materializing sibling of [`Cohort::retain_where`]: callers
+    /// that only need a denominator (e.g. "how many GPU users in this
+    /// field?") previously built a whole derived cohort — deep-cloning
+    /// every matching `Response` — just to call `.len()` on it.
+    pub fn count_where<F>(&self, pred: F) -> usize
+    where
+        F: Fn(&Response) -> bool,
+    {
+        self.responses.iter().filter(|r| pred(r)).count()
+    }
+
+    /// Iterator over the responses satisfying `pred`, borrowed in
+    /// insertion order. Use this instead of [`Cohort::retain_where`] when
+    /// the derived cohort itself is not needed.
+    pub fn iter_where<F>(&self, pred: F) -> impl Iterator<Item = &Response>
+    where
+        F: Fn(&Response) -> bool,
+    {
+        self.responses.iter().filter(move |r| pred(r))
+    }
+
+    /// Assembles a cohort from responses the caller guarantees are already
+    /// valid against `schema` and carry unique respondent ids — the
+    /// materialization path out of a columnar cohort, where per-row
+    /// re-validation (and [`Cohort::push`]'s linear duplicate scan, which
+    /// is quadratic over millions of rows) would dominate the rebuild.
+    ///
+    /// Validity is checked via `debug_assert!` only; release builds trust
+    /// the caller.
+    pub fn from_validated_parts(
+        name: impl Into<String>,
+        year: u16,
+        schema: Schema,
+        responses: Vec<Response>,
+    ) -> Self {
+        debug_assert!(
+            responses.iter().all(|r| r.validate(&schema).is_ok()),
+            "from_validated_parts received an invalid response"
+        );
+        Cohort {
+            name: name.into(),
+            year,
+            schema,
+            responses,
+        }
+    }
 }
 
 #[cfg(test)]

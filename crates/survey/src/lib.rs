@@ -40,6 +40,7 @@
 pub mod canonical;
 pub mod coding;
 pub mod cohort;
+pub mod columnar;
 pub mod io;
 pub mod query;
 pub mod response;

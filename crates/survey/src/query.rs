@@ -161,6 +161,12 @@ pub fn filter_cohort(cohort: &crate::cohort::Cohort, filter: &Filter) -> crate::
     cohort.retain_where(&filter.describe(), |r| filter.matches(r))
 }
 
+/// Number of responses matching `filter`, without materializing a derived
+/// cohort (no `Response` clones — see [`crate::cohort::Cohort::count_where`]).
+pub fn count_filtered(cohort: &crate::cohort::Cohort, filter: &Filter) -> usize {
+    cohort.count_where(|r| filter.matches(r))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

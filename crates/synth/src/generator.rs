@@ -5,10 +5,90 @@ use rand::{Rng, SeedableRng};
 
 use rcr_survey::canonical as q;
 use rcr_survey::cohort::Cohort;
+use rcr_survey::columnar::{ColumnarBuilder, ColumnarCohort};
 use rcr_survey::response::{Answer, Response};
 
 use crate::calibration::{Calibration, Wave, NONRESPONSE_RATE};
 use crate::sampler;
+
+/// Receiver for one respondent's generated answers. The generator core
+/// ([`generate_one_into`]) is sink-generic so the same RNG draw sequence
+/// can fill either a `Response` (row path) or a [`ColumnarBuilder`]
+/// column set (streaming path) — keeping the two byte-identical by
+/// construction.
+trait RowSink {
+    fn choice(&mut self, question: &'static str, option: &str);
+    fn choices(&mut self, question: &'static str, options: &[&str]);
+    fn scale(&mut self, question: &'static str, value: u8);
+    fn number(&mut self, question: &'static str, value: f64);
+    fn text(&mut self, question: &'static str, text: String);
+}
+
+/// Row sink: collects answers into a `Response`.
+struct ResponseSink {
+    r: Response,
+}
+
+impl RowSink for ResponseSink {
+    fn choice(&mut self, question: &'static str, option: &str) {
+        self.r.set(question, Answer::choice(option));
+    }
+    fn choices(&mut self, question: &'static str, options: &[&str]) {
+        self.r
+            .set(question, Answer::choices(options.iter().copied()));
+    }
+    fn scale(&mut self, question: &'static str, value: u8) {
+        self.r.set(question, Answer::Scale(value));
+    }
+    fn number(&mut self, question: &'static str, value: f64) {
+        self.r.set(question, Answer::Number(value));
+    }
+    fn text(&mut self, question: &'static str, text: String) {
+        self.r.set(question, Answer::Text(text));
+    }
+}
+
+/// Columnar sink: appends answers to the current builder row. Generated
+/// answers are valid against the canonical questionnaire by construction,
+/// so builder errors are unreachable.
+struct ColumnarSink<'a> {
+    b: &'a mut ColumnarBuilder,
+}
+
+impl ColumnarSink<'_> {
+    fn col(&self, question: &str) -> usize {
+        self.b
+            .column_of(question)
+            .expect("canonical question has a column")
+    }
+}
+
+impl RowSink for ColumnarSink<'_> {
+    fn choice(&mut self, question: &'static str, option: &str) {
+        let k = self.col(question);
+        self.b
+            .set_choice(k, option)
+            .expect("generated answer valid");
+    }
+    fn choices(&mut self, question: &'static str, options: &[&str]) {
+        let k = self.col(question);
+        self.b
+            .set_choices(k, options.iter().copied())
+            .expect("generated answer valid");
+    }
+    fn scale(&mut self, question: &'static str, value: u8) {
+        let k = self.col(question);
+        self.b.set_scale(k, value).expect("generated answer valid");
+    }
+    fn number(&mut self, question: &'static str, value: f64) {
+        let k = self.col(question);
+        self.b.set_number(k, value).expect("generated answer valid");
+    }
+    fn text(&mut self, question: &'static str, text: String) {
+        let k = self.col(question);
+        self.b.set_text(k, &text).expect("generated answer valid");
+    }
+}
 
 /// Seeded generator of synthetic survey cohorts.
 #[derive(Debug, Clone)]
@@ -44,6 +124,50 @@ impl Generator {
         cohort
     }
 
+    /// Generates `n` respondents for `wave` directly into columnar form —
+    /// the streaming path for population-scale runs. No `Response` structs
+    /// or respondent-id strings are materialized (and none of
+    /// `Cohort::push`'s per-row duplicate scanning happens), so building a
+    /// 10M-row population costs the RNG draws plus column appends only.
+    ///
+    /// Uses the same `(seed, wave)` RNG stream and draw sequence as
+    /// [`Generator::cohort`], so the columns are identical to converting
+    /// the row cohort (`ColumnarCohort::from_cohort`) — enforced by test.
+    pub fn columnar_cohort(&self, wave: Wave, n: usize) -> ColumnarCohort {
+        let stream = self.seed ^ (u64::from(wave.year()) << 32);
+        let mut rng = StdRng::seed_from_u64(stream);
+        let cal = Calibration::for_wave(wave);
+        let mut b = ColumnarBuilder::new(wave.name(), wave.year(), q::questionnaire())
+            .expect("canonical questionnaire fits columnar limits");
+        for _ in 0..n {
+            b.begin_row(None);
+            let mut sink = ColumnarSink { b: &mut b };
+            generate_one_into(&mut rng, &cal, &mut sink);
+        }
+        b.finish()
+    }
+
+    /// Columnar variant of [`Generator::cohort_with`] (trend path): same
+    /// stream, same draws, columnar output.
+    pub(crate) fn columnar_cohort_with(
+        &self,
+        cal: &InterpolatedCalibration,
+        name: &str,
+        year: u16,
+        n: usize,
+    ) -> ColumnarCohort {
+        let stream = self.seed ^ (u64::from(year) << 32) ^ 0x5EED;
+        let mut rng = StdRng::seed_from_u64(stream);
+        let mut b = ColumnarBuilder::new(name, year, q::questionnaire())
+            .expect("canonical questionnaire fits columnar limits");
+        for _ in 0..n {
+            b.begin_row(None);
+            let mut sink = ColumnarSink { b: &mut b };
+            generate_one_interp_into(&mut rng, cal, &mut sink);
+        }
+        b.finish()
+    }
+
     /// Generates a cohort of `n` respondents from explicit calibration
     /// overrides (used by the trend interpolator).
     pub(crate) fn cohort_with(
@@ -70,13 +194,25 @@ fn skip(rng: &mut StdRng) -> bool {
 }
 
 fn generate_one(rng: &mut StdRng, cal: &Calibration, id: &str) -> Response {
-    let mut r = Response::new(id);
+    let mut sink = ResponseSink {
+        r: Response::new(id),
+    };
+    generate_one_into(rng, cal, &mut sink);
+    let r = sink.r;
+    debug_assert!(r.validate(&q::questionnaire()).is_ok());
+    r
+}
 
+/// The generator core: draws one respondent and emits the answers into
+/// `sink`. The RNG draw sequence is the determinism contract — both the
+/// row and columnar cohorts are defined by it, so any edit here changes
+/// every committed experiment artifact.
+fn generate_one_into<S: RowSink>(rng: &mut StdRng, cal: &Calibration, sink: &mut S) {
     // Persona: field and stage are always answered (screener questions).
     let field = q::FIELDS[sampler::categorical(rng, &cal.field_weights())];
     let stage = q::STAGES[sampler::categorical(rng, &cal.stage_weights())];
-    r.set(q::Q_FIELD, Answer::choice(field));
-    r.set(q::Q_STAGE, Answer::choice(stage));
+    sink.choice(q::Q_FIELD, field);
+    sink.choice(q::Q_STAGE, stage);
 
     // Languages: correlated Bernoullis with field adjustments; at least one.
     let mut langs: Vec<&str> = Vec::new();
@@ -100,14 +236,14 @@ fn generate_one(rng: &mut StdRng, cal: &Calibration, id: &str) -> Response {
         langs.push(best);
     }
     if !skip(rng) {
-        r.set(q::Q_LANGS, Answer::choices(langs.clone()));
+        sink.choices(q::Q_LANGS, &langs);
     }
 
     // Primary language: weighted pick among the used ones.
     let weights: Vec<f64> = langs.iter().map(|l| cal.primary_weight(l)).collect();
     let primary = langs[sampler::categorical(rng, &weights)];
     if !skip(rng) {
-        r.set(q::Q_PRIMARY_LANG, Answer::choice(primary));
+        sink.choice(q::Q_PRIMARY_LANG, primary);
     }
 
     // Parallelism: structured multi-select.
@@ -136,7 +272,7 @@ fn generate_one(rng: &mut StdRng, cal: &Calibration, id: &str) -> Response {
         modes.push("none");
     }
     if !skip(rng) {
-        r.set(q::Q_PARALLELISM, Answer::choices(modes.clone()));
+        sink.choices(q::Q_PARALLELISM, &modes);
     }
 
     // Practices: Bernoullis with a stage shift.
@@ -149,22 +285,22 @@ fn generate_one(rng: &mut StdRng, cal: &Calibration, id: &str) -> Response {
         .copied()
         .collect();
     if !skip(rng) {
-        r.set(q::Q_PRACTICES, Answer::choices(practices));
+        sink.choices(q::Q_PRACTICES, &practices);
     }
 
     // Cluster frequency conditioned on cluster use.
     let freq_weights = cal.cluster_freq_weights(cluster);
     let freq = q::CLUSTER_FREQS[sampler::categorical(rng, &freq_weights)];
     if !skip(rng) {
-        r.set(q::Q_CLUSTER_FREQ, Answer::choice(freq));
+        sink.choice(q::Q_CLUSTER_FREQ, freq);
     }
 
     // Core counts: log-normal snapped to powers of two.
     let (mu, sigma) = cal.cores_lognormal(cluster);
     if !skip(rng) {
-        r.set(
+        sink.number(
             q::Q_CORES,
-            Answer::Number(sampler::cores_like(rng, mu, sigma, 1.0, 1_000_000.0)),
+            sampler::cores_like(rng, mu, sigma, 1.0, 1_000_000.0),
         );
     }
 
@@ -175,27 +311,21 @@ fn generate_one(rng: &mut StdRng, cal: &Calibration, id: &str) -> Response {
         let u2: f64 = rng.gen_range(0.0..1.0);
         let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
         let years = (ymean + ysd * z).clamp(0.0, 60.0);
-        r.set(q::Q_YEARS, Answer::Number((years * 2.0).round() / 2.0));
+        sink.number(q::Q_YEARS, (years * 2.0).round() / 2.0);
     }
 
     // Pain Likert items.
     for item in q::PAIN_ITEMS {
         if !skip(rng) {
-            r.set(
-                item,
-                Answer::Scale(sampler::likert(rng, cal.pain_mean(item), 1.0, 5)),
-            );
+            sink.scale(item, sampler::likert(rng, cal.pain_mean(item), 1.0, 5));
         }
     }
 
     // Free-text "biggest obstacle" comment (its own skip model: the comment
     // rate, not the item non-response rate).
     if let Some(text) = crate::comments::generate_comment(rng, cal.wave()) {
-        r.set(q::Q_COMMENTS, Answer::Text(text));
+        sink.text(q::Q_COMMENTS, text);
     }
-
-    debug_assert!(r.validate(&q::questionnaire()).is_ok());
-    r
 }
 
 /// A calibration snapshot interpolated between the two waves (used for the
@@ -226,8 +356,22 @@ impl InterpolatedCalibration {
 }
 
 fn generate_one_interp(rng: &mut StdRng, cal: &InterpolatedCalibration, id: &str) -> Response {
-    let mut r = Response::new(id);
-    // The trend cohorts only need the language item.
+    let mut sink = ResponseSink {
+        r: Response::new(id),
+    };
+    generate_one_interp_into(rng, cal, &mut sink);
+    let r = sink.r;
+    debug_assert!(r.validate(&q::questionnaire()).is_ok());
+    r
+}
+
+/// Trend-cohort core: only the language item is drawn (the only item the
+/// E3 figure plots).
+fn generate_one_interp_into<S: RowSink>(
+    rng: &mut StdRng,
+    cal: &InterpolatedCalibration,
+    sink: &mut S,
+) {
     let mut langs: Vec<&str> = Vec::new();
     for lang in q::LANGUAGES {
         if sampler::bernoulli(rng, cal.lang_p(lang)) {
@@ -237,9 +381,7 @@ fn generate_one_interp(rng: &mut StdRng, cal: &InterpolatedCalibration, id: &str
     if langs.is_empty() {
         langs.push("python");
     }
-    r.set(q::Q_LANGS, Answer::choices(langs));
-    debug_assert!(r.validate(&q::questionnaire()).is_ok());
-    r
+    sink.choices(q::Q_LANGS, &langs);
 }
 
 #[cfg(test)]
@@ -369,6 +511,30 @@ mod tests {
         // Endpoints match the wave calibrations (within the clamp).
         assert!((start.lang_p("python") - 0.42).abs() < 0.02);
         assert!((end.lang_p("python") - 0.87).abs() < 0.02);
+    }
+
+    #[test]
+    fn columnar_stream_matches_row_conversion() {
+        let g = Generator::new(0xC0FFEE);
+        for wave in [Wave::Y2011, Wave::Y2024] {
+            let rows = g.cohort(wave, 150);
+            let via_rows = ColumnarCohort::from_cohort(&rows).unwrap();
+            let streamed = g.columnar_cohort(wave, 150);
+            assert!(
+                streamed.same_data(&via_rows),
+                "streamed columns diverge from row conversion for {wave:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn columnar_interp_matches_row_conversion() {
+        let g = Generator::new(9);
+        let cal = InterpolatedCalibration { t: 0.5 };
+        let rows = g.cohort_with(&cal, "2017", 2017, 120);
+        let via_rows = ColumnarCohort::from_cohort(&rows).unwrap();
+        let streamed = g.columnar_cohort_with(&cal, "2017", 2017, 120);
+        assert!(streamed.same_data(&via_rows));
     }
 
     #[test]

@@ -123,9 +123,24 @@ fn experiment_index_matches_drivers() {
         ids,
         vec![
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13",
-            "E14", "E15", "E16", "E17", "E18", "E19", "E20"
+            "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"
         ]
     );
+}
+
+#[test]
+fn columnar_study_agrees_across_tiers_end_to_end() {
+    // E21's own verification gate (checksum + struct equality against the
+    // row reference) runs inside the driver; a quick sweep exercising it
+    // end-to-end is the regression test that the columnar engine never
+    // drifts from the row engine.
+    let points = ex()
+        .e21_colstudy(&rcr_core::perfgap::GapConfig::quick())
+        .expect("E21 quick");
+    assert!(points.iter().all(|p| p.verified), "unverified cell");
+    assert_eq!(points.len() % rcr_core::colstudy::TIERS.len(), 0);
+    assert!(rcr_bench::render::e21_figure(&points).contains("</svg>"));
+    assert_eq!(rcr_bench::render::e21_table(&points).n_rows(), points.len());
 }
 
 #[test]
