@@ -1,0 +1,51 @@
+//! E22 (Table 11): the register-IR JIT tier vs the fused VM on the
+//! perf-gap workloads — the tiers the gap-closure study times, under
+//! criterion's statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rcr_bench::render;
+use rcr_core::experiments::Experiments;
+use rcr_core::perfgap::GapConfig;
+use rcr_core::MASTER_SEED;
+use rcr_minilang::{run_source_vm_fused, run_source_vm_jit};
+
+const DOT: &str = "fn dot(a, b, n) {\n  let acc = 0;\n  for i in range(0, n) { acc = acc + a[i] * b[i]; }\n  return acc;\n}\nlet n = 20000;\nlet a = fill(n, 1.5);\nlet b = fill(n, 2.0);\ndot(a, b, n)";
+
+const MCPI: &str = "fn mcpi(n) {\n  let seed = 12345;\n  let hits = 0;\n  for i in range(0, n) {\n    seed = (seed * 16807) % 2147483647;\n    let x = seed / 2147483647;\n    seed = (seed * 16807) % 2147483647;\n    let y = seed / 2147483647;\n    if x * x + y * y <= 1 { hits = hits + 1; }\n  }\n  return 4 * hits / n;\n}\nmcpi(20000)";
+
+fn bench(c: &mut Criterion) {
+    let ex = Experiments::new(MASTER_SEED);
+    let rows = ex.e22_jitstudy(&GapConfig::quick()).expect("E22 runs");
+    println!("{}", render::e22_table(&rows).render_ascii());
+
+    // Both tiers agree before we time anything.
+    for src in [DOT, MCPI] {
+        assert_eq!(
+            run_source_vm_fused(src).expect("fused vm runs"),
+            run_source_vm_jit(src).expect("jit vm runs")
+        );
+    }
+
+    let mut g = c.benchmark_group("e22_dot_jit_tiers");
+    g.sample_size(10);
+    g.bench_function("bytecode_fused", |b| {
+        b.iter(|| run_source_vm_fused(DOT).expect("script runs"))
+    });
+    g.bench_function("jit", |b| {
+        b.iter(|| run_source_vm_jit(DOT).expect("script runs"))
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("e22_mcpi_jit_tiers");
+    g.sample_size(10);
+    g.bench_function("bytecode_fused", |b| {
+        b.iter(|| run_source_vm_fused(MCPI).expect("script runs"))
+    });
+    g.bench_function("jit", |b| {
+        b.iter(|| run_source_vm_jit(MCPI).expect("script runs"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,17 +2,25 @@
 //!
 //! ```text
 //! reproduce [EXPERIMENT ...] [--quick] [--out DIR]
+//! reproduce bench-diff OLD.json NEW.json [--tol FRAC] [--structural]
 //!
-//!   EXPERIMENT   e1..e21 (default: all)
-//!   --quick      reduced sizes for the timing experiments (CI-friendly;
-//!                --smoke is an alias)
-//!   --out DIR    write tables (.txt/.csv) and figures (.svg) to DIR
-//!                (default: print tables to stdout only)
+//!   EXPERIMENT    e1..e22 (default: all)
+//!   --quick       reduced sizes for the timing experiments (CI-friendly;
+//!                 --smoke is an alias)
+//!   --out DIR     write tables (.txt/.csv) and figures (.svg) to DIR
+//!                 (default: print tables to stdout only)
+//!
+//!   bench-diff    compare two BENCH_*.json summaries metric by metric;
+//!                 exits nonzero when any metric regressed beyond --tol
+//!                 (relative, default 0) or disappeared. --structural
+//!                 compares metric names only — the right gate for a
+//!                 --smoke run against committed full-size results.
 //! ```
 //!
-//! With `--out`, the timing experiments (e16..e21) additionally emit a
+//! With `--out`, the timing experiments (e16..e22) additionally emit a
 //! machine-readable `BENCH_<ID>.json` summary (host info, headline
-//! metrics, determinism checksum) for run-over-run tracking.
+//! metrics, determinism checksum) for run-over-run tracking; `bench-diff`
+//! is their comparator.
 //!
 //! `RCR_THREADS` overrides the worker-thread count used by every parallel
 //! tier (see `rcr_kernels::par::default_threads`), and `RCR_TILE` the
@@ -22,7 +30,7 @@
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
-use rcr_bench::{render, summary};
+use rcr_bench::{diff, render, summary};
 use rcr_core::experiments::{Experiments, INDEX};
 use rcr_core::perfgap::GapConfig;
 use rcr_core::MASTER_SEED;
@@ -49,7 +57,11 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--help" | "-h" => {
-                return Err("usage: reproduce [e1..e21 ...] [--quick] [--out DIR]".to_owned())
+                return Err(
+                    "usage: reproduce [e1..e22 ...] [--quick] [--out DIR]\n       \
+                            reproduce bench-diff OLD.json NEW.json [--tol FRAC] [--structural]"
+                        .to_owned(),
+                )
             }
             e if e.starts_with('e') || e.starts_with('E') => {
                 which.push(e.to_lowercase());
@@ -121,7 +133,55 @@ fn write_file(dir: &Path, name: &str, contents: &str) {
     }
 }
 
+/// `reproduce bench-diff OLD NEW [--tol FRAC] [--structural]`.
+fn run_bench_diff(args: &[String]) -> i32 {
+    let mut files = Vec::new();
+    let mut opts = diff::DiffOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--structural" => opts.structural = true,
+            "--tol" => {
+                let Some(v) = it.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--tol requires a fractional value, e.g. --tol 0.05");
+                    return 2;
+                };
+                opts.tol = v;
+            }
+            other => files.push(other.to_owned()),
+        }
+    }
+    let [old_path, new_path] = files.as_slice() else {
+        eprintln!("usage: reproduce bench-diff OLD.json NEW.json [--tol FRAC] [--structural]");
+        return 2;
+    };
+    let read = |p: &str| {
+        std::fs::read_to_string(p).map_err(|e| {
+            eprintln!("error: cannot read {p}: {e}");
+            2
+        })
+    };
+    let (old_json, new_json) = match (read(old_path), read(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(c), _) | (_, Err(c)) => return c,
+    };
+    match diff::diff_summaries(&old_json, &new_json, &opts) {
+        Ok(report) => {
+            print!("{}", report.render());
+            i32::from(report.failures() > 0)
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            2
+        }
+    }
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("bench-diff") {
+        std::process::exit(run_bench_diff(&argv[1..]));
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {
@@ -150,7 +210,7 @@ fn main() {
         match info {
             Some(i) => println!("== {} ({}): {} ==\n", i.id, i.artifact, i.title),
             None => {
-                eprintln!("unknown experiment `{id}` (expected e1..e21)");
+                eprintln!("unknown experiment `{id}` (expected e1..e22)");
                 std::process::exit(2);
             }
         }
@@ -316,6 +376,13 @@ fn run_one(
             emit.figure("e21", "columnar", &render::e21_figure(&points));
             emit.json("e21", "columnar", &points);
             emit.bench(&summary::summarize_e21(gap_config.quick, &points));
+        }
+        "e22" => {
+            let rows = ex.e22_jitstudy(gap_config)?;
+            emit.table("e22", "jit_gap", &render::e22_table(&rows));
+            emit.figure("e22", "jit_gap", &render::e22_figure(&rows));
+            emit.json("e22", "jit_gap", &rows);
+            emit.bench(&summary::summarize_e22(gap_config.quick, &rows));
         }
         other => unreachable!("validated above: {other}"),
     }

@@ -4,6 +4,7 @@ use rcr_core::absintstudy::AbsintStudy;
 use rcr_core::colstudy::ColPoint;
 use rcr_core::compare::{DistributionShift, FieldAdoption, ItemShift, LikertShift};
 use rcr_core::experiments::{Demographics, LoadPoint, PolicyOutcome, ResiliencePoint};
+use rcr_core::jitstudy::JitGapRow;
 use rcr_core::lintstudy::LintStudy;
 use rcr_core::memstudy::MemPoint;
 use rcr_core::perfgap::{GapClosure, KernelGap, ScalingCurve, Tier};
@@ -113,9 +114,10 @@ pub fn e3_slope_table(trends: &[LanguageTrend]) -> Table {
 }
 
 /// The speedup-bar tiers of the E5 figure, in ladder order.
-const E5_FIGURE_TIERS: [Tier; 5] = [
+const E5_FIGURE_TIERS: [Tier; 6] = [
     Tier::Vm,
     Tier::VmFused,
+    Tier::VmJit,
     Tier::NativeNaive,
     Tier::NativeOptimized,
     Tier::NativeParallel,
@@ -320,7 +322,13 @@ pub fn e10_table(points: &[LoadPoint]) -> Table {
 }
 
 /// The script tiers of the E11 ablation, in ladder order.
-const E11_TIERS: [Tier; 4] = [Tier::Interp, Tier::Vm, Tier::VmFused, Tier::Vectorized];
+const E11_TIERS: [Tier; 5] = [
+    Tier::Interp,
+    Tier::Vm,
+    Tier::VmFused,
+    Tier::VmJit,
+    Tier::Vectorized,
+];
 
 /// E11: the interpreter-ablation table (gap of each script tier to the
 /// best native serial implementation). Column names come from
@@ -355,35 +363,94 @@ pub fn e16_table(closures: &[GapClosure]) -> Table {
         "size".to_owned(),
         Tier::Vm.name().to_owned(),
         Tier::VmFused.name().to_owned(),
+        Tier::VmJit.name().to_owned(),
         "native best".to_owned(),
         "speedup".to_owned(),
         "gap closed".to_owned(),
+        "JIT gap closed".to_owned(),
     ])
     .title("Table 9: VM→native gap closed by the superinstruction pass".to_owned());
     for c in closures {
+        let dash = "—".to_owned();
         t.row([
             c.kernel.clone(),
             c.size.clone(),
             fmt::duration_s(c.vm_s),
             fmt::duration_s(c.vm_fused_s),
+            c.vm_jit_s.map_or_else(|| dash.clone(), fmt::duration_s),
             fmt::duration_s(c.native_best_s),
             fmt::speedup(c.speedup),
             fmt::pct(c.closure_frac),
+            c.jit_closure_frac.map_or(dash, fmt::pct),
         ]);
     }
     t
 }
 
-/// E16 companion figure: fused-VM speedup over the plain VM per workload.
+/// E16 companion figure: fused-VM and JIT speedup over the plain VM per
+/// workload (the JIT bar collapses to zero when the tier was not measured).
 pub fn e16_figure(closures: &[GapClosure]) -> String {
-    let labels = [Tier::VmFused.name()];
+    let labels = [Tier::VmFused.name(), Tier::VmJit.name()];
     let groups: Vec<(&str, Vec<f64>)> = closures
         .iter()
-        .map(|c| (c.kernel.as_str(), vec![c.speedup]))
+        .map(|c| {
+            let jit = c.vm_jit_s.map_or(0.0, |j| c.vm_s / j.max(1e-12));
+            (c.kernel.as_str(), vec![c.speedup, jit])
+        })
         .collect();
     svg::bar_chart(
-        "Table 9 figure: fused-VM speedup over the plain bytecode VM",
+        "Table 9 figure: fused-VM and JIT speedup over the plain bytecode VM",
         "speedup (×)",
+        &labels,
+        &groups,
+        false,
+    )
+}
+
+/// E22: Table 11 — how much of the remaining fused-VM → native gap the
+/// register-IR JIT tier closes per workload. The checksum column is the
+/// shared f64 bit pattern all four script tiers were verified to produce.
+pub fn e22_table(rows: &[JitGapRow]) -> Table {
+    let mut t = Table::new([
+        "kernel".to_owned(),
+        "size".to_owned(),
+        "checksum".to_owned(),
+        Tier::Interp.name().to_owned(),
+        Tier::Vm.name().to_owned(),
+        Tier::VmFused.name().to_owned(),
+        Tier::VmJit.name().to_owned(),
+        "native best".to_owned(),
+        "JIT vs fused".to_owned(),
+        "gap closed".to_owned(),
+    ])
+    .title("Table 11: fused-VM\u{2192}native gap closed by the register-IR JIT".to_owned());
+    for r in rows {
+        t.row([
+            r.kernel.clone(),
+            r.size.clone(),
+            r.checksum.clone(),
+            fmt::duration_s(r.interp_s),
+            fmt::duration_s(r.vm_s),
+            fmt::duration_s(r.vm_fused_s),
+            fmt::duration_s(r.vm_jit_s),
+            fmt::duration_s(r.native_best_s),
+            fmt::speedup(r.jit_speedup_vs_fused),
+            fmt::pct(r.remaining_gap_closed),
+        ]);
+    }
+    t
+}
+
+/// E22 companion figure: JIT speedup over the fused VM per workload.
+pub fn e22_figure(rows: &[JitGapRow]) -> String {
+    let labels = [Tier::VmJit.name()];
+    let groups: Vec<(&str, Vec<f64>)> = rows
+        .iter()
+        .map(|r| (r.kernel.as_str(), vec![r.jit_speedup_vs_fused]))
+        .collect();
+    svg::bar_chart(
+        "Table 11 figure: register-IR JIT speedup over the fused VM",
+        "speedup (\u{d7})",
         &labels,
         &groups,
         false,
@@ -970,8 +1037,10 @@ mod tests {
         assert_eq!(t.n_rows(), 4);
         let ascii = t.render_ascii();
         assert!(ascii.contains("gap closed") && ascii.contains('%'));
+        assert!(ascii.contains(Tier::VmJit.name()), "JIT column in Table 9");
         let fig = e16_figure(&closures);
         assert!(fig.contains("<svg") && fig.contains("mc-pi"));
+        assert!(fig.contains(Tier::VmJit.name()), "JIT series in figure");
 
         let curves = e.e6_scaling(&GapConfig::quick()).unwrap();
         let fig = e6_figure(&curves);
@@ -981,6 +1050,19 @@ mod tests {
             "work-stealing series in the E6 figure"
         );
         assert_eq!(e6_table(&curves).n_rows(), 6);
+    }
+
+    #[test]
+    fn jit_study_outputs_render() {
+        let rows = ex().e22_jitstudy(&GapConfig::quick()).unwrap();
+        let t = e22_table(&rows);
+        assert_eq!(t.n_rows(), 4);
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("Table 11"), "{ascii}");
+        assert!(ascii.contains("checksum"), "{ascii}");
+        assert!(ascii.contains(Tier::VmJit.name()), "{ascii}");
+        let fig = e22_figure(&rows);
+        assert!(fig.contains("<svg") && fig.contains("matmul"));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use serde::Serialize;
 
 use rcr_core::colstudy::ColPoint;
+use rcr_core::jitstudy::JitGapRow;
 use rcr_core::memstudy::MemPoint;
 use rcr_core::perfgap::GapClosure;
 use rcr_core::schedstudy::SchedPoint;
@@ -234,6 +235,39 @@ pub fn summarize_e21(quick: bool, rows: &[ColPoint]) -> BenchSummary {
     s.finish()
 }
 
+/// E22 metrics: per kernel, the JIT speedups and how much of the
+/// remaining fused-VM → native gap the JIT closes.
+///
+/// Metric names deliberately omit the problem size so a `--smoke` run's
+/// summary stays structurally comparable (`bench-diff --structural`) to a
+/// committed full-size one — the `quick` flag records which sizes ran.
+pub fn summarize_e22(quick: bool, rows: &[JitGapRow]) -> BenchSummary {
+    let mut s = BenchSummary::new(
+        "E22",
+        "Table 11",
+        "Register-IR JIT: closing the remaining fused-VM-to-native gap",
+        quick,
+    );
+    for r in rows {
+        s.push(
+            format!("jit_speedup_vs_fused/{}", r.kernel),
+            r.jit_speedup_vs_fused,
+            "x",
+        );
+        s.push(
+            format!("jit_speedup_vs_interp/{}", r.kernel),
+            r.jit_speedup_vs_interp,
+            "x",
+        );
+        s.push(
+            format!("remaining_gap_closed/{}", r.kernel),
+            r.remaining_gap_closed,
+            "frac",
+        );
+    }
+    s.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +322,30 @@ mod tests {
             .expect("speedup metric");
         assert!((best.value - 10.0).abs() < 1e-12);
         assert!(!s.checksum.is_empty());
+    }
+
+    #[test]
+    fn e22_summary_names_are_size_free() {
+        let row = |kernel: &str| JitGapRow {
+            kernel: kernel.to_owned(),
+            size: "n=20000".to_owned(),
+            checksum: "0123456789abcdef".to_owned(),
+            interp_s: 1.0,
+            vm_s: 0.5,
+            vm_fused_s: 0.2,
+            vm_jit_s: 0.1,
+            native_best_s: 0.05,
+            jit_fns_compiled: 1,
+            jit_speedup_vs_fused: 2.0,
+            jit_speedup_vs_interp: 10.0,
+            remaining_gap_closed: 0.5,
+        };
+        let s = summarize_e22(true, &[row("dot"), row("matmul")]);
+        let names: Vec<&str> = s.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert!(names.contains(&"jit_speedup_vs_fused/dot"), "{names:?}");
+        assert!(names.contains(&"remaining_gap_closed/matmul"), "{names:?}");
+        // Size-free: quick and full runs must align structurally.
+        assert!(names.iter().all(|n| !n.contains("n=")), "{names:?}");
+        assert_eq!(s.metrics.len(), 6);
     }
 }

@@ -363,6 +363,7 @@ fn run_admission_arm(
         faults: rcr_cluster::faults::FaultPlan::none(0xE20),
         fuel_slice: 10_000,
         static_admission,
+        jit: true,
         program_cache_capacity: rcr_serve::PROGRAM_CACHE_CAPACITY,
     });
 

@@ -1,4 +1,4 @@
-//! The experiment registry: one driver per table/figure (E1–E21), all
+//! The experiment registry: one driver per table/figure (E1–E22), all
 //! deterministic from one master seed. `DESIGN.md` §4 is the index; the
 //! `reproduce` binary and the Criterion benches both call these drivers.
 //!
@@ -26,6 +26,7 @@ use crate::compare::{
     distribution_shift, gpu_by_field, gpu_by_field_columnar, DistributionShift, FieldAdoption,
     ItemShift, LikertShift,
 };
+use crate::jitstudy::JitGapRow;
 use crate::lintstudy::{run_study, LintStudy};
 use crate::memstudy::MemPoint;
 use crate::perfgap::{
@@ -49,7 +50,7 @@ pub struct ExperimentInfo {
 }
 
 /// The experiment index (matches `DESIGN.md` §4).
-pub const INDEX: [ExperimentInfo; 21] = [
+pub const INDEX: [ExperimentInfo; 22] = [
     ExperimentInfo {
         id: "E1",
         artifact: "Table 1",
@@ -154,6 +155,11 @@ pub const INDEX: [ExperimentInfo; 21] = [
         id: "E21",
         artifact: "Figure 11",
         title: "Columnar analytics: rows/sec vs population size and tier",
+    },
+    ExperimentInfo {
+        id: "E22",
+        artifact: "Table 11",
+        title: "Register-IR JIT: closing the remaining fused-VM-to-native gap",
     },
 ];
 
@@ -685,6 +691,19 @@ impl Experiments {
     pub fn e21_colstudy(&self, config: &GapConfig) -> Result<Vec<ColPoint>> {
         crate::colstudy::run(self.seed, config)
     }
+
+    /// E22: the register-IR JIT gap-closure study — the four perf-gap
+    /// kernels across the tree-walk, bytecode-VM, fused-VM, and JIT
+    /// tiers, every cell verified bit-identical across all four before
+    /// its timing is trusted, with a best-serial native reference as the
+    /// closure denominator.
+    ///
+    /// # Errors
+    /// Script errors and [`crate::Error::VerificationFailed`] when any
+    /// tier diverges by even one bit.
+    pub fn e22_jitstudy(&self, config: &GapConfig) -> Result<Vec<JitGapRow>> {
+        crate::jitstudy::run(config)
+    }
 }
 
 #[cfg(test)]
@@ -697,10 +716,10 @@ mod tests {
     }
 
     #[test]
-    fn index_lists_twenty_one_unique_ids() {
+    fn index_lists_twenty_two_unique_ids() {
         let mut ids: Vec<&str> = INDEX.iter().map(|i| i.id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 22);
         assert_eq!(INDEX[0].id, "E1");
         assert_eq!(INDEX[11].artifact, "Figure 6");
         assert_eq!(INDEX[12].id, "E13");
@@ -720,6 +739,8 @@ mod tests {
         assert_eq!(INDEX[19].artifact, "Table 10");
         assert_eq!(INDEX[20].id, "E21");
         assert_eq!(INDEX[20].artifact, "Figure 11");
+        assert_eq!(INDEX[21].id, "E22");
+        assert_eq!(INDEX[21].artifact, "Table 11");
     }
 
     /// The E21 acceptance gate: every columnar companion driver reproduces

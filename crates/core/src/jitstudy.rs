@@ -1,0 +1,266 @@
+//! The E22 gap-closure study: how much of the remaining fused-VM → native
+//! gap the register-IR JIT tier closes on the perf-gap workloads.
+//!
+//! E5 established the interpreter ladder and E16 measured what the
+//! peephole superinstruction pass buys; E22 asks the follow-up question —
+//! after fusion, how much of the distance to native does runtime
+//! compilation to typed register code recover? Every cell runs the same
+//! four script tiers (tree-walk, bytecode VM, fused VM, JIT VM) on the
+//! same kernel and is only reported after the four results are verified
+//! **bit-identical** (the shared checksum is part of each row), plus the
+//! best serial native time as the closure denominator.
+
+use serde::Serialize;
+
+use rcr_kernels::harness::measure;
+use rcr_kernels::{dotaxpy, matmul};
+use rcr_minilang::{absint, bytecode, jit, parser, peephole, vm::Vm};
+
+use crate::perfgap::{
+    dot_script, matmul_script, mcpi_native_optimized, mcpi_script, measure_script, run_interp,
+    run_vm, run_vm_fused, run_vm_jit, saxpy_script, script_vec_a, script_vec_b, GapConfig,
+};
+use crate::{Error, Result};
+
+/// One kernel's row in the E22 table: the four script tiers, the native
+/// reference, and the derived closure metrics.
+#[derive(Debug, Clone, Serialize)]
+pub struct JitGapRow {
+    /// Kernel name (`dot`, `saxpy`, `mc-pi`, `matmul`).
+    pub kernel: String,
+    /// Human-readable problem size.
+    pub size: String,
+    /// Hex of the f64 bit pattern every tier's result must share — the
+    /// per-cell checksum the study verifies before timing is trusted.
+    pub checksum: String,
+    /// Tree-walk median seconds.
+    pub interp_s: f64,
+    /// Plain bytecode-VM median seconds.
+    pub vm_s: f64,
+    /// Fused-VM median seconds.
+    pub vm_fused_s: f64,
+    /// Register-IR JIT median seconds.
+    pub vm_jit_s: f64,
+    /// Best serial native median seconds (the closure denominator).
+    pub native_best_s: f64,
+    /// Functions the JIT engine compiled on the verification run.
+    pub jit_fns_compiled: u64,
+    /// JIT speedup over the fused VM (`fused / jit`) — the headline.
+    pub jit_speedup_vs_fused: f64,
+    /// JIT speedup over the tree-walk baseline (`interp / jit`).
+    pub jit_speedup_vs_interp: f64,
+    /// Fraction of the log-scale fused-VM → native gap the JIT closes:
+    /// `(ln fused − ln jit) / (ln fused − ln native)`. Zero when the JIT
+    /// buys nothing; 1.0 would mean it reached native speed.
+    pub remaining_gap_closed: f64,
+}
+
+/// Exact bitwise agreement across every script tier of one cell.
+fn verify_bits(kernel: &str, results: &[(&str, f64)]) -> Result<u64> {
+    let (_, first) = results[0];
+    let bits = first.to_bits();
+    for (tier, r) in results {
+        if r.to_bits() != bits {
+            return Err(Error::VerificationFailed(format!(
+                "{kernel}: tier `{tier}` diverged ({r} vs {first}, bits {:016x} vs {bits:016x})",
+                r.to_bits()
+            )));
+        }
+    }
+    Ok(bits)
+}
+
+/// Functions the JIT compiles for `src` on one verification run.
+fn jit_compiled_count(src: &str) -> Result<u64> {
+    let program = parser::parse(src)?;
+    let compiled = bytecode::compile(&program)?;
+    let facts = absint::analyze(&program).facts;
+    let fused =
+        peephole::optimize_with_facts(&compiled, peephole::Options::default(), Some(&facts));
+    let engine = jit::Jit::new(&fused, jit::JitConfig::default(), Some(&facts));
+    Vm::new().run_jit(&fused, &engine)?;
+    Ok(u64::from(engine.stats().compiled()))
+}
+
+fn row(
+    kernel: &str,
+    size: String,
+    src: &str,
+    reps: usize,
+    native_best_s: f64,
+) -> Result<JitGapRow> {
+    let (m_interp, r_interp) = measure_script(src, reps, run_interp)?;
+    let (m_vm, r_vm) = measure_script(src, reps, run_vm)?;
+    let (m_fused, r_fused) = measure_script(src, reps, run_vm_fused)?;
+    let (m_jit, r_jit) = measure_script(src, reps, run_vm_jit)?;
+    let bits = verify_bits(
+        kernel,
+        &[
+            ("tree-walk", r_interp),
+            ("bytecode VM", r_vm),
+            ("fused VM", r_fused),
+            ("JIT VM", r_jit),
+        ],
+    )?;
+    let interp_s = m_interp.median.as_secs_f64().max(1e-12);
+    let fused_s = m_fused.median.as_secs_f64().max(1e-12);
+    let jit_s = m_jit.median.as_secs_f64().max(1e-12);
+    let native_s = native_best_s.max(1e-12);
+    let log_gap = (fused_s / native_s).ln();
+    let remaining_gap_closed = if log_gap.abs() > 1e-9 {
+        (fused_s / jit_s).ln() / log_gap
+    } else {
+        0.0
+    };
+    Ok(JitGapRow {
+        kernel: kernel.to_owned(),
+        size,
+        checksum: format!("{bits:016x}"),
+        interp_s,
+        vm_s: m_vm.median.as_secs_f64().max(1e-12),
+        vm_fused_s: fused_s,
+        vm_jit_s: jit_s,
+        native_best_s: native_s,
+        jit_fns_compiled: jit_compiled_count(src)?,
+        jit_speedup_vs_fused: fused_s / jit_s,
+        jit_speedup_vs_interp: interp_s / jit_s,
+        remaining_gap_closed,
+    })
+}
+
+/// Runs the E22 study: the four perf-gap kernels across the four script
+/// tiers, with per-cell bitwise checksum verification and a best-serial
+/// native reference per kernel.
+///
+/// # Errors
+/// Script errors and [`Error::VerificationFailed`] when any tier's result
+/// is not bit-identical to the others.
+pub fn run(config: &GapConfig) -> Result<Vec<JitGapRow>> {
+    let reps = config.reps();
+    let mut out = Vec::with_capacity(4);
+
+    // ---- dot ----
+    {
+        let n = if config.quick { 20_000 } else { 1_000_000 };
+        let a = script_vec_a(n);
+        let b = script_vec_b(n);
+        let mut sink = 0.0;
+        let m_nat = measure(reps, || dotaxpy::dot_optimized(&a, &b), |v| sink += v);
+        assert!(sink.is_finite());
+        out.push(row(
+            "dot",
+            format!("n={n}"),
+            &dot_script(n, false),
+            reps,
+            m_nat.median.as_secs_f64(),
+        )?);
+    }
+
+    // ---- saxpy ----
+    {
+        let n = if config.quick { 20_000 } else { 1_000_000 };
+        let x = script_vec_a(n);
+        let base = script_vec_b(n);
+        let mut sink = 0.0;
+        let m_nat = measure(
+            reps,
+            || {
+                let mut y = base.clone();
+                dotaxpy::axpy_optimized(2.5, &x, &mut y);
+                y[n / 2]
+            },
+            |v| sink += v,
+        );
+        assert!(sink.is_finite());
+        out.push(row(
+            "saxpy",
+            format!("n={n}"),
+            &saxpy_script(n, false),
+            reps,
+            m_nat.median.as_secs_f64(),
+        )?);
+    }
+
+    // ---- mc-pi ----
+    {
+        let n: u64 = if config.quick { 5_000 } else { 200_000 };
+        let mut sink = 0.0;
+        let m_nat = measure(reps, || mcpi_native_optimized(n), |v| sink += v);
+        assert!(sink.is_finite());
+        out.push(row(
+            "mc-pi",
+            format!("samples={n}"),
+            &mcpi_script(n as usize),
+            reps,
+            m_nat.median.as_secs_f64(),
+        )?);
+    }
+
+    // ---- matmul ----
+    {
+        let n = if config.quick { 16 } else { 64 };
+        let a = script_vec_a(n * n);
+        let b = script_vec_b(n * n);
+        let mut sink = 0.0;
+        let m_nat = measure(reps, || matmul::blocked(&a, &b, n)[0], |v| sink += v);
+        assert!(sink.is_finite());
+        out.push(row(
+            "matmul",
+            format!("{n}x{n}"),
+            &matmul_script(n),
+            reps,
+            m_nat.median.as_secs_f64(),
+        )?);
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_jit_study_verifies_and_orders_tiers() {
+        let rows = run(&GapConfig::quick()).unwrap();
+        assert_eq!(rows.len(), 4);
+        let kernels: Vec<&str> = rows.iter().map(|r| r.kernel.as_str()).collect();
+        assert_eq!(kernels, ["dot", "saxpy", "mc-pi", "matmul"]);
+        for r in &rows {
+            // The checksum is the shared bit pattern — 16 hex digits.
+            assert_eq!(r.checksum.len(), 16, "{}: {}", r.kernel, r.checksum);
+            assert!(
+                u64::from_str_radix(&r.checksum, 16).is_ok(),
+                "{}: {}",
+                r.kernel,
+                r.checksum
+            );
+            // Every cell measured something and the engine actually
+            // compiled code (main always tiers up at threshold 1).
+            assert!(r.vm_jit_s > 0.0, "{}", r.kernel);
+            assert!(r.jit_fns_compiled >= 1, "{}: nothing compiled", r.kernel);
+            assert!(
+                r.jit_speedup_vs_fused > 0.0 && r.jit_speedup_vs_fused.is_finite(),
+                "{}",
+                r.kernel
+            );
+            assert!(r.remaining_gap_closed.is_finite(), "{}", r.kernel);
+            // The JIT must at least beat the tree-walker outright.
+            assert!(
+                r.jit_speedup_vs_interp > 1.0,
+                "{}: jit {} !< interp {}",
+                r.kernel,
+                r.vm_jit_s,
+                r.interp_s
+            );
+        }
+    }
+
+    #[test]
+    fn bitwise_verification_rejects_divergence() {
+        let ok = verify_bits("k", &[("a", 1.5), ("b", 1.5)]).unwrap();
+        assert_eq!(ok, 1.5f64.to_bits());
+        let err = verify_bits("k", &[("a", 1.5), ("b", 1.5 + 1e-15)]).unwrap_err();
+        assert!(matches!(err, Error::VerificationFailed(_)), "{err}");
+    }
+}

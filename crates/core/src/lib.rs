@@ -30,7 +30,7 @@
 //!   query suite on 10⁴–10⁷-respondent populations under the row engine
 //!   and the serial/parallel/SIMD columnar tiers, every cell verified
 //!   against the row reference before timing;
-//! * [`experiments`] — the registry mapping experiment ids E1–E21 to
+//! * [`experiments`] — the registry mapping experiment ids E1–E22 to
 //!   drivers that regenerate each table and figure (see `DESIGN.md` §4).
 //!
 //! ```
@@ -49,6 +49,7 @@ pub mod absintstudy;
 pub mod colstudy;
 pub mod compare;
 pub mod experiments;
+pub mod jitstudy;
 pub mod lintstudy;
 pub mod memstudy;
 pub mod perfgap;

@@ -1,7 +1,7 @@
 //! The performance study (experiments E5, E6, E11): the same kernels run as
-//! ResearchScript — tree-walking, bytecode, and vectorized-builtin tiers —
-//! and as native Rust — naive, optimized, and parallel — with cross-tier
-//! verification before any time is trusted.
+//! ResearchScript — tree-walking, bytecode, fused, register-IR JIT, and
+//! vectorized-builtin tiers — and as native Rust — naive, optimized, and
+//! parallel — with cross-tier verification before any time is trusted.
 
 use std::time::Duration;
 
@@ -9,7 +9,7 @@ use serde::Serialize;
 
 use rcr_kernels::harness::{measure, Measurement};
 use rcr_kernels::{dotaxpy, matmul, montecarlo, par, reduce, spmv, stencil};
-use rcr_minilang::{bytecode, interp::Interpreter, parser, peephole, vm::Vm, Value};
+use rcr_minilang::{absint, bytecode, interp::Interpreter, jit, parser, peephole, vm::Vm, Value};
 use rcr_stats::regression::{amdahl_speedup, fit_amdahl};
 
 use crate::{Error, Result};
@@ -44,7 +44,7 @@ impl GapConfig {
         }
     }
 
-    fn reps(&self) -> usize {
+    pub(crate) fn reps(&self) -> usize {
         if self.quick {
             2
         } else {
@@ -85,6 +85,9 @@ pub enum Tier {
     /// ResearchScript on the bytecode VM after the peephole /
     /// superinstruction pass.
     VmFused,
+    /// ResearchScript with the register-IR JIT tier on top of the fused
+    /// VM: hot functions compile to typed register code at runtime.
+    VmJit,
     /// ResearchScript using the vectorized builtins (which delegate to
     /// the `rcr_kernels::simd` lane abstraction, so this tier runs the
     /// same multi-accumulator kernels as native SIMD and pays only
@@ -100,10 +103,11 @@ pub enum Tier {
 
 impl Tier {
     /// Every tier, in ladder order.
-    pub const ALL: [Tier; 7] = [
+    pub const ALL: [Tier; 8] = [
         Tier::Interp,
         Tier::Vm,
         Tier::VmFused,
+        Tier::VmJit,
         Tier::Vectorized,
         Tier::NativeNaive,
         Tier::NativeOptimized,
@@ -116,6 +120,7 @@ impl Tier {
             Tier::Interp => "tree-walk",
             Tier::Vm => "bytecode VM",
             Tier::VmFused => "fused VM",
+            Tier::VmJit => "JIT VM",
             Tier::Vectorized => "vectorized",
             Tier::NativeNaive => "native naive",
             Tier::NativeOptimized => "native optimized",
@@ -134,6 +139,8 @@ pub struct TierTimes {
     pub vm: Option<TierTime>,
     /// ResearchScript on the fused (peephole-optimized) bytecode VM.
     pub vm_fused: Option<TierTime>,
+    /// ResearchScript on the register-IR JIT tier.
+    pub vm_jit: Option<TierTime>,
     /// ResearchScript using the vectorized builtins.
     pub vectorized: Option<TierTime>,
     /// Native Rust, naive variant.
@@ -151,6 +158,7 @@ impl TierTimes {
             Tier::Interp => self.interp,
             Tier::Vm => self.vm,
             Tier::VmFused => self.vm_fused,
+            Tier::VmJit => self.vm_jit,
             Tier::Vectorized => self.vectorized,
             Tier::NativeNaive => self.native_naive,
             Tier::NativeOptimized => self.native_optimized,
@@ -188,7 +196,7 @@ impl KernelGap {
 
 // ---- ResearchScript kernel sources ------------------------------------
 
-fn dot_script(n: usize, vectorized: bool) -> String {
+pub(crate) fn dot_script(n: usize, vectorized: bool) -> String {
     let compute = if vectorized {
         "let r = vdot(a, b);".to_owned()
     } else {
@@ -200,7 +208,7 @@ fn dot_script(n: usize, vectorized: bool) -> String {
     )
 }
 
-fn saxpy_script(n: usize, vectorized: bool) -> String {
+pub(crate) fn saxpy_script(n: usize, vectorized: bool) -> String {
     let compute = if vectorized {
         "vaxpy(2.5, x, y);".to_owned()
     } else {
@@ -211,7 +219,7 @@ fn saxpy_script(n: usize, vectorized: bool) -> String {
     )
 }
 
-fn mcpi_script(n: usize) -> String {
+pub(crate) fn mcpi_script(n: usize) -> String {
     // Park–Miller LCG: every product stays below 2^53, so f64 arithmetic is
     // exact and all tiers (and the native verifier) agree bit-for-bit.
     format!(
@@ -219,7 +227,7 @@ fn mcpi_script(n: usize) -> String {
     )
 }
 
-fn matmul_script(n: usize) -> String {
+pub(crate) fn matmul_script(n: usize) -> String {
     format!(
         "fn matmul(a, b, c, n) {{\n  for i in range(0, n) {{\n    for j in range(0, n) {{\n      let acc = 0;\n      for k in range(0, n) {{ acc = acc + a[i * n + k] * b[k * n + j]; }}\n      c[i * n + j] = acc;\n    }}\n  }}\n}}\nlet n = {n};\nlet a = zeros(n * n);\nlet b = zeros(n * n);\nlet c = zeros(n * n);\nfor i in range(0, n * n) {{\n  a[i] = (i % 7) * 0.25;\n  b[i] = ((i % 5) + 1) * 0.5;\n}}\nmatmul(a, b, c, n);\nvsum(c)"
     )
@@ -241,11 +249,11 @@ pub fn study_scripts() -> Vec<(String, String)> {
 
 // ---- native reference data matching the scripts ------------------------
 
-fn script_vec_a(n: usize) -> Vec<f64> {
+pub(crate) fn script_vec_a(n: usize) -> Vec<f64> {
     (0..n).map(|i| (i % 7) as f64 * 0.25).collect()
 }
 
-fn script_vec_b(n: usize) -> Vec<f64> {
+pub(crate) fn script_vec_b(n: usize) -> Vec<f64> {
     (0..n).map(|i| ((i % 5) + 1) as f64 * 0.5).collect()
 }
 
@@ -270,7 +278,7 @@ fn mcpi_native(n: u64) -> f64 {
 
 /// Optimized native Park–Miller π: identical sample sequence, but the LCG
 /// runs in u64 integer arithmetic (the expert rewrite of [`mcpi_native`]).
-fn mcpi_native_optimized(n: u64) -> f64 {
+pub(crate) fn mcpi_native_optimized(n: u64) -> f64 {
     let mut seed: u64 = 12345;
     let mut hits = 0u64;
     for _ in 0..n {
@@ -287,24 +295,38 @@ fn mcpi_native_optimized(n: u64) -> f64 {
 
 // ---- execution helpers --------------------------------------------------
 
-fn run_interp(src: &str) -> Result<f64> {
+pub(crate) fn run_interp(src: &str) -> Result<f64> {
     let program = parser::parse(src)?;
     let v = Interpreter::new().run(&program)?;
     value_to_f64(v)
 }
 
-fn run_vm(src: &str) -> Result<f64> {
+pub(crate) fn run_vm(src: &str) -> Result<f64> {
     let program = parser::parse(src)?;
     let compiled = bytecode::compile(&program)?;
     let v = Vm::new().run(&compiled)?;
     value_to_f64(v)
 }
 
-fn run_vm_fused(src: &str) -> Result<f64> {
+pub(crate) fn run_vm_fused(src: &str) -> Result<f64> {
     let program = parser::parse(src)?;
     let compiled = bytecode::compile(&program)?;
     let fused = peephole::optimize(&compiled);
     let v = Vm::new().run(&fused)?;
+    value_to_f64(v)
+}
+
+/// Runs a script on the register-IR JIT tier (timing includes parsing,
+/// compilation, analysis, and JIT translation — the full warmup a user
+/// pays, same as the other script runners).
+pub(crate) fn run_vm_jit(src: &str) -> Result<f64> {
+    let program = parser::parse(src)?;
+    let compiled = bytecode::compile(&program)?;
+    let facts = absint::analyze(&program).facts;
+    let fused =
+        peephole::optimize_with_facts(&compiled, peephole::Options::default(), Some(&facts));
+    let engine = jit::Jit::new(&fused, jit::JitConfig::default(), Some(&facts));
+    let v = Vm::new().run_jit(&fused, &engine)?;
     value_to_f64(v)
 }
 
@@ -317,7 +339,7 @@ fn value_to_f64(v: Value) -> Result<f64> {
     }
 }
 
-fn measure_script<F>(src: &str, reps: usize, runner: F) -> Result<(Measurement, f64)>
+pub(crate) fn measure_script<F>(src: &str, reps: usize, runner: F) -> Result<(Measurement, f64)>
 where
     F: Fn(&str) -> Result<f64>,
 {
@@ -367,12 +389,14 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
         let (m_interp, r_interp) = measure_script(&dot_script(n, false), reps, run_interp)?;
         let (m_vm, r_vm) = measure_script(&dot_script(n, false), reps, run_vm)?;
         let (m_fused, r_fused) = measure_script(&dot_script(n, false), reps, run_vm_fused)?;
+        let (m_jit, r_jit) = measure_script(&dot_script(n, false), reps, run_vm_jit)?;
         let (m_vec, r_vec) = measure_script(&dot_script(n, true), reps, run_vm)?;
         let a = script_vec_a(n);
         let b = script_vec_b(n);
         let native_ref = dotaxpy::dot_optimized(&a, &b);
         verify_close("dot interp/vm", r_interp, r_vm, 1e-12)?;
         verify_close("dot vm/fused", r_vm, r_fused, 0.0)?;
+        verify_close("dot fused/jit", r_fused, r_jit, 0.0)?;
         verify_close("dot vm/vectorized", r_vm, r_vec, 1e-9)?;
         verify_close("dot script/native", r_vm, native_ref, 1e-9)?;
         let mut sink = 0.0;
@@ -391,6 +415,7 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
                 interp: Some(m_interp.into()),
                 vm: Some(m_vm.into()),
                 vm_fused: Some(m_fused.into()),
+                vm_jit: Some(m_jit.into()),
                 vectorized: Some(m_vec.into()),
                 native_naive: Some(m_naive.into()),
                 native_optimized: Some(m_opt.into()),
@@ -405,9 +430,11 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
         let (m_interp, r_interp) = measure_script(&saxpy_script(n, false), reps, run_interp)?;
         let (m_vm, r_vm) = measure_script(&saxpy_script(n, false), reps, run_vm)?;
         let (m_fused, r_fused) = measure_script(&saxpy_script(n, false), reps, run_vm_fused)?;
+        let (m_jit, r_jit) = measure_script(&saxpy_script(n, false), reps, run_vm_jit)?;
         let (m_vec, r_vec) = measure_script(&saxpy_script(n, true), reps, run_vm)?;
         verify_close("saxpy interp/vm", r_interp, r_vm, 1e-12)?;
         verify_close("saxpy vm/fused", r_vm, r_fused, 0.0)?;
+        verify_close("saxpy fused/jit", r_fused, r_jit, 0.0)?;
         verify_close("saxpy vm/vectorized", r_vm, r_vec, 1e-9)?;
         let x = script_vec_a(n);
         let base = script_vec_b(n);
@@ -451,6 +478,7 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
                 interp: Some(m_interp.into()),
                 vm: Some(m_vm.into()),
                 vm_fused: Some(m_fused.into()),
+                vm_jit: Some(m_jit.into()),
                 vectorized: Some(m_vec.into()),
                 native_naive: Some(m_naive.into()),
                 native_optimized: Some(m_opt.into()),
@@ -466,8 +494,10 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
         let (m_interp, r_interp) = measure_script(&src, reps, run_interp)?;
         let (m_vm, r_vm) = measure_script(&src, reps, run_vm)?;
         let (m_fused, r_fused) = measure_script(&src, reps, run_vm_fused)?;
+        let (m_jit, r_jit) = measure_script(&src, reps, run_vm_jit)?;
         verify_close("mc-pi interp/vm", r_interp, r_vm, 0.0)?;
         verify_close("mc-pi vm/fused", r_vm, r_fused, 0.0)?;
+        verify_close("mc-pi fused/jit", r_fused, r_jit, 0.0)?;
         // The scripted LCG and both native verifiers are bit-identical.
         verify_close("mc-pi script/native-lcg", r_vm, mcpi_native(n), 0.0)?;
         verify_close(
@@ -492,6 +522,7 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
                 interp: Some(m_interp.into()),
                 vm: Some(m_vm.into()),
                 vm_fused: Some(m_fused.into()),
+                vm_jit: Some(m_jit.into()),
                 vectorized: None, // no vectorized form of the sampling loop
                 native_naive: Some(m_naive.into()),
                 native_optimized: Some(m_opt.into()),
@@ -507,8 +538,10 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
         let (m_interp, r_interp) = measure_script(&src, reps, run_interp)?;
         let (m_vm, r_vm) = measure_script(&src, reps, run_vm)?;
         let (m_fused, r_fused) = measure_script(&src, reps, run_vm_fused)?;
+        let (m_jit, r_jit) = measure_script(&src, reps, run_vm_jit)?;
         verify_close("matmul interp/vm", r_interp, r_vm, 1e-12)?;
         verify_close("matmul vm/fused", r_vm, r_fused, 0.0)?;
+        verify_close("matmul fused/jit", r_fused, r_jit, 0.0)?;
         let a = script_vec_a(n * n);
         let b = script_vec_b(n * n);
         let native_ref: f64 = matmul::naive(&a, &b, n).iter().sum();
@@ -529,6 +562,7 @@ pub fn measure_gaps(config: &GapConfig) -> Result<Vec<KernelGap>> {
                 interp: Some(m_interp.into()),
                 vm: Some(m_vm.into()),
                 vm_fused: Some(m_fused.into()),
+                vm_jit: Some(m_jit.into()),
                 vectorized: None, // no matrix builtin — deliberately
                 native_naive: Some(m_naive.into()),
                 native_optimized: Some(m_opt.into()),
@@ -562,6 +596,13 @@ pub struct GapClosure {
     /// `(ln vm − ln fused) / (ln vm − ln native)`. Zero when fusion buys
     /// nothing; 1.0 would mean the fused VM reached native speed.
     pub closure_frac: f64,
+    /// Register-IR JIT median seconds, when that tier was measured.
+    pub vm_jit_s: Option<f64>,
+    /// JIT speedup over the fused VM (`fused / jit`).
+    pub jit_speedup: Option<f64>,
+    /// Fraction of the log-scale VM → native gap the JIT tier closes:
+    /// `(ln vm − ln jit) / (ln vm − ln native)`.
+    pub jit_closure_frac: Option<f64>,
 }
 
 /// Derives the E16 gap-closure rows from a measured gap study. Kernels
@@ -578,6 +619,14 @@ pub fn gap_closure(gaps: &[KernelGap]) -> Vec<GapClosure> {
             } else {
                 0.0
             };
+            let jit = g.tiers.vm_jit.map(|t| t.median_s.max(1e-12));
+            let jit_closure_frac = jit.map(|j| {
+                if log_gap.abs() > 1e-9 {
+                    (vm / j).ln() / log_gap
+                } else {
+                    0.0
+                }
+            });
             Some(GapClosure {
                 kernel: g.kernel.clone(),
                 size: g.size.clone(),
@@ -586,6 +635,9 @@ pub fn gap_closure(gaps: &[KernelGap]) -> Vec<GapClosure> {
                 native_best_s: native,
                 speedup: vm / fused,
                 closure_frac,
+                vm_jit_s: jit,
+                jit_speedup: jit.map(|j| fused / j),
+                jit_closure_frac,
             })
         })
         .collect()
@@ -836,24 +888,33 @@ mod tests {
         // derive from it.
         for g in &gaps {
             assert!(g.tiers.vm_fused.is_some(), "{}: fused missing", g.kernel);
+            assert!(g.tiers.vm_jit.is_some(), "{}: jit missing", g.kernel);
         }
         let closures = gap_closure(&gaps);
         assert_eq!(closures.len(), 4);
         for c in &closures {
             assert!(c.speedup > 0.0, "{}: speedup {}", c.kernel, c.speedup);
             assert!(c.closure_frac.is_finite(), "{}", c.kernel);
+            let js = c.jit_speedup.expect("jit tier measured");
+            assert!(js > 0.0, "{}: jit speedup {}", c.kernel, js);
+            assert!(
+                c.jit_closure_frac.expect("jit tier measured").is_finite(),
+                "{}",
+                c.kernel
+            );
         }
     }
 
     #[test]
     fn tier_table_is_the_single_name_source() {
-        assert_eq!(Tier::ALL.len(), 7);
+        assert_eq!(Tier::ALL.len(), 8);
         let names: Vec<&str> = Tier::ALL.iter().map(|t| t.name()).collect();
         let mut unique = names.clone();
         unique.sort_unstable();
         unique.dedup();
         assert_eq!(unique.len(), names.len(), "duplicate tier names");
         assert_eq!(Tier::VmFused.name(), "fused VM");
+        assert_eq!(Tier::VmJit.name(), "JIT VM");
         // `get` routes each enum member to the matching struct field.
         let t = TierTimes {
             vm_fused: Some(TierTime {

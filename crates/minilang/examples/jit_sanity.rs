@@ -1,0 +1,53 @@
+use rcr_minilang::{absint, bytecode, jit, parser, peephole, vm};
+use std::time::Instant;
+
+fn main() {
+    let src = r#"
+        fn dot(a, b) {
+            let s = 0;
+            for i in range(0, len(a)) { s = s + a[i] * b[i]; }
+            return s;
+        }
+        let a = fill(2000, 1.5);
+        let b = fill(2000, 2.0);
+        let s = 0;
+        for r in range(0, 200) { s = s + dot(a, b); }
+        s
+    "#;
+    let program = parser::parse(src).unwrap();
+    let compiled = bytecode::compile(&program).unwrap();
+    let facts = absint::analyze(&program).facts;
+    let fused =
+        peephole::optimize_with_facts(&compiled, peephole::Options::default(), Some(&facts));
+
+    let t = Instant::now();
+    let v1 = vm::Vm::new().run(&fused).unwrap();
+    let fused_t = t.elapsed();
+
+    let engine = jit::Jit::new(&fused, jit::JitConfig::default(), Some(&facts));
+    let t = Instant::now();
+    let v2 = vm::Vm::new().run_jit(&fused, &engine).unwrap();
+    let jit_t = t.elapsed();
+
+    assert_eq!(v1, v2);
+    eprintln!(
+        "compiled={} jit_calls={} deopts={}",
+        engine.stats().compiled(),
+        engine.stats().jit_calls(),
+        engine.stats().deopts()
+    );
+    eprintln!(
+        "fused={:?} jit={:?} speedup={:.2}x",
+        fused_t,
+        jit_t,
+        fused_t.as_secs_f64() / jit_t.as_secs_f64()
+    );
+    println!(
+        "{}",
+        jit::render_ir(&fused, Some(&facts))
+            .lines()
+            .take(40)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -12,9 +12,17 @@
 //!   --no-opt      skip the constant-folding optimizer (VM mode only)
 //!   --no-fuse     skip the bytecode peephole/superinstruction pass
 //!                 (VM mode only; on by default)
+//!   --jit         enable the register-IR JIT tier (VM mode only): hot
+//!                 functions compile to typed register code at runtime
 //!   --disasm      print the compiled bytecode instead of running
+//!   --ir          print the register IR the JIT tier would compile
+//!                 instead of running
 //!   --time        print wall time to stderr after the run
 //! ```
+//!
+//! One abstract-interpretation pass feeds everything downstream: the
+//! `--check` lints, the `--facts` report, the peephole fusion proofs, and
+//! the JIT's type seeds all share a single `absint::analyze` fixpoint.
 //!
 //! The program's final expression-statement value is printed to stdout
 //! (unless it is nil).
@@ -23,7 +31,8 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use rcr_minilang::{
-    absint, bytecode, disasm, interp::Interpreter, lint, optimize, parser, peephole, vm::Vm, Value,
+    absint, bytecode, disasm, interp::Interpreter, jit, lint, optimize, parser, peephole, vm::Vm,
+    Value,
 };
 
 struct Args {
@@ -33,7 +42,9 @@ struct Args {
     interp: bool,
     optimize: bool,
     fuse: bool,
+    jit: bool,
     disasm: bool,
+    ir: bool,
     time: bool,
 }
 
@@ -43,7 +54,7 @@ enum Source {
 }
 
 fn usage() -> &'static str {
-    "usage: rsc [--check] [--facts] [--interp] [--no-opt] [--no-fuse] [--disasm] [--time] (FILE.rsc | -e 'EXPR')"
+    "usage: rsc [--check] [--facts] [--interp] [--no-opt] [--no-fuse] [--jit] [--disasm] [--ir] [--time] (FILE.rsc | -e 'EXPR')"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,7 +64,9 @@ fn parse_args() -> Result<Args, String> {
     let mut interp = false;
     let mut optimize = true;
     let mut fuse = true;
+    let mut jit = false;
     let mut disasm = false;
+    let mut ir = false;
     let mut time = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -63,7 +76,9 @@ fn parse_args() -> Result<Args, String> {
             "--interp" => interp = true,
             "--no-opt" => optimize = false,
             "--no-fuse" => fuse = false,
+            "--jit" => jit = true,
             "--disasm" => disasm = true,
+            "--ir" => ir = true,
             "--time" => time = true,
             "-e" => {
                 let expr = it
@@ -79,6 +94,12 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     let source = source.ok_or_else(|| usage().to_owned())?;
+    if jit && interp {
+        return Err(format!(
+            "--jit requires the VM tier, not --interp\n{}",
+            usage()
+        ));
+    }
     Ok(Args {
         source,
         check,
@@ -86,7 +107,9 @@ fn parse_args() -> Result<Args, String> {
         interp,
         optimize,
         fuse,
+        jit,
         disasm,
+        ir,
         time,
     })
 }
@@ -118,6 +141,12 @@ fn main() -> ExitCode {
         }
     };
 
+    // One shared abstract-interpretation pass over the program as written:
+    // lint findings, the fact report, the peephole fusion proofs, and the
+    // JIT's type seeds all read this single fixpoint. (The `TypeFacts` are
+    // keyed by function name, so they survive AST-level optimization.)
+    let analysis = absint::analyze(&program);
+
     if args.check {
         // Lint the un-optimized program: the analyses fold constants where
         // they need to, and must see the code the author wrote.
@@ -125,7 +154,7 @@ fn main() -> ExitCode {
             Source::File(path) => path.as_str(),
             Source::Inline(_) => "<inline>",
         };
-        let diags = lint::lint(&program);
+        let diags = lint::lint_with_analysis(&program, &analysis);
         for d in &diags {
             println!(
                 "{label}:{}: warning[{}]: {}",
@@ -143,7 +172,7 @@ fn main() -> ExitCode {
 
     if args.facts {
         // Like --check, report on the program as written.
-        print!("{}", absint::analyze(&program).render_facts());
+        print!("{}", analysis.render_facts());
         return ExitCode::SUCCESS;
     }
 
@@ -158,15 +187,23 @@ fn main() -> ExitCode {
     // whichever one would execute).
     let fuse = |c: bytecode::Compiled| {
         if args.fuse {
-            peephole::optimize(&c)
+            peephole::optimize_with_facts(&c, peephole::Options::default(), Some(&analysis.facts))
         } else {
             c
         }
     };
 
-    if args.disasm {
+    if args.disasm || args.ir {
         match bytecode::compile(&program) {
-            Ok(c) => print!("{}", disasm::disassemble(&fuse(c))),
+            Ok(c) => {
+                let c = fuse(c);
+                if args.disasm {
+                    print!("{}", disasm::disassemble(&c));
+                }
+                if args.ir {
+                    print!("{}", jit::render_ir(&c, Some(&analysis.facts)));
+                }
+            }
             Err(e) => {
                 eprintln!("rsc: {e}");
                 return ExitCode::from(1);
@@ -178,6 +215,12 @@ fn main() -> ExitCode {
     let t0 = Instant::now();
     let result = if args.interp {
         Interpreter::new().run(&program)
+    } else if args.jit {
+        bytecode::compile(&program).and_then(|c| {
+            let c = fuse(c);
+            let engine = jit::Jit::new(&c, jit::JitConfig::default(), Some(&analysis.facts));
+            Vm::new().run_jit(&c, &engine)
+        })
     } else {
         bytecode::compile(&program).and_then(|c| Vm::new().run(&fuse(c)))
     };

@@ -3,6 +3,11 @@
 //! Used in tests (asserting on generated code shapes survives refactors
 //! better than matching `Op` vectors), in documentation, and by anyone
 //! debugging the compiler.
+//!
+//! The JIT tier's register IR has its own renderer, re-exported here as
+//! [`render_jit_fn`] (and reachable end to end via `rsc --ir`).
+
+pub use crate::jit::render_jit_fn;
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,474 @@
+//! The typed register IR the JIT tier executes.
+//!
+//! A [`JitFn`] is a basic-block graph over three virtual register files:
+//!
+//! * the **f-file** (`f64`) for values proven numeric,
+//! * the **a-file** (`Rc<RefCell<Vec<f64>>>`) for values proven to be
+//!   float arrays,
+//! * the **g-file** ([`Value`]) for everything else.
+//!
+//! Typed instructions (`fadd`, `aget`, …) touch only unboxed registers;
+//! generic instructions route through the same canonical helpers the VM
+//! uses ([`crate::value::binop`], [`crate::value::index_get`], …), so
+//! values, error messages, and allocation charging cannot drift between
+//! tiers. Every block carries the number of fused bytecode instructions
+//! it covers (`weight`); the executor charges fuel at exactly the
+//! bytecode's control-transfer points, accumulating fall-through weights
+//! in between, which makes fuel accounting bit-identical to the fused VM.
+
+use std::fmt::Write as _;
+
+use crate::ast::BinOp;
+use crate::bytecode::CompiledFn;
+
+/// Operand readable as a [`crate::value::Value`]: a register in any file,
+/// a constant-pool entry, or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum GOpnd {
+    /// Generic register.
+    G(u16),
+    /// Numeric register (boxed to `Value::Num` on read).
+    F(u16),
+    /// Float-array register (boxed to `Value::FloatArray` on read).
+    A(u16),
+    /// Constant-pool entry of the source function.
+    K(u16),
+    /// `nil`.
+    Nil,
+    /// `true`.
+    True,
+    /// `false`.
+    False,
+}
+
+/// Where a call result lands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Dst {
+    /// Numeric register (checked unbox; the builtin return-type table
+    /// guarantees it).
+    F(u16),
+    /// Float-array register (checked unbox; `absint` type facts or the
+    /// builtin table guarantee it).
+    A(u16),
+    /// Generic register.
+    G(u16),
+    /// Result discarded (still computed and charged).
+    None,
+}
+
+/// One register instruction. `line` fields carry the source line of the
+/// originating bytecode for error attribution.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Instr {
+    /// `f[d] = f[s]`.
+    FMov { d: u16, s: u16 },
+    /// `f[d] = f[a] + f[b]`.
+    FAdd { d: u16, a: u16, b: u16 },
+    /// `f[d] = f[a] - f[b]`.
+    FSub { d: u16, a: u16, b: u16 },
+    /// `f[d] = f[a] * f[b]`.
+    FMul { d: u16, a: u16, b: u16 },
+    /// `f[d] = f[a] / f[b]`, erroring on a zero divisor like [`crate::value::binop`].
+    FDiv { d: u16, a: u16, b: u16, line: u32 },
+    /// `f[d] = f[a] % f[b]`, erroring on a zero divisor.
+    FMod { d: u16, a: u16, b: u16, line: u32 },
+    /// `f[d] = -f[s]`.
+    FNeg { d: u16, s: u16 },
+    /// Fused pair of f-file binops: `t = f[a] op1 f[b]` then
+    /// `f[d] = t op2 f[c]` (`f[c] op2 t` when `rev`). The peephole only
+    /// forms this from two *adjacent* instructions whose intermediate is
+    /// used exactly once, so evaluation order, rounding, and zero-divisor
+    /// errors (`l1` for `op1`, `l2` for `op2`) are identical to the
+    /// unfused sequence. Block weights are untouched, so fuel accounting
+    /// cannot drift.
+    FFuse {
+        op1: BinOp,
+        op2: BinOp,
+        d: u16,
+        a: u16,
+        b: u16,
+        c: u16,
+        rev: bool,
+        l1: u32,
+        l2: u32,
+    },
+    /// `f[d] = a[arr][f[idx]]` with the VM's guarded fast path; falls back
+    /// to [`crate::value::index_get`] for exact out-of-range errors.
+    AGet {
+        d: u16,
+        arr: u16,
+        idx: u16,
+        line: u32,
+    },
+    /// `a[arr][f[idx]] = f[val]`, falling back to [`crate::value::index_set`].
+    ASet {
+        arr: u16,
+        idx: u16,
+        val: u16,
+        line: u32,
+    },
+    /// `a[d] = a[s]` (shares the underlying array).
+    AMov { d: u16, s: u16 },
+    /// `g[d] = value(s)`.
+    GMov { d: u16, s: GOpnd },
+    /// Generic binary op through `bin_fast`/[`crate::value::binop`] with
+    /// allocation charging on the slow path — the VM's `BinLL` semantics.
+    GBin {
+        op: BinOp,
+        d: u16,
+        l: GOpnd,
+        r: GOpnd,
+        line: u32,
+    },
+    /// Comparison of two numeric registers producing a boolean value
+    /// (NaN comparisons error exactly like [`crate::value::binop`]).
+    GCmpF {
+        op: BinOp,
+        d: u16,
+        a: u16,
+        b: u16,
+        line: u32,
+    },
+    /// Generic numeric negation into the f-file — negation always yields
+    /// a number or errors (type-errors carry `line`).
+    GNeg { d: u16, s: GOpnd, line: u32 },
+    /// `g[d] = !truthy(s)`.
+    GNot { d: u16, s: GOpnd },
+    /// Generic indexed read via [`crate::value::index_get`].
+    GIdxGet {
+        d: u16,
+        arr: GOpnd,
+        idx: GOpnd,
+        line: u32,
+    },
+    /// Generic indexed write via [`crate::value::index_set`].
+    GIdxSet {
+        arr: GOpnd,
+        idx: GOpnd,
+        val: GOpnd,
+        line: u32,
+    },
+    /// Array literal (allocation charged like the VM's `MakeArray`, which
+    /// cannot carry a source line on the charge).
+    GArr { d: u16, items: Vec<GOpnd> },
+    /// Builtin call; the result is charged against the memory budget and
+    /// lands per [`Dst`].
+    CallB {
+        d: Dst,
+        b: u16,
+        args: Vec<GOpnd>,
+        line: u32,
+    },
+    /// Store into the program-result register (`SetResult`).
+    SetRes { s: GOpnd },
+}
+
+/// A block terminator. Fuel is charged here (except [`Term::Fall`], which
+/// carries its weight forward), replicating the fused VM's
+/// charge-at-control-transfer accounting exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Term {
+    /// Unconditional jump (bytecode `Jump`): charge, then transfer.
+    Jump { to: u32 },
+    /// Bytecode `JumpIfFalse`/`JumpIfFalsePeek`: charge, then test.
+    BrFalse {
+        c: GOpnd,
+        on_false: u32,
+        on_next: u32,
+    },
+    /// Bytecode `JumpIfTruePeek`: charge, then test.
+    BrTrue {
+        c: GOpnd,
+        on_true: u32,
+        on_next: u32,
+    },
+    /// Fused compare-and-branch over numeric registers (`JumpIfNotCmp`):
+    /// compute the comparison (NaN errors), then charge, then branch.
+    BrCmpF {
+        op: BinOp,
+        a: u16,
+        b: u16,
+        on_false: u32,
+        on_next: u32,
+        line: u32,
+    },
+    /// Generic `JumpIfNotCmp`: compute via `bin_fast`/`binop`, charge,
+    /// branch.
+    BrCmpG {
+        op: BinOp,
+        l: GOpnd,
+        r: GOpnd,
+        on_false: u32,
+        on_next: u32,
+        line: u32,
+    },
+    /// User-function call (`CallFn`): charge, depth-check, dispatch
+    /// (jit-to-jit when hot, VM sub-loop otherwise), store per [`Dst`].
+    Call {
+        fidx: u16,
+        args: Vec<GOpnd>,
+        d: Dst,
+        to: u32,
+        line: u32,
+    },
+    /// Return a value (`Ret`/`RetNil` with [`GOpnd::Nil`]): charge, then
+    /// unwind to the caller.
+    Ret { v: GOpnd },
+    /// Fall through into a block that is a jump target: no charge — the
+    /// weight accumulates into the pending counter, exactly as the VM
+    /// keeps counting `ip - run_start` across non-transfer instructions.
+    Fall { to: u32 },
+}
+
+/// One basic block: straight-line instructions, a terminator, and the
+/// number of fused bytecode instructions the block covers (its fuel
+/// weight).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Block {
+    pub instrs: Vec<Instr>,
+    pub term: Term,
+    pub weight: u32,
+}
+
+/// Entry-guard speculation for one parameter, fixed at tier-up time from
+/// the first hot call's argument types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamSpec {
+    /// Guarded `Value::Num`; the parameter lives unboxed in the f-file.
+    Num,
+    /// Guarded `Value::FloatArray`; the parameter lives in the a-file.
+    FArr,
+    /// Unguarded; the parameter stays generic.
+    Any,
+}
+
+/// Where a parameter lands after the entry guard passes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ParamLoc {
+    /// Unboxed into the numeric file.
+    F(u16),
+    /// Unboxed into the array file.
+    A(u16),
+    /// Moved into the generic file.
+    G(u16),
+}
+
+/// A compiled function: plain data (no `Rc`), so compiled code is
+/// `Send + Sync` and can be cached across executions and threads keyed by
+/// the program's content hash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JitFn {
+    pub(crate) blocks: Vec<Block>,
+    /// Register-file sizes.
+    pub(crate) n_f: u16,
+    pub(crate) n_g: u16,
+    pub(crate) n_a: u16,
+    /// Numeric constants as `(f-register, value)` pairs, written into the
+    /// f-file at entry (folded constants land here too).
+    pub(crate) fpool: Vec<(u16, f64)>,
+    /// Entry guards, one per parameter.
+    pub(crate) spec: Vec<ParamSpec>,
+    /// Landing register for each parameter.
+    pub(crate) params: Vec<ParamLoc>,
+    /// Index of the source function in [`crate::bytecode::Compiled::funcs`].
+    pub(crate) fidx: usize,
+}
+
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<JitFn>();
+};
+
+impl JitFn {
+    /// True when `args` satisfies every entry guard.
+    pub(crate) fn guards_pass(&self, args: &[crate::value::Value]) -> bool {
+        use crate::value::Value;
+        self.spec.iter().zip(args).all(|(s, v)| match s {
+            ParamSpec::Num => matches!(v, Value::Num(_)),
+            ParamSpec::FArr => matches!(v, Value::FloatArray(_)),
+            ParamSpec::Any => true,
+        })
+    }
+}
+
+fn gop(o: &GOpnd) -> String {
+    match o {
+        GOpnd::G(i) => format!("g{i}"),
+        GOpnd::F(i) => format!("f{i}"),
+        GOpnd::A(i) => format!("a{i}"),
+        GOpnd::K(i) => format!("k{i}"),
+        GOpnd::Nil => "nil".into(),
+        GOpnd::True => "true".into(),
+        GOpnd::False => "false".into(),
+    }
+}
+
+fn dst(d: &Dst) -> String {
+    match d {
+        Dst::F(i) => format!("f{i}"),
+        Dst::A(i) => format!("a{i}"),
+        Dst::G(i) => format!("g{i}"),
+        Dst::None => "_".into(),
+    }
+}
+
+fn bname(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "add",
+        BinOp::Sub => "sub",
+        BinOp::Mul => "mul",
+        BinOp::Div => "div",
+        BinOp::Mod => "mod",
+        BinOp::Eq => "eq",
+        BinOp::Ne => "ne",
+        BinOp::Lt => "lt",
+        BinOp::Le => "le",
+        BinOp::Gt => "gt",
+        BinOp::Ge => "ge",
+    }
+}
+
+fn render_instr(i: &Instr) -> String {
+    match i {
+        Instr::FMov { d, s } => format!("f{d} = f{s}"),
+        Instr::FAdd { d, a, b } => format!("f{d} = fadd f{a}, f{b}"),
+        Instr::FSub { d, a, b } => format!("f{d} = fsub f{a}, f{b}"),
+        Instr::FMul { d, a, b } => format!("f{d} = fmul f{a}, f{b}"),
+        Instr::FDiv { d, a, b, .. } => format!("f{d} = fdiv f{a}, f{b}"),
+        Instr::FMod { d, a, b, .. } => format!("f{d} = fmod f{a}, f{b}"),
+        Instr::FNeg { d, s } => format!("f{d} = fneg f{s}"),
+        Instr::FFuse {
+            op1,
+            op2,
+            d,
+            a,
+            b,
+            c,
+            rev,
+            ..
+        } => {
+            let tail = if *rev { " rev" } else { "" };
+            format!(
+                "f{d} = ffuse.{}.{} f{a}, f{b}, f{c}{tail}",
+                bname(*op1),
+                bname(*op2)
+            )
+        }
+        Instr::AGet { d, arr, idx, .. } => format!("f{d} = aget a{arr}[f{idx}]"),
+        Instr::ASet { arr, idx, val, .. } => format!("aset a{arr}[f{idx}] = f{val}"),
+        Instr::AMov { d, s } => format!("a{d} = a{s}"),
+        Instr::GMov { d, s } => format!("g{d} = {}", gop(s)),
+        Instr::GBin { op, d, l, r, .. } => {
+            format!("g{d} = {} {}, {}", bname(*op), gop(l), gop(r))
+        }
+        Instr::GCmpF { op, d, a, b, .. } => format!("g{d} = fcmp.{} f{a}, f{b}", bname(*op)),
+        Instr::GNeg { d, s, .. } => format!("f{d} = neg {}", gop(s)),
+        Instr::GNot { d, s } => format!("g{d} = not {}", gop(s)),
+        Instr::GIdxGet { d, arr, idx, .. } => format!("g{d} = index {}[{}]", gop(arr), gop(idx)),
+        Instr::GIdxSet { arr, idx, val, .. } => {
+            format!("index {}[{}] = {}", gop(arr), gop(idx), gop(val))
+        }
+        Instr::GArr { d, items } => {
+            let parts: Vec<String> = items.iter().map(gop).collect();
+            format!("g{d} = array [{}]", parts.join(", "))
+        }
+        Instr::CallB { d, b, args, .. } => {
+            let parts: Vec<String> = args.iter().map(gop).collect();
+            format!(
+                "{} = builtin {}({})",
+                dst(d),
+                crate::builtins::NAMES[*b as usize],
+                parts.join(", ")
+            )
+        }
+        Instr::SetRes { s } => format!("result = {}", gop(s)),
+    }
+}
+
+fn render_term(t: &Term) -> String {
+    match t {
+        Term::Jump { to } => format!("jump -> b{to}"),
+        Term::BrFalse {
+            c,
+            on_false,
+            on_next,
+        } => format!("brfalse {} -> b{on_false}, else b{on_next}", gop(c)),
+        Term::BrTrue {
+            c,
+            on_true,
+            on_next,
+        } => format!("brtrue {} -> b{on_true}, else b{on_next}", gop(c)),
+        Term::BrCmpF {
+            op,
+            a,
+            b,
+            on_false,
+            on_next,
+            ..
+        } => format!(
+            "brnot.{} f{a}, f{b} -> b{on_false}, else b{on_next}",
+            bname(*op)
+        ),
+        Term::BrCmpG {
+            op,
+            l,
+            r,
+            on_false,
+            on_next,
+            ..
+        } => format!(
+            "brnot.{} {}, {} -> b{on_false}, else b{on_next}",
+            bname(*op),
+            gop(l),
+            gop(r)
+        ),
+        Term::Call {
+            fidx, args, d, to, ..
+        } => {
+            let parts: Vec<String> = args.iter().map(gop).collect();
+            format!(
+                "{} = call fn{}({}) -> b{to}",
+                dst(d),
+                fidx,
+                parts.join(", ")
+            )
+        }
+        Term::Ret { v } => format!("ret {}", gop(v)),
+        Term::Fall { to } => format!("fall -> b{to}"),
+    }
+}
+
+/// Renders one compiled function's register IR as a deterministic listing
+/// (consumed by `rsc --ir` and the golden-output test).
+pub fn render_jit_fn(func: &CompiledFn, code: &JitFn) -> String {
+    let mut out = String::new();
+    let spec: Vec<&str> = code
+        .spec
+        .iter()
+        .map(|s| match s {
+            ParamSpec::Num => "num",
+            ParamSpec::FArr => "farray",
+            ParamSpec::Any => "any",
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "jit {} [{}] f{} g{} a{}:",
+        func.name,
+        spec.join(", "),
+        code.n_f,
+        code.n_g,
+        code.n_a
+    );
+    for (r, k) in &code.fpool {
+        let _ = writeln!(out, "  f{r} = const {k}");
+    }
+    for (bi, b) in code.blocks.iter().enumerate() {
+        let _ = writeln!(out, " b{bi}: ; weight {}", b.weight);
+        for ins in &b.instrs {
+            let _ = writeln!(out, "    {}", render_instr(ins));
+        }
+        let _ = writeln!(out, "    {}", render_term(&b.term));
+    }
+    out
+}

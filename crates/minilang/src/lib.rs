@@ -7,13 +7,16 @@
 //! dispatch, boxed values, per-operation overhead — on exactly the same
 //! kernels the native suite runs, instead of quoting folklore constants.
 //!
-//! Three execution tiers mirror how researchers actually climb the
+//! Four execution tiers mirror how researchers actually climb the
 //! performance ladder:
 //!
 //! 1. [`interp`] — a tree-walking AST interpreter (a naive CPython analog),
 //! 2. [`vm`] — a bytecode compiler + stack VM (an optimized interpreter),
 //! 3. vectorized [`builtins`] over contiguous float arrays (the "rewrite the
-//!    hot loop with NumPy" move).
+//!    hot loop with NumPy" move),
+//! 4. [`jit`] — hot functions compiled at runtime to a typed register IR
+//!    (the PyPy/Numba move), with guard-failure deoptimization back to
+//!    the fused VM.
 //!
 //! ## Language sketch
 //!
@@ -53,6 +56,7 @@ pub mod diagnostics;
 pub mod disasm;
 pub mod error;
 pub mod interp;
+pub mod jit;
 pub mod lexer;
 pub mod lint;
 pub mod optimize;
@@ -119,6 +123,25 @@ pub fn run_source_vm_fused(src: &str) -> Result<Value> {
     m.run(&fused)
 }
 
+/// Like [`run_source_vm_fused`], but executes through the [`jit`] tier:
+/// hot functions (including the program entry) compile to typed register
+/// IR and run on the compiled tier, deoptimizing to the fused VM on entry
+/// guard failure. Results, errors, fuel, and memory accounting are
+/// bit-identical to the fused VM.
+///
+/// # Errors
+/// Lexing, parsing, compilation, or runtime errors.
+pub fn run_source_vm_jit(src: &str) -> Result<Value> {
+    let program = parser::parse(src)?;
+    let compiled = bytecode::compile(&program)?;
+    let facts = absint::analyze(&program).facts;
+    let fused =
+        peephole::optimize_with_facts(&compiled, peephole::Options::default(), Some(&facts));
+    let engine = jit::Jit::new(&fused, jit::JitConfig::default(), Some(&facts));
+    let mut m = vm::Vm::new();
+    m.run_jit(&fused, &engine)
+}
+
 #[cfg(test)]
 mod tier_equivalence {
     use super::*;
@@ -169,6 +192,17 @@ mod tier_equivalence {
         ("shadow-scope", "let x = 1; { let x = 2; } x"),
     ];
 
+    /// Build the fused program plus an always-hot JIT engine for `src`.
+    fn jit_setup(src: &str) -> (bytecode::Compiled, jit::Jit) {
+        let program = parser::parse(src).expect("parses");
+        let compiled = bytecode::compile(&program).expect("compiles");
+        let facts = absint::analyze(&program).facts;
+        let fused =
+            peephole::optimize_with_facts(&compiled, peephole::Options::default(), Some(&facts));
+        let engine = jit::Jit::new(&fused, jit::JitConfig::default(), Some(&facts));
+        (fused, engine)
+    }
+
     #[test]
     fn interpreter_and_vm_agree() {
         for (name, src) in PROGRAMS {
@@ -177,7 +211,49 @@ mod tier_equivalence {
             assert_eq!(a, b, "tier mismatch on `{name}`");
             let c = run_source_vm_fused(src).unwrap_or_else(|e| panic!("fused {name}: {e}"));
             assert_eq!(a, c, "fused tier mismatch on `{name}`");
+            let d = run_source_vm_jit(src).unwrap_or_else(|e| panic!("jit {name}: {e}"));
+            assert_eq!(a, d, "jit tier mismatch on `{name}`");
         }
+    }
+
+    #[test]
+    fn jit_fuel_accounting_is_bit_identical_to_fused() {
+        // The JIT charges fuel per basic block with the same weights and
+        // at the same transfer points as the fused VM, so for *every*
+        // budget the two tiers agree exactly: same success, same value,
+        // same typed error.
+        for (name, src) in PROGRAMS {
+            let (fused, engine) = jit_setup(src);
+            for budget in (0..300).chain((300..5_000).step_by(97)) {
+                let a = vm::Vm::with_fuel(budget).run(&fused);
+                let b = vm::Vm::with_fuel(budget).run_jit(&fused, &engine);
+                assert_eq!(a, b, "fuel divergence on `{name}` at budget {budget}");
+            }
+            let a = vm::Vm::with_fuel(1_000_000).run(&fused);
+            let b = vm::Vm::with_fuel(1_000_000).run_jit(&fused, &engine);
+            assert_eq!(a, b, "fuel divergence on `{name}` at budget 1000000");
+            assert!(a.is_ok(), "`{name}` should finish within 1M fuel");
+        }
+    }
+
+    #[test]
+    fn jit_guard_failure_deoptimizes_correctly() {
+        // A function first called with numbers compiles under Num entry
+        // guards; a later call with strings fails the guard and
+        // deoptimizes to the fused VM, with identical observable results.
+        let src = r#"
+            fn add(a, b) { return a + b; }
+            let x = add(1, 2);
+            let s = add("a", "b");
+            s + "-done"
+        "#;
+        let expect = run_source(src).unwrap();
+        assert_eq!(run_source_vm_jit(src).unwrap(), expect);
+        let (fused, engine) = jit_setup(src);
+        let got = vm::Vm::new().run_jit(&fused, &engine).unwrap();
+        assert_eq!(got, expect);
+        assert!(engine.stats().jit_calls() >= 1, "jit tier never ran");
+        assert!(engine.stats().deopts() >= 1, "guard failure never deopted");
     }
 
     #[test]
@@ -206,6 +282,11 @@ mod tier_equivalence {
             let fused = peephole::optimize(&compiled);
             let c = vm::Vm::with_fuel(50_000).run(&fused).unwrap_err();
             assert_eq!(a, c, "fused tier mismatch on `{src}`");
+            let (jfused, engine) = jit_setup(src);
+            let d = vm::Vm::with_fuel(50_000)
+                .run_jit(&jfused, &engine)
+                .unwrap_err();
+            assert_eq!(a, d, "jit tier mismatch on `{src}`");
         }
         for (name, src) in PROGRAMS {
             let program = parser::parse(src).expect("parses");
@@ -216,6 +297,9 @@ mod tier_equivalence {
             let fused = peephole::optimize(&compiled);
             let c = vm::Vm::with_fuel(1_000_000).run(&fused);
             assert_eq!(b, c, "fueled fused tier mismatch on `{name}`");
+            let (jfused, engine) = jit_setup(src);
+            let d = vm::Vm::with_fuel(1_000_000).run_jit(&jfused, &engine);
+            assert_eq!(b, d, "fueled jit tier mismatch on `{name}`");
             assert_eq!(
                 a.unwrap(),
                 run_source(src).unwrap(),
@@ -267,6 +351,11 @@ mod tier_equivalence {
             assert_eq!(a, b, "tier mismatch on `{src}`");
             let c = vm::Vm::with_limits(None, short).run(&fused).unwrap_err();
             assert_eq!(a, c, "fused tier mismatch on `{src}`");
+            let (jfused, engine) = jit_setup(src);
+            let d = vm::Vm::with_limits(None, short)
+                .run_jit(&jfused, &engine)
+                .unwrap_err();
+            assert_eq!(a, d, "jit tier mismatch on `{src}`");
             // The exact budget suffices on every tier, with results
             // untouched.
             let expect = run_source(src).unwrap();
@@ -287,6 +376,13 @@ mod tier_equivalence {
                 vm::Vm::with_limits(None, exact).run(&fused).unwrap(),
                 expect,
                 "memory budget changed fused vm `{src}`"
+            );
+            assert_eq!(
+                vm::Vm::with_limits(None, exact)
+                    .run_jit(&jfused, &engine)
+                    .unwrap(),
+                expect,
+                "memory budget changed jit vm `{src}`"
             );
         }
         // Fuel and memory are independent limits: whichever runs out first
@@ -320,6 +416,10 @@ mod tier_equivalence {
             assert!(
                 run_source_vm_fused(src).is_err(),
                 "fused vm should fail on `{src}`"
+            );
+            assert!(
+                run_source_vm_jit(src).is_err(),
+                "jit vm should fail on `{src}`"
             );
         }
     }

@@ -38,7 +38,21 @@ pub fn lint_source(src: &str) -> Result<Vec<Diagnostic>> {
 }
 
 /// Lints a parsed program, returning diagnostics sorted by line, then code.
+///
+/// Runs a fresh abstract-interpretation pass for the semantic findings;
+/// callers that already hold an [`crate::absint::Analysis`] (the `rsc`
+/// driver shares one pass between linting, fact rendering, peephole
+/// fusion, and JIT compilation) should use [`lint_with_analysis`].
 pub fn lint(program: &Program) -> Vec<Diagnostic> {
+    lint_with_analysis(program, &crate::absint::analyze(program))
+}
+
+/// Like [`lint`], but reuses an existing abstract-interpretation result
+/// instead of recomputing the fixpoint.
+pub fn lint_with_analysis(
+    program: &Program,
+    analysis: &crate::absint::Analysis,
+) -> Vec<Diagnostic> {
     let mut l = Linter {
         fns: program
             .functions
@@ -77,7 +91,7 @@ pub fn lint(program: &Program) -> Vec<Diagnostic> {
     let mut out = l.out;
     // Semantic findings (W008–W012) from the abstract-interpretation
     // fixpoint join the syntactic and CFG-based walks above.
-    out.extend(crate::absint::analyze(program).diagnostics);
+    out.extend(analysis.diagnostics.iter().cloned());
     out.sort();
     out.dedup_by(|a, b| a.line == b.line && a.code == b.code && a.message == b.message);
     out

@@ -244,7 +244,7 @@ fn eliminate_dead(f: &CompiledFn) -> CompiledFn {
 /// `CallFn(f, …)` site pushes its arguments with plain single-push
 /// instructions and argument `j` loads a slot proven in the caller. The
 /// whole system iterates to a (monotone, hence terminating) fixpoint.
-fn proven_float_slots(c: &Compiled, facts: Option<&TypeFacts>) -> Vec<Vec<bool>> {
+pub(crate) fn proven_float_slots(c: &Compiled, facts: Option<&TypeFacts>) -> Vec<Vec<bool>> {
     let producer: Vec<u16> = ["fill", "zeros"]
         .iter()
         .filter_map(|want| {

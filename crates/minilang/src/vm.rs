@@ -12,8 +12,9 @@ use crate::error::{Error, Result};
 use crate::value::{binop, heap_cost, index_get, index_set, Value};
 
 /// Maximum VM call depth (heap frames, so this bounds runaway recursion,
-/// not the host stack).
-const MAX_FRAMES: usize = 10_000;
+/// not the host stack). The JIT tier counts its frames against the same
+/// limit so both tiers fail identically.
+pub(crate) const MAX_FRAMES: usize = 10_000;
 
 struct Frame {
     func: usize,
@@ -69,9 +70,10 @@ impl Vm {
     }
 
     /// Charges `v`'s heap cost against the memory budget; errors when the
-    /// allocation would exceed it.
+    /// allocation would exceed it. Shared with the JIT executor so both
+    /// tiers exhaust a given budget at the same allocation.
     #[inline]
-    fn charge_alloc(&mut self, v: &Value) -> Result<()> {
+    pub(crate) fn charge_alloc(&mut self, v: &Value) -> Result<()> {
         if let Some(budget) = self.mem_budget {
             let cost = heap_cost(v);
             if cost > self.mem_left {
@@ -92,29 +94,129 @@ impl Vm {
         // branch at all, and the fueled VM charges whole basic blocks at
         // control transfers instead of testing an `Option` per instruction.
         match self.fuel_budget {
-            None => self.run_inner::<false>(compiled, 0),
-            Some(budget) => self.run_inner::<true>(compiled, budget),
+            None => self.run_entry::<false>(compiled, None, 0),
+            Some(budget) => self.run_entry::<true>(compiled, None, budget),
         }
     }
 
-    fn run_inner<const FUELED: bool>(&mut self, compiled: &Compiled, budget: u64) -> Result<Value> {
+    /// Executes a compiled program with the JIT tier enabled: hot
+    /// functions (including `main` itself) tier up to compiled register IR
+    /// and deoptimize back to the VM on entry-guard failure. Values,
+    /// errors, fuel accounting, and memory accounting are bit-identical to
+    /// [`Vm::run`] on the same (fused) bytecode.
+    ///
+    /// # Errors
+    /// [`Error::Runtime`] diagnostics, identically to [`Vm::run`].
+    pub fn run_jit(&mut self, compiled: &Compiled, jit: &crate::jit::Jit) -> Result<Value> {
+        match self.fuel_budget {
+            None => self.run_entry::<false>(compiled, Some(jit), 0),
+            Some(budget) => self.run_entry::<true>(compiled, Some(jit), budget),
+        }
+    }
+
+    fn run_entry<const FUELED: bool>(
+        &mut self,
+        compiled: &Compiled,
+        jit: Option<&crate::jit::Jit>,
+        budget: u64,
+    ) -> Result<Value> {
         self.stack.clear();
         self.result = Value::Nil;
         self.mem_left = self.mem_budget.unwrap_or(0);
+        let mut consumed: u64 = 0;
+        // `main` takes no arguments, so its entry guards always pass and
+        // it can run jitted top to bottom.
+        if let Some(j) = jit {
+            if let Some(code) = j.tier_up(compiled, compiled.main, &[]) {
+                crate::jit::exec::exec_fn::<FUELED>(
+                    self,
+                    compiled,
+                    j,
+                    &code,
+                    Vec::new(),
+                    1,
+                    1,
+                    &mut consumed,
+                    budget,
+                )?;
+                return Ok(std::mem::take(&mut self.result));
+            }
+        }
         let main = &compiled.funcs[compiled.main];
         self.stack.resize(main.n_slots as usize, Value::Nil);
-        let mut frames = vec![Frame {
+        let first = Frame {
             func: compiled.main,
             ip: 0,
             base: 0,
-        }];
-        // Fuel accounting (compiled out when `FUELED` is false): straight-
-        // line instructions are charged in one batch at every control
-        // transfer, counting `ip - run_start` dispatches. Total accounting
-        // is exact — the error fires iff the program needs more than
-        // `budget` instructions — but detection may overshoot by at most
-        // one basic block.
-        let mut consumed: u64 = 0;
+        };
+        self.run_loop::<FUELED>(compiled, jit, first, 0, 0, &mut consumed, budget)?;
+        Ok(std::mem::take(&mut self.result))
+    }
+
+    /// Runs one function call as a VM sub-loop on behalf of jitted code
+    /// (cold or guard-failed callees), returning the call's value.
+    /// `caller_depth` counts every live frame (VM and JIT) below the
+    /// callee, so the recursion limit matches [`Vm::run`] exactly.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_call<const FUELED: bool>(
+        &mut self,
+        compiled: &Compiled,
+        jit: Option<&crate::jit::Jit>,
+        fidx: usize,
+        args: Vec<Value>,
+        caller_depth: usize,
+        jit_depth: usize,
+        consumed: &mut u64,
+        budget: u64,
+    ) -> Result<Value> {
+        let callee = &compiled.funcs[fidx];
+        debug_assert_eq!(
+            callee.arity as usize,
+            args.len(),
+            "arity checked at compile time"
+        );
+        let new_base = self.stack.len();
+        self.stack.extend(args);
+        self.stack
+            .resize(new_base + callee.n_slots as usize, Value::Nil);
+        let first = Frame {
+            func: fidx,
+            ip: 0,
+            base: new_base,
+        };
+        self.run_loop::<FUELED>(
+            compiled,
+            jit,
+            first,
+            caller_depth,
+            jit_depth,
+            consumed,
+            budget,
+        )
+    }
+
+    /// The frames loop shared by plain runs and JIT deopt sub-loops.
+    /// Returns the value produced when the entry frame returns; its
+    /// operand stack is fully unwound to where it started.
+    ///
+    /// Fuel accounting (compiled out when `FUELED` is false): straight-
+    /// line instructions are charged in one batch at every control
+    /// transfer, counting `ip - run_start` dispatches. Total accounting
+    /// is exact — the error fires iff the program needs more than
+    /// `budget` instructions — but detection may overshoot by at most
+    /// one basic block.
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn run_loop<const FUELED: bool>(
+        &mut self,
+        compiled: &Compiled,
+        jit: Option<&crate::jit::Jit>,
+        first: Frame,
+        depth_offset: usize,
+        jit_depth: usize,
+        consumed: &mut u64,
+        budget: u64,
+    ) -> Result<Value> {
+        let mut frames = vec![first];
         let mut run_start: usize = 0;
 
         'frames: while let Some(frame) = frames.last_mut() {
@@ -129,8 +231,8 @@ impl Vm {
             macro_rules! charge {
                 () => {
                     if FUELED {
-                        consumed += (ip - run_start) as u64;
-                        if consumed > budget {
+                        *consumed += (ip - run_start) as u64;
+                        if *consumed > budget {
                             return Err(Error::FuelExhausted { budget });
                         }
                     }
@@ -221,13 +323,36 @@ impl Vm {
                             run_start = ip;
                         }
                     }
+
                     Op::CallFn(fidx, argc) => {
                         charge!();
-                        if frames.len() >= MAX_FRAMES {
+                        if depth_offset + frames.len() >= MAX_FRAMES {
                             return Err(Error::runtime(format!(
                                 "call depth exceeded {MAX_FRAMES} (runaway recursion?)"
                             ))
                             .with_line(func.lines[ip - 1]));
+                        }
+                        // Tier-up hook: count the call and, when the callee
+                        // is hot, compiled, and its entry guards pass, run
+                        // it jitted instead of pushing a VM frame.
+                        if let Some(j) = jit {
+                            if let Some(v) = crate::jit::exec::vm_call_hook::<FUELED>(
+                                self,
+                                compiled,
+                                j,
+                                fidx as usize,
+                                argc as usize,
+                                depth_offset + frames.len(),
+                                jit_depth,
+                                consumed,
+                                budget,
+                            )? {
+                                self.stack.push(v);
+                                if FUELED {
+                                    run_start = ip;
+                                }
+                                continue;
+                            }
                         }
                         let callee = &compiled.funcs[fidx as usize];
                         debug_assert_eq!(callee.arity, argc, "arity checked at compile time");
@@ -265,7 +390,7 @@ impl Vm {
                         self.stack.truncate(base);
                         frames.pop();
                         if frames.is_empty() {
-                            return Ok(std::mem::take(&mut self.result));
+                            return Ok(v);
                         }
                         self.stack.push(v);
                         continue 'frames;
@@ -453,7 +578,28 @@ impl Vm {
                 }
             }
         }
-        Ok(std::mem::take(&mut self.result))
+        // Unreachable: the entry frame always exits through `Ret`/`RetNil`.
+        Ok(Value::Nil)
+    }
+
+    /// The top `argc` operand-stack values (a pending call's arguments),
+    /// used by the JIT tier to pick entry-guard specs.
+    #[inline]
+    pub(crate) fn top_args(&self, argc: usize) -> &[Value] {
+        &self.stack[self.stack.len() - argc..]
+    }
+
+    /// Removes and returns the top `argc` operand-stack values.
+    #[inline]
+    pub(crate) fn take_args(&mut self, argc: usize) -> Vec<Value> {
+        let at = self.stack.len() - argc;
+        self.stack.split_off(at)
+    }
+
+    /// Stores the program-result register (the JIT's `SetResult`).
+    #[inline]
+    pub(crate) fn set_result(&mut self, v: Value) {
+        self.result = v;
     }
 
     #[inline]
@@ -474,9 +620,9 @@ impl Vm {
 /// Numeric fast path shared by the superinstructions. Returns `None` for
 /// anything the canonical [`binop`] must handle — non-numeric operands,
 /// zero divisors (a runtime error), and NaN comparisons (which are runtime
-/// errors, not `false`).
+/// errors, not `false`). Shared with the JIT executor for exact parity.
 #[inline]
-fn bin_fast(op: BinOp, l: &Value, r: &Value) -> Option<Value> {
+pub(crate) fn bin_fast(op: BinOp, l: &Value, r: &Value) -> Option<Value> {
     let (Value::Num(a), Value::Num(b)) = (l, r) else {
         return None;
     };

@@ -1,0 +1,109 @@
+//! Golden register-IR listing for the JIT translator (`rsc --ir`).
+//!
+//! Pins the typed register IR for a program that exercises both register
+//! files and the deopt-free fast paths: unboxed f-file arithmetic, typed
+//! float-array loads/stores from the peephole slot proofs, builtin and
+//! user-function calls, the constant pool, and fused compare-branches.
+//! Any change to the translator's type fixpoint, register assignment,
+//! constant folding, dead-register elimination, or instruction fusion
+//! shows up as a readable diff here.
+
+use rcr_minilang::{
+    absint, bytecode, jit, parser, peephole, run_source, run_source_vm_fused, run_source_vm_jit,
+};
+
+const GOLDEN_SRC: &str = "\
+fn axpy1(k, x, y) {
+  return k * x + y;
+}
+let a = fill(4, 1.5);
+let s = 0;
+let i = 0;
+while i < 4 {
+  a[i] = a[i] * 2;
+  s = s + axpy1(2, a[i], 1);
+  i = i + 1;
+}
+s";
+
+const GOLDEN_IR: &str = "\
+jit axpy1 [num, num, num] f5 g0 a0:
+ b0: ; weight 4
+    f4 = ffuse.mul.add f0, f1, f2
+    ret f4
+ b1: ; weight 0
+    ret nil
+
+jit <main> [] f10 g3 a2:
+  f1 = const 4
+  f2 = const 1.5
+  f3 = const 0
+  f5 = const 2
+  f8 = const 1
+ b0: ; weight 8
+    a1 = builtin fill(f1, f2)
+    a0 = a1
+    g0 = f3
+    f0 = f3
+    fall -> b1
+ b1: ; weight 2
+    brnot.lt f0, f1 -> b4, else b2
+ b2: ; weight 7
+    f4 = aget a0[f0]
+    f6 = fmul f4, f5
+    aset a0[f0] = f6
+    f7 = aget a0[f0]
+    g1 = call fn0(f5, f7, f8) -> b3
+ b3: ; weight 3
+    g2 = add g0, g1
+    g0 = g2
+    f0 = fadd f0, f8
+    jump -> b1
+ b4: ; weight 3
+    result = g0
+    ret nil
+";
+
+#[test]
+fn register_ir_matches_golden_listing() {
+    let program = parser::parse(GOLDEN_SRC).expect("parses");
+    let compiled = bytecode::compile(&program).expect("compiles");
+    let facts = absint::analyze(&program).facts;
+    let fused =
+        peephole::optimize_with_facts(&compiled, peephole::Options::default(), Some(&facts));
+    let listing = jit::render_ir(&fused, Some(&facts));
+    assert_eq!(listing.trim_end(), GOLDEN_IR.trim_end());
+    // The golden program itself computes the same value on every tier.
+    let a = run_source(GOLDEN_SRC).expect("interp runs");
+    let b = run_source_vm_fused(GOLDEN_SRC).expect("fused vm runs");
+    let c = run_source_vm_jit(GOLDEN_SRC).expect("jit vm runs");
+    assert_eq!(a, b);
+    assert_eq!(b, c);
+}
+
+#[test]
+fn golden_ir_covers_both_register_files_and_fast_paths() {
+    // Guard against the golden program silently losing coverage when the
+    // translator changes: the listing must keep its unboxed float
+    // arithmetic, typed array indexing, generic fallbacks, calls, and
+    // fused compare-branch.
+    for needle in [
+        "fmul",
+        "fadd",
+        "aget",
+        "aset",
+        "builtin",
+        "call fn0",
+        "brnot.lt",
+        "const",
+        "result =",
+        // The peephole must keep fusing the `k * x + y` body into one
+        // dispatch (and copy-propagating the loop induction move).
+        "ffuse.mul.add",
+        // The generic g-file must stay exercised too (the call result is
+        // untyped across function boundaries).
+        "g2 = add g0, g1",
+    ] {
+        assert!(GOLDEN_IR.contains(needle), "golden IR lost `{needle}`");
+    }
+}

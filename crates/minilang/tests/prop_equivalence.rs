@@ -5,7 +5,8 @@
 
 use proptest::prelude::*;
 use rcr_minilang::{
-    run_source, run_source_vm, run_source_vm_fused, run_source_vm_optimized, Value,
+    absint, bytecode, jit, parser, peephole, run_source, run_source_vm, run_source_vm_fused,
+    run_source_vm_jit, run_source_vm_optimized, vm, Value,
 };
 
 /// Strategy: a random expression string over the predeclared variables
@@ -169,9 +170,11 @@ proptest! {
         let b = outcome(run_source_vm(&src));
         let c = outcome(run_source_vm_optimized(&src));
         let d = outcome(run_source_vm_fused(&src));
+        let e = outcome(run_source_vm_jit(&src));
         prop_assert_eq!(a.clone(), b, "interp vs vm on: {}", src);
         prop_assert_eq!(a.clone(), c, "interp vs optimized vm on: {}", src);
-        prop_assert_eq!(a, d, "interp vs fused vm on: {}", src);
+        prop_assert_eq!(a.clone(), d, "interp vs fused vm on: {}", src);
+        prop_assert_eq!(a, e, "interp vs jit vm on: {}", src);
     }
 
     #[test]
@@ -195,7 +198,62 @@ proptest! {
         let tree = norm(run_source(&src));
         let vm = norm(run_source_vm_optimized(&src));
         let fused = norm(run_source_vm_fused(&src));
+        let jitted = norm(run_source_vm_jit(&src));
         prop_assert_eq!(tree.clone(), vm, "tiers disagree on: {}", src);
-        prop_assert_eq!(tree, fused, "fused vm disagrees on: {}", src);
+        prop_assert_eq!(tree.clone(), fused, "fused vm disagrees on: {}", src);
+        prop_assert_eq!(tree, jitted, "jit vm disagrees on: {}", src);
+    }
+
+    #[test]
+    fn jit_fuel_accounting_matches_fused_vm_at_random_budgets(
+        stmts in proptest::collection::vec(stmt_strategy(), 1..5),
+        budget in 0u64..800,
+    ) {
+        // The JIT must charge fuel bit-identically to the fused VM: at
+        // *every* budget both tiers make the same success/failure call,
+        // return the same value, or fail with the same typed error.
+        let src = format!(
+            "let v0 = 1;\nlet v1 = 2;\nlet v2 = 3;\nlet v3 = 4;\n{}\nv0 + v1 + v2 + v3",
+            stmts.join("\n")
+        );
+        let program = parser::parse(&src).expect("generated programs parse");
+        let compiled = bytecode::compile(&program).expect("generated programs compile");
+        let facts = absint::analyze(&program).facts;
+        let fused =
+            peephole::optimize_with_facts(&compiled, peephole::Options::default(), Some(&facts));
+        let engine = jit::Jit::new(&fused, jit::JitConfig::default(), Some(&facts));
+        let key = |r: Result<Value, rcr_minilang::Error>| {
+            r.map(|v| match v {
+                Value::Num(n) if n.is_nan() => "NaN".to_owned(),
+                v => v.to_string(),
+            })
+        };
+        let a = key(vm::Vm::with_fuel(budget).run(&fused));
+        let b = key(vm::Vm::with_fuel(budget).run_jit(&fused, &engine));
+        prop_assert_eq!(a, b, "fuel divergence at budget {} on: {}", budget, src);
+    }
+
+    #[test]
+    fn jit_guard_deopt_matches_interpreter_on_mixed_call_types(
+        body in small_expr(),
+        x in -5i32..5,
+    ) {
+        // The first call compiles the function under numeric entry guards;
+        // the second call's string/nil/bool arguments fail those guards and
+        // must deoptimize to the fused VM with identical results — whether
+        // the mixed-type body evaluates cleanly (string concat) or raises
+        // (string arithmetic).
+        let src = format!(
+            "fn g(v0, v1, v2, v3) {{ return {body}; }}\n\
+             let warm = g({x}, 2, 3, 4);\n\
+             let cold = g(\"a\", \"b\", nil, true);\n\
+             let again = g({x}, 2, 3, 4);\n\
+             warm + again"
+        );
+        let a = outcome(run_source(&src));
+        let b = outcome(run_source_vm_fused(&src));
+        let c = outcome(run_source_vm_jit(&src));
+        prop_assert_eq!(a.clone(), b, "fused vm disagrees on: {}", src);
+        prop_assert_eq!(a, c, "jit deopt disagrees on: {}", src);
     }
 }

@@ -10,7 +10,11 @@
 //! folding, bytecode compilation, peephole fusion) happens once per
 //! distinct source, deduplicated by the single-flight cache.
 
+use std::sync::Arc;
+
+use rcr_minilang::absint::TypeFacts;
 use rcr_minilang::bytecode::{Compiled, CompiledFn};
+use rcr_minilang::jit::SharedJitCache;
 use rcr_minilang::{absint, bytecode, optimize, parser, peephole, Error, Value};
 
 /// A scalar or string constant — the only value kinds a compiled constant
@@ -64,6 +68,14 @@ struct ArtifactFn {
 pub struct ProgramArtifact {
     funcs: Vec<ArtifactFn>,
     main: usize,
+    /// The abstract-interpretation type facts the pipeline computed —
+    /// the JIT engine seeds its register types from the same facts that
+    /// drove the peephole pass, so all analyses agree per artifact.
+    facts: TypeFacts,
+    /// Compiled-code cache shared by every execution of this program on
+    /// every worker: heat accumulated by one request benefits the next,
+    /// and a function is translated at most once per artifact.
+    jit_cache: Arc<SharedJitCache>,
 }
 
 impl ProgramArtifact {
@@ -96,7 +108,21 @@ impl ProgramArtifact {
                 })
                 .collect(),
             main: fused.main,
+            facts,
+            jit_cache: Arc::new(SharedJitCache::new()),
         })
+    }
+
+    /// The type facts computed for this program (for building JIT engines
+    /// that agree with the peephole pass).
+    pub fn facts(&self) -> &TypeFacts {
+        &self.facts
+    }
+
+    /// The program's shared JIT cache (content-addressed like the artifact
+    /// itself: one per distinct source in the program cache).
+    pub fn jit_cache(&self) -> &Arc<SharedJitCache> {
+        &self.jit_cache
     }
 
     /// Rebuilds a private [`Compiled`] for one execution (cheap: clones

@@ -47,6 +47,7 @@ use std::time::{Duration, Instant};
 
 use rcr_cluster::faults::{FaultPlan, InjectedFault};
 use rcr_kernels::pool::{self, Pool};
+use rcr_minilang::jit::{Jit, JitConfig};
 use rcr_minilang::vm::Vm;
 use rcr_minilang::Error;
 
@@ -115,6 +116,11 @@ pub struct ServiceConfig {
     /// [`crate::cache`]); keeps a long-lived service's memory flat even
     /// when tenants submit an unbounded stream of distinct programs.
     pub program_cache_capacity: usize,
+    /// Execute jobs on the register-IR JIT tier. The JIT's fuel and
+    /// memory accounting is bit-identical to the fused VM, so slicing,
+    /// deadline preemption, and quota outcomes are unchanged; compiled
+    /// code is shared per artifact across workers and requests.
+    pub jit: bool,
 }
 
 impl Default for ServiceConfig {
@@ -138,6 +144,7 @@ impl Default for ServiceConfig {
             fuel_slice: 50_000,
             static_admission: true,
             program_cache_capacity: cache::DEFAULT_CAPACITY,
+            jit: true,
         }
     }
 }
@@ -695,13 +702,14 @@ fn run_attempt(
         _ => None,
     };
     let fuel_slice = inner.config.fuel_slice;
+    let jit = inner.config.jit;
     let (job_id, attempt_no) = (job.id, attempt);
     let result = inner.pool.try_run(move || {
         let started = Instant::now();
         if crash {
             panic!("injected worker crash (job {job_id}, attempt {attempt_no})");
         }
-        let result = run_sliced(&artifact, quota, deadline_at, fuel_slice);
+        let result = run_sliced(&artifact, quota, deadline_at, fuel_slice, jit);
         if let Some(factor) = slow {
             // A slow worker takes `factor`× the normal duration. Sleeping
             // past the deadline is pointless (the outcome is already
@@ -735,13 +743,32 @@ fn run_sliced(
     quota: TenantQuota,
     deadline_at: Instant,
     first_slice: u64,
+    jit: bool,
 ) -> Result<String, JobError> {
     let fuel_quota = quota.fuel.max(1);
     let mut slice = first_slice.clamp(1, fuel_quota);
     loop {
         let compiled = artifact.instantiate();
         let mut vm = Vm::with_limits(Some(slice), Some(quota.memory));
-        match vm.run(&compiled) {
+        // The JIT charges fuel and memory bit-identically to the fused VM
+        // (test-enforced), so the preemption slicing below cannot observe
+        // which tier ran — only the wall-clock per slice changes. Heat
+        // (compiled code) lives on the artifact and survives across
+        // slices, retries, workers, and requests.
+        let run = |vm: &mut Vm| {
+            if jit {
+                let engine = Jit::with_shared(
+                    &compiled,
+                    JitConfig::default(),
+                    Some(artifact.facts()),
+                    artifact.jit_cache().clone(),
+                );
+                vm.run_jit(&compiled, &engine)
+            } else {
+                vm.run(&compiled)
+            }
+        };
+        match run(&mut vm) {
             Ok(value) => return Ok(value.to_string()),
             Err(Error::FuelExhausted { .. }) if slice < fuel_quota => {
                 if Instant::now() >= deadline_at {
@@ -918,6 +945,118 @@ mod tests {
         // Preemption must kick in near the deadline, not after the full
         // (effectively unbounded) script. Generous bound for slow CI.
         assert!(started.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn jit_preserves_every_outcome_class_of_the_vm_path() {
+        // The same job mix must produce byte-identical outcomes whether
+        // the executors run the fused VM or the JIT tier: successful
+        // output strings, typed script errors, and both quota failures.
+        // (Fuel/memory accounting is bit-identical between tiers, so the
+        // quota decisions cannot drift either.)
+        let jobs: &[(usize, &str)] = &[
+            (0, "fn f(x) { return x * x + 1; } f(6) + f(-6)"),
+            (0, "let s = \"a\"; s + 1"),
+            (1, "let s = 0; for i in range(0, 1000000) { s = s + i; } s"),
+            (2, "let a = zeros(100000); len(a)"),
+        ];
+        let run_all = |jit: bool| -> Vec<Outcome> {
+            let mut config = quick_config();
+            config.jit = jit;
+            config.static_admission = false;
+            config.tenants = vec![
+                TenantQuota::default(),
+                TenantQuota {
+                    fuel: 1_000,
+                    memory: 1 << 20,
+                },
+                TenantQuota {
+                    fuel: 5_000_000,
+                    memory: 1_000,
+                },
+            ];
+            let service = Service::new(config);
+            let handles: Vec<JobHandle> = jobs
+                .iter()
+                .map(|(tenant, src)| service.submit(JobSpec::new(*tenant, *src)).unwrap())
+                .collect();
+            handles.iter().map(JobHandle::wait).collect()
+        };
+        let with_vm = run_all(false);
+        let with_jit = run_all(true);
+        assert!(
+            matches!(&with_jit[0], Outcome::Completed { output, .. } if output == "74"),
+            "{:?}",
+            with_jit[0]
+        );
+        assert!(matches!(&with_jit[1], Outcome::Failed(JobError::Script(_))));
+        assert_eq!(
+            with_jit[2],
+            Outcome::Failed(JobError::FuelQuotaExceeded { budget: 1_000 })
+        );
+        assert_eq!(
+            with_jit[3],
+            Outcome::Failed(JobError::MemoryQuotaExceeded { budget: 1_000 })
+        );
+        for (i, (vm_outcome, jit_outcome)) in with_vm.iter().zip(&with_jit).enumerate() {
+            match (vm_outcome, jit_outcome) {
+                (Outcome::Completed { output: a, .. }, Outcome::Completed { output: b, .. }) => {
+                    assert_eq!(a, b, "job {i} output diverged")
+                }
+                (Outcome::Failed(a), Outcome::Failed(b)) => {
+                    assert_eq!(a, b, "job {i} error diverged");
+                }
+                other => panic!("job {i} outcome class diverged: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn jit_runaway_script_is_preempted_at_the_deadline() {
+        // Deadline preemption rides on fuel slicing; the JIT charges fuel
+        // bit-identically, so a runaway script on the JIT tier must be
+        // preempted exactly like on the VM (the deadline is the only
+        // bound the huge fuel quota leaves).
+        let mut config = quick_config();
+        config.jit = true;
+        config.fuel_slice = 1_000;
+        config.tenants = vec![TenantQuota {
+            fuel: u64::MAX / 4,
+            memory: 1 << 20,
+        }];
+        let service = Service::new(config);
+        let spin = "let s = 0; for i in range(0, 100000000) { s = s + i; } s";
+        let started = Instant::now();
+        let handle = service
+            .submit(JobSpec::new(0, spin).with_deadline(Duration::from_millis(30)))
+            .unwrap();
+        assert_eq!(handle.wait(), Outcome::Failed(JobError::DeadlineExceeded));
+        assert!(started.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn jit_heat_is_shared_across_slices_and_executions() {
+        // One artifact owns one shared JIT cache: the first execution
+        // publishes compiled code, later executions (and later fuel
+        // slices of the same execution) start hot.
+        let artifact = ProgramArtifact::compile(
+            "fn f(x) { return x * 2; } let s = 0; for i in range(0, 50) { s = s + f(i); } s",
+        )
+        .unwrap();
+        assert!(artifact.jit_cache().is_empty());
+        let quota = TenantQuota::default();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let first = run_sliced(&artifact, quota, deadline, 50, true).unwrap();
+        assert_eq!(first, "2450");
+        let heated = artifact.jit_cache().len();
+        assert!(heated >= 1, "no compiled code published");
+        let second = run_sliced(&artifact, quota, deadline, 50, true).unwrap();
+        assert_eq!(second, first);
+        assert_eq!(
+            artifact.jit_cache().len(),
+            heated,
+            "second execution re-published instead of reusing"
+        );
     }
 
     #[test]
