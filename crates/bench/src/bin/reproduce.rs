@@ -4,7 +4,7 @@
 //! reproduce [EXPERIMENT ...] [--quick] [--out DIR]
 //! reproduce bench-diff OLD.json NEW.json [--tol FRAC] [--structural]
 //!
-//!   EXPERIMENT    e1..e22 (default: all)
+//!   EXPERIMENT    e1..e23 (default: all)
 //!   --quick       reduced sizes for the timing experiments (CI-friendly;
 //!                 --smoke is an alias)
 //!   --out DIR     write tables (.txt/.csv) and figures (.svg) to DIR
@@ -17,7 +17,7 @@
 //!                 --smoke run against committed full-size results.
 //! ```
 //!
-//! With `--out`, the timing experiments (e16..e22) additionally emit a
+//! With `--out`, the timing experiments (e16..e23) additionally emit a
 //! machine-readable `BENCH_<ID>.json` summary (host info, headline
 //! metrics, determinism checksum) for run-over-run tracking; `bench-diff`
 //! is their comparator.
@@ -58,7 +58,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--help" | "-h" => {
                 return Err(
-                    "usage: reproduce [e1..e22 ...] [--quick] [--out DIR]\n       \
+                    "usage: reproduce [e1..e23 ...] [--quick] [--out DIR]\n       \
                             reproduce bench-diff OLD.json NEW.json [--tol FRAC] [--structural]"
                         .to_owned(),
                 )
@@ -210,7 +210,7 @@ fn main() {
         match info {
             Some(i) => println!("== {} ({}): {} ==\n", i.id, i.artifact, i.title),
             None => {
-                eprintln!("unknown experiment `{id}` (expected e1..e22)");
+                eprintln!("unknown experiment `{id}` (expected e1..e23)");
                 std::process::exit(2);
             }
         }
@@ -383,6 +383,13 @@ fn run_one(
             emit.figure("e22", "jit_gap", &render::e22_figure(&rows));
             emit.json("e22", "jit_gap", &rows);
             emit.bench(&summary::summarize_e22(gap_config.quick, &rows));
+        }
+        "e23" => {
+            let points = ex.e23_simstudy(gap_config)?;
+            emit.table("e23", "simstudy", &render::e23_table(&points));
+            emit.figure("e23", "simstudy", &render::e23_figure(&points));
+            emit.json("e23", "simstudy", &points);
+            emit.bench(&summary::summarize_e23(gap_config.quick, &points));
         }
         other => unreachable!("validated above: {other}"),
     }

@@ -10,6 +10,7 @@ use rcr_core::memstudy::MemPoint;
 use rcr_core::perfgap::{GapClosure, KernelGap, ScalingCurve, Tier};
 use rcr_core::schedstudy::SchedPoint;
 use rcr_core::servestudy::ServePoint;
+use rcr_core::simstudy::SimPoint;
 use rcr_core::trend::LanguageTrend;
 use rcr_report::fmt;
 use rcr_report::svg::{self, Series};
@@ -930,6 +931,54 @@ pub fn e21_figure(points: &[ColPoint]) -> String {
     )
 }
 
+/// E23: Figure 12 data — the cluster-DES scaling study, one row per
+/// (federation size, arm) cell.
+pub fn e23_table(points: &[SimPoint]) -> Table {
+    let mut t = Table::new([
+        "nodes", "jobs", "arm", "threads", "windows", "events", "median", "events/s", "vs heap",
+        "checksum",
+    ])
+    .title("Figure 12 data: simulated events/sec by federation size and execution arm".to_owned());
+    for p in points {
+        t.row([
+            p.nodes.to_string(),
+            p.jobs.to_string(),
+            p.arm.clone(),
+            p.threads.to_string(),
+            p.windows.to_string(),
+            p.events.to_string(),
+            fmt::duration_s(p.median_s),
+            fmt::rate_per_s(p.events_per_s),
+            fmt::speedup(p.speedup_vs_heap),
+            format!("{:016x}", p.checksum),
+        ]);
+    }
+    t
+}
+
+/// E23: Figure 12 — simulated events/sec vs federation size, one line
+/// per arm (log–log; an arm that scales flat sustains its throughput as
+/// the federation grows).
+pub fn e23_figure(points: &[SimPoint]) -> String {
+    let mut series: Vec<Series> = Vec::new();
+    for arm in rcr_core::simstudy::ARMS {
+        let pts: Vec<(f64, f64)> = points
+            .iter()
+            .filter(|p| p.arm == arm)
+            .map(|p| ((p.nodes as f64).log10(), p.events_per_s.log10()))
+            .collect();
+        if !pts.is_empty() {
+            series.push(Series::new(arm, pts));
+        }
+    }
+    svg::line_chart(
+        "Figure 12: cluster-DES throughput vs federation size",
+        "log10(nodes)",
+        "log10(events/s)",
+        &series,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1138,5 +1187,20 @@ mod tests {
         let fig = e21_figure(&points);
         assert!(fig.contains("<svg") && fig.contains("columnar+parallel"));
         assert!(fig.contains("population size"));
+    }
+
+    #[test]
+    fn sim_study_outputs_render() {
+        let points = ex().e23_simstudy(&GapConfig::quick()).unwrap();
+        // Two quick sizes × three arms.
+        let t = e23_table(&points);
+        assert_eq!(t.n_rows(), 6);
+        let ascii = t.render_ascii();
+        assert!(ascii.contains("serial-heap") && ascii.contains("windowed-parallel"));
+        assert!(ascii.contains("events/s") && ascii.contains("vs heap"));
+        assert!(ascii.contains("checksum"));
+        let fig = e23_figure(&points);
+        assert!(fig.contains("<svg") && fig.contains("serial-calendar"));
+        assert!(fig.contains("federation size"));
     }
 }

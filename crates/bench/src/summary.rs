@@ -15,6 +15,7 @@ use rcr_core::memstudy::MemPoint;
 use rcr_core::perfgap::GapClosure;
 use rcr_core::schedstudy::SchedPoint;
 use rcr_core::servestudy::ServePoint;
+use rcr_core::simstudy::SimPoint;
 
 /// The machine a summary was measured on, plus the tuning environment
 /// variables that change the numbers.
@@ -268,6 +269,43 @@ pub fn summarize_e22(quick: bool, rows: &[JitGapRow]) -> BenchSummary {
     s.finish()
 }
 
+/// E23 metrics: per (federation tier, arm), simulated events per second
+/// and the speedup over the serial-heap baseline at the same size.
+///
+/// The sweep's two federation sizes are labeled by ordinal (`small`,
+/// `large`) rather than by node count, so a `--smoke` run's summary
+/// stays structurally comparable (`bench-diff --structural`) to a
+/// committed full-size one — the `quick` flag records which sizes ran.
+pub fn summarize_e23(quick: bool, rows: &[SimPoint]) -> BenchSummary {
+    let mut s = BenchSummary::new(
+        "E23",
+        "Figure 12",
+        "Cluster DES at scale: calendar queue and windowed-parallel replay",
+        quick,
+    );
+    let mut sizes: Vec<usize> = rows.iter().map(|r| r.nodes).collect();
+    sizes.dedup();
+    for r in rows {
+        let tier = match sizes.iter().position(|&n| n == r.nodes) {
+            Some(0) => "small".to_owned(),
+            Some(1) => "large".to_owned(),
+            Some(i) => format!("size{i}"),
+            None => unreachable!("every row's size is in the dedup list"),
+        };
+        s.push(
+            format!("events_per_s/{tier}/{}", r.arm),
+            r.events_per_s,
+            "events/s",
+        );
+        s.push(
+            format!("speedup_vs_heap/{tier}/{}", r.arm),
+            r.speedup_vs_heap,
+            "x",
+        );
+    }
+    s.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -347,5 +385,44 @@ mod tests {
         // Size-free: quick and full runs must align structurally.
         assert!(names.iter().all(|n| !n.contains("n=")), "{names:?}");
         assert_eq!(s.metrics.len(), 6);
+    }
+
+    #[test]
+    fn e23_summary_names_are_size_free() {
+        let point = |nodes: usize, arm: &str, speedup: f64| SimPoint {
+            nodes,
+            jobs: nodes * 100,
+            shards: 2,
+            arm: arm.to_owned(),
+            threads: if arm == "windowed-parallel" { 2 } else { 1 },
+            windows: 65,
+            events: 1000,
+            median_s: 0.5,
+            events_per_s: 2000.0,
+            speedup_vs_heap: speedup,
+            checksum: 7,
+            verified: true,
+        };
+        let rows = vec![
+            point(32, "serial-heap", 1.0),
+            point(32, "serial-calendar", 1.2),
+            point(32, "windowed-parallel", 2.0),
+            point(10_240, "serial-heap", 1.0),
+            point(10_240, "serial-calendar", 1.3),
+            point(10_240, "windowed-parallel", 3.5),
+        ];
+        let s = summarize_e23(true, &rows);
+        let names: Vec<&str> = s.metrics.iter().map(|m| m.name.as_str()).collect();
+        assert!(
+            names.contains(&"events_per_s/small/serial-heap"),
+            "{names:?}"
+        );
+        assert!(
+            names.contains(&"speedup_vs_heap/large/windowed-parallel"),
+            "{names:?}"
+        );
+        // Size-free: quick and full sweeps must align structurally.
+        assert!(names.iter().all(|n| !n.contains("10240")), "{names:?}");
+        assert_eq!(s.metrics.len(), 12);
     }
 }

@@ -221,6 +221,15 @@ impl FaultInjector {
         -self.mtbf * u.ln()
     }
 
+    /// Replaces the injector's PRNG with a fresh stream seeded by `seed`,
+    /// leaving the failure model untouched. The windowed runner calls this
+    /// at every window barrier so each `(shard, window)` slice draws from
+    /// an independent stream whose contents do not depend on thread count
+    /// or window interleaving.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
     /// Whether a failed node was one of the `busy` busy nodes out of `up`
     /// up nodes (uniform choice over up nodes).
     pub fn failure_hits_busy(&mut self, busy: usize, up: usize) -> bool {

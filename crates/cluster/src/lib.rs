@@ -21,6 +21,16 @@
 //! [`metrics::resilience_summary`] splits the cluster's work into goodput
 //! and badput.
 //!
+//! Experiment E23 scales the core to ROADMAP item 4's 10k+ nodes and
+//! millions of jobs: [`event`] stores pending events in a slab-backed
+//! calendar queue (the binary heap stays as a reference implementation
+//! behind [`event::QueueKind`]), [`engine`] exposes the event loop as a
+//! resumable engine, and [`windowed`] runs sharded sub-clusters in
+//! conservative time windows on the `rcr-kernels` work-stealing pool —
+//! with outcomes bit-for-bit identical to the serial heap run
+//! (test-enforced; see `Outcome::digest`). [`swf::stream_jobs`] replays
+//! SWF traces without materializing them.
+//!
 //! ```
 //! use rcr_cluster::{sim::Simulator, sched::Policy, workload};
 //!
@@ -33,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod event;
 pub mod faults;
 pub mod job;
@@ -40,6 +51,7 @@ pub mod metrics;
 pub mod sched;
 pub mod sim;
 pub mod swf;
+pub mod windowed;
 pub mod workload;
 
 use std::fmt;
@@ -66,6 +78,19 @@ pub enum Error {
     /// Fault-injection configuration parameter out of range (zero MTBF,
     /// negative repair time, retry limit of 0, ...).
     InvalidFaultSpec(String),
+    /// Windowed-runner configuration parameter out of range (zero shards,
+    /// non-positive window width, ...).
+    InvalidWindowedSpec(String),
+    /// A streamed trace handed to the windowed runner was not sorted by
+    /// submit time, which would make lazy injection unsound.
+    UnsortedTrace {
+        /// The out-of-order job's id.
+        job: u64,
+        /// Its submit time.
+        submit: f64,
+        /// The largest submit time seen before it.
+        prev: f64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -83,6 +108,11 @@ impl fmt::Display for Error {
             Error::InvalidJob(id) => write!(f, "job {id} has invalid times"),
             Error::InvalidSpec(msg) => write!(f, "invalid workload spec: {msg}"),
             Error::InvalidFaultSpec(msg) => write!(f, "invalid fault spec: {msg}"),
+            Error::InvalidWindowedSpec(msg) => write!(f, "invalid windowed spec: {msg}"),
+            Error::UnsortedTrace { job, submit, prev } => write!(
+                f,
+                "trace not sorted by submit time: job {job} at {submit} s after {prev} s"
+            ),
         }
     }
 }
@@ -112,5 +142,14 @@ mod lib_tests {
         let e = Error::InvalidFaultSpec("node_mtbf must be positive".into());
         assert!(e.to_string().contains("fault spec"));
         assert!(e.to_string().contains("mtbf"));
+        let e = Error::InvalidWindowedSpec("shards must be at least 1".into());
+        assert!(e.to_string().contains("windowed"));
+        let e = Error::UnsortedTrace {
+            job: 12,
+            submit: 5.0,
+            prev: 9.0,
+        };
+        assert!(e.to_string().contains("not sorted"));
+        assert!(e.to_string().contains("12"));
     }
 }

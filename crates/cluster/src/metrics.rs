@@ -135,6 +135,39 @@ pub fn resilience_summary(
     }
 }
 
+/// Merges resilience summaries of independent sub-clusters (e.g. the
+/// shards of a windowed run) into one exact federation-wide summary.
+/// Counts and node-second totals add; the ratio fields are recomputed
+/// from the merged totals, so the result equals what
+/// [`resilience_summary`] would return on the concatenated traces —
+/// not an average of averages.
+pub fn merge_resilience(parts: &[ResilienceSummary]) -> ResilienceSummary {
+    let completed: usize = parts.iter().map(|p| p.completed).sum();
+    let abandoned: usize = parts.iter().map(|p| p.abandoned).sum();
+    let node_failures: usize = parts.iter().map(|p| p.node_failures).sum();
+    let goodput: f64 = parts.iter().map(|p| p.goodput).sum();
+    let badput: f64 = parts.iter().map(|p| p.badput).sum();
+    let total_retries: u64 = parts.iter().map(|p| p.total_retries).sum();
+    let resolved = completed + abandoned;
+    // Per-part attempts are recoverable exactly: retries + resolved.
+    let attempts = total_retries + resolved as u64;
+    let total = goodput + badput;
+    ResilienceSummary {
+        completed,
+        abandoned,
+        node_failures,
+        goodput,
+        badput,
+        wasted_fraction: if total > 0.0 { badput / total } else { 0.0 },
+        mean_attempts: if resolved > 0 {
+            attempts as f64 / resolved as f64
+        } else {
+            0.0
+        },
+        total_retries,
+    }
+}
+
 /// Jain fairness index `(Σx)² / (n·Σx²)` for non-negative allocations.
 /// Returns 1.0 for an empty or all-zero input (no one to be unfair to).
 pub fn jain_index(xs: &[f64]) -> f64 {
@@ -267,6 +300,38 @@ mod tests {
         assert_eq!(r.goodput, 0.0);
         assert_eq!(r.wasted_fraction, 0.0);
         assert_eq!(r.mean_attempts, 0.0);
+    }
+
+    #[test]
+    fn merge_resilience_equals_summary_of_concatenation() {
+        use crate::job::AbandonedJob;
+        let mut c1 = completed(0.0, 100.0, 200.0, 4);
+        c1.attempts = 3;
+        c1.wasted_work = 500.0;
+        let c2 = completed(10.0, 20.0, 80.0, 2);
+        let lost = AbandonedJob {
+            job: Job {
+                id: 1,
+                submit: 0.0,
+                nodes: 2,
+                runtime: 50.0,
+                estimate: 50.0,
+            },
+            attempts: 2,
+            wasted_work: 120.0,
+            abandoned_at: 400.0,
+        };
+        // Shard A holds c1 + lost, shard B holds c2.
+        let a = resilience_summary(&[c1], &[lost], 5);
+        let b = resilience_summary(&[c2], &[], 2);
+        let merged = merge_resilience(&[a, b]);
+        let direct = resilience_summary(&[c1, c2], &[lost], 7);
+        assert_eq!(merged, direct);
+        // Degenerate inputs stay well-defined.
+        let empty = merge_resilience(&[]);
+        assert_eq!(empty.completed, 0);
+        assert_eq!(empty.mean_attempts, 0.0);
+        assert_eq!(merge_resilience(&[a]), a);
     }
 
     #[test]

@@ -88,6 +88,12 @@ pub fn select(
     free_nodes: usize,
     now: f64,
 ) -> Vec<usize> {
+    // Every event triggers a scheduling pass; at scale most passes see an
+    // empty queue (or no capacity), so skip the policy machinery — and its
+    // allocations — outright.
+    if queue.is_empty() || free_nodes == 0 {
+        return Vec::new();
+    }
     match policy {
         Policy::Fcfs => fcfs(queue, free_nodes),
         Policy::Sjf => sjf(queue, free_nodes),

@@ -1,13 +1,17 @@
-//! The simulation engine: event loop, queue management, and bookkeeping —
-//! with optional fault injection and recovery.
+//! The simulation front end: configuration, validation, and the
+//! [`Outcome`] record — with optional fault injection and recovery.
+//!
+//! The event loop itself lives in [`crate::engine::Engine`]; a
+//! `Simulator::run` injects the whole trace up front and drains the
+//! engine to completion. [`crate::windowed::WindowedSim`] drives the
+//! same engine lazily, window by window, across sharded sub-clusters.
 
-use crate::event::{EventKind, EventQueue};
-use crate::faults::{
-    attempt_duration, backoff_penalty, progress_saved, FaultInjector, FaultSpec, RecoveryPolicy,
-};
+use crate::engine::Engine;
+use crate::event::QueueKind;
+use crate::faults::FaultSpec;
 use crate::job::{AbandonedJob, CompletedJob, Job};
 use crate::metrics::{resilience_summary, summarize, try_summarize, ResilienceSummary, Summary};
-use crate::sched::{requeue, select, Policy, QueuedJob, RunningJob};
+use crate::sched::Policy;
 use crate::{Error, Result};
 
 /// Result of a finished simulation: the completed-job trace plus the
@@ -25,6 +29,10 @@ pub struct Outcome {
     pub nodes: usize,
     /// Policy that produced this outcome.
     pub policy: Policy,
+    /// Events the engine processed to produce this outcome — identical
+    /// across queue backends and window schedules by construction, and
+    /// the numerator of the E23 events/sec metric.
+    pub events: u64,
 }
 
 impl Outcome {
@@ -49,6 +57,57 @@ impl Outcome {
     pub fn resilience(&self) -> ResilienceSummary {
         resilience_summary(&self.completed, &self.abandoned, self.node_failures)
     }
+
+    /// Order-sensitive FNV-1a checksum over every field of the outcome.
+    /// Two runs are bit-for-bit identical iff their digests match, which
+    /// is how E23 verifies the calendar-queue and windowed-parallel arms
+    /// against the serial heap baseline before timing anything.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.push(self.completed.len() as u64);
+        for c in &self.completed {
+            h.push(c.job.id);
+            h.push(c.job.submit.to_bits());
+            h.push(c.job.nodes as u64);
+            h.push(c.job.runtime.to_bits());
+            h.push(c.job.estimate.to_bits());
+            h.push(c.start.to_bits());
+            h.push(c.finish.to_bits());
+            h.push(u64::from(c.attempts));
+            h.push(c.wasted_work.to_bits());
+        }
+        h.push(self.abandoned.len() as u64);
+        for a in &self.abandoned {
+            h.push(a.job.id);
+            h.push(u64::from(a.attempts));
+            h.push(a.wasted_work.to_bits());
+            h.push(a.abandoned_at.to_bits());
+        }
+        h.push(self.node_failures as u64);
+        h.push(self.nodes as u64);
+        h.push(self.events);
+        h.finish()
+    }
+}
+
+/// Incremental FNV-1a over u64 words.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// A space-shared cluster simulator.
@@ -57,18 +116,30 @@ pub struct Simulator {
     nodes: usize,
     policy: Policy,
     faults: Option<FaultSpec>,
+    queue: QueueKind,
 }
 
 impl Simulator {
     /// Creates a simulator for a cluster with `nodes` identical nodes under
     /// the given policy. No faults are injected; every run is equivalent to
-    /// perfectly reliable hardware.
+    /// perfectly reliable hardware. Events are stored in the default
+    /// [`QueueKind::Calendar`] queue; [`Simulator::with_queue`] selects the
+    /// heap reference implementation instead.
     pub fn new(nodes: usize, policy: Policy) -> Self {
         Simulator {
             nodes,
             policy,
             faults: None,
+            queue: QueueKind::default(),
         }
+    }
+
+    /// Selects the event-queue implementation. Outcomes are bit-for-bit
+    /// identical across kinds (test-enforced); the choice only affects
+    /// speed.
+    pub fn with_queue(mut self, queue: QueueKind) -> Self {
+        self.queue = queue;
+        self
     }
 
     /// Enables fault injection under `spec`, validating it first.
@@ -82,6 +153,11 @@ impl Simulator {
     }
 
     /// Runs the trace to completion and returns per-job records.
+    ///
+    /// With no fault spec the engine runs under the inert
+    /// [`FaultSpec::none`]: no fault events are scheduled, no random
+    /// draws are made, and the outcome is identical to perfectly
+    /// reliable hardware.
     ///
     /// # Errors
     /// [`Error::NoNodes`], [`Error::InvalidJob`], or [`Error::JobTooWide`]
@@ -102,346 +178,20 @@ impl Simulator {
                 });
             }
         }
-        match &self.faults {
-            None => self.run_plain(jobs),
-            Some(spec) => self.run_faulty(jobs, *spec),
+        let spec = self.faults.unwrap_or(FaultSpec::none(0));
+        let mut engine = Engine::new(self.nodes, self.policy, spec, self.queue)?;
+        for job in jobs {
+            engine.inject(job)?;
         }
-    }
-
-    /// The fault-free event loop: every job runs exactly once.
-    fn run_plain(&self, jobs: Vec<Job>) -> Result<Outcome> {
-        let mut events = EventQueue::new();
-        for (idx, j) in jobs.iter().enumerate() {
-            events.push(j.submit, EventKind::Arrival { job: idx });
-        }
-
-        let mut free = self.nodes;
-        let mut queue: Vec<QueuedJob> = Vec::new();
-        let mut running: Vec<RunningJob> = Vec::new();
-        let mut completed: Vec<CompletedJob> = Vec::with_capacity(jobs.len());
-        // Start times recorded when a job launches (indexed like `jobs`).
-        let mut start_time = vec![f64::NAN; jobs.len()];
-
-        while let Some(ev) = events.pop() {
-            let now = ev.time;
-            match ev.kind {
-                EventKind::Arrival { job } => {
-                    queue.push(QueuedJob {
-                        job_idx: job,
-                        nodes: jobs[job].nodes,
-                        estimate: jobs[job].estimate,
-                        priority: jobs[job].submit,
-                    });
-                }
-                EventKind::Finish { job, .. } => {
-                    let pos = running
-                        .iter()
-                        .position(|r| r.job_idx == job)
-                        .expect("finish event for a running job");
-                    let r = running.swap_remove(pos);
-                    free += r.nodes;
-                    completed.push(CompletedJob {
-                        job: jobs[job],
-                        start: start_time[job],
-                        finish: now,
-                        attempts: 1,
-                        wasted_work: 0.0,
-                    });
-                }
-                EventKind::NodeFailure { .. }
-                | EventKind::NodeRepair { .. }
-                | EventKind::JobFault { .. } => {
-                    unreachable!("fault events are never scheduled without a FaultSpec")
-                }
-            }
-            // Let the policy start whatever it can after any state change.
-            let starts = select(self.policy, &queue, &running, free, now);
-            debug_assert!(
-                starts.windows(2).all(|w| w[0] < w[1]),
-                "policies return sorted unique positions"
-            );
-            for &pos in starts.iter().rev() {
-                let qj = queue.remove(pos);
-                let j = &jobs[qj.job_idx];
-                debug_assert!(qj.nodes <= free, "policy over-committed nodes");
-                free -= qj.nodes;
-                start_time[qj.job_idx] = now;
-                running.push(RunningJob {
-                    job_idx: qj.job_idx,
-                    nodes: qj.nodes,
-                    expected_finish: now + j.estimate,
-                });
-                events.push(
-                    now + j.runtime,
-                    EventKind::Finish {
-                        job: qj.job_idx,
-                        attempt: 1,
-                    },
-                );
-            }
-        }
-
-        debug_assert!(queue.is_empty(), "all jobs eventually run");
-        debug_assert!(running.is_empty(), "all jobs eventually finish");
-        Ok(Outcome {
-            completed,
-            abandoned: Vec::new(),
-            node_failures: 0,
-            nodes: self.nodes,
-            policy: self.policy,
-        })
-    }
-
-    /// The fault-injecting event loop. With an inert spec (infinite MTBF,
-    /// zero job-failure probability, `Resubmit` recovery) this produces an
-    /// outcome identical to [`Simulator::run_plain`]: no fault events are
-    /// scheduled, no random draws are made, and priority-ordered requeueing
-    /// of fresh arrivals degenerates to plain push.
-    fn run_faulty(&self, jobs: Vec<Job>, spec: FaultSpec) -> Result<Outcome> {
-        let recovery = spec.recovery;
-        let mut inj = FaultInjector::new(&spec);
-        let n = jobs.len();
-
-        let mut events = EventQueue::new();
-        for (idx, j) in jobs.iter().enumerate() {
-            events.push(j.submit, EventKind::Arrival { job: idx });
-        }
-        // Arm every node's first failure clock.
-        let mut node_up = vec![true; self.nodes];
-        let mut up = self.nodes;
-        for node in 0..self.nodes {
-            let ttf = inj.time_to_failure();
-            if ttf.is_finite() {
-                events.push(ttf, EventKind::NodeFailure { node });
-            }
-        }
-
-        let mut free = self.nodes;
-        let mut queue: Vec<QueuedJob> = Vec::new();
-        let mut running: Vec<RunningJob> = Vec::new();
-        let mut completed: Vec<CompletedJob> = Vec::with_capacity(n);
-        let mut abandoned: Vec<AbandonedJob> = Vec::new();
-        let mut node_failures = 0usize;
-
-        // Per-job mutable state, indexed like `jobs`.
-        let mut attempts = vec![0u32; n]; // attempts started so far
-        let mut wasted = vec![0f64; n]; // node-seconds burned uselessly
-        let mut remaining: Vec<f64> = jobs.iter().map(|j| j.runtime).collect();
-        let mut att_start = vec![f64::NAN; n]; // current attempt's launch time
-        let mut att_work = vec![0f64; n]; // current attempt's useful work
-        let mut resolved = 0usize;
-        let mut last_time = 0.0f64;
-
-        // Kills the (running) job's current attempt at `now`: account the
-        // lost work, then either requeue under the recovery policy or
-        // abandon. The caller removes the job from `running` and returns
-        // its nodes to `free`.
-        let kill = |job: usize,
-                    now: f64,
-                    queue: &mut Vec<QueuedJob>,
-                    abandoned: &mut Vec<AbandonedJob>,
-                    attempts: &[u32],
-                    wasted: &mut [f64],
-                    remaining: &mut [f64],
-                    att_start: &[f64],
-                    att_work: &[f64],
-                    resolved: &mut usize| {
-            let j = &jobs[job];
-            let elapsed = now - att_start[job];
-            let saved = progress_saved(elapsed, att_work[job], &recovery);
-            remaining[job] = att_work[job] - saved;
-            wasted[job] += j.nodes as f64 * (elapsed - saved);
-            let k = attempts[job];
-            let retry_allowed = match recovery.max_retries() {
-                Some(max) => k <= max,
-                None => false,
-            };
-            if retry_allowed {
-                let backoff = match recovery {
-                    RecoveryPolicy::Resubmit { backoff_base, .. } => {
-                        backoff_penalty(backoff_base, k)
-                    }
-                    _ => 0.0,
-                };
-                // Scale the user's over-estimate factor onto the remaining
-                // work, never below the actual wall time of the retry.
-                let scale = j.estimate / j.runtime;
-                let estimate =
-                    (remaining[job] * scale).max(attempt_duration(remaining[job], &recovery));
-                requeue(
-                    queue,
-                    QueuedJob {
-                        job_idx: job,
-                        nodes: j.nodes,
-                        estimate,
-                        priority: now + backoff,
-                    },
-                );
-            } else {
-                abandoned.push(AbandonedJob {
-                    job: *j,
-                    attempts: k,
-                    wasted_work: wasted[job],
-                    abandoned_at: now,
-                });
-                *resolved += 1;
-            }
-        };
-
-        while resolved < n {
-            let Some(ev) = events.pop() else {
-                debug_assert!(false, "event queue drained with unresolved jobs");
-                break;
-            };
-            let now = ev.time;
-            debug_assert!(now >= last_time, "event time went backwards");
-            last_time = now;
-            match ev.kind {
-                EventKind::Arrival { job } => {
-                    requeue(
-                        &mut queue,
-                        QueuedJob {
-                            job_idx: job,
-                            nodes: jobs[job].nodes,
-                            estimate: jobs[job].estimate,
-                            priority: jobs[job].submit,
-                        },
-                    );
-                }
-                EventKind::Finish { job, attempt } => {
-                    // Stale finishes (the attempt was killed) are ignored.
-                    if attempts[job] != attempt {
-                        continue;
-                    }
-                    let Some(pos) = running.iter().position(|r| r.job_idx == job) else {
-                        continue;
-                    };
-                    let r = running.swap_remove(pos);
-                    free += r.nodes;
-                    // Checkpoint overhead paid in the successful attempt is
-                    // wall time beyond the useful work — it counts as waste.
-                    // (Computed from the model, not from event-time
-                    // subtraction, which carries rounding residue.)
-                    let overhead_paid = attempt_duration(att_work[job], &recovery) - att_work[job];
-                    wasted[job] += r.nodes as f64 * overhead_paid;
-                    completed.push(CompletedJob {
-                        job: jobs[job],
-                        start: att_start[job],
-                        finish: now,
-                        attempts: attempt,
-                        wasted_work: wasted[job],
-                    });
-                    resolved += 1;
-                }
-                EventKind::NodeFailure { node } => {
-                    debug_assert!(node_up[node], "failure of an already-down node");
-                    node_failures += 1;
-                    node_up[node] = false;
-                    events.push(now + spec.repair_time, EventKind::NodeRepair { node });
-                    let busy = up - free;
-                    if inj.failure_hits_busy(busy, up) {
-                        let weights: Vec<usize> = running.iter().map(|r| r.nodes).collect();
-                        let victim = inj.pick_victim(&weights);
-                        let r = running.remove(victim);
-                        // The victim's nodes come back idle, minus the one
-                        // that just died.
-                        free += r.nodes - 1;
-                        kill(
-                            r.job_idx,
-                            now,
-                            &mut queue,
-                            &mut abandoned,
-                            &attempts,
-                            &mut wasted,
-                            &mut remaining,
-                            &att_start,
-                            &att_work,
-                            &mut resolved,
-                        );
-                    } else {
-                        // An idle node went down.
-                        debug_assert!(free > 0);
-                        free -= 1;
-                    }
-                    up -= 1;
-                }
-                EventKind::NodeRepair { node } => {
-                    debug_assert!(!node_up[node], "repair of an up node");
-                    node_up[node] = true;
-                    up += 1;
-                    free += 1;
-                    let ttf = inj.time_to_failure();
-                    if ttf.is_finite() {
-                        events.push(now + ttf, EventKind::NodeFailure { node });
-                    }
-                }
-                EventKind::JobFault { job, attempt } => {
-                    // Stale faults (attempt already finished or was killed
-                    // by a node failure) are ignored.
-                    if attempts[job] != attempt {
-                        continue;
-                    }
-                    let Some(pos) = running.iter().position(|r| r.job_idx == job) else {
-                        continue;
-                    };
-                    let r = running.remove(pos);
-                    free += r.nodes;
-                    kill(
-                        job,
-                        now,
-                        &mut queue,
-                        &mut abandoned,
-                        &attempts,
-                        &mut wasted,
-                        &mut remaining,
-                        &att_start,
-                        &att_work,
-                        &mut resolved,
-                    );
-                }
-            }
-            // Let the policy start whatever it can after any state change.
-            let starts = select(self.policy, &queue, &running, free, now);
-            debug_assert!(
-                starts.windows(2).all(|w| w[0] < w[1]),
-                "policies return sorted unique positions"
-            );
-            for &pos in starts.iter().rev() {
-                let qj = queue.remove(pos);
-                let job = qj.job_idx;
-                debug_assert!(qj.nodes <= free, "policy over-committed nodes");
-                free -= qj.nodes;
-                attempts[job] += 1;
-                let attempt = attempts[job];
-                let work = remaining[job];
-                let duration = attempt_duration(work, &recovery);
-                att_start[job] = now;
-                att_work[job] = work;
-                running.push(RunningJob {
-                    job_idx: job,
-                    nodes: qj.nodes,
-                    expected_finish: now + qj.estimate,
-                });
-                events.push(now + duration, EventKind::Finish { job, attempt });
-                if let Some(frac) = inj.attempt_fault(spec.job_failure_prob) {
-                    events.push(now + frac * duration, EventKind::JobFault { job, attempt });
-                }
-            }
-        }
-
-        Ok(Outcome {
-            completed,
-            abandoned,
-            node_failures,
-            nodes: self.nodes,
-            policy: self.policy,
-        })
+        engine.drain();
+        Ok(engine.into_outcome())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::RecoveryPolicy;
     use crate::workload::{generate, WorkloadSpec};
 
     fn job(id: u64, submit: f64, nodes: usize, runtime: f64, estimate: f64) -> Job {
@@ -656,6 +406,47 @@ mod tests {
         let a = Simulator::new(64, Policy::Sjf).run(jobs.clone()).unwrap();
         let b = Simulator::new(64, Policy::Sjf).run(jobs).unwrap();
         assert_eq!(a, b);
+        assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn queue_kinds_are_bitwise_equivalent() {
+        // The tentpole invariant at the Simulator level: the calendar
+        // queue is a pure performance substitution for the heap.
+        let jobs = generate(
+            &WorkloadSpec {
+                n_jobs: 400,
+                offered_load: 0.9,
+                ..Default::default()
+            },
+            23,
+        );
+        for policy in Policy::ALL {
+            let heap = Simulator::new(64, policy)
+                .with_queue(QueueKind::Heap)
+                .run(jobs.clone())
+                .unwrap();
+            let cal = Simulator::new(64, policy)
+                .with_queue(QueueKind::Calendar)
+                .run(jobs.clone())
+                .unwrap();
+            assert_eq!(heap, cal, "{policy:?}");
+            assert_eq!(heap.digest(), cal.digest(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn digest_separates_different_outcomes() {
+        let jobs = generate(
+            &WorkloadSpec {
+                n_jobs: 120,
+                ..Default::default()
+            },
+            2,
+        );
+        let fcfs = Simulator::new(64, Policy::Fcfs).run(jobs.clone()).unwrap();
+        let easy = Simulator::new(64, Policy::EasyBackfill).run(jobs).unwrap();
+        assert_ne!(fcfs.digest(), easy.digest());
     }
 
     #[test]
@@ -665,6 +456,7 @@ mod tests {
         assert_eq!(out.try_summary(), None);
         let r = out.resilience();
         assert_eq!(r.completed + r.abandoned, 0);
+        assert_eq!(out.events, 0);
     }
 
     #[test]
@@ -869,6 +661,43 @@ mod tests {
         let b = run();
         assert_eq!(a, b);
         assert!(a.node_failures > 0);
+    }
+
+    #[test]
+    fn faulty_runs_agree_across_queue_kinds() {
+        // E14's regeneration guarantee: resilience metrics are identical
+        // on the serial-heap and serial-calendar arms.
+        let jobs = generate(
+            &WorkloadSpec {
+                n_jobs: 150,
+                ..Default::default()
+            },
+            19,
+        );
+        let spec = FaultSpec {
+            node_mtbf: 25_000.0,
+            repair_time: 1800.0,
+            job_failure_prob: 0.02,
+            recovery: RecoveryPolicy::Checkpoint {
+                interval: 600.0,
+                overhead: 30.0,
+                max_retries: 5,
+            },
+            seed: 0xFA17,
+        };
+        let run = |kind: QueueKind| {
+            Simulator::new(64, Policy::EasyBackfill)
+                .with_queue(kind)
+                .with_faults(spec)
+                .unwrap()
+                .run(jobs.clone())
+                .unwrap()
+        };
+        let heap = run(QueueKind::Heap);
+        let cal = run(QueueKind::Calendar);
+        assert_eq!(heap, cal);
+        assert_eq!(heap.resilience(), cal.resilience());
+        assert!(heap.node_failures > 0);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The experiment registry: one driver per table/figure (E1–E22), all
+//! The experiment registry: one driver per table/figure (E1–E23), all
 //! deterministic from one master seed. `DESIGN.md` §4 is the index; the
 //! `reproduce` binary and the Criterion benches both call these drivers.
 //!
@@ -35,6 +35,7 @@ use crate::perfgap::{
 use crate::questionnaire as q;
 use crate::schedstudy::SchedPoint;
 use crate::servestudy::ServePoint;
+use crate::simstudy::SimPoint;
 use crate::trend::{language_trends, language_trends_columnar, LanguageTrend};
 use crate::Result;
 
@@ -50,7 +51,7 @@ pub struct ExperimentInfo {
 }
 
 /// The experiment index (matches `DESIGN.md` §4).
-pub const INDEX: [ExperimentInfo; 22] = [
+pub const INDEX: [ExperimentInfo; 23] = [
     ExperimentInfo {
         id: "E1",
         artifact: "Table 1",
@@ -160,6 +161,11 @@ pub const INDEX: [ExperimentInfo; 22] = [
         id: "E22",
         artifact: "Table 11",
         title: "Register-IR JIT: closing the remaining fused-VM-to-native gap",
+    },
+    ExperimentInfo {
+        id: "E23",
+        artifact: "Figure 12",
+        title: "Cluster DES at scale: calendar queue and windowed-parallel replay",
     },
 ];
 
@@ -704,6 +710,20 @@ impl Experiments {
     pub fn e22_jitstudy(&self, config: &GapConfig) -> Result<Vec<JitGapRow>> {
         crate::jitstudy::run(config)
     }
+
+    /// E23: the cluster-simulator scaling study — simulated events/sec on
+    /// SWF trace replays through sharded federations, under the
+    /// serial-heap, serial-calendar, and windowed-parallel arms, every
+    /// arm's merged outcome digest-verified against the serial-heap
+    /// reference (and its streamed replay against its materialized one)
+    /// before any timing is trusted.
+    ///
+    /// # Errors
+    /// [`crate::Error::VerificationFailed`] when any arm diverges by even
+    /// one bit; cluster errors on malformed traces.
+    pub fn e23_simstudy(&self, config: &GapConfig) -> Result<Vec<SimPoint>> {
+        crate::simstudy::run(self.seed, config)
+    }
 }
 
 #[cfg(test)]
@@ -716,10 +736,10 @@ mod tests {
     }
 
     #[test]
-    fn index_lists_twenty_two_unique_ids() {
+    fn index_lists_twenty_three_unique_ids() {
         let mut ids: Vec<&str> = INDEX.iter().map(|i| i.id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 22);
+        assert_eq!(ids.len(), 23);
         assert_eq!(INDEX[0].id, "E1");
         assert_eq!(INDEX[11].artifact, "Figure 6");
         assert_eq!(INDEX[12].id, "E13");
@@ -741,6 +761,8 @@ mod tests {
         assert_eq!(INDEX[20].artifact, "Figure 11");
         assert_eq!(INDEX[21].id, "E22");
         assert_eq!(INDEX[21].artifact, "Table 11");
+        assert_eq!(INDEX[22].id, "E23");
+        assert_eq!(INDEX[22].artifact, "Figure 12");
     }
 
     /// The E21 acceptance gate: every columnar companion driver reproduces
@@ -809,6 +831,17 @@ mod tests {
         }
         for pair in points.chunks(4) {
             assert!(pair.iter().all(|p| p.checksum == pair[0].checksum));
+        }
+    }
+
+    #[test]
+    fn e23_quick_sweep_verifies_every_arm() {
+        let points = ex().e23_simstudy(&GapConfig::quick()).unwrap();
+        assert_eq!(points.len(), 6);
+        for cell in points.chunks(3) {
+            assert!(cell
+                .iter()
+                .all(|p| p.verified && p.checksum == cell[0].checksum));
         }
     }
 

@@ -30,7 +30,11 @@
 //!   query suite on 10⁴–10⁷-respondent populations under the row engine
 //!   and the serial/parallel/SIMD columnar tiers, every cell verified
 //!   against the row reference before timing;
-//! * [`experiments`] — the registry mapping experiment ids E1–E22 to
+//! * [`simstudy`] — the cluster-simulator scaling study: calendar-queue
+//!   and windowed-parallel DES arms replaying SWF traces on federations
+//!   up to 10k+ nodes and a million jobs, every arm digest-verified
+//!   against the serial heap baseline before timing;
+//! * [`experiments`] — the registry mapping experiment ids E1–E23 to
 //!   drivers that regenerate each table and figure (see `DESIGN.md` §4).
 //!
 //! ```
@@ -55,6 +59,7 @@ pub mod memstudy;
 pub mod perfgap;
 pub mod schedstudy;
 pub mod servestudy;
+pub mod simstudy;
 pub mod trend;
 
 /// The canonical questionnaire (re-exported from `rcr-survey` so analysis

@@ -44,6 +44,24 @@ pub fn duration_s(secs: f64) -> String {
     }
 }
 
+/// Formats a per-second rate with an SI prefix and `/s` suffix, e.g.
+/// `2.41M/s`, `87.3k/s`, `950/s` — the convention the throughput tables
+/// (rows/sec, events/sec) share.
+pub fn rate_per_s(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}/s");
+    }
+    if x >= 1e9 {
+        format!("{:.2}G/s", x / 1e9)
+    } else if x >= 1e6 {
+        format!("{:.2}M/s", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.1}k/s", x / 1e3)
+    } else {
+        format!("{x:.0}/s")
+    }
+}
+
 /// Formats a float to `sig` significant digits without scientific notation
 /// for the magnitudes report tables use.
 pub fn sig(x: f64, sig: usize) -> String {
@@ -88,6 +106,15 @@ mod tests {
         assert_eq!(duration_s(12.34), "12.3s");
         assert_eq!(duration_s(246.0), "4m06s");
         assert_eq!(duration_s(7380.0), "2h03m");
+    }
+
+    #[test]
+    fn rates_choose_si_prefixes() {
+        assert_eq!(rate_per_s(2.41e9), "2.41G/s");
+        assert_eq!(rate_per_s(2_410_000.0), "2.41M/s");
+        assert_eq!(rate_per_s(87_300.0), "87.3k/s");
+        assert_eq!(rate_per_s(950.0), "950/s");
+        assert_eq!(rate_per_s(f64::INFINITY), "inf/s");
     }
 
     #[test]
